@@ -1,0 +1,331 @@
+//! ACQ (Fang et al., "Effective community search for large attributed
+//! graphs", PVLDB 2016).
+//!
+//! Attribute-aware community search where each vertex carries a *flat
+//! set of keywords*. Given `(q, k)`, ACQ returns the k-ĉores containing
+//! `q` whose member vertices share as many of `q`'s keywords as
+//! possible. Following the paper's Section 5.2, the keyword set of a
+//! vertex is the label set of its P-tree (hierarchy discarded) — which
+//! is exactly why ACQ misses communities whose shared labels form a
+//! *different-shaped* subtree (the paper's Fig. 7/8 case study).
+//!
+//! ## Implementation: closed-set search
+//!
+//! A naive Apriori over keyword subsets explodes: a community sharing
+//! `t` keywords makes all `2^t` subsets feasible. The search only needs
+//! **closed** sets — `S` with `S = shared(Gk[S])`, the keywords shared
+//! by the community's own members — because every maximum-cardinality
+//! feasible set is closed (its closure is feasible with the same
+//! community and at least the same size). Distinct closed sets map to
+//! distinct communities, so a DFS over closures visits one node per
+//! distinct community: the same trick that makes closed-frequent-
+//! itemset miners (LCM) fast, and consistent with how ACQ's own
+//! algorithms avoid subset enumeration.
+
+use pcs_core::ProfiledCommunity;
+use pcs_graph::core::SubsetCore;
+use pcs_graph::{FxHashSet, Graph, VertexId};
+use pcs_ptree::{LabelId, PTree, Taxonomy};
+
+use crate::community_from_vertices;
+
+/// One ACQ answer: the shared keyword set and its community.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AcqCommunity {
+    /// Sorted keywords shared by every member (subset of `q`'s
+    /// keywords).
+    pub keywords: Vec<LabelId>,
+    /// The community `Gk[keywords]`.
+    pub community: ProfiledCommunity,
+}
+
+/// Result of one ACQ query.
+#[derive(Clone, Debug, Default)]
+pub struct AcqOutcome {
+    /// Communities achieving the maximum shared-keyword count (possibly
+    /// several, with different keyword sets).
+    pub communities: Vec<AcqCommunity>,
+    /// The maximum number of shared keywords achieved (0 when only the
+    /// bare k-ĉore exists).
+    pub keyword_count: usize,
+}
+
+/// Runs ACQ for `(q, k)`. The query's keywords are the non-root labels
+/// of `T(q)`.
+pub fn acq_query(
+    g: &Graph,
+    _tax: &Taxonomy,
+    profiles: &[PTree],
+    q: VertexId,
+    k: u32,
+) -> AcqOutcome {
+    if q as usize >= g.num_vertices() {
+        return AcqOutcome::default();
+    }
+    let mut sc = SubsetCore::new(g.num_vertices());
+    let all: Vec<VertexId> = g.vertices().collect();
+    let Some(gk) = sc.kcore_component_within(g, &all, q, k) else {
+        return AcqOutcome::default();
+    };
+    let wq = &profiles[q as usize];
+
+    // shared(C): keywords of W(q) carried by every member of C.
+    let shared = |community: &[VertexId]| -> Vec<LabelId> {
+        wq.nodes()
+            .iter()
+            .copied()
+            .filter(|&w| {
+                w != Taxonomy::ROOT
+                    && community.iter().all(|&v| profiles[v as usize].contains(w))
+            })
+            .collect()
+    };
+
+    // DFS over closed keyword sets, one node per distinct community.
+    let root_set = shared(&gk);
+    let mut visited: FxHashSet<Vec<LabelId>> = FxHashSet::default();
+    visited.insert(root_set.clone());
+    let mut stack: Vec<(Vec<LabelId>, Vec<VertexId>)> = vec![(root_set, gk.clone())];
+    let mut closed: Vec<(Vec<LabelId>, Vec<VertexId>)> = Vec::new();
+    while let Some((s, community)) = stack.pop() {
+        closed.push((s.clone(), community.clone()));
+        for &w in wq.nodes() {
+            if w == Taxonomy::ROOT || s.binary_search(&w).is_ok() {
+                continue;
+            }
+            let cands: Vec<VertexId> = community
+                .iter()
+                .copied()
+                .filter(|&v| profiles[v as usize].contains(w))
+                .collect();
+            if let Some(next_comm) = sc.kcore_component_within(g, &cands, q, k) {
+                let next_set = shared(&next_comm);
+                if visited.insert(next_set.clone()) {
+                    stack.push((next_set, next_comm));
+                }
+            }
+        }
+    }
+
+    let keyword_count = closed.iter().map(|(s, _)| s.len()).max().unwrap_or(0);
+    let mut communities: Vec<AcqCommunity> = closed
+        .into_iter()
+        .filter(|(s, _)| s.len() == keyword_count)
+        .map(|(keywords, verts)| AcqCommunity {
+            keywords,
+            community: community_from_vertices(verts, profiles),
+        })
+        .collect();
+    communities.sort_by(|a, b| a.keywords.cmp(&b.keywords));
+    communities.dedup_by(|a, b| a.keywords == b.keywords);
+    AcqOutcome { communities, keyword_count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 1 example (corrected profiles; see pcs-core).
+    fn figure1() -> (Graph, Taxonomy, Vec<PTree>) {
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 3),
+                (0, 4),
+                (1, 3),
+                (1, 4),
+                (3, 4),
+                (1, 2),
+                (2, 3),
+                (4, 5),
+                (5, 6),
+                (5, 7),
+                (6, 7),
+            ],
+        )
+        .unwrap();
+        let mut t = Taxonomy::new("r");
+        let cm = t.add_child(0, "CM").unwrap();
+        let is = t.add_child(0, "IS").unwrap();
+        let hw = t.add_child(0, "HW").unwrap();
+        let ml = t.add_child(cm, "ML").unwrap();
+        let ai = t.add_child(cm, "AI").unwrap();
+        let dms = t.add_child(is, "DMS").unwrap();
+        let profiles = vec![
+            PTree::from_labels(&t, [dms, hw]).unwrap(),         // A
+            PTree::from_labels(&t, [ml, ai]).unwrap(),          // B
+            PTree::from_labels(&t, [ml, ai, is]).unwrap(),      // C
+            PTree::from_labels(&t, [ml, ai, dms, hw]).unwrap(), // D
+            PTree::from_labels(&t, [dms, hw]).unwrap(),         // E
+            PTree::from_labels(&t, [is, hw]).unwrap(),          // F
+            PTree::from_labels(&t, [hw, cm]).unwrap(),          // G
+            PTree::from_labels(&t, [is, hw]).unwrap(),          // H
+        ];
+        (g, t, profiles)
+    }
+
+    /// Brute-force reference: try every subset of q's keywords.
+    fn brute_acq(
+        g: &Graph,
+        profiles: &[PTree],
+        q: VertexId,
+        k: u32,
+    ) -> (usize, Vec<Vec<u32>>) {
+        let wq: Vec<LabelId> = profiles[q as usize]
+            .nodes()
+            .iter()
+            .copied()
+            .filter(|&l| l != Taxonomy::ROOT)
+            .collect();
+        let mut sc = SubsetCore::new(g.num_vertices());
+        let mut best = 0usize;
+        let mut answers: Vec<Vec<u32>> = Vec::new();
+        for mask in 0u32..(1 << wq.len()) {
+            let set: Vec<LabelId> = wq
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &w)| w)
+                .collect();
+            let cands: Vec<VertexId> = g
+                .vertices()
+                .filter(|&v| set.iter().all(|&w| profiles[v as usize].contains(w)))
+                .collect();
+            if let Some(comm) = sc.kcore_component_within(g, &cands, q, k) {
+                match set.len().cmp(&best) {
+                    std::cmp::Ordering::Greater => {
+                        best = set.len();
+                        answers = vec![comm];
+                    }
+                    std::cmp::Ordering::Equal => {
+                        if !answers.contains(&comm) {
+                            answers.push(comm);
+                        }
+                    }
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+        }
+        answers.sort();
+        (best, answers)
+    }
+
+    #[test]
+    fn closed_set_search_matches_bruteforce() {
+        let (g, t, profiles) = figure1();
+        for q in 0..8u32 {
+            for k in 0..=3u32 {
+                let out = acq_query(&g, &t, &profiles, q, k);
+                let (best, mut expect_comms) = brute_acq(&g, &profiles, q, k);
+                expect_comms.sort();
+                if expect_comms.is_empty() {
+                    assert!(out.communities.is_empty(), "q={q} k={k}");
+                    continue;
+                }
+                assert_eq!(out.keyword_count, best, "q={q} k={k}");
+                let mut got: Vec<Vec<u32>> = out
+                    .communities
+                    .iter()
+                    .map(|c| c.community.vertices.clone())
+                    .collect();
+                got.sort();
+                got.dedup();
+                assert_eq!(got, expect_comms, "q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn acq_finds_both_three_keyword_communities_of_d() {
+        let (g, t, profiles) = figure1();
+        let out = acq_query(&g, &t, &profiles, 3, 2);
+        assert_eq!(out.keyword_count, 3);
+        for c in &out.communities {
+            assert_eq!(c.keywords.len(), 3);
+            assert!(c.community.vertices.binary_search(&3).is_ok());
+            for &v in &c.community.vertices {
+                for &w in &c.keywords {
+                    assert!(profiles[v as usize].contains(w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn acq_misses_smaller_label_community() {
+        // Make {A,D,E}'s shared labels only 2 (drop DMS from A): ACQ
+        // keeps only the 3-keyword community {B,C,D}; PCS reports both.
+        // This is the Fig. 7/8 scenario.
+        let (g, t, mut profiles) = figure1();
+        let hw = t.id_of("HW").unwrap();
+        let is = t.id_of("IS").unwrap();
+        profiles[0] = PTree::from_labels(&t, [is, hw]).unwrap(); // A loses DMS
+        let out = acq_query(&g, &t, &profiles, 3, 2);
+        assert_eq!(out.keyword_count, 3);
+        assert_eq!(out.communities.len(), 1);
+        assert_eq!(out.communities[0].community.vertices, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn no_kcore_no_answer() {
+        let (g, t, profiles) = figure1();
+        let out = acq_query(&g, &t, &profiles, 2, 3); // C has core 2
+        assert!(out.communities.is_empty());
+        assert_eq!(out.keyword_count, 0);
+        let out = acq_query(&g, &t, &profiles, 99, 1);
+        assert!(out.communities.is_empty());
+    }
+
+    #[test]
+    fn zero_shared_keywords_falls_back_to_kcore() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let mut t = Taxonomy::new("r");
+        let a = t.add_child(0, "a").unwrap();
+        let b = t.add_child(0, "b").unwrap();
+        let profiles = vec![
+            PTree::from_labels(&t, [a]).unwrap(),
+            PTree::from_labels(&t, [b]).unwrap(),
+            PTree::from_labels(&t, [b]).unwrap(),
+        ];
+        let out = acq_query(&g, &t, &profiles, 0, 2);
+        assert_eq!(out.keyword_count, 0);
+        assert_eq!(out.communities.len(), 1);
+        assert_eq!(out.communities[0].community.vertices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn keyword_sets_are_maximum_cardinality() {
+        let (g, t, profiles) = figure1();
+        for q in 0..8u32 {
+            let out = acq_query(&g, &t, &profiles, q, 2);
+            for c in &out.communities {
+                assert_eq!(c.keywords.len(), out.keyword_count, "q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_search_is_fast_on_large_shared_sets() {
+        // 30 vertices all sharing 20 keywords: Apriori would enumerate
+        // 2^20 sets; the closed-set DFS visits one.
+        let mut t = Taxonomy::new("r");
+        let kws: Vec<u32> = (0..20).map(|i| t.add_child(0, &format!("w{i}")).unwrap()).collect();
+        let n = 30usize;
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                edges.push((a, b));
+            }
+        }
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let profiles: Vec<PTree> =
+            (0..n).map(|_| PTree::from_labels(&t, kws.iter().copied()).unwrap()).collect();
+        let start = std::time::Instant::now();
+        let out = acq_query(&g, &t, &profiles, 0, 4);
+        assert!(start.elapsed().as_millis() < 2000, "closed search too slow");
+        assert_eq!(out.keyword_count, 20);
+        assert_eq!(out.communities.len(), 1);
+        assert_eq!(out.communities[0].community.vertices.len(), n);
+    }
+}

@@ -1,0 +1,125 @@
+//! Global (Sozio & Gionis, "the cocktail party problem", KDD 2010).
+//!
+//! Structure-only community search: given `q` and `k`, return the
+//! largest connected subgraph containing `q` with minimum degree ≥ k —
+//! found, as in the original paper, by greedily peeling minimum-degree
+//! vertices. [`global_max_min_degree`] additionally solves the
+//! unconstrained objective (maximize the minimum degree), whose optimum
+//! equals the core number of `q`.
+
+use pcs_core::ProfiledCommunity;
+use pcs_graph::core::{CoreDecomposition, SubsetCore};
+use pcs_graph::{Graph, VertexId};
+use pcs_ptree::PTree;
+
+use crate::community_from_vertices;
+
+/// The Global community for `(q, k)`: the k-ĉore containing `q`
+/// (greedy peeling of under-degree vertices, then the component of
+/// `q`). Returns `None` when no such community exists.
+pub fn global_query(
+    g: &Graph,
+    profiles: &[PTree],
+    q: VertexId,
+    k: u32,
+) -> Option<ProfiledCommunity> {
+    let all: Vec<VertexId> = g.vertices().collect();
+    let mut sc = SubsetCore::new(g.num_vertices());
+    let vertices = sc.kcore_component_within(g, &all, q, k)?;
+    Some(community_from_vertices(vertices, profiles))
+}
+
+/// The unconstrained Global objective: the community containing `q`
+/// with the largest achievable minimum degree (= `core(q)`), i.e. the
+/// `core(q)`-ĉore containing `q`. Returns the community and the
+/// achieved minimum degree.
+pub fn global_max_min_degree(
+    g: &Graph,
+    profiles: &[PTree],
+    q: VertexId,
+) -> Option<(ProfiledCommunity, u32)> {
+    if q as usize >= g.num_vertices() {
+        return None;
+    }
+    let cd = CoreDecomposition::new(g);
+    let k = cd.core_number(q);
+    let vertices = cd.kcore_component(g, q, k)?;
+    Some((community_from_vertices(vertices, profiles), k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_ptree::Taxonomy;
+
+    fn setup() -> (Graph, Vec<PTree>) {
+        // Two triangles bridged: {0,1,2} and {3,4,5}, bridge 2-3.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        let profiles = vec![PTree::root_only(); 6];
+        (g, profiles)
+    }
+
+    #[test]
+    fn k2_returns_kcore_component() {
+        // The bridge endpoints have degree 3, so nothing peels at k=2:
+        // the whole graph is one 2-ĉore.
+        let (g, profiles) = setup();
+        let c = global_query(&g, &profiles, 0, 2).unwrap();
+        assert_eq!(c.vertices, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(c.subtree, PTree::root_only());
+    }
+
+    #[test]
+    fn pendant_chain_peels_away() {
+        // Triangle plus a pendant path: peeling at k=2 removes the path.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]).unwrap();
+        let profiles = vec![PTree::root_only(); 5];
+        let c = global_query(&g, &profiles, 0, 2).unwrap();
+        assert_eq!(c.vertices, vec![0, 1, 2]);
+        assert!(global_query(&g, &profiles, 4, 2).is_none());
+    }
+
+    #[test]
+    fn infeasible_k_returns_none() {
+        let (g, profiles) = setup();
+        assert!(global_query(&g, &profiles, 0, 3).is_none());
+    }
+
+    #[test]
+    fn k1_spans_bridge() {
+        let (g, profiles) = setup();
+        let c = global_query(&g, &profiles, 0, 1).unwrap();
+        assert_eq!(c.vertices, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn max_min_degree_equals_core_number() {
+        let (g, profiles) = setup();
+        let (c, k) = global_max_min_degree(&g, &profiles, 0).unwrap();
+        assert_eq!(k, 2);
+        assert_eq!(c.vertices, vec![0, 1, 2, 3, 4, 5]);
+        assert!(global_max_min_degree(&g, &profiles, 99).is_none());
+    }
+
+    #[test]
+    fn subtree_is_common_profile() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let mut tax = Taxonomy::new("r");
+        let a = tax.add_child(0, "a").unwrap();
+        let b = tax.add_child(a, "b").unwrap();
+        let profiles = vec![
+            PTree::from_labels(&tax, [b]).unwrap(),
+            PTree::from_labels(&tax, [b]).unwrap(),
+            PTree::from_labels(&tax, [a]).unwrap(),
+        ];
+        let c = global_query(&g, &profiles, 0, 2).unwrap();
+        assert_eq!(c.vertices, vec![0, 1, 2]);
+        // Common subtree of all three is r->a.
+        assert!(c.subtree.contains(a));
+        assert!(!c.subtree.contains(b));
+    }
+}

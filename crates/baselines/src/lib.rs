@@ -1,0 +1,48 @@
+//! # pcs-baselines — community-search baselines
+//!
+//! Every comparator the paper's evaluation runs against PCS, implemented
+//! from scratch:
+//!
+//! * [`global`] — **Global** (Sozio & Gionis, KDD 2010): the maximal
+//!   minimum-degree-≥-k community containing the query vertex, found by
+//!   greedy peeling; plus the unconstrained max-min-degree variant.
+//! * [`local`] — **Local** (Cui et al., SIGMOD 2014): local expansion
+//!   around the query vertex that returns a *small* k-core community
+//!   without touching the whole graph.
+//! * [`acq`] — **ACQ** (Fang et al., PVLDB 2016): attributed community
+//!   query. Vertices carry keyword sets (here: the flattened label sets
+//!   of their P-trees, as in the paper's Section 5.2); communities are
+//!   k-ĉores sharing the maximum number of the query's keywords.
+//! * [`variants`] — the four profile-cohesiveness definitions compared
+//!   in Section 5.3: (a) common label count, (b) common root-to-leaf
+//!   paths, (c) common subtree (= PCS, the paper's choice), and (d)
+//!   P-tree similarity threshold.
+//!
+//! All baselines produce [`pcs_core::ProfiledCommunity`] values (the
+//! reported subtree is the actual maximal common subtree of the member
+//! profiles) so the metrics crate can score every method uniformly.
+
+pub mod acq;
+pub mod global;
+pub mod local;
+pub mod variants;
+
+pub use acq::{acq_query, AcqOutcome};
+pub use global::{global_max_min_degree, global_query};
+pub use local::local_query;
+pub use variants::{variant_query, CohesivenessMetric};
+
+use pcs_core::ProfiledCommunity;
+use pcs_graph::VertexId;
+use pcs_ptree::PTree;
+
+/// Wraps a raw vertex set into a [`ProfiledCommunity`] by computing its
+/// maximal common subtree from `profiles`.
+pub(crate) fn community_from_vertices(
+    vertices: Vec<VertexId>,
+    profiles: &[PTree],
+) -> ProfiledCommunity {
+    let subtree = PTree::intersect_all(vertices.iter().map(|&v| &profiles[v as usize]))
+        .unwrap_or_else(PTree::root_only);
+    ProfiledCommunity { subtree, vertices }
+}

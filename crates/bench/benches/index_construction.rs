@@ -1,0 +1,40 @@
+//! Criterion bench: CP-tree index construction (Fig. 13 companion).
+//!
+//! Measures sequential and parallel CP-tree builds on the ACMDL-like
+//! dataset at vertex fractions 20/60/100 %, plus the underlying CL-tree
+//! build of the full graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcs_datasets::scale::subsample_vertices;
+use pcs_datasets::suite::{build, SuiteConfig};
+use pcs_datasets::SuiteDataset;
+use pcs_index::{ClTree, CpTree};
+
+fn bench_index_construction(c: &mut Criterion) {
+    let cfg = SuiteConfig { scale: 0.01, ..SuiteConfig::default() };
+    let ds = build(SuiteDataset::Acmdl, cfg);
+
+    let mut group = c.benchmark_group("fig13_index_construction");
+    group.sample_size(10);
+    for frac in [0.2f64, 0.6, 1.0] {
+        let sub = subsample_vertices(&ds, frac, 13);
+        group.bench_with_input(
+            BenchmarkId::new("cptree_seq", format!("{:.0}%", frac * 100.0)),
+            &sub,
+            |b, sub| {
+                b.iter(|| CpTree::build(&sub.graph, &sub.tax, &sub.profiles).unwrap());
+            },
+        );
+    }
+    let full = subsample_vertices(&ds, 1.0, 13);
+    group.bench_function("cptree_par8/100%", |b| {
+        b.iter(|| CpTree::build_with_threads(&full.graph, &full.tax, &full.profiles, 8).unwrap());
+    });
+    group.bench_function("cltree_full_graph", |b| {
+        b.iter(|| ClTree::build(&full.graph));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_construction);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks for the substrate layers: k-core
+//! decomposition, localized peeling, CL-tree `get`, subtree operations,
+//! and tree edit distance. These support the complexity claims in
+//! DESIGN.md (O(m) decomposition, O(answer) `get`, word-wise subtree
+//! tests).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcs_datasets::gen::random_ptree;
+use pcs_datasets::suite::{build, SuiteConfig};
+use pcs_datasets::SuiteDataset;
+use pcs_graph::core::{CoreDecomposition, SubsetCore};
+use pcs_index::ClTree;
+use pcs_ptree::{tree_edit_distance, OrderedTree};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_substrates(c: &mut Criterion) {
+    let cfg = SuiteConfig { scale: 0.01, ..SuiteConfig::default() };
+    let ds = build(SuiteDataset::Acmdl, cfg);
+    let g = &ds.graph;
+
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(20);
+
+    group.bench_function("core_decomposition", |b| {
+        b.iter(|| CoreDecomposition::new(g));
+    });
+
+    let cd = CoreDecomposition::new(g);
+    let q = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| cd.core_number(v))
+        .unwrap();
+    group.bench_function("kcore_component", |b| {
+        b.iter(|| cd.kcore_component(g, q, 6));
+    });
+
+    let candidates: Vec<u32> = cd.kcore_vertices(4);
+    let mut sc = SubsetCore::new(g.num_vertices());
+    group.bench_function("subset_core_peel", |b| {
+        b.iter(|| sc.kcore_component_within(g, &candidates, q, 6));
+    });
+
+    let cl = ClTree::build(g);
+    group.bench_function("cltree_get", |b| {
+        b.iter(|| cl.get(q, 6));
+    });
+
+    let mut rng = SmallRng::seed_from_u64(3);
+    let a = random_ptree(&ds.tax, 30, &mut rng);
+    let bb = random_ptree(&ds.tax, 30, &mut rng);
+    group.bench_function("ptree_intersect", |b| {
+        b.iter(|| a.intersect(&bb));
+    });
+    group.bench_function("ptree_subtree_test", |b| {
+        b.iter(|| a.is_subtree_of(&bb));
+    });
+
+    let oa = OrderedTree::from_ptree(&ds.tax, &a);
+    let ob = OrderedTree::from_ptree(&ds.tax, &bb);
+    group.bench_function("tree_edit_distance_30", |b| {
+        b.iter(|| tree_edit_distance(&oa, &ob));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

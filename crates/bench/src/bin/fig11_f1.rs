@@ -1,0 +1,88 @@
+//! Fig. 11 / Table 4: F1 accuracy on the FB ego networks.
+//!
+//! Queries ground-truth circle members and scores each method's best
+//! community match against the circles containing the query vertex.
+
+use pcs_baselines::{acq_query, global_query, local_query};
+use pcs_bench::{f, header, parse_args, row};
+use pcs_core::{Algorithm, QueryContext};
+use pcs_datasets::ego::{build, EgoNetwork};
+use pcs_datasets::sample_query_vertices;
+use pcs_graph::VertexId;
+use pcs_index::CpTree;
+use pcs_metrics::best_f1;
+
+fn main() {
+    let args = parse_args();
+    let k = if args.k == 6 { 4 } else { args.k }; // ego circles are small; default to 4
+
+    println!("Table 4 — ego networks\n");
+    header(&["dataset", "vertices", "edges", "d̂", "P̂", "circles"]);
+    let mut datasets = Vec::new();
+    for which in EgoNetwork::ALL {
+        let ds = build(which, args.seed);
+        row(&[
+            ds.name.clone(),
+            ds.graph.num_vertices().to_string(),
+            ds.graph.num_edges().to_string(),
+            format!("{:.2}", ds.graph.avg_degree()),
+            format!("{:.2}", ds.avg_ptree_size()),
+            ds.groups.len().to_string(),
+        ]);
+        datasets.push(ds);
+    }
+
+    println!("\nFig. 11 — F1 scores ({} queries per network, k = {k})\n", args.queries);
+    header(&["dataset", "PCS", "ACQ", "Global", "Local"]);
+    for ds in &datasets {
+        let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).expect("consistent dataset");
+        let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
+            .expect("consistent dataset")
+            .with_index(&index);
+        let (pool, _) = sample_query_vertices(ds, k, args.queries * 3, args.seed ^ 0xf1);
+        let queries: Vec<VertexId> = pool
+            .into_iter()
+            .filter(|q| ds.groups.iter().any(|g| g.binary_search(q).is_ok()))
+            .take(args.queries)
+            .collect();
+
+        let mut scores = [0.0f64; 4];
+        for &q in &queries {
+            let truths: Vec<Vec<VertexId>> = ds
+                .groups
+                .iter()
+                .filter(|g| g.binary_search(&q).is_ok())
+                .cloned()
+                .collect();
+            let pcs: Vec<Vec<VertexId>> = ctx
+                .query(q, k, Algorithm::AdvP)
+                .map(|o| o.communities.into_iter().map(|c| c.vertices).collect())
+                .unwrap_or_default();
+            scores[0] += best_f1(&pcs, &truths);
+            let acq: Vec<Vec<VertexId>> = acq_query(&ds.graph, &ds.tax, &ds.profiles, q, k)
+                .communities
+                .into_iter()
+                .map(|c| c.community.vertices)
+                .collect();
+            scores[1] += best_f1(&acq, &truths);
+            let global: Vec<Vec<VertexId>> = global_query(&ds.graph, &ds.profiles, q, k)
+                .map(|c| vec![c.vertices])
+                .unwrap_or_default();
+            scores[2] += best_f1(&global, &truths);
+            let local: Vec<Vec<VertexId>> =
+                local_query(&ds.graph, &ds.profiles, q, k, usize::MAX)
+                    .map(|c| vec![c.vertices])
+                    .unwrap_or_default();
+            scores[3] += best_f1(&local, &truths);
+        }
+        let n = queries.len().max(1) as f64;
+        row(&[
+            ds.name.clone(),
+            f(scores[0] / n),
+            f(scores[1] / n),
+            f(scores[2] / n),
+            f(scores[3] / n),
+        ]);
+    }
+    println!("\nPaper: PCS stably extracts the most accurate circles across all three networks.");
+}

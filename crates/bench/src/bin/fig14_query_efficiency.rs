@@ -1,0 +1,158 @@
+//! Fig. 14: query efficiency and scalability of the five PCS
+//! algorithms, plus the find-function comparison.
+//!
+//! Sections (select with `--section`):
+//! * `k`      — (a-d)  total query time while k varies 4..8;
+//! * `vertex` — (e-h)  20-100 % of the vertices (k fixed);
+//! * `ptree`  — (i-l)  20-100 % of each P-tree;
+//! * `gptree` — (m-p)  20-100 % of the GP-tree;
+//! * `find`   — (q-t)  find-I vs find-D vs find-P initial-cut time;
+//! * `all`    — everything.
+//!
+//! `basic` only participates in the `k` section (as in the paper, which
+//! drops it afterwards for being orders of magnitude slower) and runs
+//! on a reduced query count to keep the harness fast.
+
+use std::time::{Duration, Instant};
+
+use pcs_bench::{header, parse_args, row, HarnessArgs};
+use pcs_core::advanced::{find_cut, FindStrategy};
+use pcs_core::{Algorithm, QueryContext, Verifier};
+use pcs_datasets::scale::{subsample_gptree, subsample_ptrees, subsample_vertices};
+use pcs_datasets::suite::{build, SuiteConfig};
+use pcs_datasets::{gen::ProfiledDataset, sample_query_vertices, SuiteDataset};
+use pcs_graph::VertexId;
+use pcs_index::CpTree;
+
+const FRACTIONS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+const KS: [u32; 5] = [4, 5, 6, 7, 8];
+
+fn main() {
+    let args = parse_args();
+    let cfg = SuiteConfig { scale: args.scale, seed: args.seed };
+    let datasets: Vec<_> = SuiteDataset::ALL.iter().map(|&w| build(w, cfg)).collect();
+
+    let section = args.section.as_str();
+    if section == "k" || section == "all" {
+        section_vary_k(&datasets, &args);
+    }
+    if section == "vertex" || section == "all" {
+        section_fraction(&datasets, &args, "vertex", "Fig. 14(e-h) — % of vertices");
+    }
+    if section == "ptree" || section == "all" {
+        section_fraction(&datasets, &args, "ptree", "Fig. 14(i-l) — % of each P-tree");
+    }
+    if section == "gptree" || section == "all" {
+        section_fraction(&datasets, &args, "gptree", "Fig. 14(m-p) — % of the GP-tree");
+    }
+    if section == "find" || section == "all" {
+        section_find(&datasets, &args);
+    }
+}
+
+/// Total time to answer `queries` with `algo` (ms).
+fn run_algo(
+    ctx: &QueryContext<'_>,
+    queries: &[VertexId],
+    k: u32,
+    algo: Algorithm,
+) -> Duration {
+    let start = Instant::now();
+    for &q in queries {
+        let _ = ctx.query(q, k, algo).expect("query in range");
+    }
+    start.elapsed()
+}
+
+fn with_context<T>(
+    ds: &ProfiledDataset,
+    f: impl FnOnce(&QueryContext<'_>) -> T,
+) -> T {
+    let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).expect("consistent dataset");
+    let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
+        .expect("consistent dataset")
+        .with_index(&index);
+    f(&ctx)
+}
+
+fn section_vary_k(datasets: &[ProfiledDataset], args: &HarnessArgs) {
+    println!("\nFig. 14(a-d) — query time (ms) while k varies\n");
+    for ds in datasets {
+        println!("dataset: {} ({} queries; basic limited to 2)\n", ds.name, args.queries);
+        header(&["k", "basic", "incre", "adv-I", "adv-D", "adv-P"]);
+        with_context(ds, |ctx| {
+            for k in KS {
+                let (queries, _) = sample_query_vertices(ds, k, args.queries, args.seed ^ 0x14);
+                let basic_queries = &queries[..queries.len().min(2)];
+                let mut cells = vec![k.to_string()];
+                // basic gets a reduced workload, normalized back up so
+                // the magnitudes stay comparable.
+                let basic = run_algo(ctx, basic_queries, k, Algorithm::Basic);
+                let scale = queries.len() as f64 / basic_queries.len().max(1) as f64;
+                cells.push(format!("{:.1}", basic.as_secs_f64() * 1e3 * scale));
+                for algo in [Algorithm::Incre, Algorithm::AdvI, Algorithm::AdvD, Algorithm::AdvP]
+                {
+                    let took = run_algo(ctx, &queries, k, algo);
+                    cells.push(format!("{:.1}", took.as_secs_f64() * 1e3));
+                }
+                row(&cells);
+            }
+        });
+        println!();
+    }
+    println!("Paper: basic is 100x+ slower than incre; adv-D/adv-P are ~10x faster than incre.");
+}
+
+fn section_fraction(datasets: &[ProfiledDataset], args: &HarnessArgs, axis: &str, title: &str) {
+    println!("\n{title} — query time (ms), k = {}\n", args.k);
+    for ds in datasets {
+        println!("dataset: {}\n", ds.name);
+        header(&["fraction", "incre", "adv-I", "adv-D", "adv-P"]);
+        for &frac in &FRACTIONS {
+            let sub = match axis {
+                "vertex" => subsample_vertices(ds, frac, args.seed ^ 0x14e),
+                "ptree" => subsample_ptrees(ds, frac, args.seed ^ 0x14e),
+                _ => subsample_gptree(ds, frac, args.seed ^ 0x14e),
+            };
+            let (queries, _) = sample_query_vertices(&sub, args.k, args.queries, args.seed ^ 7);
+            let mut cells = vec![format!("{:.0}%", frac * 100.0)];
+            with_context(&sub, |ctx| {
+                for algo in [Algorithm::Incre, Algorithm::AdvI, Algorithm::AdvD, Algorithm::AdvP]
+                {
+                    let took = run_algo(ctx, &queries, args.k, algo);
+                    cells.push(format!("{:.1}", took.as_secs_f64() * 1e3));
+                }
+            });
+            row(&cells);
+        }
+        println!();
+    }
+}
+
+fn section_find(datasets: &[ProfiledDataset], args: &HarnessArgs) {
+    println!("\nFig. 14(q-t) — initial-cut time (ms) while k varies\n");
+    for ds in datasets {
+        println!("dataset: {}\n", ds.name);
+        header(&["k", "find-I", "find-D", "find-P"]);
+        with_context(ds, |ctx| {
+            for k in KS {
+                let (queries, _) = sample_query_vertices(ds, k, args.queries, args.seed ^ 0x14f);
+                let mut cells = vec![k.to_string()];
+                for strategy in FindStrategy::ALL {
+                    let start = Instant::now();
+                    for &q in &queries {
+                        let space = ctx.space_for(q).expect("query in range");
+                        let mut ver = Verifier::new(ctx, &space, q, k);
+                        if ver.gk().is_some() {
+                            let _ = find_cut(&mut ver, &space, strategy);
+                        }
+                    }
+                    cells.push(format!("{:.1}", start.elapsed().as_secs_f64() * 1e3));
+                }
+                row(&cells);
+            }
+        });
+        println!();
+    }
+    println!("Paper: find-P and find-D are 10-100x faster than find-I.");
+}

@@ -1,0 +1,38 @@
+//! Runs the complete paper reproduction in one go (with reduced query
+//! counts so it finishes in minutes). Equivalent to invoking each
+//! table/figure binary in sequence; see DESIGN.md §4 for the map.
+//!
+//! ```text
+//! cargo run -p pcs-bench --release --bin repro_all -- --queries 30
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table2_datasets",
+        "table3_locations",
+        "case_study",
+        "fig09_cps_ldr",
+        "fig10_commnum_cpf",
+        "fig11_f1",
+        "fig12_metrics",
+        "fig13_index_scalability",
+        "fig14_query_efficiency",
+    ];
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("exe dir");
+    for bin in bins {
+        println!("\n================ {bin} ================\n");
+        let status = Command::new(dir.join(bin))
+            .args(&passthrough)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(status.code().unwrap_or(1));
+        }
+    }
+    println!("\nAll paper experiments completed.");
+}

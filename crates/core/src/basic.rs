@@ -1,0 +1,231 @@
+//! Algorithm 1 — the `basic` query.
+//!
+//! Bottom-up enumeration of the subtrees of `T(q)` by rightmost-path
+//! extension, pruned by anti-monotonicity (Lemma 2: once a candidate is
+//! infeasible, nothing above it can be feasible). Each verification
+//! recomputes `Gk[T]` from the global k-ĉore `Gk` — no index needed.
+//! Worst case `O(2^{|T(q)|} · m)` as analyzed in the paper.
+
+use std::rc::Rc;
+
+use pcs_graph::{FxHashMap, VertexId};
+use pcs_ptree::Subtree;
+
+use crate::problem::{PcsOutcome, ProfiledCommunity, QueryContext};
+use crate::verify::Verifier;
+use crate::Result;
+
+/// Runs Algorithm 1 for `(q, k)`.
+pub fn query(ctx: &QueryContext<'_>, q: VertexId, k: u32) -> Result<PcsOutcome> {
+    let space = ctx.space_for(q)?;
+    let mut ver = Verifier::new(ctx, &space, q, k);
+    let mut results: FxHashMap<Subtree, Rc<Vec<VertexId>>> = FxHashMap::default();
+
+    // Line 3-4: compute Gk; nothing to do if it is empty.
+    if ver.gk().is_some() {
+        // Line 5: Ψ ← generateSubtree(∅, T(q)) = the root-only subtree
+        // (feasible because every P-tree contains the taxonomy root).
+        let mut stack: Vec<Subtree> = vec![space.root_only()];
+        ver.note_generated(1);
+        // Lines 6-13.
+        while let Some(t_prime) = stack.pop() {
+            let mut flag = true;
+            let extensions = space.rightmost_extensions(&t_prime);
+            ver.note_generated(extensions.len() as u64);
+            for pos in extensions {
+                let t = t_prime.with(pos);
+                if ver.verify(&t).is_some() {
+                    flag = false;
+                    stack.push(t);
+                }
+            }
+            if flag && ver.is_maximal_feasible(&t_prime) {
+                let community = ver.verify(&t_prime).expect("maximal implies feasible");
+                results.insert(t_prime, community);
+            }
+        }
+    }
+    Ok(assemble(ctx, &space, results, ver))
+}
+
+/// Turns the map of maximal feasible subtrees into a sorted outcome.
+/// Shared by all algorithms.
+pub(crate) fn assemble(
+    _ctx: &QueryContext<'_>,
+    space: &pcs_ptree::QuerySpace,
+    results: FxHashMap<Subtree, Rc<Vec<VertexId>>>,
+    ver: Verifier<'_>,
+) -> PcsOutcome {
+    let mut communities: Vec<ProfiledCommunity> = results
+        .into_iter()
+        .map(|(s, vs)| ProfiledCommunity {
+            subtree: space.to_ptree(&s),
+            vertices: vs.as_ref().clone(),
+        })
+        .collect();
+    communities.sort_by(|a, b| a.subtree.cmp(&b.subtree));
+    // Maximal feasible subtrees are pairwise incomparable, which is
+    // exactly the paper's profile-cohesiveness property.
+    debug_assert!(communities.iter().all(|a| {
+        communities
+            .iter()
+            .filter(|b| a.subtree != b.subtree)
+            .all(|b| !a.subtree.is_subtree_of(&b.subtree))
+    }));
+    PcsOutcome { communities, stats: ver.stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Algorithm;
+    use pcs_graph::Graph;
+    use pcs_ptree::{PTree, Taxonomy};
+
+    /// The running example of the paper (Fig. 1 + Fig. 2).
+    fn figure1() -> (Graph, Taxonomy, Vec<PTree>) {
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 3),
+                (0, 4),
+                (1, 3),
+                (1, 4),
+                (3, 4),
+                (1, 2),
+                (2, 3),
+                (4, 5),
+                (5, 6),
+                (5, 7),
+                (6, 7),
+            ],
+        )
+        .unwrap();
+        let mut t = Taxonomy::new("r");
+        let cm = t.add_child(0, "CM").unwrap();
+        let is = t.add_child(0, "IS").unwrap();
+        let hw = t.add_child(0, "HW").unwrap();
+        let ml = t.add_child(cm, "ML").unwrap();
+        let ai = t.add_child(cm, "AI").unwrap();
+        let dms = t.add_child(is, "DMS").unwrap();
+        let profiles = vec![
+            PTree::from_labels(&t, [dms, hw]).unwrap(), // A
+            PTree::from_labels(&t, [ml, ai]).unwrap(),          // B
+            PTree::from_labels(&t, [ml, ai, is]).unwrap(),      // C
+            PTree::from_labels(&t, [ml, ai, dms, hw]).unwrap(), // D
+            PTree::from_labels(&t, [dms, hw]).unwrap(),         // E
+            PTree::from_labels(&t, [is, hw]).unwrap(),          // F
+            PTree::from_labels(&t, [hw, cm]).unwrap(),          // G
+            PTree::from_labels(&t, [is, hw]).unwrap(),          // H
+        ];
+        (g, t, profiles)
+    }
+
+    #[test]
+    fn paper_example_two_pcs_of_d() {
+        // Fig. 2: query D (=3), k=2 yields {B,C,D} with theme
+        // r->CM->{ML,AI} and {A,D,E} with theme r->{IS->DMS, HW}.
+        let (g, t, profiles) = figure1();
+        let ctx = QueryContext::new(&g, &t, &profiles).unwrap();
+        let out = ctx.query(3, 2, Algorithm::Basic).unwrap();
+        let mut sets: Vec<Vec<u32>> =
+            out.communities.iter().map(|c| c.vertices.clone()).collect();
+        sets.sort();
+        assert!(
+            sets.contains(&vec![1, 2, 3]),
+            "expected {{B,C,D}}, got {sets:?}"
+        );
+        assert!(
+            sets.contains(&vec![0, 3, 4]),
+            "expected {{A,D,E}}, got {sets:?}"
+        );
+        // Theme subtrees match Fig. 2(b)/(c).
+        for c in &out.communities {
+            if c.vertices == vec![1, 2, 3] {
+                let expect =
+                    PTree::from_labels(&t, [t.id_of("ML").unwrap(), t.id_of("AI").unwrap()])
+                        .unwrap();
+                assert_eq!(c.subtree, expect);
+            }
+            if c.vertices == vec![0, 3, 4] {
+                let expect =
+                    PTree::from_labels(&t, [t.id_of("DMS").unwrap(), t.id_of("HW").unwrap()])
+                        .unwrap();
+                assert_eq!(c.subtree, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn every_community_satisfies_problem_1() {
+        let (g, t, profiles) = figure1();
+        let ctx = QueryContext::new(&g, &t, &profiles).unwrap();
+        for q in 0..8u32 {
+            for k in 0..=3u32 {
+                let out = ctx.query(q, k, Algorithm::Basic).unwrap();
+                for c in &out.communities {
+                    // Connectivity + membership.
+                    assert!(c.vertices.binary_search(&q).is_ok());
+                    assert!(pcs_graph::components::is_connected_subset(&g, &c.vertices));
+                    // Structure cohesiveness.
+                    for &v in &c.vertices {
+                        let deg = g
+                            .neighbors(v)
+                            .iter()
+                            .filter(|u| c.vertices.binary_search(u).is_ok())
+                            .count();
+                        assert!(deg >= k as usize, "q={q} k={k} v={v} deg={deg}");
+                    }
+                    // Reported subtree = actual maximal common subtree.
+                    let m = PTree::intersect_all(
+                        c.vertices.iter().map(|&v| &profiles[v as usize]),
+                    )
+                    .unwrap();
+                    assert_eq!(m, c.subtree, "q={q} k={k}");
+                }
+                // Profile cohesiveness: themes pairwise incomparable.
+                for a in &out.communities {
+                    for b in &out.communities {
+                        if a.subtree != b.subtree {
+                            assert!(!a.subtree.is_subtree_of(&b.subtree));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_gk_means_no_community() {
+        let (g, t, profiles) = figure1();
+        let ctx = QueryContext::new(&g, &t, &profiles).unwrap();
+        let out = ctx.query(2, 3, Algorithm::Basic).unwrap(); // C has core 2
+        assert!(out.communities.is_empty());
+        let out = ctx.query(0, 9, Algorithm::Basic).unwrap();
+        assert!(out.communities.is_empty());
+    }
+
+    #[test]
+    fn k_zero_returns_components_with_themes() {
+        let (g, t, profiles) = figure1();
+        let ctx = QueryContext::new(&g, &t, &profiles).unwrap();
+        let out = ctx.query(6, 0, Algorithm::Basic).unwrap();
+        assert!(!out.communities.is_empty());
+        for c in &out.communities {
+            assert!(c.vertices.contains(&6));
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (g, t, profiles) = figure1();
+        let ctx = QueryContext::new(&g, &t, &profiles).unwrap();
+        let out = ctx.query(3, 2, Algorithm::Basic).unwrap();
+        assert!(out.stats.subtrees_generated > 0);
+        assert!(out.stats.verifications > 0);
+        assert!(out.stats.feasible > 0);
+        assert_eq!(out.stats.query_tree_size, 7);
+        assert_eq!(out.subtree_sizes().len(), out.communities.len());
+    }
+}

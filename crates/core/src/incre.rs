@@ -1,0 +1,136 @@
+//! Algorithm 3 — the `incre` query.
+//!
+//! Same Apriori-style bottom-up enumeration as `basic`, but every
+//! verification narrows the parent's community instead of starting from
+//! `Gk`: by Lemma 3, `Gk[T] ⊆ Gk[T'] ∩ I.get(k, q, T \ T')`, so the
+//! localized peel runs on candidates already restricted by both the
+//! parent subtree and the freshly added label's k-ĉore from the CP-tree
+//! index.
+
+use std::rc::Rc;
+
+use pcs_graph::{FxHashMap, VertexId};
+use pcs_ptree::Subtree;
+
+use crate::problem::{PcsOutcome, QueryContext};
+use crate::verify::Verifier;
+use crate::Result;
+
+/// Runs Algorithm 3 for `(q, k)`. Requires an index in the context.
+pub fn query(ctx: &QueryContext<'_>, q: VertexId, k: u32) -> Result<PcsOutcome> {
+    debug_assert!(ctx.index.is_some(), "checked by QueryContext::query");
+    let space = ctx.space_for(q)?;
+    let mut ver = Verifier::new(ctx, &space, q, k);
+    let mut results: FxHashMap<Subtree, Rc<Vec<VertexId>>> = FxHashMap::default();
+
+    if let Some(gk) = ver.gk() {
+        // Line 3: Ψ initialized with the root-only subtree whose
+        // community is Gk itself.
+        let mut stack: Vec<(Subtree, Rc<Vec<VertexId>>)> = vec![(space.root_only(), gk)];
+        ver.note_generated(1);
+        // Lines 4-11.
+        while let Some((t_prime, community)) = stack.pop() {
+            let mut flag = true;
+            let extensions = space.rightmost_extensions(&t_prime);
+            ver.note_generated(extensions.len() as u64);
+            for pos in extensions {
+                let t = t_prime.with(pos);
+                // Line 8: Gk[T] from Gk[T'] ∩ I.get(k, q, T\T').
+                if let Some(sub) = ver.verify_from_base(&t, &community, pos) {
+                    flag = false;
+                    stack.push((t, sub));
+                }
+            }
+            if flag && ver.is_maximal_feasible(&t_prime) {
+                results.insert(t_prime, community);
+            }
+        }
+    }
+    Ok(crate::basic::assemble(ctx, &space, results, ver))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::problem::{Algorithm, QueryContext};
+    use pcs_graph::Graph;
+    use pcs_index::CpTree;
+    use pcs_ptree::{PTree, Taxonomy};
+
+    fn figure1() -> (Graph, Taxonomy, Vec<PTree>) {
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 3),
+                (0, 4),
+                (1, 3),
+                (1, 4),
+                (3, 4),
+                (1, 2),
+                (2, 3),
+                (4, 5),
+                (5, 6),
+                (5, 7),
+                (6, 7),
+            ],
+        )
+        .unwrap();
+        let mut t = Taxonomy::new("r");
+        let cm = t.add_child(0, "CM").unwrap();
+        let is = t.add_child(0, "IS").unwrap();
+        let hw = t.add_child(0, "HW").unwrap();
+        let ml = t.add_child(cm, "ML").unwrap();
+        let ai = t.add_child(cm, "AI").unwrap();
+        let dms = t.add_child(is, "DMS").unwrap();
+        let profiles = vec![
+            PTree::from_labels(&t, [dms, hw]).unwrap(),
+            PTree::from_labels(&t, [ml, ai]).unwrap(),
+            PTree::from_labels(&t, [ml, ai, is]).unwrap(),
+            PTree::from_labels(&t, [ml, ai, dms, hw]).unwrap(),
+            PTree::from_labels(&t, [dms, hw]).unwrap(),
+            PTree::from_labels(&t, [is, hw]).unwrap(),
+            PTree::from_labels(&t, [hw, cm]).unwrap(),
+            PTree::from_labels(&t, [is, hw]).unwrap(),
+        ];
+        (g, t, profiles)
+    }
+
+    #[test]
+    fn incre_equals_basic_on_paper_example() {
+        let (g, t, profiles) = figure1();
+        let index = CpTree::build(&g, &t, &profiles).unwrap();
+        let plain = QueryContext::new(&g, &t, &profiles).unwrap();
+        let indexed = QueryContext::new(&g, &t, &profiles).unwrap().with_index(&index);
+        for q in 0..8u32 {
+            for k in 0..=3u32 {
+                let a = plain.query(q, k, Algorithm::Basic).unwrap();
+                let b = indexed.query(q, k, Algorithm::Incre).unwrap();
+                assert_eq!(a.communities, b.communities, "q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn incre_paper_example_communities() {
+        let (g, t, profiles) = figure1();
+        let index = CpTree::build(&g, &t, &profiles).unwrap();
+        let ctx = QueryContext::new(&g, &t, &profiles).unwrap().with_index(&index);
+        let out = ctx.query(3, 2, Algorithm::Incre).unwrap();
+        let sets: Vec<Vec<u32>> = out.communities.iter().map(|c| c.vertices.clone()).collect();
+        assert!(sets.contains(&vec![1, 2, 3]));
+        assert!(sets.contains(&vec![0, 3, 4]));
+    }
+
+    #[test]
+    fn incre_restores_tq_from_headmap() {
+        // Even though the context also has the raw profiles, incre's
+        // space comes from the index headMap — they must agree.
+        let (g, t, profiles) = figure1();
+        let index = CpTree::build(&g, &t, &profiles).unwrap();
+        let ctx = QueryContext::new(&g, &t, &profiles).unwrap().with_index(&index);
+        for q in 0..8u32 {
+            let space = ctx.space_for(q).unwrap();
+            assert_eq!(space.len(), profiles[q as usize].len());
+        }
+    }
+}

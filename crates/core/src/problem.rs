@@ -1,0 +1,287 @@
+//! Problem definition, query context, and result types.
+
+use pcs_graph::core::CoreDecomposition;
+use pcs_graph::{Graph, VertexId};
+use pcs_index::CpTree;
+use pcs_ptree::{PTree, QuerySpace, Taxonomy};
+
+use crate::advanced::FindStrategy;
+use crate::Result;
+
+/// Errors surfaced by PCS queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcsError {
+    /// The query vertex does not exist in the graph.
+    QueryVertexOutOfRange {
+        /// Offending vertex id.
+        vertex: VertexId,
+        /// Vertices in the graph.
+        n: usize,
+    },
+    /// The number of profiles differs from the number of vertices.
+    ProfileCountMismatch {
+        /// Vertices in the graph.
+        vertices: usize,
+        /// Profiles supplied.
+        profiles: usize,
+    },
+    /// An index-based algorithm was requested but the context holds no
+    /// CP-tree (call [`QueryContext::with_index`] first).
+    IndexRequired(&'static str),
+    /// An index error bubbled up during construction.
+    Index(pcs_index::IndexError),
+}
+
+impl std::fmt::Display for PcsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcsError::QueryVertexOutOfRange { vertex, n } => {
+                write!(f, "query vertex {vertex} out of range for graph with {n} vertices")
+            }
+            PcsError::ProfileCountMismatch { vertices, profiles } => write!(
+                f,
+                "graph has {vertices} vertices but {profiles} profiles were supplied"
+            ),
+            PcsError::IndexRequired(a) => {
+                write!(f, "algorithm {a} requires a CP-tree index; call with_index()")
+            }
+            PcsError::Index(e) => write!(f, "index error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PcsError {}
+
+impl From<pcs_index::IndexError> for PcsError {
+    fn from(e: pcs_index::IndexError) -> Self {
+        PcsError::Index(e)
+    }
+}
+
+/// Which PCS algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Algorithm 1: index-free bottom-up enumeration.
+    Basic,
+    /// Algorithm 3: index-based incremental enumeration.
+    Incre,
+    /// Algorithm 8 seeded by `find-I` (Algorithm 5).
+    AdvI,
+    /// Algorithm 8 seeded by `find-D` (Algorithm 6).
+    AdvD,
+    /// Algorithm 8 seeded by `find-P` (Algorithm 7).
+    AdvP,
+}
+
+impl Algorithm {
+    /// All five algorithms, in the paper's order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Basic,
+        Algorithm::Incre,
+        Algorithm::AdvI,
+        Algorithm::AdvD,
+        Algorithm::AdvP,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Basic => "basic",
+            Algorithm::Incre => "incre",
+            Algorithm::AdvI => "adv-I",
+            Algorithm::AdvD => "adv-D",
+            Algorithm::AdvP => "adv-P",
+        }
+    }
+
+    /// True when the algorithm needs a CP-tree index.
+    pub fn needs_index(self) -> bool {
+        !matches!(self, Algorithm::Basic)
+    }
+}
+
+/// One profiled community: the paper's `Gk[T]` with its theme subtree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfiledCommunity {
+    /// The maximal common subtree `M(Gq)` of all member P-trees.
+    pub subtree: PTree,
+    /// Sorted member vertices.
+    pub vertices: Vec<VertexId>,
+}
+
+impl ProfiledCommunity {
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Communities always contain at least the query vertex.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+}
+
+/// Instrumentation collected during a query (drives the paper's
+/// search-effort discussion and Table 3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Subtree candidates generated.
+    pub subtrees_generated: u64,
+    /// Community verifications executed (localized k-core peels).
+    pub verifications: u64,
+    /// Verifications answered from the memo instead of re-peeling.
+    pub memo_hits: u64,
+    /// Candidates found feasible.
+    pub feasible: u64,
+    /// Size of the query's P-tree, `|T(q)|`.
+    pub query_tree_size: u32,
+}
+
+/// The result of one PCS query.
+#[derive(Clone, Debug)]
+pub struct PcsOutcome {
+    /// All profiled communities (one per maximal feasible subtree),
+    /// sorted by theme subtree for determinism.
+    pub communities: Vec<ProfiledCommunity>,
+    /// Search-effort instrumentation.
+    pub stats: QueryStats,
+}
+
+impl PcsOutcome {
+    /// Maximal-common-subtree sizes of all communities.
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        self.communities.iter().map(|c| c.subtree.len()).collect()
+    }
+}
+
+/// Everything a query needs: the profiled graph plus (optionally) its
+/// CP-tree index and the precomputed global core decomposition.
+pub struct QueryContext<'a> {
+    /// The host graph.
+    pub graph: &'a Graph,
+    /// The GP-tree.
+    pub tax: &'a Taxonomy,
+    /// Per-vertex P-trees (`profiles[v] = T(v)`).
+    pub profiles: &'a [PTree],
+    /// Optional CP-tree index (required by every algorithm but `basic`).
+    pub index: Option<&'a CpTree>,
+    /// Core numbers of the whole graph (used by `basic`'s `Gk`).
+    pub cores: CoreDecomposition,
+}
+
+impl<'a> QueryContext<'a> {
+    /// Creates a context without an index (only `basic` will run).
+    pub fn new(graph: &'a Graph, tax: &'a Taxonomy, profiles: &'a [PTree]) -> Result<Self> {
+        if graph.num_vertices() != profiles.len() {
+            return Err(PcsError::ProfileCountMismatch {
+                vertices: graph.num_vertices(),
+                profiles: profiles.len(),
+            });
+        }
+        Ok(QueryContext {
+            graph,
+            tax,
+            profiles,
+            index: None,
+            cores: CoreDecomposition::new(graph),
+        })
+    }
+
+    /// Attaches a prebuilt CP-tree index.
+    pub fn with_index(mut self, index: &'a CpTree) -> Self {
+        self.index = Some(index);
+        self
+    }
+
+    /// Builds the query search space for vertex `q` (its P-tree frozen
+    /// in DFS preorder).
+    pub fn space_for(&self, q: VertexId) -> Result<QuerySpace> {
+        if q as usize >= self.graph.num_vertices() {
+            return Err(PcsError::QueryVertexOutOfRange { vertex: q, n: self.graph.num_vertices() });
+        }
+        // `incre`/advanced restore T(q) through the index headMap (the
+        // paper's line "restore T(q) using I.headMap"); without an index
+        // the profile array is used directly. Both yield the same tree.
+        let tq = match self.index {
+            Some(idx) => idx.restore_ptree(self.tax, q),
+            None => self.profiles[q as usize].clone(),
+        };
+        QuerySpace::new(self.tax, &tq).map_err(|_| PcsError::QueryVertexOutOfRange {
+            vertex: q,
+            n: self.graph.num_vertices(),
+        })
+    }
+
+    /// Runs one PCS query with the chosen algorithm.
+    pub fn query(&self, q: VertexId, k: u32, algorithm: Algorithm) -> Result<PcsOutcome> {
+        if algorithm.needs_index() && self.index.is_none() {
+            return Err(PcsError::IndexRequired(algorithm.name()));
+        }
+        match algorithm {
+            Algorithm::Basic => crate::basic::query(self, q, k),
+            Algorithm::Incre => crate::incre::query(self, q, k),
+            Algorithm::AdvI => crate::advanced::query(self, q, k, FindStrategy::Incremental),
+            Algorithm::AdvD => crate::advanced::query(self, q, k, FindStrategy::Decremental),
+            Algorithm::AdvP => crate::advanced::query(self, q, k, FindStrategy::Path),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_ptree::Taxonomy;
+
+    #[test]
+    fn algorithm_metadata() {
+        assert_eq!(Algorithm::ALL.len(), 5);
+        assert_eq!(Algorithm::Basic.name(), "basic");
+        assert!(!Algorithm::Basic.needs_index());
+        for a in [Algorithm::Incre, Algorithm::AdvI, Algorithm::AdvD, Algorithm::AdvP] {
+            assert!(a.needs_index());
+        }
+    }
+
+    #[test]
+    fn context_validates_profile_count() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let tax = Taxonomy::new("r");
+        let profiles = vec![PTree::root_only()];
+        assert!(matches!(
+            QueryContext::new(&g, &tax, &profiles),
+            Err(PcsError::ProfileCountMismatch { vertices: 2, profiles: 1 })
+        ));
+    }
+
+    #[test]
+    fn index_required_error() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let tax = Taxonomy::new("r");
+        let profiles = vec![PTree::root_only(), PTree::root_only()];
+        let ctx = QueryContext::new(&g, &tax, &profiles).unwrap();
+        assert!(matches!(
+            ctx.query(0, 1, Algorithm::Incre),
+            Err(PcsError::IndexRequired("incre"))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_query_vertex() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let tax = Taxonomy::new("r");
+        let profiles = vec![PTree::root_only(), PTree::root_only()];
+        let ctx = QueryContext::new(&g, &tax, &profiles).unwrap();
+        assert!(matches!(
+            ctx.query(9, 1, Algorithm::Basic),
+            Err(PcsError::QueryVertexOutOfRange { vertex: 9, n: 2 })
+        ));
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = PcsError::IndexRequired("adv-P");
+        assert!(e.to_string().contains("adv-P"));
+        let e = PcsError::QueryVertexOutOfRange { vertex: 3, n: 2 };
+        assert!(e.to_string().contains('3'));
+    }
+}

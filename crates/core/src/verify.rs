@@ -1,0 +1,439 @@
+//! The shared, memoized community-verification engine.
+//!
+//! Every PCS algorithm ultimately asks one question over and over: given
+//! a candidate subtree `T ⊆ T(q)`, does `Gk[T]` — the connected k-core
+//! containing `q` restricted to vertices whose P-trees contain `T` —
+//! exist, and what are its vertices? This module centralizes that
+//! question with:
+//!
+//! * a **memo table** keyed by candidate bitsets (`Gk[T]` is a pure
+//!   function of `T`, so `basic`'s re-verification, `incre`'s
+//!   incremental narrowing, and the MARGIN walk all share results);
+//! * **lazy vertex masks**: each touched vertex's profile is projected
+//!   once onto `T(q)`'s bit positions, turning "does `T(v)` contain `T`"
+//!   into a word-wise subset test (Lemma 3's filter);
+//! * the allocation-free localized k-core peel from `pcs-graph`
+//!   ([`pcs_graph::SubsetCore`]).
+//!
+//! Candidate seeding follows the paper:
+//! * without an index (`basic`): candidates = `Gk` (the global k-ĉore
+//!   of `q`) filtered by the mask test — Algorithm 1's "compute `Gk[T]`
+//!   from `Gk`";
+//! * with an index and a parent community (`incre`): candidates =
+//!   `Gk[T'] ∩ I.get(k, q, t)` where `t` is the newly added label —
+//!   Lemma 3;
+//! * with an index and no parent (`advanced`'s `verifyPtree`):
+//!   candidates = `I.get(k, q, leaf)` for the most selective leaf of
+//!   `T`, filtered by the mask test — the `⋂ I.get(k,q,tni)` bound.
+
+use std::rc::Rc;
+
+use pcs_graph::core::SubsetCore;
+use pcs_graph::{FxHashMap, VertexId};
+use pcs_ptree::{QuerySpace, Subtree};
+
+use crate::problem::{QueryContext, QueryStats};
+
+/// A verification answer: `None` ⇔ infeasible, otherwise the sorted
+/// community vertices (shared, since the memo and callers both hold
+/// them).
+pub type Community = Option<Rc<Vec<VertexId>>>;
+
+/// Memoized `Gk[T]` oracle for one query `(q, k)`.
+pub struct Verifier<'a> {
+    ctx: &'a QueryContext<'a>,
+    space: &'a QuerySpace,
+    q: VertexId,
+    k: u32,
+    core: SubsetCore,
+    memo: FxHashMap<Subtree, Community>,
+    masks: Vec<Option<Subtree>>,
+    /// `Gk`: the global k-ĉore containing `q` (feasibility of the
+    /// root-only candidate — and of the empty tree).
+    gk: Community,
+    /// Instrumentation counters.
+    pub stats: QueryStats,
+}
+
+impl<'a> Verifier<'a> {
+    /// Creates the oracle and computes `Gk` once.
+    pub fn new(ctx: &'a QueryContext<'a>, space: &'a QuerySpace, q: VertexId, k: u32) -> Self {
+        let gk = ctx.cores.kcore_component(ctx.graph, q, k).map(Rc::new);
+        let stats = QueryStats { query_tree_size: space.len() as u32, ..Default::default() };
+        Verifier {
+            ctx,
+            space,
+            q,
+            k,
+            core: SubsetCore::new(ctx.graph.num_vertices()),
+            memo: FxHashMap::default(),
+            masks: vec![None; ctx.graph.num_vertices()],
+            gk,
+            stats,
+        }
+    }
+
+    /// The query vertex.
+    pub fn q(&self) -> VertexId {
+        self.q
+    }
+
+    /// The degree bound.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The frozen search space.
+    pub fn space(&self) -> &QuerySpace {
+        self.space
+    }
+
+    /// The global k-ĉore `Gk` of the query vertex (the community of the
+    /// empty and root-only candidates), if it exists.
+    pub fn gk(&self) -> Community {
+        self.gk.clone()
+    }
+
+    /// Projection of `T(v)` onto the query space, computed lazily.
+    fn mask_of(&mut self, v: VertexId) -> &Subtree {
+        if self.masks[v as usize].is_none() {
+            let profile = &self.ctx.profiles[v as usize];
+            let mut m = self.space.empty();
+            for pos in 0..self.space.len() as u32 {
+                if profile.contains(self.space.label_at(pos)) {
+                    m = m.with(pos);
+                }
+            }
+            self.masks[v as usize] = Some(m);
+        }
+        self.masks[v as usize].as_ref().unwrap()
+    }
+
+    /// True when vertex `v`'s profile contains candidate `s`.
+    pub fn vertex_contains(&mut self, v: VertexId, s: &Subtree) -> bool {
+        s.is_subset_of(self.mask_of(v))
+    }
+
+    fn peel(&mut self, candidates: &[VertexId]) -> Community {
+        self.stats.verifications += 1;
+        self.core
+            .kcore_component_within(self.ctx.graph, candidates, self.q, self.k)
+            .map(Rc::new)
+    }
+
+    /// `Gk[T]` with automatic candidate seeding (memoized).
+    pub fn verify(&mut self, s: &Subtree) -> Community {
+        if s.is_empty() || s.count() == 1 {
+            // The empty tree and the root-only tree constrain nothing:
+            // every vertex contains the taxonomy root.
+            return self.gk.clone();
+        }
+        if let Some(hit) = self.memo.get(s) {
+            self.stats.memo_hits += 1;
+            return hit.clone();
+        }
+        let candidates: Vec<VertexId> = match self.ctx.index {
+            Some(index) => {
+                // Most selective leaf of `s` (Lemma 3 / verifyPtree):
+                // its label's k-ĉore already satisfies the path part of
+                // `s`; the mask test enforces the rest.
+                let leaf = self
+                    .space
+                    .leaves(s)
+                    .into_iter()
+                    .min_by_key(|&p| index.vertices_with_label(self.space.label_at(p)).len())
+                    .expect("non-empty candidate has a leaf");
+                let seed = match index.get(self.k, self.q, self.space.label_at(leaf)) {
+                    Some(seed) => seed,
+                    None => {
+                        self.memo.insert(s.clone(), None);
+                        return None;
+                    }
+                };
+                self.filter_by_mask(seed, s)
+            }
+            None => {
+                // Algorithm 1: start from the global k-ĉore.
+                let Some(gk) = self.gk.clone() else {
+                    self.memo.insert(s.clone(), None);
+                    return None;
+                };
+                self.filter_by_mask(gk.as_ref().clone(), s)
+            }
+        };
+        let result = self.peel(&candidates);
+        if result.is_some() {
+            self.stats.feasible += 1;
+        }
+        self.memo.insert(s.clone(), result.clone());
+        result
+    }
+
+    /// `Gk[T]` computed by narrowing a known parent community
+    /// (`incre`'s Lemma 3 step): candidates = `base ∩ I.get(k,q,t)`
+    /// where `t` is the label at the freshly added position. Falls back
+    /// to the memo when the answer is already known.
+    pub fn verify_from_base(
+        &mut self,
+        s: &Subtree,
+        base: &Rc<Vec<VertexId>>,
+        added_pos: u32,
+    ) -> Community {
+        if let Some(hit) = self.memo.get(s) {
+            self.stats.memo_hits += 1;
+            return hit.clone();
+        }
+        let index = self
+            .ctx
+            .index
+            .expect("verify_from_base is only used by index-based algorithms");
+        let label = self.space.label_at(added_pos);
+        let seed = match index.get(self.k, self.q, label) {
+            Some(seed) => seed,
+            None => {
+                self.memo.insert(s.clone(), None);
+                return None;
+            }
+        };
+        let candidates = intersect_sorted(base, &seed);
+        let result = self.peel(&candidates);
+        if result.is_some() {
+            self.stats.feasible += 1;
+        }
+        self.memo.insert(s.clone(), result.clone());
+        result
+    }
+
+    fn filter_by_mask(&mut self, seed: Vec<VertexId>, s: &Subtree) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(seed.len());
+        for v in seed {
+            if self.vertex_contains(v, s) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Feasibility shorthand.
+    pub fn is_feasible(&mut self, s: &Subtree) -> bool {
+        self.verify(s).is_some()
+    }
+
+    /// True when `s` is feasible and every lattice child is infeasible —
+    /// the paper's "T′ is maximal" check.
+    pub fn is_maximal_feasible(&mut self, s: &Subtree) -> bool {
+        if !self.is_feasible(s) {
+            return false;
+        }
+        let children = self.space.lattice_children(s);
+        children.into_iter().all(|p| {
+            let child = s.with(p);
+            self.stats.subtrees_generated += 1;
+            !self.is_feasible(&child)
+        })
+    }
+
+    /// Count one generated candidate (enumeration bookkeeping).
+    pub fn note_generated(&mut self, n: u64) {
+        self.stats.subtrees_generated += n;
+    }
+}
+
+/// Intersection of two sorted vertex lists.
+pub fn intersect_sorted(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::QueryContext;
+    use pcs_graph::Graph;
+    use pcs_index::CpTree;
+    use pcs_ptree::{PTree, Taxonomy};
+
+    fn setup() -> (Graph, Taxonomy, Vec<PTree>) {
+        // Fig. 1(a) again: the canonical 8-vertex example.
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 3),
+                (0, 4),
+                (1, 3),
+                (1, 4),
+                (3, 4),
+                (1, 2),
+                (2, 3),
+                (4, 5),
+                (5, 6),
+                (5, 7),
+                (6, 7),
+            ],
+        )
+        .unwrap();
+        let mut t = Taxonomy::new("r");
+        let cm = t.add_child(0, "CM").unwrap();
+        let is = t.add_child(0, "IS").unwrap();
+        let hw = t.add_child(0, "HW").unwrap();
+        let ml = t.add_child(cm, "ML").unwrap();
+        let ai = t.add_child(cm, "AI").unwrap();
+        let dms = t.add_child(is, "DMS").unwrap();
+        let profiles = vec![
+            PTree::from_labels(&t, [dms, hw]).unwrap(),
+            PTree::from_labels(&t, [ml, ai]).unwrap(),
+            PTree::from_labels(&t, [ml, ai, is]).unwrap(),
+            PTree::from_labels(&t, [ml, ai, dms, hw]).unwrap(),
+            PTree::from_labels(&t, [dms, hw]).unwrap(),
+            PTree::from_labels(&t, [is, hw]).unwrap(),
+            PTree::from_labels(&t, [hw, cm]).unwrap(),
+            PTree::from_labels(&t, [is, hw]).unwrap(),
+        ];
+        (g, t, profiles)
+    }
+
+    #[test]
+    fn intersect_sorted_works() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), vec![3, 7]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[1, 2], &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn verifier_matches_bruteforce_with_and_without_index() {
+        let (g, t, profiles) = setup();
+        let index = CpTree::build(&g, &t, &profiles).unwrap();
+        for use_index in [false, true] {
+            let ctx = QueryContext::new(&g, &t, &profiles).unwrap();
+            let ctx = if use_index { ctx.with_index(&index) } else { ctx };
+            for q in [3u32, 0, 5] {
+                for k in 1..=3u32 {
+                    let space = ctx.space_for(q).unwrap();
+                    let mut ver = Verifier::new(&ctx, &space, q, k);
+                    // Brute force every valid candidate.
+                    let all = pcs_ptree::enumerate::enumerate_rooted_subtrees(&space);
+                    for s in &all {
+                        let expect = brute_gk(&g, &profiles, &space, s, q, k);
+                        let got = ver.verify(s).map(|rc| rc.as_ref().clone());
+                        assert_eq!(got, expect, "use_index={use_index} q={q} k={k}");
+                        // Second call hits the memo and agrees.
+                        let again = ver.verify(s).map(|rc| rc.as_ref().clone());
+                        assert_eq!(again, expect);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reference implementation: filter all vertices, peel naively.
+    fn brute_gk(
+        g: &Graph,
+        profiles: &[PTree],
+        space: &QuerySpace,
+        s: &Subtree,
+        q: VertexId,
+        k: u32,
+    ) -> Option<Vec<VertexId>> {
+        let want = space.to_ptree(s);
+        let cands: Vec<VertexId> = (0..g.num_vertices() as u32)
+            .filter(|&v| want.is_subtree_of(&profiles[v as usize]))
+            .collect();
+        let mut sc = SubsetCore::new(g.num_vertices());
+        sc.kcore_component_within(g, &cands, q, k)
+    }
+
+    #[test]
+    fn verify_from_base_agrees_with_direct() {
+        let (g, t, profiles) = setup();
+        let index = CpTree::build(&g, &t, &profiles).unwrap();
+        let ctx = QueryContext::new(&g, &t, &profiles).unwrap().with_index(&index);
+        let q = 3u32;
+        let k = 2;
+        let space = ctx.space_for(q).unwrap();
+        let mut direct = Verifier::new(&ctx, &space, q, k);
+        let mut incr = Verifier::new(&ctx, &space, q, k);
+        // Walk rightmost extensions, comparing incremental narrowing
+        // against direct verification at every step.
+        let mut stack = vec![(space.root_only(), incr.gk())];
+        while let Some((s, community)) = stack.pop() {
+            let Some(base) = community else { continue };
+            for p in space.rightmost_extensions(&s) {
+                let child = s.with(p);
+                let via_base = incr.verify_from_base(&child, &base, p);
+                let via_direct = direct.verify(&child);
+                assert_eq!(
+                    via_base.as_ref().map(|r| r.as_ref()),
+                    via_direct.as_ref().map(|r| r.as_ref())
+                );
+                stack.push((child, via_base));
+            }
+        }
+    }
+
+    #[test]
+    fn maximality_check() {
+        let (g, t, profiles) = setup();
+        let ctx = QueryContext::new(&g, &t, &profiles).unwrap();
+        let q = 3u32;
+        let space = ctx.space_for(q).unwrap();
+        let mut ver = Verifier::new(&ctx, &space, q, 2);
+        // Fig. 2(b): {B,C,D} share r->CM->{ML,AI}; that candidate is
+        // feasible and maximal at k=2.
+        let cm = space.position_of(t.id_of("CM").unwrap()).unwrap();
+        let ml = space.position_of(t.id_of("ML").unwrap()).unwrap();
+        let ai = space.position_of(t.id_of("AI").unwrap()).unwrap();
+        let cand = space.closure([cm, ml, ai]);
+        assert!(ver.is_feasible(&cand));
+        assert!(ver.is_maximal_feasible(&cand));
+        assert_eq!(
+            ver.verify(&cand).unwrap().as_ref(),
+            &vec![1, 2, 3] // B, C, D
+        );
+        // The root-only candidate is feasible but NOT maximal.
+        assert!(ver.is_feasible(&space.root_only()));
+        assert!(!ver.is_maximal_feasible(&space.root_only()));
+    }
+
+    #[test]
+    fn infeasible_when_gk_missing() {
+        let (g, t, profiles) = setup();
+        let ctx = QueryContext::new(&g, &t, &profiles).unwrap();
+        let space = ctx.space_for(2).unwrap();
+        // Vertex C has core 2; k=3 leaves no Gk.
+        let mut ver = Verifier::new(&ctx, &space, 2, 3);
+        assert!(ver.gk().is_none());
+        assert!(!ver.is_feasible(&space.root_only()));
+        assert!(!ver.is_feasible(&space.full()));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (g, t, profiles) = setup();
+        let ctx = QueryContext::new(&g, &t, &profiles).unwrap();
+        let space = ctx.space_for(3).unwrap();
+        let mut ver = Verifier::new(&ctx, &space, 3, 2);
+        let full = space.full();
+        let _ = ver.verify(&full);
+        let _ = ver.verify(&full);
+        assert_eq!(ver.stats.verifications, 1);
+        assert_eq!(ver.stats.memo_hits, 1);
+        ver.note_generated(3);
+        assert_eq!(ver.stats.subtrees_generated, 3);
+        assert_eq!(ver.stats.query_tree_size, space.len() as u32);
+    }
+
+    use pcs_graph::core::SubsetCore;
+}

@@ -1,0 +1,369 @@
+//! The community-structured profiled-graph generator.
+//!
+//! Produces graphs whose communities *mean something in profile space*:
+//! vertices are assigned to overlapping planted groups, each group gets
+//! a **theme** — a random subtree of the taxonomy — and members' P-trees
+//! are their groups' themes plus individual noise paths. Intra-group
+//! edge probability is derived from the target average degree. The
+//! result is exactly the regime PCS is designed for: k-cores whose
+//! members share non-trivial subtrees, embedded in a sparse background.
+
+use pcs_graph::{gen as ggen, Graph, GraphBuilder, VertexId};
+use pcs_ptree::{LabelId, PTree, Taxonomy};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters for one synthetic profiled graph.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Display name (e.g. "ACMDL-like").
+    pub name: String,
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Target average degree `d̂` (Table 2).
+    pub avg_degree: f64,
+    /// Target average P-tree size `P̂` (Table 2).
+    pub avg_ptree: f64,
+    /// Average planted-group size.
+    pub group_size: usize,
+    /// Average group memberships per vertex (≥ 1; the fractional part
+    /// is the probability of a second membership).
+    pub groups_per_vertex: f64,
+    /// Fraction of a member's degree that goes to group mates (the rest
+    /// is background noise edges).
+    pub intra_fraction: f64,
+    /// Fraction of the group theme's size relative to `avg_ptree`.
+    pub theme_fraction: f64,
+    /// RNG seed — everything downstream is deterministic in this.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// A reasonable default spec for tests and examples.
+    pub fn small(name: &str, vertices: usize, seed: u64) -> Self {
+        DatasetSpec {
+            name: name.to_owned(),
+            vertices,
+            avg_degree: 13.0,
+            avg_ptree: 12.0,
+            group_size: 24,
+            groups_per_vertex: 1.3,
+            intra_fraction: 0.75,
+            theme_fraction: 0.5,
+            seed,
+        }
+    }
+}
+
+/// A fully materialized profiled graph with optional ground truth.
+#[derive(Clone, Debug)]
+pub struct ProfiledDataset {
+    /// Display name.
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+    /// The GP-tree.
+    pub tax: Taxonomy,
+    /// Per-vertex P-trees.
+    pub profiles: Vec<PTree>,
+    /// Planted groups (ground-truth communities), when generated.
+    pub groups: Vec<Vec<VertexId>>,
+}
+
+impl ProfiledDataset {
+    /// Average P-tree size `P̂`.
+    pub fn avg_ptree_size(&self) -> f64 {
+        if self.profiles.is_empty() {
+            return 0.0;
+        }
+        self.profiles.iter().map(|p| p.len()).sum::<usize>() as f64 / self.profiles.len() as f64
+    }
+
+    /// One Table 2 row: name, |V|, |E|, d̂, P̂, |GP-tree|.
+    pub fn table2_row(&self) -> (String, usize, usize, f64, f64, usize) {
+        (
+            self.name.clone(),
+            self.graph.num_vertices(),
+            self.graph.num_edges(),
+            self.graph.avg_degree(),
+            self.avg_ptree_size(),
+            self.tax.len(),
+        )
+    }
+}
+
+/// A random P-tree over `tax` with roughly `target` nodes, built by
+/// unioning root-to-leaf paths of random taxonomy nodes. The closed
+/// size is tracked exactly, so the result has `target` ± one-path
+/// nodes.
+pub fn random_ptree(tax: &Taxonomy, target: usize, rng: &mut SmallRng) -> PTree {
+    grow_profile(tax, std::iter::once(Taxonomy::ROOT), target, &[], rng)
+}
+
+/// Extends `theme` with noise paths (drawn near `anchor_pool`) until
+/// the profile reaches roughly `target` nodes.
+fn profile_around_theme(
+    tax: &Taxonomy,
+    theme: &PTree,
+    target: usize,
+    anchor_pool: &[LabelId],
+    rng: &mut SmallRng,
+) -> PTree {
+    grow_profile(tax, theme.nodes().iter().copied(), target, anchor_pool, rng)
+}
+
+/// Shared growth loop: start from a closed seed set and add taxonomy
+/// nodes (with their ancestor paths) until the closed set reaches
+/// `target` nodes.
+///
+/// Additions are concentrated into a handful of **interest areas**
+/// (random anchor nodes whose subtrees supply all picks, via a short
+/// random walk down). Real profiles — an author's CCS subjects, a
+/// user's tagged topics — cluster in a few branches rather than
+/// spraying the whole taxonomy; without this concentration, shallow
+/// one-label overlaps between unrelated vertices dominate the feasible
+/// themes and the Table 3 level distribution collapses to level 1.
+fn grow_profile(
+    tax: &Taxonomy,
+    seed_nodes: impl IntoIterator<Item = LabelId>,
+    target: usize,
+    anchor_pool: &[LabelId],
+    rng: &mut SmallRng,
+) -> PTree {
+    let mut have: pcs_graph::FxHashSet<LabelId> = seed_nodes.into_iter().collect();
+    have.insert(Taxonomy::ROOT);
+    // Interest anchors come from the supplied pool (group-correlated
+    // noise) when available, topped up with one personal area.
+    let want_anchors = (target / 8).clamp(1, 3);
+    let mut anchors: Vec<LabelId> = Vec::with_capacity(want_anchors + 1);
+    if !anchor_pool.is_empty() {
+        for _ in 0..want_anchors {
+            anchors.push(anchor_pool[rng.gen_range(0..anchor_pool.len())]);
+        }
+    }
+    while anchors.len() < want_anchors + usize::from(!anchor_pool.is_empty()) {
+        anchors.push(rng.gen_range(0..tax.len() as u32));
+    }
+    let mut stall = 0usize;
+    let mut guard = 0usize;
+    while have.len() < target && guard < 8 * target + 32 {
+        // Random walk down from a random anchor.
+        let mut cur = anchors[rng.gen_range(0..anchors.len())];
+        while !tax.children(cur).is_empty() && rng.gen_bool(0.75) {
+            let kids = tax.children(cur);
+            cur = kids[rng.gen_range(0..kids.len())];
+        }
+        let before = have.len();
+        for a in tax.ancestors_inclusive(cur) {
+            if !have.insert(a) {
+                break; // the rest of the path is already present
+            }
+        }
+        // A saturated interest area stops contributing; open a new one.
+        if have.len() == before {
+            stall += 1;
+            if stall > 8 {
+                anchors.push(rng.gen_range(0..tax.len() as u32));
+                stall = 0;
+            }
+        } else {
+            stall = 0;
+        }
+        guard += 1;
+    }
+    PTree::from_labels(tax, have.into_iter().filter(|&l| l != Taxonomy::ROOT))
+        .expect("labels drawn from tax")
+}
+
+/// Generates a dataset from a spec and a prebuilt taxonomy.
+pub fn generate(spec: &DatasetSpec, tax: Taxonomy) -> ProfiledDataset {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let n = spec.vertices;
+    assert!(n > 0, "dataset needs vertices");
+
+    // --- Group memberships -------------------------------------------------
+    let num_groups = ((n as f64 * spec.groups_per_vertex) / spec.group_size as f64)
+        .ceil()
+        .max(1.0) as usize;
+    let mut memberships: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let extra_p = (spec.groups_per_vertex - 1.0).clamp(0.0, 1.0);
+    for m in memberships.iter_mut() {
+        let first = rng.gen_range(0..num_groups as u32);
+        m.push(first);
+        if rng.gen_bool(extra_p) {
+            let second = rng.gen_range(0..num_groups as u32);
+            if second != first {
+                m.push(second);
+            }
+        }
+    }
+    let mut groups: Vec<Vec<VertexId>> = vec![Vec::new(); num_groups];
+    for (v, ms) in memberships.iter().enumerate() {
+        for &g in ms {
+            groups[g as usize].push(v as VertexId);
+        }
+    }
+
+    // --- Edges --------------------------------------------------------------
+    // Within a group of size s, p_in is chosen so a member gains about
+    // `intra_fraction · d̂ / groups_per_vertex` intra edges.
+    let mut builder = GraphBuilder::new(n);
+    let target_intra = spec.avg_degree * spec.intra_fraction / spec.groups_per_vertex;
+    for group in &groups {
+        let s = group.len();
+        if s < 2 {
+            continue;
+        }
+        let p_in = (target_intra / (s as f64 - 1.0)).clamp(0.0, 1.0);
+        for i in 0..s {
+            for j in (i + 1)..s {
+                if rng.gen_bool(p_in) {
+                    builder.add_edge(group[i], group[j]);
+                }
+            }
+        }
+    }
+    // Background edges to reach the degree target, preferential-ish by
+    // pairing uniform endpoints (hubs arise from group overlap).
+    let m_target = (n as f64 * spec.avg_degree / 2.0) as usize;
+    let m_now = builder.num_edges_raw();
+    for _ in m_now..m_target {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a != b {
+            builder.add_edge(a, b);
+        }
+    }
+    let graph = ggen::connectify(&builder.build(), spec.seed ^ 0x5eed);
+
+    // --- Profiles -----------------------------------------------------------
+    let theme_target = ((spec.avg_ptree * spec.theme_fraction) as usize).max(2);
+    let themes: Vec<PTree> = (0..num_groups)
+        .map(|_| random_ptree(&tax, theme_target, &mut rng))
+        .collect();
+    // Each group also gets a pool of "interest areas" its members draw
+    // noise from, so noise overlaps deeply *within* communities (as it
+    // does for real co-authors) instead of only at top levels.
+    let anchor_pools: Vec<Vec<LabelId>> = themes
+        .iter()
+        .map(|theme| {
+            let mut pool = theme.leaves(&tax);
+            pool.push(rng.gen_range(0..tax.len() as u32));
+            pool
+        })
+        .collect();
+    let profiles: Vec<PTree> = memberships
+        .iter()
+        .map(|ms| {
+            let mut theme = PTree::root_only();
+            let mut pool: Vec<LabelId> = Vec::new();
+            for &g in ms {
+                theme = theme.union(&themes[g as usize]);
+                pool.extend_from_slice(&anchor_pools[g as usize]);
+            }
+            // Per-vertex size jitter around P̂.
+            let jitter = rng.gen_range(0.75..1.25);
+            let target = ((spec.avg_ptree * jitter) as usize).max(theme.len());
+            profile_around_theme(&tax, &theme, target, &pool, &mut rng)
+        })
+        .collect();
+
+    for g in &mut groups {
+        g.sort_unstable();
+        g.dedup();
+    }
+
+    ProfiledDataset { name: spec.name.clone(), graph, tax, profiles, groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::random_taxonomy;
+
+    fn small() -> ProfiledDataset {
+        let tax = random_taxonomy(300, 5, 10, 9);
+        generate(&DatasetSpec::small("test", 600, 42), tax)
+    }
+
+    #[test]
+    fn statistics_near_targets() {
+        let ds = small();
+        assert_eq!(ds.graph.num_vertices(), 600);
+        let d = ds.graph.avg_degree();
+        assert!((d - 13.0).abs() < 3.0, "avg degree {d}");
+        let p = ds.avg_ptree_size();
+        assert!((p - 12.0).abs() < 4.0, "avg ptree {p}");
+        // Connected by construction.
+        let (_, comps) = pcs_graph::connected_components(&ds.graph);
+        assert_eq!(comps, 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&DatasetSpec::small("a", 200, 7), random_taxonomy(100, 4, 8, 1));
+        let b = generate(&DatasetSpec::small("a", 200, 7), random_taxonomy(100, 4, 8, 1));
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.profiles, b.profiles);
+        let c = generate(&DatasetSpec::small("a", 200, 8), random_taxonomy(100, 4, 8, 1));
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn groups_cover_vertices_and_share_themes() {
+        let ds = small();
+        assert!(!ds.groups.is_empty());
+        // Every group member's profile contains the group's common
+        // theme... at least the theme intersected over members is
+        // non-trivial for most groups.
+        let mut nontrivial = 0;
+        for g in &ds.groups {
+            if g.len() < 3 {
+                continue;
+            }
+            let m = PTree::intersect_all(g.iter().map(|&v| &ds.profiles[v as usize])).unwrap();
+            if m.len() > 1 {
+                nontrivial += 1;
+            }
+        }
+        assert!(
+            nontrivial * 2 > ds.groups.len(),
+            "most groups should share a theme: {nontrivial}/{}",
+            ds.groups.len()
+        );
+    }
+
+    #[test]
+    fn six_core_exists_for_query_sampling() {
+        let ds = small();
+        let cd = pcs_graph::core::CoreDecomposition::new(&ds.graph);
+        let in_6core = (0..ds.graph.num_vertices() as u32)
+            .filter(|&v| cd.core_number(v) >= 6)
+            .count();
+        assert!(in_6core > 50, "6-core too small: {in_6core}");
+    }
+
+    #[test]
+    fn random_ptree_sizes_track_target() {
+        let tax = random_taxonomy(500, 5, 10, 3);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for target in [2usize, 8, 20] {
+            let sizes: Vec<usize> =
+                (0..30).map(|_| random_ptree(&tax, target, &mut rng).len()).collect();
+            let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+            assert!(
+                avg >= target as f64 * 0.5 && avg <= target as f64 * 2.5 + 2.0,
+                "target {target}, avg {avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_row_shape() {
+        let ds = small();
+        let (name, v, e, d, p, gp) = ds.table2_row();
+        assert_eq!(name, "test");
+        assert_eq!(v, 600);
+        assert!(e > 0 && d > 0.0 && p > 1.0 && gp == 300);
+    }
+}

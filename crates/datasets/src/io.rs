@@ -1,0 +1,252 @@
+//! Dataset persistence: save/load a [`ProfiledDataset`] as a directory
+//! of plain-text files.
+//!
+//! Layout:
+//!
+//! ```text
+//! <dir>/
+//!   name.txt        dataset display name
+//!   graph.edges     edge list (pcs-graph format, with vertex header)
+//!   taxonomy.tsv    one line per non-root label: "<id>\t<parent>\t<name>"
+//!   profiles.tsv    one line per vertex: tab-separated leaf label ids
+//!   groups.tsv      one line per ground-truth group: space-separated ids
+//! ```
+//!
+//! The formats are deliberately diff-able text so generated benchmark
+//! inputs can be inspected and versioned.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use pcs_graph::{GraphError, VertexId};
+use pcs_ptree::{PTree, Taxonomy};
+
+use crate::gen::ProfiledDataset;
+
+/// Errors from dataset persistence.
+#[derive(Debug)]
+pub enum DatasetIoError {
+    /// Filesystem or format error from the graph layer.
+    Graph(GraphError),
+    /// Raw I/O error.
+    Io(std::io::Error),
+    /// A malformed record.
+    Parse {
+        /// Offending file.
+        file: String,
+        /// 1-based line.
+        line: usize,
+        /// Cause.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DatasetIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetIoError::Graph(e) => write!(f, "graph: {e}"),
+            DatasetIoError::Io(e) => write!(f, "io: {e}"),
+            DatasetIoError::Parse { file, line, message } => {
+                write!(f, "{file}:{line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetIoError {}
+
+impl From<std::io::Error> for DatasetIoError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetIoError::Io(e)
+    }
+}
+
+impl From<GraphError> for DatasetIoError {
+    fn from(e: GraphError) -> Self {
+        DatasetIoError::Graph(e)
+    }
+}
+
+/// Saves `ds` under `dir` (created if missing).
+pub fn save_dataset<P: AsRef<Path>>(ds: &ProfiledDataset, dir: P) -> Result<(), DatasetIoError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("name.txt"), format!("{}\n", ds.name))?;
+    pcs_graph::io::save_edge_list(&ds.graph, dir.join("graph.edges"))?;
+
+    let mut tax = BufWriter::new(std::fs::File::create(dir.join("taxonomy.tsv"))?);
+    writeln!(tax, "# root\t{}", ds.tax.label(Taxonomy::ROOT))?;
+    for id in 1..ds.tax.len() as u32 {
+        writeln!(tax, "{id}\t{}\t{}", ds.tax.parent(id), ds.tax.label(id))?;
+    }
+    tax.flush()?;
+
+    let mut prof = BufWriter::new(std::fs::File::create(dir.join("profiles.tsv"))?);
+    for p in &ds.profiles {
+        let leaves: Vec<String> =
+            p.leaves(&ds.tax).iter().map(|l| l.to_string()).collect();
+        writeln!(prof, "{}", leaves.join("\t"))?;
+    }
+    prof.flush()?;
+
+    let mut groups = BufWriter::new(std::fs::File::create(dir.join("groups.tsv"))?);
+    for g in &ds.groups {
+        let ids: Vec<String> = g.iter().map(|v| v.to_string()).collect();
+        writeln!(groups, "{}", ids.join(" "))?;
+    }
+    groups.flush()?;
+    Ok(())
+}
+
+/// Loads a dataset saved by [`save_dataset`].
+pub fn load_dataset<P: AsRef<Path>>(dir: P) -> Result<ProfiledDataset, DatasetIoError> {
+    let dir = dir.as_ref();
+    let name = std::fs::read_to_string(dir.join("name.txt"))?.trim().to_owned();
+    let graph = pcs_graph::io::load_edge_list(dir.join("graph.edges"))?;
+
+    // Taxonomy: ids must arrive in ascending order (parents first).
+    let tax_file = dir.join("taxonomy.tsv");
+    let reader = BufReader::new(std::fs::File::open(&tax_file)?);
+    let mut tax: Option<Taxonomy> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let parse_err = |message: String| DatasetIoError::Parse {
+            file: "taxonomy.tsv".into(),
+            line: idx + 1,
+            message,
+        };
+        if let Some(rest) = line.strip_prefix("# root\t") {
+            tax = Some(Taxonomy::new(rest.trim()));
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let id: u32 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err("bad id".into()))?;
+        let parent: u32 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err("bad parent".into()))?;
+        let label = parts.next().ok_or_else(|| parse_err("missing label".into()))?;
+        let t = tax.as_mut().ok_or_else(|| parse_err("root line missing".into()))?;
+        let new_id = t
+            .add_child(parent, label)
+            .map_err(|e| parse_err(e.to_string()))?;
+        if new_id != id {
+            return Err(parse_err(format!("non-dense id {id}, expected {new_id}")));
+        }
+    }
+    let tax = tax.ok_or_else(|| DatasetIoError::Parse {
+        file: "taxonomy.tsv".into(),
+        line: 0,
+        message: "empty taxonomy file".into(),
+    })?;
+
+    // Profiles: leaf label ids per vertex.
+    let reader = BufReader::new(std::fs::File::open(dir.join("profiles.tsv"))?);
+    let mut profiles = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let leaves: Result<Vec<u32>, _> = line
+            .split('\t')
+            .filter(|t| !t.is_empty())
+            .map(|t| t.parse::<u32>())
+            .collect();
+        let leaves = leaves.map_err(|e| DatasetIoError::Parse {
+            file: "profiles.tsv".into(),
+            line: idx + 1,
+            message: e.to_string(),
+        })?;
+        let p = PTree::from_labels(&tax, leaves).map_err(|e| DatasetIoError::Parse {
+            file: "profiles.tsv".into(),
+            line: idx + 1,
+            message: e.to_string(),
+        })?;
+        profiles.push(p);
+    }
+
+    // Groups (optional file).
+    let mut groups: Vec<Vec<VertexId>> = Vec::new();
+    let groups_path = dir.join("groups.tsv");
+    if groups_path.exists() {
+        let reader = BufReader::new(std::fs::File::open(groups_path)?);
+        for (idx, line) in reader.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ids: Result<Vec<u32>, _> =
+                line.split_whitespace().map(|t| t.parse::<u32>()).collect();
+            groups.push(ids.map_err(|e| DatasetIoError::Parse {
+                file: "groups.tsv".into(),
+                line: idx + 1,
+                message: e.to_string(),
+            })?);
+        }
+    }
+
+    Ok(ProfiledDataset { name, graph, tax, profiles, groups })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, DatasetSpec};
+    use crate::taxonomy::random_taxonomy;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("pcs_dataset_io_{tag}"));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = generate(&DatasetSpec::small("rt", 120, 4), random_taxonomy(80, 4, 8, 1));
+        let dir = tmpdir("roundtrip");
+        save_dataset(&ds, &dir).unwrap();
+        let back = load_dataset(&dir).unwrap();
+        assert_eq!(back.name, ds.name);
+        assert_eq!(back.graph, ds.graph);
+        assert_eq!(back.tax.len(), ds.tax.len());
+        for id in 0..ds.tax.len() as u32 {
+            assert_eq!(back.tax.label(id), ds.tax.label(id));
+            assert_eq!(back.tax.parent(id), ds.tax.parent(id));
+        }
+        assert_eq!(back.profiles, ds.profiles);
+        assert_eq!(back.groups, ds.groups);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_groups_file_tolerated() {
+        let ds = generate(&DatasetSpec::small("ng", 60, 5), random_taxonomy(40, 4, 6, 2));
+        let dir = tmpdir("nogroups");
+        save_dataset(&ds, &dir).unwrap();
+        std::fs::remove_file(dir.join("groups.tsv")).unwrap();
+        let back = load_dataset(&dir).unwrap();
+        assert!(back.groups.is_empty());
+        assert_eq!(back.profiles, ds.profiles);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_profiles_detected() {
+        let ds = generate(&DatasetSpec::small("bad", 40, 6), random_taxonomy(30, 4, 6, 3));
+        let dir = tmpdir("corrupt");
+        save_dataset(&ds, &dir).unwrap();
+        std::fs::write(dir.join("profiles.tsv"), "1\t2\nbanana\n").unwrap();
+        let err = load_dataset(&dir).unwrap_err();
+        assert!(err.to_string().contains("profiles.tsv:2"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_errors() {
+        assert!(load_dataset("/definitely/not/here").is_err());
+    }
+}

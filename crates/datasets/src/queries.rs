@@ -1,0 +1,84 @@
+//! Query-vertex sampling.
+//!
+//! The paper evaluates 100 random query vertices drawn from the 6-core
+//! of each dataset (so that k = 6 queries are satisfiable). The sampler
+//! falls back to lower cores when a dataset's 6-core is too small.
+
+use pcs_graph::core::CoreDecomposition;
+use pcs_graph::VertexId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::gen::ProfiledDataset;
+
+/// Samples up to `count` distinct query vertices from the `k`-core of
+/// the dataset. If the `k`-core has fewer than `count` vertices, `k`
+/// is lowered until enough are available (reaching the 0-core = all
+/// vertices in the worst case). Returns the vertices and the core
+/// level actually used.
+pub fn sample_query_vertices(
+    ds: &ProfiledDataset,
+    k: u32,
+    count: usize,
+    seed: u64,
+) -> (Vec<VertexId>, u32) {
+    let cd = CoreDecomposition::new(&ds.graph);
+    let mut level = k.min(cd.max_core());
+    let mut pool: Vec<VertexId> = cd.kcore_vertices(level);
+    while pool.len() < count && level > 0 {
+        level -= 1;
+        pool = cd.kcore_vertices(level);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    pool.shuffle(&mut rng);
+    pool.truncate(count);
+    pool.sort_unstable();
+    (pool, level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, DatasetSpec};
+    use crate::taxonomy::random_taxonomy;
+
+    #[test]
+    fn samples_come_from_requested_core() {
+        let ds = generate(&DatasetSpec::small("s", 500, 3), random_taxonomy(150, 5, 8, 1));
+        let (qs, level) = sample_query_vertices(&ds, 6, 50, 1);
+        assert_eq!(qs.len(), 50);
+        let cd = CoreDecomposition::new(&ds.graph);
+        for &q in &qs {
+            assert!(cd.core_number(q) >= level);
+        }
+        // Distinct and sorted.
+        assert!(qs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn falls_back_when_core_too_small() {
+        // A sparse path graph has no 6-core at all.
+        let g = pcs_graph::Graph::from_edges(10, &(0..9u32).map(|i| (i, i + 1)).collect::<Vec<_>>())
+            .unwrap();
+        let ds = ProfiledDataset {
+            name: "path".into(),
+            graph: g,
+            tax: pcs_ptree::Taxonomy::new("r"),
+            profiles: vec![pcs_ptree::PTree::root_only(); 10],
+            groups: Vec::new(),
+        };
+        let (qs, level) = sample_query_vertices(&ds, 6, 5, 2);
+        assert_eq!(qs.len(), 5);
+        assert!(level <= 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = generate(&DatasetSpec::small("s", 400, 5), random_taxonomy(150, 5, 8, 1));
+        assert_eq!(
+            sample_query_vertices(&ds, 6, 20, 9),
+            sample_query_vertices(&ds, 6, 20, 9)
+        );
+    }
+}

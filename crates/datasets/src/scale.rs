@@ -1,0 +1,273 @@
+//! Percentage sub-sampling for the scalability sweeps.
+//!
+//! Fig. 13 (index construction) and Fig. 14(e-p) (queries) vary three
+//! independent axes at 20/40/60/80/100 %:
+//!
+//! * [`subsample_vertices`] — keep a random vertex fraction and induce
+//!   the subgraph (the paper's "percentage of vertices");
+//! * [`subsample_ptrees`] — shrink every vertex's P-tree to a fraction
+//!   of its nodes, preserving ancestor closure ("percentage of
+//!   P-trees");
+//! * [`subsample_gptree`] — shrink the GP-tree itself to a fraction of
+//!   its labels (downward-closed), remapping every profile into the
+//!   reduced taxonomy ("percentage of GP-tree").
+
+use pcs_graph::VertexId;
+use pcs_ptree::{LabelId, PTree, Taxonomy};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::ProfiledDataset;
+
+/// Keeps a random `fraction` of the vertices (at least 2) and the
+/// induced subgraph; profiles and ground-truth groups are remapped.
+pub fn subsample_vertices(ds: &ProfiledDataset, fraction: f64, seed: u64) -> ProfiledDataset {
+    assert!((0.0..=1.0).contains(&fraction));
+    let n = ds.graph.num_vertices();
+    let keep_n = ((n as f64 * fraction) as usize).clamp(2.min(n), n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ids: Vec<VertexId> = (0..n as u32).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(keep_n);
+    ids.sort_unstable();
+    let (graph, kept) = ds.graph.induced_subgraph(&ids);
+    let mut new_id = vec![u32::MAX; n];
+    for (new, &old) in kept.iter().enumerate() {
+        new_id[old as usize] = new as u32;
+    }
+    let profiles: Vec<PTree> = kept.iter().map(|&v| ds.profiles[v as usize].clone()).collect();
+    let groups: Vec<Vec<VertexId>> = ds
+        .groups
+        .iter()
+        .map(|g| {
+            let mut mapped: Vec<VertexId> = g
+                .iter()
+                .filter_map(|&v| {
+                    let nv = new_id[v as usize];
+                    (nv != u32::MAX).then_some(nv)
+                })
+                .collect();
+            mapped.sort_unstable();
+            mapped
+        })
+        .filter(|g| !g.is_empty())
+        .collect();
+    ProfiledDataset {
+        name: format!("{}@V{:.0}%", ds.name, fraction * 100.0),
+        graph,
+        tax: ds.tax.clone(),
+        profiles,
+        groups,
+    }
+}
+
+/// Shrinks one P-tree to roughly `fraction` of its nodes by repeatedly
+/// dropping random leaves (ancestor closure is preserved; the root
+/// always stays).
+pub fn shrink_ptree(tax: &Taxonomy, p: &PTree, fraction: f64, rng: &mut SmallRng) -> PTree {
+    assert!((0.0..=1.0).contains(&fraction));
+    let target = ((p.len() as f64 * fraction) as usize).max(1);
+    let mut nodes: Vec<LabelId> = p.nodes().to_vec();
+    while nodes.len() > target {
+        // Leaves of the current set: members none of whose children are
+        // members.
+        let leaves: Vec<usize> = (0..nodes.len())
+            .filter(|&i| {
+                nodes[i] != Taxonomy::ROOT
+                    && tax
+                        .children(nodes[i])
+                        .iter()
+                        .all(|c| nodes.binary_search(c).is_err())
+            })
+            .collect();
+        if leaves.is_empty() {
+            break;
+        }
+        let drop = leaves[rng.gen_range(0..leaves.len())];
+        nodes.remove(drop);
+    }
+    PTree::from_closed_sorted(tax, nodes).expect("pruning leaves keeps closure")
+}
+
+/// Applies [`shrink_ptree`] to every vertex.
+pub fn subsample_ptrees(ds: &ProfiledDataset, fraction: f64, seed: u64) -> ProfiledDataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let profiles: Vec<PTree> = ds
+        .profiles
+        .iter()
+        .map(|p| shrink_ptree(&ds.tax, p, fraction, &mut rng))
+        .collect();
+    ProfiledDataset {
+        name: format!("{}@P{:.0}%", ds.name, fraction * 100.0),
+        graph: ds.graph.clone(),
+        tax: ds.tax.clone(),
+        profiles,
+        groups: ds.groups.clone(),
+    }
+}
+
+/// Shrinks the GP-tree to roughly `fraction` of its labels (a random
+/// downward-closed subset containing the root), rebuilds a dense
+/// taxonomy, and maps every profile into it.
+pub fn subsample_gptree(ds: &ProfiledDataset, fraction: f64, seed: u64) -> ProfiledDataset {
+    assert!((0.0..=1.0).contains(&fraction));
+    let old = &ds.tax;
+    let target = ((old.len() as f64 * fraction) as usize).max(1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Grow a random downward-closed kept-set from the root: repeatedly
+    // add a random not-yet-kept child of a kept node.
+    let mut kept = vec![false; old.len()];
+    kept[Taxonomy::ROOT as usize] = true;
+    let mut frontier: Vec<LabelId> = old.children(Taxonomy::ROOT).to_vec();
+    let mut kept_count = 1usize;
+    while kept_count < target && !frontier.is_empty() {
+        let i = rng.gen_range(0..frontier.len());
+        let id = frontier.swap_remove(i);
+        if kept[id as usize] {
+            continue;
+        }
+        kept[id as usize] = true;
+        kept_count += 1;
+        frontier.extend_from_slice(old.children(id));
+    }
+
+    // Rebuild a dense taxonomy over the kept labels (BFS keeps parents
+    // before children) and record the id mapping.
+    let mut new_tax = Taxonomy::new("r");
+    let mut map = vec![u32::MAX; old.len()];
+    map[Taxonomy::ROOT as usize] = Taxonomy::ROOT;
+    let mut queue: Vec<LabelId> = old.children(Taxonomy::ROOT).to_vec();
+    while let Some(id) = queue.pop() {
+        if !kept[id as usize] {
+            continue;
+        }
+        let parent_new = map[old.parent(id) as usize];
+        debug_assert_ne!(parent_new, u32::MAX, "parents processed first");
+        let new_id = new_tax
+            .add_child(parent_new, old.label(id))
+            .expect("labels unique in source taxonomy");
+        map[id as usize] = new_id;
+        // Depth-first is fine: children enqueued after their parent got
+        // an id.
+        queue.extend_from_slice(old.children(id));
+    }
+
+    let profiles: Vec<PTree> = ds
+        .profiles
+        .iter()
+        .map(|p| {
+            let labels = p
+                .nodes()
+                .iter()
+                .copied()
+                .filter(|&l| kept[l as usize] && l != Taxonomy::ROOT)
+                .map(|l| map[l as usize]);
+            PTree::from_labels(&new_tax, labels).expect("mapped labels exist")
+        })
+        .collect();
+
+    ProfiledDataset {
+        name: format!("{}@GP{:.0}%", ds.name, fraction * 100.0),
+        graph: ds.graph.clone(),
+        tax: new_tax,
+        profiles,
+        groups: ds.groups.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, DatasetSpec};
+    use crate::taxonomy::random_taxonomy;
+
+    fn small() -> ProfiledDataset {
+        generate(&DatasetSpec::small("s", 300, 11), random_taxonomy(200, 5, 8, 2))
+    }
+
+    #[test]
+    fn vertex_subsample_sizes() {
+        let ds = small();
+        for f in [0.2, 0.6, 1.0] {
+            let sub = subsample_vertices(&ds, f, 3);
+            let expect = (300.0 * f) as usize;
+            assert_eq!(sub.graph.num_vertices(), expect);
+            assert_eq!(sub.profiles.len(), expect);
+            // Edges only among kept vertices.
+            assert!(sub.graph.num_edges() <= ds.graph.num_edges());
+        }
+        // Full fraction preserves the graph exactly.
+        let full = subsample_vertices(&ds, 1.0, 3);
+        assert_eq!(full.graph, ds.graph);
+    }
+
+    #[test]
+    fn ptree_subsample_preserves_closure() {
+        let ds = small();
+        let sub = subsample_ptrees(&ds, 0.4, 9);
+        assert_eq!(sub.profiles.len(), ds.profiles.len());
+        for (orig, shrunk) in ds.profiles.iter().zip(sub.profiles.iter()) {
+            assert!(ds.tax.is_ancestor_closed(shrunk.nodes()));
+            assert!(shrunk.is_subtree_of(orig));
+            assert!(shrunk.len() <= orig.len());
+        }
+        let avg_orig = ds.avg_ptree_size();
+        let avg_sub = sub.avg_ptree_size();
+        assert!(avg_sub < avg_orig * 0.7, "{avg_sub} vs {avg_orig}");
+    }
+
+    #[test]
+    fn gptree_subsample_remaps_profiles() {
+        let ds = small();
+        for f in [0.3, 0.7] {
+            let sub = subsample_gptree(&ds, f, 17);
+            assert!(sub.tax.len() <= (200.0 * f) as usize + 1);
+            assert!(!sub.tax.is_empty());
+            for p in &sub.profiles {
+                assert!(sub.tax.is_ancestor_closed(p.nodes()));
+            }
+            // Labels keep their names through the remap.
+            for id in 1..sub.tax.len() as u32 {
+                assert!(ds.tax.id_of(sub.tax.label(id)).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn gptree_full_fraction_is_isomorphic() {
+        let ds = small();
+        let sub = subsample_gptree(&ds, 1.0, 1);
+        assert_eq!(sub.tax.len(), ds.tax.len());
+        for (a, b) in ds.profiles.iter().zip(sub.profiles.iter()) {
+            assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn shrink_ptree_respects_target() {
+        let tax = random_taxonomy(100, 5, 6, 5);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = crate::gen::random_ptree(&tax, 20, &mut rng);
+        let s = shrink_ptree(&tax, &p, 0.5, &mut rng);
+        assert!(s.len() <= (p.len() / 2).max(1) + 1);
+        assert!(s.is_subtree_of(&p));
+        // Fraction 0 leaves at least the root.
+        let root = shrink_ptree(&tax, &p, 0.0, &mut rng);
+        assert_eq!(root.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_subsamples() {
+        let ds = small();
+        assert_eq!(
+            subsample_vertices(&ds, 0.5, 7).graph,
+            subsample_vertices(&ds, 0.5, 7).graph
+        );
+        assert_eq!(
+            subsample_ptrees(&ds, 0.5, 7).profiles,
+            subsample_ptrees(&ds, 0.5, 7).profiles
+        );
+    }
+}

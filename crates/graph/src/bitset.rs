@@ -1,0 +1,361 @@
+//! Dense vertex-set representations.
+//!
+//! Two set types back the hot paths of community verification:
+//!
+//! * [`BitSet`] — a plain dynamic bitset (one bit per vertex / tree node)
+//!   with the usual set algebra. Used for P-tree node sets and persisted
+//!   memberships.
+//! * [`EpochSet`] — a "versioned" membership array that can be cleared in
+//!   O(1) by bumping an epoch counter. Community verification tests
+//!   membership of thousands of candidate sets per query; clearing a
+//!   `BitSet` between candidates would cost O(n) each time, while an
+//!   `EpochSet` makes the whole loop allocation- and clear-free.
+
+/// A growable bitset over `usize` indices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Number of set bits, maintained incrementally.
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty bitset with capacity for `n` indices.
+    pub fn with_capacity(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Number of elements currently in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn ensure(&mut self, idx: usize) {
+        let w = idx / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+    }
+
+    /// Inserts `idx`; returns true if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        self.ensure(idx);
+        let (w, b) = (idx / 64, idx % 64);
+        let mask = 1u64 << b;
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Removes `idx`; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) -> bool {
+        let (w, b) = (idx / 64, idx % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << b;
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        self.len -= present as usize;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        let (w, b) = (idx / 64, idx % 64);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Iterates set indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// In-place intersection with `other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        let n = self.words.len().min(other.words.len());
+        for i in 0..n {
+            self.words[i] &= other.words[i];
+        }
+        for w in self.words.iter_mut().skip(n) {
+            *w = 0;
+        }
+        self.recount();
+    }
+
+    /// In-place union with `other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+        self.recount();
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        for (i, &w) in self.words.iter().enumerate() {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            if w & !o != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Size of the intersection without materializing it.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Size of the symmetric difference without materializing it.
+    pub fn symmetric_difference_len(&self, other: &BitSet) -> usize {
+        let long = self.words.len().max(other.words.len());
+        (0..long)
+            .map(|i| {
+                let a = self.words.get(i).copied().unwrap_or(0);
+                let b = other.words.get(i).copied().unwrap_or(0);
+                (a ^ b).count_ones() as usize
+            })
+            .sum()
+    }
+
+    /// Size of the union without materializing it.
+    pub fn union_len(&self, other: &BitSet) -> usize {
+        let long = self.words.len().max(other.words.len());
+        (0..long)
+            .map(|i| {
+                let a = self.words.get(i).copied().unwrap_or(0);
+                let b = other.words.get(i).copied().unwrap_or(0);
+                (a | b).count_ones() as usize
+            })
+            .sum()
+    }
+
+    fn recount(&mut self) {
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::default();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// A membership set with O(1) clear via epoch stamping.
+///
+/// `mark[v] == epoch` means `v` is in the set. [`EpochSet::reset`] bumps
+/// the epoch, which invalidates every stamp at once. Verification loops
+/// reuse a single `EpochSet` across thousands of candidate communities.
+#[derive(Clone, Debug)]
+pub struct EpochSet {
+    mark: Vec<u32>,
+    epoch: u32,
+    len: usize,
+}
+
+impl EpochSet {
+    /// Creates a set able to hold indices `0..n`.
+    pub fn new(n: usize) -> Self {
+        EpochSet {
+            mark: vec![0; n],
+            epoch: 1,
+            len: 0,
+        }
+    }
+
+    /// Number of currently marked indices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is marked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity (the `n` the set was created with, possibly grown).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.mark.len()
+    }
+
+    /// Empties the set in O(1) (amortized; a full wrap of the 32-bit
+    /// epoch counter triggers one O(n) re-zero every 2^32 resets).
+    pub fn reset(&mut self) {
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.mark.iter_mut().for_each(|m| *m = 0);
+                1
+            }
+        };
+        self.len = 0;
+    }
+
+    /// Grows capacity to at least `n`.
+    pub fn grow(&mut self, n: usize) {
+        if n > self.mark.len() {
+            self.mark.resize(n, 0);
+        }
+    }
+
+    /// Inserts `idx`; returns true if newly inserted.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        let fresh = self.mark[idx] != self.epoch;
+        self.mark[idx] = self.epoch;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Removes `idx`; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) -> bool {
+        let present = self.mark[idx] == self.epoch;
+        if present {
+            self.mark[idx] = self.epoch.wrapping_sub(1);
+            self.len -= 1;
+        }
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        self.mark[idx] == self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_insert_remove_contains() {
+        let mut s = BitSet::with_capacity(100);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(64));
+        assert!(s.insert(99));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(3));
+        assert!(s.contains(64));
+        assert!(!s.contains(4));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn bitset_grows_past_capacity() {
+        let mut s = BitSet::with_capacity(1);
+        s.insert(1000);
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+    }
+
+    #[test]
+    fn bitset_iter_sorted() {
+        let s: BitSet = [5usize, 1, 200, 63, 64].into_iter().collect();
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![1, 5, 63, 64, 200]);
+    }
+
+    #[test]
+    fn bitset_algebra() {
+        let a: BitSet = [1usize, 2, 3, 70].into_iter().collect();
+        let b: BitSet = [2usize, 3, 4].into_iter().collect();
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 70]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(a.union_len(&b), 5);
+        assert_eq!(a.symmetric_difference_len(&b), 3);
+        assert!(i.is_subset(&a));
+        assert!(i.is_subset(&b));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn bitset_subset_with_shorter_other() {
+        let a: BitSet = [100usize].into_iter().collect();
+        let b: BitSet = [1usize].into_iter().collect();
+        assert!(!a.is_subset(&b));
+        let empty = BitSet::default();
+        assert!(empty.is_subset(&a));
+    }
+
+    #[test]
+    fn epoch_set_reset_is_cheap_and_correct() {
+        let mut s = EpochSet::new(10);
+        assert!(s.insert(1));
+        assert!(s.insert(2));
+        assert!(!s.insert(2));
+        assert_eq!(s.len(), 2);
+        s.reset();
+        assert!(s.is_empty());
+        assert!(!s.contains(1));
+        assert!(s.insert(1));
+        assert!(s.remove(1));
+        assert!(!s.contains(1));
+        assert!(!s.remove(1));
+    }
+
+    #[test]
+    fn epoch_set_grow() {
+        let mut s = EpochSet::new(2);
+        s.grow(100);
+        assert!(s.insert(99));
+        assert!(s.contains(99));
+        assert_eq!(s.capacity(), 100);
+    }
+}

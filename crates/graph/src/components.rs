@@ -1,0 +1,126 @@
+//! Connected components via BFS.
+
+use crate::graph::{Graph, VertexId};
+
+/// Labels every vertex with a component id in `0..#components` and
+/// returns `(labels, component_count)`.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue: Vec<VertexId> = Vec::new();
+    for s in 0..n as u32 {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        label[s as usize] = next;
+        queue.push(s);
+        while let Some(v) = queue.pop() {
+            for &u in g.neighbors(v) {
+                if label[u as usize] == u32::MAX {
+                    label[u as usize] = next;
+                    queue.push(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next as usize)
+}
+
+/// The sorted vertex set of the connected component containing `q`.
+pub fn component_containing(g: &Graph, q: VertexId) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    assert!((q as usize) < n, "query vertex out of range");
+    let mut seen = vec![false; n];
+    let mut queue = vec![q];
+    seen[q as usize] = true;
+    let mut out = Vec::new();
+    while let Some(v) = queue.pop() {
+        out.push(v);
+        for &u in g.neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                queue.push(u);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// True when the subgraph induced by `vertices` (which must be sorted)
+/// is connected and non-empty.
+pub fn is_connected_subset(g: &Graph, vertices: &[VertexId]) -> bool {
+    if vertices.is_empty() {
+        return false;
+    }
+    debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]), "must be sorted");
+    let inside = |v: VertexId| vertices.binary_search(&v).is_ok();
+    let mut seen = vec![false; vertices.len()];
+    let mut queue = vec![vertices[0]];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(v) = queue.pop() {
+        for &u in g.neighbors(v) {
+            if inside(u) {
+                let idx = vertices.binary_search(&u).unwrap();
+                if !seen[idx] {
+                    seen[idx] = true;
+                    count += 1;
+                    queue.push(u);
+                }
+            }
+        }
+    }
+    count == vertices.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn two_components() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_components() {
+        let g = Graph::from_edges(3, &[]).unwrap();
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn component_containing_query() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        assert_eq!(component_containing(&g, 1), vec![0, 1, 2]);
+        assert_eq!(component_containing(&g, 4), vec![3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn component_containing_panics_out_of_range() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        component_containing(&g, 7);
+    }
+
+    #[test]
+    fn connected_subset_checks() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        assert!(is_connected_subset(&g, &[0, 1, 2]));
+        assert!(is_connected_subset(&g, &[3, 4]));
+        assert!(!is_connected_subset(&g, &[0, 1, 3]));
+        assert!(!is_connected_subset(&g, &[0, 2])); // 0-2 not adjacent
+        assert!(!is_connected_subset(&g, &[]));
+        assert!(is_connected_subset(&g, &[2]));
+    }
+}

@@ -1,0 +1,257 @@
+//! Seeded random-graph primitives.
+//!
+//! These are the topology building blocks `pcs-datasets` composes into
+//! paper-calibrated profiled graphs: Erdős–Rényi G(n,m), Barabási–Albert
+//! preferential attachment (power-law degrees like co-authorship and
+//! follower networks), and planted overlapping groups (the community
+//! structure PCS is supposed to recover).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+use crate::hash::FxHashSet;
+
+/// Uniform random graph with exactly `m` distinct edges (G(n, m)).
+///
+/// Panics if `m` exceeds the number of possible edges.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_edges, "requested {m} edges but only {max_edges} possible");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut builder = GraphBuilder::new(n);
+    while seen.len() < m {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if seen.insert(key) {
+            builder.add_edge(a, b);
+        }
+    }
+    builder.build()
+}
+
+/// Erdős–Rényi G(n, p): every pair independently with probability `p`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                builder.add_edge(a, b);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m_attach` existing vertices chosen proportionally to degree.
+///
+/// Produces the heavy-tailed degree distributions of real collaboration
+/// and follower networks, with average degree ≈ `2 · m_attach`.
+pub fn preferential_attachment(n: usize, m_attach: usize, seed: u64) -> Graph {
+    assert!(m_attach >= 1, "m_attach must be positive");
+    assert!(n > m_attach, "need more vertices than attachment count");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    // `targets` holds one entry per edge endpoint => sampling uniformly
+    // from it is degree-proportional sampling.
+    let mut targets: Vec<VertexId> = Vec::with_capacity(2 * n * m_attach);
+    // Seed clique over the first m_attach + 1 vertices.
+    for a in 0..=(m_attach as u32) {
+        for b in (a + 1)..=(m_attach as u32) {
+            builder.add_edge(a, b);
+            targets.push(a);
+            targets.push(b);
+        }
+    }
+    for v in (m_attach as u32 + 1)..n as u32 {
+        let mut chosen: FxHashSet<VertexId> = FxHashSet::default();
+        let mut guard = 0;
+        while chosen.len() < m_attach && guard < 50 * m_attach {
+            let t = targets[rng.gen_range(0..targets.len())];
+            chosen.insert(t);
+            guard += 1;
+        }
+        // Extremely unlikely fallback: fill with arbitrary earlier ids.
+        let mut fill = 0u32;
+        while chosen.len() < m_attach {
+            chosen.insert(fill);
+            fill += 1;
+        }
+        for &t in &chosen {
+            builder.add_edge(v, t);
+            targets.push(v);
+            targets.push(t);
+        }
+    }
+    builder.build()
+}
+
+/// Planted overlapping groups.
+///
+/// `memberships[v]` lists the group ids of vertex `v`. Any two vertices
+/// sharing at least one group are connected with probability `p_in`; all
+/// other pairs with probability `p_out`. Classic (dense) construction —
+/// intended for graphs up to a few tens of thousands of vertices.
+pub fn planted_overlapping_groups(
+    memberships: &[Vec<u32>],
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Graph {
+    let n = memberships.len();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    // Bucket vertices by group to avoid the O(n^2) shared-group test for
+    // intra-group edges; sample p_out edges sparsely.
+    let group_count = memberships
+        .iter()
+        .flat_map(|g| g.iter().copied())
+        .max()
+        .map_or(0, |g| g as usize + 1);
+    let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); group_count];
+    for (v, groups) in memberships.iter().enumerate() {
+        for &g in groups {
+            members[g as usize].push(v as VertexId);
+        }
+    }
+    for group in &members {
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len() {
+                if rng.gen_bool(p_in) {
+                    builder.add_edge(group[i], group[j]);
+                }
+            }
+        }
+    }
+    if p_out > 0.0 && n >= 2 {
+        // Expected number of background edges, sampled by pair draws.
+        let expect = (p_out * (n as f64) * (n as f64 - 1.0) / 2.0).round() as usize;
+        for _ in 0..expect {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            if a != b {
+                builder.add_edge(a, b);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Ensures every vertex of `g` reaches vertex 0 by linking component
+/// representatives to random already-connected vertices. Returns the
+/// (possibly) augmented graph.
+pub fn connectify(g: &Graph, seed: u64) -> Graph {
+    let (labels, count) = crate::components::connected_components(g);
+    if count <= 1 {
+        return g.clone();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(g.num_vertices());
+    for (a, b) in g.edges() {
+        builder.add_edge(a, b);
+    }
+    let mut reps: Vec<VertexId> = Vec::with_capacity(count);
+    let mut seen = vec![false; count];
+    for v in 0..g.num_vertices() as u32 {
+        let l = labels[v as usize] as usize;
+        if !seen[l] {
+            seen[l] = true;
+            reps.push(v);
+        }
+    }
+    reps.shuffle(&mut rng);
+    for w in reps.windows(2) {
+        builder.add_edge(w[0], w[1]);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(50, 200, 1);
+        assert_eq!(g.num_vertices(), 50);
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn gnm_deterministic_per_seed() {
+        assert_eq!(gnm(30, 60, 5), gnm(30, 60, 5));
+        assert_ne!(gnm(30, 60, 5), gnm(30, 60, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn gnm_rejects_impossible() {
+        gnm(3, 10, 0);
+    }
+
+    #[test]
+    fn gnp_density_tracks_p() {
+        let g = gnp(100, 0.1, 42);
+        let possible = 100 * 99 / 2;
+        let density = g.num_edges() as f64 / possible as f64;
+        assert!((density - 0.1).abs() < 0.03, "density {density}");
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let g = preferential_attachment(500, 3, 9);
+        assert_eq!(g.num_vertices(), 500);
+        // avg degree ~ 2 * m_attach.
+        assert!((g.avg_degree() - 6.0).abs() < 1.0, "avg {}", g.avg_degree());
+        // Heavy tail: max degree far above average.
+        assert!(g.max_degree() > 20, "max {}", g.max_degree());
+        // Single connected component by construction.
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn planted_groups_are_denser_inside() {
+        let mut memberships = vec![Vec::new(); 60];
+        for (v, m) in memberships.iter_mut().enumerate() {
+            m.push(if v < 30 { 0 } else { 1 });
+        }
+        let g = planted_overlapping_groups(&memberships, 0.5, 0.002, 3);
+        let mut inside = 0usize;
+        let mut across = 0usize;
+        for (a, b) in g.edges() {
+            if (a < 30) == (b < 30) {
+                inside += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(inside > across * 5, "inside {inside} across {across}");
+    }
+
+    #[test]
+    fn connectify_produces_single_component() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]).unwrap();
+        let g2 = connectify(&g, 7);
+        let (_, count) = connected_components(&g2);
+        assert_eq!(count, 1);
+        // Existing edges preserved.
+        assert!(g2.has_edge(0, 1) && g2.has_edge(2, 3) && g2.has_edge(4, 5));
+    }
+
+    #[test]
+    fn connectify_noop_when_connected() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(connectify(&g, 1), g);
+    }
+}

@@ -1,0 +1,152 @@
+//! A fast, non-cryptographic hasher for integer-dominated keys.
+//!
+//! The default `std` hasher (SipHash 1-3) defends against HashDoS but is
+//! slow for the dense `u32` vertex and label ids used throughout this
+//! workspace. This module implements the well-known Fx multiply-rotate
+//! construction (the hasher used inside rustc) in ~40 lines so that no
+//! extra dependency is needed.
+//!
+//! All inputs in this workspace are internally generated ids, never
+//! attacker-controlled strings, so the weaker collision resistance is
+//! acceptable.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hash state.
+///
+/// Each `write_*` folds the input word into the state with a rotate,
+/// xor, and multiply by a large odd constant (π-derived, as in rustc).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast Fx hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m[&i], i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn set_distinguishes_values() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(1);
+        s.insert(2);
+        assert!(s.contains(&1));
+        assert!(!s.contains(&3));
+    }
+
+    #[test]
+    fn hash_of_different_ints_differs() {
+        // Not a collision-resistance proof, just a smoke test that the
+        // hasher actually mixes input.
+        let h = |x: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(x);
+            hasher.finish()
+        };
+        assert_ne!(h(0), h(1));
+        assert_ne!(h(1), h(2));
+        assert_ne!(h(0x1000), h(0x2000));
+    }
+
+    #[test]
+    fn byte_writes_cover_tail_paths() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 4]);
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = FxHasher::default();
+        c.write(&[9; 16]); // exact-chunk path
+        let mut d = FxHasher::default();
+        d.write(&[9; 17]); // chunk + tail path
+        assert_ne!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut m: FxHashMap<String, usize> = FxHashMap::default();
+        m.insert("machine learning".into(), 1);
+        m.insert("information systems".into(), 2);
+        assert_eq!(m["machine learning"], 1);
+        assert_eq!(m["information systems"], 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Plain-text edge-list persistence.
+//!
+//! Format: an optional header line `# vertices <n>`, then one `a b` pair
+//! per line. Lines starting with `#` (other than the header) and blank
+//! lines are ignored, so SNAP-style files load unchanged.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::{GraphError, Result};
+
+/// Writes `g` to `w` in edge-list form (with a `# vertices` header so
+/// isolated trailing vertices survive a round-trip).
+pub fn write_edge_list<W: Write>(g: &Graph, w: W) -> Result<()> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "# vertices {}", g.num_vertices())?;
+    for (a, b) in g.edges() {
+        writeln!(out, "{a} {b}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a graph from edge-list text.
+pub fn read_edge_list<R: Read>(r: R) -> Result<Graph> {
+    let reader = BufReader::new(r);
+    let mut builder = GraphBuilder::new(0);
+    let mut declared_n: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(n_str) = rest.strip_prefix("vertices") {
+                declared_n = Some(n_str.trim().parse().map_err(|_| GraphError::Parse {
+                    line: idx + 1,
+                    message: format!("bad vertex count {n_str:?}"),
+                })?);
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u32> {
+            let tok = tok.ok_or_else(|| GraphError::Parse {
+                line: idx + 1,
+                message: "expected two endpoints".into(),
+            })?;
+            tok.parse().map_err(|_| GraphError::Parse {
+                line: idx + 1,
+                message: format!("bad vertex id {tok:?}"),
+            })
+        };
+        let a = parse(parts.next())?;
+        let b = parse(parts.next())?;
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: idx + 1,
+                message: "trailing tokens after edge".into(),
+            });
+        }
+        builder.add_edge(a, b);
+    }
+    if let Some(n) = declared_n {
+        builder.grow_to(n);
+    }
+    Ok(builder.build())
+}
+
+/// Convenience wrapper writing to a filesystem path.
+pub fn save_edge_list<P: AsRef<Path>>(g: &Graph, path: P) -> Result<()> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+/// Convenience wrapper reading from a filesystem path.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g2.num_vertices(), 6); // isolated vertex 5 survives
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# SNAP style comment\n\n0 1\n# another\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "0 1\nfoo bar\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_endpoint_rejected() {
+        let err = read_edge_list("42\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let err = read_edge_list("1 2 3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = read_edge_list("# vertices banana\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pcs_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.edges");
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        save_edge_list(&g, &path).unwrap();
+        let g2 = load_edge_list(&path).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,380 @@
+//! k-truss decomposition and localized k-truss extraction.
+//!
+//! The PCS paper's conclusion names k-truss as the natural alternative
+//! structure-cohesiveness measure ("we will study other structure
+//! cohesiveness measures (e.g., k-truss and k-clique)"). This module
+//! supplies that substrate:
+//!
+//! * [`TrussDecomposition`] — per-edge truss numbers via support
+//!   peeling: an edge has truss `t` when it belongs to the `t`-truss,
+//!   the largest subgraph where every edge closes ≥ `t − 2` triangles;
+//! * [`SubsetTruss`] — repeated, localized computation of the connected
+//!   k-truss containing a query vertex within a candidate vertex
+//!   subset, the verification primitive for truss-based profiled
+//!   community search (`pcs-core::truss`).
+
+use crate::bitset::EpochSet;
+use crate::graph::{Graph, VertexId};
+use crate::hash::FxHashMap;
+
+/// Truss numbers for every edge of a graph.
+#[derive(Clone, Debug)]
+pub struct TrussDecomposition {
+    /// Edge list as `(a, b)` with `a < b`, sorted.
+    edges: Vec<(VertexId, VertexId)>,
+    /// Truss number per edge, parallel with `edges`.
+    truss: Vec<u32>,
+    max_truss: u32,
+}
+
+impl TrussDecomposition {
+    /// Runs support peeling in `O(m^1.5)`-ish time (triangle counting
+    /// dominated).
+    pub fn new(g: &Graph) -> Self {
+        let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+        let m = edges.len();
+        let mut index_of: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for (i, &e) in edges.iter().enumerate() {
+            index_of.insert(e, i as u32);
+        }
+        let edge_id = |a: u32, b: u32| -> u32 {
+            let key = if a < b { (a, b) } else { (b, a) };
+            index_of[&key]
+        };
+        // Support = number of triangles through each edge.
+        let mut support = vec![0u32; m];
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            // Merge-count common neighbours (adjacency lists sorted).
+            let (mut x, mut y) = (g.neighbors(a), g.neighbors(b));
+            while let (Some(&u), Some(&v)) = (x.first(), y.first()) {
+                match u.cmp(&v) {
+                    std::cmp::Ordering::Less => x = &x[1..],
+                    std::cmp::Ordering::Greater => y = &y[1..],
+                    std::cmp::Ordering::Equal => {
+                        support[i] += 1;
+                        x = &x[1..];
+                        y = &y[1..];
+                    }
+                }
+            }
+        }
+        // Peel edges in non-decreasing support order (bucket queue).
+        let mut truss = vec![0u32; m];
+        let mut removed = vec![false; m];
+        let max_sup = support.iter().copied().max().unwrap_or(0) as usize;
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_sup + 1];
+        for (i, &s) in support.iter().enumerate() {
+            buckets[s as usize].push(i as u32);
+        }
+        let mut processed = 0usize;
+        let mut level = 0usize;
+        let mut max_truss = 2;
+        while processed < m {
+            // Find the lowest non-empty bucket ≤ current supports.
+            while level <= max_sup && buckets[level].is_empty() {
+                level += 1;
+            }
+            if level > max_sup {
+                break;
+            }
+            let Some(eid) = buckets[level].pop() else { continue };
+            let eid = eid as usize;
+            if removed[eid] {
+                continue;
+            }
+            if (support[eid] as usize) > level {
+                // Stale entry; reinsert at its true level.
+                buckets[support[eid] as usize].push(eid as u32);
+                continue;
+            }
+            removed[eid] = true;
+            processed += 1;
+            let t = support[eid] + 2;
+            truss[eid] = t;
+            max_truss = max_truss.max(t);
+            // Decrement supports of edges in triangles with eid.
+            let (a, b) = edges[eid];
+            let (mut x, mut y) = (g.neighbors(a), g.neighbors(b));
+            while let (Some(&u), Some(&v)) = (x.first(), y.first()) {
+                match u.cmp(&v) {
+                    std::cmp::Ordering::Less => x = &x[1..],
+                    std::cmp::Ordering::Greater => y = &y[1..],
+                    std::cmp::Ordering::Equal => {
+                        let e1 = edge_id(a, u) as usize;
+                        let e2 = edge_id(b, u) as usize;
+                        if !removed[e1] && !removed[e2] {
+                            for e in [e1, e2] {
+                                // Truss peeling is monotone: support
+                                // never drops below the current level.
+                                if support[e] as usize > level {
+                                    support[e] -= 1;
+                                    buckets[support[e] as usize].push(e as u32);
+                                    if (support[e] as usize) < level {
+                                        support[e] = level as u32;
+                                    }
+                                }
+                            }
+                        }
+                        x = &x[1..];
+                        y = &y[1..];
+                    }
+                }
+            }
+            // Supports may have dropped to the current level; restart
+            // scanning from it.
+        }
+        TrussDecomposition { edges, truss, max_truss }
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The largest truss level with at least one edge (≥ 2 for any
+    /// graph with an edge).
+    pub fn max_truss(&self) -> u32 {
+        self.max_truss
+    }
+
+    /// Truss number of the edge `{a, b}`, if present.
+    pub fn truss_of(&self, a: VertexId, b: VertexId) -> Option<u32> {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.edges.binary_search(&key).ok().map(|i| self.truss[i])
+    }
+
+    /// The connected k-truss containing `q`: vertices reachable from
+    /// `q` over edges with truss ≥ k. Returns the sorted vertex set, or
+    /// `None` if `q` touches no qualifying edge (for `k ≤ 2`, falls
+    /// back to the connected component of `q`).
+    pub fn ktruss_component(&self, g: &Graph, q: VertexId, k: u32) -> Option<Vec<VertexId>> {
+        if (q as usize) >= g.num_vertices() {
+            return None;
+        }
+        if k <= 2 {
+            return Some(crate::components::component_containing(g, q));
+        }
+        let qualifies = |a: u32, b: u32| self.truss_of(a, b).is_some_and(|t| t >= k);
+        if !g.neighbors(q).iter().any(|&u| qualifies(q, u)) {
+            return None;
+        }
+        let mut seen = vec![false; g.num_vertices()];
+        let mut queue = vec![q];
+        seen[q as usize] = true;
+        let mut out = Vec::new();
+        while let Some(v) = queue.pop() {
+            out.push(v);
+            for &u in g.neighbors(v) {
+                if !seen[u as usize] && qualifies(v, u) {
+                    seen[u as usize] = true;
+                    queue.push(u);
+                }
+            }
+        }
+        out.sort_unstable();
+        Some(out)
+    }
+}
+
+/// Reusable engine computing the connected k-truss containing a query
+/// vertex inside an arbitrary candidate vertex subset (the truss
+/// analogue of [`crate::core::SubsetCore`]).
+#[derive(Clone, Debug)]
+pub struct SubsetTruss {
+    members: EpochSet,
+}
+
+impl SubsetTruss {
+    /// Creates scratch state for a graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        SubsetTruss { members: EpochSet::new(n) }
+    }
+
+    /// The connected k-truss containing `q` in the subgraph induced by
+    /// `candidates` (sorted result), or `None`.
+    ///
+    /// Runs a truss decomposition of the induced subgraph; cost is
+    /// bounded by the candidate subgraph, not by the host graph.
+    pub fn ktruss_component_within(
+        &mut self,
+        g: &Graph,
+        candidates: &[VertexId],
+        q: VertexId,
+        k: u32,
+    ) -> Option<Vec<VertexId>> {
+        self.members.reset();
+        for &v in candidates {
+            self.members.insert(v as usize);
+        }
+        if !self.members.contains(q as usize) {
+            return None;
+        }
+        let (sub, ids) = g.induced_subgraph(candidates);
+        let q_local = ids.binary_search(&q).ok()? as u32;
+        let td = TrussDecomposition::new(&sub);
+        let local = td.ktruss_component(&sub, q_local, k)?;
+        Some(local.into_iter().map(|v| ids[v as usize]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference: repeatedly delete edges with support < k-2,
+    /// then return the component of q over surviving edges.
+    fn naive_ktruss(g: &Graph, q: VertexId, k: u32) -> Option<Vec<VertexId>> {
+        if k <= 2 {
+            return Some(crate::components::component_containing(g, q));
+        }
+        let mut alive: std::collections::BTreeSet<(u32, u32)> = g.edges().collect();
+        loop {
+            let mut drop = Vec::new();
+            for &(a, b) in &alive {
+                let mut sup = 0;
+                for &u in g.neighbors(a) {
+                    let e1 = if a < u { (a, u) } else { (u, a) };
+                    let e2 = if b < u { (b, u) } else { (u, b) };
+                    if u != b && alive.contains(&e1) && alive.contains(&e2) {
+                        sup += 1;
+                    }
+                }
+                if sup < k - 2 {
+                    drop.push((a, b));
+                }
+            }
+            if drop.is_empty() {
+                break;
+            }
+            for e in drop {
+                alive.remove(&e);
+            }
+        }
+        // BFS from q over surviving edges.
+        if !alive.iter().any(|&(a, b)| a == q || b == q) {
+            return None;
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        seen.insert(q);
+        let mut queue = vec![q];
+        while let Some(v) = queue.pop() {
+            for &u in g.neighbors(v) {
+                let e = if v < u { (v, u) } else { (u, v) };
+                if alive.contains(&e) && seen.insert(u) {
+                    queue.push(u);
+                }
+            }
+        }
+        Some(seen.into_iter().collect())
+    }
+
+    fn k4_plus_tail() -> Graph {
+        // K4 {0,1,2,3} with a tail 3-4-5 and a triangle {4,5,6}.
+        Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (4, 6),
+                (5, 6),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn k4_truss_numbers() {
+        let g = k4_plus_tail();
+        let td = TrussDecomposition::new(&g);
+        // K4 edges have truss 4.
+        for (a, b) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            assert_eq!(td.truss_of(a, b), Some(4), "edge ({a},{b})");
+        }
+        // Triangle edges have truss 3; the bridge 3-4 has truss 2.
+        for (a, b) in [(4, 5), (4, 6), (5, 6)] {
+            assert_eq!(td.truss_of(a, b), Some(3), "edge ({a},{b})");
+        }
+        assert_eq!(td.truss_of(3, 4), Some(2));
+        assert_eq!(td.truss_of(0, 6), None);
+        assert_eq!(td.max_truss(), 4);
+        assert_eq!(td.num_edges(), 10);
+    }
+
+    #[test]
+    fn ktruss_components() {
+        let g = k4_plus_tail();
+        let td = TrussDecomposition::new(&g);
+        assert_eq!(td.ktruss_component(&g, 0, 4).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(td.ktruss_component(&g, 5, 3).unwrap(), vec![4, 5, 6]);
+        // k=3 from inside K4 stays in K4 (bridge edge has truss 2).
+        assert_eq!(td.ktruss_component(&g, 0, 3).unwrap(), vec![0, 1, 2, 3]);
+        assert!(td.ktruss_component(&g, 5, 4).is_none());
+        // k<=2: whole component.
+        assert_eq!(td.ktruss_component(&g, 5, 2).unwrap().len(), 7);
+        assert!(td.ktruss_component(&g, 99, 3).is_none());
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(31);
+        for trial in 0..15 {
+            let n = 16 + trial % 5;
+            let mut edges = Vec::new();
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    if rng.gen_bool(0.3) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges).unwrap();
+            let td = TrussDecomposition::new(&g);
+            for q in 0..n as u32 {
+                for k in 2..=5u32 {
+                    assert_eq!(
+                        td.ktruss_component(&g, q, k),
+                        naive_ktruss(&g, q, k),
+                        "trial={trial} q={q} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subset_truss_restricts() {
+        let g = k4_plus_tail();
+        let mut st = SubsetTruss::new(g.num_vertices());
+        // Full set behaves like the global decomposition.
+        let all: Vec<u32> = g.vertices().collect();
+        assert_eq!(
+            st.ktruss_component_within(&g, &all, 0, 4).unwrap(),
+            vec![0, 1, 2, 3]
+        );
+        // Restricting to {0,1,2} leaves only a triangle: no 4-truss.
+        assert!(st.ktruss_component_within(&g, &[0, 1, 2], 0, 4).is_none());
+        assert_eq!(
+            st.ktruss_component_within(&g, &[0, 1, 2], 0, 3).unwrap(),
+            vec![0, 1, 2]
+        );
+        // q outside the candidate set.
+        assert!(st.ktruss_component_within(&g, &[0, 1, 2], 5, 3).is_none());
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = Graph::from_edges(3, &[]).unwrap();
+        let td = TrussDecomposition::new(&g);
+        assert_eq!(td.num_edges(), 0);
+        assert!(td.ktruss_component(&g, 0, 3).is_none());
+        assert_eq!(td.ktruss_component(&g, 0, 2).unwrap(), vec![0]);
+    }
+}

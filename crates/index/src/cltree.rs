@@ -1,0 +1,394 @@
+//! The CL-tree: nested k-ĉores as a forest.
+//!
+//! Because `j-ĉore ⊆ i-ĉore` whenever `i < j`, all connected ĉores of a
+//! graph form a containment forest. Each node carries a core level and
+//! the vertices whose core number equals that level inside that ĉore;
+//! the full vertex set of a ĉore is the node's subtree. A
+//! `vertexNodeMap` (here a sorted-id lookup) places every vertex at the
+//! node of its own core level, so locating the k-ĉore of a query vertex
+//! is an upward walk of at most `max_core` steps plus an output-sized
+//! subtree collection.
+//!
+//! Construction follows the union-find method of Fang et al.: sweep
+//! core levels from deepest to shallowest, union the newly activated
+//! vertices with already-active neighbours, and make the merged deeper
+//! nodes children of the freshly created level node — O(m·α(n)) total.
+
+use pcs_graph::core::CoreDecomposition;
+use pcs_graph::{FxHashMap, Graph, UnionFind, VertexId};
+
+/// Sentinel for "no parent" links inside the forest.
+const NONE: u32 = u32::MAX;
+
+/// One forest node: a connected c-ĉore, minus the deeper ĉores nested
+/// inside it (those are its children).
+#[derive(Clone, Debug)]
+pub struct ClNode {
+    /// Core level of this node.
+    pub core: u32,
+    /// Vertices whose core number equals `core` within this ĉore
+    /// (sorted).
+    pub vertices: Vec<VertexId>,
+    /// Child node ids (deeper ĉores merged under this one).
+    pub children: Vec<u32>,
+    /// Parent node id, or `u32::MAX` at a forest root.
+    parent: u32,
+}
+
+impl ClNode {
+    /// Parent node id, if any.
+    pub fn parent(&self) -> Option<u32> {
+        (self.parent != NONE).then_some(self.parent)
+    }
+}
+
+/// The CL-tree of a graph or induced subgraph (a forest when the
+/// underlying vertex set is disconnected). Vertex ids are always ids of
+/// the *host* graph, also when the tree indexes only a subset.
+#[derive(Clone, Debug)]
+pub struct ClTree {
+    nodes: Vec<ClNode>,
+    /// Sorted member vertices, parallel with `node_of`.
+    members: Vec<VertexId>,
+    /// `node_of[i]` = forest node holding `members[i]`.
+    node_of: Vec<u32>,
+    /// Core number of `members[i]` (within the indexed subgraph).
+    core_of: Vec<u32>,
+}
+
+impl ClTree {
+    /// Builds the CL-tree of the whole graph.
+    pub fn build(g: &Graph) -> ClTree {
+        let all: Vec<VertexId> = g.vertices().collect();
+        Self::build_on_subset(g, &all)
+    }
+
+    /// Builds the CL-tree of the subgraph induced by `subset`
+    /// (duplicates allowed; original vertex ids are retained).
+    pub fn build_on_subset(g: &Graph, subset: &[VertexId]) -> ClTree {
+        let (sub, ids) = g.induced_subgraph(subset);
+        let n = sub.num_vertices();
+        if n == 0 {
+            return ClTree { nodes: Vec::new(), members: Vec::new(), node_of: Vec::new(), core_of: Vec::new() };
+        }
+        let cd = CoreDecomposition::new(&sub);
+        let max_core = cd.max_core();
+
+        // Vertices bucketed by core level (local ids).
+        let mut at_level: Vec<Vec<u32>> = vec![Vec::new(); max_core as usize + 1];
+        for v in 0..n as u32 {
+            at_level[cd.core_number(v) as usize].push(v);
+        }
+
+        let mut uf = UnionFind::new(n);
+        let mut active = vec![false; n];
+        // Maximal already-built node ids inside each component, keyed by
+        // the component's current union-find root.
+        let mut attached: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        let mut nodes: Vec<ClNode> = Vec::new();
+        let mut node_of_local = vec![NONE; n];
+
+        for c in (0..=max_core).rev() {
+            let level = &at_level[c as usize];
+            for &v in level {
+                active[v as usize] = true;
+            }
+            for &v in level {
+                for &u in sub.neighbors(v) {
+                    if active[u as usize] {
+                        let (ra, rb) = (uf.find(v), uf.find(u));
+                        if ra != rb {
+                            let a_list = attached.remove(&ra).unwrap_or_default();
+                            let b_list = attached.remove(&rb).unwrap_or_default();
+                            let rnew = uf.union(ra, rb).expect("distinct roots");
+                            let mut merged = a_list;
+                            merged.extend(b_list);
+                            if !merged.is_empty() {
+                                attached.insert(rnew, merged);
+                            }
+                        }
+                    }
+                }
+            }
+            // Group this level's vertices by final component root.
+            let mut groups: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+            for &v in level {
+                groups.entry(uf.find(v)).or_default().push(v);
+            }
+            for (root, mut vs) in groups {
+                vs.sort_unstable();
+                let id = nodes.len() as u32;
+                let children = attached.remove(&root).unwrap_or_default();
+                for &ch in &children {
+                    nodes[ch as usize].parent = id;
+                }
+                for &v in &vs {
+                    node_of_local[v as usize] = id;
+                }
+                nodes.push(ClNode {
+                    core: c,
+                    vertices: vs.iter().map(|&v| ids[v as usize]).collect(),
+                    children,
+                    parent: NONE,
+                });
+                attached.insert(root, vec![id]);
+            }
+        }
+        debug_assert!(node_of_local.iter().all(|&x| x != NONE));
+
+        let core_of: Vec<u32> = (0..n as u32).map(|v| cd.core_number(v)).collect();
+        ClTree {
+            nodes,
+            members: ids,
+            node_of: node_of_local,
+            core_of,
+        }
+    }
+
+    /// Number of forest nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of indexed vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The sorted vertex ids this tree indexes.
+    pub fn members(&self) -> &[VertexId] {
+        &self.members
+    }
+
+    /// Forest node by id.
+    pub fn node(&self, id: u32) -> &ClNode {
+        &self.nodes[id as usize]
+    }
+
+    /// True when `v` is indexed by this tree.
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        self.members.binary_search(&v).is_ok()
+    }
+
+    /// Core number of `v` within the indexed subgraph, if present.
+    pub fn core_of(&self, v: VertexId) -> Option<u32> {
+        let i = self.members.binary_search(&v).ok()?;
+        Some(self.core_of[i])
+    }
+
+    /// The `vertexNodeMap` lookup: the forest node holding `v`.
+    pub fn node_of(&self, v: VertexId) -> Option<u32> {
+        let i = self.members.binary_search(&v).ok()?;
+        Some(self.node_of[i])
+    }
+
+    /// The k-ĉore containing `q` (sorted), or `None` when `q` is absent
+    /// or its core number is below `k`.
+    ///
+    /// Runs in O(path-to-ancestor + answer size).
+    pub fn get(&self, q: VertexId, k: u32) -> Option<Vec<VertexId>> {
+        let i = self.members.binary_search(&q).ok()?;
+        if self.core_of[i] < k {
+            return None;
+        }
+        // Climb to the shallowest ancestor still at level >= k.
+        let mut cur = self.node_of[i];
+        loop {
+            let p = self.nodes[cur as usize].parent;
+            if p == NONE || self.nodes[p as usize].core < k {
+                break;
+            }
+            cur = p;
+        }
+        // Collect the subtree.
+        let mut out = Vec::new();
+        let mut stack = vec![cur];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            out.extend_from_slice(&node.vertices);
+            stack.extend_from_slice(&node.children);
+        }
+        out.sort_unstable();
+        Some(out)
+    }
+
+    /// Iterator over forest roots.
+    pub fn roots(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.nodes.len() as u32).filter(|&id| self.nodes[id as usize].parent == NONE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_graph::Graph;
+
+    /// The paper's Fig. 4(a) graph: A..H = 0..7.
+    fn figure4() -> Graph {
+        Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 3),
+                (0, 4),
+                (1, 3),
+                (1, 4),
+                (3, 4),
+                (1, 2),
+                (2, 3),
+                (4, 5),
+                (5, 6),
+                (5, 7),
+                (6, 7),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure4_structure() {
+        let g = figure4();
+        let t = ClTree::build(&g);
+        // Fig. 4(b): root 0:# (core 0, no vertices at level 0 here since
+        // all vertices have core >= 2 — so the forest root is at core 2).
+        // Expected: one core-2 node holding {C} and {F,G,H}... they are
+        // a single 2-ĉore (E-F bridge), child = core-3 node {A,B,D,E}.
+        assert!(t.num_nodes() >= 2);
+        // get checks (the real contract).
+        assert_eq!(t.get(3, 3).unwrap(), vec![0, 1, 3, 4]);
+        assert_eq!(t.get(2, 2).unwrap(), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(t.get(6, 2).unwrap(), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(t.get(2, 3).is_none());
+        assert!(t.get(0, 4).is_none());
+        // k=0/1 return the whole (connected) graph.
+        assert_eq!(t.get(0, 0).unwrap().len(), 8);
+        assert_eq!(t.get(0, 1).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn matches_core_decomposition_everywhere() {
+        let g = figure4();
+        let t = ClTree::build(&g);
+        let cd = CoreDecomposition::new(&g);
+        for q in g.vertices() {
+            assert_eq!(t.core_of(q), Some(cd.core_number(q)));
+            for k in 0..=4 {
+                assert_eq!(t.get(q, k), cd.kcore_component(&g, q, k), "q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_is_a_forest() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+        let t = ClTree::build(&g);
+        assert_eq!(t.roots().count(), 3); // two triangles + isolated 6
+        assert_eq!(t.get(0, 2).unwrap(), vec![0, 1, 2]);
+        assert_eq!(t.get(4, 2).unwrap(), vec![3, 4, 5]);
+        assert_eq!(t.get(6, 0).unwrap(), vec![6]);
+        assert!(t.get(6, 1).is_none());
+        // 0-ĉores are per-component, never merged.
+        assert_eq!(t.get(0, 0).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn subset_build_uses_original_ids() {
+        let g = figure4();
+        // Index only {A,B,D,E,C} (0,1,3,4,2).
+        let t = ClTree::build_on_subset(&g, &[0, 1, 2, 3, 4]);
+        assert_eq!(t.num_vertices(), 5);
+        assert!(t.contains_vertex(0));
+        assert!(!t.contains_vertex(5));
+        assert_eq!(t.get(0, 3).unwrap(), vec![0, 1, 3, 4]);
+        assert_eq!(t.get(2, 2).unwrap(), vec![0, 1, 2, 3, 4]);
+        assert!(t.get(5, 0).is_none());
+        assert_eq!(t.core_of(2), Some(2));
+        assert_eq!(t.core_of(7), None);
+    }
+
+    #[test]
+    fn empty_subset() {
+        let g = figure4();
+        let t = ClTree::build_on_subset(&g, &[]);
+        assert_eq!(t.num_nodes(), 0);
+        assert_eq!(t.num_vertices(), 0);
+        assert!(t.get(0, 0).is_none());
+    }
+
+    #[test]
+    fn randomized_against_decomposition() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..15 {
+            let n = 40;
+            let mut edges = Vec::new();
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    if rng.gen_bool(0.12) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges).unwrap();
+            let t = ClTree::build(&g);
+            let cd = CoreDecomposition::new(&g);
+            for q in 0..n as u32 {
+                for k in 0..=cd.max_core() + 1 {
+                    assert_eq!(t.get(q, k), cd.kcore_component(&g, q, k), "q={q} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_subset_against_induced() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..15 {
+            let n = 30;
+            let mut edges = Vec::new();
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    if rng.gen_bool(0.15) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges).unwrap();
+            let subset: Vec<u32> = (0..n as u32).filter(|_| rng.gen_bool(0.6)).collect();
+            let t = ClTree::build_on_subset(&g, &subset);
+            let (sub, ids) = g.induced_subgraph(&subset);
+            let cd = CoreDecomposition::new(&sub);
+            for (local, &orig) in ids.iter().enumerate() {
+                for k in 0..4 {
+                    let expect = cd.kcore_component(&sub, local as u32, k).map(|c| {
+                        c.into_iter().map(|v| ids[v as usize]).collect::<Vec<_>>()
+                    });
+                    assert_eq!(t.get(orig, k), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_accessors() {
+        let g = figure4();
+        let t = ClTree::build(&g);
+        let nid = t.node_of(2).unwrap();
+        let node = t.node(nid);
+        assert_eq!(node.core, 2);
+        assert!(node.vertices.contains(&2));
+        // The deepest node has a parent chain ending at a root.
+        let deep = t.node_of(0).unwrap();
+        let mut cur = deep;
+        let mut steps = 0;
+        while let Some(p) = t.node(cur).parent() {
+            cur = p;
+            steps += 1;
+            assert!(steps < 100, "cycle in parent links");
+        }
+        assert!(t.roots().any(|r| r == cur));
+    }
+}

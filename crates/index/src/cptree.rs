@@ -1,0 +1,365 @@
+//! The CP-tree index (Section 4.2 / Algorithm 2 of the paper).
+//!
+//! One node per GP-tree label; each node stores the CL-tree of the
+//! subgraph induced by the vertices whose P-trees contain that label.
+//! Parent/child links between CP-tree nodes simply follow the taxonomy.
+//! A `headMap` records, per vertex, the leaf labels of its P-tree so
+//! the whole profile can be restored from the index (upward closure).
+//!
+//! Build cost is `O(|P| · m · α(n))` and space `O(|P| · n)` as analyzed
+//! in the paper; the per-label CL-trees are independent, so construction
+//! optionally fans out across threads.
+
+use pcs_graph::{Graph, VertexId};
+use pcs_ptree::{LabelId, PTree, Taxonomy};
+
+use crate::cltree::ClTree;
+use crate::{IndexError, Result};
+
+/// One CP-tree node: a taxonomy label plus the CL-tree of its induced
+/// subgraph.
+#[derive(Clone, Debug)]
+pub struct CpNode {
+    /// The label this node indexes.
+    pub label: LabelId,
+    /// Sorted vertices whose P-tree contains `label`.
+    pub vertices: Vec<VertexId>,
+    /// The CL-tree over those vertices (the paper's per-node
+    /// `vertexNodeMap`).
+    pub cl: ClTree,
+}
+
+/// The CP-tree index.
+#[derive(Clone, Debug)]
+pub struct CpTree {
+    /// Indexed by `LabelId`; `None` when no vertex carries the label.
+    nodes: Vec<Option<CpNode>>,
+    /// `headMap`: per vertex, the leaf labels of its P-tree.
+    head_map: Vec<Vec<LabelId>>,
+    n: usize,
+}
+
+impl CpTree {
+    /// Builds the index sequentially (Algorithm 2).
+    pub fn build(g: &Graph, tax: &Taxonomy, profiles: &[PTree]) -> Result<CpTree> {
+        Self::build_with_threads(g, tax, profiles, 1)
+    }
+
+    /// Builds the index, constructing per-label CL-trees on up to
+    /// `threads` worker threads (they are fully independent).
+    pub fn build_with_threads(
+        g: &Graph,
+        tax: &Taxonomy,
+        profiles: &[PTree],
+        threads: usize,
+    ) -> Result<CpTree> {
+        if g.num_vertices() != profiles.len() {
+            return Err(IndexError::ProfileCountMismatch {
+                vertices: g.num_vertices(),
+                profiles: profiles.len(),
+            });
+        }
+        // Lines 2-7 of Algorithm 2: bucket vertices per label and fill
+        // the headMap from P-tree leaves.
+        let mut vertices_of: Vec<Vec<VertexId>> = vec![Vec::new(); tax.len()];
+        let mut head_map: Vec<Vec<LabelId>> = Vec::with_capacity(profiles.len());
+        for (v, p) in profiles.iter().enumerate() {
+            for &l in p.nodes() {
+                if l as usize >= tax.len() {
+                    return Err(IndexError::UnknownLabel(l));
+                }
+                vertices_of[l as usize].push(v as VertexId);
+            }
+            head_map.push(p.leaves(tax));
+        }
+        // Lines 8-10: build one CL-tree per populated label.
+        let threads = threads.max(1);
+        let mut nodes: Vec<Option<CpNode>> = vec![None; tax.len()];
+        if threads == 1 {
+            for (label, verts) in vertices_of.into_iter().enumerate() {
+                if verts.is_empty() {
+                    continue;
+                }
+                let cl = ClTree::build_on_subset(g, &verts);
+                nodes[label] = Some(CpNode { label: label as LabelId, vertices: verts, cl });
+            }
+        } else {
+            let work: Vec<(usize, Vec<VertexId>)> = vertices_of
+                .into_iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_empty())
+                .collect();
+            let built: Vec<(usize, CpNode)> = crossbeam::thread::scope(|scope| {
+                let chunk = work.len().div_ceil(threads).max(1);
+                let handles: Vec<_> = work
+                    .chunks(chunk)
+                    .map(|batch| {
+                        scope.spawn(move |_| {
+                            batch
+                                .iter()
+                                .map(|(label, verts)| {
+                                    let cl = ClTree::build_on_subset(g, verts);
+                                    (
+                                        *label,
+                                        CpNode {
+                                            label: *label as LabelId,
+                                            vertices: verts.clone(),
+                                            cl,
+                                        },
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("index worker panicked"))
+                    .collect()
+            })
+            .expect("index build scope panicked");
+            for (label, node) in built {
+                nodes[label] = Some(node);
+            }
+        }
+        Ok(CpTree { nodes, head_map, n: g.num_vertices() })
+    }
+
+    /// Number of vertices the index covers.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of populated CP-tree nodes (labels carried by at least
+    /// one vertex).
+    pub fn num_populated_labels(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// The CP-tree node of `label`, if populated.
+    pub fn node(&self, label: LabelId) -> Option<&CpNode> {
+        self.nodes.get(label as usize)?.as_ref()
+    }
+
+    /// Sorted vertices carrying `label` (empty slice when none).
+    pub fn vertices_with_label(&self, label: LabelId) -> &[VertexId] {
+        self.node(label).map_or(&[], |n| &n.vertices)
+    }
+
+    /// The paper's `I.get(k, q, t)`: the k-ĉore containing `q` in the
+    /// subgraph of vertices carrying `label`. Sorted; `None` when it
+    /// does not exist.
+    pub fn get(&self, k: u32, q: VertexId, label: LabelId) -> Option<Vec<VertexId>> {
+        self.node(label)?.cl.get(q, k)
+    }
+
+    /// Leaf labels of `v`'s P-tree (the `headMap` entry).
+    pub fn head(&self, v: VertexId) -> &[LabelId] {
+        &self.head_map[v as usize]
+    }
+
+    /// Restores `T(v)` from the headMap by upward closure — the paper's
+    /// "Restore P-trees" operation.
+    pub fn restore_ptree(&self, tax: &Taxonomy, v: VertexId) -> PTree {
+        PTree::from_labels(tax, self.head_map[v as usize].iter().copied())
+            .expect("headMap labels always come from the build taxonomy")
+    }
+
+    /// Approximate heap footprint in bytes (for the paper's space-cost
+    /// discussion and the scalability harness).
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = 0usize;
+        for node in self.nodes.iter().flatten() {
+            total += node.vertices.len() * std::mem::size_of::<VertexId>();
+            total += node.cl.num_vertices()
+                * (std::mem::size_of::<VertexId>() + std::mem::size_of::<u32>() * 2);
+            total += node.cl.num_nodes() * 48;
+        }
+        for h in &self.head_map {
+            total += h.len() * std::mem::size_of::<LabelId>();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_graph::core::CoreDecomposition;
+
+    /// Fig. 1(a): graph A..H with the CCS-fragment profiles.
+    fn figure1() -> (Graph, Taxonomy, Vec<PTree>) {
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 3),
+                (0, 4),
+                (1, 3),
+                (1, 4),
+                (3, 4),
+                (1, 2),
+                (2, 3),
+                (4, 5),
+                (5, 6),
+                (5, 7),
+                (6, 7),
+            ],
+        )
+        .unwrap();
+        let mut t = Taxonomy::new("r");
+        let cm = t.add_child(0, "CM").unwrap();
+        let is = t.add_child(0, "IS").unwrap();
+        let hw = t.add_child(0, "HW").unwrap();
+        let ml = t.add_child(cm, "ML").unwrap();
+        let ai = t.add_child(cm, "AI").unwrap();
+        let dms = t.add_child(is, "DMS").unwrap();
+        let profiles = vec![
+            PTree::from_labels(&t, [dms, hw]).unwrap(), // A
+            PTree::from_labels(&t, [ml, ai]).unwrap(),          // B
+            PTree::from_labels(&t, [ml, ai, is]).unwrap(),      // C
+            PTree::from_labels(&t, [ml, ai, dms, hw]).unwrap(), // D
+            PTree::from_labels(&t, [dms, hw]).unwrap(),         // E
+            PTree::from_labels(&t, [is, hw]).unwrap(),          // F
+            PTree::from_labels(&t, [hw, cm]).unwrap(),          // G
+            PTree::from_labels(&t, [is, hw]).unwrap(),          // H
+        ];
+        (g, t, profiles)
+    }
+
+    #[test]
+    fn build_validates_inputs() {
+        let (g, t, mut profiles) = figure1();
+        profiles.pop();
+        assert_eq!(
+            CpTree::build(&g, &t, &profiles).unwrap_err(),
+            IndexError::ProfileCountMismatch { vertices: 8, profiles: 7 }
+        );
+    }
+
+    #[test]
+    fn per_label_get_matches_bruteforce() {
+        let (g, t, profiles) = figure1();
+        let idx = CpTree::build(&g, &t, &profiles).unwrap();
+        for label in 0..t.len() as u32 {
+            let with_label: Vec<u32> = (0..8u32)
+                .filter(|&v| profiles[v as usize].contains(label))
+                .collect();
+            assert_eq!(idx.vertices_with_label(label), &with_label[..]);
+            if with_label.is_empty() {
+                continue;
+            }
+            let (sub, ids) = g.induced_subgraph(&with_label);
+            let cd = CoreDecomposition::new(&sub);
+            for &q in &with_label {
+                let q_local = ids.binary_search(&q).unwrap() as u32;
+                for k in 0..4 {
+                    let expect = cd.kcore_component(&sub, q_local, k).map(|c| {
+                        c.into_iter().map(|v| ids[v as usize]).collect::<Vec<_>>()
+                    });
+                    assert_eq!(idx.get(k, q, label), expect, "label={label} q={q} k={k}");
+                }
+            }
+            // Vertices without the label are absent.
+            for v in 0..8u32 {
+                if !with_label.contains(&v) {
+                    assert!(idx.get(0, v, label).is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_label_indexes_everyone() {
+        let (g, t, profiles) = figure1();
+        let idx = CpTree::build(&g, &t, &profiles).unwrap();
+        assert_eq!(idx.vertices_with_label(Taxonomy::ROOT).len(), 8);
+        // 2-ĉore of D under the root label = whole graph's 2-ĉore.
+        assert_eq!(
+            idx.get(2, 3, Taxonomy::ROOT).unwrap(),
+            vec![0, 1, 2, 3, 4, 5, 6, 7]
+        );
+        let _ = g;
+    }
+
+    #[test]
+    fn head_map_restores_ptrees() {
+        let (g, t, profiles) = figure1();
+        let idx = CpTree::build(&g, &t, &profiles).unwrap();
+        for v in 0..8u32 {
+            assert_eq!(idx.restore_ptree(&t, v), profiles[v as usize], "vertex {v}");
+        }
+        // B's leaves are exactly ML and AI.
+        let mut head = idx.head(1).to_vec();
+        head.sort_unstable();
+        let mut expect = vec![t.id_of("ML").unwrap(), t.id_of("AI").unwrap()];
+        expect.sort_unstable();
+        assert_eq!(head, expect);
+        let _ = g;
+    }
+
+    #[test]
+    fn nested_label_cores_shrink() {
+        // I.get(k,q,t) ⊆ I.get(k,q,parent(t)) — the containment the
+        // paper's verifyPtree relies on.
+        let (g, t, profiles) = figure1();
+        let idx = CpTree::build(&g, &t, &profiles).unwrap();
+        for label in 1..t.len() as u32 {
+            let parent = t.parent(label);
+            for q in 0..8u32 {
+                for k in 0..3 {
+                    if let Some(child_core) = idx.get(k, q, label) {
+                        let parent_core = idx
+                            .get(k, q, parent)
+                            .expect("parent label core must exist");
+                        assert!(
+                            child_core.iter().all(|v| parent_core.binary_search(v).is_ok()),
+                            "label={label} q={q} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+        let _ = g;
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let (g, t, profiles) = figure1();
+        let seq = CpTree::build(&g, &t, &profiles).unwrap();
+        let par = CpTree::build_with_threads(&g, &t, &profiles, 4).unwrap();
+        assert_eq!(seq.num_populated_labels(), par.num_populated_labels());
+        for label in 0..t.len() as u32 {
+            assert_eq!(seq.vertices_with_label(label), par.vertices_with_label(label));
+            for q in 0..8u32 {
+                for k in 0..4 {
+                    assert_eq!(seq.get(k, q, label), par.get(k, q, label));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unpopulated_label_behaviour() {
+        let (g, mut t, mut profiles) = figure1();
+        let lonely = t.add_child(Taxonomy::ROOT, "lonely").unwrap();
+        // Rebuild profiles against the grown taxonomy (ids unchanged).
+        profiles = profiles
+            .into_iter()
+            .map(|p| PTree::from_labels(&t, p.nodes().iter().copied().skip(1)).unwrap())
+            .collect();
+        let idx = CpTree::build(&g, &t, &profiles).unwrap();
+        assert!(idx.node(lonely).is_none());
+        assert!(idx.get(0, 0, lonely).is_none());
+        assert!(idx.vertices_with_label(lonely).is_empty());
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let (g, t, profiles) = figure1();
+        let idx = CpTree::build(&g, &t, &profiles).unwrap();
+        assert!(idx.memory_bytes() > 0);
+        assert_eq!(idx.num_vertices(), 8);
+        assert!(idx.num_populated_labels() >= 6);
+    }
+}

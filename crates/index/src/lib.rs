@@ -1,0 +1,70 @@
+//! # pcs-index — the CL-tree and CP-tree indexes
+//!
+//! Index structures from Section 4 of the PCS paper:
+//!
+//! * [`ClTree`] — the *core label tree* of Fang et al. (adopted by the
+//!   paper without labels): all k-ĉores of a graph organized by the
+//!   nestedness property `j-ĉore ⊆ i-ĉore (i < j)` into a forest, with
+//!   a `vertexNodeMap` locating the ĉore of any query vertex. Built in
+//!   O(m·α(n)) with a union-find over descending core numbers; answers
+//!   `get(q, k)` in time proportional to the answer.
+//! * [`CpTree`] — the *core profiled tree* index (Section 4.2): one node
+//!   per taxonomy label holding the CL-tree of the subgraph induced by
+//!   the vertices whose P-trees contain that label, linked along the
+//!   GP-tree, plus the `headMap` from each vertex to the leaf labels of
+//!   its P-tree (so `T(v)` can be restored from the index alone).
+//!
+//! ```
+//! use pcs_graph::Graph;
+//! use pcs_ptree::{PTree, Taxonomy};
+//! use pcs_index::CpTree;
+//!
+//! let mut tax = Taxonomy::new("r");
+//! let a = tax.add_child(Taxonomy::ROOT, "a").unwrap();
+//! let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+//! let profiles = vec![
+//!     PTree::from_labels(&tax, [a]).unwrap(),
+//!     PTree::from_labels(&tax, [a]).unwrap(),
+//!     PTree::root_only(),
+//! ];
+//! let index = CpTree::build(&g, &tax, &profiles).unwrap();
+//! // 1-ĉore of vertex 0 among vertices labelled `a`: the edge {0, 1}.
+//! assert_eq!(index.get(1, 0, a).unwrap(), vec![0, 1]);
+//! ```
+
+pub mod cltree;
+pub mod cptree;
+
+pub use cltree::ClTree;
+pub use cptree::CpTree;
+
+/// Errors produced while building or querying indexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The number of vertex profiles differs from the graph size.
+    ProfileCountMismatch {
+        /// Vertices in the graph.
+        vertices: usize,
+        /// Profiles supplied.
+        profiles: usize,
+    },
+    /// A profile references a label outside the taxonomy.
+    UnknownLabel(pcs_ptree::LabelId),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::ProfileCountMismatch { vertices, profiles } => write!(
+                f,
+                "graph has {vertices} vertices but {profiles} profiles were supplied"
+            ),
+            IndexError::UnknownLabel(l) => write!(f, "profile references unknown label {l}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, IndexError>;

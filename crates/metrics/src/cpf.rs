@@ -1,0 +1,91 @@
+//! Community P-tree Frequency (Eq. 4 of the paper).
+//!
+//! Document-frequency-style cohesiveness: for every node of the query's
+//! P-tree and every returned community, measure the fraction of members
+//! whose profile contains that node, then average:
+//!
+//! `CPF(q) = (1/(|G|·|T(q)|)) Σ_i Σ_j fre_{i,j} / |G_i|`
+//!
+//! Ranges over `[0, 1]`; higher = the query's themes are widely carried
+//! by the returned communities.
+
+use pcs_core::ProfiledCommunity;
+use pcs_ptree::PTree;
+
+/// CPF for one query (Eq. 4). Returns 0 when no communities were
+/// returned.
+pub fn cpf(tq: &PTree, profiles: &[PTree], communities: &[ProfiledCommunity]) -> f64 {
+    if communities.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for comm in communities {
+        if comm.vertices.is_empty() {
+            continue;
+        }
+        let size = comm.vertices.len() as f64;
+        for &node in tq.nodes() {
+            let fre = comm
+                .vertices
+                .iter()
+                .filter(|&&v| profiles[v as usize].contains(node))
+                .count() as f64;
+            acc += fre / size;
+        }
+    }
+    acc / (communities.len() as f64 * tq.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_ptree::Taxonomy;
+
+    fn setup() -> (Taxonomy, Vec<PTree>) {
+        let mut t = Taxonomy::new("r");
+        let a = t.add_child(0, "a").unwrap();
+        let b = t.add_child(0, "b").unwrap();
+        let profiles = vec![
+            PTree::from_labels(&t, [a, b]).unwrap(),
+            PTree::from_labels(&t, [a]).unwrap(),
+            PTree::from_labels(&t, [b]).unwrap(),
+        ];
+        (t, profiles)
+    }
+
+    #[test]
+    fn full_overlap_scores_one() {
+        let (t, profiles) = setup();
+        let tq = PTree::from_labels(&t, [t.id_of("a").unwrap()]).unwrap();
+        let comm = ProfiledCommunity { subtree: tq.clone(), vertices: vec![0, 1] };
+        let score = cpf(&tq, &profiles, &[comm]);
+        assert!((score - 1.0).abs() < 1e-12, "{score}");
+    }
+
+    #[test]
+    fn partial_overlap_scores_fraction() {
+        let (t, profiles) = setup();
+        // T(q) = {r, a}; community = {0, 2}: node r in 2/2, node a in 1/2.
+        let tq = PTree::from_labels(&t, [t.id_of("a").unwrap()]).unwrap();
+        let comm = ProfiledCommunity { subtree: PTree::root_only(), vertices: vec![0, 2] };
+        let score = cpf(&tq, &profiles, &[comm]);
+        assert!((score - 0.75).abs() < 1e-12, "{score}");
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        let (t, profiles) = setup();
+        let tq = PTree::from_labels(&t, [t.id_of("a").unwrap()]).unwrap();
+        assert_eq!(cpf(&tq, &profiles, &[]), 0.0);
+    }
+
+    #[test]
+    fn averaged_over_communities() {
+        let (t, profiles) = setup();
+        let tq = PTree::from_labels(&t, [t.id_of("a").unwrap()]).unwrap();
+        let perfect = ProfiledCommunity { subtree: tq.clone(), vertices: vec![0, 1] };
+        let half = ProfiledCommunity { subtree: PTree::root_only(), vertices: vec![0, 2] };
+        let score = cpf(&tq, &profiles, &[perfect, half]);
+        assert!((score - 0.875).abs() < 1e-12, "{score}");
+    }
+}

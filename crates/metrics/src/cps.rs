@@ -1,0 +1,138 @@
+//! Community Pairwise Similarity (Eq. 2 of the paper).
+//!
+//! `CPS(G) = 1 − Σ_l (1/|G_l|²) Σ_{i,j} TED(T_i, T_j) / |T_i ∪ T_j|`
+//! averaged over the community collection: for every community, average
+//! the normalized tree edit distance over all ordered member pairs,
+//! then average across communities and flip into a similarity. Values
+//! lie in `[0, 1]`; higher = members' profiles are more alike.
+
+use pcs_core::ProfiledCommunity;
+use pcs_ptree::{tree_edit_distance, OrderedTree, PTree, Taxonomy};
+
+/// Normalized TED similarity between two P-trees:
+/// `1 − TED(a, b)/|a ∪ b|` (1 for identical trees).
+pub fn pairwise_similarity(tax: &Taxonomy, a: &PTree, b: &PTree) -> f64 {
+    let ted = tree_edit_distance(
+        &OrderedTree::from_ptree(tax, a),
+        &OrderedTree::from_ptree(tax, b),
+    );
+    let denom = a.union(b).len().max(1);
+    1.0 - ted as f64 / denom as f64
+}
+
+/// Largest community size for which all pairs are evaluated exactly;
+/// bigger communities are deterministically subsampled to this many
+/// members (evenly spaced), keeping the metric O(cap²·TED) per
+/// community.
+pub const CPS_SAMPLE_CAP: usize = 120;
+
+/// CPS over a collection of communities (Eq. 2). Returns 0 for an
+/// empty collection.
+pub fn cps(tax: &Taxonomy, profiles: &[PTree], communities: &[ProfiledCommunity]) -> f64 {
+    if communities.is_empty() {
+        return 0.0;
+    }
+    let mut total_distance_ratio = 0.0;
+    for comm in communities {
+        let members: Vec<u32> = if comm.vertices.len() <= CPS_SAMPLE_CAP {
+            comm.vertices.clone()
+        } else {
+            // Deterministic even subsample.
+            let step = comm.vertices.len() as f64 / CPS_SAMPLE_CAP as f64;
+            (0..CPS_SAMPLE_CAP)
+                .map(|i| comm.vertices[(i as f64 * step) as usize])
+                .collect()
+        };
+        let n = members.len();
+        if n == 0 {
+            continue;
+        }
+        // Cache ordered trees once per member.
+        let trees: Vec<OrderedTree> = members
+            .iter()
+            .map(|&v| OrderedTree::from_ptree(tax, &profiles[v as usize]))
+            .collect();
+        let mut acc = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let ted = tree_edit_distance(&trees[i], &trees[j]);
+                let denom = profiles[members[i] as usize]
+                    .union(&profiles[members[j] as usize])
+                    .len()
+                    .max(1);
+                acc += 2.0 * ted as f64 / denom as f64; // ordered pairs (i,j)+(j,i)
+            }
+        }
+        total_distance_ratio += acc / (n * n) as f64;
+    }
+    1.0 - total_distance_ratio / communities.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tax3() -> (Taxonomy, Vec<PTree>) {
+        let mut t = Taxonomy::new("r");
+        let a = t.add_child(0, "a").unwrap();
+        let b = t.add_child(0, "b").unwrap();
+        let c = t.add_child(a, "c").unwrap();
+        let trees = vec![
+            PTree::from_labels(&t, [c]).unwrap(),
+            PTree::from_labels(&t, [c]).unwrap(),
+            PTree::from_labels(&t, [b]).unwrap(),
+        ];
+        (t, trees)
+    }
+
+    #[test]
+    fn identical_profiles_give_cps_one() {
+        let (t, trees) = tax3();
+        let comm = ProfiledCommunity {
+            subtree: trees[0].clone(),
+            vertices: vec![0, 1],
+        };
+        let score = cps(&t, &trees, &[comm]);
+        assert!((score - 1.0).abs() < 1e-12, "{score}");
+    }
+
+    #[test]
+    fn diverse_profiles_lower_cps() {
+        let (t, trees) = tax3();
+        let tight = ProfiledCommunity { subtree: trees[0].clone(), vertices: vec![0, 1] };
+        let loose = ProfiledCommunity { subtree: PTree::root_only(), vertices: vec![0, 2] };
+        let s_tight = cps(&t, &trees, &[tight]);
+        let s_loose = cps(&t, &trees, &[loose]);
+        assert!(s_tight > s_loose, "{s_tight} vs {s_loose}");
+        assert!((0.0..=1.0).contains(&s_loose));
+    }
+
+    #[test]
+    fn empty_collection_is_zero() {
+        let (t, trees) = tax3();
+        assert_eq!(cps(&t, &trees, &[]), 0.0);
+    }
+
+    #[test]
+    fn pairwise_similarity_bounds() {
+        let (t, trees) = tax3();
+        assert!((pairwise_similarity(&t, &trees[0], &trees[1]) - 1.0).abs() < 1e-12);
+        let s = pairwise_similarity(&t, &trees[0], &trees[2]);
+        assert!((0.0..1.0).contains(&s));
+        // Symmetry.
+        assert_eq!(s, pairwise_similarity(&t, &trees[2], &trees[0]));
+    }
+
+    #[test]
+    fn subsampling_kicks_in_for_large_communities() {
+        let (t, _) = tax3();
+        let profiles: Vec<PTree> = (0..500).map(|_| PTree::root_only()).collect();
+        let comm = ProfiledCommunity {
+            subtree: PTree::root_only(),
+            vertices: (0..500).collect(),
+        };
+        // All identical => 1.0 regardless of sampling.
+        let score = cps(&t, &profiles, &[comm]);
+        assert!((score - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! F1-score against ground-truth circles (Fig. 11 / Table 4).
+//!
+//! Standard set-overlap F1 between a found community and a ground-truth
+//! community, and the query-level "best match" convention the paper
+//! uses: a query vertex can belong to several overlapping circles and a
+//! method can return several communities, so the score is the best F1
+//! over all (found, truth) pairs.
+
+use pcs_graph::VertexId;
+
+/// F1 between a found vertex set and a ground-truth set. Both slices
+/// must be sorted. Returns 0 when either set is empty.
+pub fn f1_score(found: &[VertexId], truth: &[VertexId]) -> f64 {
+    if found.is_empty() || truth.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(found.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(truth.windows(2).all(|w| w[0] < w[1]));
+    let mut overlap = 0usize;
+    let (mut i, mut j) = (0, 0);
+    while i < found.len() && j < truth.len() {
+        match found[i].cmp(&truth[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                overlap += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if overlap == 0 {
+        return 0.0;
+    }
+    let precision = overlap as f64 / found.len() as f64;
+    let recall = overlap as f64 / truth.len() as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Best F1 over all (found community, ground-truth circle) pairs —
+/// the per-query accuracy the Fig. 11 harness averages. Returns 0 when
+/// either side is empty.
+pub fn best_f1<F, T>(found: &[F], truths: &[T]) -> f64
+where
+    F: AsRef<[VertexId]>,
+    T: AsRef<[VertexId]>,
+{
+    let mut best = 0.0f64;
+    for f in found {
+        for t in truths {
+            best = best.max(f1_score(f.as_ref(), t.as_ref()));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match() {
+        assert!((f1_score(&[1, 2, 3], &[1, 2, 3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_overlap() {
+        assert_eq!(f1_score(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(f1_score(&[], &[1]), 0.0);
+        assert_eq!(f1_score(&[1], &[]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // found {1,2,3,4}, truth {3,4,5,6}: overlap 2, P = R = 0.5.
+        let f1 = f1_score(&[1, 2, 3, 4], &[3, 4, 5, 6]);
+        assert!((f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_sizes() {
+        // found {1}, truth {1,2,3}: P=1, R=1/3, F1=0.5.
+        let f1 = f1_score(&[1], &[1, 2, 3]);
+        assert!((f1 - 0.5).abs() < 1e-12);
+        // Symmetric in arguments.
+        assert_eq!(f1, f1_score(&[1, 2, 3], &[1]));
+    }
+
+    #[test]
+    fn best_f1_picks_best_pair() {
+        let found = vec![vec![1u32, 2], vec![5, 6, 7]];
+        let truths = vec![vec![5u32, 6, 7, 8], vec![9u32]];
+        let best = best_f1(&found, &truths);
+        // {5,6,7} vs {5,6,7,8}: P=1, R=0.75, F1=6/7.
+        assert!((best - 6.0 / 7.0).abs() < 1e-12, "{best}");
+        assert_eq!(best_f1::<Vec<u32>, Vec<u32>>(&[], &truths), 0.0);
+    }
+}

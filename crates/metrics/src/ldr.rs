@@ -1,0 +1,129 @@
+//! Level-Diversity Ratio (Eq. 3 of the paper).
+//!
+//! For a query `q`, compare a method `F`'s shared community trees to
+//! PCS's, taxonomy level by taxonomy level:
+//!
+//! `LDR(q, F) = (1/L) Σ_i [ Σ_h L_i(T(F,q,h)) / Σ_j L_i(T(PCS,q,j)) ]`
+//!
+//! where `L_i(T)` counts the distinct labels at taxonomy depth `i`
+//! across a shared tree, summed over the communities a method returns.
+//! A value below 1 means the method's themes cover fewer labels per
+//! level than PCS's — the paper reports ACQ at only 40–60 %.
+//!
+//! Levels where PCS has no label (denominator 0) are skipped, mirroring
+//! the fraction being undefined there.
+
+use pcs_core::ProfiledCommunity;
+use pcs_graph::FxHashSet;
+use pcs_ptree::{LabelId, PTree, Taxonomy};
+
+/// Distinct labels at depth `d` across a set of shared trees.
+fn unique_labels_at_depth(
+    tax: &Taxonomy,
+    trees: impl Iterator<Item = impl std::ops::Deref<Target = PTree>>,
+    d: u32,
+) -> usize {
+    let mut set: FxHashSet<LabelId> = FxHashSet::default();
+    for t in trees {
+        for id in t.nodes_at_depth(tax, d) {
+            set.insert(id);
+        }
+    }
+    set.len()
+}
+
+/// LDR of method `F` relative to PCS for one query (Eq. 3). `tq` is
+/// the query vertex's P-tree (its height defines the level count).
+/// Returns 0 when PCS produced nothing.
+pub fn ldr(
+    tax: &Taxonomy,
+    tq: &PTree,
+    f_communities: &[ProfiledCommunity],
+    pcs_communities: &[ProfiledCommunity],
+) -> f64 {
+    let height = tq.height(tax);
+    if pcs_communities.is_empty() || height == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    let mut counted = 0usize;
+    // Levels 1..=height (the root level is shared by construction).
+    for d in 1..=height {
+        let denom =
+            unique_labels_at_depth(tax, pcs_communities.iter().map(|c| &c.subtree), d);
+        if denom == 0 {
+            continue;
+        }
+        let num = unique_labels_at_depth(tax, f_communities.iter().map(|c| &c.subtree), d);
+        acc += num as f64 / denom as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        acc / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Taxonomy, PTree, Vec<PTree>) {
+        let mut t = Taxonomy::new("r");
+        let a = t.add_child(0, "a").unwrap();
+        let b = t.add_child(0, "b").unwrap();
+        let c = t.add_child(a, "c").unwrap();
+        let d = t.add_child(a, "d").unwrap();
+        let tq = PTree::from_labels(&t, [c, d, b]).unwrap();
+        let themes = vec![
+            PTree::from_labels(&t, [c]).unwrap(),       // theme 1: r-a-c
+            PTree::from_labels(&t, [b]).unwrap(),       // theme 2: r-b
+            PTree::from_labels(&t, [c, d]).unwrap(),    // theme 3: r-a-{c,d}
+        ];
+        (t, tq, themes)
+    }
+
+    fn comm(p: &PTree) -> ProfiledCommunity {
+        ProfiledCommunity { subtree: p.clone(), vertices: vec![0] }
+    }
+
+    #[test]
+    fn same_method_gives_one() {
+        let (t, tq, themes) = setup();
+        let pcs = vec![comm(&themes[0]), comm(&themes[1])];
+        let score = ldr(&t, &tq, &pcs, &pcs);
+        assert!((score - 1.0).abs() < 1e-12, "{score}");
+    }
+
+    #[test]
+    fn subset_method_scores_below_one() {
+        let (t, tq, themes) = setup();
+        let pcs = vec![comm(&themes[2]), comm(&themes[1])]; // labels a,b @1; c,d @2
+        let f = vec![comm(&themes[0])]; // labels a @1; c @2
+        let score = ldr(&t, &tq, &f, &pcs);
+        // Level 1: 1/2, level 2: 1/2 => 0.5.
+        assert!((score - 0.5).abs() < 1e-12, "{score}");
+    }
+
+    #[test]
+    fn empty_pcs_yields_zero() {
+        let (t, tq, themes) = setup();
+        assert_eq!(ldr(&t, &tq, &[comm(&themes[0])], &[]), 0.0);
+    }
+
+    #[test]
+    fn method_with_extra_labels_can_exceed_one() {
+        let (t, tq, themes) = setup();
+        let pcs = vec![comm(&themes[0])];
+        let f = vec![comm(&themes[2]), comm(&themes[1])];
+        let score = ldr(&t, &tq, &f, &pcs);
+        assert!(score > 1.0, "{score}");
+    }
+
+    #[test]
+    fn root_only_query_tree_is_zero() {
+        let (t, _, themes) = setup();
+        assert_eq!(ldr(&t, &PTree::root_only(), &[comm(&themes[0])], &[comm(&themes[0])]), 0.0);
+    }
+}

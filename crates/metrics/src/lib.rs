@@ -1,0 +1,26 @@
+//! # pcs-metrics — community quality metrics
+//!
+//! The four quality indices of the paper's effectiveness evaluation
+//! (Section 5.2/5.3), plus F1 against ground-truth circles:
+//!
+//! * [`cps`] — **Community Pairwise Similarity** (Eq. 2): average
+//!   TED-based similarity between member P-trees, over all vertex pairs
+//!   of all communities. Higher = more cohesive.
+//! * [`ldr`] — **Level-Diversity Ratio** (Eq. 3): per-taxonomy-level
+//!   unique-label coverage of a method's shared trees relative to
+//!   PCS's. Lower = the method is less diverse than PCS.
+//! * [`cpf`] — **Community P-tree Frequency** (Eq. 4): how frequently
+//!   the query's P-tree nodes occur among community members (document-
+//!   frequency style). Higher = better cohesiveness.
+//! * [`f1`] — F1-score of a found community against ground-truth
+//!   circles (Fig. 11 / Table 4).
+
+pub mod cpf;
+pub mod cps;
+pub mod f1;
+pub mod ldr;
+
+pub use cpf::cpf;
+pub use cps::{cps, pairwise_similarity};
+pub use f1::{best_f1, f1_score};
+pub use ldr::ldr;

@@ -1,0 +1,159 @@
+//! Subtree counting and exhaustive enumeration.
+//!
+//! Supports Lemma 1 of the paper (a P-tree with `x` nodes has at most
+//! `2^(x−1) + 1` subtrees, the empty tree included) and provides the
+//! reference enumerator the algorithm crates test against.
+
+use crate::query::{QuerySpace, Subtree};
+
+/// Number of induced rooted subtrees of `T(q)` **containing the root**,
+/// computed by the product recurrence `g(v) = Π_c (1 + g(c))`.
+///
+/// Add 1 for the empty tree to match the paper's `f(x)` (Lemma 1).
+/// Saturates at `u128::MAX` for pathologically large spaces.
+pub fn count_rooted_subtrees(space: &QuerySpace) -> u128 {
+    fn g(space: &QuerySpace, pos: u32) -> u128 {
+        let mut prod: u128 = 1;
+        for &c in space.children_of(pos) {
+            prod = prod.saturating_mul(1u128.saturating_add(g(space, c)));
+        }
+        prod
+    }
+    g(space, 0)
+}
+
+/// Total search-space size including the empty tree — the paper's
+/// `f(x)`.
+pub fn count_all_subtrees(space: &QuerySpace) -> u128 {
+    count_rooted_subtrees(space).saturating_add(1)
+}
+
+/// The paper's Lemma 1 upper bound `2^(x−1) + 1` for a P-tree with `x`
+/// nodes (saturating).
+pub fn lemma1_upper_bound(x: usize) -> u128 {
+    if x == 0 {
+        return 1;
+    }
+    if x > 128 {
+        return u128::MAX;
+    }
+    (1u128 << (x - 1)).saturating_add(1)
+}
+
+/// Exhaustively enumerates every valid non-empty subtree of `T(q)` via
+/// rightmost-path extension. Intended for tests and for the Table 3
+/// search-space statistics on query-sized trees; cost is proportional to
+/// the output size, which is exponential in `|T(q)|`.
+pub fn enumerate_rooted_subtrees(space: &QuerySpace) -> Vec<Subtree> {
+    let mut out = Vec::new();
+    let mut stack = vec![space.empty()];
+    while let Some(s) = stack.pop() {
+        for p in space.rightmost_extensions(&s) {
+            let child = s.with(p);
+            out.push(child.clone());
+            stack.push(child);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptree::PTree;
+    use crate::taxonomy::Taxonomy;
+
+    fn space_of(tax: &Taxonomy, labels: &[u32]) -> QuerySpace {
+        let tq = PTree::from_labels(tax, labels.iter().copied()).unwrap();
+        QuerySpace::new(tax, &tq).unwrap()
+    }
+
+    #[test]
+    fn star_tree_achieves_lemma1_bound() {
+        // Root with x-1 children: subtree count is exactly 2^(x-1)+1.
+        for x in 1..=10usize {
+            let mut t = Taxonomy::new("r");
+            let kids: Vec<u32> = (0..x - 1)
+                .map(|i| t.add_child(0, &format!("c{i}")).unwrap())
+                .collect();
+            let qs = space_of(&t, &kids);
+            assert_eq!(qs.len(), x);
+            assert_eq!(count_all_subtrees(&qs), lemma1_upper_bound(x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn path_tree_is_linear() {
+        // A path of x nodes has x rooted subtrees (+1 empty).
+        let mut t = Taxonomy::new("r");
+        let mut parent = 0;
+        for i in 0..7 {
+            parent = t.add_child(parent, &format!("p{i}")).unwrap();
+        }
+        let qs = space_of(&t, &[parent]);
+        assert_eq!(qs.len(), 8);
+        assert_eq!(count_all_subtrees(&qs), 9);
+    }
+
+    #[test]
+    fn counting_matches_enumeration() {
+        // r -> {a, b}; a -> {c, d}; b -> {e}.
+        let mut t = Taxonomy::new("r");
+        let a = t.add_child(0, "a").unwrap();
+        let b = t.add_child(0, "b").unwrap();
+        let c = t.add_child(a, "c").unwrap();
+        let d = t.add_child(a, "d").unwrap();
+        let e = t.add_child(b, "e").unwrap();
+        let qs = space_of(&t, &[c, d, e]);
+        let all = enumerate_rooted_subtrees(&qs);
+        assert_eq!(all.len() as u128, count_rooted_subtrees(&qs));
+        // g(a)= (1+1)(1+1)=4, g(b)=2, g(r)=(1+4)(1+2)=15.
+        assert_eq!(count_rooted_subtrees(&qs), 15);
+        // All enumerated are valid, unique, and contain the root.
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len());
+        for s in &all {
+            assert!(qs.is_valid(s));
+            assert!(s.contains(0));
+        }
+    }
+
+    #[test]
+    fn lemma1_bound_never_exceeded_on_random_trees() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..50 {
+            let mut t = Taxonomy::new("r");
+            let mut ids = vec![0u32];
+            let x = rng.gen_range(1..=12);
+            for i in 1..x {
+                let parent = ids[rng.gen_range(0..ids.len())];
+                ids.push(t.add_child(parent, &format!("n{i}")).unwrap());
+            }
+            let qs = space_of(&t, &ids);
+            let count = count_all_subtrees(&qs);
+            assert!(count <= lemma1_upper_bound(x), "x={x} count={count}");
+            assert!(count > x as u128); // at least the chain prefixes
+        }
+    }
+
+    #[test]
+    fn lemma1_bound_edge_cases() {
+        assert_eq!(lemma1_upper_bound(0), 1);
+        assert_eq!(lemma1_upper_bound(1), 2);
+        assert_eq!(lemma1_upper_bound(2), 3);
+        assert_eq!(lemma1_upper_bound(200), u128::MAX);
+    }
+
+    #[test]
+    fn root_only_space() {
+        let t = Taxonomy::new("r");
+        let qs = space_of(&t, &[]);
+        assert_eq!(qs.len(), 1);
+        assert_eq!(count_rooted_subtrees(&qs), 1);
+        let all = enumerate_rooted_subtrees(&qs);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0], qs.root_only());
+    }
+}

@@ -1,0 +1,364 @@
+//! P-trees: vertex profiles as ancestor-closed taxonomy subsets.
+//!
+//! Because every vertex's profile is an induced rooted subtree of the
+//! one shared GP-tree, a P-tree is fully described by *which* taxonomy
+//! nodes it contains — an ancestor-closed id set including the root.
+//! Storing that set sorted gives:
+//!
+//! * subtree inclusion (Definition 3) = sorted-subset test,
+//! * intersection of two P-trees = sorted merge (closure is preserved:
+//!   if `x ≠ root` is in both trees, so is `parent(x)`),
+//! * the maximal common subtree `M(G)` of a community (Definition 4) =
+//!   an intersection fold, which is exactly how the PCS verification and
+//!   metrics compute it.
+
+use crate::taxonomy::{LabelId, Taxonomy};
+use crate::{PTreeError, Result};
+
+/// An induced rooted subtree of a [`Taxonomy`] (Definition 2/3).
+///
+/// Invariant: `nodes` is sorted, deduplicated, ancestor-closed, and
+/// contains [`Taxonomy::ROOT`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PTree {
+    nodes: Vec<LabelId>,
+}
+
+impl PTree {
+    /// The trivial P-tree containing only the taxonomy root.
+    pub fn root_only() -> Self {
+        PTree { nodes: vec![Taxonomy::ROOT] }
+    }
+
+    /// Crate-private constructor for node lists whose sortedness and
+    /// ancestor closure are guaranteed by the caller (see
+    /// [`crate::QuerySpace::to_ptree`]).
+    pub(crate) fn new_unchecked(nodes: Vec<LabelId>) -> Self {
+        debug_assert_eq!(nodes.first(), Some(&Taxonomy::ROOT));
+        PTree { nodes }
+    }
+
+    /// Builds a P-tree from any iterator of labels by closing it upward:
+    /// every ancestor of a supplied label (and the root) is included.
+    pub fn from_labels<I: IntoIterator<Item = LabelId>>(tax: &Taxonomy, labels: I) -> Result<Self> {
+        let mut nodes = vec![Taxonomy::ROOT];
+        for l in labels {
+            if l as usize >= tax.len() {
+                return Err(PTreeError::UnknownLabel(l));
+            }
+            nodes.extend(tax.ancestors_inclusive(l));
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        Ok(PTree { nodes })
+    }
+
+    /// Wraps an id list that is already sorted, deduped, and
+    /// ancestor-closed. Returns [`PTreeError::TaxonomyMismatch`] if not.
+    pub fn from_closed_sorted(tax: &Taxonomy, nodes: Vec<LabelId>) -> Result<Self> {
+        if !tax.is_ancestor_closed(&nodes) {
+            return Err(PTreeError::TaxonomyMismatch);
+        }
+        Ok(PTree { nodes })
+    }
+
+    /// The sorted node ids.
+    #[inline]
+    pub fn nodes(&self) -> &[LabelId] {
+        &self.nodes
+    }
+
+    /// Number of labels, root included (`|T(v)|` in the paper).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A P-tree always contains the root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: LabelId) -> bool {
+        self.nodes.binary_search(&id).is_ok()
+    }
+
+    /// Subtree inclusion `self ⊆ other` (Definition 3). Edge containment
+    /// is implied by node containment because both trees inherit their
+    /// edges from the same taxonomy.
+    pub fn is_subtree_of(&self, other: &PTree) -> bool {
+        if self.nodes.len() > other.nodes.len() {
+            return false;
+        }
+        let mut it = other.nodes.iter();
+        'outer: for &x in &self.nodes {
+            for &y in it.by_ref() {
+                match y.cmp(&x) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// The common subtree of two P-trees (sorted intersection).
+    pub fn intersect(&self, other: &PTree) -> PTree {
+        let mut out = Vec::with_capacity(self.nodes.len().min(other.nodes.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.nodes.len() && j < other.nodes.len() {
+            match self.nodes[i].cmp(&other.nodes[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.nodes[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        PTree { nodes: out }
+    }
+
+    /// The maximal common subtree `M(G)` of a non-empty collection
+    /// (Definition 4): the intersection fold of all trees.
+    pub fn intersect_all<'a, I: IntoIterator<Item = &'a PTree>>(trees: I) -> Option<PTree> {
+        let mut it = trees.into_iter();
+        let first = it.next()?.clone();
+        Some(it.fold(first, |acc, t| acc.intersect(t)))
+    }
+
+    /// The union of two P-trees as a P-tree (needed by the CPS metric's
+    /// `|Ti ∪ Tj|` denominator).
+    pub fn union(&self, other: &PTree) -> PTree {
+        let mut out = Vec::with_capacity(self.nodes.len() + other.nodes.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.nodes.len() || j < other.nodes.len() {
+            let a = self.nodes.get(i);
+            let b = other.nodes.get(j);
+            match (a, b) {
+                (Some(&x), Some(&y)) if x == y => {
+                    out.push(x);
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    out.push(x);
+                    i += 1;
+                }
+                (Some(_), Some(&y)) => {
+                    out.push(y);
+                    j += 1;
+                }
+                (Some(&x), None) => {
+                    out.push(x);
+                    i += 1;
+                }
+                (None, Some(&y)) => {
+                    out.push(y);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        PTree { nodes: out }
+    }
+
+    /// Leaf labels of this P-tree: members none of whose taxonomy
+    /// children are members. (These feed the CP-tree `headMap`.)
+    pub fn leaves(&self, tax: &Taxonomy) -> Vec<LabelId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|&id| tax.children(id).iter().all(|&c| !self.contains(c)))
+            .collect()
+    }
+
+    /// Members at taxonomy depth `d` (used by the LDR metric's
+    /// per-level label counts).
+    pub fn nodes_at_depth(&self, tax: &Taxonomy, d: u32) -> Vec<LabelId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|&id| tax.depth(id) == d)
+            .collect()
+    }
+
+    /// Height of this P-tree = max taxonomy depth among members.
+    pub fn height(&self, tax: &Taxonomy) -> u32 {
+        self.nodes.iter().map(|&id| tax.depth(id)).max().unwrap_or(0)
+    }
+
+    /// Pretty-prints the tree with indentation, e.g. for the case-study
+    /// harness.
+    pub fn render(&self, tax: &Taxonomy) -> String {
+        let mut out = String::new();
+        self.render_rec(tax, Taxonomy::ROOT, 0, &mut out);
+        out
+    }
+
+    fn render_rec(&self, tax: &Taxonomy, id: LabelId, indent: usize, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "{}{}", "  ".repeat(indent), tax.label(id));
+        for &c in tax.children(id) {
+            if self.contains(c) {
+                self.render_rec(tax, c, indent + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 1 CCS fragment and the P-trees of vertices A..H.
+    pub(crate) fn figure1() -> (Taxonomy, Vec<PTree>) {
+        let mut t = Taxonomy::new("r");
+        let cm = t.add_child(0, "CM").unwrap();
+        let is = t.add_child(0, "IS").unwrap();
+        let hw = t.add_child(0, "HW").unwrap();
+        let ml = t.add_child(cm, "ML").unwrap();
+        let ai = t.add_child(cm, "AI").unwrap();
+        let dms = t.add_child(is, "DMS").unwrap();
+        // Vertex profiles from Fig. 1(a) (A..H = indices 0..7):
+        //   A: CM(ML,AI), IS(DMS), HW     B: CM(ML,AI)
+        //   C: CM(ML,AI), IS              D: CM(ML,AI), IS(DMS), HW
+        //   E: IS(DMS), HW                F: IS, HW
+        //   G: HW, CM                     H: IS, HW
+        let trees = vec![
+            PTree::from_labels(&t, [ml, ai, dms, hw]).unwrap(),
+            PTree::from_labels(&t, [ml, ai]).unwrap(),
+            PTree::from_labels(&t, [ml, ai, is]).unwrap(),
+            PTree::from_labels(&t, [ml, ai, dms, hw]).unwrap(),
+            PTree::from_labels(&t, [dms, hw]).unwrap(),
+            PTree::from_labels(&t, [is, hw]).unwrap(),
+            PTree::from_labels(&t, [hw, cm]).unwrap(),
+            PTree::from_labels(&t, [is, hw]).unwrap(),
+        ];
+        (t, trees)
+    }
+
+    #[test]
+    fn closure_adds_ancestors() {
+        let (t, _) = figure1();
+        let ml = t.id_of("ML").unwrap();
+        let p = PTree::from_labels(&t, [ml]).unwrap();
+        assert_eq!(p.len(), 3); // r, CM, ML
+        assert!(p.contains(t.id_of("CM").unwrap()));
+        assert!(p.contains(Taxonomy::ROOT));
+    }
+
+    #[test]
+    fn from_closed_sorted_validates() {
+        let (t, _) = figure1();
+        let ml = t.id_of("ML").unwrap();
+        let cm = t.id_of("CM").unwrap();
+        assert!(PTree::from_closed_sorted(&t, vec![0, cm, ml]).is_ok());
+        assert_eq!(
+            PTree::from_closed_sorted(&t, vec![0, ml]).unwrap_err(),
+            PTreeError::TaxonomyMismatch
+        );
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let (t, _) = figure1();
+        assert_eq!(
+            PTree::from_labels(&t, [999]).unwrap_err(),
+            PTreeError::UnknownLabel(999)
+        );
+    }
+
+    #[test]
+    fn subtree_inclusion() {
+        let (t, trees) = figure1();
+        let b = &trees[1]; // r,CM,ML,AI
+        let a = &trees[0]; // r,CM,IS,HW,ML,AI,DMS
+        assert!(b.is_subtree_of(a));
+        assert!(!a.is_subtree_of(b));
+        assert!(PTree::root_only().is_subtree_of(b));
+        assert!(b.is_subtree_of(b));
+        let e = &trees[4]; // r,IS,HW,DMS
+        assert!(!b.is_subtree_of(e));
+        let _ = t;
+    }
+
+    #[test]
+    fn intersection_matches_paper_example() {
+        let (t, trees) = figure1();
+        // Fig. 2(c): common subtree of {A, D, E} is r -> IS(DMS), HW.
+        let m = PTree::intersect_all([&trees[0], &trees[3], &trees[4]]).unwrap();
+        let expect = PTree::from_labels(&t, [t.id_of("DMS").unwrap(), t.id_of("HW").unwrap()])
+            .unwrap();
+        assert_eq!(m, expect);
+        // Fig. 2(b): common subtree of {B, C, D} is r -> CM(ML, AI).
+        let m2 = PTree::intersect_all([&trees[1], &trees[2], &trees[3]]).unwrap();
+        let expect2 =
+            PTree::from_labels(&t, [t.id_of("ML").unwrap(), t.id_of("AI").unwrap()]).unwrap();
+        assert_eq!(m2, expect2);
+    }
+
+    #[test]
+    fn intersect_all_empty_input() {
+        assert!(PTree::intersect_all([]).is_none());
+    }
+
+    #[test]
+    fn union_counts() {
+        let (t, trees) = figure1();
+        let b = &trees[1];
+        let e = &trees[4];
+        let u = b.union(e);
+        // r,CM,ML,AI + r,IS,HW,DMS = 7 labels.
+        assert_eq!(u.len(), 7);
+        assert!(b.is_subtree_of(&u) && e.is_subtree_of(&u));
+        let _ = t;
+    }
+
+    #[test]
+    fn leaves_and_depths() {
+        let (t, trees) = figure1();
+        let a = &trees[0];
+        let mut leaves = a.leaves(&t);
+        leaves.sort_unstable();
+        let mut expect = vec![
+            t.id_of("ML").unwrap(),
+            t.id_of("AI").unwrap(),
+            t.id_of("DMS").unwrap(),
+            t.id_of("HW").unwrap(),
+        ];
+        expect.sort_unstable();
+        assert_eq!(leaves, expect);
+        assert_eq!(a.nodes_at_depth(&t, 1).len(), 3); // CM, IS, HW
+        assert_eq!(a.height(&t), 2);
+        assert_eq!(PTree::root_only().height(&t), 0);
+        assert_eq!(PTree::root_only().leaves(&t), vec![Taxonomy::ROOT]);
+    }
+
+    #[test]
+    fn render_is_indented() {
+        let (t, trees) = figure1();
+        let r = trees[1].render(&t);
+        assert!(r.contains("r\n"));
+        assert!(r.contains("  CM\n"));
+        assert!(r.contains("    ML\n"));
+    }
+
+    #[test]
+    fn intersection_preserves_closure() {
+        let (t, trees) = figure1();
+        for a in &trees {
+            for b in &trees {
+                let i = a.intersect(b);
+                assert!(t.is_ancestor_closed(i.nodes()), "{a:?} ∩ {b:?}");
+                assert!(i.is_subtree_of(a) && i.is_subtree_of(b));
+            }
+        }
+    }
+}

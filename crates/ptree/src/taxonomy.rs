@@ -1,0 +1,230 @@
+//! The GP-tree: a global label taxonomy (e.g. ACM CCS, MeSH).
+//!
+//! Ids are assigned in insertion order, so `parent(id) < id` for every
+//! non-root node. Every P-tree in the system is an ancestor-closed subset
+//! of one taxonomy, which is what makes subtree tests and intersections
+//! cheap (see [`crate::PTree`]).
+
+use pcs_graph::FxHashMap;
+
+use crate::{PTreeError, Result};
+
+/// Identifier of a taxonomy node ("attribute label" in the paper).
+pub type LabelId = u32;
+
+/// A rooted label hierarchy — the paper's GP-tree.
+#[derive(Clone, Debug)]
+pub struct Taxonomy {
+    labels: Vec<String>,
+    parent: Vec<LabelId>,
+    children: Vec<Vec<LabelId>>,
+    depth: Vec<u32>,
+    by_name: FxHashMap<String, LabelId>,
+}
+
+impl Taxonomy {
+    /// The root node's id — always 0.
+    pub const ROOT: LabelId = 0;
+
+    /// Creates a taxonomy containing only the root label.
+    pub fn new(root_label: &str) -> Self {
+        let mut by_name = FxHashMap::default();
+        by_name.insert(root_label.to_owned(), 0);
+        Taxonomy {
+            labels: vec![root_label.to_owned()],
+            parent: vec![0],
+            children: vec![Vec::new()],
+            depth: vec![0],
+            by_name,
+        }
+    }
+
+    /// Adds a child label under `parent`; returns the new id.
+    ///
+    /// Label names are globally unique; reuse returns
+    /// [`PTreeError::DuplicateLabel`].
+    pub fn add_child(&mut self, parent: LabelId, label: &str) -> Result<LabelId> {
+        if parent as usize >= self.labels.len() {
+            return Err(PTreeError::UnknownLabel(parent));
+        }
+        if self.by_name.contains_key(label) {
+            return Err(PTreeError::DuplicateLabel(label.to_owned()));
+        }
+        let id = self.labels.len() as LabelId;
+        self.labels.push(label.to_owned());
+        self.parent.push(parent);
+        self.children.push(Vec::new());
+        self.depth.push(self.depth[parent as usize] + 1);
+        self.children[parent as usize].push(id);
+        self.by_name.insert(label.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Number of labels (including the root).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// A taxonomy always has at least the root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The label string of `id`.
+    pub fn label(&self, id: LabelId) -> &str {
+        &self.labels[id as usize]
+    }
+
+    /// Looks a label up by name.
+    pub fn id_of(&self, name: &str) -> Option<LabelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Parent id of `id` (the root is its own parent).
+    #[inline]
+    pub fn parent(&self, id: LabelId) -> LabelId {
+        self.parent[id as usize]
+    }
+
+    /// Children of `id` in insertion order (ascending ids).
+    #[inline]
+    pub fn children(&self, id: LabelId) -> &[LabelId] {
+        &self.children[id as usize]
+    }
+
+    /// Depth of `id` (root = 0).
+    #[inline]
+    pub fn depth(&self, id: LabelId) -> u32 {
+        self.depth[id as usize]
+    }
+
+    /// True when `id` has no children.
+    pub fn is_leaf(&self, id: LabelId) -> bool {
+        self.children[id as usize].is_empty()
+    }
+
+    /// Maximum depth over all labels.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Iterator over `id` and all its ancestors up to and including the
+    /// root, in leaf-to-root order.
+    pub fn ancestors_inclusive(&self, id: LabelId) -> impl Iterator<Item = LabelId> + '_ {
+        let mut cur = Some(id);
+        std::iter::from_fn(move || {
+            let here = cur?;
+            cur = if here == Self::ROOT {
+                None
+            } else {
+                Some(self.parent[here as usize])
+            };
+            Some(here)
+        })
+    }
+
+    /// All ids at a given depth.
+    pub fn ids_at_depth(&self, d: u32) -> Vec<LabelId> {
+        (0..self.len() as LabelId)
+            .filter(|&id| self.depth[id as usize] == d)
+            .collect()
+    }
+
+    /// Validates that `ids` (sorted, deduped) form an ancestor-closed set
+    /// containing the root — i.e. a legal P-tree node set.
+    pub fn is_ancestor_closed(&self, ids: &[LabelId]) -> bool {
+        if ids.first() != Some(&Self::ROOT) {
+            return false;
+        }
+        ids.iter().all(|&id| {
+            (id as usize) < self.len()
+                && (id == Self::ROOT || ids.binary_search(&self.parent(id)).is_ok())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ccs_fragment() -> (Taxonomy, Vec<LabelId>) {
+        // r -> {CM, IS, HW}; CM -> {ML, AI}; IS -> {DMS}.
+        let mut t = Taxonomy::new("r");
+        let cm = t.add_child(Taxonomy::ROOT, "CM").unwrap();
+        let is = t.add_child(Taxonomy::ROOT, "IS").unwrap();
+        let hw = t.add_child(Taxonomy::ROOT, "HW").unwrap();
+        let ml = t.add_child(cm, "ML").unwrap();
+        let ai = t.add_child(cm, "AI").unwrap();
+        let dms = t.add_child(is, "DMS").unwrap();
+        (t, vec![cm, is, hw, ml, ai, dms])
+    }
+
+    #[test]
+    fn ids_are_dense_and_parent_smaller() {
+        let (t, ids) = ccs_fragment();
+        assert_eq!(t.len(), 7);
+        for &id in &ids {
+            assert!(t.parent(id) < id);
+        }
+        assert_eq!(t.parent(Taxonomy::ROOT), Taxonomy::ROOT);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (t, _) = ccs_fragment();
+        assert_eq!(t.label(t.id_of("ML").unwrap()), "ML");
+        assert_eq!(t.id_of("nope"), None);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut t = Taxonomy::new("r");
+        t.add_child(0, "CM").unwrap();
+        assert_eq!(
+            t.add_child(0, "CM").unwrap_err(),
+            PTreeError::DuplicateLabel("CM".into())
+        );
+        assert_eq!(
+            t.add_child(99, "X").unwrap_err(),
+            PTreeError::UnknownLabel(99)
+        );
+    }
+
+    #[test]
+    fn depths_and_leaves() {
+        let (t, ids) = ccs_fragment();
+        let [cm, _is, hw, ml, _ai, dms] = ids[..] else { unreachable!() };
+        assert_eq!(t.depth(Taxonomy::ROOT), 0);
+        assert_eq!(t.depth(cm), 1);
+        assert_eq!(t.depth(ml), 2);
+        assert_eq!(t.max_depth(), 2);
+        assert!(t.is_leaf(hw));
+        assert!(t.is_leaf(dms));
+        assert!(!t.is_leaf(cm));
+        assert_eq!(t.ids_at_depth(1).len(), 3);
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let (t, ids) = ccs_fragment();
+        let ml = ids[3];
+        let anc: Vec<LabelId> = t.ancestors_inclusive(ml).collect();
+        assert_eq!(anc, vec![ml, ids[0], Taxonomy::ROOT]);
+        let anc_root: Vec<LabelId> = t.ancestors_inclusive(Taxonomy::ROOT).collect();
+        assert_eq!(anc_root, vec![Taxonomy::ROOT]);
+    }
+
+    #[test]
+    fn ancestor_closure_checks() {
+        let (t, ids) = ccs_fragment();
+        let [cm, is, _hw, ml, _ai, dms] = ids[..] else { unreachable!() };
+        assert!(t.is_ancestor_closed(&[0, cm, ml]));
+        assert!(t.is_ancestor_closed(&[0]));
+        assert!(!t.is_ancestor_closed(&[0, ml])); // missing CM
+        assert!(!t.is_ancestor_closed(&[cm, ml])); // missing root
+        assert!(t.is_ancestor_closed(&[0, cm, is, ml, dms]));
+        assert!(!t.is_ancestor_closed(&[0, 99])); // unknown id
+    }
+}

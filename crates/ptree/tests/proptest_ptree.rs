@@ -1,0 +1,124 @@
+//! Property tests for the profile-tree substrate: set-algebra laws,
+//! lattice moves, and enumeration invariants.
+
+use pcs_ptree::enumerate::{count_rooted_subtrees, enumerate_rooted_subtrees};
+use pcs_ptree::{PTree, QuerySpace, Taxonomy};
+use proptest::prelude::*;
+
+/// Strategy: a random taxonomy of up to 14 labels plus two label picks.
+fn instance() -> impl Strategy<Value = (Vec<u32>, Vec<u16>, Vec<u16>)> {
+    // parents[i] encodes the parent (mod available ids) of label i+1.
+    let parents = proptest::collection::vec(any::<u32>(), 0..13);
+    (parents, proptest::collection::vec(any::<u16>(), 0..8), proptest::collection::vec(any::<u16>(), 0..8))
+}
+
+fn build(parents: &[u32]) -> Taxonomy {
+    let mut tax = Taxonomy::new("r");
+    for (i, &p) in parents.iter().enumerate() {
+        let parent = p % (i as u32 + 1);
+        tax.add_child(parent, &format!("n{}", i + 1)).unwrap();
+    }
+    tax
+}
+
+fn pick(tax: &Taxonomy, raw: &[u16]) -> PTree {
+    let labels = raw.iter().map(|&r| r as u32 % tax.len() as u32);
+    PTree::from_labels(tax, labels).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn intersection_union_algebra((parents, ra, rb) in instance()) {
+        let tax = build(&parents);
+        let a = pick(&tax, &ra);
+        let b = pick(&tax, &rb);
+        let i = a.intersect(&b);
+        let u = a.union(&b);
+        // Lattice laws.
+        prop_assert!(i.is_subtree_of(&a) && i.is_subtree_of(&b));
+        prop_assert!(a.is_subtree_of(&u) && b.is_subtree_of(&u));
+        prop_assert_eq!(a.intersect(&a), a.clone());
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        // Inclusion–exclusion on node counts.
+        prop_assert_eq!(i.len() + u.len(), a.len() + b.len());
+        // Everything stays ancestor-closed.
+        prop_assert!(tax.is_ancestor_closed(i.nodes()));
+        prop_assert!(tax.is_ancestor_closed(u.nodes()));
+        // Absorption.
+        prop_assert_eq!(a.intersect(&u), a.clone());
+        prop_assert_eq!(a.union(&i), a);
+    }
+
+    #[test]
+    fn subtree_relation_is_partial_order((parents, ra, rb) in instance()) {
+        let tax = build(&parents);
+        let a = pick(&tax, &ra);
+        let b = pick(&tax, &rb);
+        // Reflexive; antisymmetric.
+        prop_assert!(a.is_subtree_of(&a));
+        if a.is_subtree_of(&b) && b.is_subtree_of(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        // Consistent with intersection.
+        prop_assert_eq!(a.is_subtree_of(&b), a.intersect(&b) == a);
+    }
+
+    #[test]
+    fn query_space_moves_preserve_validity((parents, ra, _rb) in instance()) {
+        let tax = build(&parents);
+        let tq = pick(&tax, &ra);
+        let space = QuerySpace::new(&tax, &tq).unwrap();
+        // Walk a few random-ish candidates via rightmost extension and
+        // check children/parents stay valid and invert each other.
+        let mut stack = vec![space.empty()];
+        let mut steps = 0;
+        while let Some(s) = stack.pop() {
+            if steps > 200 { break; }
+            steps += 1;
+            prop_assert!(space.is_valid(&s));
+            for p in space.lattice_children(&s) {
+                let child = s.with(p);
+                prop_assert!(space.is_valid(&child));
+                // Removing the added node gets us back.
+                prop_assert!(space.lattice_parents(&child).contains(&p));
+                prop_assert_eq!(child.without(p), s.clone());
+            }
+            for p in space.rightmost_extensions(&s) {
+                stack.push(s.with(p));
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_count((parents, ra, _rb) in instance()) {
+        let tax = build(&parents);
+        let tq = pick(&tax, &ra);
+        if tq.len() > 12 {
+            return Ok(()); // keep the exhaustive check small
+        }
+        let space = QuerySpace::new(&tax, &tq).unwrap();
+        let all = enumerate_rooted_subtrees(&space);
+        prop_assert_eq!(all.len() as u128, count_rooted_subtrees(&space));
+        // All unique and valid; each converts to a PTree inside T(q).
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        prop_assert_eq!(set.len(), all.len());
+        for s in &all {
+            prop_assert!(space.is_valid(s));
+            let p = space.to_ptree(s);
+            prop_assert!(p.is_subtree_of(&tq));
+            prop_assert_eq!(space.from_ptree(&p).unwrap(), s.clone());
+        }
+    }
+
+    #[test]
+    fn leaves_determine_ptree((parents, ra, _rb) in instance()) {
+        let tax = build(&parents);
+        let a = pick(&tax, &ra);
+        let rebuilt = PTree::from_labels(&tax, a.leaves(&tax)).unwrap();
+        prop_assert_eq!(rebuilt, a);
+    }
+}

@@ -1,0 +1,101 @@
+//! Quickstart: the paper's running example (Fig. 1 + Fig. 2).
+//!
+//! Builds the 8-author collaboration network with CCS-fragment
+//! profiles, then asks: *"find the profiled communities of researcher D
+//! with k = 2"*. PCS returns two differently-themed communities —
+//! {B, C, D} around machine learning/AI and {A, D, E} around
+//! information systems/hardware — exactly Fig. 2(b)/(c).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pcs::prelude::*;
+
+fn main() {
+    // --- The GP-tree (a fragment of the ACM CCS) -------------------------
+    let mut tax = Taxonomy::new("r");
+    let cm = tax.add_child(Taxonomy::ROOT, "Computing Methodology").unwrap();
+    let is = tax.add_child(Taxonomy::ROOT, "Information Systems").unwrap();
+    let hw = tax.add_child(Taxonomy::ROOT, "Hardware").unwrap();
+    let ml = tax.add_child(cm, "Machine Learning").unwrap();
+    let ai = tax.add_child(cm, "Artificial Intelligence").unwrap();
+    let dms = tax.add_child(is, "Data Management System").unwrap();
+
+    // --- The collaboration graph (Fig. 1(a): authors A..H) ----------------
+    let names = ["A", "B", "C", "D", "E", "F", "G", "H"];
+    let g = Graph::from_edges(
+        8,
+        &[
+            (0, 1), // A-B
+            (0, 3), // A-D
+            (0, 4), // A-E
+            (1, 3), // B-D
+            (1, 4), // B-E
+            (3, 4), // D-E
+            (1, 2), // B-C
+            (2, 3), // C-D
+            (4, 5), // E-F
+            (5, 6), // F-G
+            (5, 7), // F-H
+            (6, 7), // G-H
+        ],
+    )
+    .expect("well-formed edge list");
+
+    // --- Per-author P-trees ----------------------------------------------
+    let profiles: Vec<PTree> = [
+        vec![dms, hw],         // A: information systems + hardware
+        vec![ml, ai],          // B: machine learning + AI
+        vec![ml, ai, is],      // C: ML + AI + information systems
+        vec![ml, ai, dms, hw], // D: the renowned expert — everything
+        vec![dms, hw],         // E
+        vec![is, hw],          // F
+        vec![hw, cm],          // G
+        vec![is, hw],          // H
+    ]
+    .into_iter()
+    .map(|ls| PTree::from_labels(&tax, ls).expect("labels from tax"))
+    .collect();
+
+    // --- Index once, query online -----------------------------------------
+    let index = CpTree::build(&g, &tax, &profiles).expect("consistent inputs");
+    let ctx = QueryContext::new(&g, &tax, &profiles)
+        .expect("consistent inputs")
+        .with_index(&index);
+
+    let q = 3; // author D
+    let k = 2;
+    println!("PCS query: q = {} (author D), k = {k}\n", names[q as usize]);
+
+    for algo in [Algorithm::Basic, Algorithm::AdvP] {
+        let out = ctx.query(q, k, algo).expect("query in range");
+        println!("== {} found {} communities ==", algo.name(), out.communities.len());
+        for (i, c) in out.communities.iter().enumerate() {
+            let members: Vec<&str> =
+                c.vertices.iter().map(|&v| names[v as usize]).collect();
+            println!("community #{}: {{{}}}", i + 1, members.join(", "));
+            println!("shared theme:\n{}", indent(&c.subtree.render(&tax)));
+        }
+        println!(
+            "(verifications: {}, candidates generated: {})\n",
+            out.stats.verifications, out.stats.subtrees_generated
+        );
+    }
+
+    // Contrast with ACQ: flat keywords, no hierarchy.
+    let acq = acq_query(&g, &tax, &profiles, q, k);
+    println!(
+        "== ACQ (flat keywords) found {} communities sharing {} keywords ==",
+        acq.communities.len(),
+        acq.keyword_count
+    );
+    for c in &acq.communities {
+        let members: Vec<&str> =
+            c.community.vertices.iter().map(|&v| names[v as usize]).collect();
+        let kws: Vec<&str> = c.keywords.iter().map(|&l| tax.label(l)).collect();
+        println!("  {{{}}} sharing [{}]", members.join(", "), kws.join(", "));
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("    {l}\n")).collect()
+}

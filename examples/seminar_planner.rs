@@ -1,0 +1,75 @@
+//! Case study: organizing a seminar around a renowned expert
+//! (the paper's Section 5.2 "Jim Gray" study, Figs. 7-8).
+//!
+//! A hub author in a synthetic ACMDL-like collaboration network wants
+//! to invite groups of researchers who (a) collaborate tightly (k-core)
+//! and (b) share research themes. PCS surfaces *several* differently-
+//! themed circles; ACQ — which only counts flat shared keywords —
+//! collapses to the single largest-keyword-overlap group and misses the
+//! alternatives.
+//!
+//! Run with: `cargo run --release --example seminar_planner`
+
+use pcs::prelude::*;
+
+fn main() {
+    // A small ACMDL-like collaboration network.
+    let cfg = SuiteConfig { scale: 0.02, ..SuiteConfig::default() };
+    let ds = pcs::datasets::suite::build(SuiteDataset::Acmdl, cfg);
+    println!(
+        "collaboration network: {} authors, {} co-authorships, d̂ = {:.2}, P̂ = {:.2}",
+        ds.graph.num_vertices(),
+        ds.graph.num_edges(),
+        ds.graph.avg_degree(),
+        ds.avg_ptree_size()
+    );
+
+    let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).expect("dataset is consistent");
+    let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
+        .expect("dataset is consistent")
+        .with_index(&index);
+
+    // The "renowned expert": a high-degree vertex with a rich profile,
+    // like Jim Gray in the paper.
+    let expert = ds
+        .graph
+        .vertices()
+        .max_by_key(|&v| (ds.profiles[v as usize].len(), ds.graph.degree(v)))
+        .expect("non-empty graph");
+    println!(
+        "renowned expert: author #{expert} (degree {}, profile of {} CCS subjects)\n",
+        ds.graph.degree(expert),
+        ds.profiles[expert as usize].len()
+    );
+
+    let k = 4; // the paper's case-study setting
+    let out = ctx.query(expert, k, Algorithm::AdvP).expect("query in range");
+    println!("PCS (k = {k}) proposes {} seminar circles:", out.communities.len());
+    for (i, c) in out.communities.iter().enumerate().take(6) {
+        println!(
+            "  circle #{}: {} researchers, theme of {} subjects (height {}):",
+            i + 1,
+            c.vertices.len(),
+            c.subtree.len(),
+            c.subtree.height(&ds.tax),
+        );
+        for line in c.subtree.render(&ds.tax).lines().take(8) {
+            println!("      {line}");
+        }
+    }
+    if out.communities.len() > 6 {
+        println!("  … and {} more.", out.communities.len() - 6);
+    }
+
+    let acq = acq_query(&ds.graph, &ds.tax, &ds.profiles, expert, k);
+    println!(
+        "\nACQ proposes {} circle(s) (all maximizing the same flat keyword count of {}).",
+        acq.communities.len(),
+        acq.keyword_count
+    );
+    println!(
+        "PCS surfaces {} distinct themes vs ACQ's {} — the organizer can now choose.",
+        out.communities.len(),
+        acq.communities.len()
+    );
+}

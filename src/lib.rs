@@ -1,0 +1,70 @@
+//! # pcs — profiled community search
+//!
+//! A from-scratch Rust implementation of **"Exploring Communities in
+//! Large Profiled Graphs"** (Chen, Fang, Cheng, Li, Chen, Zhang — ICDE
+//! 2019): community search over graphs whose vertices carry
+//! hierarchical attribute trees (P-trees) drawn from a global taxonomy
+//! (GP-tree, e.g. ACM CCS or MeSH).
+//!
+//! Given a query vertex `q` and a degree bound `k`, a **profiled
+//! community** is a connected subgraph containing `q` in which every
+//! vertex has internal degree ≥ `k` and whose members share a *maximal*
+//! common subtree — the community's interpretable "theme".
+//!
+//! ## Crates
+//!
+//! | module | backing crate | contents |
+//! |---|---|---|
+//! | [`graph`] | `pcs-graph` | CSR graph, k-core decomposition, localized peeling |
+//! | [`ptree`] | `pcs-ptree` | taxonomy, P-trees, subtree lattice, tree edit distance |
+//! | [`index`] | `pcs-index` | CL-tree and CP-tree indexes |
+//! | [`core`]  | `pcs-core`  | `basic`, `incre`, `adv-I/D/P` query algorithms |
+//! | [`baselines`] | `pcs-baselines` | Global, Local, ACQ, §5.3 metric variants |
+//! | [`metrics`] | `pcs-metrics` | CPS, LDR, CPF, F1 |
+//! | [`datasets`] | `pcs-datasets` | paper-calibrated synthetic datasets |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pcs::prelude::*;
+//!
+//! // A tiny collaboration triangle where everyone works on ML and AI.
+//! let mut tax = Taxonomy::new("r");
+//! let cm = tax.add_child(Taxonomy::ROOT, "CM").unwrap();
+//! let ml = tax.add_child(cm, "ML").unwrap();
+//! let ai = tax.add_child(cm, "AI").unwrap();
+//! let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+//! let profiles: Vec<PTree> = (0..3)
+//!     .map(|_| PTree::from_labels(&tax, [ml, ai]).unwrap())
+//!     .collect();
+//!
+//! // Index once, query online.
+//! let index = CpTree::build(&g, &tax, &profiles).unwrap();
+//! let ctx = QueryContext::new(&g, &tax, &profiles).unwrap().with_index(&index);
+//! let out = ctx.query(0, 2, Algorithm::AdvP).unwrap();
+//! assert_eq!(out.communities.len(), 1);
+//! assert_eq!(out.communities[0].vertices, vec![0, 1, 2]);
+//! ```
+
+pub use pcs_baselines as baselines;
+pub use pcs_core as core;
+pub use pcs_datasets as datasets;
+pub use pcs_graph as graph;
+pub use pcs_index as index;
+pub use pcs_metrics as metrics;
+pub use pcs_ptree as ptree;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use pcs_baselines::{
+        acq_query, global_query, local_query, variant_query, CohesivenessMetric,
+    };
+    pub use pcs_core::{
+        Algorithm, FindStrategy, PcsError, PcsOutcome, ProfiledCommunity, QueryContext,
+    };
+    pub use pcs_datasets::{DatasetSpec, ProfiledDataset, SuiteConfig, SuiteDataset};
+    pub use pcs_graph::{Graph, GraphBuilder, VertexId};
+    pub use pcs_index::{ClTree, CpTree};
+    pub use pcs_metrics::{best_f1, cpf, cps, f1_score, ldr};
+    pub use pcs_ptree::{LabelId, PTree, Taxonomy};
+}

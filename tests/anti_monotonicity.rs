@@ -1,0 +1,110 @@
+//! Property tests for the paper's Lemmas 1-3 across crate boundaries.
+
+use pcs::prelude::*;
+use pcs::ptree::enumerate::{count_all_subtrees, enumerate_rooted_subtrees, lemma1_upper_bound};
+use pcs::ptree::QuerySpace;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(seed: u64) -> (Graph, Taxonomy, Vec<PTree>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let labels = rng.gen_range(5..=12usize);
+    let mut tax = Taxonomy::new("r");
+    let mut ids = vec![Taxonomy::ROOT];
+    for i in 1..labels {
+        let parent = ids[rng.gen_range(0..ids.len())];
+        ids.push(tax.add_child(parent, &format!("n{i}")).unwrap());
+    }
+    let n = rng.gen_range(8..=20usize);
+    let mut edges = Vec::new();
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            if rng.gen_bool(0.25) {
+                edges.push((a, b));
+            }
+        }
+    }
+    let g = Graph::from_edges(n, &edges).unwrap();
+    let profiles: Vec<PTree> = (0..n)
+        .map(|_| {
+            let count = rng.gen_range(0..=5usize);
+            let picks: Vec<LabelId> =
+                (0..count).map(|_| ids[rng.gen_range(0..ids.len())]).collect();
+            PTree::from_labels(&tax, picks).unwrap()
+        })
+        .collect();
+    (g, tax, profiles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Lemma 2: if Gk[T] exists then Gk[T'] exists for every T' ⊆ T,
+    /// and moreover Gk[T] ⊆ Gk[T'] (Proposition 1).
+    #[test]
+    fn anti_monotonicity_holds(seed in 0u64..5_000) {
+        let (g, tax, profiles) = random_instance(seed);
+        let ctx = QueryContext::new(&g, &tax, &profiles).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x11);
+        let q = rng.gen_range(0..g.num_vertices() as u32);
+        let k = rng.gen_range(1..3u32);
+        let space = ctx.space_for(q).unwrap();
+        let mut ver = pcs::core::Verifier::new(&ctx, &space, q, k);
+        for s in enumerate_rooted_subtrees(&space) {
+            if let Some(comm) = ver.verify(&s) {
+                // Every lattice parent is feasible and contains Gk[T].
+                for leaf in space.lattice_parents(&s) {
+                    let smaller = s.without(leaf);
+                    let parent_comm = ver.verify(&smaller);
+                    if smaller.is_empty() {
+                        continue; // empty tree == Gk, handled below
+                    }
+                    let parent_comm = parent_comm.expect("anti-monotonicity violated");
+                    for v in comm.iter() {
+                        prop_assert!(parent_comm.binary_search(v).is_ok(),
+                            "Gk[T] ⊄ Gk[T'] (seed {seed})");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lemma 1: the subtree count of T(q) never exceeds 2^(x-1)+1 and
+    /// the enumerator produces exactly the counted number.
+    #[test]
+    fn lemma1_bound_and_enumeration(seed in 0u64..5_000) {
+        let (g, tax, profiles) = random_instance(seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x22);
+        let q = rng.gen_range(0..g.num_vertices() as u32);
+        let space = QuerySpace::new(&tax, &profiles[q as usize]).unwrap();
+        let x = space.len();
+        let total = count_all_subtrees(&space);
+        prop_assert!(total <= lemma1_upper_bound(x));
+        let all = enumerate_rooted_subtrees(&space);
+        prop_assert_eq!(all.len() as u128 + 1, total); // +1 = the empty tree
+    }
+}
+
+#[test]
+fn gk_monotone_in_k() {
+    // The k-ĉore shrinks as k grows (nestedness used by the CL-tree).
+    let (g, tax, profiles) = random_instance(99);
+    let ctx = QueryContext::new(&g, &tax, &profiles).unwrap();
+    for q in 0..g.num_vertices() as u32 {
+        let mut prev: Option<Vec<VertexId>> = None;
+        for k in (0..5u32).rev() {
+            let space = ctx.space_for(q).unwrap();
+            let ver = pcs::core::Verifier::new(&ctx, &space, q, k);
+            let cur = ver.gk().map(|rc| rc.as_ref().clone());
+            if let (Some(p), Some(c)) = (&prev, &cur) {
+                for v in p {
+                    assert!(c.binary_search(v).is_ok(), "higher-k core not nested");
+                }
+            }
+            if cur.is_some() {
+                prev = cur;
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Cross-crate property tests for the CP-tree index: `get` must agree
+//! with a from-scratch computation on arbitrary profiled graphs, and
+//! the headMap must restore every profile exactly.
+
+use pcs::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(seed: u64) -> (Graph, Taxonomy, Vec<PTree>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let labels = rng.gen_range(4..=14usize);
+    let mut tax = Taxonomy::new("r");
+    let mut ids = vec![Taxonomy::ROOT];
+    for i in 1..labels {
+        let parent = ids[rng.gen_range(0..ids.len())];
+        ids.push(tax.add_child(parent, &format!("n{i}")).unwrap());
+    }
+    let n = rng.gen_range(6..=22usize);
+    let mut edges = Vec::new();
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            if rng.gen_bool(0.3) {
+                edges.push((a, b));
+            }
+        }
+    }
+    let g = Graph::from_edges(n, &edges).unwrap();
+    let profiles: Vec<PTree> = (0..n)
+        .map(|_| {
+            let count = rng.gen_range(0..=5usize);
+            let picks: Vec<LabelId> =
+                (0..count).map(|_| ids[rng.gen_range(0..ids.len())]).collect();
+            PTree::from_labels(&tax, picks).unwrap()
+        })
+        .collect();
+    (g, tax, profiles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cptree_get_matches_scratch_computation(seed in 0u64..10_000) {
+        let (g, tax, profiles) = random_instance(seed);
+        let index = CpTree::build(&g, &tax, &profiles).unwrap();
+        let mut sc = pcs::graph::core::SubsetCore::new(g.num_vertices());
+        for label in 0..tax.len() as u32 {
+            let with_label: Vec<VertexId> = g
+                .vertices()
+                .filter(|&v| profiles[v as usize].contains(label))
+                .collect();
+            prop_assert_eq!(index.vertices_with_label(label), &with_label[..]);
+            for q in g.vertices() {
+                for k in 0..3u32 {
+                    let expect = sc.kcore_component_within(&g, &with_label, q, k);
+                    prop_assert_eq!(
+                        index.get(k, q, label), expect,
+                        "label={} q={} k={}", label, q, k
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn headmap_restores_every_profile(seed in 0u64..10_000) {
+        let (g, tax, profiles) = random_instance(seed);
+        let index = CpTree::build(&g, &tax, &profiles).unwrap();
+        for v in g.vertices() {
+            prop_assert_eq!(&index.restore_ptree(&tax, v), &profiles[v as usize]);
+        }
+    }
+
+    #[test]
+    fn label_cores_nest_along_taxonomy(seed in 0u64..10_000) {
+        // I.get(k,q,child) ⊆ I.get(k,q,parent): the containment chain
+        // verifyPtree exploits.
+        let (g, tax, profiles) = random_instance(seed);
+        let index = CpTree::build(&g, &tax, &profiles).unwrap();
+        for label in 1..tax.len() as u32 {
+            let parent = tax.parent(label);
+            for q in g.vertices() {
+                for k in 0..3u32 {
+                    if let Some(child_core) = index.get(k, q, label) {
+                        let parent_core = index.get(k, q, parent)
+                            .expect("ancestor label held by a superset of vertices");
+                        for v in &child_core {
+                            prop_assert!(parent_core.binary_search(v).is_ok());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
