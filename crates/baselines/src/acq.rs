@@ -75,8 +75,7 @@ pub fn acq_query(
             .iter()
             .copied()
             .filter(|&w| {
-                w != Taxonomy::ROOT
-                    && community.iter().all(|&v| profiles[v as usize].contains(w))
+                w != Taxonomy::ROOT && community.iter().all(|&v| profiles[v as usize].contains(w))
             })
             .collect()
     };
@@ -93,11 +92,8 @@ pub fn acq_query(
             if w == Taxonomy::ROOT || s.binary_search(&w).is_ok() {
                 continue;
             }
-            let cands: Vec<VertexId> = community
-                .iter()
-                .copied()
-                .filter(|&v| profiles[v as usize].contains(w))
-                .collect();
+            let cands: Vec<VertexId> =
+                community.iter().copied().filter(|&v| profiles[v as usize].contains(w)).collect();
             if let Some(next_comm) = sc.kcore_component_within(g, &cands, q, k) {
                 let next_set = shared(&next_comm);
                 if visited.insert(next_set.clone()) {
@@ -166,18 +162,9 @@ mod tests {
     }
 
     /// Brute-force reference: try every subset of q's keywords.
-    fn brute_acq(
-        g: &Graph,
-        profiles: &[PTree],
-        q: VertexId,
-        k: u32,
-    ) -> (usize, Vec<Vec<u32>>) {
-        let wq: Vec<LabelId> = profiles[q as usize]
-            .nodes()
-            .iter()
-            .copied()
-            .filter(|&l| l != Taxonomy::ROOT)
-            .collect();
+    fn brute_acq(g: &Graph, profiles: &[PTree], q: VertexId, k: u32) -> (usize, Vec<Vec<u32>>) {
+        let wq: Vec<LabelId> =
+            profiles[q as usize].nodes().iter().copied().filter(|&l| l != Taxonomy::ROOT).collect();
         let mut sc = SubsetCore::new(g.num_vertices());
         let mut best = 0usize;
         let mut answers: Vec<Vec<u32>> = Vec::new();
@@ -224,11 +211,8 @@ mod tests {
                     continue;
                 }
                 assert_eq!(out.keyword_count, best, "q={q} k={k}");
-                let mut got: Vec<Vec<u32>> = out
-                    .communities
-                    .iter()
-                    .map(|c| c.community.vertices.clone())
-                    .collect();
+                let mut got: Vec<Vec<u32>> =
+                    out.communities.iter().map(|c| c.community.vertices.clone()).collect();
                 got.sort();
                 got.dedup();
                 assert_eq!(got, expect_comms, "q={q} k={k}");

@@ -54,11 +54,8 @@ mod tests {
 
     fn setup() -> (Graph, Vec<PTree>) {
         // Two triangles bridged: {0,1,2} and {3,4,5}, bridge 2-3.
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .unwrap();
         let profiles = vec![PTree::root_only(); 6];
         (g, profiles)
     }

@@ -108,11 +108,8 @@ fn common_paths_query(ctx: &QueryContext<'_>, q: VertexId, k: u32) -> Vec<Profil
             if s.binary_search(&leaf).is_ok() {
                 continue;
             }
-            let cands: Vec<VertexId> = community
-                .iter()
-                .copied()
-                .filter(|&v| has_path(v, leaf))
-                .collect();
+            let cands: Vec<VertexId> =
+                community.iter().copied().filter(|&v| has_path(v, leaf)).collect();
             if let Some(next_comm) = sc.kcore_component_within(g, &cands, q, k) {
                 let next_set = shared(&next_comm);
                 if visited.insert(next_set.clone()) {
@@ -243,11 +240,8 @@ mod tests {
             assert!(c.vertices.binary_search(&3).is_ok());
             // Valid k-core.
             for &v in &c.vertices {
-                let deg = g
-                    .neighbors(v)
-                    .iter()
-                    .filter(|u| c.vertices.binary_search(u).is_ok())
-                    .count();
+                let deg =
+                    g.neighbors(v).iter().filter(|u| c.vertices.binary_search(u).is_ok()).count();
                 assert!(deg >= 2);
             }
         }
@@ -284,8 +278,6 @@ mod tests {
         let (g, t, profiles) = figure1();
         let ctx = QueryContext::new(&g, &t, &profiles).unwrap();
         assert!(variant_query(&ctx, 99, 2, CohesivenessMetric::CommonPaths).is_empty());
-        assert!(
-            variant_query(&ctx, 99, 2, CohesivenessMetric::Similarity { beta: 0.5 }).is_empty()
-        );
+        assert!(variant_query(&ctx, 99, 2, CohesivenessMetric::Similarity { beta: 0.5 }).is_empty());
     }
 }

@@ -15,9 +15,7 @@ fn bench_find_functions(c: &mut Criterion) {
     let cfg = SuiteConfig { scale: 0.01, ..SuiteConfig::default() };
     let ds = build(SuiteDataset::Acmdl, cfg);
     let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).unwrap();
-    let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
-        .unwrap()
-        .with_index(&index);
+    let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles).unwrap().with_index(&index);
     let (queries, _) = sample_query_vertices(&ds, 6, 10, 0x14f);
 
     let mut group = c.benchmark_group("fig14_find_functions");

@@ -1,0 +1,51 @@
+//! Criterion bench: serving throughput of the owned engine facade.
+//!
+//! Compares answering a fixed workload of requests one
+//! [`PcsEngine::query`] call at a time against handing the whole slice
+//! to [`PcsEngine::query_batch`] (which fans out over scoped threads),
+//! on the paper-calibrated ACMDL-like dataset. This seeds the
+//! throughput trajectory: future PRs (sharding, caching, async) should
+//! move the `batch` line, not the `sequential` one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcs_core::Algorithm;
+use pcs_datasets::suite::{build, SuiteConfig};
+use pcs_datasets::{sample_query_vertices, SuiteDataset};
+use pcs_engine::{IndexMode, PcsEngine, QueryRequest};
+
+fn bench_query_throughput(c: &mut Criterion) {
+    let cfg = SuiteConfig { scale: 0.01, ..SuiteConfig::default() };
+    let ds = build(SuiteDataset::Acmdl, cfg);
+    let (queries, _) = sample_query_vertices(&ds, 6, 32, 0x7472);
+    let engine = PcsEngine::builder()
+        .graph(ds.graph)
+        .taxonomy(ds.tax)
+        .profiles(ds.profiles)
+        .index_mode(IndexMode::Eager)
+        .build()
+        .unwrap();
+    let requests: Vec<QueryRequest> =
+        queries.iter().map(|&q| QueryRequest::vertex(q).k(6).algorithm(Algorithm::AdvP)).collect();
+
+    let mut group = c.benchmark_group("query_throughput");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            for req in &requests {
+                let resp = engine.query(req).unwrap();
+                criterion::black_box(resp.communities().len());
+            }
+        });
+    });
+    group.bench_function("batch", |b| {
+        b.iter(|| {
+            for resp in engine.query_batch(&requests) {
+                criterion::black_box(resp.unwrap().communities().len());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_throughput);
+criterion_main!(benches);

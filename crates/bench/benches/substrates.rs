@@ -27,9 +27,7 @@ fn bench_substrates(c: &mut Criterion) {
     });
 
     let cd = CoreDecomposition::new(g);
-    let q = (0..g.num_vertices() as u32)
-        .max_by_key(|&v| cd.core_number(v))
-        .unwrap();
+    let q = (0..g.num_vertices() as u32).max_by_key(|&v| cd.core_number(v)).unwrap();
     group.bench_function("kcore_component", |b| {
         b.iter(|| cd.kcore_component(g, q, 6));
     });

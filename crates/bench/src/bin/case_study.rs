@@ -7,55 +7,56 @@
 
 use pcs_baselines::acq_query;
 use pcs_bench::parse_args;
-use pcs_core::{Algorithm, QueryContext};
 use pcs_datasets::suite::{build, SuiteConfig};
 use pcs_datasets::SuiteDataset;
-use pcs_index::CpTree;
+use pcs_engine::{PcsEngine, QueryRequest};
 
 fn main() {
     let args = parse_args();
     let cfg = SuiteConfig { scale: args.scale, seed: args.seed };
     let ds = build(SuiteDataset::Acmdl, cfg);
-    let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).expect("consistent dataset");
-    let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
-        .expect("consistent dataset")
-        .with_index(&index);
+    let engine = PcsEngine::builder()
+        .graph(ds.graph)
+        .taxonomy(ds.tax)
+        .profiles(ds.profiles)
+        .build()
+        .expect("consistent dataset");
+    let (g, tax, profiles) = (engine.graph(), engine.taxonomy(), engine.profiles());
 
     // The renowned expert: rich profile + high degree.
-    let expert = ds
-        .graph
+    let expert = g
         .vertices()
-        .max_by_key(|&v| (ds.profiles[v as usize].len(), ds.graph.degree(v)))
+        .max_by_key(|&v| (profiles[v as usize].len(), g.degree(v)))
         .expect("non-empty graph");
     let k = 4;
     println!(
         "Case study (Figs. 7-8): expert = vertex {expert}, degree {}, |T(q)| = {}, k = {k}\n",
-        ds.graph.degree(expert),
-        ds.profiles[expert as usize].len()
+        g.degree(expert),
+        profiles[expert as usize].len()
     );
 
-    let pcs = ctx.query(expert, k, Algorithm::AdvP).expect("query in range");
-    println!("PCS returns {} communities:", pcs.communities.len());
-    for (i, c) in pcs.communities.iter().enumerate().take(4) {
+    let pcs = engine.query(&QueryRequest::vertex(expert).k(k)).expect("query in range");
+    println!("PCS returns {} communities:", pcs.communities().len());
+    for (i, c) in pcs.communities().iter().enumerate().take(4) {
         println!(
             "\nPC{} — {} members, theme ({} labels, {} branches at depth 1):",
             i + 1,
             c.vertices.len(),
             c.subtree.len(),
-            c.subtree.nodes_at_depth(&ds.tax, 1).len()
+            c.subtree.nodes_at_depth(tax, 1).len()
         );
-        for line in c.subtree.render(&ds.tax).lines().take(10) {
+        for line in c.subtree.render(tax).lines().take(10) {
             println!("    {line}");
         }
     }
 
-    let acq = acq_query(&ds.graph, &ds.tax, &ds.profiles, expert, k);
+    let acq = acq_query(g, tax, profiles, expert, k);
     println!(
         "\nACQ returns {} community/ies, all sharing exactly {} keywords.",
         acq.communities.len(),
         acq.keyword_count
     );
-    let missed = pcs.communities.len().saturating_sub(acq.communities.len());
+    let missed = pcs.communities().len().saturating_sub(acq.communities.len());
     println!(
         "PCS surfaces {missed} additional themed communit{} that ACQ's flat keyword",
         if missed == 1 { "y" } else { "ies" }

@@ -6,47 +6,37 @@
 //! each method's per-level label coverage relative to PCS.
 
 use pcs_bench::quality::{run_all_methods, Method};
-use pcs_bench::{f, header, parse_args, row};
+use pcs_bench::{engine_owning, f, header, parse_args, row};
 use pcs_datasets::suite::{build, SuiteConfig};
 use pcs_datasets::{sample_query_vertices, SuiteDataset};
-use pcs_index::CpTree;
 use pcs_metrics::{cps, ldr};
 
 fn main() {
     let args = parse_args();
     let cfg = SuiteConfig { scale: args.scale, seed: args.seed };
-    let methods = [
-        Method::PcsOnly,
-        Method::PcsAndAcq,
-        Method::Acq,
-        Method::Global,
-        Method::Local,
-    ];
+    let methods = [Method::PcsOnly, Method::PcsAndAcq, Method::Acq, Method::Global, Method::Local];
 
-    println!(
-        "Fig. 9(a) — CPS per method ({} queries, k = {})\n",
-        args.queries, args.k
-    );
+    println!("Fig. 9(a) — CPS per method ({} queries, k = {})\n", args.queries, args.k);
     header(&["dataset", "PCs*", "P-ACs", "ACQ", "Global", "Local"]);
-    let mut all_results = Vec::new();
+    let mut ldr_rows: Vec<Vec<String>> = Vec::new();
     for which in SuiteDataset::ALL {
         let ds = build(which, cfg);
-        let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).expect("consistent dataset");
+        let name = ds.name.clone();
         let (queries, _) = sample_query_vertices(&ds, args.k, args.queries, args.seed ^ 0x9a);
-        let results = run_all_methods(&ds, &index, &queries, args.k);
-        let mut cells = vec![ds.name.clone()];
+        // The dataset is fully sampled; move it into the owned engine.
+        let engine = engine_owning(ds);
+        let results = run_all_methods(&engine, &queries, args.k);
+        let mut cells = vec![name.clone()];
         for m in methods {
             let comms: Vec<_> = results.iter().flat_map(|r| r.of(m)).collect();
-            cells.push(f(cps(&ds.tax, &ds.profiles, &comms)));
+            cells.push(f(cps(engine.taxonomy(), engine.profiles(), &comms)));
         }
         row(&cells);
-        all_results.push((ds, queries, results));
-    }
-    println!("\nPaper: P-ACs highest, PCs* close behind, Global/Local lowest.\n");
 
-    println!("Fig. 9(b) — LDR relative to PCS (1.0 = same diversity)\n");
-    header(&["dataset", "ACQ", "Global", "Local"]);
-    for (ds, queries, results) in &all_results {
+        // Compute the Fig. 9(b) row now, while this dataset's engine is
+        // alive, so graph + index drop at the end of the iteration
+        // instead of staying resident across all four datasets.
+        let (tax, profiles) = (engine.taxonomy(), engine.profiles());
         let mut acq_acc = 0.0;
         let mut global_acc = 0.0;
         let mut local_acc = 0.0;
@@ -55,19 +45,21 @@ fn main() {
             if r.pcs.is_empty() {
                 continue;
             }
-            let tq = &ds.profiles[queries[qi] as usize];
-            acq_acc += ldr(&ds.tax, tq, &r.acq, &r.pcs);
-            global_acc += ldr(&ds.tax, tq, &r.global, &r.pcs);
-            local_acc += ldr(&ds.tax, tq, &r.local, &r.pcs);
+            let tq = &profiles[queries[qi] as usize];
+            acq_acc += ldr(tax, tq, &r.acq, &r.pcs);
+            global_acc += ldr(tax, tq, &r.global, &r.pcs);
+            local_acc += ldr(tax, tq, &r.local, &r.pcs);
             counted += 1;
         }
         let n = counted.max(1) as f64;
-        row(&[
-            ds.name.clone(),
-            f(acq_acc / n),
-            f(global_acc / n),
-            f(local_acc / n),
-        ]);
+        ldr_rows.push(vec![name, f(acq_acc / n), f(global_acc / n), f(local_acc / n)]);
+    }
+    println!("\nPaper: P-ACs highest, PCs* close behind, Global/Local lowest.\n");
+
+    println!("Fig. 9(b) — LDR relative to PCS (1.0 = same diversity)\n");
+    header(&["dataset", "ACQ", "Global", "Local"]);
+    for cells in &ldr_rows {
+        row(cells);
     }
     println!("\nPaper: ACQ covers only 40-60% of PCS's per-level labels.");
 }

@@ -2,10 +2,9 @@
 //! Community P-tree Frequency, for PCS vs ACQ vs Global vs Local.
 
 use pcs_bench::quality::{run_all_methods, Method};
-use pcs_bench::{f, header, parse_args, row};
+use pcs_bench::{engine_owning, f, header, parse_args, row};
 use pcs_datasets::suite::{build, SuiteConfig};
 use pcs_datasets::{sample_query_vertices, SuiteDataset};
-use pcs_index::CpTree;
 use pcs_metrics::cpf;
 
 fn main() {
@@ -17,38 +16,29 @@ fn main() {
         args.queries, args.k
     );
     header(&["dataset", "PCS", "ACQ", "Global", "Local"]);
-    let mut all_results = Vec::new();
+    let mut cpf_rows: Vec<Vec<String>> = Vec::new();
     for which in SuiteDataset::ALL {
         let ds = build(which, cfg);
-        let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).expect("consistent dataset");
+        let name = ds.name.clone();
         let (queries, _) = sample_query_vertices(&ds, args.k, args.queries, args.seed ^ 0x10a);
-        let results = run_all_methods(&ds, &index, &queries, args.k);
+        // The dataset is fully sampled; move it into the owned engine.
+        let engine = engine_owning(ds);
+        let results = run_all_methods(&engine, &queries, args.k);
         let n = results.len().max(1) as f64;
-        let avg = |m: Method| {
-            f(results.iter().map(|r| r.of(m).len()).sum::<usize>() as f64 / n)
-        };
+        let avg = |m: Method| f(results.iter().map(|r| r.of(m).len()).sum::<usize>() as f64 / n);
         row(&[
-            ds.name.clone(),
+            name.clone(),
             avg(Method::Pcs),
             avg(Method::Acq),
             avg(Method::Global),
             avg(Method::Local),
         ]);
-        all_results.push((ds, queries, results));
-    }
-    println!("\nPaper: PCS finds the most communities (more semantic focuses).\n");
-
-    println!("Fig. 10(b) — CPF per method\n");
-    header(&["dataset", "PCs*", "P-ACs", "ACQ", "Global", "Local"]);
-    for (ds, queries, results) in &all_results {
-        let mut cells = vec![ds.name.clone()];
-        for m in [
-            Method::PcsOnly,
-            Method::PcsAndAcq,
-            Method::Acq,
-            Method::Global,
-            Method::Local,
-        ] {
+        // Compute the Fig. 10(b) row now, while this dataset's engine
+        // is alive, so graph + index drop at the end of the iteration
+        // instead of staying resident across all four datasets.
+        let profiles = engine.profiles();
+        let mut cells = vec![name];
+        for m in [Method::PcsOnly, Method::PcsAndAcq, Method::Acq, Method::Global, Method::Local] {
             let mut acc = 0.0;
             let mut counted = 0usize;
             for (qi, r) in results.iter().enumerate() {
@@ -56,13 +46,20 @@ fn main() {
                 if comms.is_empty() {
                     continue;
                 }
-                let tq = &ds.profiles[queries[qi] as usize];
-                acc += cpf(tq, &ds.profiles, &comms);
+                let tq = &profiles[queries[qi] as usize];
+                acc += cpf(tq, profiles, &comms);
                 counted += 1;
             }
             cells.push(f(acc / counted.max(1) as f64));
         }
-        row(&cells);
+        cpf_rows.push(cells);
+    }
+    println!("\nPaper: PCS finds the most communities (more semantic focuses).\n");
+
+    println!("Fig. 10(b) — CPF per method\n");
+    header(&["dataset", "PCs*", "P-ACs", "ACQ", "Global", "Local"]);
+    for cells in &cpf_rows {
+        row(cells);
     }
     println!("\nPaper: the PCS series (PCs*, P-ACs) stay the most cohesive.");
 }

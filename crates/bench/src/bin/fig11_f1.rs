@@ -4,12 +4,11 @@
 //! community match against the circles containing the query vertex.
 
 use pcs_baselines::{acq_query, global_query, local_query};
-use pcs_bench::{f, header, parse_args, row};
-use pcs_core::{Algorithm, QueryContext};
+use pcs_bench::{engine_owning, f, header, parse_args, row};
 use pcs_datasets::ego::{build, EgoNetwork};
 use pcs_datasets::sample_query_vertices;
+use pcs_engine::QueryRequest;
 use pcs_graph::VertexId;
-use pcs_index::CpTree;
 use pcs_metrics::best_f1;
 
 fn main() {
@@ -34,55 +33,48 @@ fn main() {
 
     println!("\nFig. 11 — F1 scores ({} queries per network, k = {k})\n", args.queries);
     header(&["dataset", "PCS", "ACQ", "Global", "Local"]);
-    for ds in &datasets {
-        let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).expect("consistent dataset");
-        let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
-            .expect("consistent dataset")
-            .with_index(&index);
-        let (pool, _) = sample_query_vertices(ds, k, args.queries * 3, args.seed ^ 0xf1);
+    for ds in datasets {
+        let name = ds.name.clone();
+        let (pool, _) = sample_query_vertices(&ds, k, args.queries * 3, args.seed ^ 0xf1);
         let queries: Vec<VertexId> = pool
             .into_iter()
             .filter(|q| ds.groups.iter().any(|g| g.binary_search(q).is_ok()))
             .take(args.queries)
             .collect();
+        // The dataset is fully sampled; move it into the owned engine,
+        // keeping only the ground-truth circles behind for scoring.
+        let mut ds = ds;
+        let groups = std::mem::take(&mut ds.groups);
+        let engine = engine_owning(ds);
+        let requests: Vec<QueryRequest> =
+            queries.iter().map(|&q| QueryRequest::vertex(q).k(k)).collect();
+        let batch = engine.query_batch(&requests);
 
+        let (g, tax, profiles) = (engine.graph(), engine.taxonomy(), engine.profiles());
         let mut scores = [0.0f64; 4];
-        for &q in &queries {
-            let truths: Vec<Vec<VertexId>> = ds
-                .groups
-                .iter()
-                .filter(|g| g.binary_search(&q).is_ok())
-                .cloned()
-                .collect();
-            let pcs: Vec<Vec<VertexId>> = ctx
-                .query(q, k, Algorithm::AdvP)
-                .map(|o| o.communities.into_iter().map(|c| c.vertices).collect())
+        for (&q, pcs_result) in queries.iter().zip(batch) {
+            let truths: Vec<Vec<VertexId>> =
+                groups.iter().filter(|g| g.binary_search(&q).is_ok()).cloned().collect();
+            let pcs: Vec<Vec<VertexId>> = pcs_result
+                .map(|r| r.outcome.communities.into_iter().map(|c| c.vertices).collect())
                 .unwrap_or_default();
             scores[0] += best_f1(&pcs, &truths);
-            let acq: Vec<Vec<VertexId>> = acq_query(&ds.graph, &ds.tax, &ds.profiles, q, k)
+            let acq: Vec<Vec<VertexId>> = acq_query(g, tax, profiles, q, k)
                 .communities
                 .into_iter()
                 .map(|c| c.community.vertices)
                 .collect();
             scores[1] += best_f1(&acq, &truths);
-            let global: Vec<Vec<VertexId>> = global_query(&ds.graph, &ds.profiles, q, k)
+            let global: Vec<Vec<VertexId>> =
+                global_query(g, profiles, q, k).map(|c| vec![c.vertices]).unwrap_or_default();
+            scores[2] += best_f1(&global, &truths);
+            let local: Vec<Vec<VertexId>> = local_query(g, profiles, q, k, usize::MAX)
                 .map(|c| vec![c.vertices])
                 .unwrap_or_default();
-            scores[2] += best_f1(&global, &truths);
-            let local: Vec<Vec<VertexId>> =
-                local_query(&ds.graph, &ds.profiles, q, k, usize::MAX)
-                    .map(|c| vec![c.vertices])
-                    .unwrap_or_default();
             scores[3] += best_f1(&local, &truths);
         }
         let n = queries.len().max(1) as f64;
-        row(&[
-            ds.name.clone(),
-            f(scores[0] / n),
-            f(scores[1] / n),
-            f(scores[2] / n),
-            f(scores[3] / n),
-        ]);
+        row(&[name, f(scores[0] / n), f(scores[1] / n), f(scores[2] / n), f(scores[3] / n)]);
     }
     println!("\nPaper: PCS stably extracts the most accurate circles across all three networks.");
 }

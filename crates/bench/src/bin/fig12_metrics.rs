@@ -6,11 +6,10 @@
 //! (vs the common-subtree answers), community count, and CPF.
 
 use pcs_baselines::{variant_query, CohesivenessMetric};
-use pcs_bench::{f, header, parse_args, row};
-use pcs_core::{ProfiledCommunity, QueryContext};
+use pcs_bench::{engine_owning, f, header, parse_args, row};
+use pcs_core::ProfiledCommunity;
 use pcs_datasets::suite::{build, SuiteConfig};
 use pcs_datasets::{sample_query_vertices, SuiteDataset};
-use pcs_index::CpTree;
 use pcs_metrics::{cpf, cps, ldr};
 
 fn main() {
@@ -25,30 +24,31 @@ fn main() {
 
     for which in [SuiteDataset::Acmdl, SuiteDataset::Pubmed] {
         let ds = build(which, cfg);
-        let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).expect("consistent dataset");
-        let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
-            .expect("consistent dataset")
-            .with_index(&index);
+        let name = ds.name.clone();
         let (queries, _) = sample_query_vertices(&ds, args.k, args.queries, args.seed ^ 0x12);
+        // The dataset is fully sampled; move it into the owned engine.
+        let engine = engine_owning(ds);
+        let (tax, profiles) = (engine.taxonomy(), engine.profiles());
 
-        // Per metric, per query: the returned communities.
-        let mut per_metric: Vec<Vec<Vec<ProfiledCommunity>>> = Vec::new();
-        for &m in &metrics {
-            per_metric.push(
-                queries.iter().map(|&q| variant_query(&ctx, q, args.k, m)).collect(),
-            );
-        }
+        // Per metric, per query: the returned communities. The §5.3
+        // variants speak the borrowed paper layer, so borrow a context
+        // from the engine for the sweep.
+        let per_metric: Vec<Vec<Vec<ProfiledCommunity>>> = engine
+            .with_context(|ctx| {
+                metrics
+                    .iter()
+                    .map(|&m| queries.iter().map(|&q| variant_query(ctx, q, args.k, m)).collect())
+                    .collect()
+            })
+            .expect("engine state is consistent");
         let pcs_idx = 2; // CommonSubtree's position in `metrics`
 
-        println!(
-            "\nFig. 12 — {} ({} queries, k = {})\n",
-            ds.name, args.queries, args.k
-        );
+        println!("\nFig. 12 — {} ({} queries, k = {})\n", name, args.queries, args.k);
         header(&["metric", "CPS", "LDR", "#comm", "CPF"]);
         for (mi, m) in metrics.iter().enumerate() {
             let results = &per_metric[mi];
             let all: Vec<ProfiledCommunity> = results.iter().flatten().cloned().collect();
-            let cps_v = cps(&ds.tax, &ds.profiles, &all);
+            let cps_v = cps(tax, profiles, &all);
             let mut ldr_acc = 0.0;
             let mut cpf_acc = 0.0;
             let mut counted = 0usize;
@@ -57,23 +57,17 @@ fn main() {
                 if pcs_comms.is_empty() {
                     continue;
                 }
-                let tq = &ds.profiles[queries[qi] as usize];
-                ldr_acc += ldr(&ds.tax, tq, comms, pcs_comms);
+                let tq = &profiles[queries[qi] as usize];
+                ldr_acc += ldr(tax, tq, comms, pcs_comms);
                 if !comms.is_empty() {
-                    cpf_acc += cpf(tq, &ds.profiles, comms);
+                    cpf_acc += cpf(tq, profiles, comms);
                 }
                 counted += 1;
             }
             let n = counted.max(1) as f64;
             let avg_count =
                 results.iter().map(|c| c.len()).sum::<usize>() as f64 / results.len().max(1) as f64;
-            row(&[
-                m.name().to_string(),
-                f(cps_v),
-                f(ldr_acc / n),
-                f(avg_count),
-                f(cpf_acc / n),
-            ]);
+            row(&[m.name().to_string(), f(cps_v), f(ldr_acc / n), f(avg_count), f(cpf_acc / n)]);
         }
     }
     println!("\nPaper: metric (c), the common subtree, scores highest across all four indices.");

@@ -33,8 +33,7 @@ fn main() {
                     _ => subsample_gptree(ds, frac, args.seed ^ 0x13),
                 };
                 let (_, took) = time(|| {
-                    CpTree::build(&sub.graph, &sub.tax, &sub.profiles)
-                        .expect("consistent dataset")
+                    CpTree::build(&sub.graph, &sub.tax, &sub.profiles).expect("consistent dataset")
                 });
                 cells.push(format!("{:.1}", took.as_secs_f64() * 1e3));
             }

@@ -12,17 +12,21 @@
 //! `basic` only participates in the `k` section (as in the paper, which
 //! drops it afterwards for being orders of magnitude slower) and runs
 //! on a reduced query count to keep the harness fast.
+//!
+//! Queries run through the owned [`PcsEngine`] facade (the serving
+//! path); only the find-function section reaches through
+//! [`PcsEngine::with_context`] to the paper-layer internals.
 
 use std::time::{Duration, Instant};
 
-use pcs_bench::{header, parse_args, row, HarnessArgs};
+use pcs_bench::{engine_for, engine_owning, header, parse_args, row, HarnessArgs};
 use pcs_core::advanced::{find_cut, FindStrategy};
-use pcs_core::{Algorithm, QueryContext, Verifier};
+use pcs_core::{Algorithm, Verifier};
 use pcs_datasets::scale::{subsample_gptree, subsample_ptrees, subsample_vertices};
 use pcs_datasets::suite::{build, SuiteConfig};
 use pcs_datasets::{gen::ProfiledDataset, sample_query_vertices, SuiteDataset};
+use pcs_engine::{PcsEngine, QueryRequest};
 use pcs_graph::VertexId;
-use pcs_index::CpTree;
 
 const FRACTIONS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
 const KS: [u32; 5] = [4, 5, 6, 7, 8];
@@ -50,29 +54,15 @@ fn main() {
     }
 }
 
-/// Total time to answer `queries` with `algo` (ms).
-fn run_algo(
-    ctx: &QueryContext<'_>,
-    queries: &[VertexId],
-    k: u32,
-    algo: Algorithm,
-) -> Duration {
+/// Total time to answer `queries` with `algo` (sequential, one request
+/// at a time — per-query latency is what Fig. 14 reports).
+fn run_algo(engine: &PcsEngine, queries: &[VertexId], k: u32, algo: Algorithm) -> Duration {
     let start = Instant::now();
     for &q in queries {
-        let _ = ctx.query(q, k, algo).expect("query in range");
+        let _ =
+            engine.query(&QueryRequest::vertex(q).k(k).algorithm(algo)).expect("query in range");
     }
     start.elapsed()
-}
-
-fn with_context<T>(
-    ds: &ProfiledDataset,
-    f: impl FnOnce(&QueryContext<'_>) -> T,
-) -> T {
-    let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).expect("consistent dataset");
-    let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
-        .expect("consistent dataset")
-        .with_index(&index);
-    f(&ctx)
 }
 
 fn section_vary_k(datasets: &[ProfiledDataset], args: &HarnessArgs) {
@@ -80,24 +70,22 @@ fn section_vary_k(datasets: &[ProfiledDataset], args: &HarnessArgs) {
     for ds in datasets {
         println!("dataset: {} ({} queries; basic limited to 2)\n", ds.name, args.queries);
         header(&["k", "basic", "incre", "adv-I", "adv-D", "adv-P"]);
-        with_context(ds, |ctx| {
-            for k in KS {
-                let (queries, _) = sample_query_vertices(ds, k, args.queries, args.seed ^ 0x14);
-                let basic_queries = &queries[..queries.len().min(2)];
-                let mut cells = vec![k.to_string()];
-                // basic gets a reduced workload, normalized back up so
-                // the magnitudes stay comparable.
-                let basic = run_algo(ctx, basic_queries, k, Algorithm::Basic);
-                let scale = queries.len() as f64 / basic_queries.len().max(1) as f64;
-                cells.push(format!("{:.1}", basic.as_secs_f64() * 1e3 * scale));
-                for algo in [Algorithm::Incre, Algorithm::AdvI, Algorithm::AdvD, Algorithm::AdvP]
-                {
-                    let took = run_algo(ctx, &queries, k, algo);
-                    cells.push(format!("{:.1}", took.as_secs_f64() * 1e3));
-                }
-                row(&cells);
+        let engine = engine_for(ds);
+        for k in KS {
+            let (queries, _) = sample_query_vertices(ds, k, args.queries, args.seed ^ 0x14);
+            let basic_queries = &queries[..queries.len().min(2)];
+            let mut cells = vec![k.to_string()];
+            // basic gets a reduced workload, normalized back up so
+            // the magnitudes stay comparable.
+            let basic = run_algo(&engine, basic_queries, k, Algorithm::Basic);
+            let scale = queries.len() as f64 / basic_queries.len().max(1) as f64;
+            cells.push(format!("{:.1}", basic.as_secs_f64() * 1e3 * scale));
+            for algo in [Algorithm::Incre, Algorithm::AdvI, Algorithm::AdvD, Algorithm::AdvP] {
+                let took = run_algo(&engine, &queries, k, algo);
+                cells.push(format!("{:.1}", took.as_secs_f64() * 1e3));
             }
-        });
+            row(&cells);
+        }
         println!();
     }
     println!("Paper: basic is 100x+ slower than incre; adv-D/adv-P are ~10x faster than incre.");
@@ -116,13 +104,13 @@ fn section_fraction(datasets: &[ProfiledDataset], args: &HarnessArgs, axis: &str
             };
             let (queries, _) = sample_query_vertices(&sub, args.k, args.queries, args.seed ^ 7);
             let mut cells = vec![format!("{:.0}%", frac * 100.0)];
-            with_context(&sub, |ctx| {
-                for algo in [Algorithm::Incre, Algorithm::AdvI, Algorithm::AdvD, Algorithm::AdvP]
-                {
-                    let took = run_algo(ctx, &queries, args.k, algo);
-                    cells.push(format!("{:.1}", took.as_secs_f64() * 1e3));
-                }
-            });
+            // The subsample is dead after sampling; move it into the
+            // engine instead of cloning a second copy.
+            let engine = engine_owning(sub);
+            for algo in [Algorithm::Incre, Algorithm::AdvI, Algorithm::AdvD, Algorithm::AdvP] {
+                let took = run_algo(&engine, &queries, args.k, algo);
+                cells.push(format!("{:.1}", took.as_secs_f64() * 1e3));
+            }
             row(&cells);
         }
         println!();
@@ -134,24 +122,28 @@ fn section_find(datasets: &[ProfiledDataset], args: &HarnessArgs) {
     for ds in datasets {
         println!("dataset: {}\n", ds.name);
         header(&["k", "find-I", "find-D", "find-P"]);
-        with_context(ds, |ctx| {
-            for k in KS {
-                let (queries, _) = sample_query_vertices(ds, k, args.queries, args.seed ^ 0x14f);
-                let mut cells = vec![k.to_string()];
-                for strategy in FindStrategy::ALL {
-                    let start = Instant::now();
-                    for &q in &queries {
-                        let space = ctx.space_for(q).expect("query in range");
-                        let mut ver = Verifier::new(ctx, &space, q, k);
-                        if ver.gk().is_some() {
-                            let _ = find_cut(&mut ver, &space, strategy);
+        let engine = engine_for(ds);
+        engine
+            .with_context(|ctx| {
+                for k in KS {
+                    let (queries, _) =
+                        sample_query_vertices(ds, k, args.queries, args.seed ^ 0x14f);
+                    let mut cells = vec![k.to_string()];
+                    for strategy in FindStrategy::ALL {
+                        let start = Instant::now();
+                        for &q in &queries {
+                            let space = ctx.space_for(q).expect("query in range");
+                            let mut ver = Verifier::new(ctx, &space, q, k);
+                            if ver.gk().is_some() {
+                                let _ = find_cut(&mut ver, &space, strategy);
+                            }
                         }
+                        cells.push(format!("{:.1}", start.elapsed().as_secs_f64() * 1e3));
                     }
-                    cells.push(format!("{:.1}", start.elapsed().as_secs_f64() * 1e3));
+                    row(&cells);
                 }
-                row(&cells);
-            }
-        });
+            })
+            .expect("engine state is consistent");
         println!();
     }
     println!("Paper: find-P and find-D are 10-100x faster than find-I.");

@@ -12,9 +12,7 @@ fn main() {
     let args = parse_args();
     let cfg = SuiteConfig { scale: args.scale, seed: args.seed };
     println!("Table 2 — datasets (scale {:.3} of paper sizes)\n", args.scale);
-    header(&[
-        "dataset", "vertices", "edges", "d̂", "P̂", "|GP-tree|", "paper d̂", "paper P̂",
-    ]);
+    header(&["dataset", "vertices", "edges", "d̂", "P̂", "|GP-tree|", "paper d̂", "paper P̂"]);
     for which in SuiteDataset::ALL {
         let ds = build(which, cfg);
         let (name, v, e, d, p, gp) = ds.table2_row();
@@ -29,5 +27,7 @@ fn main() {
             format!("{:.2}", which.paper_avg_ptree()),
         ]);
     }
-    println!("\nPaper sizes: ACMDL 107,656 / Flickr 581,099 / PubMed 716,459 / DBLP 977,288 vertices.");
+    println!(
+        "\nPaper sizes: ACMDL 107,656 / Flickr 581,099 / PubMed 716,459 / DBLP 977,288 vertices."
+    );
 }

@@ -6,12 +6,12 @@
 //! themes sit in the *middle* bands, motivating the boundary-walking
 //! advanced methods — should reproduce.
 
-use pcs_bench::{header, parse_args, pct, row};
+use pcs_bench::{engine_owning, header, parse_args, pct, row};
 use pcs_core::stats::LevelHistogram;
-use pcs_core::{Algorithm, QueryContext};
+use pcs_core::Algorithm;
 use pcs_datasets::suite::{build, SuiteConfig};
 use pcs_datasets::{sample_query_vertices, SuiteDataset};
-use pcs_index::CpTree;
+use pcs_engine::QueryRequest;
 
 fn main() {
     let args = parse_args();
@@ -23,19 +23,22 @@ fn main() {
     header(&["dataset", "level 1", "level 2", "level 3", "level 4", "level 5", "themes"]);
     for which in SuiteDataset::ALL {
         let ds = build(which, cfg);
-        let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).expect("consistent dataset");
-        let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
-            .expect("consistent dataset")
-            .with_index(&index);
+        let name = ds.name.clone();
         let (queries, _) = sample_query_vertices(&ds, args.k, args.queries, args.seed ^ 0x717);
+        // The dataset is fully sampled; move it into the owned engine.
+        let engine = engine_owning(ds);
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .map(|&q| QueryRequest::vertex(q).k(args.k).algorithm(Algorithm::AdvP))
+            .collect();
         let mut hist = LevelHistogram::new();
-        for &q in &queries {
-            let out = ctx.query(q, args.k, Algorithm::AdvP).expect("query in range");
-            hist.add_outcome(&out);
+        for result in engine.query_batch(&requests) {
+            let resp = result.expect("query in range");
+            hist.add_outcome(&resp.outcome);
         }
         let fr = hist.fractions();
         row(&[
-            ds.name.clone(),
+            name,
             pct(fr[0]),
             pct(fr[1]),
             pct(fr[2]),

@@ -72,6 +72,28 @@ pub fn parse_args() -> HarnessArgs {
     out
 }
 
+/// Owned [`PcsEngine`] over a dataset the harness keeps borrowing for
+/// query sampling and subsampling: graph, taxonomy, and profiles are
+/// cloned in, and the CP-tree index is prebuilt so timed regions
+/// measure queries only. Binaries that are done with their dataset
+/// should use [`engine_owning`] instead to avoid the copy.
+pub fn engine_for(ds: &pcs_datasets::ProfiledDataset) -> pcs_engine::PcsEngine {
+    engine_owning(ds.clone())
+}
+
+/// Owned [`PcsEngine`] consuming a dataset outright (no clone), with
+/// the CP-tree index prebuilt. The dataset's ground-truth groups and
+/// name are dropped; extract them first if the harness needs them.
+pub fn engine_owning(ds: pcs_datasets::ProfiledDataset) -> pcs_engine::PcsEngine {
+    pcs_engine::PcsEngine::builder()
+        .graph(ds.graph)
+        .taxonomy(ds.tax)
+        .profiles(ds.profiles)
+        .index_mode(pcs_engine::IndexMode::Eager)
+        .build()
+        .expect("consistent dataset")
+}
+
 /// Times a closure.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();

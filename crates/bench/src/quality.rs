@@ -6,10 +6,9 @@
 //! PCS and ACQ) and `PCs*` (communities only PCS finds).
 
 use pcs_baselines::{acq_query, global_query, local_query};
-use pcs_core::{Algorithm, ProfiledCommunity, QueryContext};
-use pcs_datasets::ProfiledDataset;
+use pcs_core::{Algorithm, ProfiledCommunity};
+use pcs_engine::{PcsEngine, QueryRequest};
 use pcs_graph::VertexId;
-use pcs_index::CpTree;
 
 /// Method identifiers used in the quality figures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -87,34 +86,26 @@ impl QueryResults {
     }
 }
 
-/// Runs every method for each query vertex.
-pub fn run_all_methods(
-    ds: &ProfiledDataset,
-    index: &CpTree,
-    queries: &[VertexId],
-    k: u32,
-) -> Vec<QueryResults> {
-    let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
-        .expect("dataset is consistent")
-        .with_index(index);
+/// Runs every method for each query vertex. PCS goes through the
+/// engine's order-preserving batch path; the baselines borrow the
+/// engine's data through its accessors.
+pub fn run_all_methods(engine: &PcsEngine, queries: &[VertexId], k: u32) -> Vec<QueryResults> {
+    let (g, tax, profiles) = (engine.graph(), engine.taxonomy(), engine.profiles());
+    let requests: Vec<QueryRequest> =
+        queries.iter().map(|&q| QueryRequest::vertex(q).k(k).algorithm(Algorithm::AdvP)).collect();
+    let batch = engine.query_batch(&requests);
     queries
         .iter()
-        .map(|&q| {
-            let pcs = ctx
-                .query(q, k, Algorithm::AdvP)
-                .map(|o| o.communities)
-                .unwrap_or_default();
-            let acq = acq_query(&ds.graph, &ds.tax, &ds.profiles, q, k)
+        .zip(batch)
+        .map(|(&q, pcs_result)| {
+            let pcs = pcs_result.map(|r| r.outcome.communities).unwrap_or_default();
+            let acq = acq_query(g, tax, profiles, q, k)
                 .communities
                 .into_iter()
                 .map(|c| c.community)
                 .collect();
-            let global = global_query(&ds.graph, &ds.profiles, q, k)
-                .into_iter()
-                .collect();
-            let local = local_query(&ds.graph, &ds.profiles, q, k, usize::MAX)
-                .into_iter()
-                .collect();
+            let global = global_query(g, profiles, q, k).into_iter().collect();
+            let local = local_query(g, profiles, q, k, usize::MAX).into_iter().collect();
             QueryResults { pcs, acq, global, local }
         })
         .collect()

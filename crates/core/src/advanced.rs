@@ -48,11 +48,8 @@ impl FindStrategy {
     }
 
     /// All strategies in the paper's order.
-    pub const ALL: [FindStrategy; 3] = [
-        FindStrategy::Incremental,
-        FindStrategy::Decremental,
-        FindStrategy::Path,
-    ];
+    pub const ALL: [FindStrategy; 3] =
+        [FindStrategy::Incremental, FindStrategy::Decremental, FindStrategy::Path];
 }
 
 /// An initial cut: `feasible` is a feasible subtree; `infeasible`, when
@@ -120,12 +117,8 @@ fn find_i(ver: &mut Verifier<'_>, space: &QuerySpace) -> Cut {
         if flag && ver.is_maximal_feasible(&t_prime) {
             // Any lattice child works as IF (they are all infeasible by
             // maximality); prefer one we already verified.
-            let infeasible = last_infeasible.or_else(|| {
-                space
-                    .lattice_children(&t_prime)
-                    .first()
-                    .map(|&p| t_prime.with(p))
-            });
+            let infeasible = last_infeasible
+                .or_else(|| space.lattice_children(&t_prime).first().map(|&p| t_prime.with(p)));
             return Cut { infeasible, feasible: t_prime };
         }
     }
@@ -212,11 +205,7 @@ fn find_p(ver: &mut Verifier<'_>, space: &QuerySpace) -> Cut {
         }
         // The path nodes missing from F, in root-to-leaf (ascending
         // preorder) order; adding them one by one keeps closure.
-        let missing: Vec<u32> = space
-            .path_to(t)
-            .positions()
-            .filter(|&p| !f.contains(p))
-            .collect();
+        let missing: Vec<u32> = space.path_to(t).positions().filter(|&p| !f.contains(p)).collect();
         let mut cur = f.clone();
         for p in missing {
             let cand = cur.with(p);
@@ -446,8 +435,7 @@ mod tests {
         let mut t = Taxonomy::new("r");
         let a = t.add_child(0, "a").unwrap();
         let b = t.add_child(a, "b").unwrap();
-        let profiles: Vec<PTree> =
-            (0..4).map(|_| PTree::from_labels(&t, [b]).unwrap()).collect();
+        let profiles: Vec<PTree> = (0..4).map(|_| PTree::from_labels(&t, [b]).unwrap()).collect();
         let index = CpTree::build(&g, &t, &profiles).unwrap();
         let ctx = QueryContext::new(&g, &t, &profiles).unwrap().with_index(&index);
         let space = ctx.space_for(0).unwrap();

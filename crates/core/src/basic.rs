@@ -110,7 +110,7 @@ mod tests {
         let ai = t.add_child(cm, "AI").unwrap();
         let dms = t.add_child(is, "DMS").unwrap();
         let profiles = vec![
-            PTree::from_labels(&t, [dms, hw]).unwrap(), // A
+            PTree::from_labels(&t, [dms, hw]).unwrap(),         // A
             PTree::from_labels(&t, [ml, ai]).unwrap(),          // B
             PTree::from_labels(&t, [ml, ai, is]).unwrap(),      // C
             PTree::from_labels(&t, [ml, ai, dms, hw]).unwrap(), // D
@@ -129,17 +129,10 @@ mod tests {
         let (g, t, profiles) = figure1();
         let ctx = QueryContext::new(&g, &t, &profiles).unwrap();
         let out = ctx.query(3, 2, Algorithm::Basic).unwrap();
-        let mut sets: Vec<Vec<u32>> =
-            out.communities.iter().map(|c| c.vertices.clone()).collect();
+        let mut sets: Vec<Vec<u32>> = out.communities.iter().map(|c| c.vertices.clone()).collect();
         sets.sort();
-        assert!(
-            sets.contains(&vec![1, 2, 3]),
-            "expected {{B,C,D}}, got {sets:?}"
-        );
-        assert!(
-            sets.contains(&vec![0, 3, 4]),
-            "expected {{A,D,E}}, got {sets:?}"
-        );
+        assert!(sets.contains(&vec![1, 2, 3]), "expected {{B,C,D}}, got {sets:?}");
+        assert!(sets.contains(&vec![0, 3, 4]), "expected {{A,D,E}}, got {sets:?}");
         // Theme subtrees match Fig. 2(b)/(c).
         for c in &out.communities {
             if c.vertices == vec![1, 2, 3] {
@@ -178,10 +171,8 @@ mod tests {
                         assert!(deg >= k as usize, "q={q} k={k} v={v} deg={deg}");
                     }
                     // Reported subtree = actual maximal common subtree.
-                    let m = PTree::intersect_all(
-                        c.vertices.iter().map(|&v| &profiles[v as usize]),
-                    )
-                    .unwrap();
+                    let m = PTree::intersect_all(c.vertices.iter().map(|&v| &profiles[v as usize]))
+                        .unwrap();
                     assert_eq!(m, c.subtree, "q={q} k={k}");
                 }
                 // Profile cohesiveness: themes pairwise incomparable.

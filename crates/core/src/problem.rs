@@ -1,5 +1,7 @@
 //! Problem definition, query context, and result types.
 
+use std::borrow::Cow;
+
 use pcs_graph::core::CoreDecomposition;
 use pcs_graph::{Graph, VertexId};
 use pcs_index::CpTree;
@@ -38,10 +40,9 @@ impl std::fmt::Display for PcsError {
             PcsError::QueryVertexOutOfRange { vertex, n } => {
                 write!(f, "query vertex {vertex} out of range for graph with {n} vertices")
             }
-            PcsError::ProfileCountMismatch { vertices, profiles } => write!(
-                f,
-                "graph has {vertices} vertices but {profiles} profiles were supplied"
-            ),
+            PcsError::ProfileCountMismatch { vertices, profiles } => {
+                write!(f, "graph has {vertices} vertices but {profiles} profiles were supplied")
+            }
             PcsError::IndexRequired(a) => {
                 write!(f, "algorithm {a} requires a CP-tree index; call with_index()")
             }
@@ -61,6 +62,11 @@ impl From<pcs_index::IndexError> for PcsError {
 /// Which PCS algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algorithm {
+    /// Pick automatically: [`Algorithm::AdvP`] when a CP-tree index is
+    /// available, [`Algorithm::Basic`] otherwise. Resolved by
+    /// [`Algorithm::resolve`] before dispatch, so it never reaches the
+    /// algorithm implementations.
+    Auto,
     /// Algorithm 1: index-free bottom-up enumeration.
     Basic,
     /// Algorithm 3: index-based incremental enumeration.
@@ -74,18 +80,16 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    /// All five algorithms, in the paper's order.
-    pub const ALL: [Algorithm; 5] = [
-        Algorithm::Basic,
-        Algorithm::Incre,
-        Algorithm::AdvI,
-        Algorithm::AdvD,
-        Algorithm::AdvP,
-    ];
+    /// The five concrete algorithms, in the paper's order
+    /// ([`Algorithm::Auto`] is a dispatch policy, not a sixth
+    /// algorithm, so it is deliberately absent).
+    pub const ALL: [Algorithm; 5] =
+        [Algorithm::Basic, Algorithm::Incre, Algorithm::AdvI, Algorithm::AdvD, Algorithm::AdvP];
 
     /// The paper's display name.
     pub fn name(self) -> &'static str {
         match self {
+            Algorithm::Auto => "auto",
             Algorithm::Basic => "basic",
             Algorithm::Incre => "incre",
             Algorithm::AdvI => "adv-I",
@@ -94,9 +98,21 @@ impl Algorithm {
         }
     }
 
-    /// True when the algorithm needs a CP-tree index.
+    /// True when the algorithm needs a CP-tree index. `Auto` reports
+    /// `false` because it degrades to `Basic` when no index exists.
     pub fn needs_index(self) -> bool {
-        !matches!(self, Algorithm::Basic)
+        !matches!(self, Algorithm::Basic | Algorithm::Auto)
+    }
+
+    /// Collapses [`Algorithm::Auto`] onto a concrete algorithm:
+    /// `AdvP` when `has_index`, `Basic` otherwise. Concrete variants
+    /// pass through unchanged.
+    pub fn resolve(self, has_index: bool) -> Algorithm {
+        match self {
+            Algorithm::Auto if has_index => Algorithm::AdvP,
+            Algorithm::Auto => Algorithm::Basic,
+            other => other,
+        }
     }
 }
 
@@ -166,25 +182,48 @@ pub struct QueryContext<'a> {
     /// Optional CP-tree index (required by every algorithm but `basic`).
     pub index: Option<&'a CpTree>,
     /// Core numbers of the whole graph (used by `basic`'s `Gk`).
-    pub cores: CoreDecomposition,
+    /// Owned when computed by [`QueryContext::new`]; borrowed when an
+    /// engine shares one precomputed decomposition across queries.
+    pub cores: Cow<'a, CoreDecomposition>,
 }
 
 impl<'a> QueryContext<'a> {
     /// Creates a context without an index (only `basic` will run).
     pub fn new(graph: &'a Graph, tax: &'a Taxonomy, profiles: &'a [PTree]) -> Result<Self> {
+        Self::check_profiles(graph, profiles)?;
+        Ok(QueryContext {
+            graph,
+            tax,
+            profiles,
+            index: None,
+            cores: Cow::Owned(CoreDecomposition::new(graph)),
+        })
+    }
+
+    /// Assembles a context from already-validated, already-computed
+    /// parts without recomputing the core decomposition. This is the
+    /// cheap per-query constructor the owned engine facade uses; most
+    /// applications want `pcs_engine::PcsEngine` instead of calling it
+    /// directly.
+    pub fn from_parts(
+        graph: &'a Graph,
+        tax: &'a Taxonomy,
+        profiles: &'a [PTree],
+        index: Option<&'a CpTree>,
+        cores: &'a CoreDecomposition,
+    ) -> Result<Self> {
+        Self::check_profiles(graph, profiles)?;
+        Ok(QueryContext { graph, tax, profiles, index, cores: Cow::Borrowed(cores) })
+    }
+
+    fn check_profiles(graph: &Graph, profiles: &[PTree]) -> Result<()> {
         if graph.num_vertices() != profiles.len() {
             return Err(PcsError::ProfileCountMismatch {
                 vertices: graph.num_vertices(),
                 profiles: profiles.len(),
             });
         }
-        Ok(QueryContext {
-            graph,
-            tax,
-            profiles,
-            index: None,
-            cores: CoreDecomposition::new(graph),
-        })
+        Ok(())
     }
 
     /// Attaches a prebuilt CP-tree index.
@@ -197,7 +236,10 @@ impl<'a> QueryContext<'a> {
     /// in DFS preorder).
     pub fn space_for(&self, q: VertexId) -> Result<QuerySpace> {
         if q as usize >= self.graph.num_vertices() {
-            return Err(PcsError::QueryVertexOutOfRange { vertex: q, n: self.graph.num_vertices() });
+            return Err(PcsError::QueryVertexOutOfRange {
+                vertex: q,
+                n: self.graph.num_vertices(),
+            });
         }
         // `incre`/advanced restore T(q) through the index headMap (the
         // paper's line "restore T(q) using I.headMap"); without an index
@@ -213,11 +255,14 @@ impl<'a> QueryContext<'a> {
     }
 
     /// Runs one PCS query with the chosen algorithm.
+    /// [`Algorithm::Auto`] resolves against the attached index first.
     pub fn query(&self, q: VertexId, k: u32, algorithm: Algorithm) -> Result<PcsOutcome> {
+        let algorithm = algorithm.resolve(self.index.is_some());
         if algorithm.needs_index() && self.index.is_none() {
             return Err(PcsError::IndexRequired(algorithm.name()));
         }
         match algorithm {
+            Algorithm::Auto => unreachable!("Auto resolves to a concrete algorithm above"),
             Algorithm::Basic => crate::basic::query(self, q, k),
             Algorithm::Incre => crate::incre::query(self, q, k),
             Algorithm::AdvI => crate::advanced::query(self, q, k, FindStrategy::Incremental),
@@ -259,10 +304,7 @@ mod tests {
         let tax = Taxonomy::new("r");
         let profiles = vec![PTree::root_only(), PTree::root_only()];
         let ctx = QueryContext::new(&g, &tax, &profiles).unwrap();
-        assert!(matches!(
-            ctx.query(0, 1, Algorithm::Incre),
-            Err(PcsError::IndexRequired("incre"))
-        ));
+        assert!(matches!(ctx.query(0, 1, Algorithm::Incre), Err(PcsError::IndexRequired("incre"))));
     }
 
     #[test]

@@ -56,9 +56,7 @@ pub fn truss_query(ctx: &QueryContext<'_>, q: VertexId, k: u32) -> Result<PcsOut
                 .filter(|&v| want.is_subtree_of(&ctx.profiles[v as usize]))
                 .collect();
             stats.verifications += 1;
-            let res = engine
-                .ktruss_component_within(g, &cands, q, k)
-                .map(Rc::new);
+            let res = engine.ktruss_component_within(g, &cands, q, k).map(Rc::new);
             if res.is_some() {
                 stats.feasible += 1;
             }
@@ -201,10 +199,8 @@ mod tests {
                         }
                     }
                     // Reported theme is the true common subtree.
-                    let m = PTree::intersect_all(
-                        a.vertices.iter().map(|&v| &profiles[v as usize]),
-                    )
-                    .unwrap();
+                    let m = PTree::intersect_all(a.vertices.iter().map(|&v| &profiles[v as usize]))
+                        .unwrap();
                     assert_eq!(&m, &a.subtree);
                 }
             }

@@ -116,9 +116,7 @@ impl<'a> Verifier<'a> {
 
     fn peel(&mut self, candidates: &[VertexId]) -> Community {
         self.stats.verifications += 1;
-        self.core
-            .kcore_component_within(self.ctx.graph, candidates, self.q, self.k)
-            .map(Rc::new)
+        self.core.kcore_component_within(self.ctx.graph, candidates, self.q, self.k).map(Rc::new)
     }
 
     /// `Gk[T]` with automatic candidate seeding (memoized).
@@ -183,10 +181,8 @@ impl<'a> Verifier<'a> {
             self.stats.memo_hits += 1;
             return hit.clone();
         }
-        let index = self
-            .ctx
-            .index
-            .expect("verify_from_base is only used by index-based algorithms");
+        let index =
+            self.ctx.index.expect("verify_from_base is only used by index-based algorithms");
         let label = self.space.label_at(added_pos);
         let seed = match index.get(self.k, self.q, label) {
             Some(seed) => seed,

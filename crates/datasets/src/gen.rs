@@ -182,9 +182,8 @@ pub fn generate(spec: &DatasetSpec, tax: Taxonomy) -> ProfiledDataset {
     assert!(n > 0, "dataset needs vertices");
 
     // --- Group memberships -------------------------------------------------
-    let num_groups = ((n as f64 * spec.groups_per_vertex) / spec.group_size as f64)
-        .ceil()
-        .max(1.0) as usize;
+    let num_groups =
+        ((n as f64 * spec.groups_per_vertex) / spec.group_size as f64).ceil().max(1.0) as usize;
     let mut memberships: Vec<Vec<u32>> = vec![Vec::new(); n];
     let extra_p = (spec.groups_per_vertex - 1.0).clamp(0.0, 1.0);
     for m in memberships.iter_mut() {
@@ -238,9 +237,8 @@ pub fn generate(spec: &DatasetSpec, tax: Taxonomy) -> ProfiledDataset {
 
     // --- Profiles -----------------------------------------------------------
     let theme_target = ((spec.avg_ptree * spec.theme_fraction) as usize).max(2);
-    let themes: Vec<PTree> = (0..num_groups)
-        .map(|_| random_ptree(&tax, theme_target, &mut rng))
-        .collect();
+    let themes: Vec<PTree> =
+        (0..num_groups).map(|_| random_ptree(&tax, theme_target, &mut rng)).collect();
     // Each group also gets a pool of "interest areas" its members draw
     // noise from, so noise overlaps deeply *within* communities (as it
     // does for real co-authors) instead of only at top levels.
@@ -337,9 +335,8 @@ mod tests {
     fn six_core_exists_for_query_sampling() {
         let ds = small();
         let cd = pcs_graph::core::CoreDecomposition::new(&ds.graph);
-        let in_6core = (0..ds.graph.num_vertices() as u32)
-            .filter(|&v| cd.core_number(v) >= 6)
-            .count();
+        let in_6core =
+            (0..ds.graph.num_vertices() as u32).filter(|&v| cd.core_number(v) >= 6).count();
         assert!(in_6core > 50, "6-core too small: {in_6core}");
     }
 

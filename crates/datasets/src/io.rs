@@ -83,8 +83,7 @@ pub fn save_dataset<P: AsRef<Path>>(ds: &ProfiledDataset, dir: P) -> Result<(), 
 
     let mut prof = BufWriter::new(std::fs::File::create(dir.join("profiles.tsv"))?);
     for p in &ds.profiles {
-        let leaves: Vec<String> =
-            p.leaves(&ds.tax).iter().map(|l| l.to_string()).collect();
+        let leaves: Vec<String> = p.leaves(&ds.tax).iter().map(|l| l.to_string()).collect();
         writeln!(prof, "{}", leaves.join("\t"))?;
     }
     prof.flush()?;
@@ -123,19 +122,15 @@ pub fn load_dataset<P: AsRef<Path>>(dir: P) -> Result<ProfiledDataset, DatasetIo
             continue;
         }
         let mut parts = line.split('\t');
-        let id: u32 = parts
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| parse_err("bad id".into()))?;
+        let id: u32 =
+            parts.next().and_then(|t| t.parse().ok()).ok_or_else(|| parse_err("bad id".into()))?;
         let parent: u32 = parts
             .next()
             .and_then(|t| t.parse().ok())
             .ok_or_else(|| parse_err("bad parent".into()))?;
         let label = parts.next().ok_or_else(|| parse_err("missing label".into()))?;
         let t = tax.as_mut().ok_or_else(|| parse_err("root line missing".into()))?;
-        let new_id = t
-            .add_child(parent, label)
-            .map_err(|e| parse_err(e.to_string()))?;
+        let new_id = t.add_child(parent, label).map_err(|e| parse_err(e.to_string()))?;
         if new_id != id {
             return Err(parse_err(format!("non-dense id {id}, expected {new_id}")));
         }
@@ -151,11 +146,8 @@ pub fn load_dataset<P: AsRef<Path>>(dir: P) -> Result<ProfiledDataset, DatasetIo
     let mut profiles = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
-        let leaves: Result<Vec<u32>, _> = line
-            .split('\t')
-            .filter(|t| !t.is_empty())
-            .map(|t| t.parse::<u32>())
-            .collect();
+        let leaves: Result<Vec<u32>, _> =
+            line.split('\t').filter(|t| !t.is_empty()).map(|t| t.parse::<u32>()).collect();
         let leaves = leaves.map_err(|e| DatasetIoError::Parse {
             file: "profiles.tsv".into(),
             line: idx + 1,

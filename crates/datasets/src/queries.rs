@@ -59,8 +59,9 @@ mod tests {
     #[test]
     fn falls_back_when_core_too_small() {
         // A sparse path graph has no 6-core at all.
-        let g = pcs_graph::Graph::from_edges(10, &(0..9u32).map(|i| (i, i + 1)).collect::<Vec<_>>())
-            .unwrap();
+        let g =
+            pcs_graph::Graph::from_edges(10, &(0..9u32).map(|i| (i, i + 1)).collect::<Vec<_>>())
+                .unwrap();
         let ds = ProfiledDataset {
             name: "path".into(),
             graph: g,
@@ -76,9 +77,6 @@ mod tests {
     #[test]
     fn deterministic() {
         let ds = generate(&DatasetSpec::small("s", 400, 5), random_taxonomy(150, 5, 8, 1));
-        assert_eq!(
-            sample_query_vertices(&ds, 6, 20, 9),
-            sample_query_vertices(&ds, 6, 20, 9)
-        );
+        assert_eq!(sample_query_vertices(&ds, 6, 20, 9), sample_query_vertices(&ds, 6, 20, 9));
     }
 }

@@ -75,10 +75,7 @@ pub fn shrink_ptree(tax: &Taxonomy, p: &PTree, fraction: f64, rng: &mut SmallRng
         let leaves: Vec<usize> = (0..nodes.len())
             .filter(|&i| {
                 nodes[i] != Taxonomy::ROOT
-                    && tax
-                        .children(nodes[i])
-                        .iter()
-                        .all(|c| nodes.binary_search(c).is_err())
+                    && tax.children(nodes[i]).iter().all(|c| nodes.binary_search(c).is_err())
             })
             .collect();
         if leaves.is_empty() {
@@ -93,11 +90,8 @@ pub fn shrink_ptree(tax: &Taxonomy, p: &PTree, fraction: f64, rng: &mut SmallRng
 /// Applies [`shrink_ptree`] to every vertex.
 pub fn subsample_ptrees(ds: &ProfiledDataset, fraction: f64, seed: u64) -> ProfiledDataset {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let profiles: Vec<PTree> = ds
-        .profiles
-        .iter()
-        .map(|p| shrink_ptree(&ds.tax, p, fraction, &mut rng))
-        .collect();
+    let profiles: Vec<PTree> =
+        ds.profiles.iter().map(|p| shrink_ptree(&ds.tax, p, fraction, &mut rng)).collect();
     ProfiledDataset {
         name: format!("{}@P{:.0}%", ds.name, fraction * 100.0),
         graph: ds.graph.clone(),
@@ -145,9 +139,8 @@ pub fn subsample_gptree(ds: &ProfiledDataset, fraction: f64, seed: u64) -> Profi
         }
         let parent_new = map[old.parent(id) as usize];
         debug_assert_ne!(parent_new, u32::MAX, "parents processed first");
-        let new_id = new_tax
-            .add_child(parent_new, old.label(id))
-            .expect("labels unique in source taxonomy");
+        let new_id =
+            new_tax.add_child(parent_new, old.label(id)).expect("labels unique in source taxonomy");
         map[id as usize] = new_id;
         // Depth-first is fine: children enqueued after their parent got
         // an id.
@@ -261,13 +254,7 @@ mod tests {
     #[test]
     fn deterministic_subsamples() {
         let ds = small();
-        assert_eq!(
-            subsample_vertices(&ds, 0.5, 7).graph,
-            subsample_vertices(&ds, 0.5, 7).graph
-        );
-        assert_eq!(
-            subsample_ptrees(&ds, 0.5, 7).profiles,
-            subsample_ptrees(&ds, 0.5, 7).profiles
-        );
+        assert_eq!(subsample_vertices(&ds, 0.5, 7).graph, subsample_vertices(&ds, 0.5, 7).graph);
+        assert_eq!(subsample_ptrees(&ds, 0.5, 7).profiles, subsample_ptrees(&ds, 0.5, 7).profiles);
     }
 }

@@ -29,12 +29,8 @@ pub enum SuiteDataset {
 
 impl SuiteDataset {
     /// All four, in Table 2 order.
-    pub const ALL: [SuiteDataset; 4] = [
-        SuiteDataset::Acmdl,
-        SuiteDataset::Flickr,
-        SuiteDataset::Pubmed,
-        SuiteDataset::Dblp,
-    ];
+    pub const ALL: [SuiteDataset; 4] =
+        [SuiteDataset::Acmdl, SuiteDataset::Flickr, SuiteDataset::Pubmed, SuiteDataset::Dblp];
 
     /// Display name (with the "-like" suffix marking the substitution).
     pub fn name(self) -> &'static str {

@@ -24,17 +24,12 @@ pub fn random_taxonomy(labels: usize, max_depth: u32, max_children: usize, seed:
     let mut open: Vec<(u32, usize)> = vec![(Taxonomy::ROOT, 0)]; // (id, children so far)
     let mut next = 1usize;
     while next < labels {
-        assert!(
-            !open.is_empty(),
-            "taxonomy shape exhausted: raise max_depth or max_children"
-        );
+        assert!(!open.is_empty(), "taxonomy shape exhausted: raise max_depth or max_children");
         // Pick a random open node, biased toward shallower nodes so the
         // tree stays broad like CCS/MeSH.
         let idx = rng.gen_range(0..open.len());
         let (parent, had) = open[idx];
-        let id = tax
-            .add_child(parent, &format!("L{next}"))
-            .expect("generated names are unique");
+        let id = tax.add_child(parent, &format!("L{next}")).expect("generated names are unique");
         next += 1;
         if tax.depth(id) < max_depth {
             open.push((id, 0));

@@ -1,0 +1,348 @@
+//! The owned engine and its builder.
+
+use pcs_core::{Algorithm, QueryContext};
+use pcs_graph::core::CoreDecomposition;
+use pcs_graph::Graph;
+use pcs_index::{CpTree, IndexError};
+use pcs_ptree::{PTree, Taxonomy};
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::error::{BuildError, Error, Result};
+use crate::request::{QueryRequest, QueryResponse};
+
+/// When the engine constructs its CP-tree index.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IndexMode {
+    /// Build on the first query that needs it (default). The build is
+    /// raced at most once across threads via [`OnceLock`].
+    #[default]
+    Lazy,
+    /// Build inside [`EngineBuilder::build`], trading startup latency
+    /// for predictable first-query latency.
+    Eager,
+    /// Never build; index-dependent algorithms fail with
+    /// [`Error::IndexDisabled`] and [`Algorithm::Auto`] resolves to
+    /// `Basic`. Useful for memory-constrained replicas.
+    Disabled,
+}
+
+/// Fluent constructor for [`PcsEngine`]; validates everything once so
+/// queries never re-validate.
+///
+/// ```
+/// use pcs_engine::PcsEngine;
+/// use pcs_graph::Graph;
+/// use pcs_ptree::{PTree, Taxonomy};
+///
+/// let mut tax = Taxonomy::new("r");
+/// let a = tax.add_child(Taxonomy::ROOT, "a").unwrap();
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+/// let profiles: Vec<PTree> =
+///     (0..3).map(|_| PTree::from_labels(&tax, [a]).unwrap()).collect();
+/// let engine = PcsEngine::builder()
+///     .graph(g)
+///     .taxonomy(tax)
+///     .profiles(profiles)
+///     .build()
+///     .unwrap();
+/// ```
+#[derive(Debug, Default)]
+pub struct EngineBuilder {
+    graph: Option<Graph>,
+    tax: Option<Taxonomy>,
+    profiles: Vec<PTree>,
+    index_mode: IndexMode,
+    index_build_threads: usize,
+    batch_threads: Option<NonZeroUsize>,
+}
+
+impl EngineBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes ownership of the host graph.
+    pub fn graph(mut self, graph: Graph) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// Takes ownership of the GP-tree.
+    pub fn taxonomy(mut self, tax: Taxonomy) -> Self {
+        self.tax = Some(tax);
+        self
+    }
+
+    /// Takes ownership of the per-vertex P-trees
+    /// (`profiles[v] = T(v)`).
+    pub fn profiles(mut self, profiles: Vec<PTree>) -> Self {
+        self.profiles = profiles;
+        self
+    }
+
+    /// Chooses the index construction policy (default
+    /// [`IndexMode::Lazy`]).
+    pub fn index_mode(mut self, mode: IndexMode) -> Self {
+        self.index_mode = mode;
+        self
+    }
+
+    /// Number of worker threads for CP-tree construction
+    /// (default 1, matching `CpTree::build`).
+    pub fn index_build_threads(mut self, threads: usize) -> Self {
+        self.index_build_threads = threads.max(1);
+        self
+    }
+
+    /// Worker threads [`PcsEngine::query_batch`] fans out over
+    /// (default: the machine's available parallelism).
+    pub fn batch_threads(mut self, threads: usize) -> Self {
+        self.batch_threads = NonZeroUsize::new(threads.max(1));
+        self
+    }
+
+    /// Validates the inputs and produces the engine. With
+    /// [`IndexMode::Eager`] this also builds the CP-tree index and the
+    /// core decomposition.
+    pub fn build(self) -> Result<PcsEngine> {
+        let graph = self.graph.ok_or(BuildError::MissingGraph)?;
+        let tax = self.tax.ok_or(BuildError::MissingTaxonomy)?;
+        if graph.num_vertices() != self.profiles.len() {
+            return Err(BuildError::ProfileCountMismatch {
+                vertices: graph.num_vertices(),
+                profiles: self.profiles.len(),
+            }
+            .into());
+        }
+        for (v, p) in self.profiles.iter().enumerate() {
+            let in_range = p.nodes().iter().all(|&l| (l as usize) < tax.len());
+            if !in_range || !tax.is_ancestor_closed(p.nodes()) {
+                return Err(BuildError::InvalidProfile { vertex: v as u32 }.into());
+            }
+        }
+        let batch_threads = self
+            .batch_threads
+            .or_else(|| std::thread::available_parallelism().ok())
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        let engine = PcsEngine {
+            graph,
+            tax,
+            profiles: self.profiles,
+            index_mode: self.index_mode,
+            index_build_threads: self.index_build_threads.max(1),
+            batch_threads,
+            index: OnceLock::new(),
+            cores: OnceLock::new(),
+        };
+        if self.index_mode == IndexMode::Eager {
+            engine.warm()?;
+        }
+        Ok(engine)
+    }
+}
+
+/// An owned, `Send + Sync` profiled-community-search engine: the
+/// serving-ready facade over the paper's algorithms.
+///
+/// Owns the graph, taxonomy, and profiles (so it can live in server
+/// state and cross threads), lazily builds and caches the CP-tree
+/// index and global core decomposition, and answers
+/// [`QueryRequest`]s — one at a time with [`query`](Self::query) or
+/// fanned out over scoped threads with
+/// [`query_batch`](Self::query_batch).
+///
+/// Internally each query still runs through the borrowed
+/// [`QueryContext`] layer, assembled per call via
+/// [`QueryContext::from_parts`] at zero recomputation cost.
+pub struct PcsEngine {
+    graph: Graph,
+    tax: Taxonomy,
+    profiles: Vec<PTree>,
+    index_mode: IndexMode,
+    index_build_threads: usize,
+    batch_threads: usize,
+    index: OnceLock<std::result::Result<CpTree, IndexError>>,
+    cores: OnceLock<CoreDecomposition>,
+}
+
+impl PcsEngine {
+    /// Starts a builder.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The host graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The GP-tree.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.tax
+    }
+
+    /// The per-vertex P-trees.
+    pub fn profiles(&self) -> &[PTree] {
+        &self.profiles
+    }
+
+    /// The configured index policy.
+    pub fn index_mode(&self) -> IndexMode {
+        self.index_mode
+    }
+
+    /// The CP-tree index, if it has been built already. Never triggers
+    /// construction.
+    pub fn index(&self) -> Option<&CpTree> {
+        self.index.get().and_then(|r| r.as_ref().ok())
+    }
+
+    /// Forces construction of the index (policy permitting) and the
+    /// core decomposition, so the first query pays no warm-up cost.
+    /// Idempotent; cheap once everything is cached.
+    pub fn warm(&self) -> Result<()> {
+        self.cores();
+        if self.index_mode != IndexMode::Disabled {
+            self.ensure_index()?;
+        }
+        Ok(())
+    }
+
+    fn cores(&self) -> &CoreDecomposition {
+        self.cores.get_or_init(|| CoreDecomposition::new(&self.graph))
+    }
+
+    fn ensure_index(&self) -> Result<&CpTree> {
+        let built = self.index.get_or_init(|| {
+            CpTree::build_with_threads(
+                &self.graph,
+                &self.tax,
+                &self.profiles,
+                self.index_build_threads,
+            )
+        });
+        built.as_ref().map_err(|e| Error::Index(e.clone()))
+    }
+
+    /// Resolves [`Algorithm::Auto`] against this engine's index
+    /// policy: `AdvP` whenever an index exists or may be built lazily,
+    /// `Basic` when the index is disabled.
+    pub fn resolve_algorithm(&self, algorithm: Algorithm) -> Algorithm {
+        algorithm.resolve(self.index_mode != IndexMode::Disabled)
+    }
+
+    /// Answers one request.
+    pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse> {
+        let algorithm = self.resolve_algorithm(request.requested_algorithm());
+        let index = if algorithm.needs_index() {
+            if self.index_mode == IndexMode::Disabled {
+                return Err(Error::IndexDisabled { algorithm: algorithm.name() });
+            }
+            Some(self.ensure_index()?)
+        } else {
+            // `basic` ignores the index, but an already-built one still
+            // serves P-tree restoration; never *trigger* a build for it.
+            self.index()
+        };
+        let cores = self.cores();
+        let ctx = QueryContext::from_parts(&self.graph, &self.tax, &self.profiles, index, cores)?;
+        let start = Instant::now();
+        let mut outcome = ctx.query(request.vertex_id(), request.degree_bound(), algorithm)?;
+        let elapsed = start.elapsed();
+        let total_communities = outcome.communities.len();
+        if let Some(cap) = request.community_cap() {
+            outcome.communities.truncate(cap);
+        }
+        let stats = request.wants_stats().then_some(outcome.stats);
+        Ok(QueryResponse {
+            outcome,
+            algorithm,
+            index_used: algorithm.needs_index(),
+            elapsed,
+            stats,
+            total_communities,
+        })
+    }
+
+    /// Runs `f` against the borrowed paper-layer [`QueryContext`]
+    /// (sharing this engine's cached core decomposition and whatever
+    /// index is already built). The bridge for algorithms that are not
+    /// lifted into the request API yet — `truss_query`, the §5.3
+    /// metric variants — without giving up engine ownership.
+    pub fn with_context<R>(&self, f: impl FnOnce(&QueryContext<'_>) -> R) -> Result<R> {
+        let ctx = QueryContext::from_parts(
+            &self.graph,
+            &self.tax,
+            &self.profiles,
+            self.index(),
+            self.cores(),
+        )?;
+        Ok(f(&ctx))
+    }
+
+    /// Answers a batch of requests, fanning out over scoped threads
+    /// (up to the builder's `batch_threads`) while preserving request
+    /// order in the returned vector: `out[i]` answers `requests[i]`.
+    pub fn query_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
+        // Warm shared state up front so workers never race a build
+        // (OnceLock would serialize them anyway; this keeps the
+        // per-request timings honest).
+        if requests.iter().any(|r| self.resolve_algorithm(r.requested_algorithm()).needs_index())
+            && self.index_mode != IndexMode::Disabled
+        {
+            let _ = self.ensure_index();
+        }
+        self.cores();
+
+        let threads = self.batch_threads.min(requests.len()).max(1);
+        if threads == 1 {
+            return requests.iter().map(|r| self.query(r)).collect();
+        }
+        // Workers pull the next unclaimed request from a shared
+        // counter, so one expensive cluster of queries cannot strand
+        // the work on a single thread the way static chunking would.
+        let mut out: Vec<Option<Result<QueryResponse>>> = Vec::new();
+        out.resize_with(requests.len(), || None);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut answered = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(req) = requests.get(i) else { break };
+                            answered.push((i, self.query(req)));
+                        }
+                        answered
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("batch worker panicked") {
+                    out[i] = Some(result);
+                }
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("every request index was claimed by a worker"))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for PcsEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PcsEngine")
+            .field("vertices", &self.graph.num_vertices())
+            .field("edges", &self.graph.num_edges())
+            .field("labels", &self.tax.len())
+            .field("index_mode", &self.index_mode)
+            .field("index_built", &self.index.get().is_some())
+            .field("batch_threads", &self.batch_threads)
+            .finish()
+    }
+}

@@ -1,0 +1,130 @@
+//! The unified error type of the serving facade.
+
+use pcs_core::PcsError;
+use pcs_index::IndexError;
+use std::fmt;
+
+/// Everything that can go wrong building or querying a
+/// [`PcsEngine`](crate::PcsEngine), unified under one
+/// [`std::error::Error`] so server handlers propagate a single type.
+///
+/// # Stability
+///
+/// The enum is `#[non_exhaustive]`: new failure modes (e.g. future
+/// persistence or sharding errors) will be added as new variants in
+/// minor releases without a semver break. Always keep a `_` arm when
+/// matching, and prefer [`std::error::Error::source`] over matching
+/// when you only need the causal chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The builder's one-time validation rejected the inputs.
+    Build(BuildError),
+    /// A query failed inside the core algorithm layer.
+    Query(PcsError),
+    /// CP-tree construction failed.
+    Index(IndexError),
+    /// An index-dependent algorithm was requested on an engine built
+    /// with [`IndexMode::Disabled`](crate::IndexMode::Disabled).
+    IndexDisabled {
+        /// Display name of the algorithm that needed the index.
+        algorithm: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Build(e) => write!(f, "engine build failed: {e}"),
+            Error::Query(e) => write!(f, "query failed: {e}"),
+            Error::Index(e) => write!(f, "index construction failed: {e}"),
+            Error::IndexDisabled { algorithm } => write!(
+                f,
+                "algorithm {algorithm} needs the CP-tree index, but this engine was \
+                 built with IndexMode::Disabled"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Build(e) => Some(e),
+            Error::Query(e) => Some(e),
+            Error::Index(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PcsError> for Error {
+    fn from(e: PcsError) -> Self {
+        // An index error surfaced through the query layer is still an
+        // index error to callers.
+        match e {
+            PcsError::Index(inner) => Error::Index(inner),
+            other => Error::Query(other),
+        }
+    }
+}
+
+impl From<IndexError> for Error {
+    fn from(e: IndexError) -> Self {
+        Error::Index(e)
+    }
+}
+
+impl From<BuildError> for Error {
+    fn from(e: BuildError) -> Self {
+        Error::Build(e)
+    }
+}
+
+/// Validation failures raised by
+/// [`EngineBuilder::build`](crate::EngineBuilder::build).
+///
+/// Also `#[non_exhaustive]`; see [`Error`] for the stability policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// No graph was supplied.
+    MissingGraph,
+    /// No taxonomy was supplied.
+    MissingTaxonomy,
+    /// The number of profiles differs from the number of vertices.
+    ProfileCountMismatch {
+        /// Vertices in the graph.
+        vertices: usize,
+        /// Profiles supplied.
+        profiles: usize,
+    },
+    /// A profile references a label outside the taxonomy or is not
+    /// ancestor-closed.
+    InvalidProfile {
+        /// The vertex whose profile failed validation.
+        vertex: u32,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MissingGraph => write!(f, "no graph supplied (call .graph(..))"),
+            BuildError::MissingTaxonomy => {
+                write!(f, "no taxonomy supplied (call .taxonomy(..))")
+            }
+            BuildError::ProfileCountMismatch { vertices, profiles } => {
+                write!(f, "graph has {vertices} vertices but {profiles} profiles were supplied")
+            }
+            BuildError::InvalidProfile { vertex } => {
+                write!(f, "profile of vertex {vertex} is not a valid subtree of the taxonomy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

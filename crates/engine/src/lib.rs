@@ -1,0 +1,55 @@
+//! # pcs-engine — the owned, serving-ready PCS facade
+//!
+//! Community search is an *online, repeated-query* workload: one
+//! profiled graph is loaded (and indexed) once, then answers many
+//! queries. The paper-layer [`QueryContext`](pcs_core::QueryContext)
+//! is a borrowed bundle tied to its inputs' lifetimes — perfect for
+//! reproduction runs, impossible to store in a server handler. This
+//! crate provides the owned counterpart:
+//!
+//! * [`PcsEngine`] — owns graph + taxonomy + profiles, is
+//!   `Send + Sync`, and caches the CP-tree index and core
+//!   decomposition behind [`std::sync::OnceLock`].
+//! * [`EngineBuilder`] — validates everything once at build time.
+//! * [`QueryRequest`] / [`QueryResponse`] — an extensible
+//!   request/response pair replacing positional arguments, with
+//!   wall-clock timing and index-usage metadata on every answer.
+//! * [`Error`] — one `#[non_exhaustive]` [`std::error::Error`]
+//!   wrapping query, index, and validation failures.
+//!
+//! ```
+//! use pcs_engine::{PcsEngine, QueryRequest};
+//! use pcs_graph::Graph;
+//! use pcs_ptree::{PTree, Taxonomy};
+//!
+//! let mut tax = Taxonomy::new("r");
+//! let a = tax.add_child(Taxonomy::ROOT, "a").unwrap();
+//! let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+//! let profiles: Vec<PTree> =
+//!     (0..3).map(|_| PTree::from_labels(&tax, [a]).unwrap()).collect();
+//!
+//! let engine = PcsEngine::builder()
+//!     .graph(g)
+//!     .taxonomy(tax)
+//!     .profiles(profiles)
+//!     .build()
+//!     .unwrap();
+//!
+//! // Algorithm::Auto picks adv-P (the index is built lazily here).
+//! let resp = engine.query(&QueryRequest::vertex(0).k(2)).unwrap();
+//! assert_eq!(resp.communities().len(), 1);
+//! assert_eq!(resp.communities()[0].vertices, vec![0, 1, 2]);
+//! assert!(resp.index_used);
+//! ```
+
+mod engine;
+mod error;
+mod request;
+
+pub use engine::{EngineBuilder, IndexMode, PcsEngine};
+pub use error::{BuildError, Error, Result};
+pub use request::{QueryRequest, QueryResponse};
+
+// The facade re-exports the algorithm selector so callers need only
+// this crate for the common path.
+pub use pcs_core::Algorithm;

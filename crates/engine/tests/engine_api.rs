@@ -1,0 +1,251 @@
+//! Integration tests for the serving facade: builder validation,
+//! `Algorithm::Auto` resolution, batch ordering, and thread safety.
+
+use pcs_core::{Algorithm, PcsError, QueryContext};
+use pcs_engine::{BuildError, EngineBuilder, Error, IndexMode, PcsEngine, QueryRequest};
+use pcs_graph::Graph;
+use pcs_index::CpTree;
+use pcs_ptree::{PTree, Taxonomy};
+
+/// Compile-time proof that the engine crosses threads: the whole point
+/// of the owned facade.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PcsEngine>();
+    assert_send_sync::<QueryRequest>();
+    assert_send_sync::<Error>();
+};
+
+/// Two triangles sharing vertex 0, with incomparable themes: the first
+/// is labelled `a`, the second `b`, and vertex 0 carries both — so a
+/// k = 2 query at vertex 0 yields exactly two differently-themed
+/// communities.
+fn fixture() -> (Graph, Taxonomy, Vec<PTree>) {
+    let mut tax = Taxonomy::new("r");
+    let a = tax.add_child(Taxonomy::ROOT, "a").unwrap();
+    let b = tax.add_child(Taxonomy::ROOT, "b").unwrap();
+    let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (0, 3), (3, 4), (0, 4)]).unwrap();
+    let profiles = vec![
+        PTree::from_labels(&tax, [a, b]).unwrap(),
+        PTree::from_labels(&tax, [a]).unwrap(),
+        PTree::from_labels(&tax, [a]).unwrap(),
+        PTree::from_labels(&tax, [b]).unwrap(),
+        PTree::from_labels(&tax, [b]).unwrap(),
+    ];
+    (g, tax, profiles)
+}
+
+fn engine_with(mode: IndexMode) -> PcsEngine {
+    let (g, tax, profiles) = fixture();
+    PcsEngine::builder().graph(g).taxonomy(tax).profiles(profiles).index_mode(mode).build().unwrap()
+}
+
+#[test]
+fn builder_rejects_mismatched_profile_count() {
+    let (g, tax, mut profiles) = fixture();
+    profiles.pop();
+    let err = PcsEngine::builder().graph(g).taxonomy(tax).profiles(profiles).build().unwrap_err();
+    assert!(matches!(
+        err,
+        Error::Build(BuildError::ProfileCountMismatch { vertices: 5, profiles: 4 })
+    ));
+    // The unified error type surfaces the cause through Display too.
+    assert!(err.to_string().contains("5 vertices"));
+}
+
+#[test]
+fn builder_rejects_missing_components() {
+    let (g, tax, profiles) = fixture();
+    assert!(matches!(
+        EngineBuilder::new().taxonomy(tax.clone()).profiles(profiles.clone()).build(),
+        Err(Error::Build(BuildError::MissingGraph))
+    ));
+    assert!(matches!(
+        EngineBuilder::new().graph(g).profiles(profiles).build(),
+        Err(Error::Build(BuildError::MissingTaxonomy))
+    ));
+}
+
+#[test]
+fn builder_rejects_profiles_outside_taxonomy() {
+    let (g, tax, mut profiles) = fixture();
+    // A profile minted against a larger taxonomy refers to labels the
+    // engine's taxonomy does not have.
+    let mut bigger = tax.clone();
+    let extra = bigger.add_child(Taxonomy::ROOT, "x").unwrap();
+    profiles[3] = PTree::from_labels(&bigger, [extra]).unwrap();
+    let err = PcsEngine::builder().graph(g).taxonomy(tax).profiles(profiles).build().unwrap_err();
+    assert!(matches!(err, Error::Build(BuildError::InvalidProfile { vertex: 3 })));
+}
+
+#[test]
+fn auto_resolves_to_advp_when_index_allowed() {
+    let engine = engine_with(IndexMode::Lazy);
+    assert_eq!(engine.resolve_algorithm(Algorithm::Auto), Algorithm::AdvP);
+    assert!(engine.index().is_none(), "lazy mode builds nothing up front");
+    let resp = engine.query(&QueryRequest::vertex(0).k(2)).unwrap();
+    assert_eq!(resp.algorithm, Algorithm::AdvP);
+    assert!(resp.index_used);
+    assert!(engine.index().is_some(), "first Auto query built the index");
+}
+
+#[test]
+fn auto_resolves_to_basic_when_index_disabled() {
+    let engine = engine_with(IndexMode::Disabled);
+    assert_eq!(engine.resolve_algorithm(Algorithm::Auto), Algorithm::Basic);
+    let resp = engine.query(&QueryRequest::vertex(0).k(2)).unwrap();
+    assert_eq!(resp.algorithm, Algorithm::Basic);
+    assert!(!resp.index_used);
+    assert!(engine.index().is_none());
+}
+
+#[test]
+fn auto_resolution_matches_query_context_semantics() {
+    // The same rule applies at the borrowed layer: Auto follows the
+    // attached index.
+    let (g, tax, profiles) = fixture();
+    let ctx = QueryContext::new(&g, &tax, &profiles).unwrap();
+    let no_index = ctx.query(0, 2, Algorithm::Auto).unwrap();
+    let index = CpTree::build(&g, &tax, &profiles).unwrap();
+    let ctx = ctx.with_index(&index);
+    let with_index = ctx.query(0, 2, Algorithm::Auto).unwrap();
+    assert_eq!(no_index.communities, with_index.communities);
+}
+
+#[test]
+fn explicit_index_algorithm_on_disabled_engine_errors() {
+    let engine = engine_with(IndexMode::Disabled);
+    let err = engine.query(&QueryRequest::vertex(0).k(2).algorithm(Algorithm::AdvP)).unwrap_err();
+    assert!(matches!(err, Error::IndexDisabled { algorithm: "adv-P" }));
+}
+
+#[test]
+fn eager_mode_builds_index_at_construction() {
+    let engine = engine_with(IndexMode::Eager);
+    assert!(engine.index().is_some());
+}
+
+#[test]
+fn all_algorithms_agree_through_the_engine() {
+    let engine = engine_with(IndexMode::Lazy);
+    let auto = engine.query(&QueryRequest::vertex(0).k(2)).unwrap();
+    for algo in Algorithm::ALL {
+        let resp = engine.query(&QueryRequest::vertex(0).k(2).algorithm(algo)).unwrap();
+        assert_eq!(
+            resp.outcome.communities,
+            auto.outcome.communities,
+            "{} disagrees with auto",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn query_errors_flow_through_unified_error() {
+    let engine = engine_with(IndexMode::Lazy);
+    let err = engine.query(&QueryRequest::vertex(99).k(2)).unwrap_err();
+    assert!(matches!(err, Error::Query(PcsError::QueryVertexOutOfRange { vertex: 99, n: 5 })));
+    // One std::error::Error with a causal chain.
+    let dyn_err: &dyn std::error::Error = &err;
+    assert!(dyn_err.source().is_some());
+}
+
+#[test]
+fn batch_preserves_request_order() {
+    let engine = engine_with(IndexMode::Lazy);
+    // Interleave valid and invalid requests so slots are distinguishable.
+    let requests: Vec<QueryRequest> = vec![
+        QueryRequest::vertex(3).k(2),
+        QueryRequest::vertex(99).k(2), // out of range
+        QueryRequest::vertex(0).k(2),
+        QueryRequest::vertex(1).k(2),
+        QueryRequest::vertex(4).k(2),
+    ];
+    let batch = engine.query_batch(&requests);
+    assert_eq!(batch.len(), requests.len());
+    for (req, result) in requests.iter().zip(&batch) {
+        match result {
+            Ok(resp) => {
+                let sequential = engine.query(req).unwrap();
+                assert_eq!(resp.outcome.communities, sequential.outcome.communities);
+                // Every community contains its own query vertex: the
+                // response really belongs to this slot.
+                for c in resp.communities() {
+                    assert!(c.vertices.binary_search(&req.vertex_id()).is_ok());
+                }
+            }
+            Err(e) => {
+                assert_eq!(req.vertex_id(), 99);
+                assert!(matches!(
+                    e,
+                    Error::Query(PcsError::QueryVertexOutOfRange { vertex: 99, .. })
+                ));
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_and_sequential_agree_on_larger_fanout() {
+    let engine = engine_with(IndexMode::Eager);
+    let requests: Vec<QueryRequest> =
+        (0..5).cycle().take(40).map(|v| QueryRequest::vertex(v).k(2)).collect();
+    let batch = engine.query_batch(&requests);
+    for (req, result) in requests.iter().zip(batch) {
+        let got = result.unwrap();
+        let want = engine.query(req).unwrap();
+        assert_eq!(got.outcome.communities, want.outcome.communities);
+    }
+}
+
+#[test]
+fn engine_is_usable_from_scoped_threads() {
+    let engine = engine_with(IndexMode::Lazy);
+    let engine = &engine;
+    let results: Vec<usize> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                s.spawn(move || {
+                    // All threads race the lazy index build; OnceLock
+                    // hands every one the same instance.
+                    let resp = engine.query(&QueryRequest::vertex(t % 5).k(2)).unwrap();
+                    resp.communities().len()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(results.len(), 4);
+    assert!(results.iter().all(|&n| n >= 1));
+}
+
+#[test]
+fn max_communities_truncates_response_only() {
+    let engine = engine_with(IndexMode::Lazy);
+    let full = engine.query(&QueryRequest::vertex(0).k(2)).unwrap();
+    assert!(full.communities().len() >= 2, "fixture has two themes at v0");
+    assert!(!full.truncated());
+    let capped = engine.query(&QueryRequest::vertex(0).k(2).max_communities(1)).unwrap();
+    assert_eq!(capped.communities().len(), 1);
+    assert_eq!(capped.total_communities, full.communities().len());
+    assert!(capped.truncated());
+}
+
+#[test]
+fn stats_surface_only_when_requested() {
+    let engine = engine_with(IndexMode::Lazy);
+    let without = engine.query(&QueryRequest::vertex(0).k(2)).unwrap();
+    assert!(without.stats.is_none());
+    let with = engine.query(&QueryRequest::vertex(0).k(2).collect_stats(true)).unwrap();
+    let stats = with.stats.expect("requested");
+    assert!(stats.verifications > 0);
+}
+
+#[test]
+fn with_context_bridges_to_the_paper_layer() {
+    let engine = engine_with(IndexMode::Eager);
+    let via_ctx = engine.with_context(|ctx| ctx.query(0, 2, Algorithm::AdvP).unwrap()).unwrap();
+    let via_engine =
+        engine.query(&QueryRequest::vertex(0).k(2).algorithm(Algorithm::AdvP)).unwrap();
+    assert_eq!(via_ctx.communities, via_engine.outcome.communities);
+}

@@ -22,10 +22,7 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty bitset with capacity for `n` indices.
     pub fn with_capacity(n: usize) -> Self {
-        BitSet {
-            words: vec![0; n.div_ceil(64)],
-            len: 0,
-        }
+        BitSet { words: vec![0; n.div_ceil(64)], len: 0 }
     }
 
     /// Number of elements currently in the set.
@@ -139,11 +136,7 @@ impl BitSet {
 
     /// Size of the intersection without materializing it.
     pub fn intersection_len(&self, other: &BitSet) -> usize {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// Size of the symmetric difference without materializing it.
@@ -200,11 +193,7 @@ pub struct EpochSet {
 impl EpochSet {
     /// Creates a set able to hold indices `0..n`.
     pub fn new(n: usize) -> Self {
-        EpochSet {
-            mark: vec![0; n],
-            epoch: 1,
-            len: 0,
-        }
+        EpochSet { mark: vec![0; n], epoch: 1, len: 0 }
     }
 
     /// Number of currently marked indices.

@@ -102,9 +102,7 @@ impl CoreDecomposition {
 
     /// All vertices of the k-core, sorted.
     pub fn kcore_vertices(&self, k: u32) -> Vec<VertexId> {
-        (0..self.core.len() as u32)
-            .filter(|&v| self.core[v as usize] >= k)
-            .collect()
+        (0..self.core.len() as u32).filter(|&v| self.core[v as usize] >= k).collect()
     }
 
     /// The connected k-ĉore containing `q`: the connected component of
@@ -199,11 +197,8 @@ impl SubsetCore {
         // Degrees restricted to the candidate set.
         self.peel.clear();
         for &v in candidates {
-            let d = g
-                .neighbors(v)
-                .iter()
-                .filter(|&&u| self.members.contains(u as usize))
-                .count() as u32;
+            let d = g.neighbors(v).iter().filter(|&&u| self.members.contains(u as usize)).count()
+                as u32;
             self.deg[v as usize] = d;
             if d < k {
                 self.peel.push(v);
@@ -261,11 +256,7 @@ mod tests {
             let mut changed = false;
             for v in 0..n as u32 {
                 if alive[v as usize] {
-                    let d = g
-                        .neighbors(v)
-                        .iter()
-                        .filter(|&&u| alive[u as usize])
-                        .count() as u32;
+                    let d = g.neighbors(v).iter().filter(|&&u| alive[u as usize]).count() as u32;
                     if d < k {
                         alive[v as usize] = false;
                         changed = true;
@@ -361,11 +352,7 @@ mod tests {
             for k in 0..=cd.max_core() + 1 {
                 let alive = naive_kcore(&g, k);
                 for v in 0..n as u32 {
-                    assert_eq!(
-                        cd.core_number(v) >= k,
-                        alive[v as usize],
-                        "n={n} k={k} v={v}"
-                    );
+                    assert_eq!(cd.core_number(v) >= k, alive[v as usize], "n={n} k={k} v={v}");
                 }
             }
         }
@@ -402,10 +389,7 @@ mod tests {
         let mut sc = SubsetCore::new(g.num_vertices());
         // Restrict to {A,B,D,E,C}: 3-core survives as {A,B,D,E}.
         let cand = vec![0, 1, 2, 3, 4];
-        assert_eq!(
-            sc.kcore_component_within(&g, &cand, 3, 3).unwrap(),
-            vec![0, 1, 3, 4]
-        );
+        assert_eq!(sc.kcore_component_within(&g, &cand, 3, 3).unwrap(), vec![0, 1, 3, 4]);
         // C peels off at k=3, so querying from C fails.
         assert!(sc.kcore_component_within(&g, &cand, 2, 3).is_none());
         // q not in candidate set.
@@ -437,10 +421,7 @@ mod tests {
     fn subset_core_k_zero_isolated_query() {
         let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
         let mut sc = SubsetCore::new(3);
-        assert_eq!(
-            sc.kcore_component_within(&g, &[2], 2, 0).unwrap(),
-            vec![2]
-        );
+        assert_eq!(sc.kcore_component_within(&g, &[2], 2, 0).unwrap(), vec![2]);
         assert!(sc.kcore_component_within(&g, &[2], 2, 1).is_none());
     }
 

@@ -112,11 +112,8 @@ pub fn planted_overlapping_groups(
     let mut builder = GraphBuilder::new(n);
     // Bucket vertices by group to avoid the O(n^2) shared-group test for
     // intra-group edges; sample p_out edges sparsely.
-    let group_count = memberships
-        .iter()
-        .flat_map(|g| g.iter().copied())
-        .max()
-        .map_or(0, |g| g as usize + 1);
+    let group_count =
+        memberships.iter().flat_map(|g| g.iter().copied()).max().map_or(0, |g| g as usize + 1);
     let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); group_count];
     for (v, groups) in memberships.iter().enumerate() {
         for &g in groups {

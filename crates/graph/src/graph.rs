@@ -84,11 +84,7 @@ impl Graph {
     /// `a < b`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         self.vertices().flat_map(move |v| {
-            self.neighbors(v)
-                .iter()
-                .copied()
-                .filter(move |&u| v < u)
-                .map(move |u| (v, u))
+            self.neighbors(v).iter().copied().filter(move |&u| v < u).map(move |u| (v, u))
         })
     }
 

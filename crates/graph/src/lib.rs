@@ -51,8 +51,8 @@ pub use bitset::{BitSet, EpochSet};
 pub use components::{component_containing, connected_components};
 pub use core::{CoreDecomposition, SubsetCore};
 pub use graph::{Graph, GraphBuilder, VertexId};
-pub use truss::{SubsetTruss, TrussDecomposition};
 pub use hash::{FxHashMap, FxHashSet};
+pub use truss::{SubsetTruss, TrussDecomposition};
 pub use unionfind::UnionFind;
 
 /// Errors produced by the graph substrate.

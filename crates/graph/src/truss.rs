@@ -272,18 +272,7 @@ mod tests {
         // K4 {0,1,2,3} with a tail 3-4-5 and a triangle {4,5,6}.
         Graph::from_edges(
             7,
-            &[
-                (0, 1),
-                (0, 2),
-                (0, 3),
-                (1, 2),
-                (1, 3),
-                (2, 3),
-                (3, 4),
-                (4, 5),
-                (4, 6),
-                (5, 6),
-            ],
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (4, 6), (5, 6)],
         )
         .unwrap()
     }
@@ -355,16 +344,10 @@ mod tests {
         let mut st = SubsetTruss::new(g.num_vertices());
         // Full set behaves like the global decomposition.
         let all: Vec<u32> = g.vertices().collect();
-        assert_eq!(
-            st.ktruss_component_within(&g, &all, 0, 4).unwrap(),
-            vec![0, 1, 2, 3]
-        );
+        assert_eq!(st.ktruss_component_within(&g, &all, 0, 4).unwrap(), vec![0, 1, 2, 3]);
         // Restricting to {0,1,2} leaves only a triangle: no 4-truss.
         assert!(st.ktruss_component_within(&g, &[0, 1, 2], 0, 4).is_none());
-        assert_eq!(
-            st.ktruss_component_within(&g, &[0, 1, 2], 0, 3).unwrap(),
-            vec![0, 1, 2]
-        );
+        assert_eq!(st.ktruss_component_within(&g, &[0, 1, 2], 0, 3).unwrap(), vec![0, 1, 2]);
         // q outside the candidate set.
         assert!(st.ktruss_component_within(&g, &[0, 1, 2], 5, 3).is_none());
     }

@@ -15,10 +15,7 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-        }
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
     }
 
     /// Number of elements (not sets).
@@ -52,11 +49,8 @@ impl UnionFind {
         if ra == rb {
             return None;
         }
-        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
         self.parent[small as usize] = big;
         self.size[big as usize] += self.size[small as usize];
         Some(big)

@@ -69,7 +69,12 @@ impl ClTree {
         let (sub, ids) = g.induced_subgraph(subset);
         let n = sub.num_vertices();
         if n == 0 {
-            return ClTree { nodes: Vec::new(), members: Vec::new(), node_of: Vec::new(), core_of: Vec::new() };
+            return ClTree {
+                nodes: Vec::new(),
+                members: Vec::new(),
+                node_of: Vec::new(),
+                core_of: Vec::new(),
+            };
         }
         let cd = CoreDecomposition::new(&sub);
         let max_core = cd.max_core();
@@ -137,12 +142,7 @@ impl ClTree {
         debug_assert!(node_of_local.iter().all(|&x| x != NONE));
 
         let core_of: Vec<u32> = (0..n as u32).map(|v| cd.core_number(v)).collect();
-        ClTree {
-            nodes,
-            members: ids,
-            node_of: node_of_local,
-            core_of,
-        }
+        ClTree { nodes, members: ids, node_of: node_of_local, core_of }
     }
 
     /// Number of forest nodes.
@@ -363,9 +363,9 @@ mod tests {
             let cd = CoreDecomposition::new(&sub);
             for (local, &orig) in ids.iter().enumerate() {
                 for k in 0..4 {
-                    let expect = cd.kcore_component(&sub, local as u32, k).map(|c| {
-                        c.into_iter().map(|v| ids[v as usize]).collect::<Vec<_>>()
-                    });
+                    let expect = cd
+                        .kcore_component(&sub, local as u32, k)
+                        .map(|c| c.into_iter().map(|v| ids[v as usize]).collect::<Vec<_>>());
                     assert_eq!(t.get(orig, k), expect);
                 }
             }

@@ -84,17 +84,14 @@ impl CpTree {
                 nodes[label] = Some(CpNode { label: label as LabelId, vertices: verts, cl });
             }
         } else {
-            let work: Vec<(usize, Vec<VertexId>)> = vertices_of
-                .into_iter()
-                .enumerate()
-                .filter(|(_, v)| !v.is_empty())
-                .collect();
-            let built: Vec<(usize, CpNode)> = crossbeam::thread::scope(|scope| {
+            let work: Vec<(usize, Vec<VertexId>)> =
+                vertices_of.into_iter().enumerate().filter(|(_, v)| !v.is_empty()).collect();
+            let built: Vec<(usize, CpNode)> = std::thread::scope(|scope| {
                 let chunk = work.len().div_ceil(threads).max(1);
                 let handles: Vec<_> = work
                     .chunks(chunk)
                     .map(|batch| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             batch
                                 .iter()
                                 .map(|(label, verts)| {
@@ -112,12 +109,8 @@ impl CpTree {
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("index worker panicked"))
-                    .collect()
-            })
-            .expect("index build scope panicked");
+                handles.into_iter().flat_map(|h| h.join().expect("index worker panicked")).collect()
+            });
             for (label, node) in built {
                 nodes[label] = Some(node);
             }
@@ -215,7 +208,7 @@ mod tests {
         let ai = t.add_child(cm, "AI").unwrap();
         let dms = t.add_child(is, "DMS").unwrap();
         let profiles = vec![
-            PTree::from_labels(&t, [dms, hw]).unwrap(), // A
+            PTree::from_labels(&t, [dms, hw]).unwrap(),         // A
             PTree::from_labels(&t, [ml, ai]).unwrap(),          // B
             PTree::from_labels(&t, [ml, ai, is]).unwrap(),      // C
             PTree::from_labels(&t, [ml, ai, dms, hw]).unwrap(), // D
@@ -242,9 +235,8 @@ mod tests {
         let (g, t, profiles) = figure1();
         let idx = CpTree::build(&g, &t, &profiles).unwrap();
         for label in 0..t.len() as u32 {
-            let with_label: Vec<u32> = (0..8u32)
-                .filter(|&v| profiles[v as usize].contains(label))
-                .collect();
+            let with_label: Vec<u32> =
+                (0..8u32).filter(|&v| profiles[v as usize].contains(label)).collect();
             assert_eq!(idx.vertices_with_label(label), &with_label[..]);
             if with_label.is_empty() {
                 continue;
@@ -254,9 +246,9 @@ mod tests {
             for &q in &with_label {
                 let q_local = ids.binary_search(&q).unwrap() as u32;
                 for k in 0..4 {
-                    let expect = cd.kcore_component(&sub, q_local, k).map(|c| {
-                        c.into_iter().map(|v| ids[v as usize]).collect::<Vec<_>>()
-                    });
+                    let expect = cd
+                        .kcore_component(&sub, q_local, k)
+                        .map(|c| c.into_iter().map(|v| ids[v as usize]).collect::<Vec<_>>());
                     assert_eq!(idx.get(k, q, label), expect, "label={label} q={q} k={k}");
                 }
             }
@@ -275,10 +267,7 @@ mod tests {
         let idx = CpTree::build(&g, &t, &profiles).unwrap();
         assert_eq!(idx.vertices_with_label(Taxonomy::ROOT).len(), 8);
         // 2-ĉore of D under the root label = whole graph's 2-ĉore.
-        assert_eq!(
-            idx.get(2, 3, Taxonomy::ROOT).unwrap(),
-            vec![0, 1, 2, 3, 4, 5, 6, 7]
-        );
+        assert_eq!(idx.get(2, 3, Taxonomy::ROOT).unwrap(), vec![0, 1, 2, 3, 4, 5, 6, 7]);
         let _ = g;
     }
 
@@ -309,9 +298,8 @@ mod tests {
             for q in 0..8u32 {
                 for k in 0..3 {
                     if let Some(child_core) = idx.get(k, q, label) {
-                        let parent_core = idx
-                            .get(k, q, parent)
-                            .expect("parent label core must exist");
+                        let parent_core =
+                            idx.get(k, q, parent).expect("parent label core must exist");
                         assert!(
                             child_core.iter().all(|v| parent_core.binary_search(v).is_ok()),
                             "label={label} q={q} k={k}"

@@ -55,10 +55,9 @@ pub enum IndexError {
 impl std::fmt::Display for IndexError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IndexError::ProfileCountMismatch { vertices, profiles } => write!(
-                f,
-                "graph has {vertices} vertices but {profiles} profiles were supplied"
-            ),
+            IndexError::ProfileCountMismatch { vertices, profiles } => {
+                write!(f, "graph has {vertices} vertices but {profiles} profiles were supplied")
+            }
             IndexError::UnknownLabel(l) => write!(f, "profile references unknown label {l}"),
         }
     }

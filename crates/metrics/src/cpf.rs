@@ -25,11 +25,8 @@ pub fn cpf(tq: &PTree, profiles: &[PTree], communities: &[ProfiledCommunity]) ->
         }
         let size = comm.vertices.len() as f64;
         for &node in tq.nodes() {
-            let fre = comm
-                .vertices
-                .iter()
-                .filter(|&&v| profiles[v as usize].contains(node))
-                .count() as f64;
+            let fre = comm.vertices.iter().filter(|&&v| profiles[v as usize].contains(node)).count()
+                as f64;
             acc += fre / size;
         }
     }

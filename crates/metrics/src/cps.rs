@@ -12,10 +12,8 @@ use pcs_ptree::{tree_edit_distance, OrderedTree, PTree, Taxonomy};
 /// Normalized TED similarity between two P-trees:
 /// `1 − TED(a, b)/|a ∪ b|` (1 for identical trees).
 pub fn pairwise_similarity(tax: &Taxonomy, a: &PTree, b: &PTree) -> f64 {
-    let ted = tree_edit_distance(
-        &OrderedTree::from_ptree(tax, a),
-        &OrderedTree::from_ptree(tax, b),
-    );
+    let ted =
+        tree_edit_distance(&OrderedTree::from_ptree(tax, a), &OrderedTree::from_ptree(tax, b));
     let denom = a.union(b).len().max(1);
     1.0 - ted as f64 / denom as f64
 }
@@ -39,19 +37,15 @@ pub fn cps(tax: &Taxonomy, profiles: &[PTree], communities: &[ProfiledCommunity]
         } else {
             // Deterministic even subsample.
             let step = comm.vertices.len() as f64 / CPS_SAMPLE_CAP as f64;
-            (0..CPS_SAMPLE_CAP)
-                .map(|i| comm.vertices[(i as f64 * step) as usize])
-                .collect()
+            (0..CPS_SAMPLE_CAP).map(|i| comm.vertices[(i as f64 * step) as usize]).collect()
         };
         let n = members.len();
         if n == 0 {
             continue;
         }
         // Cache ordered trees once per member.
-        let trees: Vec<OrderedTree> = members
-            .iter()
-            .map(|&v| OrderedTree::from_ptree(tax, &profiles[v as usize]))
-            .collect();
+        let trees: Vec<OrderedTree> =
+            members.iter().map(|&v| OrderedTree::from_ptree(tax, &profiles[v as usize])).collect();
         let mut acc = 0.0;
         for i in 0..n {
             for j in (i + 1)..n {
@@ -88,10 +82,7 @@ mod tests {
     #[test]
     fn identical_profiles_give_cps_one() {
         let (t, trees) = tax3();
-        let comm = ProfiledCommunity {
-            subtree: trees[0].clone(),
-            vertices: vec![0, 1],
-        };
+        let comm = ProfiledCommunity { subtree: trees[0].clone(), vertices: vec![0, 1] };
         let score = cps(&t, &trees, &[comm]);
         assert!((score - 1.0).abs() < 1e-12, "{score}");
     }
@@ -127,10 +118,7 @@ mod tests {
     fn subsampling_kicks_in_for_large_communities() {
         let (t, _) = tax3();
         let profiles: Vec<PTree> = (0..500).map(|_| PTree::root_only()).collect();
-        let comm = ProfiledCommunity {
-            subtree: PTree::root_only(),
-            vertices: (0..500).collect(),
-        };
+        let comm = ProfiledCommunity { subtree: PTree::root_only(), vertices: (0..500).collect() };
         // All identical => 1.0 regardless of sampling.
         let score = cps(&t, &profiles, &[comm]);
         assert!((score - 1.0).abs() < 1e-12);

@@ -49,8 +49,7 @@ pub fn ldr(
     let mut counted = 0usize;
     // Levels 1..=height (the root level is shared by construction).
     for d in 1..=height {
-        let denom =
-            unique_labels_at_depth(tax, pcs_communities.iter().map(|c| &c.subtree), d);
+        let denom = unique_labels_at_depth(tax, pcs_communities.iter().map(|c| &c.subtree), d);
         if denom == 0 {
             continue;
         }
@@ -59,7 +58,15 @@ pub fn ldr(
         counted += 1;
     }
     if counted == 0 {
-        0.0
+        // Every PCS theme is root-only, so there is no level diversity
+        // to cover: any method that returned communities vacuously
+        // matches PCS (in particular self-LDR stays 1), while a method
+        // that returned nothing still scores 0.
+        if f_communities.is_empty() {
+            0.0
+        } else {
+            1.0
+        }
     } else {
         acc / counted as f64
     }
@@ -77,9 +84,9 @@ mod tests {
         let d = t.add_child(a, "d").unwrap();
         let tq = PTree::from_labels(&t, [c, d, b]).unwrap();
         let themes = vec![
-            PTree::from_labels(&t, [c]).unwrap(),       // theme 1: r-a-c
-            PTree::from_labels(&t, [b]).unwrap(),       // theme 2: r-b
-            PTree::from_labels(&t, [c, d]).unwrap(),    // theme 3: r-a-{c,d}
+            PTree::from_labels(&t, [c]).unwrap(),    // theme 1: r-a-c
+            PTree::from_labels(&t, [b]).unwrap(),    // theme 2: r-b
+            PTree::from_labels(&t, [c, d]).unwrap(), // theme 3: r-a-{c,d}
         ];
         (t, tq, themes)
     }
@@ -119,6 +126,17 @@ mod tests {
         let f = vec![comm(&themes[2]), comm(&themes[1])];
         let score = ldr(&t, &tq, &f, &pcs);
         assert!(score > 1.0, "{score}");
+    }
+
+    #[test]
+    fn root_only_themes_are_vacuously_covered() {
+        let (t, tq, _) = setup();
+        let root = comm(&PTree::root_only());
+        // Self-comparison stays 1 even when no level has labels...
+        let single = std::slice::from_ref(&root);
+        assert_eq!(ldr(&t, &tq, single, single), 1.0);
+        // ...but an empty method still scores 0 against them.
+        assert_eq!(ldr(&t, &tq, &[], &[root]), 0.0);
     }
 
     #[test]

@@ -73,9 +73,8 @@ mod tests {
         // Root with x-1 children: subtree count is exactly 2^(x-1)+1.
         for x in 1..=10usize {
             let mut t = Taxonomy::new("r");
-            let kids: Vec<u32> = (0..x - 1)
-                .map(|i| t.add_child(0, &format!("c{i}")).unwrap())
-                .collect();
+            let kids: Vec<u32> =
+                (0..x - 1).map(|i| t.add_child(0, &format!("c{i}")).unwrap()).collect();
             let qs = space_of(&t, &kids);
             assert_eq!(qs.len(), x);
             assert_eq!(count_all_subtrees(&qs), lemma1_upper_bound(x), "x={x}");

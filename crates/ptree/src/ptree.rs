@@ -182,11 +182,7 @@ impl PTree {
     /// Members at taxonomy depth `d` (used by the LDR metric's
     /// per-level label counts).
     pub fn nodes_at_depth(&self, tax: &Taxonomy, d: u32) -> Vec<LabelId> {
-        self.nodes
-            .iter()
-            .copied()
-            .filter(|&id| tax.depth(id) == d)
-            .collect()
+        self.nodes.iter().copied().filter(|&id| tax.depth(id) == d).collect()
     }
 
     /// Height of this P-tree = max taxonomy depth among members.
@@ -269,10 +265,7 @@ mod tests {
     #[test]
     fn unknown_label_rejected() {
         let (t, _) = figure1();
-        assert_eq!(
-            PTree::from_labels(&t, [999]).unwrap_err(),
-            PTreeError::UnknownLabel(999)
-        );
+        assert_eq!(PTree::from_labels(&t, [999]).unwrap_err(), PTreeError::UnknownLabel(999));
     }
 
     #[test]
@@ -294,8 +287,8 @@ mod tests {
         let (t, trees) = figure1();
         // Fig. 2(c): common subtree of {A, D, E} is r -> IS(DMS), HW.
         let m = PTree::intersect_all([&trees[0], &trees[3], &trees[4]]).unwrap();
-        let expect = PTree::from_labels(&t, [t.id_of("DMS").unwrap(), t.id_of("HW").unwrap()])
-            .unwrap();
+        let expect =
+            PTree::from_labels(&t, [t.id_of("DMS").unwrap(), t.id_of("HW").unwrap()]).unwrap();
         assert_eq!(m, expect);
         // Fig. 2(b): common subtree of {B, C, D} is r -> CM(ML, AI).
         let m2 = PTree::intersect_all([&trees[1], &trees[2], &trees[3]]).unwrap();

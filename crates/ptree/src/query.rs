@@ -77,10 +77,7 @@ impl Subtree {
 
     /// Subset test (`self ⊆ other`).
     pub fn is_subset_of(&self, other: &Subtree) -> bool {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .all(|(a, b)| a & !b == 0)
+        self.words.iter().zip(other.words.iter()).all(|(a, b)| a & !b == 0)
     }
 
     /// Set intersection.
@@ -262,9 +259,7 @@ impl QuerySpace {
             return vec![0];
         }
         let lo = s.max_pos().unwrap() + 1;
-        (lo..self.len() as u32)
-            .filter(|&p| s.contains(self.parent_of(p)))
-            .collect()
+        (lo..self.len() as u32).filter(|&p| s.contains(self.parent_of(p))).collect()
     }
 
     /// All lattice children: positions addable while keeping closure
@@ -282,10 +277,7 @@ impl QuerySpace {
     /// with no child inside `s`). Removing the root is only possible
     /// when it is alone (yielding the empty tree).
     pub fn lattice_parents(&self, s: &Subtree) -> Vec<u32> {
-        self.leaves(s)
-            .into_iter()
-            .filter(|&p| p != 0 || s.count() == 1)
-            .collect()
+        self.leaves(s).into_iter().filter(|&p| p != 0 || s.count() == 1).collect()
     }
 
     /// Leaves of `s`: members with no member child.

@@ -116,20 +116,14 @@ impl Taxonomy {
         let mut cur = Some(id);
         std::iter::from_fn(move || {
             let here = cur?;
-            cur = if here == Self::ROOT {
-                None
-            } else {
-                Some(self.parent[here as usize])
-            };
+            cur = if here == Self::ROOT { None } else { Some(self.parent[here as usize]) };
             Some(here)
         })
     }
 
     /// All ids at a given depth.
     pub fn ids_at_depth(&self, d: u32) -> Vec<LabelId> {
-        (0..self.len() as LabelId)
-            .filter(|&id| self.depth[id as usize] == d)
-            .collect()
+        (0..self.len() as LabelId).filter(|&id| self.depth[id as usize] == d).collect()
     }
 
     /// Validates that `ids` (sorted, deduped) form an ancestor-closed set
@@ -182,14 +176,8 @@ mod tests {
     fn duplicate_label_rejected() {
         let mut t = Taxonomy::new("r");
         t.add_child(0, "CM").unwrap();
-        assert_eq!(
-            t.add_child(0, "CM").unwrap_err(),
-            PTreeError::DuplicateLabel("CM".into())
-        );
-        assert_eq!(
-            t.add_child(99, "X").unwrap_err(),
-            PTreeError::UnknownLabel(99)
-        );
+        assert_eq!(t.add_child(0, "CM").unwrap_err(), PTreeError::DuplicateLabel("CM".into()));
+        assert_eq!(t.add_child(99, "X").unwrap_err(), PTreeError::UnknownLabel(99));
     }
 
     #[test]

@@ -48,12 +48,7 @@ impl OrderedTree {
         let children: Vec<Vec<usize>> = ids
             .iter()
             .map(|&id| {
-                tax.children(id)
-                    .iter()
-                    .copied()
-                    .filter(|&c| p.contains(c))
-                    .map(index_of)
-                    .collect()
+                tax.children(id).iter().copied().filter(|&c| p.contains(c)).map(index_of).collect()
             })
             .collect();
         OrderedTree::new(labels, children, index_of(Taxonomy::ROOT))
@@ -147,9 +142,8 @@ pub fn tree_edit_distance(a: &OrderedTree, b: &OrderedTree) -> usize {
                 for y in lj..=j {
                     if l1[x] == li && l2[y] == lj {
                         let relabel = usize::from(la[x] != lb[y]);
-                        fd[x + 1][y + 1] = (fd[x][y + 1] + 1)
-                            .min(fd[x + 1][y] + 1)
-                            .min(fd[x][y] + relabel);
+                        fd[x + 1][y + 1] =
+                            (fd[x][y + 1] + 1).min(fd[x + 1][y] + 1).min(fd[x][y] + relabel);
                         td[x][y] = fd[x + 1][y + 1];
                     } else {
                         fd[x + 1][y + 1] = (fd[x][y + 1] + 1)
@@ -314,11 +308,7 @@ mod tests {
         }
         for _ in 0..40 {
             let pick = |rng: &mut SmallRng| {
-                let ls: Vec<u32> = ids
-                    .iter()
-                    .copied()
-                    .filter(|_| rng.gen_bool(0.4))
-                    .collect();
+                let ls: Vec<u32> = ids.iter().copied().filter(|_| rng.gen_bool(0.4)).collect();
                 PTree::from_labels(&tax, ls).unwrap()
             };
             let x = pick(&mut rng);

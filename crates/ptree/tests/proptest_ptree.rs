@@ -9,7 +9,11 @@ use proptest::prelude::*;
 fn instance() -> impl Strategy<Value = (Vec<u32>, Vec<u16>, Vec<u16>)> {
     // parents[i] encodes the parent (mod available ids) of label i+1.
     let parents = proptest::collection::vec(any::<u32>(), 0..13);
-    (parents, proptest::collection::vec(any::<u16>(), 0..8), proptest::collection::vec(any::<u16>(), 0..8))
+    (
+        parents,
+        proptest::collection::vec(any::<u16>(), 0..8),
+        proptest::collection::vec(any::<u16>(), 0..8),
+    )
 }
 
 fn build(parents: &[u32]) -> Taxonomy {

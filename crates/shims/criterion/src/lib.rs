@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the subset the workspace's benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], sample
+//! counts, [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — on top of a plain wall-clock loop.
+//! No plots, no statistics beyond mean/min/max, no baselines; results
+//! print one line per benchmark:
+//!
+//! ```text
+//! group/name              time: [mean 1.234 ms] min 1.1 ms max 1.4 ms (10 samples)
+//! ```
+//!
+//! Binaries run under `cargo test` (Cargo passes `--test`) execute each
+//! closure once so benches stay compile- and run-checked in CI without
+//! paying measurement time.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `new("build", "50%")` displays as `build/50%`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Per-iteration timing hook handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    smoke_only: bool,
+    last: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke_only {
+            black_box(routine());
+            return;
+        }
+        // One warm-up call, then timed samples.
+        black_box(routine());
+        self.last.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.last.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            smoke_only: self.criterion.smoke_only,
+            last: Vec::new(),
+        };
+        f(&mut bencher);
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.smoke_only {
+            println!("{full:<40} ok (smoke)");
+            return;
+        }
+        if bencher.last.is_empty() {
+            println!("{full:<40} (no samples recorded)");
+            return;
+        }
+        let total: Duration = bencher.last.iter().sum();
+        let mean = total / bencher.last.len() as u32;
+        let min = bencher.last.iter().min().copied().unwrap_or_default();
+        let max = bencher.last.iter().max().copied().unwrap_or_default();
+        println!(
+            "{full:<40} time: [mean {mean:>10.3?}] min {min:.3?} max {max:.3?} ({} samples)",
+            bencher.last.len()
+        );
+    }
+
+    /// Ends the group (kept for API parity; all output is streamed).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the process arguments the way Cargo invokes bench
+    /// binaries: `--test` (from `cargo test`) switches to smoke mode.
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test" || a == "--smoke");
+        Criterion { smoke_only: smoke }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup { criterion: self, name: "bench".into(), sample_size: 100 };
+        let mut f = f;
+        group.run(&id.to_string(), |b| f(b));
+        self
+    }
+}
+
+/// Bundles benchmark functions under one name, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags like
+            // `--test` or `--bench`; `Criterion::default()` inspects
+            // them, so nothing to parse here.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("build", "50%").to_string(), "build/50%");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion { smoke_only: false };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u32;
+        group.sample_size(5).bench_function("f", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // 1 warm-up + 5 samples.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { smoke_only: true };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u32;
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+}

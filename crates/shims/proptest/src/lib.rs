@@ -1,0 +1,329 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements exactly the surface the workspace's property tests use:
+//! the [`proptest!`] macro with a `proptest_config` attribute,
+//! [`Strategy`] with `prop_flat_map`, [`prelude::any`] for unsigned
+//! integers, range and tuple strategies, [`collection::vec`],
+//! [`prelude::Just`], and the `prop_assert*` macros. Cases are drawn
+//! from a seeded deterministic RNG; failures report the generated
+//! input but (unlike real proptest) are not shrunk.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A failed property: carries the assertion message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Result type property bodies must return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Generates random values of an output type.
+///
+/// Real proptest separates strategies from value trees to support
+/// shrinking; this shim only needs generation.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Derives a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, S, F> Strategy for FlatMap<B, F>
+where
+    B: Strategy,
+    S: Strategy,
+    F: Fn(B::Value) -> S,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> S::Value {
+        let mid = self.base.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+/// Strategy returned by [`prelude::any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = if self.len.is_empty() { 0 } else { rng.gen_range(self.len.clone()) };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case loop behind the [`proptest!`](crate::proptest) macro.
+
+    use super::{SmallRng, Strategy, TestCaseResult};
+    use rand::SeedableRng;
+
+    /// Alias matching real proptest's prelude name.
+    pub use Config as ProptestConfig;
+
+    /// Runner configuration; only the case count is honoured.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Drives a property over `config.cases` generated inputs.
+    pub struct TestRunner {
+        config: Config,
+        rng: SmallRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with a fixed seed (override with
+        /// `PROPTEST_SEED`) so failures reproduce across runs.
+        pub fn new(config: Config) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x70_72_6f_70); // "prop"
+            TestRunner { config, rng: SmallRng::seed_from_u64(seed) }
+        }
+
+        /// Runs `property` on fresh inputs; panics (failing the
+        /// enclosing `#[test]`) on the first unsatisfied case.
+        pub fn run<S, F>(&mut self, strategy: &S, property: F)
+        where
+            S: Strategy,
+            S::Value: std::fmt::Debug + Clone,
+            F: Fn(S::Value) -> TestCaseResult,
+        {
+            for case in 0..self.config.cases {
+                let input = strategy.generate(&mut self.rng);
+                if let Err(e) = property(input.clone()) {
+                    panic!(
+                        "property failed at case {case}/{}: {e}\ninput: {input:?}",
+                        self.config.cases
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Canonical strategy for any [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+pub mod prelude {
+    //! The glob import the tests use.
+
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, AnyStrategy, Just, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Fails the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Fails the current case when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)*);
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` body
+/// runs over `proptest_config`-many generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                let strategy = ($($strat,)+);
+                runner.run(&strategy, |($($pat,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}

@@ -16,11 +16,6 @@ fn main() {
 
     for which in pcs::datasets::ego::EgoNetwork::ALL {
         let ds = pcs::datasets::ego::build(which, 11);
-        let index =
-            CpTree::build(&ds.graph, &ds.tax, &ds.profiles).expect("consistent dataset");
-        let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
-            .expect("consistent dataset")
-            .with_index(&index);
 
         // Query vertices drawn from ground-truth circles (as the paper
         // does), restricted to the k-core so every method can answer.
@@ -31,32 +26,49 @@ fn main() {
             .take(queries_per_net)
             .collect();
 
+        // The engine takes ownership of the profiled graph; the
+        // ground-truth circles stay behind for scoring.
+        let groups = ds.groups;
+        let engine = PcsEngine::builder()
+            .graph(ds.graph)
+            .taxonomy(ds.tax)
+            .profiles(ds.profiles)
+            .index_mode(IndexMode::Eager)
+            .build()
+            .expect("consistent dataset");
+
+        // PCS answers the whole workload in one order-preserving batch.
+        let requests: Vec<QueryRequest> =
+            queries.iter().map(|&q| QueryRequest::vertex(q).k(k)).collect();
+        let batch = engine.query_batch(&requests);
+
         let mut scores = [0.0f64; 4]; // PCS, ACQ, Global, Local
-        for &q in &queries {
+        for (&q, pcs_result) in queries.iter().zip(batch) {
             let truths: Vec<&Vec<VertexId>> =
-                ds.groups.iter().filter(|g| g.binary_search(&q).is_ok()).collect();
+                groups.iter().filter(|g| g.binary_search(&q).is_ok()).collect();
             let truth_sets: Vec<Vec<VertexId>> = truths.iter().map(|t| (*t).clone()).collect();
 
-            let pcs_found: Vec<Vec<VertexId>> = ctx
-                .query(q, k, Algorithm::AdvP)
-                .map(|o| o.communities.into_iter().map(|c| c.vertices).collect())
+            let pcs_found: Vec<Vec<VertexId>> = pcs_result
+                .map(|r| r.outcome.communities.into_iter().map(|c| c.vertices).collect())
                 .unwrap_or_default();
             scores[0] += best_f1(&pcs_found, &truth_sets);
 
-            let acq_found: Vec<Vec<VertexId>> = acq_query(&ds.graph, &ds.tax, &ds.profiles, q, k)
-                .communities
-                .into_iter()
-                .map(|c| c.community.vertices)
-                .collect();
+            let acq_found: Vec<Vec<VertexId>> =
+                acq_query(engine.graph(), engine.taxonomy(), engine.profiles(), q, k)
+                    .communities
+                    .into_iter()
+                    .map(|c| c.community.vertices)
+                    .collect();
             scores[1] += best_f1(&acq_found, &truth_sets);
 
-            let global_found: Vec<Vec<VertexId>> = global_query(&ds.graph, &ds.profiles, q, k)
-                .map(|c| vec![c.vertices])
-                .unwrap_or_default();
+            let global_found: Vec<Vec<VertexId>> =
+                global_query(engine.graph(), engine.profiles(), q, k)
+                    .map(|c| vec![c.vertices])
+                    .unwrap_or_default();
             scores[2] += best_f1(&global_found, &truth_sets);
 
             let local_found: Vec<Vec<VertexId>> =
-                local_query(&ds.graph, &ds.profiles, q, k, usize::MAX)
+                local_query(engine.graph(), engine.profiles(), q, k, usize::MAX)
                     .map(|c| vec![c.vertices])
                     .unwrap_or_default();
             scores[3] += best_f1(&local_found, &truth_sets);

@@ -56,41 +56,47 @@ fn main() {
     .map(|ls| PTree::from_labels(&tax, ls).expect("labels from tax"))
     .collect();
 
-    // --- Index once, query online -----------------------------------------
-    let index = CpTree::build(&g, &tax, &profiles).expect("consistent inputs");
-    let ctx = QueryContext::new(&g, &tax, &profiles)
-        .expect("consistent inputs")
-        .with_index(&index);
+    // --- Build the engine once, query online ------------------------------
+    // The engine owns its inputs, validates them once, and builds the
+    // CP-tree index lazily on the first query that needs it.
+    let engine = PcsEngine::builder()
+        .graph(g)
+        .taxonomy(tax)
+        .profiles(profiles)
+        .build()
+        .expect("consistent inputs");
+    let (tax, g, profiles) = (engine.taxonomy(), engine.graph(), engine.profiles());
 
     let q = 3; // author D
     let k = 2;
     println!("PCS query: q = {} (author D), k = {k}\n", names[q as usize]);
 
     for algo in [Algorithm::Basic, Algorithm::AdvP] {
-        let out = ctx.query(q, k, algo).expect("query in range");
-        println!("== {} found {} communities ==", algo.name(), out.communities.len());
-        for (i, c) in out.communities.iter().enumerate() {
-            let members: Vec<&str> =
-                c.vertices.iter().map(|&v| names[v as usize]).collect();
+        let resp = engine
+            .query(&QueryRequest::vertex(q).k(k).algorithm(algo).collect_stats(true))
+            .expect("query in range");
+        println!("== {} found {} communities ==", algo.name(), resp.communities().len());
+        for (i, c) in resp.communities().iter().enumerate() {
+            let members: Vec<&str> = c.vertices.iter().map(|&v| names[v as usize]).collect();
             println!("community #{}: {{{}}}", i + 1, members.join(", "));
-            println!("shared theme:\n{}", indent(&c.subtree.render(&tax)));
+            println!("shared theme:\n{}", indent(&c.subtree.render(tax)));
         }
+        let stats = resp.stats.expect("requested via collect_stats");
         println!(
-            "(verifications: {}, candidates generated: {})\n",
-            out.stats.verifications, out.stats.subtrees_generated
+            "(verifications: {}, candidates generated: {}, wall-clock: {:.1?})\n",
+            stats.verifications, stats.subtrees_generated, resp.elapsed
         );
     }
 
     // Contrast with ACQ: flat keywords, no hierarchy.
-    let acq = acq_query(&g, &tax, &profiles, q, k);
+    let acq = acq_query(g, tax, profiles, q, k);
     println!(
         "== ACQ (flat keywords) found {} communities sharing {} keywords ==",
         acq.communities.len(),
         acq.keyword_count
     );
     for c in &acq.communities {
-        let members: Vec<&str> =
-            c.community.vertices.iter().map(|&v| names[v as usize]).collect();
+        let members: Vec<&str> = c.community.vertices.iter().map(|&v| names[v as usize]).collect();
         let kws: Vec<&str> = c.keywords.iter().map(|&l| tax.label(l)).collect();
         println!("  {{{}}} sharing [{}]", members.join(", "), kws.join(", "));
     }

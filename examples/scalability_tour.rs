@@ -21,49 +21,58 @@ fn main() {
         ds.graph.num_edges()
     );
 
-    // --- Index construction ------------------------------------------------
+    // --- Engine + index construction ---------------------------------------
+    let (queries, level) = pcs::datasets::sample_query_vertices(&ds, 6, 20, 7);
     let t0 = Instant::now();
-    let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).expect("consistent dataset");
-    let seq = t0.elapsed();
-    let t0 = Instant::now();
-    let _par = CpTree::build_with_threads(&ds.graph, &ds.tax, &ds.profiles, 8)
+    let engine = PcsEngine::builder()
+        .graph(ds.graph)
+        .taxonomy(ds.tax)
+        .profiles(ds.profiles)
+        .index_mode(IndexMode::Eager)
+        .index_build_threads(8)
+        .build()
         .expect("consistent dataset");
-    let par = t0.elapsed();
+    let built = t0.elapsed();
+    let index = engine.index().expect("eager mode builds the index");
     println!(
-        "CP-tree build: {:.1} ms sequential, {:.1} ms with 8 threads ({} labels populated, ~{:.1} MiB)",
-        seq.as_secs_f64() * 1e3,
-        par.as_secs_f64() * 1e3,
+        "engine warm-up (8-thread CP-tree + core decomposition): {:.1} ms ({} labels populated, ~{:.1} MiB)",
+        built.as_secs_f64() * 1e3,
         index.num_populated_labels(),
         index.memory_bytes() as f64 / (1024.0 * 1024.0)
     );
 
     // --- Queries -----------------------------------------------------------
-    let (queries, level) = pcs::datasets::sample_query_vertices(&ds, 6, 20, 7);
     println!("\n{} query vertices from the {}-core; k = 6\n", queries.len(), level);
-    let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
-        .expect("consistent dataset")
-        .with_index(&index);
 
     println!(
         "{:<8} {:>12} {:>14} {:>14} {:>12}",
         "method", "total (ms)", "verifications", "candidates", "communities"
     );
     for algo in Algorithm::ALL {
+        let requests: Vec<QueryRequest> = queries
+            .iter()
+            .map(|&q| QueryRequest::vertex(q).k(6).algorithm(algo).collect_stats(true))
+            .collect();
+        // Wall-clock around the whole batch: per-query elapsed times
+        // overlap under the batch fan-out, so summing them would
+        // overstate the cost on multicore machines.
         let t0 = Instant::now();
+        let responses = engine.query_batch(&requests);
+        let total_ms = t0.elapsed().as_secs_f64() * 1e3;
         let mut verifications = 0u64;
         let mut generated = 0u64;
         let mut communities = 0usize;
-        for &q in &queries {
-            let out = ctx.query(q, 6, algo).expect("query in range");
-            verifications += out.stats.verifications;
-            generated += out.stats.subtrees_generated;
-            communities += out.communities.len();
+        for result in responses {
+            let resp = result.expect("query in range");
+            let stats = resp.stats.expect("requested via collect_stats");
+            verifications += stats.verifications;
+            generated += stats.subtrees_generated;
+            communities += resp.communities().len();
         }
-        let ms = t0.elapsed().as_secs_f64() * 1e3;
         println!(
             "{:<8} {:>12.2} {:>14} {:>14} {:>12}",
             algo.name(),
-            ms,
+            total_ms,
             verifications,
             generated,
             communities

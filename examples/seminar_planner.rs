@@ -24,44 +24,53 @@ fn main() {
         ds.avg_ptree_size()
     );
 
-    let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).expect("dataset is consistent");
-    let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
-        .expect("dataset is consistent")
-        .with_index(&index);
+    // Hand the dataset to the owned engine; Algorithm::Auto will route
+    // the query through adv-P on the lazily built CP-tree index.
+    let engine = PcsEngine::builder()
+        .graph(ds.graph)
+        .taxonomy(ds.tax)
+        .profiles(ds.profiles)
+        .build()
+        .expect("dataset is consistent");
+    let (g, tax, profiles) = (engine.graph(), engine.taxonomy(), engine.profiles());
 
     // The "renowned expert": a high-degree vertex with a rich profile,
     // like Jim Gray in the paper.
-    let expert = ds
-        .graph
+    let expert = g
         .vertices()
-        .max_by_key(|&v| (ds.profiles[v as usize].len(), ds.graph.degree(v)))
+        .max_by_key(|&v| (profiles[v as usize].len(), g.degree(v)))
         .expect("non-empty graph");
     println!(
         "renowned expert: author #{expert} (degree {}, profile of {} CCS subjects)\n",
-        ds.graph.degree(expert),
-        ds.profiles[expert as usize].len()
+        g.degree(expert),
+        profiles[expert as usize].len()
     );
 
     let k = 4; // the paper's case-study setting
-    let out = ctx.query(expert, k, Algorithm::AdvP).expect("query in range");
-    println!("PCS (k = {k}) proposes {} seminar circles:", out.communities.len());
-    for (i, c) in out.communities.iter().enumerate().take(6) {
+    let resp = engine.query(&QueryRequest::vertex(expert).k(k)).expect("query in range");
+    println!(
+        "PCS (k = {k}, {} in {:.1?}) proposes {} seminar circles:",
+        resp.algorithm.name(),
+        resp.elapsed,
+        resp.communities().len()
+    );
+    for (i, c) in resp.communities().iter().enumerate().take(6) {
         println!(
             "  circle #{}: {} researchers, theme of {} subjects (height {}):",
             i + 1,
             c.vertices.len(),
             c.subtree.len(),
-            c.subtree.height(&ds.tax),
+            c.subtree.height(tax),
         );
-        for line in c.subtree.render(&ds.tax).lines().take(8) {
+        for line in c.subtree.render(tax).lines().take(8) {
             println!("      {line}");
         }
     }
-    if out.communities.len() > 6 {
-        println!("  … and {} more.", out.communities.len() - 6);
+    if resp.communities().len() > 6 {
+        println!("  … and {} more.", resp.communities().len() - 6);
     }
 
-    let acq = acq_query(&ds.graph, &ds.tax, &ds.profiles, expert, k);
+    let acq = acq_query(g, tax, profiles, expert, k);
     println!(
         "\nACQ proposes {} circle(s) (all maximizing the same flat keyword count of {}).",
         acq.communities.len(),
@@ -69,7 +78,7 @@ fn main() {
     );
     println!(
         "PCS surfaces {} distinct themes vs ACQ's {} — the organizer can now choose.",
-        out.communities.len(),
+        resp.communities().len(),
         acq.communities.len()
     );
 }

@@ -48,11 +48,20 @@ fn main() {
     profiles.extend((0..3).map(|_| PTree::from_labels(&tax, [ml]).unwrap()));
     profiles.extend((0..4).map(|_| PTree::from_labels(&tax, [db]).unwrap())); // cycle
 
-    let ctx = QueryContext::new(&g, &tax, &profiles).expect("consistent inputs");
+    let engine = PcsEngine::builder()
+        .graph(g)
+        .taxonomy(tax)
+        .profiles(profiles)
+        .index_mode(IndexMode::Disabled) // basic + truss need no CP-tree
+        .build()
+        .expect("consistent inputs");
+    let tax = engine.taxonomy();
 
     println!("min-degree PCS, q = 1, k = 2:");
-    let core_out = ctx.query(1, 2, Algorithm::Basic).expect("query in range");
-    for c in &core_out.communities {
+    let core_resp = engine
+        .query(&QueryRequest::vertex(1).k(2).algorithm(Algorithm::Basic))
+        .expect("query in range");
+    for c in core_resp.communities() {
         println!(
             "  {:?} — theme {:?}",
             c.vertices,
@@ -62,7 +71,12 @@ fn main() {
     println!("(the loose cycle joins: every cycle vertex has degree 2)\n");
 
     println!("k-truss PCS, q = 1, k = 4 (every edge in ≥ 2 triangles):");
-    let truss_out = truss_query(&ctx, 1, 4).expect("query in range");
+    // truss_query still speaks the borrowed paper layer; the engine
+    // lends it a context over the same cached state.
+    let truss_out = engine
+        .with_context(|ctx| truss_query(ctx, 1, 4))
+        .expect("engine state is consistent")
+        .expect("query in range");
     for c in &truss_out.communities {
         println!(
             "  {:?} — theme {:?}",

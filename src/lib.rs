@@ -15,6 +15,7 @@
 //!
 //! | module | backing crate | contents |
 //! |---|---|---|
+//! | [`engine`] | `pcs-engine` | owned, `Send + Sync` serving facade: `PcsEngine`, request/response API |
 //! | [`graph`] | `pcs-graph` | CSR graph, k-core decomposition, localized peeling |
 //! | [`ptree`] | `pcs-ptree` | taxonomy, P-trees, subtree lattice, tree edit distance |
 //! | [`index`] | `pcs-index` | CL-tree and CP-tree indexes |
@@ -24,6 +25,11 @@
 //! | [`datasets`] | `pcs-datasets` | paper-calibrated synthetic datasets |
 //!
 //! ## Quickstart
+//!
+//! Load (or generate) a profiled graph once, hand it to the engine,
+//! then serve queries — the CP-tree index and the core decomposition
+//! are built lazily and cached; `Algorithm::Auto` routes each query to
+//! `adv-P` when the index is available and `basic` otherwise.
 //!
 //! ```
 //! use pcs::prelude::*;
@@ -38,17 +44,51 @@
 //!     .map(|_| PTree::from_labels(&tax, [ml, ai]).unwrap())
 //!     .collect();
 //!
-//! // Index once, query online.
-//! let index = CpTree::build(&g, &tax, &profiles).unwrap();
-//! let ctx = QueryContext::new(&g, &tax, &profiles).unwrap().with_index(&index);
-//! let out = ctx.query(0, 2, Algorithm::AdvP).unwrap();
-//! assert_eq!(out.communities.len(), 1);
-//! assert_eq!(out.communities[0].vertices, vec![0, 1, 2]);
+//! // Build once (ownership moves in; validation happens here)...
+//! let engine = PcsEngine::builder()
+//!     .graph(g)
+//!     .taxonomy(tax)
+//!     .profiles(profiles)
+//!     .build()
+//!     .unwrap();
+//!
+//! // ...query online, as often as you like, from any thread.
+//! let resp = engine.query(&QueryRequest::vertex(0).k(2)).unwrap();
+//! assert_eq!(resp.communities().len(), 1);
+//! assert_eq!(resp.communities()[0].vertices, vec![0, 1, 2]);
+//!
+//! // Batches fan out across threads and preserve order.
+//! let reqs: Vec<QueryRequest> =
+//!     (0..3).map(|v| QueryRequest::vertex(v).k(2)).collect();
+//! for result in engine.query_batch(&reqs) {
+//!     assert_eq!(result.unwrap().communities().len(), 1);
+//! }
 //! ```
+//!
+//! ## Migrating from `QueryContext`
+//!
+//! [`QueryContext`](pcs_core::QueryContext) remains public as the
+//! borrowed reproduction layer (the engine delegates to it), but
+//! application code should move to the facade:
+//!
+//! | before (borrowed) | after (owned) |
+//! |---|---|
+//! | `QueryContext::new(&g, &tax, &profiles)?` | `PcsEngine::builder().graph(g).taxonomy(tax).profiles(profiles).build()?` |
+//! | `let idx = CpTree::build(..)?; ctx.with_index(&idx)` | automatic — lazy by default; `.index_mode(IndexMode::Eager)` to prebuild |
+//! | `ctx.query(q, k, Algorithm::AdvP)?` | `engine.query(&QueryRequest::vertex(q).k(k))?` |
+//! | `out.communities` | `resp.communities()` (plus `resp.elapsed`, `resp.index_used`, `resp.stats`) |
+//! | `PcsError` / `IndexError` per call site | one `pcs_engine::Error` |
+//!
+//! The engine is `Send + Sync`, so one instance serves every thread:
+//! wrap it in `Arc` (or keep it in `std::thread::scope`) and call
+//! [`query`](pcs_engine::PcsEngine::query) concurrently, or hand a
+//! whole slice of requests to
+//! [`query_batch`](pcs_engine::PcsEngine::query_batch).
 
 pub use pcs_baselines as baselines;
 pub use pcs_core as core;
 pub use pcs_datasets as datasets;
+pub use pcs_engine as engine;
 pub use pcs_graph as graph;
 pub use pcs_index as index;
 pub use pcs_metrics as metrics;
@@ -63,6 +103,9 @@ pub mod prelude {
         Algorithm, FindStrategy, PcsError, PcsOutcome, ProfiledCommunity, QueryContext,
     };
     pub use pcs_datasets::{DatasetSpec, ProfiledDataset, SuiteConfig, SuiteDataset};
+    pub use pcs_engine::{
+        EngineBuilder, Error as EngineError, IndexMode, PcsEngine, QueryRequest, QueryResponse,
+    };
     pub use pcs_graph::{Graph, GraphBuilder, VertexId};
     pub use pcs_index::{ClTree, CpTree};
     pub use pcs_metrics::{best_f1, cpf, cps, f1_score, ldr};

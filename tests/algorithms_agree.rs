@@ -59,11 +59,7 @@ fn check_problem1(
         );
         // Structure cohesiveness.
         for &v in &c.vertices {
-            let deg = g
-                .neighbors(v)
-                .iter()
-                .filter(|u| c.vertices.binary_search(u).is_ok())
-                .count();
+            let deg = g.neighbors(v).iter().filter(|u| c.vertices.binary_search(u).is_ok()).count();
             assert!(deg >= k as usize, "degree bound violated");
         }
         // The reported subtree is the true maximal common subtree.
@@ -147,9 +143,7 @@ fn agreement_on_dataset_generator_output() {
     let ds = pcs::datasets::gen::generate(&spec, tax);
     let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).unwrap();
     let plain = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles).unwrap();
-    let indexed = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
-        .unwrap()
-        .with_index(&index);
+    let indexed = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles).unwrap().with_index(&index);
     let (queries, level) = pcs::datasets::sample_query_vertices(&ds, 5, 8, 5);
     assert!(!queries.is_empty());
     for &q in &queries {

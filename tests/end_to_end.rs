@@ -15,9 +15,7 @@ fn tiny_cfg() -> SuiteConfig {
 fn suite_dataset_full_query_pipeline() {
     let ds = build(SuiteDataset::Acmdl, tiny_cfg());
     let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).unwrap();
-    let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
-        .unwrap()
-        .with_index(&index);
+    let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles).unwrap().with_index(&index);
     let (queries, level) = pcs::datasets::sample_query_vertices(&ds, 6, 10, 1);
     assert_eq!(queries.len(), 10);
 
@@ -41,9 +39,7 @@ fn suite_dataset_full_query_pipeline() {
 fn baselines_run_on_suite_dataset() {
     let ds = build(SuiteDataset::Acmdl, tiny_cfg());
     let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).unwrap();
-    let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
-        .unwrap()
-        .with_index(&index);
+    let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles).unwrap().with_index(&index);
     let (queries, level) = pcs::datasets::sample_query_vertices(&ds, 6, 5, 2);
     for &q in &queries {
         let acq = acq_query(&ds.graph, &ds.tax, &ds.profiles, q, level);
@@ -74,19 +70,13 @@ fn baselines_run_on_suite_dataset() {
 fn ego_networks_support_f1_workload() {
     let ds = pcs::datasets::ego::build(EgoNetwork::Fb3, 7);
     let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).unwrap();
-    let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles)
-        .unwrap()
-        .with_index(&index);
+    let ctx = QueryContext::new(&ds.graph, &ds.tax, &ds.profiles).unwrap().with_index(&index);
     let (queries, level) = pcs::datasets::sample_query_vertices(&ds, 4, 10, 3);
     let mut scored = 0usize;
     let mut pcs_total = 0.0;
     for &q in &queries {
-        let truths: Vec<Vec<VertexId>> = ds
-            .groups
-            .iter()
-            .filter(|g| g.binary_search(&q).is_ok())
-            .cloned()
-            .collect();
+        let truths: Vec<Vec<VertexId>> =
+            ds.groups.iter().filter(|g| g.binary_search(&q).is_ok()).cloned().collect();
         if truths.is_empty() {
             continue;
         }
@@ -115,9 +105,7 @@ fn scalability_axes_compose() {
     let p = subsample_ptrees(&v, 0.6, 2);
     let gpt = subsample_gptree(&p, 0.6, 3);
     let index = CpTree::build(&gpt.graph, &gpt.tax, &gpt.profiles).unwrap();
-    let ctx = QueryContext::new(&gpt.graph, &gpt.tax, &gpt.profiles)
-        .unwrap()
-        .with_index(&index);
+    let ctx = QueryContext::new(&gpt.graph, &gpt.tax, &gpt.profiles).unwrap().with_index(&index);
     let (queries, level) = pcs::datasets::sample_query_vertices(&gpt, 6, 5, 4);
     for &q in &queries {
         let out = ctx.query(q, level, Algorithm::AdvD).unwrap();
