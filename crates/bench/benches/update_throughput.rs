@@ -1,0 +1,110 @@
+//! Criterion bench: the live-update path.
+//!
+//! Three angles on the update subsystem, all on the paper-calibrated
+//! ACMDL-like dataset:
+//!
+//! * `apply/incremental` vs `apply/full_rebuild` — the same edge-churn
+//!   batch absorbed by incremental CP-tree patching
+//!   (`incremental_patch_cap(1.0)`) vs the fallback that rebuilds the
+//!   whole index every batch (`incremental_patch_cap(0.0)` on an eager
+//!   engine). The gap is the payoff of the bounded maintenance.
+//! * `mixed/95r_5w` — a serving mix: 19 reads per write, measuring
+//!   read-path cost while snapshots churn underneath.
+//!
+//! Each iteration applies an add/remove pair for every touched edge, so
+//! the graph returns to its starting state and iterations are i.i.d.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcs_datasets::suite::{build, SuiteConfig};
+use pcs_datasets::{sample_query_vertices, SuiteDataset};
+use pcs_engine::{IndexMode, PcsEngine, QueryRequest, UpdateBatch};
+use pcs_graph::VertexId;
+
+fn engine_with_cap(ds: &pcs_datasets::ProfiledDataset, cap: f64) -> PcsEngine {
+    PcsEngine::builder()
+        .graph(ds.graph.clone())
+        .taxonomy(ds.tax.clone())
+        .profiles(ds.profiles.clone())
+        .index_mode(IndexMode::Eager)
+        .incremental_patch_cap(cap)
+        .build()
+        .unwrap()
+}
+
+/// Exactly `count` edges absent from the dataset, wired between 6-core
+/// members so the churn lands inside communities (the realistic case).
+/// Pairs are normalized `(min, max)` so reversed duplicates cannot slip
+/// in and silently turn batch entries into no-ops.
+fn churn_edges(ds: &pcs_datasets::ProfiledDataset, count: usize) -> Vec<(VertexId, VertexId)> {
+    let (members, _) = sample_query_vertices(ds, 4, count * 8, 0xc4u64);
+    let mut out = Vec::new();
+    'outer: for (i, &a) in members.iter().enumerate() {
+        for &b in &members[i + 1..] {
+            let pair = (a.min(b), a.max(b));
+            if a != b && !ds.graph.has_edge(a, b) && !out.contains(&pair) {
+                out.push(pair);
+                if out.len() == count {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert_eq!(out.len(), count, "dataset too dense for {count} churn edges");
+    out
+}
+
+fn bench_update_throughput(c: &mut Criterion) {
+    let cfg = SuiteConfig { scale: 0.01, ..SuiteConfig::default() };
+    let ds = build(SuiteDataset::Acmdl, cfg);
+    let edges = churn_edges(&ds, 8);
+
+    // One add+remove round trip per edge: state-neutral batch pair.
+    let adds: UpdateBatch = edges.iter().fold(UpdateBatch::new(), |b, &(u, v)| b.add_edge(u, v));
+    let removes: UpdateBatch =
+        edges.iter().fold(UpdateBatch::new(), |b, &(u, v)| b.remove_edge(u, v));
+
+    let mut group = c.benchmark_group("update_throughput");
+    group.sample_size(10);
+
+    let incremental = engine_with_cap(&ds, 1.0);
+    group.bench_function("apply/incremental", |b| {
+        b.iter(|| {
+            criterion::black_box(incremental.apply(&adds).unwrap().cores_changed);
+            criterion::black_box(incremental.apply(&removes).unwrap().cores_changed);
+        });
+    });
+
+    let rebuilding = engine_with_cap(&ds, 0.0);
+    group.bench_function("apply/full_rebuild", |b| {
+        b.iter(|| {
+            criterion::black_box(rebuilding.apply(&adds).unwrap().cores_changed);
+            criterion::black_box(rebuilding.apply(&removes).unwrap().cores_changed);
+        });
+    });
+
+    // Mixed read/write: 19 queries + 1 single-edge write per iteration.
+    let mixed = engine_with_cap(&ds, 1.0);
+    let (queries, _) = sample_query_vertices(&ds, 6, 19, 0x7472);
+    let requests: Vec<QueryRequest> =
+        queries.iter().map(|&q| QueryRequest::vertex(q).k(6)).collect();
+    let (wu, wv) = edges[0];
+    let mut flip = false;
+    group.bench_function("mixed/95r_5w", |b| {
+        b.iter(|| {
+            flip = !flip;
+            if flip {
+                criterion::black_box(mixed.add_edge(wu, wv).unwrap().epoch);
+            } else {
+                criterion::black_box(mixed.remove_edge(wu, wv).unwrap().epoch);
+            }
+            for resp in mixed.query_batch(&requests) {
+                criterion::black_box(resp.unwrap().communities().len());
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_throughput);
+criterion_main!(benches);

@@ -21,7 +21,8 @@ fn main() {
         .profiles(ds.profiles)
         .build()
         .expect("consistent dataset");
-    let (g, tax, profiles) = (engine.graph(), engine.taxonomy(), engine.profiles());
+    let snap = engine.snapshot();
+    let (g, tax, profiles) = (snap.graph(), engine.taxonomy(), snap.profiles());
 
     // The renowned expert: rich profile + high degree.
     let expert = g

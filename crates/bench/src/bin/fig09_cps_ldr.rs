@@ -29,14 +29,15 @@ fn main() {
         let mut cells = vec![name.clone()];
         for m in methods {
             let comms: Vec<_> = results.iter().flat_map(|r| r.of(m)).collect();
-            cells.push(f(cps(engine.taxonomy(), engine.profiles(), &comms)));
+            cells.push(f(cps(engine.taxonomy(), engine.snapshot().profiles(), &comms)));
         }
         row(&cells);
 
         // Compute the Fig. 9(b) row now, while this dataset's engine is
         // alive, so graph + index drop at the end of the iteration
         // instead of staying resident across all four datasets.
-        let (tax, profiles) = (engine.taxonomy(), engine.profiles());
+        let snap = engine.snapshot();
+        let (tax, profiles) = (engine.taxonomy(), snap.profiles());
         let mut acq_acc = 0.0;
         let mut global_acc = 0.0;
         let mut local_acc = 0.0;

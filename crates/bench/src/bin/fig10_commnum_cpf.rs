@@ -36,7 +36,8 @@ fn main() {
         // Compute the Fig. 10(b) row now, while this dataset's engine
         // is alive, so graph + index drop at the end of the iteration
         // instead of staying resident across all four datasets.
-        let profiles = engine.profiles();
+        let snap = engine.snapshot();
+        let profiles = snap.profiles();
         let mut cells = vec![name];
         for m in [Method::PcsOnly, Method::PcsAndAcq, Method::Acq, Method::Global, Method::Local] {
             let mut acc = 0.0;

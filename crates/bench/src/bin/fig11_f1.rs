@@ -50,7 +50,8 @@ fn main() {
             queries.iter().map(|&q| QueryRequest::vertex(q).k(k)).collect();
         let batch = engine.query_batch(&requests);
 
-        let (g, tax, profiles) = (engine.graph(), engine.taxonomy(), engine.profiles());
+        let snap = engine.snapshot();
+        let (g, tax, profiles) = (snap.graph(), engine.taxonomy(), snap.profiles());
         let mut scores = [0.0f64; 4];
         for (&q, pcs_result) in queries.iter().zip(batch) {
             let truths: Vec<Vec<VertexId>> =

@@ -28,7 +28,8 @@ fn main() {
         let (queries, _) = sample_query_vertices(&ds, args.k, args.queries, args.seed ^ 0x12);
         // The dataset is fully sampled; move it into the owned engine.
         let engine = engine_owning(ds);
-        let (tax, profiles) = (engine.taxonomy(), engine.profiles());
+        let snap = engine.snapshot();
+        let (tax, profiles) = (engine.taxonomy(), snap.profiles());
 
         // Per metric, per query: the returned communities. The §5.3
         // variants speak the borrowed paper layer, so borrow a context

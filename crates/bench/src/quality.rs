@@ -90,7 +90,8 @@ impl QueryResults {
 /// engine's order-preserving batch path; the baselines borrow the
 /// engine's data through its accessors.
 pub fn run_all_methods(engine: &PcsEngine, queries: &[VertexId], k: u32) -> Vec<QueryResults> {
-    let (g, tax, profiles) = (engine.graph(), engine.taxonomy(), engine.profiles());
+    let snap = engine.snapshot();
+    let (g, tax, profiles) = (snap.graph(), engine.taxonomy(), snap.profiles());
     let requests: Vec<QueryRequest> =
         queries.iter().map(|&q| QueryRequest::vertex(q).k(k).algorithm(Algorithm::AdvP)).collect();
     let batch = engine.query_batch(&requests);

@@ -205,6 +205,14 @@ impl<'a> QueryContext<'a> {
     /// cheap per-query constructor the owned engine facade uses; most
     /// applications want `pcs_engine::PcsEngine` instead of calling it
     /// directly.
+    ///
+    /// All parts must describe the **same version** of the profiled
+    /// graph: the engine guarantees this by borrowing every argument
+    /// from one immutable epoch snapshot, so a context assembled here
+    /// stays internally consistent even while updates publish newer
+    /// epochs concurrently. Hand-assembled mixes of differently-aged
+    /// graphs, profiles, cores, or indexes are undefined behaviour of
+    /// the algorithm layer (wrong answers, not memory unsafety).
     pub fn from_parts(
         graph: &'a Graph,
         tax: &'a Taxonomy,

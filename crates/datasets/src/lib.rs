@@ -21,6 +21,9 @@
 //! * [`queries`] — query-vertex sampling from the 6-core, as in the
 //!   paper's setup.
 
+//! * [`updates`] — timestamped edge/profile mutation streams for the
+//!   engine's live-update path.
+
 pub mod ego;
 pub mod gen;
 pub mod io;
@@ -28,8 +31,10 @@ pub mod queries;
 pub mod scale;
 pub mod suite;
 pub mod taxonomy;
+pub mod updates;
 
 pub use gen::{DatasetSpec, ProfiledDataset};
 pub use io::{load_dataset, save_dataset};
 pub use queries::sample_query_vertices;
 pub use suite::{SuiteConfig, SuiteDataset};
+pub use updates::{update_stream, StreamOp, TimedOp, UpdateStreamSpec};

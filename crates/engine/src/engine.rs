@@ -1,26 +1,30 @@
-//! The owned engine and its builder.
+//! The owned engine, its builder, and the update path.
 
 use pcs_core::{Algorithm, QueryContext};
 use pcs_graph::core::CoreDecomposition;
-use pcs_graph::Graph;
-use pcs_index::{CpTree, IndexError};
+use pcs_graph::{DynamicGraph, FxHashMap, Graph, IncrementalCores, VertexId};
+use pcs_index::{CpTree, GraphDelta, IndexError};
 use pcs_ptree::{PTree, Taxonomy};
 use std::num::NonZeroUsize;
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 use crate::error::{BuildError, Error, Result};
 use crate::request::{QueryRequest, QueryResponse};
+use crate::snapshot::{EngineSnapshot, SnapshotInner};
+use crate::update::{IndexMaintenance, Update, UpdateBatch, UpdateError, UpdateReport};
 
 /// When the engine constructs its CP-tree index.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum IndexMode {
     /// Build on the first query that needs it (default). The build is
-    /// raced at most once across threads via [`OnceLock`].
+    /// raced at most once per snapshot via [`OnceLock`].
     #[default]
     Lazy,
-    /// Build inside [`EngineBuilder::build`], trading startup latency
-    /// for predictable first-query latency.
+    /// Build inside [`EngineBuilder::build`] and keep it fresh across
+    /// updates (incremental patch when the invalidation set is small,
+    /// synchronous rebuild otherwise), trading update latency for
+    /// predictable query latency.
     Eager,
     /// Never build; index-dependent algorithms fail with
     /// [`Error::IndexDisabled`] and [`Algorithm::Auto`] resolves to
@@ -56,6 +60,7 @@ pub struct EngineBuilder {
     index_mode: IndexMode,
     index_build_threads: usize,
     batch_threads: Option<NonZeroUsize>,
+    patch_cap_fraction: Option<f64>,
 }
 
 impl EngineBuilder {
@@ -104,12 +109,32 @@ impl EngineBuilder {
         self
     }
 
+    /// Fraction of populated CP-tree labels an update batch may
+    /// invalidate before incremental patching falls back to a full
+    /// index rebuild (eager engines) or a deferred lazy rebuild
+    /// (default 0.5, clamped to `0.0..=1.0`). Below the cap each
+    /// invalidated label is revisited individually; above it, patching
+    /// would approach full-build cost anyway, so the engine rebuilds.
+    /// Positive fractions carry a floor of 4 labels so tiny indexes
+    /// always patch; `0.0` disables incremental patching entirely
+    /// (every effective batch takes the fallback path — useful for
+    /// benchmarking the rebuild baseline).
+    pub fn incremental_patch_cap(mut self, fraction: f64) -> Self {
+        self.patch_cap_fraction = Some(fraction.clamp(0.0, 1.0));
+        self
+    }
+
     /// Validates the inputs and produces the engine. With
     /// [`IndexMode::Eager`] this also builds the CP-tree index and the
     /// core decomposition.
     pub fn build(self) -> Result<PcsEngine> {
         let graph = self.graph.ok_or(BuildError::MissingGraph)?;
         let tax = self.tax.ok_or(BuildError::MissingTaxonomy)?;
+        // Defense in depth: graphs built through `Graph::from_edges` are
+        // canonical by construction, but foreign CSR layouts (mmap'd
+        // files, wire formats) may not be — reject self-loops, duplicate
+        // edges, and asymmetry instead of silently indexing them.
+        graph.validate().map_err(|e| BuildError::MalformedGraph { detail: e.to_string() })?;
         if graph.num_vertices() != self.profiles.len() {
             return Err(BuildError::ProfileCountMismatch {
                 vertices: graph.num_vertices(),
@@ -118,8 +143,7 @@ impl EngineBuilder {
             .into());
         }
         for (v, p) in self.profiles.iter().enumerate() {
-            let in_range = p.nodes().iter().all(|&l| (l as usize) < tax.len());
-            if !in_range || !tax.is_ancestor_closed(p.nodes()) {
+            if !profile_is_valid(&tax, p) {
                 return Err(BuildError::InvalidProfile { vertex: v as u32 }.into());
             }
         }
@@ -128,15 +152,21 @@ impl EngineBuilder {
             .or_else(|| std::thread::available_parallelism().ok())
             .map(NonZeroUsize::get)
             .unwrap_or(1);
+        let snapshot = Arc::new(SnapshotInner {
+            graph: Arc::new(graph),
+            profiles: Arc::new(self.profiles),
+            cores: Arc::new(OnceLock::new()),
+            index: OnceLock::new(),
+            epoch: 0,
+        });
         let engine = PcsEngine {
-            graph,
             tax,
-            profiles: self.profiles,
             index_mode: self.index_mode,
             index_build_threads: self.index_build_threads.max(1),
             batch_threads,
-            index: OnceLock::new(),
-            cores: OnceLock::new(),
+            patch_cap_fraction: self.patch_cap_fraction.unwrap_or(0.5),
+            state: RwLock::new(snapshot),
+            writer: Mutex::new(None),
         };
         if self.index_mode == IndexMode::Eager {
             engine.warm()?;
@@ -145,28 +175,54 @@ impl EngineBuilder {
     }
 }
 
+fn profile_is_valid(tax: &Taxonomy, p: &PTree) -> bool {
+    p.nodes().iter().all(|&l| (l as usize) < tax.len()) && tax.is_ancestor_closed(p.nodes())
+}
+
+/// The writer's mutable master copy of the data, kept in lockstep with
+/// the latest published snapshot. Materialized on the first `apply` so
+/// read-only engines pay nothing.
+struct WriterState {
+    graph: DynamicGraph,
+    cores: IncrementalCores,
+    profiles: Vec<PTree>,
+}
+
 /// An owned, `Send + Sync` profiled-community-search engine: the
 /// serving-ready facade over the paper's algorithms.
 ///
 /// Owns the graph, taxonomy, and profiles (so it can live in server
-/// state and cross threads), lazily builds and caches the CP-tree
-/// index and global core decomposition, and answers
-/// [`QueryRequest`]s — one at a time with [`query`](Self::query) or
-/// fanned out over scoped threads with
-/// [`query_batch`](Self::query_batch).
+/// state and cross threads), answers [`QueryRequest`]s — one at a time
+/// with [`query`](Self::query) or fanned out over scoped threads with
+/// [`query_batch`](Self::query_batch) — and absorbs live mutations
+/// through [`apply`](Self::apply).
+///
+/// # Snapshot semantics
+///
+/// All data lives in immutable epoch snapshots behind one
+/// atomically-swapped `Arc`. The read path takes no lock for the
+/// duration of a query: it clones the current `Arc` once and computes
+/// against that version even while a writer publishes the next one.
+/// Writers are serialized among themselves and maintain the core
+/// decomposition and CP-tree *incrementally* — only the vertices and
+/// labels an update can affect are revisited (bounded subcore
+/// traversals), falling back to targeted per-label rebuilds and
+/// finally to a full index rebuild as the delta grows.
 ///
 /// Internally each query still runs through the borrowed
 /// [`QueryContext`] layer, assembled per call via
 /// [`QueryContext::from_parts`] at zero recomputation cost.
 pub struct PcsEngine {
-    graph: Graph,
     tax: Taxonomy,
-    profiles: Vec<PTree>,
     index_mode: IndexMode,
     index_build_threads: usize,
     batch_threads: usize,
-    index: OnceLock<std::result::Result<CpTree, IndexError>>,
-    cores: OnceLock<CoreDecomposition>,
+    patch_cap_fraction: f64,
+    /// The current snapshot. Readers hold the read lock only long
+    /// enough to clone the `Arc`; writers only to swap it.
+    state: RwLock<Arc<SnapshotInner>>,
+    /// Serializes writers and owns the mutable master state.
+    writer: Mutex<Option<WriterState>>,
 }
 
 impl PcsEngine {
@@ -175,19 +231,9 @@ impl PcsEngine {
         EngineBuilder::new()
     }
 
-    /// The host graph.
-    pub fn graph(&self) -> &Graph {
-        &self.graph
-    }
-
-    /// The GP-tree.
+    /// The GP-tree (immutable across updates).
     pub fn taxonomy(&self) -> &Taxonomy {
         &self.tax
-    }
-
-    /// The per-vertex P-trees.
-    pub fn profiles(&self) -> &[PTree] {
-        &self.profiles
     }
 
     /// The configured index policy.
@@ -195,33 +241,46 @@ impl PcsEngine {
         self.index_mode
     }
 
-    /// The CP-tree index, if it has been built already. Never triggers
-    /// construction.
-    pub fn index(&self) -> Option<&CpTree> {
-        self.index.get().and_then(|r| r.as_ref().ok())
+    fn snapshot_arc(&self) -> Arc<SnapshotInner> {
+        self.state.read().expect("engine state lock poisoned").clone()
+    }
+
+    /// A consistent view of the engine at the current epoch. Cheap (one
+    /// `Arc` clone); never blocks writers beyond the pointer swap.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot { inner: self.snapshot_arc() }
+    }
+
+    /// The current epoch: 0 as built, +1 per published update batch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot_arc().epoch
+    }
+
+    /// True when the current snapshot holds a built CP-tree index.
+    /// Never triggers construction.
+    pub fn index_built(&self) -> bool {
+        self.snapshot_arc().index_if_built().is_some()
     }
 
     /// Forces construction of the index (policy permitting) and the
-    /// core decomposition, so the first query pays no warm-up cost.
-    /// Idempotent; cheap once everything is cached.
+    /// core decomposition on the current snapshot, so the next query
+    /// pays no warm-up cost. Idempotent; cheap once everything is
+    /// cached.
     pub fn warm(&self) -> Result<()> {
-        self.cores();
+        let snap = self.snapshot_arc();
+        snap.cores();
         if self.index_mode != IndexMode::Disabled {
-            self.ensure_index()?;
+            self.ensure_index(&snap)?;
         }
         Ok(())
     }
 
-    fn cores(&self) -> &CoreDecomposition {
-        self.cores.get_or_init(|| CoreDecomposition::new(&self.graph))
-    }
-
-    fn ensure_index(&self) -> Result<&CpTree> {
-        let built = self.index.get_or_init(|| {
+    fn ensure_index<'a>(&self, snap: &'a SnapshotInner) -> Result<&'a CpTree> {
+        let built = snap.index.get_or_init(|| {
             CpTree::build_with_threads(
-                &self.graph,
+                &snap.graph,
                 &self.tax,
-                &self.profiles,
+                &snap.profiles,
                 self.index_build_threads,
             )
         });
@@ -235,21 +294,26 @@ impl PcsEngine {
         algorithm.resolve(self.index_mode != IndexMode::Disabled)
     }
 
-    /// Answers one request.
+    /// Answers one request against the current snapshot.
     pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse> {
+        let snap = self.snapshot_arc();
+        self.query_on(&snap, request)
+    }
+
+    fn query_on(&self, snap: &SnapshotInner, request: &QueryRequest) -> Result<QueryResponse> {
         let algorithm = self.resolve_algorithm(request.requested_algorithm());
         let index = if algorithm.needs_index() {
             if self.index_mode == IndexMode::Disabled {
                 return Err(Error::IndexDisabled { algorithm: algorithm.name() });
             }
-            Some(self.ensure_index()?)
+            Some(self.ensure_index(snap)?)
         } else {
             // `basic` ignores the index, but an already-built one still
             // serves P-tree restoration; never *trigger* a build for it.
-            self.index()
+            snap.index_if_built()
         };
-        let cores = self.cores();
-        let ctx = QueryContext::from_parts(&self.graph, &self.tax, &self.profiles, index, cores)?;
+        let cores = snap.cores();
+        let ctx = QueryContext::from_parts(&snap.graph, &self.tax, &snap.profiles, index, cores)?;
         let start = Instant::now();
         let mut outcome = ctx.query(request.vertex_id(), request.degree_bound(), algorithm)?;
         let elapsed = start.elapsed();
@@ -265,21 +329,23 @@ impl PcsEngine {
             elapsed,
             stats,
             total_communities,
+            epoch: snap.epoch,
         })
     }
 
     /// Runs `f` against the borrowed paper-layer [`QueryContext`]
-    /// (sharing this engine's cached core decomposition and whatever
-    /// index is already built). The bridge for algorithms that are not
-    /// lifted into the request API yet — `truss_query`, the §5.3
-    /// metric variants — without giving up engine ownership.
+    /// (sharing the current snapshot's cached core decomposition and
+    /// whatever index is already built). The bridge for algorithms that
+    /// are not lifted into the request API yet — `truss_query`, the
+    /// §5.3 metric variants — without giving up engine ownership.
     pub fn with_context<R>(&self, f: impl FnOnce(&QueryContext<'_>) -> R) -> Result<R> {
+        let snap = self.snapshot_arc();
         let ctx = QueryContext::from_parts(
-            &self.graph,
+            &snap.graph,
             &self.tax,
-            &self.profiles,
-            self.index(),
-            self.cores(),
+            &snap.profiles,
+            snap.index_if_built(),
+            snap.cores(),
         )?;
         Ok(f(&ctx))
     }
@@ -287,20 +353,24 @@ impl PcsEngine {
     /// Answers a batch of requests, fanning out over scoped threads
     /// (up to the builder's `batch_threads`) while preserving request
     /// order in the returned vector: `out[i]` answers `requests[i]`.
+    ///
+    /// The whole batch runs against **one** snapshot: every response
+    /// carries the same epoch even when updates land mid-batch.
     pub fn query_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResponse>> {
+        let snap = self.snapshot_arc();
         // Warm shared state up front so workers never race a build
         // (OnceLock would serialize them anyway; this keeps the
         // per-request timings honest).
         if requests.iter().any(|r| self.resolve_algorithm(r.requested_algorithm()).needs_index())
             && self.index_mode != IndexMode::Disabled
         {
-            let _ = self.ensure_index();
+            let _ = self.ensure_index(&snap);
         }
-        self.cores();
+        snap.cores();
 
         let threads = self.batch_threads.min(requests.len()).max(1);
         if threads == 1 {
-            return requests.iter().map(|r| self.query(r)).collect();
+            return requests.iter().map(|r| self.query_on(&snap, r)).collect();
         }
         // Workers pull the next unclaimed request from a shared
         // counter, so one expensive cluster of queries cannot strand
@@ -308,6 +378,7 @@ impl PcsEngine {
         let mut out: Vec<Option<Result<QueryResponse>>> = Vec::new();
         out.resize_with(requests.len(), || None);
         let next = std::sync::atomic::AtomicUsize::new(0);
+        let snap = &snap;
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
@@ -316,7 +387,7 @@ impl PcsEngine {
                         loop {
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             let Some(req) = requests.get(i) else { break };
-                            answered.push((i, self.query(req)));
+                            answered.push((i, self.query_on(snap, req)));
                         }
                         answered
                     })
@@ -332,16 +403,246 @@ impl PcsEngine {
             .map(|slot| slot.expect("every request index was claimed by a worker"))
             .collect()
     }
+
+    // ------------------------------------------------------------------
+    // Update path
+    // ------------------------------------------------------------------
+
+    /// Inserts one edge; shorthand for a singleton [`apply`](Self::apply).
+    pub fn add_edge(&self, u: VertexId, v: VertexId) -> Result<UpdateReport> {
+        self.apply(&UpdateBatch::new().add_edge(u, v))
+    }
+
+    /// Removes one edge; shorthand for a singleton [`apply`](Self::apply).
+    pub fn remove_edge(&self, u: VertexId, v: VertexId) -> Result<UpdateReport> {
+        self.apply(&UpdateBatch::new().remove_edge(u, v))
+    }
+
+    /// Replaces one vertex profile; shorthand for a singleton
+    /// [`apply`](Self::apply).
+    pub fn update_profile(&self, vertex: VertexId, profile: PTree) -> Result<UpdateReport> {
+        self.apply(&UpdateBatch::new().set_profile(vertex, profile))
+    }
+
+    /// Applies a batch of mutations atomically and publishes a new
+    /// epoch snapshot.
+    ///
+    /// The batch is validated up front (any rejection leaves the engine
+    /// untouched), applied to the writer's master state with
+    /// incremental core maintenance (bounded subcore traversals per
+    /// edge, never a full re-decomposition), and published as one new
+    /// snapshot. Concurrent queries keep reading the previous epoch
+    /// until the swap; concurrent writers queue on an internal mutex.
+    ///
+    /// Index maintenance follows the builder's
+    /// [`incremental_patch_cap`](EngineBuilder::incremental_patch_cap):
+    /// a built index is cloned and patched label-by-label when the
+    /// invalidation set is small, rebuilt (eager) or dropped for lazy
+    /// reconstruction otherwise. See [`IndexMaintenance`].
+    ///
+    /// No-op operations (duplicate edge inserts, absent removals,
+    /// identical profiles) are counted in the report, not errors. A
+    /// batch of only no-ops publishes nothing and keeps the epoch.
+    pub fn apply(&self, batch: &UpdateBatch) -> Result<UpdateReport> {
+        let start = Instant::now();
+        let mut guard = self.writer.lock().expect("engine writer lock poisoned");
+        let snap = self.snapshot_arc();
+        let ws = guard.get_or_insert_with(|| WriterState {
+            graph: DynamicGraph::from_graph(&snap.graph),
+            cores: IncrementalCores::new(snap.cores().core_numbers().to_vec()),
+            profiles: snap.profiles.as_ref().clone(),
+        });
+        let n = ws.graph.num_vertices();
+        // Validate the whole batch before touching anything.
+        for op in batch.ops() {
+            match op {
+                Update::AddEdge { u, v } | Update::RemoveEdge { u, v } => {
+                    for &w in [u, v] {
+                        if w as usize >= n {
+                            return Err(UpdateError::VertexOutOfRange { vertex: w, n }.into());
+                        }
+                    }
+                    // Only an *insertion* can create a self-loop; a
+                    // self-loop removal names an edge that cannot exist
+                    // and falls through to the counted-no-op path, like
+                    // any other absent removal.
+                    if u == v && matches!(op, Update::AddEdge { .. }) {
+                        return Err(UpdateError::SelfLoop { vertex: *u }.into());
+                    }
+                }
+                Update::SetProfile { vertex, profile } => {
+                    if *vertex as usize >= n {
+                        return Err(UpdateError::VertexOutOfRange { vertex: *vertex, n }.into());
+                    }
+                    if !profile_is_valid(&self.tax, profile) {
+                        return Err(UpdateError::InvalidProfile { vertex: *vertex }.into());
+                    }
+                }
+            }
+        }
+        // Apply to the master state, collecting effective deltas.
+        let mut deltas: Vec<GraphDelta> = Vec::new();
+        let mut original_profiles: FxHashMap<VertexId, PTree> = FxHashMap::default();
+        let mut edges_added = 0usize;
+        let mut edges_removed = 0usize;
+        let mut noops = 0usize;
+        let mut cores_changed = 0usize;
+        for op in batch.ops() {
+            match op {
+                Update::AddEdge { u, v } => {
+                    if ws.graph.add_edge(*u, *v).expect("endpoints validated above") {
+                        cores_changed += ws.cores.on_edge_inserted(&ws.graph, *u, *v);
+                        deltas.push(GraphDelta::EdgeAdded { u: *u, v: *v });
+                        edges_added += 1;
+                    } else {
+                        noops += 1;
+                    }
+                }
+                Update::RemoveEdge { u, v } => {
+                    if ws.graph.remove_edge(*u, *v).expect("endpoints validated above") {
+                        cores_changed += ws.cores.on_edge_removed(&ws.graph, *u, *v);
+                        deltas.push(GraphDelta::EdgeRemoved { u: *u, v: *v });
+                        edges_removed += 1;
+                    } else {
+                        noops += 1;
+                    }
+                }
+                Update::SetProfile { vertex, profile } => {
+                    original_profiles
+                        .entry(*vertex)
+                        .or_insert_with(|| ws.profiles[*vertex as usize].clone());
+                    ws.profiles[*vertex as usize] = profile.clone();
+                }
+            }
+        }
+        // One net ProfileChanged delta per vertex: a sequence of writes
+        // ending where it started is a no-op.
+        let mut profiles_changed = 0usize;
+        let mut reprofiled: Vec<VertexId> = original_profiles.keys().copied().collect();
+        reprofiled.sort_unstable();
+        for v in reprofiled {
+            if original_profiles[&v] != ws.profiles[v as usize] {
+                deltas.push(GraphDelta::ProfileChanged { v });
+                profiles_changed += 1;
+            } else {
+                noops += 1;
+            }
+        }
+        if deltas.is_empty() {
+            return Ok(UpdateReport {
+                epoch: snap.epoch,
+                edges_added: 0,
+                edges_removed: 0,
+                profiles_changed: 0,
+                noops,
+                cores_changed: 0,
+                index: IndexMaintenance::Unchanged,
+                elapsed: start.elapsed(),
+            });
+        }
+        // Build the next snapshot from the master state. Only the
+        // components the batch touched are copied: an edge-only batch
+        // shares the previous epoch's profiles `Arc`, a profile-only
+        // batch shares its graph and cores. (Edge batches still pay an
+        // O(n + m) CSR export — the price of handing readers a flat
+        // immutable layout; the derived-state maintenance above it is
+        // what stays bounded.)
+        let edges_changed = edges_added + edges_removed > 0;
+        let graph =
+            if edges_changed { Arc::new(ws.graph.to_graph()) } else { Arc::clone(&snap.graph) };
+        let profiles = if profiles_changed > 0 {
+            Arc::new(ws.profiles.clone())
+        } else {
+            Arc::clone(&snap.profiles)
+        };
+        let cores = if edges_changed {
+            let cell = OnceLock::new();
+            let _ =
+                cell.set(CoreDecomposition::from_core_numbers(ws.cores.core_numbers().to_vec()));
+            Arc::new(cell)
+        } else {
+            Arc::clone(&snap.cores)
+        };
+        let index_cell: OnceLock<std::result::Result<CpTree, IndexError>> = OnceLock::new();
+        let rebuild =
+            || CpTree::build_with_threads(&graph, &self.tax, &profiles, self.index_build_threads);
+        let maintenance = if self.index_mode == IndexMode::Disabled {
+            IndexMaintenance::Disabled
+        } else {
+            match snap.index.get() {
+                Some(Ok(old)) => {
+                    // apply_batch re-derives this classification; both
+                    // passes are O(batch ops), not O(graph), so sharing
+                    // it isn't worth widening the index API.
+                    let touched = old.invalidation_set(&self.tax, &profiles, &deltas);
+                    let cap = self.patch_cap(old.num_populated_labels());
+                    if touched.len() <= cap {
+                        // The clone copies the whole index (O(index
+                        // size) memcpy) and the patch then rebuilds
+                        // only the touched labels — construction, not
+                        // copying, dominates CP-tree cost. Sharing
+                        // untouched labels via Arc<CpNode> would make
+                        // the copy proportional to the invalidation
+                        // set too; do that when profiling shows the
+                        // memcpy on large indexes.
+                        let mut patched = old.clone();
+                        let stats = patched.apply_batch(&graph, &self.tax, &profiles, &deltas);
+                        let _ = index_cell.set(Ok(patched));
+                        IndexMaintenance::Patched(stats)
+                    } else if self.index_mode == IndexMode::Eager {
+                        let _ = index_cell.set(rebuild());
+                        IndexMaintenance::Rebuilt
+                    } else {
+                        IndexMaintenance::Deferred
+                    }
+                }
+                _ => {
+                    if self.index_mode == IndexMode::Eager {
+                        let _ = index_cell.set(rebuild());
+                        IndexMaintenance::Rebuilt
+                    } else {
+                        IndexMaintenance::NotBuilt
+                    }
+                }
+            }
+        };
+        let epoch = snap.epoch + 1;
+        let next = Arc::new(SnapshotInner { graph, profiles, cores, index: index_cell, epoch });
+        *self.state.write().expect("engine state lock poisoned") = next;
+        Ok(UpdateReport {
+            epoch,
+            edges_added,
+            edges_removed,
+            profiles_changed,
+            noops,
+            cores_changed,
+            index: maintenance,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// How many labels an update batch may invalidate before the engine
+    /// abandons incremental patching. A floor of 4 keeps tiny indexes
+    /// on the incremental path, except at fraction 0.0, which is the
+    /// documented "never patch" switch and must stay absolute.
+    fn patch_cap(&self, populated_labels: usize) -> usize {
+        if self.patch_cap_fraction == 0.0 {
+            return 0;
+        }
+        ((populated_labels as f64 * self.patch_cap_fraction).ceil() as usize).max(4)
+    }
 }
 
 impl std::fmt::Debug for PcsEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot_arc();
         f.debug_struct("PcsEngine")
-            .field("vertices", &self.graph.num_vertices())
-            .field("edges", &self.graph.num_edges())
+            .field("epoch", &snap.epoch)
+            .field("vertices", &snap.graph.num_vertices())
+            .field("edges", &snap.graph.num_edges())
             .field("labels", &self.tax.len())
             .field("index_mode", &self.index_mode)
-            .field("index_built", &self.index.get().is_some())
+            .field("index_built", &snap.index.get().is_some())
             .field("batch_threads", &self.batch_threads)
             .finish()
     }

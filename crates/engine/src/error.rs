@@ -1,5 +1,6 @@
 //! The unified error type of the serving facade.
 
+use crate::update::UpdateError;
 use pcs_core::PcsError;
 use pcs_index::IndexError;
 use std::fmt;
@@ -30,6 +31,9 @@ pub enum Error {
         /// Display name of the algorithm that needed the index.
         algorithm: &'static str,
     },
+    /// An [`UpdateBatch`](crate::UpdateBatch) failed validation; the
+    /// engine state is unchanged.
+    Update(UpdateError),
 }
 
 impl fmt::Display for Error {
@@ -43,6 +47,7 @@ impl fmt::Display for Error {
                 "algorithm {algorithm} needs the CP-tree index, but this engine was \
                  built with IndexMode::Disabled"
             ),
+            Error::Update(e) => write!(f, "update rejected: {e}"),
         }
     }
 }
@@ -53,6 +58,7 @@ impl std::error::Error for Error {
             Error::Build(e) => Some(e),
             Error::Query(e) => Some(e),
             Error::Index(e) => Some(e),
+            Error::Update(e) => Some(e),
             _ => None,
         }
     }
@@ -81,6 +87,12 @@ impl From<BuildError> for Error {
     }
 }
 
+impl From<UpdateError> for Error {
+    fn from(e: UpdateError) -> Self {
+        Error::Update(e)
+    }
+}
+
 /// Validation failures raised by
 /// [`EngineBuilder::build`](crate::EngineBuilder::build).
 ///
@@ -105,6 +117,16 @@ pub enum BuildError {
         /// The vertex whose profile failed validation.
         vertex: u32,
     },
+    /// The supplied graph violates a CSR structural invariant
+    /// (self-loop, duplicate edge, asymmetric or unsorted adjacency).
+    /// Graphs built through [`pcs_graph::Graph::from_edges`] are always
+    /// canonical; this guards foreign layouts adopted via
+    /// [`pcs_graph::Graph::from_csr`]-style paths so corruption is
+    /// rejected at build time instead of being silently indexed.
+    MalformedGraph {
+        /// Description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -119,6 +141,9 @@ impl fmt::Display for BuildError {
             }
             BuildError::InvalidProfile { vertex } => {
                 write!(f, "profile of vertex {vertex} is not a valid subtree of the taxonomy")
+            }
+            BuildError::MalformedGraph { detail } => {
+                write!(f, "graph failed structural validation: {detail}")
             }
         }
     }

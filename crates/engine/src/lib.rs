@@ -9,13 +9,22 @@
 //!
 //! * [`PcsEngine`] — owns graph + taxonomy + profiles, is
 //!   `Send + Sync`, and caches the CP-tree index and core
-//!   decomposition behind [`std::sync::OnceLock`].
+//!   decomposition per epoch snapshot.
 //! * [`EngineBuilder`] — validates everything once at build time.
 //! * [`QueryRequest`] / [`QueryResponse`] — an extensible
 //!   request/response pair replacing positional arguments, with
-//!   wall-clock timing and index-usage metadata on every answer.
+//!   wall-clock timing, index-usage, and epoch metadata on every
+//!   answer.
+//! * [`UpdateBatch`] / [`UpdateReport`] — live mutations
+//!   (`add_edge`, `remove_edge`, `update_profile`, batched
+//!   [`apply`](PcsEngine::apply)) with **incremental** maintenance of
+//!   the core decomposition and CP-tree index: only the vertices and
+//!   labels an update can affect are revisited.
+//! * [`EngineSnapshot`] — a consistent immutable view at one epoch;
+//!   queries are lock-free against the snapshot current when they
+//!   started, while updates publish the next epoch.
 //! * [`Error`] — one `#[non_exhaustive]` [`std::error::Error`]
-//!   wrapping query, index, and validation failures.
+//!   wrapping query, index, update, and validation failures.
 //!
 //! ```
 //! use pcs_engine::{PcsEngine, QueryRequest};
@@ -45,10 +54,14 @@
 mod engine;
 mod error;
 mod request;
+mod snapshot;
+mod update;
 
 pub use engine::{EngineBuilder, IndexMode, PcsEngine};
 pub use error::{BuildError, Error, Result};
 pub use request::{QueryRequest, QueryResponse};
+pub use snapshot::EngineSnapshot;
+pub use update::{IndexMaintenance, Update, UpdateBatch, UpdateError, UpdateReport};
 
 // The facade re-exports the algorithm selector so callers need only
 // this crate for the common path.

@@ -120,6 +120,12 @@ pub struct QueryResponse {
     pub stats: Option<QueryStats>,
     /// How many communities the search found before truncation.
     pub total_communities: usize,
+    /// Epoch of the snapshot that answered this query. Responses from
+    /// one [`query_batch`](crate::PcsEngine::query_batch) call always
+    /// share an epoch; comparing against
+    /// [`PcsEngine::epoch`](crate::PcsEngine::epoch) tells whether the
+    /// answer is already stale relative to concurrent updates.
+    pub epoch: u64,
 }
 
 impl QueryResponse {

@@ -1,0 +1,100 @@
+//! Epoch snapshots: the engine's lock-free read path.
+//!
+//! Every mutation publishes a fresh immutable [`SnapshotInner`] behind
+//! an `Arc`; queries clone the current `Arc` once and then read without
+//! any synchronization. In-flight queries keep the snapshot they
+//! started on alive until they finish, so a writer can never yank state
+//! out from under a reader — the epoch number stamped on every
+//! [`QueryResponse`](crate::QueryResponse) says exactly which graph
+//! version answered.
+
+use pcs_graph::core::CoreDecomposition;
+use pcs_graph::Graph;
+use pcs_index::{CpTree, IndexError};
+use pcs_ptree::PTree;
+use std::sync::{Arc, OnceLock};
+
+/// One immutable version of the engine's data: graph, profiles, and the
+/// lazily materialized derived state (core decomposition, CP-tree).
+///
+/// The big components sit behind their own `Arc`s so publication cost
+/// tracks what a batch actually changed: an edge-only batch shares the
+/// previous epoch's profiles, a profile-only batch shares its graph
+/// *and* cores, and only the touched component is deep-copied.
+pub(crate) struct SnapshotInner {
+    pub(crate) graph: Arc<Graph>,
+    pub(crate) profiles: Arc<Vec<PTree>>,
+    /// Computed on first use; update batches with edge changes publish
+    /// it pre-seeded from the incrementally maintained master copy,
+    /// profile-only batches share the previous epoch's cell.
+    pub(crate) cores: Arc<OnceLock<CoreDecomposition>>,
+    /// Built lazily (policy permitting); update batches publish it
+    /// pre-seeded when incremental patching or an eager rebuild ran.
+    pub(crate) index: OnceLock<std::result::Result<CpTree, IndexError>>,
+    pub(crate) epoch: u64,
+}
+
+impl SnapshotInner {
+    /// The core decomposition of this snapshot's graph.
+    pub(crate) fn cores(&self) -> &CoreDecomposition {
+        self.cores.get_or_init(|| CoreDecomposition::new(&self.graph))
+    }
+
+    /// The CP-tree, if this snapshot has one built already.
+    pub(crate) fn index_if_built(&self) -> Option<&CpTree> {
+        self.index.get().and_then(|r| r.as_ref().ok())
+    }
+}
+
+/// A consistent, immutable view of the engine at one epoch.
+///
+/// Obtained from [`PcsEngine::snapshot`](crate::PcsEngine::snapshot);
+/// cheap to clone (one `Arc`). All accessors borrow from the same
+/// version: a concurrent [`apply`](crate::PcsEngine::apply) can never
+/// make `graph()` and `profiles()` disagree. Holding a snapshot only
+/// pins memory — it never blocks writers.
+#[derive(Clone)]
+pub struct EngineSnapshot {
+    pub(crate) inner: Arc<SnapshotInner>,
+}
+
+impl EngineSnapshot {
+    /// The graph at this epoch.
+    pub fn graph(&self) -> &Graph {
+        &self.inner.graph
+    }
+
+    /// The per-vertex P-trees at this epoch.
+    pub fn profiles(&self) -> &[PTree] {
+        &self.inner.profiles
+    }
+
+    /// The core decomposition at this epoch (computed on first call if
+    /// no query has needed it yet).
+    pub fn cores(&self) -> &CoreDecomposition {
+        self.inner.cores()
+    }
+
+    /// The CP-tree index at this epoch, if built. Never triggers
+    /// construction.
+    pub fn index(&self) -> Option<&CpTree> {
+        self.inner.index_if_built()
+    }
+
+    /// The epoch counter: 0 for the engine as built, +1 per published
+    /// update batch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+}
+
+impl std::fmt::Debug for EngineSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineSnapshot")
+            .field("epoch", &self.inner.epoch)
+            .field("vertices", &self.inner.graph.num_vertices())
+            .field("edges", &self.inner.graph.num_edges())
+            .field("index_built", &self.inner.index.get().is_some())
+            .finish()
+    }
+}

@@ -82,11 +82,11 @@ fn builder_rejects_profiles_outside_taxonomy() {
 fn auto_resolves_to_advp_when_index_allowed() {
     let engine = engine_with(IndexMode::Lazy);
     assert_eq!(engine.resolve_algorithm(Algorithm::Auto), Algorithm::AdvP);
-    assert!(engine.index().is_none(), "lazy mode builds nothing up front");
+    assert!(!engine.index_built(), "lazy mode builds nothing up front");
     let resp = engine.query(&QueryRequest::vertex(0).k(2)).unwrap();
     assert_eq!(resp.algorithm, Algorithm::AdvP);
     assert!(resp.index_used);
-    assert!(engine.index().is_some(), "first Auto query built the index");
+    assert!(engine.index_built(), "first Auto query built the index");
 }
 
 #[test]
@@ -96,7 +96,7 @@ fn auto_resolves_to_basic_when_index_disabled() {
     let resp = engine.query(&QueryRequest::vertex(0).k(2)).unwrap();
     assert_eq!(resp.algorithm, Algorithm::Basic);
     assert!(!resp.index_used);
-    assert!(engine.index().is_none());
+    assert!(!engine.index_built());
 }
 
 #[test]
@@ -122,7 +122,7 @@ fn explicit_index_algorithm_on_disabled_engine_errors() {
 #[test]
 fn eager_mode_builds_index_at_construction() {
     let engine = engine_with(IndexMode::Eager);
-    assert!(engine.index().is_some());
+    assert!(engine.index_built());
 }
 
 #[test]

@@ -82,6 +82,14 @@ impl CoreDecomposition {
         CoreDecomposition { core: degree, max_core }
     }
 
+    /// Adopts an externally maintained core-number array (e.g. one kept
+    /// up to date by [`crate::IncrementalCores`] across edge updates),
+    /// recomputing only the cached maximum. O(n).
+    pub fn from_core_numbers(core: Vec<u32>) -> Self {
+        let max_core = core.iter().copied().max().unwrap_or(0);
+        CoreDecomposition { core, max_core }
+    }
+
     /// Core number of `v`.
     #[inline]
     pub fn core_number(&self, v: VertexId) -> u32 {

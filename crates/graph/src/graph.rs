@@ -46,6 +46,77 @@ impl Graph {
         Ok(builder.build())
     }
 
+    /// Adopts prebuilt CSR arrays, validating every structural
+    /// invariant first (see [`Graph::validate`]).
+    ///
+    /// Unlike [`Graph::from_edges`], nothing is silently canonicalized:
+    /// a self-loop, duplicate edge, unsorted adjacency list, or
+    /// asymmetric half-edge is rejected with
+    /// [`GraphError::MalformedGraph`]. Use this when ingesting
+    /// externally produced layouts (mmap'd files, wire formats) where
+    /// silent repair would hide upstream corruption.
+    pub fn from_csr(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Result<Self> {
+        let g = Graph { offsets, neighbors };
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Adopts CSR arrays whose invariants are guaranteed by
+    /// construction (e.g. [`crate::DynamicGraph::to_graph`]).
+    pub(crate) fn from_csr_unchecked(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
+        let g = Graph { offsets, neighbors };
+        debug_assert!(g.validate().is_ok(), "from_csr_unchecked received a malformed layout");
+        g
+    }
+
+    /// Checks the CSR structural invariants: a monotone offset array
+    /// bounding `neighbors` exactly, in-range endpoints, sorted
+    /// duplicate-free adjacency lists, no self-loops, and symmetric
+    /// half-edges. O(m log d). Always `Ok` for graphs built through
+    /// [`Graph::from_edges`] / [`GraphBuilder`]; exists so adopters of
+    /// foreign layouts ([`Graph::from_csr`], engine builders) can
+    /// reject corrupt input instead of silently indexing it.
+    pub fn validate(&self) -> Result<()> {
+        let malformed = |detail: String| GraphError::MalformedGraph { detail };
+        if self.offsets.is_empty() {
+            return Err(malformed("offsets array is empty".into()));
+        }
+        if self.offsets[0] != 0 || *self.offsets.last().unwrap() != self.neighbors.len() {
+            return Err(malformed(format!(
+                "offsets must span [0, {}], got [{}, {}]",
+                self.neighbors.len(),
+                self.offsets[0],
+                self.offsets.last().unwrap()
+            )));
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(malformed("offsets array is not monotone".into()));
+        }
+        let n = self.num_vertices();
+        for v in 0..n as VertexId {
+            let list = self.neighbors(v);
+            for pair in list.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(malformed(format!(
+                        "adjacency list of {v} is unsorted or holds a duplicate edge"
+                    )));
+                }
+            }
+            for &u in list {
+                if u as usize >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: u as u64, n });
+                }
+                if u == v {
+                    return Err(malformed(format!("self-loop at vertex {v}")));
+                }
+                if self.neighbors(u).binary_search(&v).is_err() {
+                    return Err(malformed(format!("half-edge {v}->{u} has no reverse")));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -297,6 +368,33 @@ mod tests {
         assert_eq!(ids, vec![0, 2, 3]);
         assert_eq!(sub.num_edges(), 1); // only 2-3 survives
         assert!(sub.has_edge(1, 2)); // new ids of old 2,3
+    }
+
+    #[test]
+    fn from_csr_accepts_canonical_layout() {
+        let g = path(4);
+        let rebuilt = Graph::from_csr(g.offsets.clone(), g.neighbors.clone()).unwrap();
+        assert_eq!(rebuilt, g);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn from_csr_rejects_self_loops_duplicates_and_asymmetry() {
+        // Self-loop at vertex 0.
+        let err = Graph::from_csr(vec![0, 1, 1], vec![0]).unwrap_err();
+        assert!(matches!(err, GraphError::MalformedGraph { .. }), "{err}");
+        assert!(err.to_string().contains("self-loop"));
+        // Duplicate edge 0-1 stored twice on one side.
+        let err = Graph::from_csr(vec![0, 2, 4], vec![1, 1, 0, 0]).unwrap_err();
+        assert!(err.to_string().contains("duplicate") || err.to_string().contains("unsorted"));
+        // Half-edge without its reverse.
+        let err = Graph::from_csr(vec![0, 1, 1], vec![1]).unwrap_err();
+        assert!(err.to_string().contains("reverse"));
+        // Offsets not spanning the neighbor array.
+        assert!(Graph::from_csr(vec![0, 1], vec![]).is_err());
+        // Out-of-range endpoint.
+        let err = Graph::from_csr(vec![0, 1, 2], vec![5, 0]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, n: 2 }));
     }
 
     #[test]

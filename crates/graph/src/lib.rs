@@ -40,6 +40,7 @@
 pub mod bitset;
 pub mod components;
 pub mod core;
+pub mod dynamic;
 pub mod gen;
 pub mod graph;
 pub mod hash;
@@ -50,6 +51,7 @@ pub mod unionfind;
 pub use bitset::{BitSet, EpochSet};
 pub use components::{component_containing, connected_components};
 pub use core::{CoreDecomposition, SubsetCore};
+pub use dynamic::{demoted_by_deletion, promoted_by_insertion, DynamicGraph, IncrementalCores};
 pub use graph::{Graph, GraphBuilder, VertexId};
 pub use hash::{FxHashMap, FxHashSet};
 pub use truss::{SubsetTruss, TrussDecomposition};
@@ -74,6 +76,18 @@ pub enum GraphError {
     },
     /// An I/O error surfaced while reading or writing a graph file.
     Io(String),
+    /// A mutation would create a self-loop, which no PCS algorithm
+    /// supports.
+    SelfLoop {
+        /// The vertex named by both endpoints.
+        vertex: u32,
+    },
+    /// A foreign CSR layout violated a structural invariant
+    /// (see [`Graph::validate`]).
+    MalformedGraph {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -86,6 +100,12 @@ impl std::fmt::Display for GraphError {
                 write!(f, "edge list parse error at line {line}: {message}")
             }
             GraphError::Io(e) => write!(f, "graph i/o error: {e}"),
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at vertex {vertex} is not allowed")
+            }
+            GraphError::MalformedGraph { detail } => {
+                write!(f, "malformed graph: {detail}")
+            }
         }
     }
 }

@@ -182,16 +182,19 @@ impl ClTree {
         Some(self.node_of[i])
     }
 
-    /// The k-ĉore containing `q` (sorted), or `None` when `q` is absent
-    /// or its core number is below `k`.
+    /// The forest node whose subtree *is* the k-ĉore of `q`: the
+    /// shallowest ancestor of `q`'s node still at core level ≥ `k`.
+    /// `None` when `q` is absent or its core number is below `k`.
     ///
-    /// Runs in O(path-to-ancestor + answer size).
-    pub fn get(&self, q: VertexId, k: u32) -> Option<Vec<VertexId>> {
+    /// Two vertices lie in the same k-ĉore iff they report the same
+    /// summit — an O(max_core) containment test without collecting the
+    /// ĉore itself, used by the incremental CP-tree maintenance to
+    /// prove an edge insertion merges nothing.
+    pub fn summit(&self, q: VertexId, k: u32) -> Option<u32> {
         let i = self.members.binary_search(&q).ok()?;
         if self.core_of[i] < k {
             return None;
         }
-        // Climb to the shallowest ancestor still at level >= k.
         let mut cur = self.node_of[i];
         loop {
             let p = self.nodes[cur as usize].parent;
@@ -200,6 +203,15 @@ impl ClTree {
             }
             cur = p;
         }
+        Some(cur)
+    }
+
+    /// The k-ĉore containing `q` (sorted), or `None` when `q` is absent
+    /// or its core number is below `k`.
+    ///
+    /// Runs in O(path-to-ancestor + answer size).
+    pub fn get(&self, q: VertexId, k: u32) -> Option<Vec<VertexId>> {
+        let cur = self.summit(q, k)?;
         // Collect the subtree.
         let mut out = Vec::new();
         let mut stack = vec![cur];
@@ -370,6 +382,27 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn summit_identifies_shared_cores() {
+        let g = figure4();
+        let t = ClTree::build(&g);
+        // A and D share the 3-ĉore {A,B,D,E}; C is outside it.
+        assert_eq!(t.summit(0, 3), t.summit(3, 3));
+        assert!(t.summit(2, 3).is_none());
+        // At k=2 the whole graph is one ĉore.
+        assert_eq!(t.summit(2, 2), t.summit(6, 2));
+        // Summit's subtree equals get().
+        let nid = t.summit(0, 3).unwrap();
+        let mut collected = Vec::new();
+        let mut stack = vec![nid];
+        while let Some(id) = stack.pop() {
+            collected.extend_from_slice(&t.node(id).vertices);
+            stack.extend_from_slice(&t.node(id).children);
+        }
+        collected.sort_unstable();
+        assert_eq!(collected, t.get(0, 3).unwrap());
     }
 
     #[test]

@@ -10,11 +10,53 @@
 //! in the paper; the per-label CL-trees are independent, so construction
 //! optionally fans out across threads.
 
+use pcs_graph::{demoted_by_deletion, promoted_by_insertion, FxHashMap, FxHashSet};
 use pcs_graph::{Graph, VertexId};
 use pcs_ptree::{LabelId, PTree, Taxonomy};
 
 use crate::cltree::ClTree;
 use crate::{IndexError, Result};
+
+/// One applied change to the underlying profiled graph, as reported to
+/// the index for incremental maintenance. Deltas describe *effective*
+/// changes only — no-ops (duplicate insertions, absent removals,
+/// identical profile writes) must be filtered out by the caller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphDelta {
+    /// The undirected edge `{u, v}` was inserted.
+    EdgeAdded {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
+    /// The undirected edge `{u, v}` was removed.
+    EdgeRemoved {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
+    /// Vertex `v`'s P-tree was replaced (at most one such delta per
+    /// vertex per batch, describing the net old → new change).
+    ProfileChanged {
+        /// The vertex whose profile changed.
+        v: VertexId,
+    },
+}
+
+/// What [`CpTree::apply_batch`] did, label by label.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CpPatchStats {
+    /// Labels whose induced subgraph was touched by at least one delta
+    /// (the invalidation set).
+    pub labels_touched: usize,
+    /// Touched labels whose CL-tree was actually rebuilt.
+    pub labels_rebuilt: usize,
+    /// Touched labels proven unchanged by the bounded traversal check
+    /// and left as-is.
+    pub labels_skipped: usize,
+}
 
 /// One CP-tree node: a taxonomy label plus the CL-tree of its induced
 /// subgraph.
@@ -156,6 +198,242 @@ impl CpTree {
     pub fn restore_ptree(&self, tax: &Taxonomy, v: VertexId) -> PTree {
         PTree::from_labels(tax, self.head_map[v as usize].iter().copied())
             .expect("headMap labels always come from the build taxonomy")
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental maintenance (the serving engine's update path)
+    // ------------------------------------------------------------------
+
+    /// All labels carried by `v` according to the index itself: the
+    /// upward closure of its `headMap` leaves. This is exactly
+    /// `T(v).nodes()` for the profiles the index was built from, so it
+    /// reflects the *pre-batch* state while a patch is being planned.
+    fn carried_labels(&self, tax: &Taxonomy, v: VertexId) -> FxHashSet<LabelId> {
+        let mut out = FxHashSet::default();
+        out.insert(Taxonomy::ROOT);
+        for &leaf in &self.head_map[v as usize] {
+            for a in tax.ancestors_inclusive(leaf) {
+                if !out.insert(a) {
+                    break; // the rest of the path is already present
+                }
+            }
+        }
+        out
+    }
+
+    /// The labels whose CP-tree node a batch of deltas can possibly
+    /// affect, deduplicated and sorted.
+    ///
+    /// An edge `{u, v}` exists in a label's induced subgraph only when
+    /// *both* endpoints carry the label, so an edge delta touches
+    /// `T(u) ∩ T(v)`; a profile delta touches the symmetric difference
+    /// of the old and new label sets. Labels outside this set keep
+    /// their CL-trees verbatim — the whole point of the incremental
+    /// path. Callers use the set's size to decide between patching
+    /// ([`CpTree::apply_batch`]) and a full rebuild.
+    pub fn invalidation_set(
+        &self,
+        tax: &Taxonomy,
+        profiles_after: &[PTree],
+        deltas: &[GraphDelta],
+    ) -> Vec<LabelId> {
+        let mut touched: FxHashSet<LabelId> = FxHashSet::default();
+        let mut carried_memo: FxHashMap<VertexId, FxHashSet<LabelId>> = FxHashMap::default();
+        for delta in deltas {
+            match *delta {
+                GraphDelta::EdgeAdded { u, v } | GraphDelta::EdgeRemoved { u, v } => {
+                    for w in [u, v] {
+                        carried_memo.entry(w).or_insert_with(|| self.carried_labels(tax, w));
+                    }
+                    let (cu, cv) = (&carried_memo[&u], &carried_memo[&v]);
+                    touched.extend(cu.intersection(cv).copied());
+                }
+                GraphDelta::ProfileChanged { v } => {
+                    let old = self.carried_labels(tax, v);
+                    let new: FxHashSet<LabelId> =
+                        profiles_after[v as usize].nodes().iter().copied().collect();
+                    touched.extend(old.symmetric_difference(&new).copied());
+                }
+            }
+        }
+        let mut out: Vec<LabelId> = touched.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// True when the single edge change `{u, v}` (inserted when
+    /// `added`) provably leaves `label`'s CL-tree unchanged.
+    ///
+    /// Both tests are bounded traversals of the label's induced
+    /// subgraph, never O(n):
+    ///
+    /// * **Insertion** is a no-op iff no member's subgraph core number
+    ///   rises ([`promoted_by_insertion`] over the label-filtered
+    ///   adjacency returns nothing) *and* the endpoints already shared
+    ///   their `min(core)`-ĉore (same [`ClTree::summit`]), so no ĉores
+    ///   merge at any level.
+    /// * **Removal** is a no-op iff no member's core number drops *and*
+    ///   the endpoints are still connected within the
+    ///   `min(core)`-level members, so no ĉore splits.
+    fn edge_change_preserves_label(
+        &self,
+        g_after: &Graph,
+        label: LabelId,
+        u: VertexId,
+        v: VertexId,
+        added: bool,
+    ) -> bool {
+        let Some(node) = self.node(label) else {
+            return false;
+        };
+        let cl = &node.cl;
+        let (Some(cu), Some(cv)) = (cl.core_of(u), cl.core_of(v)) else {
+            return false;
+        };
+        let k = cu.min(cv);
+        let adj =
+            |w: VertexId| g_after.neighbors(w).iter().copied().filter(|&z| cl.contains_vertex(z));
+        let core = |w: VertexId| cl.core_of(w).expect("adjacency filtered to members");
+        if added {
+            if cl.summit(u, k) != cl.summit(v, k) {
+                return false; // two ĉores merge at level ≤ k
+            }
+            promoted_by_insertion(u, v, adj, core).is_empty()
+        } else {
+            if !demoted_by_deletion(u, v, adj, core).is_empty() {
+                return false;
+            }
+            // Still connected within the k-level members? (Connectivity
+            // at level k implies connectivity at every level below it.)
+            let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+            let mut stack = vec![u];
+            seen.insert(u);
+            while let Some(w) = stack.pop() {
+                if w == v {
+                    return true;
+                }
+                for z in adj(w) {
+                    if core(z) >= k && seen.insert(z) {
+                        stack.push(z);
+                    }
+                }
+            }
+            false
+        }
+    }
+
+    /// Applies a batch of effective graph deltas in place, rebuilding
+    /// only the CL-trees that can have changed.
+    ///
+    /// `g_after` and `profiles_after` describe the graph **after** the
+    /// whole batch; `deltas` lists the applied changes (no no-ops, and
+    /// at most one [`GraphDelta::ProfileChanged`] per vertex). Labels
+    /// outside the [invalidation set](CpTree::invalidation_set) are
+    /// untouched. A label touched by exactly one edge delta and no
+    /// profile delta first runs the bounded no-op check and keeps its
+    /// CL-tree when the change provably cannot alter it (frequent for
+    /// intra-community edges); everything else is rebuilt from
+    /// `g_after` via [`ClTree::build_on_subset`].
+    ///
+    /// The result is semantically identical to a fresh
+    /// [`CpTree::build`] on the post-batch inputs (the differential
+    /// suite in `tests/incremental_vs_rebuild.rs` enforces this).
+    pub fn apply_batch(
+        &mut self,
+        g_after: &Graph,
+        tax: &Taxonomy,
+        profiles_after: &[PTree],
+        deltas: &[GraphDelta],
+    ) -> CpPatchStats {
+        debug_assert_eq!(self.n, g_after.num_vertices(), "vertex set is fixed");
+        debug_assert_eq!(self.n, profiles_after.len());
+        // Pass 1: classify touched labels. Edge-touched labels count
+        // their deltas (and remember the last one) so the no-op check
+        // only runs when it is sound: exactly one edge change and no
+        // membership change for that label.
+        let mut edge_touch: FxHashMap<LabelId, (usize, (VertexId, VertexId, bool))> =
+            FxHashMap::default();
+        let mut profile_touch: FxHashSet<LabelId> = FxHashSet::default();
+        let mut member_add: FxHashMap<LabelId, Vec<VertexId>> = FxHashMap::default();
+        let mut member_remove: FxHashMap<LabelId, Vec<VertexId>> = FxHashMap::default();
+        let mut profile_vertices: Vec<VertexId> = Vec::new();
+        let mut carried_memo: FxHashMap<VertexId, FxHashSet<LabelId>> = FxHashMap::default();
+        for delta in deltas {
+            match *delta {
+                GraphDelta::EdgeAdded { u, v } | GraphDelta::EdgeRemoved { u, v } => {
+                    let added = matches!(delta, GraphDelta::EdgeAdded { .. });
+                    for w in [u, v] {
+                        carried_memo.entry(w).or_insert_with(|| self.carried_labels(tax, w));
+                    }
+                    let (cu, cv) = (&carried_memo[&u], &carried_memo[&v]);
+                    for &label in cu.intersection(cv) {
+                        let entry = edge_touch.entry(label).or_insert((0, (u, v, added)));
+                        entry.0 += 1;
+                        entry.1 = (u, v, added);
+                    }
+                }
+                GraphDelta::ProfileChanged { v } => {
+                    debug_assert!(
+                        !profile_vertices.contains(&v),
+                        "one ProfileChanged delta per vertex"
+                    );
+                    profile_vertices.push(v);
+                    let old = self.carried_labels(tax, v);
+                    let new: FxHashSet<LabelId> =
+                        profiles_after[v as usize].nodes().iter().copied().collect();
+                    for &label in new.difference(&old) {
+                        profile_touch.insert(label);
+                        member_add.entry(label).or_default().push(v);
+                    }
+                    for &label in old.difference(&new) {
+                        profile_touch.insert(label);
+                        member_remove.entry(label).or_default().push(v);
+                    }
+                }
+            }
+        }
+        // Pass 2: decide, per touched label, between skip and rebuild.
+        // Decisions read only pre-batch state, so order is irrelevant.
+        let mut rebuild: Vec<LabelId> = profile_touch.iter().copied().collect();
+        let mut stats =
+            CpPatchStats { labels_touched: profile_touch.len(), ..CpPatchStats::default() };
+        for (&label, &(count, (u, v, added))) in &edge_touch {
+            if profile_touch.contains(&label) {
+                continue; // already queued for rebuild
+            }
+            stats.labels_touched += 1;
+            if count == 1 && self.edge_change_preserves_label(g_after, label, u, v, added) {
+                stats.labels_skipped += 1;
+            } else {
+                rebuild.push(label);
+            }
+        }
+        rebuild.sort_unstable();
+        // Pass 3: rebuild.
+        for label in rebuild {
+            let mut verts = match self.nodes[label as usize].take() {
+                Some(node) => node.vertices,
+                None => Vec::new(),
+            };
+            if let Some(removed) = member_remove.get(&label) {
+                verts.retain(|v| !removed.contains(v));
+            }
+            if let Some(added) = member_add.get(&label) {
+                verts.extend_from_slice(added);
+                verts.sort_unstable();
+            }
+            stats.labels_rebuilt += 1;
+            if verts.is_empty() {
+                continue; // node stays vacated
+            }
+            let cl = ClTree::build_on_subset(g_after, &verts);
+            self.nodes[label as usize] = Some(CpNode { label, vertices: verts, cl });
+        }
+        // Pass 4: refresh the headMap for re-profiled vertices.
+        for v in profile_vertices {
+            self.head_map[v as usize] = profiles_after[v as usize].leaves(tax);
+        }
+        stats
     }
 
     /// Approximate heap footprint in bytes (for the paper's space-cost
@@ -340,6 +618,188 @@ mod tests {
         assert!(idx.node(lonely).is_none());
         assert!(idx.get(0, 0, lonely).is_none());
         assert!(idx.vertices_with_label(lonely).is_empty());
+    }
+
+    /// The incremental contract: after `apply_batch`, the index must be
+    /// indistinguishable from a fresh build through its whole query
+    /// surface (per-label vertex lists, every `get`, `headMap`).
+    fn assert_semantically_equal(a: &CpTree, b: &CpTree, tax: &Taxonomy, n: usize) {
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.num_populated_labels(), b.num_populated_labels());
+        for v in 0..n as u32 {
+            assert_eq!(a.restore_ptree(tax, v), b.restore_ptree(tax, v), "headMap of {v}");
+        }
+        for label in 0..tax.len() as u32 {
+            assert_eq!(
+                a.vertices_with_label(label),
+                b.vertices_with_label(label),
+                "members of label {label}"
+            );
+            for &q in a.vertices_with_label(label) {
+                for k in 0..8 {
+                    assert_eq!(a.get(k, q, label), b.get(k, q, label), "label={label} q={q} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_batch_edge_deltas_match_rebuild() {
+        let (g, t, profiles) = figure1();
+        let mut idx = CpTree::build(&g, &t, &profiles).unwrap();
+        // Add C-E (promotes C inside several labels) and remove F-H.
+        let mut dyn_g = pcs_graph::DynamicGraph::from_graph(&g);
+        dyn_g.add_edge(2, 4).unwrap();
+        dyn_g.remove_edge(5, 7).unwrap();
+        let g_after = dyn_g.to_graph();
+        let deltas = [GraphDelta::EdgeAdded { u: 2, v: 4 }, GraphDelta::EdgeRemoved { u: 5, v: 7 }];
+        let stats = idx.apply_batch(&g_after, &t, &profiles, &deltas);
+        assert!(stats.labels_touched > 0);
+        assert_eq!(stats.labels_rebuilt + stats.labels_skipped, stats.labels_touched);
+        let fresh = CpTree::build(&g_after, &t, &profiles).unwrap();
+        assert_semantically_equal(&idx, &fresh, &t, 8);
+    }
+
+    #[test]
+    fn apply_batch_profile_delta_moves_vertex_between_labels() {
+        let (g, t, mut profiles) = figure1();
+        let mut idx = CpTree::build(&g, &t, &profiles).unwrap();
+        // Re-profile G (vertex 6): drop CM/HW, adopt DMS (under IS).
+        let dms = t.id_of("DMS").unwrap();
+        profiles[6] = PTree::from_labels(&t, [dms]).unwrap();
+        let stats = idx.apply_batch(&g, &t, &profiles, &[GraphDelta::ProfileChanged { v: 6 }]);
+        assert!(stats.labels_rebuilt > 0);
+        let fresh = CpTree::build(&g, &t, &profiles).unwrap();
+        assert_semantically_equal(&idx, &fresh, &t, 8);
+        assert!(idx.vertices_with_label(dms).contains(&6));
+        assert!(!idx.vertices_with_label(t.id_of("CM").unwrap()).contains(&6));
+    }
+
+    #[test]
+    fn redundant_intra_core_edge_is_skipped() {
+        // A 4-clique of vertices all sharing one label, plus a chord
+        // target: adding an edge between two vertices already in the
+        // same 2-ĉore whose cores cannot rise is provably a no-op.
+        let mut t = Taxonomy::new("r");
+        let a = t.add_child(Taxonomy::ROOT, "a").unwrap();
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4)]).unwrap();
+        let profiles: Vec<PTree> = (0..5).map(|_| PTree::from_labels(&t, [a]).unwrap()).collect();
+        let mut idx = CpTree::build(&g, &t, &profiles).unwrap();
+        // 1-4 closes no triangle that lifts anyone past core 2 and both
+        // endpoints sit in the same ĉores already? 4 has core 1... that
+        // merge is real. Use 1-3 instead: both core 2, same 2-ĉore, and
+        // the diagonal leaves the 4-cycle's cores at 2.
+        let mut dyn_g = pcs_graph::DynamicGraph::from_graph(&g);
+        dyn_g.add_edge(1, 3).unwrap();
+        let g_after = dyn_g.to_graph();
+        let stats =
+            idx.apply_batch(&g_after, &t, &profiles, &[GraphDelta::EdgeAdded { u: 1, v: 3 }]);
+        assert_eq!(stats.labels_skipped, 2, "root + a both skip");
+        assert_eq!(stats.labels_rebuilt, 0);
+        let fresh = CpTree::build(&g_after, &t, &profiles).unwrap();
+        assert_semantically_equal(&idx, &fresh, &t, 5);
+    }
+
+    #[test]
+    fn randomized_churn_matches_rebuild() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0xcb7);
+        for trial in 0..4 {
+            // Random taxonomy.
+            let labels = 10 + trial;
+            let mut tax = Taxonomy::new("r");
+            let mut ids = vec![Taxonomy::ROOT];
+            for i in 1..labels {
+                let parent = ids[rng.gen_range(0..ids.len())];
+                ids.push(tax.add_child(parent, &format!("n{i}")).unwrap());
+            }
+            // Random graph + profiles.
+            let n = 18 + trial * 4;
+            let mut edges = Vec::new();
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    if rng.gen_bool(0.18) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges).unwrap();
+            let mut profiles: Vec<PTree> = (0..n)
+                .map(|_| {
+                    let count = rng.gen_range(0..=5usize);
+                    let picks: Vec<u32> =
+                        (0..count).map(|_| ids[rng.gen_range(0..ids.len())]).collect();
+                    PTree::from_labels(&tax, picks).unwrap()
+                })
+                .collect();
+            let mut dyn_g = pcs_graph::DynamicGraph::from_graph(&g);
+            let mut idx = CpTree::build(&g, &tax, &profiles).unwrap();
+            for step in 0..60 {
+                // Mixed batch of 1..4 effective deltas.
+                let mut deltas = Vec::new();
+                let mut reprofiled: Vec<u32> = Vec::new();
+                for _ in 0..rng.gen_range(1..4) {
+                    match rng.gen_range(0..3) {
+                        0 => {
+                            let a = rng.gen_range(0..n as u32);
+                            let b = rng.gen_range(0..n as u32);
+                            if a != b && dyn_g.add_edge(a, b).unwrap() {
+                                deltas.push(GraphDelta::EdgeAdded { u: a, v: b });
+                            }
+                        }
+                        1 => {
+                            let a = rng.gen_range(0..n as u32);
+                            let b = rng.gen_range(0..n as u32);
+                            if a != b && dyn_g.remove_edge(a, b).unwrap() {
+                                deltas.push(GraphDelta::EdgeRemoved { u: a, v: b });
+                            }
+                        }
+                        _ => {
+                            let v = rng.gen_range(0..n as u32);
+                            if reprofiled.contains(&v) {
+                                continue;
+                            }
+                            let count = rng.gen_range(0..=5usize);
+                            let picks: Vec<u32> =
+                                (0..count).map(|_| ids[rng.gen_range(0..ids.len())]).collect();
+                            let p = PTree::from_labels(&tax, picks).unwrap();
+                            if p != profiles[v as usize] {
+                                profiles[v as usize] = p;
+                                reprofiled.push(v);
+                                deltas.push(GraphDelta::ProfileChanged { v });
+                            }
+                        }
+                    }
+                }
+                if deltas.is_empty() {
+                    continue;
+                }
+                let g_after = dyn_g.to_graph();
+                idx.apply_batch(&g_after, &tax, &profiles, &deltas);
+                let fresh = CpTree::build(&g_after, &tax, &profiles).unwrap();
+                assert_semantically_equal(&idx, &fresh, &tax, n);
+                let _ = step;
+            }
+        }
+    }
+
+    #[test]
+    fn invalidation_set_is_tight() {
+        let (g, t, profiles) = figure1();
+        let idx = CpTree::build(&g, &t, &profiles).unwrap();
+        // Edge A-E: both carry {r, IS, DMS, HW} — intersection is
+        // exactly those labels.
+        let touched = idx.invalidation_set(&t, &profiles, &[GraphDelta::EdgeAdded { u: 0, v: 4 }]);
+        let mut expect = vec![
+            Taxonomy::ROOT,
+            t.id_of("IS").unwrap(),
+            t.id_of("DMS").unwrap(),
+            t.id_of("HW").unwrap(),
+        ];
+        expect.sort_unstable();
+        assert_eq!(touched, expect);
+        let _ = g;
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod cltree;
 pub mod cptree;
 
 pub use cltree::ClTree;
-pub use cptree::CpTree;
+pub use cptree::{CpPatchStats, CpTree, GraphDelta};
 
 /// Errors produced while building or querying indexes.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -37,7 +37,9 @@ fn main() {
             .build()
             .expect("consistent dataset");
 
-        // PCS answers the whole workload in one order-preserving batch.
+        // PCS answers the whole workload in one order-preserving batch;
+        // the baselines borrow the same snapshot the batch ran against.
+        let snap = engine.snapshot();
         let requests: Vec<QueryRequest> =
             queries.iter().map(|&q| QueryRequest::vertex(q).k(k)).collect();
         let batch = engine.query_batch(&requests);
@@ -54,7 +56,7 @@ fn main() {
             scores[0] += best_f1(&pcs_found, &truth_sets);
 
             let acq_found: Vec<Vec<VertexId>> =
-                acq_query(engine.graph(), engine.taxonomy(), engine.profiles(), q, k)
+                acq_query(snap.graph(), engine.taxonomy(), snap.profiles(), q, k)
                     .communities
                     .into_iter()
                     .map(|c| c.community.vertices)
@@ -62,13 +64,13 @@ fn main() {
             scores[1] += best_f1(&acq_found, &truth_sets);
 
             let global_found: Vec<Vec<VertexId>> =
-                global_query(engine.graph(), engine.profiles(), q, k)
+                global_query(snap.graph(), snap.profiles(), q, k)
                     .map(|c| vec![c.vertices])
                     .unwrap_or_default();
             scores[2] += best_f1(&global_found, &truth_sets);
 
             let local_found: Vec<Vec<VertexId>> =
-                local_query(engine.graph(), engine.profiles(), q, k, usize::MAX)
+                local_query(snap.graph(), snap.profiles(), q, k, usize::MAX)
                     .map(|c| vec![c.vertices])
                     .unwrap_or_default();
             scores[3] += best_f1(&local_found, &truth_sets);

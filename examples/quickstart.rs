@@ -65,7 +65,8 @@ fn main() {
         .profiles(profiles)
         .build()
         .expect("consistent inputs");
-    let (tax, g, profiles) = (engine.taxonomy(), engine.graph(), engine.profiles());
+    let snap = engine.snapshot();
+    let (tax, g, profiles) = (engine.taxonomy(), snap.graph(), snap.profiles());
 
     let q = 3; // author D
     let k = 2;

@@ -33,7 +33,8 @@ fn main() {
         .build()
         .expect("consistent dataset");
     let built = t0.elapsed();
-    let index = engine.index().expect("eager mode builds the index");
+    let snap = engine.snapshot();
+    let index = snap.index().expect("eager mode builds the index");
     println!(
         "engine warm-up (8-thread CP-tree + core decomposition): {:.1} ms ({} labels populated, ~{:.1} MiB)",
         built.as_secs_f64() * 1e3,

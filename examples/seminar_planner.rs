@@ -32,7 +32,8 @@ fn main() {
         .profiles(ds.profiles)
         .build()
         .expect("dataset is consistent");
-    let (g, tax, profiles) = (engine.graph(), engine.taxonomy(), engine.profiles());
+    let snap = engine.snapshot();
+    let (g, tax, profiles) = (snap.graph(), engine.taxonomy(), snap.profiles());
 
     // The "renowned expert": a high-degree vertex with a rich profile,
     // like Jim Gray in the paper.

@@ -102,11 +102,15 @@ pub mod prelude {
     pub use pcs_core::{
         Algorithm, FindStrategy, PcsError, PcsOutcome, ProfiledCommunity, QueryContext,
     };
-    pub use pcs_datasets::{DatasetSpec, ProfiledDataset, SuiteConfig, SuiteDataset};
-    pub use pcs_engine::{
-        EngineBuilder, Error as EngineError, IndexMode, PcsEngine, QueryRequest, QueryResponse,
+    pub use pcs_datasets::{
+        update_stream, DatasetSpec, ProfiledDataset, StreamOp, SuiteConfig, SuiteDataset, TimedOp,
+        UpdateStreamSpec,
     };
-    pub use pcs_graph::{Graph, GraphBuilder, VertexId};
+    pub use pcs_engine::{
+        EngineBuilder, EngineSnapshot, Error as EngineError, IndexMode, PcsEngine, QueryRequest,
+        QueryResponse, Update, UpdateBatch, UpdateReport,
+    };
+    pub use pcs_graph::{DynamicGraph, Graph, GraphBuilder, VertexId};
     pub use pcs_index::{ClTree, CpTree};
     pub use pcs_metrics::{best_f1, cpf, cps, f1_score, ldr};
     pub use pcs_ptree::{LabelId, PTree, Taxonomy};

@@ -111,6 +111,54 @@ proptest! {
         }
     }
 
+    /// The central property extends to *mutated* graphs: after a
+    /// random update batch flows through the engine's incremental
+    /// maintenance, all five algorithms still return the same
+    /// communities, and those communities satisfy Problem 1 on the
+    /// post-update graph.
+    #[test]
+    fn all_algorithms_agree_after_mutation(seed in 0u64..10_000) {
+        let (g, tax, profiles) = random_instance(seed);
+        let n = g.num_vertices() as u32;
+        let engine = PcsEngine::builder()
+            .graph(g)
+            .taxonomy(tax)
+            .profiles(profiles)
+            .index_mode(IndexMode::Eager)
+            .build()
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x0d1f);
+        let mut batch = UpdateBatch::new();
+        for _ in 0..rng.gen_range(2..10usize) {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a == b {
+                continue;
+            }
+            if rng.gen_bool(0.6) {
+                batch = batch.add_edge(a, b);
+            } else {
+                batch = batch.remove_edge(a, b);
+            }
+        }
+        engine.apply(&batch).unwrap();
+        let snap = engine.snapshot();
+        let q = rng.gen_range(0..n);
+        let k = rng.gen_range(0..4u32);
+        let reference = engine
+            .query(&QueryRequest::vertex(q).k(k).algorithm(Algorithm::Basic))
+            .unwrap();
+        check_problem1(snap.graph(), snap.profiles(), q, k, &reference.outcome.communities);
+        for algo in [Algorithm::Incre, Algorithm::AdvI, Algorithm::AdvD, Algorithm::AdvP] {
+            let got = engine.query(&QueryRequest::vertex(q).k(k).algorithm(algo)).unwrap();
+            prop_assert_eq!(
+                &reference.outcome.communities, &got.outcome.communities,
+                "algorithm {} disagrees with basic after mutation (seed {}, q {}, k {})",
+                algo.name(), seed, q, k
+            );
+        }
+    }
+
     #[test]
     fn maximal_structure_property(seed in 0u64..3_000) {
         // No strict superset of a returned community is a connected

@@ -1,0 +1,185 @@
+//! The differential harness for the update subsystem: after randomized
+//! update sequences, the engine's incrementally maintained state —
+//! graph, core decomposition, CP-tree index — must be indistinguishable
+//! from a from-scratch rebuild, and queries must agree with a fresh
+//! reference engine.
+
+use pcs::datasets::taxonomy::random_taxonomy;
+use pcs::graph::core::CoreDecomposition;
+use pcs::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Set-equality of the whole CP-tree query surface: per-label member
+/// lists, every `get(k, q, label)`, and headMap restoration.
+fn assert_index_equivalent(a: &CpTree, b: &CpTree, tax: &Taxonomy, n: usize, max_k: u32) {
+    assert_eq!(a.num_vertices(), b.num_vertices());
+    assert_eq!(a.num_populated_labels(), b.num_populated_labels());
+    for v in 0..n as u32 {
+        assert_eq!(a.restore_ptree(tax, v), b.restore_ptree(tax, v), "headMap of {v}");
+    }
+    for label in 0..tax.len() as u32 {
+        assert_eq!(
+            a.vertices_with_label(label),
+            b.vertices_with_label(label),
+            "members of label {label}"
+        );
+        for &q in a.vertices_with_label(label) {
+            for k in 0..=max_k {
+                assert_eq!(a.get(k, q, label), b.get(k, q, label), "label={label} q={q} k={k}");
+            }
+        }
+    }
+}
+
+fn communities_of(resp: &QueryResponse) -> Vec<(Vec<u32>, Vec<u32>)> {
+    resp.communities().iter().map(|c| (c.subtree.nodes().to_vec(), c.vertices.clone())).collect()
+}
+
+/// The acceptance-criteria run: > 500 singleton update steps, with the
+/// incremental index and cores checked against a full rebuild after
+/// every single step.
+#[test]
+fn incremental_state_matches_rebuild_over_500_steps() {
+    let tax = random_taxonomy(40, 4, 6, 21);
+    let ds = pcs::datasets::gen::generate(&DatasetSpec::small("diff", 56, 33), tax);
+    let stream = update_stream(&ds, &UpdateStreamSpec::new(510, 7));
+    assert!(stream.len() >= 500);
+    let engine = PcsEngine::builder()
+        .graph(ds.graph.clone())
+        .taxonomy(ds.tax.clone())
+        .profiles(ds.profiles.clone())
+        .index_mode(IndexMode::Eager)
+        .build()
+        .unwrap();
+    let mut rng = SmallRng::seed_from_u64(0x5eed);
+    let mut patched = 0usize;
+    let mut skipped_total = 0usize;
+    for (step, timed) in stream.iter().enumerate() {
+        let batch = match &timed.op {
+            StreamOp::AddEdge(a, b) => UpdateBatch::new().add_edge(*a, *b),
+            StreamOp::RemoveEdge(a, b) => UpdateBatch::new().remove_edge(*a, *b),
+            StreamOp::SetProfile(v, p) => UpdateBatch::new().set_profile(*v, p.clone()),
+        };
+        let report = engine.apply(&batch).unwrap();
+        if let pcs::engine::IndexMaintenance::Patched(stats) = report.index {
+            patched += 1;
+            skipped_total += stats.labels_skipped;
+        }
+        let snap = engine.snapshot();
+        // Cores: incremental subcore traversals vs full bucket peel.
+        let full_cores = CoreDecomposition::new(snap.graph());
+        assert_eq!(
+            snap.cores().core_numbers(),
+            full_cores.core_numbers(),
+            "step {step}: incremental cores diverged"
+        );
+        // Index: patched clone vs from-scratch build on the new state.
+        // Release CI verifies every step; the unoptimized debug run
+        // samples every 3rd (cores are still verified at every step).
+        let index_check_stride = if cfg!(debug_assertions) { 3 } else { 1 };
+        if step % index_check_stride == 0 {
+            let fresh = CpTree::build(snap.graph(), engine.taxonomy(), snap.profiles()).unwrap();
+            let max_k = full_cores.max_core() + 1;
+            assert_index_equivalent(
+                snap.index().expect("eager engine keeps the index fresh"),
+                &fresh,
+                engine.taxonomy(),
+                snap.graph().num_vertices(),
+                max_k,
+            );
+        }
+        // Queries: every 25 steps, all algorithm families agree with a
+        // reference engine built from scratch on the mutated data.
+        if step % 25 == 0 {
+            let reference = PcsEngine::builder()
+                .graph(snap.graph().clone())
+                .taxonomy(engine.taxonomy().clone())
+                .profiles(snap.profiles().to_vec())
+                .index_mode(IndexMode::Eager)
+                .build()
+                .unwrap();
+            for _ in 0..3 {
+                let q = rng.gen_range(0..snap.graph().num_vertices() as u32);
+                let k = rng.gen_range(1..4u32);
+                for algo in [Algorithm::Basic, Algorithm::Incre, Algorithm::AdvP] {
+                    let live = engine.query(&QueryRequest::vertex(q).k(k).algorithm(algo)).unwrap();
+                    let refr =
+                        reference.query(&QueryRequest::vertex(q).k(k).algorithm(algo)).unwrap();
+                    assert_eq!(
+                        communities_of(&live),
+                        communities_of(&refr),
+                        "step {step} q {q} k {k} algo {}",
+                        algo.name()
+                    );
+                }
+            }
+        }
+    }
+    assert!(patched > 400, "the incremental path carried the run: {patched}");
+    assert!(skipped_total > 0, "bounded no-op detection never fired over 500 steps — suspicious");
+}
+
+/// Multi-op batches, all three index policies side by side, and the
+/// fallback (cap 0) path — every engine must answer identically after
+/// every batch.
+#[test]
+fn batched_updates_agree_across_policies_and_fallback() {
+    let tax = random_taxonomy(36, 4, 6, 5);
+    let ds = pcs::datasets::gen::generate(&DatasetSpec::small("batched", 48, 9), tax);
+    let stream = update_stream(&ds, &UpdateStreamSpec::new(168, 23));
+    let build = |mode: IndexMode, cap: f64| {
+        PcsEngine::builder()
+            .graph(ds.graph.clone())
+            .taxonomy(ds.tax.clone())
+            .profiles(ds.profiles.clone())
+            .index_mode(mode)
+            .incremental_patch_cap(cap)
+            .build()
+            .unwrap()
+    };
+    let incremental = build(IndexMode::Eager, 1.0); // always patch
+    let rebuilding = build(IndexMode::Eager, 0.0); // never patch: always rebuild
+    let lazy = build(IndexMode::Lazy, 0.5);
+    let mut rng = SmallRng::seed_from_u64(77);
+    let mut saw_rebuilt = false;
+    for chunk in stream.chunks(7) {
+        let mut batch = UpdateBatch::new();
+        for timed in chunk {
+            batch.push(match &timed.op {
+                StreamOp::AddEdge(a, b) => Update::AddEdge { u: *a, v: *b },
+                StreamOp::RemoveEdge(a, b) => Update::RemoveEdge { u: *a, v: *b },
+                StreamOp::SetProfile(v, p) => Update::SetProfile { vertex: *v, profile: p.clone() },
+            });
+        }
+        let r1 = incremental.apply(&batch).unwrap();
+        let r2 = rebuilding.apply(&batch).unwrap();
+        let r3 = lazy.apply(&batch).unwrap();
+        assert_eq!(r1.edges_added, r2.edges_added);
+        assert_eq!(r1.noops, r3.noops);
+        saw_rebuilt |= r2.index == pcs::engine::IndexMaintenance::Rebuilt;
+        // All three engines answer the same queries identically.
+        let n = ds.graph.num_vertices() as u32;
+        for _ in 0..4 {
+            let q = rng.gen_range(0..n);
+            let k = rng.gen_range(1..4u32);
+            let a = incremental.query(&QueryRequest::vertex(q).k(k)).unwrap();
+            let b = rebuilding.query(&QueryRequest::vertex(q).k(k)).unwrap();
+            let c = lazy.query(&QueryRequest::vertex(q).k(k)).unwrap();
+            assert_eq!(communities_of(&a), communities_of(&b), "q {q} k {k}");
+            assert_eq!(communities_of(&a), communities_of(&c), "q {q} k {k}");
+        }
+    }
+    assert!(saw_rebuilt, "cap 0 must exercise the full-rebuild fallback");
+    // Final state: the always-patched index equals a fresh build.
+    let snap = incremental.snapshot();
+    let fresh = CpTree::build(snap.graph(), incremental.taxonomy(), snap.profiles()).unwrap();
+    let max_k = CoreDecomposition::new(snap.graph()).max_core() + 1;
+    assert_index_equivalent(
+        snap.index().unwrap(),
+        &fresh,
+        incremental.taxonomy(),
+        snap.graph().num_vertices(),
+        max_k,
+    );
+}
