@@ -27,8 +27,8 @@ fn bench_find_functions(c: &mut Criterion) {
                     let space = ctx.space_for(q).unwrap();
                     let mut ver = Verifier::new(&ctx, &space, q, 6);
                     if ver.gk().is_some() {
-                        let cut = find_cut(&mut ver, &space, strategy);
-                        criterion::black_box(cut.feasible.count());
+                        let cut = find_cut(&mut ver, strategy);
+                        criterion::black_box(ver.ids().count(cut.feasible));
                     }
                 }
             });

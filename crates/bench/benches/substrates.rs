@@ -39,7 +39,12 @@ fn bench_substrates(c: &mut Criterion) {
     });
 
     let cl = ClTree::build(g);
-    group.bench_function("cltree_get", |b| {
+    // The zero-copy hot path: O(depth) + borrowed arena slice.
+    group.bench_function("cltree_community_ref", |b| {
+        b.iter(|| cl.community_ref(q, 6).map(|s| s.len()));
+    });
+    // The owned compatibility path (copies + sorts every call).
+    group.bench_function("cltree_get_owned", |b| {
         b.iter(|| cl.get(q, 6));
     });
 

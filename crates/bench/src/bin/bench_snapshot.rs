@@ -1,0 +1,280 @@
+//! Machine-readable performance snapshot: the perf trajectory tracker.
+//!
+//! Runs the three load-bearing measurements — per-query latency of all
+//! five PCS algorithms (`query_efficiency`), CP-tree construction
+//! (`index_construction`), and the live-update path
+//! (`update_throughput`) — in one **fixed configuration** (DBLP-like,
+//! the largest generated dataset, at scale 0.01 with k = 6), then
+//! writes `BENCH_query.json` and `BENCH_index.json` so the numbers can
+//! be committed and diffed PR over PR.
+//!
+//! ```text
+//! cargo run -p pcs-bench --release --bin bench_snapshot            # full run, writes ./BENCH_*.json
+//! cargo run -p pcs-bench --release --bin bench_snapshot -- --record-baseline
+//! cargo run -p pcs-bench --release --bin bench_snapshot -- --quick # CI smoke: tiny dataset, target/
+//! ```
+//!
+//! `--record-baseline` re-reads the existing JSON files first and
+//! stores their current results under `"baseline"` in the fresh files,
+//! so a PR that changes performance commits before *and* after numbers
+//! in one artifact. `--quick` is the CI bit-rot guard: a seconds-long
+//! run on a tiny dataset that exercises every code path and the JSON
+//! writer (into `target/`, leaving the committed files alone) and fails
+//! only on panic, never on regression.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use pcs_core::Algorithm;
+use pcs_datasets::suite::{build, SuiteConfig};
+use pcs_datasets::{sample_query_vertices, SuiteDataset};
+use pcs_engine::{IndexMode, PcsEngine, QueryRequest, UpdateBatch};
+use pcs_graph::VertexId;
+use pcs_index::CpTree;
+
+struct Config {
+    quick: bool,
+    record_baseline: bool,
+    out_dir: PathBuf,
+    scale: f64,
+    k: u32,
+    queries: usize,
+    reps: usize,
+    basic_queries: usize,
+}
+
+impl Config {
+    fn parse() -> Config {
+        let mut cfg = Config {
+            quick: false,
+            record_baseline: false,
+            out_dir: PathBuf::from("."),
+            scale: 0.01,
+            k: 6,
+            queries: 15,
+            reps: 3,
+            basic_queries: 5,
+        };
+        let mut out_dir_given = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--quick" => cfg.quick = true,
+                "--record-baseline" => cfg.record_baseline = true,
+                "--out-dir" => {
+                    cfg.out_dir = PathBuf::from(args.next().expect("--out-dir takes a path"));
+                    out_dir_given = true;
+                }
+                "--help" | "-h" => {
+                    eprintln!("options: --quick --record-baseline --out-dir <dir>");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if cfg.quick {
+            cfg.scale = 0.002;
+            cfg.queries = 4;
+            cfg.reps = 1;
+            cfg.basic_queries = 2;
+            // Keep the committed JSONs safe by default, but honour an
+            // explicit --out-dir (the .quick suffix still applies).
+            if !out_dir_given {
+                cfg.out_dir = PathBuf::from("target");
+            }
+        }
+        cfg
+    }
+}
+
+/// Best-of-`reps` wall time of `f`, in microseconds.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+/// Minimal JSON escaping for the keys/strings we emit (no control
+/// characters ever appear in them).
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Renders a `[(key, value_us)]` list as a JSON object body.
+fn json_obj(pairs: &[(String, f64)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {v:.2}", json_str(k));
+    }
+    out.push('}');
+    out
+}
+
+/// Pulls the `"results"` object back out of a previously written file
+/// (verbatim, as text) so it can be re-embedded as `"baseline"`.
+fn previous_results(path: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let start = text.find("\"results\":")? + "\"results\":".len();
+    let open = text[start..].find('{')? + start;
+    let mut depth = 0usize;
+    for (i, c) in text[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn write_snapshot(path: &Path, cfg: &Config, results: &str, baseline: Option<String>) {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"pcs-bench-snapshot/v1\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"dataset\": \"DBLP-like\", \"scale\": {}, \"k\": {}, \"queries\": {}, \"reps\": {}, \"quick\": {}}},",
+        cfg.scale, cfg.k, cfg.queries, cfg.reps, cfg.quick
+    );
+    let _ = writeln!(out, "  \"results\": {results},");
+    let baseline = baseline.unwrap_or_else(|| "null".into());
+    let _ = writeln!(out, "  \"baseline\": {baseline}");
+    out.push_str("}\n");
+    std::fs::create_dir_all(path.parent().unwrap_or(Path::new("."))).expect("create out dir");
+    std::fs::write(path, out).expect("write snapshot file");
+    println!("wrote {}", path.display());
+}
+
+fn churn_edges(ds: &pcs_datasets::ProfiledDataset, count: usize) -> Vec<(VertexId, VertexId)> {
+    let (members, _) = sample_query_vertices(ds, 4, count * 8, 0xc4u64);
+    let mut out = Vec::new();
+    'outer: for (i, &a) in members.iter().enumerate() {
+        for &b in &members[i + 1..] {
+            let pair = (a.min(b), a.max(b));
+            if a != b && !ds.graph.has_edge(a, b) && !out.contains(&pair) {
+                out.push(pair);
+                if out.len() == count {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let cfg = Config::parse();
+    let suite = SuiteConfig { scale: cfg.scale, ..SuiteConfig::default() };
+    let ds = build(SuiteDataset::Dblp, suite);
+    println!(
+        "dataset: {} vertices, {} edges (DBLP-like @ scale {})",
+        ds.graph.num_vertices(),
+        ds.graph.num_edges(),
+        cfg.scale
+    );
+    let (queries, _) = sample_query_vertices(&ds, cfg.k, cfg.queries, 0x14);
+    assert!(!queries.is_empty(), "no query vertices with core >= k");
+
+    // ---- query_efficiency: mean us per query, best of `reps` passes.
+    let index = CpTree::build(&ds.graph, &ds.tax, &ds.profiles).unwrap();
+    let ctx =
+        pcs_core::QueryContext::new(&ds.graph, &ds.tax, &ds.profiles).unwrap().with_index(&index);
+    let mut query_results: Vec<(String, f64)> = Vec::new();
+    for algo in Algorithm::ALL {
+        // `basic` is orders of magnitude slower (that is the paper's
+        // point); sample fewer queries so the snapshot stays fast.
+        let qs: &[VertexId] = if algo == Algorithm::Basic {
+            &queries[..cfg.basic_queries.min(queries.len())]
+        } else {
+            &queries
+        };
+        let reps = if algo == Algorithm::Basic { 1 } else { cfg.reps };
+        let total = best_of(reps, || {
+            for &q in qs {
+                std::hint::black_box(ctx.query(q, cfg.k, algo).unwrap().communities.len());
+            }
+        });
+        let per_query = total / qs.len() as f64;
+        println!("query_efficiency/{:<6} {per_query:>12.2} us/query", algo.name());
+        query_results.push((algo.name().to_string(), per_query));
+    }
+    drop(ctx);
+
+    // ---- index_construction: one full sequential CP-tree build.
+    let mut index_results: Vec<(String, f64)> = Vec::new();
+    let us = best_of(cfg.reps, || CpTree::build(&ds.graph, &ds.tax, &ds.profiles).unwrap());
+    println!("index_construction/cptree_seq {:>12.2} us", us);
+    index_results.push(("cptree_seq_us".into(), us));
+
+    // ---- update_throughput: state-neutral add+remove batch pairs
+    // through the incremental engine, and the full-rebuild fallback.
+    let edges = churn_edges(&ds, if cfg.quick { 2 } else { 8 });
+    if edges.is_empty() {
+        println!("update_throughput: skipped (no churn edges found)");
+    } else {
+        let adds = edges.iter().fold(UpdateBatch::new(), |b, &(u, v)| b.add_edge(u, v));
+        let removes = edges.iter().fold(UpdateBatch::new(), |b, &(u, v)| b.remove_edge(u, v));
+        for (name, cap) in [("apply_pair_incremental_us", 1.0), ("apply_pair_rebuild_us", 0.0)] {
+            let engine = PcsEngine::builder()
+                .graph(ds.graph.clone())
+                .taxonomy(ds.tax.clone())
+                .profiles(ds.profiles.clone())
+                .index_mode(IndexMode::Eager)
+                .incremental_patch_cap(cap)
+                .build()
+                .unwrap();
+            let us = best_of(cfg.reps, || {
+                engine.apply(&adds).unwrap();
+                engine.apply(&removes).unwrap();
+            });
+            println!("update_throughput/{name} {us:>12.2} us");
+            index_results.push((name.into(), us));
+        }
+        // Serving mix: 19 reads + 1 write per round.
+        let engine = PcsEngine::builder()
+            .graph(ds.graph.clone())
+            .taxonomy(ds.tax.clone())
+            .profiles(ds.profiles.clone())
+            .index_mode(IndexMode::Eager)
+            .build()
+            .unwrap();
+        engine.warm().unwrap();
+        let requests: Vec<QueryRequest> =
+            queries.iter().map(|&q| QueryRequest::vertex(q).k(cfg.k)).collect();
+        let (wu, wv) = edges[0];
+        let us = best_of(cfg.reps, || {
+            engine.add_edge(wu, wv).unwrap();
+            for resp in engine.query_batch(&requests) {
+                std::hint::black_box(resp.unwrap().communities().len());
+            }
+            engine.remove_edge(wu, wv).unwrap();
+        });
+        println!("update_throughput/mixed_round_us {us:>12.2} us");
+        index_results.push(("mixed_round_us".into(), us));
+    }
+
+    // ---- emit.
+    let query_path =
+        cfg.out_dir.join(if cfg.quick { "BENCH_query.quick.json" } else { "BENCH_query.json" });
+    let index_path =
+        cfg.out_dir.join(if cfg.quick { "BENCH_index.quick.json" } else { "BENCH_index.json" });
+    let query_baseline = cfg.record_baseline.then(|| previous_results(&query_path)).flatten();
+    let index_baseline = cfg.record_baseline.then(|| previous_results(&index_path)).flatten();
+    write_snapshot(&query_path, &cfg, &json_obj(&query_results), query_baseline);
+    write_snapshot(&index_path, &cfg, &json_obj(&index_results), index_baseline);
+}

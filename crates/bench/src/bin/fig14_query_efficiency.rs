@@ -135,7 +135,7 @@ fn section_find(datasets: &[ProfiledDataset], args: &HarnessArgs) {
                             let space = ctx.space_for(q).expect("query in range");
                             let mut ver = Verifier::new(ctx, &space, q, k);
                             if ver.gk().is_some() {
-                                let _ = find_cut(&mut ver, &space, strategy);
+                                let _ = find_cut(&mut ver, strategy);
                             }
                         }
                         cells.push(format!("{:.1}", start.elapsed().as_secs_f64() * 1e3));

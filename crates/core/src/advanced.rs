@@ -12,15 +12,21 @@
 //!
 //! Three seeding strategies match the paper's `find-I` (Algorithm 5),
 //! `find-D` (Algorithm 6), and `find-P` (Algorithm 7).
+//!
+//! The entire walk runs in [`SubtreeId`] space: queue entries, the
+//! seen-set, and the visited-set are flat id-keyed structures
+//! ([`SubtreeIdSet`]), and ±one-node lattice moves come from the
+//! interner's memoized id tables — no `Subtree` clone or hash happens
+//! anywhere inside a query.
 
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use pcs_graph::{FxHashMap, FxHashSet, VertexId};
-use pcs_ptree::{QuerySpace, Subtree};
+use pcs_graph::VertexId;
+use pcs_ptree::{SubtreeId, SubtreeIdSet};
 
 use crate::problem::{PcsOutcome, QueryContext};
-use crate::verify::Verifier;
+use crate::verify::{QueryScratch, Verifier};
 use crate::Result;
 
 /// How the advanced method finds its initial cut.
@@ -56,57 +62,75 @@ impl FindStrategy {
 /// present, is `feasible` plus exactly one node and is infeasible.
 /// `infeasible == None` encodes the degenerate case `F = T(q)` (the
 /// whole query tree is feasible, so it is the unique maximal subtree).
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Both sides are ids into the query's interner ([`Verifier::ids`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Cut {
     /// The infeasible upper side of the cut, if any.
-    pub infeasible: Option<Subtree>,
+    pub infeasible: Option<SubtreeId>,
     /// The feasible lower side.
-    pub feasible: Subtree,
+    pub feasible: SubtreeId,
 }
 
-/// Runs the advanced method (Algorithm 8) for `(q, k)`.
+/// Runs the advanced method (Algorithm 8) for `(q, k)` on one-shot
+/// scratch.
 pub fn query(
     ctx: &QueryContext<'_>,
     q: VertexId,
     k: u32,
     strategy: FindStrategy,
 ) -> Result<PcsOutcome> {
+    query_scratch(ctx, q, k, strategy, &mut QueryScratch::new(ctx.graph.num_vertices()))
+}
+
+/// Runs Algorithm 8 on pooled scratch (the engine hot path).
+pub fn query_scratch(
+    ctx: &QueryContext<'_>,
+    q: VertexId,
+    k: u32,
+    strategy: FindStrategy,
+    scratch: &mut QueryScratch,
+) -> Result<PcsOutcome> {
     debug_assert!(ctx.index.is_some(), "checked by QueryContext::query");
     let space = ctx.space_for(q)?;
-    let mut ver = Verifier::new(ctx, &space, q, k);
-    let mut results: FxHashMap<Subtree, Rc<Vec<VertexId>>> = FxHashMap::default();
+    let ver = Verifier::with_scratch(ctx, &space, q, k, scratch);
+    Ok(run(ver, strategy))
+}
 
+fn run(mut ver: Verifier<'_>, strategy: FindStrategy) -> PcsOutcome {
+    let mut results: Vec<(SubtreeId, Rc<Vec<VertexId>>)> = Vec::new();
     if ver.gk().is_some() {
-        let cut = find_cut(&mut ver, &space, strategy);
-        expand_ptree(&mut ver, &space, cut, &mut results);
+        let cut = find_cut(&mut ver, strategy);
+        expand_ptree(&mut ver, cut, &mut results);
     }
-    Ok(crate::basic::assemble(ctx, &space, results, ver))
+    crate::basic::assemble(results, ver)
 }
 
 /// Dispatches to the chosen `find` function. The caller guarantees
 /// `Gk ≠ ∅` (so the root-only subtree is feasible and a cut exists).
-pub fn find_cut(ver: &mut Verifier<'_>, space: &QuerySpace, strategy: FindStrategy) -> Cut {
+pub fn find_cut(ver: &mut Verifier<'_>, strategy: FindStrategy) -> Cut {
     match strategy {
-        FindStrategy::Incremental => find_i(ver, space),
-        FindStrategy::Decremental => find_d(ver, space),
-        FindStrategy::Path => find_p(ver, space),
+        FindStrategy::Incremental => find_i(ver),
+        FindStrategy::Decremental => find_d(ver),
+        FindStrategy::Path => find_p(ver),
     }
 }
 
 /// Algorithm 5 (`find-I`): run the `incre` enumeration until the first
 /// maximal feasible subtree, and pair it with one infeasible child.
-fn find_i(ver: &mut Verifier<'_>, space: &QuerySpace) -> Cut {
+fn find_i(ver: &mut Verifier<'_>) -> Cut {
     let gk = ver.gk().expect("find functions require Gk");
-    let mut stack: Vec<(Subtree, Rc<Vec<VertexId>>)> = vec![(space.root_only(), gk)];
+    let root = ver.ids_mut().root_only();
+    let mut stack: Vec<(SubtreeId, Rc<Vec<VertexId>>)> = vec![(root, gk)];
     ver.note_generated(1);
+    let mut ext: Vec<u32> = Vec::new();
     while let Some((t_prime, community)) = stack.pop() {
         let mut flag = true;
-        let mut last_infeasible: Option<Subtree> = None;
-        let extensions = space.rightmost_extensions(&t_prime);
-        ver.note_generated(extensions.len() as u64);
-        for pos in extensions {
-            let t = t_prime.with(pos);
-            match ver.verify_from_base(&t, &community, pos) {
+        let mut last_infeasible: Option<SubtreeId> = None;
+        ver.ids().rightmost_extensions_into(t_prime, &mut ext);
+        ver.note_generated(ext.len() as u64);
+        for &pos in &ext {
+            let t = ver.ids_mut().with(t_prime, pos);
+            match ver.verify_from_base_id(t, &community, pos) {
                 Some(sub) => {
                     flag = false;
                     stack.push((t, sub));
@@ -114,11 +138,16 @@ fn find_i(ver: &mut Verifier<'_>, space: &QuerySpace) -> Cut {
                 None => last_infeasible = Some(t),
             }
         }
-        if flag && ver.is_maximal_feasible(&t_prime) {
+        if flag && ver.is_maximal_feasible_id(t_prime) {
             // Any lattice child works as IF (they are all infeasible by
             // maximality); prefer one we already verified.
-            let infeasible = last_infeasible
-                .or_else(|| space.lattice_children(&t_prime).first().map(|&p| t_prime.with(p)));
+            let infeasible = match last_infeasible {
+                Some(inf) => Some(inf),
+                None => {
+                    ver.ids().lattice_children_into(t_prime, &mut ext);
+                    ext.first().copied().map(|p| ver.ids_mut().with(t_prime, p))
+                }
+            };
             return Cut { infeasible, feasible: t_prime };
         }
     }
@@ -134,23 +163,25 @@ fn find_i(ver: &mut Verifier<'_>, space: &QuerySpace) -> Cut {
 
 /// Algorithm 6 (`find-D`): descend from `T(q)`, removing one leaf at a
 /// time, until a feasible subtree appears.
-fn find_d(ver: &mut Verifier<'_>, space: &QuerySpace) -> Cut {
-    let full = space.full();
+fn find_d(ver: &mut Verifier<'_>) -> Cut {
+    let full = ver.ids_mut().full();
     ver.note_generated(1);
-    if ver.verify(&full).is_some() {
+    if ver.verify_id(full).is_some() {
         return Cut { infeasible: None, feasible: full };
     }
-    let mut stack: Vec<Subtree> = vec![full];
-    let mut visited: FxHashSet<Subtree> = FxHashSet::default();
+    let mut stack: Vec<SubtreeId> = vec![full];
+    let mut visited = SubtreeIdSet::new();
+    let mut parents: Vec<u32> = Vec::new();
     while let Some(t) = stack.pop() {
-        for leaf in space.lattice_parents(&t) {
-            let smaller = t.without(leaf);
+        ver.ids().lattice_parents_into(t, &mut parents);
+        for &leaf in &parents {
+            let smaller = ver.ids_mut().without(t, leaf);
             ver.note_generated(1);
-            if ver.verify(&smaller).is_some() {
+            if ver.verify_id(smaller).is_some() {
                 return Cut { infeasible: Some(t), feasible: smaller };
             }
-            if visited.insert(smaller.clone()) {
-                stack.push(smaller.clone());
+            if visited.insert(smaller) {
+                stack.push(smaller);
             }
         }
     }
@@ -161,16 +192,19 @@ fn find_d(ver: &mut Verifier<'_>, space: &QuerySpace) -> Cut {
 /// `P` ending at leaf `t`, `Gk[P] = I.get(k, q, t)` — then grow a
 /// feasible union of paths and walk the first failing path down to the
 /// boundary.
-fn find_p(ver: &mut Verifier<'_>, space: &QuerySpace) -> Cut {
+fn find_p(ver: &mut Verifier<'_>) -> Cut {
+    let space = ver.space();
     // S starts as the leaf positions of T(q); while no single path is
     // feasible, lift S to the parents (lines 12-14 of Algorithm 7).
-    let mut s: Vec<u32> = space.leaves(&space.full());
-    let mut f: Option<Subtree> = None;
+    let full = ver.ids_mut().full();
+    let mut s: Vec<u32> = Vec::new();
+    ver.ids().leaves_into(full, &mut s);
+    let mut f: Option<SubtreeId> = None;
     loop {
         for &t in &s {
-            let path = space.path_to(t);
+            let path = ver.ids_mut().intern(&space.path_to(t));
             ver.note_generated(1);
-            if ver.verify(&path).is_some() {
+            if ver.verify_id(path).is_some() {
                 f = Some(path);
                 break;
             }
@@ -184,7 +218,7 @@ fn find_p(ver: &mut Verifier<'_>, space: &QuerySpace) -> Cut {
         parents.dedup();
         if parents == [0] {
             // Only the root path remains; it is feasible since Gk ≠ ∅.
-            f = Some(space.root_only());
+            f = Some(ver.ids_mut().root_only());
             break;
         }
         s = parents;
@@ -194,23 +228,25 @@ fn find_p(ver: &mut Verifier<'_>, space: &QuerySpace) -> Cut {
     // Lines 4-11: extend F by each remaining path; on the first failure
     // walk that path from F downward to locate the exact boundary.
     for &t in &s {
-        let target = f.union(&space.path_to(t));
+        let path = ver.ids_mut().intern(&space.path_to(t));
+        let target = ver.ids_mut().union(f, path);
         if target == f {
             continue;
         }
         ver.note_generated(1);
-        if ver.verify(&target).is_some() {
+        if ver.verify_id(target).is_some() {
             f = target;
             continue;
         }
         // The path nodes missing from F, in root-to-leaf (ascending
         // preorder) order; adding them one by one keeps closure.
-        let missing: Vec<u32> = space.path_to(t).positions().filter(|&p| !f.contains(p)).collect();
-        let mut cur = f.clone();
+        let missing: Vec<u32> =
+            ver.ids().positions(path).filter(|&p| !ver.ids().contains(f, p)).collect();
+        let mut cur = f;
         for p in missing {
-            let cand = cur.with(p);
+            let cand = ver.ids_mut().with(cur, p);
             ver.note_generated(1);
-            if ver.verify(&cand).is_some() {
+            if ver.verify_id(cand).is_some() {
                 cur = cand;
             } else {
                 return Cut { infeasible: Some(cand), feasible: cur };
@@ -222,17 +258,18 @@ fn find_p(ver: &mut Verifier<'_>, space: &QuerySpace) -> Cut {
     // Every probed path fit into F. Climb greedily until F is maximal
     // or an infeasible child provides the cut (completion of the
     // abstract's elided "complete subtrees IF, F" step).
+    let mut children: Vec<u32> = Vec::new();
     loop {
-        let children = space.lattice_children(&f);
+        ver.ids().lattice_children_into(f, &mut children);
         if children.is_empty() {
             return Cut { infeasible: None, feasible: f };
         }
         let mut grew = false;
         let mut first_infeasible = None;
-        for p in children {
-            let cand = f.with(p);
+        for &p in &children {
+            let cand = ver.ids_mut().with(f, p);
             ver.note_generated(1);
-            if ver.verify(&cand).is_some() {
+            if ver.verify_id(cand).is_some() {
                 f = cand;
                 grew = true;
                 break;
@@ -250,76 +287,92 @@ fn find_p(ver: &mut Verifier<'_>, space: &QuerySpace) -> Cut {
 }
 
 /// Algorithm 4 (`expandPtree`): walk the feasible/infeasible boundary
-/// from the initial cut, recording every maximal feasible subtree.
+/// from the initial cut, recording every maximal feasible subtree into
+/// `results`.
+///
+/// The queue holds the infeasible side of each cut only: Algorithm 4
+/// never reads the feasible side of a dequeued pair, so deduplicating
+/// by `IF` alone (a flat [`SubtreeIdSet`]) visits every boundary
+/// neighbourhood exactly once while provably recording the same result
+/// set as pair-keyed dedup.
 pub fn expand_ptree(
     ver: &mut Verifier<'_>,
-    space: &QuerySpace,
     cut: Cut,
-    results: &mut FxHashMap<Subtree, Rc<Vec<VertexId>>>,
+    results: &mut Vec<(SubtreeId, Rc<Vec<VertexId>>)>,
 ) {
     // Line 2: IF = ∅ with F ≠ ∅ means F = T(q) is feasible — it is the
     // unique maximal subtree.
     let Some(if0) = cut.infeasible else {
-        let community = ver.verify(&cut.feasible).expect("cut.feasible is feasible");
-        results.insert(cut.feasible, community);
+        let community = ver.verify_id(cut.feasible).expect("cut.feasible is feasible");
+        results.push((cut.feasible, community));
         return;
     };
+    let mut recorded = SubtreeIdSet::new();
     // Record the seed F when maximal (it lies on the boundary too).
-    if ver.is_maximal_feasible(&cut.feasible) {
-        let community = ver.verify(&cut.feasible).expect("feasible");
-        results.insert(cut.feasible.clone(), community);
+    if ver.is_maximal_feasible_id(cut.feasible) {
+        let community = ver.verify_id(cut.feasible).expect("feasible");
+        recorded.insert(cut.feasible);
+        results.push((cut.feasible, community));
     }
 
-    let mut queue: VecDeque<(Subtree, Subtree)> = VecDeque::new();
-    let mut seen: FxHashSet<(Subtree, Subtree)> = FxHashSet::default();
-    let first = (if0, cut.feasible);
-    seen.insert(first.clone());
-    queue.push_back(first);
+    let mut queue: VecDeque<SubtreeId> = VecDeque::new();
+    let mut seen = SubtreeIdSet::new();
+    // Infeasible Yi whose boundary-membership scan already ran (the
+    // scan is a pure function of Yi, so one pass settles it).
+    let mut checked = SubtreeIdSet::new();
+    seen.insert(if0);
+    queue.push_back(if0);
 
-    while let Some((inf, _feas)) = queue.pop_front() {
+    let mut parents: Vec<u32> = Vec::new();
+    let mut children: Vec<u32> = Vec::new();
+    let mut parents2: Vec<u32> = Vec::new();
+    while let Some(inf) = queue.pop_front() {
         // Lines 7-17: examine every parent Yi of IF.
-        for leaf in space.lattice_parents(&inf) {
-            let yi = inf.without(leaf);
-            if ver.verify(&yi).is_some() {
-                if ver.is_maximal_feasible(&yi) {
-                    let community = ver.verify(&yi).expect("feasible");
-                    results.insert(yi.clone(), community);
+        ver.ids().lattice_parents_into(inf, &mut parents);
+        for &leaf in &parents {
+            let yi = ver.ids_mut().without(inf, leaf);
+            if let Some(yi_community) = ver.verify_id(yi) {
+                if ver.is_maximal_feasible_id(yi) && recorded.insert(yi) {
+                    results.push((yi, Rc::clone(&yi_community)));
                 }
-                for p in space.lattice_children(&yi) {
-                    let k_sub = yi.with(p);
+                ver.ids().lattice_children_into(yi, &mut children);
+                for &pos in &children {
+                    let k_sub = ver.ids_mut().with(yi, pos);
                     ver.note_generated(1);
-                    if ver.verify(&k_sub).is_none() {
-                        push_cut(&mut queue, &mut seen, (k_sub, yi.clone()));
+                    // Lemma-3 narrowing: K = Yi + one node, and Yi's
+                    // community is in hand — candidates shrink to
+                    // `Gk[Yi] ∩ I.get(k, q, t)`.
+                    if ver.verify_from_base_id(k_sub, &yi_community, pos).is_none() {
+                        // New cut (K, Yi).
+                        if seen.insert(k_sub) {
+                            queue.push_back(k_sub);
+                        }
                     } else {
                         // Common child of K and IF (Upper-◇-Property):
                         // C = K ∪ IF differs from K by exactly the node
                         // IF \ Yi and is infeasible because C ⊇ IF.
-                        let c = k_sub.union(&inf);
-                        if c != k_sub {
-                            push_cut(&mut queue, &mut seen, (c, k_sub));
+                        let c = ver.ids_mut().union(k_sub, inf);
+                        if c != k_sub && seen.insert(c) {
+                            queue.push_back(c);
                         }
                     }
                 }
-            } else {
-                for leaf2 in space.lattice_parents(&yi) {
-                    let k_sub = yi.without(leaf2);
+            } else if checked.insert(yi) {
+                // Yi infeasible: it is a boundary cut iff some lattice
+                // parent of Yi is feasible. One scan settles Yi forever.
+                ver.ids().lattice_parents_into(yi, &mut parents2);
+                for &leaf2 in &parents2 {
+                    let k_sub = ver.ids_mut().without(yi, leaf2);
                     ver.note_generated(1);
-                    if ver.verify(&k_sub).is_some() {
-                        push_cut(&mut queue, &mut seen, (yi.clone(), k_sub));
+                    if ver.verify_id(k_sub).is_some() {
+                        if seen.insert(yi) {
+                            queue.push_back(yi);
+                        }
+                        break;
                     }
                 }
             }
         }
-    }
-}
-
-fn push_cut(
-    queue: &mut VecDeque<(Subtree, Subtree)>,
-    seen: &mut FxHashSet<(Subtree, Subtree)>,
-    cut: (Subtree, Subtree),
-) {
-    if seen.insert(cut.clone()) {
-        queue.push_back(cut);
     }
 }
 
@@ -408,18 +461,18 @@ mod tests {
                     if ver.gk().is_none() {
                         continue;
                     }
-                    let cut = find_cut(&mut ver, &space, strategy);
+                    let cut = find_cut(&mut ver, strategy);
                     assert!(
-                        ver.verify(&cut.feasible).is_some(),
+                        ver.verify_id(cut.feasible).is_some(),
                         "q={q} k={k} {strategy:?}: F must be feasible"
                     );
-                    match &cut.infeasible {
-                        None => assert_eq!(cut.feasible, space.full()),
+                    match cut.infeasible {
+                        None => assert_eq!(ver.ids().subtree(cut.feasible), space.full()),
                         Some(inf) => {
-                            assert!(ver.verify(inf).is_none(), "IF must be infeasible");
-                            assert_eq!(inf.count(), cut.feasible.count() + 1);
-                            assert!(cut.feasible.is_subset_of(inf));
-                            assert!(space.is_valid(inf));
+                            assert!(ver.verify_id(inf).is_none(), "IF must be infeasible");
+                            assert_eq!(ver.ids().count(inf), ver.ids().count(cut.feasible) + 1);
+                            assert!(ver.ids().is_subset(cut.feasible, inf));
+                            assert!(space.is_valid(&ver.ids().subtree(inf)));
                         }
                     }
                 }
@@ -441,9 +494,9 @@ mod tests {
         let space = ctx.space_for(0).unwrap();
         for strategy in FindStrategy::ALL {
             let mut ver = Verifier::new(&ctx, &space, 0, 3);
-            let cut = find_cut(&mut ver, &space, strategy);
+            let cut = find_cut(&mut ver, strategy);
             assert_eq!(cut.infeasible, None, "{strategy:?}");
-            assert_eq!(cut.feasible, space.full());
+            assert_eq!(ver.ids().subtree(cut.feasible), space.full());
         }
         let out = ctx.query(0, 3, Algorithm::AdvP).unwrap();
         assert_eq!(out.communities.len(), 1);
@@ -465,5 +518,22 @@ mod tests {
         // Not a strict guarantee on tiny instances, but stats must at
         // least be tracked for both.
         assert!(a.stats.verifications > 0 && b.stats.verifications > 0);
+    }
+
+    #[test]
+    fn scratch_path_matches_owned_path() {
+        let (g, t, profiles) = figure1();
+        let index = CpTree::build(&g, &t, &profiles).unwrap();
+        let ctx = QueryContext::new(&g, &t, &profiles).unwrap().with_index(&index);
+        let mut scratch = QueryScratch::new(g.num_vertices());
+        for strategy in FindStrategy::ALL {
+            for q in 0..8u32 {
+                for k in 0..=3u32 {
+                    let owned = query(&ctx, q, k, strategy).unwrap();
+                    let pooled = query_scratch(&ctx, q, k, strategy, &mut scratch).unwrap();
+                    assert_eq!(owned.communities, pooled.communities, "q={q} k={k} {strategy:?}");
+                }
+            }
+        }
     }
 }

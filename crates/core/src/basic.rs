@@ -5,61 +5,83 @@
 //! infeasible, nothing above it can be feasible). Each verification
 //! recomputes `Gk[T]` from the global k-ĉore `Gk` — no index needed.
 //! Worst case `O(2^{|T(q)|} · m)` as analyzed in the paper.
+//!
+//! The enumeration runs in [`SubtreeId`] space: the stack, the memo,
+//! and the result set are all id-keyed, so no `Subtree` is cloned or
+//! hashed inside the loop.
 
 use std::rc::Rc;
 
-use pcs_graph::{FxHashMap, VertexId};
-use pcs_ptree::Subtree;
+use pcs_graph::VertexId;
+use pcs_ptree::SubtreeId;
 
 use crate::problem::{PcsOutcome, ProfiledCommunity, QueryContext};
-use crate::verify::Verifier;
+use crate::verify::{QueryScratch, Verifier};
 use crate::Result;
 
-/// Runs Algorithm 1 for `(q, k)`.
+/// Runs Algorithm 1 for `(q, k)` on one-shot scratch.
 pub fn query(ctx: &QueryContext<'_>, q: VertexId, k: u32) -> Result<PcsOutcome> {
+    query_scratch(ctx, q, k, &mut QueryScratch::new(ctx.graph.num_vertices()))
+}
+
+/// Runs Algorithm 1 on pooled scratch (the engine hot path).
+pub fn query_scratch(
+    ctx: &QueryContext<'_>,
+    q: VertexId,
+    k: u32,
+    scratch: &mut QueryScratch,
+) -> Result<PcsOutcome> {
     let space = ctx.space_for(q)?;
-    let mut ver = Verifier::new(ctx, &space, q, k);
-    let mut results: FxHashMap<Subtree, Rc<Vec<VertexId>>> = FxHashMap::default();
+    let ver = Verifier::with_scratch(ctx, &space, q, k, scratch);
+    Ok(run(ver))
+}
+
+fn run(mut ver: Verifier<'_>) -> PcsOutcome {
+    let mut results: Vec<(SubtreeId, Rc<Vec<VertexId>>)> = Vec::new();
 
     // Line 3-4: compute Gk; nothing to do if it is empty.
     if ver.gk().is_some() {
         // Line 5: Ψ ← generateSubtree(∅, T(q)) = the root-only subtree
         // (feasible because every P-tree contains the taxonomy root).
-        let mut stack: Vec<Subtree> = vec![space.root_only()];
+        let root = ver.ids_mut().root_only();
+        let mut stack: Vec<SubtreeId> = vec![root];
         ver.note_generated(1);
+        let mut ext: Vec<u32> = Vec::new();
         // Lines 6-13.
         while let Some(t_prime) = stack.pop() {
             let mut flag = true;
-            let extensions = space.rightmost_extensions(&t_prime);
-            ver.note_generated(extensions.len() as u64);
-            for pos in extensions {
-                let t = t_prime.with(pos);
-                if ver.verify(&t).is_some() {
+            ver.ids().rightmost_extensions_into(t_prime, &mut ext);
+            ver.note_generated(ext.len() as u64);
+            for &pos in &ext {
+                let t = ver.ids_mut().with(t_prime, pos);
+                if ver.verify_id(t).is_some() {
                     flag = false;
                     stack.push(t);
                 }
             }
-            if flag && ver.is_maximal_feasible(&t_prime) {
-                let community = ver.verify(&t_prime).expect("maximal implies feasible");
-                results.insert(t_prime, community);
+            if flag && ver.is_maximal_feasible_id(t_prime) {
+                let community = ver.verify_id(t_prime).expect("maximal implies feasible");
+                // Rightmost enumeration generates each subtree exactly
+                // once, so no dedup is needed here.
+                results.push((t_prime, community));
             }
         }
     }
-    Ok(assemble(ctx, &space, results, ver))
+    assemble(results, ver)
 }
 
-/// Turns the map of maximal feasible subtrees into a sorted outcome.
-/// Shared by all algorithms.
+/// Turns the list of maximal feasible subtrees into a sorted outcome.
+/// Shared by all algorithms; the only place interned ids are
+/// materialized back into owned [`pcs_ptree::PTree`]s.
 pub(crate) fn assemble(
-    _ctx: &QueryContext<'_>,
-    space: &pcs_ptree::QuerySpace,
-    results: FxHashMap<Subtree, Rc<Vec<VertexId>>>,
+    results: Vec<(SubtreeId, Rc<Vec<VertexId>>)>,
     ver: Verifier<'_>,
 ) -> PcsOutcome {
+    let space = ver.space();
     let mut communities: Vec<ProfiledCommunity> = results
         .into_iter()
-        .map(|(s, vs)| ProfiledCommunity {
-            subtree: space.to_ptree(&s),
+        .map(|(id, vs)| ProfiledCommunity {
+            subtree: space.to_ptree(&ver.ids().subtree(id)),
             vertices: vs.as_ref().clone(),
         })
         .collect();
@@ -183,6 +205,20 @@ mod tests {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_path_matches_owned_path() {
+        let (g, t, profiles) = figure1();
+        let ctx = QueryContext::new(&g, &t, &profiles).unwrap();
+        let mut scratch = QueryScratch::new(g.num_vertices());
+        for q in 0..8u32 {
+            for k in 0..=3u32 {
+                let owned = query(&ctx, q, k).unwrap();
+                let pooled = query_scratch(&ctx, q, k, &mut scratch).unwrap();
+                assert_eq!(owned.communities, pooled.communities, "q={q} k={k}");
             }
         }
     }

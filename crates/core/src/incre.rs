@@ -9,44 +9,61 @@
 
 use std::rc::Rc;
 
-use pcs_graph::{FxHashMap, VertexId};
-use pcs_ptree::Subtree;
+use pcs_graph::VertexId;
+use pcs_ptree::SubtreeId;
 
 use crate::problem::{PcsOutcome, QueryContext};
-use crate::verify::Verifier;
+use crate::verify::{QueryScratch, Verifier};
 use crate::Result;
 
-/// Runs Algorithm 3 for `(q, k)`. Requires an index in the context.
+/// Runs Algorithm 3 for `(q, k)` on one-shot scratch. Requires an
+/// index in the context.
 pub fn query(ctx: &QueryContext<'_>, q: VertexId, k: u32) -> Result<PcsOutcome> {
+    query_scratch(ctx, q, k, &mut QueryScratch::new(ctx.graph.num_vertices()))
+}
+
+/// Runs Algorithm 3 on pooled scratch (the engine hot path).
+pub fn query_scratch(
+    ctx: &QueryContext<'_>,
+    q: VertexId,
+    k: u32,
+    scratch: &mut QueryScratch,
+) -> Result<PcsOutcome> {
     debug_assert!(ctx.index.is_some(), "checked by QueryContext::query");
     let space = ctx.space_for(q)?;
-    let mut ver = Verifier::new(ctx, &space, q, k);
-    let mut results: FxHashMap<Subtree, Rc<Vec<VertexId>>> = FxHashMap::default();
+    let ver = Verifier::with_scratch(ctx, &space, q, k, scratch);
+    Ok(run(ver))
+}
+
+fn run(mut ver: Verifier<'_>) -> PcsOutcome {
+    let mut results: Vec<(SubtreeId, Rc<Vec<VertexId>>)> = Vec::new();
 
     if let Some(gk) = ver.gk() {
         // Line 3: Ψ initialized with the root-only subtree whose
         // community is Gk itself.
-        let mut stack: Vec<(Subtree, Rc<Vec<VertexId>>)> = vec![(space.root_only(), gk)];
+        let root = ver.ids_mut().root_only();
+        let mut stack: Vec<(SubtreeId, Rc<Vec<VertexId>>)> = vec![(root, gk)];
         ver.note_generated(1);
+        let mut ext: Vec<u32> = Vec::new();
         // Lines 4-11.
         while let Some((t_prime, community)) = stack.pop() {
             let mut flag = true;
-            let extensions = space.rightmost_extensions(&t_prime);
-            ver.note_generated(extensions.len() as u64);
-            for pos in extensions {
-                let t = t_prime.with(pos);
+            ver.ids().rightmost_extensions_into(t_prime, &mut ext);
+            ver.note_generated(ext.len() as u64);
+            for &pos in &ext {
+                let t = ver.ids_mut().with(t_prime, pos);
                 // Line 8: Gk[T] from Gk[T'] ∩ I.get(k, q, T\T').
-                if let Some(sub) = ver.verify_from_base(&t, &community, pos) {
+                if let Some(sub) = ver.verify_from_base_id(t, &community, pos) {
                     flag = false;
                     stack.push((t, sub));
                 }
             }
-            if flag && ver.is_maximal_feasible(&t_prime) {
-                results.insert(t_prime, community);
+            if flag && ver.is_maximal_feasible_id(t_prime) {
+                results.push((t_prime, community));
             }
         }
     }
-    Ok(crate::basic::assemble(ctx, &space, results, ver))
+    crate::basic::assemble(results, ver)
 }
 
 #[cfg(test)]

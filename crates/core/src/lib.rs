@@ -54,7 +54,7 @@ pub mod verify;
 pub use advanced::FindStrategy;
 pub use problem::{Algorithm, PcsError, PcsOutcome, ProfiledCommunity, QueryContext, QueryStats};
 pub use truss::truss_query;
-pub use verify::Verifier;
+pub use verify::{QueryScratch, Verifier};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, PcsError>;

@@ -149,6 +149,11 @@ pub struct QueryStats {
     pub memo_hits: u64,
     /// Candidates found feasible.
     pub feasible: u64,
+    /// Vertices scanned while seeding candidate sets (slice filters and
+    /// base intersections) — the pre-peel cost.
+    pub seed_scanned: u64,
+    /// Vertices handed to the localized k-core peel.
+    pub peel_candidates: u64,
     /// Size of the query's P-tree, `|T(q)|`.
     pub query_tree_size: u32,
 }
@@ -265,17 +270,39 @@ impl<'a> QueryContext<'a> {
     /// Runs one PCS query with the chosen algorithm.
     /// [`Algorithm::Auto`] resolves against the attached index first.
     pub fn query(&self, q: VertexId, k: u32, algorithm: Algorithm) -> Result<PcsOutcome> {
+        let mut scratch = crate::verify::QueryScratch::new(self.graph.num_vertices());
+        self.query_with_scratch(q, k, algorithm, &mut scratch)
+    }
+
+    /// Runs one PCS query on pooled [`crate::verify::QueryScratch`]:
+    /// identical answers to [`QueryContext::query`], but every
+    /// per-query working buffer (peel state, profile masks, candidate
+    /// seeds) is reused across calls. This is the engine's serving hot
+    /// path; one-shot callers can stay on `query`.
+    pub fn query_with_scratch(
+        &self,
+        q: VertexId,
+        k: u32,
+        algorithm: Algorithm,
+        scratch: &mut crate::verify::QueryScratch,
+    ) -> Result<PcsOutcome> {
         let algorithm = algorithm.resolve(self.index.is_some());
         if algorithm.needs_index() && self.index.is_none() {
             return Err(PcsError::IndexRequired(algorithm.name()));
         }
         match algorithm {
             Algorithm::Auto => unreachable!("Auto resolves to a concrete algorithm above"),
-            Algorithm::Basic => crate::basic::query(self, q, k),
-            Algorithm::Incre => crate::incre::query(self, q, k),
-            Algorithm::AdvI => crate::advanced::query(self, q, k, FindStrategy::Incremental),
-            Algorithm::AdvD => crate::advanced::query(self, q, k, FindStrategy::Decremental),
-            Algorithm::AdvP => crate::advanced::query(self, q, k, FindStrategy::Path),
+            Algorithm::Basic => crate::basic::query_scratch(self, q, k, scratch),
+            Algorithm::Incre => crate::incre::query_scratch(self, q, k, scratch),
+            Algorithm::AdvI => {
+                crate::advanced::query_scratch(self, q, k, FindStrategy::Incremental, scratch)
+            }
+            Algorithm::AdvD => {
+                crate::advanced::query_scratch(self, q, k, FindStrategy::Decremental, scratch)
+            }
+            Algorithm::AdvP => {
+                crate::advanced::query_scratch(self, q, k, FindStrategy::Path, scratch)
+            }
         }
     }
 }

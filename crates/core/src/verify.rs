@@ -4,33 +4,42 @@
 //! a candidate subtree `T ⊆ T(q)`, does `Gk[T]` — the connected k-core
 //! containing `q` restricted to vertices whose P-trees contain `T` —
 //! exist, and what are its vertices? This module centralizes that
-//! question with:
+//! question and keeps it off the allocator:
 //!
-//! * a **memo table** keyed by candidate bitsets (`Gk[T]` is a pure
-//!   function of `T`, so `basic`'s re-verification, `incre`'s
-//!   incremental narrowing, and the MARGIN walk all share results);
-//! * **lazy vertex masks**: each touched vertex's profile is projected
-//!   once onto `T(q)`'s bit positions, turning "does `T(v)` contain `T`"
-//!   into a word-wise subset test (Lemma 3's filter);
-//! * the allocation-free localized k-core peel from `pcs-graph`
-//!   ([`pcs_graph::SubsetCore`]).
+//! * candidates are **interned** ([`pcs_ptree::SubtreeInterner`]) into
+//!   dense [`SubtreeId`]s, so the memo table is a flat `Vec` indexed by
+//!   id — no `Subtree` cloning or hashing per probe (each distinct
+//!   subtree is hashed exactly once, at interning time);
+//! * index probes use [`pcs_index::CpTree::get_ref`], a **borrowed
+//!   arena slice** (O(CL-tree depth), zero-copy) instead of the owned
+//!   collect-and-sort `get`;
+//! * all intermediate buffers live in a reusable [`QueryScratch`]
+//!   (candidate seeds, per-vertex profile masks, the localized-peel
+//!   state, the `Gk` position index), which an engine can pool across
+//!   queries;
+//! * every level-k label ĉore is a subset of the global k-ĉore `Gk`,
+//!   so `I.get(k, q, ·)` results are cached per query as **bitsets
+//!   over `Gk` positions** — seeding a candidate is a handful of
+//!   word-wise ANDs, and `base ∩ I.get(...)` is one bit test per base
+//!   member.
 //!
 //! Candidate seeding follows the paper:
 //! * without an index (`basic`): candidates = `Gk` (the global k-ĉore
-//!   of `q`) filtered by the mask test — Algorithm 1's "compute `Gk[T]`
-//!   from `Gk`";
+//!   of `q`) filtered by lazy per-vertex profile masks — Algorithm 1's
+//!   "compute `Gk[T]` from `Gk`";
 //! * with an index and a parent community (`incre`): candidates =
 //!   `Gk[T'] ∩ I.get(k, q, t)` where `t` is the newly added label —
 //!   Lemma 3;
 //! * with an index and no parent (`advanced`'s `verifyPtree`):
-//!   candidates = `I.get(k, q, leaf)` for the most selective leaf of
-//!   `T`, filtered by the mask test — the `⋂ I.get(k,q,tni)` bound.
+//!   candidates = `⋂ I.get(k, q, tni)` over the candidate's leaves —
+//!   the paper's bound, which by ancestor closure already implies the
+//!   profile containment test.
 
 use std::rc::Rc;
 
 use pcs_graph::core::SubsetCore;
-use pcs_graph::{FxHashMap, VertexId};
-use pcs_ptree::{QuerySpace, Subtree};
+use pcs_graph::VertexId;
+use pcs_ptree::{QuerySpace, Subtree, SubtreeId, SubtreeInterner};
 
 use crate::problem::{QueryContext, QueryStats};
 
@@ -39,15 +48,123 @@ use crate::problem::{QueryContext, QueryStats};
 /// them).
 pub type Community = Option<Rc<Vec<VertexId>>>;
 
+/// Reusable per-query working memory: everything a [`Verifier`] needs
+/// beyond the answer vectors themselves. Creating one is O(n); reusing
+/// one across queries (see [`Verifier::with_scratch`]) makes the whole
+/// verification loop allocation-free in steady state — per-vertex state
+/// is invalidated by epoch stamping, never re-zeroed.
+#[derive(Debug)]
+pub struct QueryScratch {
+    /// The localized k-core peel engine (itself epoch-stamped).
+    core: SubsetCore,
+    /// Per-vertex projection of `T(v)` onto the current query space.
+    masks: Vec<Option<Subtree>>,
+    /// `masks[v]` is valid iff `mask_epoch[v] == epoch`.
+    mask_epoch: Vec<u32>,
+    epoch: u32,
+    /// Filtered candidate seed for the localized peel.
+    seed: Vec<VertexId>,
+    /// `gk_pos[v]` = dense index of `v` inside the current query's `Gk`
+    /// (valid iff `gk_pos_epoch[v] == epoch`). Lets label-ĉore bitsets
+    /// over `Gk` answer membership in O(1).
+    gk_pos: Vec<u32>,
+    gk_pos_epoch: Vec<u32>,
+    /// Word buffer for ANDing label-ĉore bitsets.
+    words_buf: Vec<u64>,
+}
+
+impl QueryScratch {
+    /// Creates scratch state for graphs with up to `n` vertices.
+    pub fn new(n: usize) -> Self {
+        QueryScratch {
+            core: SubsetCore::new(n),
+            masks: vec![None; n],
+            mask_epoch: vec![0; n],
+            epoch: 0,
+            seed: Vec::new(),
+            gk_pos: vec![0; n],
+            gk_pos_epoch: vec![0; n],
+            words_buf: Vec::new(),
+        }
+    }
+
+    /// Readies the scratch for a new query over `n` vertices:
+    /// invalidates all cached masks in O(1) and grows per-vertex state
+    /// if the graph outgrew the scratch.
+    fn begin(&mut self, n: usize) {
+        if n > self.masks.len() {
+            self.core = SubsetCore::new(n);
+            self.masks.resize(n, None);
+            self.mask_epoch.resize(n, 0);
+            self.gk_pos.resize(n, 0);
+            self.gk_pos_epoch.resize(n, 0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.mask_epoch.iter_mut().for_each(|e| *e = 0);
+                self.gk_pos_epoch.iter_mut().for_each(|e| *e = 0);
+                1
+            }
+        };
+    }
+}
+
+/// One label's k-ĉore of the query vertex, as a bitset over `Gk`.
+#[derive(Clone, Debug)]
+enum LabelCoreSet {
+    /// Not asked for yet.
+    Unbuilt,
+    /// `I.get(k, q, label)` does not exist.
+    Missing,
+    /// The ĉore's members, as set bits over `Gk` positions.
+    Built { bits: Box<[u64]>, count: u32 },
+}
+
+/// Either owned (one-shot queries) or borrowed (pooled) scratch.
+enum ScratchSlot<'a> {
+    Owned(Box<QueryScratch>),
+    Borrowed(&'a mut QueryScratch),
+}
+
+impl ScratchSlot<'_> {
+    #[inline]
+    fn get(&mut self) -> &mut QueryScratch {
+        match self {
+            ScratchSlot::Owned(s) => s,
+            ScratchSlot::Borrowed(s) => s,
+        }
+    }
+}
+
 /// Memoized `Gk[T]` oracle for one query `(q, k)`.
+///
+/// Also owns the query's [`SubtreeInterner`]: the algorithms run
+/// entirely in [`SubtreeId`] space and only materialize owned
+/// [`Subtree`]s when assembling the final outcome.
 pub struct Verifier<'a> {
     ctx: &'a QueryContext<'a>,
     space: &'a QuerySpace,
     q: VertexId,
     k: u32,
-    core: SubsetCore,
-    memo: FxHashMap<Subtree, Community>,
-    masks: Vec<Option<Subtree>>,
+    interner: SubtreeInterner<'a>,
+    /// Memo table indexed by [`SubtreeId`]; `None` = not verified yet.
+    memo: Vec<Option<Community>>,
+    /// Maximality verdicts per id: 0 = unknown, 1 = maximal, 2 = not.
+    /// The boundary walk asks about the same subtree from many cuts;
+    /// the verdict is a pure function of the subtree.
+    maximal_memo: Vec<u8>,
+    /// Per DFS position of `T(q)`: `I.get(k, q, label)` as a bitset
+    /// over `Gk` indices (every label ĉore at level k is a subset of
+    /// the global k-ĉore `Gk`). Built lazily, once per query; turns
+    /// candidate seeding into word-wise ANDs and base intersection
+    /// into O(1) bit tests.
+    label_sets: Vec<LabelCoreSet>,
+    /// Scratch for leaf-position scans.
+    leaf_buf: Vec<u32>,
+    scratch: ScratchSlot<'a>,
+    /// Scratch for `is_maximal_feasible_id`'s child scan.
+    maximal_buf: Vec<u32>,
     /// `Gk`: the global k-ĉore containing `q` (feasibility of the
     /// root-only candidate — and of the empty tree).
     gk: Community,
@@ -56,18 +173,55 @@ pub struct Verifier<'a> {
 }
 
 impl<'a> Verifier<'a> {
-    /// Creates the oracle and computes `Gk` once.
+    /// Creates the oracle with its own scratch and computes `Gk` once.
     pub fn new(ctx: &'a QueryContext<'a>, space: &'a QuerySpace, q: VertexId, k: u32) -> Self {
+        let scratch = ScratchSlot::Owned(Box::new(QueryScratch::new(ctx.graph.num_vertices())));
+        Self::build(ctx, space, q, k, scratch)
+    }
+
+    /// Creates the oracle on pooled scratch (the engine's hot path):
+    /// repeated queries over one graph reuse every buffer.
+    pub fn with_scratch(
+        ctx: &'a QueryContext<'a>,
+        space: &'a QuerySpace,
+        q: VertexId,
+        k: u32,
+        scratch: &'a mut QueryScratch,
+    ) -> Self {
+        Self::build(ctx, space, q, k, ScratchSlot::Borrowed(scratch))
+    }
+
+    fn build(
+        ctx: &'a QueryContext<'a>,
+        space: &'a QuerySpace,
+        q: VertexId,
+        k: u32,
+        mut scratch: ScratchSlot<'a>,
+    ) -> Self {
+        let scr = scratch.get();
+        scr.begin(ctx.graph.num_vertices());
         let gk = ctx.cores.kcore_component(ctx.graph, q, k).map(Rc::new);
+        // Stamp every Gk member with its dense Gk index, so label-ĉore
+        // bitsets over Gk answer membership in O(1).
+        if let Some(gk) = &gk {
+            for (i, &v) in gk.iter().enumerate() {
+                scr.gk_pos[v as usize] = i as u32;
+                scr.gk_pos_epoch[v as usize] = scr.epoch;
+            }
+        }
         let stats = QueryStats { query_tree_size: space.len() as u32, ..Default::default() };
         Verifier {
             ctx,
             space,
             q,
             k,
-            core: SubsetCore::new(ctx.graph.num_vertices()),
-            memo: FxHashMap::default(),
-            masks: vec![None; ctx.graph.num_vertices()],
+            interner: SubtreeInterner::new(space),
+            memo: Vec::new(),
+            maximal_memo: Vec::new(),
+            label_sets: vec![LabelCoreSet::Unbuilt; space.len()],
+            leaf_buf: Vec::new(),
+            scratch,
+            maximal_buf: Vec::new(),
             gk,
             stats,
         }
@@ -83,9 +237,20 @@ impl<'a> Verifier<'a> {
         self.k
     }
 
-    /// The frozen search space.
-    pub fn space(&self) -> &QuerySpace {
+    /// The frozen search space (borrowed from the caller, so the
+    /// reference outlives any later `&mut self` use).
+    pub fn space(&self) -> &'a QuerySpace {
         self.space
+    }
+
+    /// The query's subtree interner (for id-space lattice moves).
+    pub fn ids(&self) -> &SubtreeInterner<'a> {
+        &self.interner
+    }
+
+    /// Mutable interner access (interning and memoized ±one-node moves).
+    pub fn ids_mut(&mut self) -> &mut SubtreeInterner<'a> {
+        &mut self.interner
     }
 
     /// The global k-ĉore `Gk` of the query vertex (the community of the
@@ -94,139 +259,319 @@ impl<'a> Verifier<'a> {
         self.gk.clone()
     }
 
-    /// Projection of `T(v)` onto the query space, computed lazily.
-    fn mask_of(&mut self, v: VertexId) -> &Subtree {
-        if self.masks[v as usize].is_none() {
-            let profile = &self.ctx.profiles[v as usize];
-            let mut m = self.space.empty();
-            for pos in 0..self.space.len() as u32 {
-                if profile.contains(self.space.label_at(pos)) {
-                    m = m.with(pos);
-                }
-            }
-            self.masks[v as usize] = Some(m);
-        }
-        self.masks[v as usize].as_ref().unwrap()
-    }
-
     /// True when vertex `v`'s profile contains candidate `s`.
     pub fn vertex_contains(&mut self, v: VertexId, s: &Subtree) -> bool {
-        s.is_subset_of(self.mask_of(v))
+        let id = self.interner.intern(s);
+        let ctx = self.ctx;
+        let space = self.space;
+        let scr = self.scratch.get();
+        ensure_mask(scr, ctx, space, v);
+        let mask = scr.masks[v as usize].as_ref().unwrap();
+        self.interner.is_subset_of_words(id, mask.words())
     }
 
-    fn peel(&mut self, candidates: &[VertexId]) -> Community {
-        self.stats.verifications += 1;
-        self.core.kcore_component_within(self.ctx.graph, candidates, self.q, self.k).map(Rc::new)
+    fn ensure_memo(&mut self, id: SubtreeId) {
+        if id.index() >= self.memo.len() {
+            self.memo.resize(self.interner.num_interned().max(id.index() + 1), None);
+        }
     }
 
-    /// `Gk[T]` with automatic candidate seeding (memoized).
-    pub fn verify(&mut self, s: &Subtree) -> Community {
-        if s.is_empty() || s.count() == 1 {
+    /// `Gk[T]` with automatic candidate seeding, memoized per
+    /// [`SubtreeId`]. The indexed path probes a borrowed CL-tree arena
+    /// slice and filters it into reusable scratch — no allocation
+    /// unless the candidate turns out feasible (the answer vector).
+    pub fn verify_id(&mut self, id: SubtreeId) -> Community {
+        if self.interner.count(id) <= 1 {
             // The empty tree and the root-only tree constrain nothing:
             // every vertex contains the taxonomy root.
             return self.gk.clone();
         }
-        if let Some(hit) = self.memo.get(s) {
+        self.ensure_memo(id);
+        if let Some(hit) = &self.memo[id.index()] {
             self.stats.memo_hits += 1;
             return hit.clone();
         }
-        let candidates: Vec<VertexId> = match self.ctx.index {
-            Some(index) => {
-                // Most selective leaf of `s` (Lemma 3 / verifyPtree):
-                // its label's k-ĉore already satisfies the path part of
-                // `s`; the mask test enforces the rest.
-                let leaf = self
-                    .space
-                    .leaves(s)
-                    .into_iter()
-                    .min_by_key(|&p| index.vertices_with_label(self.space.label_at(p)).len())
-                    .expect("non-empty candidate has a leaf");
-                let seed = match index.get(self.k, self.q, self.space.label_at(leaf)) {
-                    Some(seed) => seed,
-                    None => {
-                        self.memo.insert(s.clone(), None);
-                        return None;
-                    }
-                };
-                self.filter_by_mask(seed, s)
-            }
-            None => {
-                // Algorithm 1: start from the global k-ĉore.
-                let Some(gk) = self.gk.clone() else {
-                    self.memo.insert(s.clone(), None);
-                    return None;
-                };
-                self.filter_by_mask(gk.as_ref().clone(), s)
+        let result = if self.ctx.index.is_some() {
+            self.verify_indexed(id)
+        } else {
+            // Algorithm 1: start from the global k-ĉore, filtered by
+            // the per-vertex profile masks.
+            match &self.gk {
+                Some(gk) => {
+                    let gk = Rc::clone(gk);
+                    self.stats.seed_scanned += gk.len() as u64;
+                    let (ctx, space) = (self.ctx, self.space);
+                    filter_seed(&self.interner, id, ctx, space, self.scratch.get(), &gk[..]);
+                    self.peel()
+                }
+                None => None,
             }
         };
-        let result = self.peel(&candidates);
         if result.is_some() {
             self.stats.feasible += 1;
         }
-        self.memo.insert(s.clone(), result.clone());
+        self.memo[id.index()] = Some(result.clone());
         result
+    }
+
+    /// Indexed seeding (the `verifyPtree` bound, strengthened): the
+    /// candidates are `⋂ I.get(k, q, leaf)` over **every** leaf of the
+    /// candidate — by ancestor closure, a vertex inside all leaf ĉores
+    /// carries the whole subtree, so no mask pass is needed — computed
+    /// as word-wise ANDs of the per-label bitsets over `Gk`.
+    fn verify_indexed(&mut self, id: SubtreeId) -> Community {
+        // Leaves of `id` (into reusable scratch).
+        let mut leaves = std::mem::take(&mut self.leaf_buf);
+        self.interner.leaves_into(id, &mut leaves);
+        debug_assert!(!leaves.is_empty(), "non-empty candidate has a leaf");
+        // Ensure every leaf's ĉore bitset exists; find the smallest.
+        let mut best: Option<(u32, u32)> = None; // (count, pos)
+        let mut missing = false;
+        for &p in &leaves {
+            match self.ensure_label_set(p) {
+                LabelCoreSet::Missing => {
+                    missing = true;
+                    break;
+                }
+                LabelCoreSet::Built { count, .. } => {
+                    let count = *count;
+                    if best.is_none_or(|(c, _)| count < c) {
+                        best = Some((count, p));
+                    }
+                }
+                LabelCoreSet::Unbuilt => unreachable!("ensure_label_set builds"),
+            }
+        }
+        let result = if missing {
+            None
+        } else {
+            let (best_count, best_pos) = best.expect("at least one leaf");
+            self.stats.seed_scanned += best_count as u64;
+            let gk = self.gk.clone().expect("a built label ĉore implies Gk exists");
+            // AND all leaf sets into the scratch word buffer.
+            let scr = self.scratch.get();
+            let QueryScratch { words_buf, seed, .. } = scr;
+            let LabelCoreSet::Built { bits, .. } = &self.label_sets[best_pos as usize] else {
+                unreachable!()
+            };
+            words_buf.clear();
+            words_buf.extend_from_slice(bits);
+            for &p in &leaves {
+                if p != best_pos {
+                    let LabelCoreSet::Built { bits, .. } = &self.label_sets[p as usize] else {
+                        unreachable!()
+                    };
+                    for (a, b) in words_buf.iter_mut().zip(bits.iter()) {
+                        *a &= *b;
+                    }
+                }
+            }
+            // Materialize: Gk is sorted, so the seed comes out sorted.
+            seed.clear();
+            for (wi, &w) in words_buf.iter().enumerate() {
+                let mut bits = w;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    seed.push(gk[wi * 64 + b]);
+                }
+            }
+            if seed.len() == best_count as usize {
+                // The smallest leaf ĉore survived the intersection
+                // whole: the candidates ARE that ĉore — a connected
+                // k-core containing q — so the peel is a no-op.
+                self.stats.verifications += 1;
+                Some(Rc::new(seed.clone()))
+            } else {
+                self.peel()
+            }
+        };
+        self.leaf_buf = leaves;
+        result
+    }
+
+    /// Builds (once) the bitset of `I.get(k, q, label_at(pos))` over
+    /// `Gk` positions.
+    fn ensure_label_set(&mut self, pos: u32) -> &LabelCoreSet {
+        if matches!(self.label_sets[pos as usize], LabelCoreSet::Unbuilt) {
+            let index = self.ctx.index.expect("indexed path");
+            let label = self.space.label_at(pos);
+            let built = match index.get_ref(self.k, self.q, label) {
+                None => LabelCoreSet::Missing,
+                Some(slice) => {
+                    let gk_len = self.gk.as_ref().map_or(0, |g| g.len());
+                    let mut bits = vec![0u64; gk_len.div_ceil(64).max(1)].into_boxed_slice();
+                    let scr = self.scratch.get();
+                    let mut count = 0u32;
+                    for &v in slice {
+                        // Every level-k label ĉore is a subset of Gk;
+                        // the epoch guard is a defensive no-op.
+                        if scr.gk_pos_epoch[v as usize] == scr.epoch {
+                            let i = scr.gk_pos[v as usize] as usize;
+                            bits[i / 64] |= 1 << (i % 64);
+                            count += 1;
+                        }
+                    }
+                    LabelCoreSet::Built { bits, count }
+                }
+            };
+            self.label_sets[pos as usize] = built;
+        }
+        &self.label_sets[pos as usize]
     }
 
     /// `Gk[T]` computed by narrowing a known parent community
     /// (`incre`'s Lemma 3 step): candidates = `base ∩ I.get(k,q,t)`
-    /// where `t` is the label at the freshly added position. Falls back
-    /// to the memo when the answer is already known.
+    /// where `t` is the label at the freshly added position. The
+    /// intersection never walks the label's (potentially huge) ĉore:
+    /// each `base` vertex is one bit test against the label's cached
+    /// `Gk` bitset — total O(|base|), allocation-free.
+    pub fn verify_from_base_id(
+        &mut self,
+        id: SubtreeId,
+        base: &Rc<Vec<VertexId>>,
+        added_pos: u32,
+    ) -> Community {
+        self.ensure_memo(id);
+        if let Some(hit) = &self.memo[id.index()] {
+            self.stats.memo_hits += 1;
+            return hit.clone();
+        }
+        debug_assert!(
+            self.ctx.index.is_some(),
+            "verify_from_base is only used by index-based algorithms"
+        );
+        let result = match self.ensure_label_set(added_pos) {
+            LabelCoreSet::Missing => None,
+            LabelCoreSet::Built { .. } => {
+                self.stats.seed_scanned += base.len() as u64;
+                let LabelCoreSet::Built { bits, .. } = &self.label_sets[added_pos as usize] else {
+                    unreachable!()
+                };
+                // candidates = base ∩ I.get(k, q, t): one O(1) bit test
+                // per base member, never a walk of the label's ĉore.
+                let QueryScratch { seed, gk_pos, gk_pos_epoch, epoch, .. } = self.scratch.get();
+                seed.clear();
+                for &v in base.iter() {
+                    if gk_pos_epoch[v as usize] == *epoch {
+                        let i = gk_pos[v as usize] as usize;
+                        if bits[i / 64] & (1 << (i % 64)) != 0 {
+                            seed.push(v);
+                        }
+                    }
+                }
+                if seed.len() == base.len() {
+                    // The label removed nothing: `base` is already a
+                    // connected k-core containing q made of carriers of
+                    // the grown subtree, so it IS the answer — share
+                    // the Rc, skip the peel.
+                    self.stats.verifications += 1;
+                    Some(Rc::clone(base))
+                } else {
+                    self.peel()
+                }
+            }
+            LabelCoreSet::Unbuilt => unreachable!("ensure_label_set builds"),
+        };
+        if result.is_some() {
+            self.stats.feasible += 1;
+        }
+        self.memo[id.index()] = Some(result.clone());
+        result
+    }
+
+    /// Localized peel over the candidates currently in `scratch.seed`.
+    fn peel(&mut self) -> Community {
+        self.stats.verifications += 1;
+        self.stats.peel_candidates += self.scratch.get().seed.len() as u64;
+        let graph = self.ctx.graph;
+        let (q, k) = (self.q, self.k);
+        let scr = self.scratch.get();
+        let QueryScratch { core, seed, .. } = scr;
+        core.kcore_component_within(graph, seed, q, k).map(Rc::new)
+    }
+
+    /// Feasibility shorthand.
+    pub fn is_feasible_id(&mut self, id: SubtreeId) -> bool {
+        self.verify_id(id).is_some()
+    }
+
+    /// True when `id` is feasible and every lattice child is infeasible
+    /// — the paper's "T′ is maximal" check.
+    ///
+    /// With an index attached, each child is verified by Lemma-3
+    /// narrowing from `id`'s own (already memoized) community, so the
+    /// scan costs O(children · |community|) instead of O(children ·
+    /// |label ĉore|).
+    pub fn is_maximal_feasible_id(&mut self, id: SubtreeId) -> bool {
+        if id.index() >= self.maximal_memo.len() {
+            self.maximal_memo.resize(self.interner.num_interned().max(id.index() + 1), 0);
+        }
+        match self.maximal_memo[id.index()] {
+            1 => return true,
+            2 => return false,
+            _ => {}
+        }
+        let Some(community) = self.verify_id(id) else {
+            self.maximal_memo[id.index()] = 2;
+            return false;
+        };
+        let mut buf = std::mem::take(&mut self.maximal_buf);
+        self.interner.lattice_children_into(id, &mut buf);
+        let use_base = self.ctx.index.is_some();
+        let mut maximal = true;
+        for &p in &buf {
+            self.stats.subtrees_generated += 1;
+            let child = self.interner.with(id, p);
+            let feasible = if use_base {
+                self.verify_from_base_id(child, &community, p).is_some()
+            } else {
+                self.verify_id(child).is_some()
+            };
+            if feasible {
+                maximal = false;
+                break;
+            }
+        }
+        self.maximal_buf = buf;
+        self.maximal_memo[id.index()] = if maximal { 1 } else { 2 };
+        maximal
+    }
+
+    // ------------------------------------------------------------------
+    // Owned-`Subtree` compatibility layer: interns and delegates. Fine
+    // for tests and one-shot probes; the algorithms stay in id space.
+    // ------------------------------------------------------------------
+
+    /// `Gk[T]` for an owned candidate (interns `s` first).
+    pub fn verify(&mut self, s: &Subtree) -> Community {
+        if s.is_empty() {
+            return self.gk.clone();
+        }
+        let id = self.interner.intern(s);
+        self.verify_id(id)
+    }
+
+    /// [`Verifier::verify_from_base_id`] for an owned candidate.
     pub fn verify_from_base(
         &mut self,
         s: &Subtree,
         base: &Rc<Vec<VertexId>>,
         added_pos: u32,
     ) -> Community {
-        if let Some(hit) = self.memo.get(s) {
-            self.stats.memo_hits += 1;
-            return hit.clone();
-        }
-        let index =
-            self.ctx.index.expect("verify_from_base is only used by index-based algorithms");
-        let label = self.space.label_at(added_pos);
-        let seed = match index.get(self.k, self.q, label) {
-            Some(seed) => seed,
-            None => {
-                self.memo.insert(s.clone(), None);
-                return None;
-            }
-        };
-        let candidates = intersect_sorted(base, &seed);
-        let result = self.peel(&candidates);
-        if result.is_some() {
-            self.stats.feasible += 1;
-        }
-        self.memo.insert(s.clone(), result.clone());
-        result
+        let id = self.interner.intern(s);
+        self.verify_from_base_id(id, base, added_pos)
     }
 
-    fn filter_by_mask(&mut self, seed: Vec<VertexId>, s: &Subtree) -> Vec<VertexId> {
-        let mut out = Vec::with_capacity(seed.len());
-        for v in seed {
-            if self.vertex_contains(v, s) {
-                out.push(v);
-            }
-        }
-        out
-    }
-
-    /// Feasibility shorthand.
+    /// Feasibility shorthand for an owned candidate.
     pub fn is_feasible(&mut self, s: &Subtree) -> bool {
         self.verify(s).is_some()
     }
 
-    /// True when `s` is feasible and every lattice child is infeasible —
-    /// the paper's "T′ is maximal" check.
+    /// [`Verifier::is_maximal_feasible_id`] for an owned candidate.
     pub fn is_maximal_feasible(&mut self, s: &Subtree) -> bool {
-        if !self.is_feasible(s) {
-            return false;
-        }
-        let children = self.space.lattice_children(s);
-        children.into_iter().all(|p| {
-            let child = s.with(p);
-            self.stats.subtrees_generated += 1;
-            !self.is_feasible(&child)
-        })
+        let id = self.interner.intern(s);
+        self.is_maximal_feasible_id(id)
     }
 
     /// Count one generated candidate (enumeration bookkeeping).
@@ -235,7 +580,46 @@ impl<'a> Verifier<'a> {
     }
 }
 
-/// Intersection of two sorted vertex lists.
+/// Builds (or revalidates) the lazy mask of `v`: `T(v)` projected onto
+/// the query space's bit positions.
+fn ensure_mask(scr: &mut QueryScratch, ctx: &QueryContext<'_>, space: &QuerySpace, v: VertexId) {
+    let vi = v as usize;
+    if scr.mask_epoch[vi] == scr.epoch {
+        return;
+    }
+    let profile = &ctx.profiles[vi];
+    let mut m = space.empty();
+    for pos in 0..space.len() as u32 {
+        if profile.contains(space.label_at(pos)) {
+            m.insert(pos);
+        }
+    }
+    scr.masks[vi] = Some(m);
+    scr.mask_epoch[vi] = scr.epoch;
+}
+
+/// Filters `seed` by the per-vertex mask test for candidate `id` into
+/// `scr.seed` (cleared first).
+fn filter_seed(
+    interner: &SubtreeInterner<'_>,
+    id: SubtreeId,
+    ctx: &QueryContext<'_>,
+    space: &QuerySpace,
+    scr: &mut QueryScratch,
+    seed: &[VertexId],
+) {
+    scr.seed.clear();
+    for &v in seed {
+        ensure_mask(scr, ctx, space, v);
+        let mask = scr.masks[v as usize].as_ref().unwrap();
+        if interner.is_subset_of_words(id, mask.words()) {
+            scr.seed.push(v);
+        }
+    }
+}
+
+/// Intersection of two sorted vertex lists (kept for callers outside
+/// the hot path; the verifier itself intersects via `Gk` bitsets).
 pub fn intersect_sorted(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0, 0);
@@ -334,6 +718,30 @@ mod tests {
         }
     }
 
+    /// Pooled scratch answers exactly like fresh scratch across a
+    /// sequence of different queries (mask epochs must isolate them).
+    #[test]
+    fn scratch_reuse_is_transparent() {
+        let (g, t, profiles) = setup();
+        let index = CpTree::build(&g, &t, &profiles).unwrap();
+        let ctx = QueryContext::new(&g, &t, &profiles).unwrap().with_index(&index);
+        let mut scratch = QueryScratch::new(g.num_vertices());
+        for q in 0..8u32 {
+            for k in 1..=3u32 {
+                let space = ctx.space_for(q).unwrap();
+                let mut pooled = Verifier::with_scratch(&ctx, &space, q, k, &mut scratch);
+                let mut fresh = Verifier::new(&ctx, &space, q, k);
+                for s in pcs_ptree::enumerate::enumerate_rooted_subtrees(&space) {
+                    assert_eq!(
+                        pooled.verify(&s).map(|rc| rc.as_ref().clone()),
+                        fresh.verify(&s).map(|rc| rc.as_ref().clone()),
+                        "q={q} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
     /// Reference implementation: filter all vertices, peel naively.
     fn brute_gk(
         g: &Graph,
@@ -401,6 +809,20 @@ mod tests {
         // The root-only candidate is feasible but NOT maximal.
         assert!(ver.is_feasible(&space.root_only()));
         assert!(!ver.is_maximal_feasible(&space.root_only()));
+    }
+
+    #[test]
+    fn vertex_contains_matches_profiles() {
+        let (g, t, profiles) = setup();
+        let ctx = QueryContext::new(&g, &t, &profiles).unwrap();
+        let space = ctx.space_for(3).unwrap();
+        let mut ver = Verifier::new(&ctx, &space, 3, 2);
+        for v in 0..8u32 {
+            for s in pcs_ptree::enumerate::enumerate_rooted_subtrees(&space) {
+                let expect = space.to_ptree(&s).is_subtree_of(&profiles[v as usize]);
+                assert_eq!(ver.vertex_contains(v, &s), expect, "v={v}");
+            }
+        }
     }
 
     #[test]

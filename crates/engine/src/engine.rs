@@ -1,6 +1,6 @@
 //! The owned engine, its builder, and the update path.
 
-use pcs_core::{Algorithm, QueryContext};
+use pcs_core::{Algorithm, QueryContext, QueryScratch};
 use pcs_graph::core::CoreDecomposition;
 use pcs_graph::{DynamicGraph, FxHashMap, Graph, IncrementalCores, VertexId};
 use pcs_index::{CpTree, GraphDelta, IndexError};
@@ -167,6 +167,7 @@ impl EngineBuilder {
             patch_cap_fraction: self.patch_cap_fraction.unwrap_or(0.5),
             state: RwLock::new(snapshot),
             writer: Mutex::new(None),
+            scratch_pool: Mutex::new(Vec::new()),
         };
         if self.index_mode == IndexMode::Eager {
             engine.warm()?;
@@ -223,6 +224,10 @@ pub struct PcsEngine {
     state: RwLock<Arc<SnapshotInner>>,
     /// Serializes writers and owns the mutable master state.
     writer: Mutex<Option<WriterState>>,
+    /// Reusable per-query working memory ([`QueryScratch`]): each query
+    /// checks one out, runs allocation-free, and returns it. Pooled so
+    /// concurrent `query_batch` workers each get their own.
+    scratch_pool: Mutex<Vec<QueryScratch>>,
 }
 
 impl PcsEngine {
@@ -314,9 +319,28 @@ impl PcsEngine {
         };
         let cores = snap.cores();
         let ctx = QueryContext::from_parts(&snap.graph, &self.tax, &snap.profiles, index, cores)?;
+        // Check out pooled scratch so the query's working buffers (peel
+        // state, profile masks, candidate seeds) are reused instead of
+        // reallocated per request.
+        let mut scratch = {
+            let mut pool = self.scratch_pool.lock().expect("scratch pool poisoned");
+            pool.pop().unwrap_or_else(|| QueryScratch::new(snap.graph.num_vertices()))
+        };
         let start = Instant::now();
-        let mut outcome = ctx.query(request.vertex_id(), request.degree_bound(), algorithm)?;
+        let result = ctx.query_with_scratch(
+            request.vertex_id(),
+            request.degree_bound(),
+            algorithm,
+            &mut scratch,
+        );
         let elapsed = start.elapsed();
+        {
+            let mut pool = self.scratch_pool.lock().expect("scratch pool poisoned");
+            if pool.len() < 64 {
+                pool.push(scratch);
+            }
+        }
+        let mut outcome = result?;
         let total_communities = outcome.communities.len();
         if let Some(cap) = request.community_cap() {
             outcome.communities.truncate(cap);

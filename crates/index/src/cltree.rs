@@ -1,4 +1,4 @@
-//! The CL-tree: nested k-ĉores as a forest.
+//! The CL-tree: nested k-ĉores as a forest over a flat DFS arena.
 //!
 //! Because `j-ĉore ⊆ i-ĉore` whenever `i < j`, all connected ĉores of a
 //! graph form a containment forest. Each node carries a core level and
@@ -6,33 +6,50 @@
 //! the full vertex set of a ĉore is the node's subtree. A
 //! `vertexNodeMap` (here a sorted-id lookup) places every vertex at the
 //! node of its own core level, so locating the k-ĉore of a query vertex
-//! is an upward walk of at most `max_core` steps plus an output-sized
-//! subtree collection.
+//! is an upward walk of at most `max_core` steps.
+//!
+//! **Arena layout.** All member vertices live in one contiguous
+//! `arena`, ordered by a DFS of the forest in which every node's own
+//! vertices precede its children's subtrees. Each node records an
+//! `(offset, len)` pair into the arena for its own vertices *and* for
+//! its whole subtree — so the k-ĉore of `(q, k)`, which is exactly the
+//! subtree of `q`'s `k`-level ancestor, is a **borrowed slice**:
+//! [`ClTree::community_ref`] answers in O(depth) with zero allocation
+//! and zero copying. The owned [`ClTree::get`] remains as a thin
+//! sorted copy for callers that need ownership or sorted order.
 //!
 //! Construction follows the union-find method of Fang et al.: sweep
 //! core levels from deepest to shallowest, union the newly activated
 //! vertices with already-active neighbours, and make the merged deeper
 //! nodes children of the freshly created level node — O(m·α(n)) total.
+//! Per-level grouping is a sort-then-partition over a scratch vector
+//! (no per-level hash maps).
 
 use pcs_graph::core::CoreDecomposition;
-use pcs_graph::{FxHashMap, Graph, UnionFind, VertexId};
+use pcs_graph::{Graph, UnionFind, VertexId};
 
 /// Sentinel for "no parent" links inside the forest.
 const NONE: u32 = u32::MAX;
 
 /// One forest node: a connected c-ĉore, minus the deeper ĉores nested
-/// inside it (those are its children).
+/// inside it (those are its children). Member vertices are held by the
+/// owning [`ClTree`]'s arena; see [`ClTree::node_members`] and
+/// [`ClTree::subtree_members`].
 #[derive(Clone, Debug)]
 pub struct ClNode {
     /// Core level of this node.
     pub core: u32,
-    /// Vertices whose core number equals `core` within this ĉore
-    /// (sorted).
-    pub vertices: Vec<VertexId>,
     /// Child node ids (deeper ĉores merged under this one).
     pub children: Vec<u32>,
     /// Parent node id, or `u32::MAX` at a forest root.
     parent: u32,
+    /// Arena offset of this node's subtree (own vertices first).
+    sub_off: u32,
+    /// Arena length of this node's whole subtree.
+    sub_len: u32,
+    /// How many of the leading `sub_len` entries are this node's own
+    /// vertices (those whose core number equals `core`).
+    own_len: u32,
 }
 
 impl ClNode {
@@ -48,12 +65,19 @@ impl ClNode {
 #[derive(Clone, Debug)]
 pub struct ClTree {
     nodes: Vec<ClNode>,
+    /// All member vertices in DFS order: each node's own vertices
+    /// (sorted), then its children's subtrees.
+    arena: Vec<VertexId>,
     /// Sorted member vertices, parallel with `node_of`.
     members: Vec<VertexId>,
     /// `node_of[i]` = forest node holding `members[i]`.
     node_of: Vec<u32>,
     /// Core number of `members[i]` (within the indexed subgraph).
     core_of: Vec<u32>,
+    /// `arena_pos[i]` = index of `members[i]` inside `arena`. Because a
+    /// ĉore is one contiguous arena range, "is `v` in this ĉore" is a
+    /// range test on `arena_pos` — O(1) after the member lookup.
+    arena_pos: Vec<u32>,
 }
 
 impl ClTree {
@@ -71,9 +95,11 @@ impl ClTree {
         if n == 0 {
             return ClTree {
                 nodes: Vec::new(),
+                arena: Vec::new(),
                 members: Vec::new(),
                 node_of: Vec::new(),
                 core_of: Vec::new(),
+                arena_pos: Vec::new(),
             };
         }
         let cd = CoreDecomposition::new(&sub);
@@ -87,11 +113,17 @@ impl ClTree {
 
         let mut uf = UnionFind::new(n);
         let mut active = vec![false; n];
-        // Maximal already-built node ids inside each component, keyed by
-        // the component's current union-find root.
-        let mut attached: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        // Maximal already-built node ids inside each component, indexed
+        // by the component's current union-find root (no hash map: root
+        // ids are local vertex ids < n).
+        let mut attached: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut nodes: Vec<ClNode> = Vec::new();
+        // Own vertices per node (original host ids), moved into the
+        // arena once the forest shape is final.
+        let mut own: Vec<Vec<VertexId>> = Vec::new();
         let mut node_of_local = vec![NONE; n];
+        // Scratch for the per-level sort-then-partition grouping.
+        let mut level_buf: Vec<(u32, u32)> = Vec::new();
 
         for c in (0..=max_core).rev() {
             let level = &at_level[c as usize];
@@ -103,46 +135,91 @@ impl ClTree {
                     if active[u as usize] {
                         let (ra, rb) = (uf.find(v), uf.find(u));
                         if ra != rb {
-                            let a_list = attached.remove(&ra).unwrap_or_default();
-                            let b_list = attached.remove(&rb).unwrap_or_default();
                             let rnew = uf.union(ra, rb).expect("distinct roots");
-                            let mut merged = a_list;
-                            merged.extend(b_list);
-                            if !merged.is_empty() {
-                                attached.insert(rnew, merged);
-                            }
+                            let rold = if rnew == ra { rb } else { ra };
+                            let moved = std::mem::take(&mut attached[rold as usize]);
+                            attached[rnew as usize].extend(moved);
                         }
                     }
                 }
             }
-            // Group this level's vertices by final component root.
-            let mut groups: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
-            for &v in level {
-                groups.entry(uf.find(v)).or_default().push(v);
-            }
-            for (root, mut vs) in groups {
-                vs.sort_unstable();
+            // Group this level's vertices by final component root:
+            // sort (root, vertex) pairs, then walk the runs. Sorting by
+            // the pair also leaves each group's vertices sorted.
+            level_buf.clear();
+            level_buf.extend(level.iter().map(|&v| (uf.find(v), v)));
+            level_buf.sort_unstable();
+            let mut i = 0;
+            while i < level_buf.len() {
+                let root = level_buf[i].0;
+                let mut j = i;
+                while j < level_buf.len() && level_buf[j].0 == root {
+                    j += 1;
+                }
                 let id = nodes.len() as u32;
-                let children = attached.remove(&root).unwrap_or_default();
+                let children = std::mem::take(&mut attached[root as usize]);
                 for &ch in &children {
                     nodes[ch as usize].parent = id;
                 }
-                for &v in &vs {
+                for &(_, v) in &level_buf[i..j] {
                     node_of_local[v as usize] = id;
                 }
+                own.push(level_buf[i..j].iter().map(|&(_, v)| ids[v as usize]).collect());
                 nodes.push(ClNode {
                     core: c,
-                    vertices: vs.iter().map(|&v| ids[v as usize]).collect(),
                     children,
                     parent: NONE,
+                    sub_off: 0,
+                    sub_len: 0,
+                    own_len: 0,
                 });
-                attached.insert(root, vec![id]);
+                attached[root as usize].push(id);
+                i = j;
             }
         }
         debug_assert!(node_of_local.iter().all(|&x| x != NONE));
 
+        // Lay the arena out in DFS order (own vertices before child
+        // subtrees) and record per-node subtree ranges.
+        let mut arena: Vec<VertexId> = Vec::with_capacity(ids.len());
+        enum Step {
+            Enter(u32),
+            Exit(u32),
+        }
+        let mut stack: Vec<Step> = (0..nodes.len() as u32)
+            .rev()
+            .filter(|&id| nodes[id as usize].parent == NONE)
+            .map(Step::Enter)
+            .collect();
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(id) => {
+                    let node = &mut nodes[id as usize];
+                    node.sub_off = arena.len() as u32;
+                    let vs = std::mem::take(&mut own[id as usize]);
+                    node.own_len = vs.len() as u32;
+                    arena.extend(vs);
+                    stack.push(Step::Exit(id));
+                    for &ch in nodes[id as usize].children.iter().rev() {
+                        stack.push(Step::Enter(ch));
+                    }
+                }
+                Step::Exit(id) => {
+                    let node = &mut nodes[id as usize];
+                    node.sub_len = arena.len() as u32 - node.sub_off;
+                }
+            }
+        }
+        debug_assert_eq!(arena.len(), ids.len());
+        // Invert the arena: where did each (sorted) member land?
+        let mut arena_pos = vec![0u32; ids.len()];
+        for (pos, &v) in arena.iter().enumerate() {
+            let i = ids.binary_search(&v).expect("arena holds exactly the members");
+            arena_pos[i] = pos as u32;
+        }
+
         let core_of: Vec<u32> = (0..n as u32).map(|v| cd.core_number(v)).collect();
-        ClTree { nodes, members: ids, node_of: node_of_local, core_of }
+        ClTree { nodes, arena, members: ids, node_of: node_of_local, core_of, arena_pos }
     }
 
     /// Number of forest nodes.
@@ -165,9 +242,40 @@ impl ClTree {
         &self.nodes[id as usize]
     }
 
+    /// The vertices whose core number equals `node(id).core` within
+    /// this ĉore (sorted).
+    pub fn node_members(&self, id: u32) -> &[VertexId] {
+        let node = &self.nodes[id as usize];
+        &self.arena[node.sub_off as usize..(node.sub_off + node.own_len) as usize]
+    }
+
+    /// All vertices of the ĉore rooted at `id` — the node's whole
+    /// subtree — as a borrowed arena slice. Distinct but **not
+    /// globally sorted** (DFS order); sort a copy if order matters.
+    pub fn subtree_members(&self, id: u32) -> &[VertexId] {
+        let node = &self.nodes[id as usize];
+        &self.arena[node.sub_off as usize..(node.sub_off + node.sub_len) as usize]
+    }
+
     /// True when `v` is indexed by this tree.
     pub fn contains_vertex(&self, v: VertexId) -> bool {
         self.members.binary_search(&v).is_ok()
+    }
+
+    /// True when `v` belongs to the ĉore rooted at node `id` — a
+    /// member lookup plus an O(1) arena range test, never a walk of
+    /// the subtree. The membership companion to the
+    /// [`ClTree::community_ref`] slice view: consumers holding a slice
+    /// can answer "is `v` in this community" without sorting or
+    /// scanning it.
+    #[inline]
+    pub fn subtree_contains(&self, id: u32, v: VertexId) -> bool {
+        let Ok(i) = self.members.binary_search(&v) else {
+            return false;
+        };
+        let node = &self.nodes[id as usize];
+        let pos = self.arena_pos[i];
+        pos >= node.sub_off && pos < node.sub_off + node.sub_len
     }
 
     /// Core number of `v` within the indexed subgraph, if present.
@@ -206,20 +314,27 @@ impl ClTree {
         Some(cur)
     }
 
+    /// The k-ĉore containing `q` as a borrowed arena slice, or `None`
+    /// when `q` is absent or its core number is below `k`.
+    ///
+    /// This is the query hot path: O(path-to-ancestor), **zero
+    /// allocation, zero copying** — the community of `(q, k)` is
+    /// exactly one contiguous arena range. The slice holds distinct
+    /// vertices in DFS (not sorted) order.
+    #[inline]
+    pub fn community_ref(&self, q: VertexId, k: u32) -> Option<&[VertexId]> {
+        Some(self.subtree_members(self.summit(q, k)?))
+    }
+
     /// The k-ĉore containing `q` (sorted), or `None` when `q` is absent
     /// or its core number is below `k`.
     ///
-    /// Runs in O(path-to-ancestor + answer size).
+    /// Thin owned wrapper over [`ClTree::community_ref`], kept for API
+    /// compatibility and for callers needing sorted order. **Prefer
+    /// `community_ref` anywhere performance matters** — this copies and
+    /// sorts the answer on every call.
     pub fn get(&self, q: VertexId, k: u32) -> Option<Vec<VertexId>> {
-        let cur = self.summit(q, k)?;
-        // Collect the subtree.
-        let mut out = Vec::new();
-        let mut stack = vec![cur];
-        while let Some(id) = stack.pop() {
-            let node = &self.nodes[id as usize];
-            out.extend_from_slice(&node.vertices);
-            stack.extend_from_slice(&node.children);
-        }
+        let mut out = self.community_ref(q, k)?.to_vec();
         out.sort_unstable();
         Some(out)
     }
@@ -227,6 +342,14 @@ impl ClTree {
     /// Iterator over forest roots.
     pub fn roots(&self) -> impl Iterator<Item = u32> + '_ {
         (0..self.nodes.len() as u32).filter(|&id| self.nodes[id as usize].parent == NONE)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.arena.len() * size_of::<VertexId>()
+            + self.members.len() * (size_of::<VertexId>() + 3 * size_of::<u32>())
+            + self.nodes.iter().map(|n| size_of::<ClNode>() + n.children.len() * 4).sum::<usize>()
     }
 }
 
@@ -290,6 +413,71 @@ mod tests {
         }
     }
 
+    /// `community_ref` must be set-equal to the owned path and truly
+    /// borrowed: repeated probes return the identical arena slice.
+    #[test]
+    fn community_ref_is_borrowed_and_set_equal() {
+        let g = figure4();
+        let t = ClTree::build(&g);
+        for q in g.vertices() {
+            for k in 0..=4 {
+                match (t.community_ref(q, k), t.get(q, k)) {
+                    (None, None) => {}
+                    (Some(slice), Some(owned)) => {
+                        let mut sorted = slice.to_vec();
+                        sorted.sort_unstable();
+                        assert_eq!(sorted, owned, "q={q} k={k}");
+                        // Zero-copy: the same probe yields the same
+                        // pointer into the arena, every time.
+                        let again = t.community_ref(q, k).unwrap();
+                        assert_eq!(slice.as_ptr(), again.as_ptr());
+                        assert_eq!(slice.len(), again.len());
+                        let arena_range = t.arena.as_ptr_range();
+                        assert!(arena_range.contains(&slice.as_ptr()));
+                    }
+                    (r, o) => panic!("q={q} k={k}: ref={r:?} owned={o:?}"),
+                }
+            }
+        }
+    }
+
+    /// Every node's subtree slice equals its own members plus its
+    /// children's subtree slices — the DFS nesting invariant.
+    #[test]
+    fn arena_ranges_nest() {
+        let g = figure4();
+        let t = ClTree::build(&g);
+        for id in 0..t.num_nodes() as u32 {
+            let mut expect: Vec<VertexId> = t.node_members(id).to_vec();
+            for &ch in &t.node(id).children {
+                expect.extend_from_slice(t.subtree_members(ch));
+            }
+            expect.sort_unstable();
+            let mut got = t.subtree_members(id).to_vec();
+            got.sort_unstable();
+            assert_eq!(got, expect, "node {id}");
+            // Children ranges are contained in the parent range.
+            for &ch in &t.node(id).children {
+                let p = t.node(id);
+                let c = t.node(ch);
+                assert!(c.sub_off >= p.sub_off);
+                assert!(c.sub_off + c.sub_len <= p.sub_off + p.sub_len);
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_contains_matches_slice() {
+        let g = figure4();
+        let t = ClTree::build(&g);
+        for id in 0..t.num_nodes() as u32 {
+            let slice = t.subtree_members(id);
+            for v in 0..10u32 {
+                assert_eq!(t.subtree_contains(id, v), slice.contains(&v), "node {id} v {v}");
+            }
+        }
+    }
+
     #[test]
     fn disconnected_graph_is_a_forest() {
         let g = Graph::from_edges(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
@@ -325,6 +513,7 @@ mod tests {
         assert_eq!(t.num_nodes(), 0);
         assert_eq!(t.num_vertices(), 0);
         assert!(t.get(0, 0).is_none());
+        assert!(t.community_ref(0, 0).is_none());
     }
 
     #[test]
@@ -348,6 +537,13 @@ mod tests {
             for q in 0..n as u32 {
                 for k in 0..=cd.max_core() + 1 {
                     assert_eq!(t.get(q, k), cd.kcore_component(&g, q, k), "q={q} k={k}");
+                    // The slice view stays set-equal to the owned path.
+                    let as_set = t.community_ref(q, k).map(|s| {
+                        let mut v = s.to_vec();
+                        v.sort_unstable();
+                        v
+                    });
+                    assert_eq!(as_set, t.get(q, k), "q={q} k={k}");
                 }
             }
         }
@@ -395,12 +591,7 @@ mod tests {
         assert_eq!(t.summit(2, 2), t.summit(6, 2));
         // Summit's subtree equals get().
         let nid = t.summit(0, 3).unwrap();
-        let mut collected = Vec::new();
-        let mut stack = vec![nid];
-        while let Some(id) = stack.pop() {
-            collected.extend_from_slice(&t.node(id).vertices);
-            stack.extend_from_slice(&t.node(id).children);
-        }
+        let mut collected = t.subtree_members(nid).to_vec();
         collected.sort_unstable();
         assert_eq!(collected, t.get(0, 3).unwrap());
     }
@@ -412,7 +603,8 @@ mod tests {
         let nid = t.node_of(2).unwrap();
         let node = t.node(nid);
         assert_eq!(node.core, 2);
-        assert!(node.vertices.contains(&2));
+        assert!(t.node_members(nid).contains(&2));
+        assert!(t.memory_bytes() > 0);
         // The deepest node has a parent chain ending at a root.
         let deep = t.node_of(0).unwrap();
         let mut cur = deep;

@@ -181,9 +181,25 @@ impl CpTree {
         self.node(label).map_or(&[], |n| &n.vertices)
     }
 
+    /// The paper's `I.get(k, q, t)` as a **borrowed slice**: the k-ĉore
+    /// containing `q` in the subgraph of vertices carrying `label`.
+    /// O(depth of the label's CL-tree), zero allocation — the answer is
+    /// one contiguous range of the CL-tree's DFS arena. Distinct but
+    /// unsorted; `None` when the ĉore does not exist.
+    ///
+    /// This is the probe the indexed query hot path runs thousands of
+    /// times per query.
+    #[inline]
+    pub fn get_ref(&self, k: u32, q: VertexId, label: LabelId) -> Option<&[VertexId]> {
+        self.node(label)?.cl.community_ref(q, k)
+    }
+
     /// The paper's `I.get(k, q, t)`: the k-ĉore containing `q` in the
     /// subgraph of vertices carrying `label`. Sorted; `None` when it
     /// does not exist.
+    ///
+    /// Owned convenience wrapper that copies and sorts on every call —
+    /// **prefer [`CpTree::get_ref`] anywhere performance matters**.
     pub fn get(&self, k: u32, q: VertexId, label: LabelId) -> Option<Vec<VertexId>> {
         self.node(label)?.cl.get(q, k)
     }
@@ -442,9 +458,7 @@ impl CpTree {
         let mut total = 0usize;
         for node in self.nodes.iter().flatten() {
             total += node.vertices.len() * std::mem::size_of::<VertexId>();
-            total += node.cl.num_vertices()
-                * (std::mem::size_of::<VertexId>() + std::mem::size_of::<u32>() * 2);
-            total += node.cl.num_nodes() * 48;
+            total += node.cl.memory_bytes();
         }
         for h in &self.head_map {
             total += h.len() * std::mem::size_of::<LabelId>();

@@ -29,6 +29,11 @@
 //! ];
 //! let index = CpTree::build(&g, &tax, &profiles).unwrap();
 //! // 1-ĉore of vertex 0 among vertices labelled `a`: the edge {0, 1}.
+//! // `get_ref` is the zero-copy hot path (borrowed arena slice, set
+//! // order); `get` is the owned, sorted convenience wrapper.
+//! let mut members = index.get_ref(1, 0, a).unwrap().to_vec();
+//! members.sort_unstable();
+//! assert_eq!(members, vec![0, 1]);
 //! assert_eq!(index.get(1, 0, a).unwrap(), vec![0, 1]);
 //! ```
 

@@ -37,11 +37,13 @@
 //! ```
 
 pub mod enumerate;
+pub mod intern;
 pub mod ptree;
 pub mod query;
 pub mod taxonomy;
 pub mod ted;
 
+pub use intern::{SubtreeId, SubtreeIdSet, SubtreeInterner};
 pub use ptree::PTree;
 pub use query::{QuerySpace, Subtree};
 pub use taxonomy::{LabelId, Taxonomy};

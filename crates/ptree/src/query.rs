@@ -40,6 +40,27 @@ impl Subtree {
         Subtree { words: vec![0; words].into_boxed_slice() }
     }
 
+    /// Wraps a raw word image (used by the [`crate::SubtreeInterner`]
+    /// to hand interned subtrees back out).
+    pub(crate) fn from_words(words: Box<[u64]>) -> Self {
+        Subtree { words }
+    }
+
+    /// The raw bitset words, least-significant position first. All
+    /// `Subtree`s of one [`QuerySpace`] share a width, so word images
+    /// compare and intersect directly.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Adds `pos` in place (the allocation-free sibling of
+    /// [`Subtree::with`], for building masks incrementally).
+    #[inline]
+    pub fn insert(&mut self, pos: u32) {
+        self.words[pos as usize / 64] |= 1 << (pos as usize % 64);
+    }
+
     /// Number of nodes in the subtree (lattice level).
     #[inline]
     pub fn count(&self) -> usize {

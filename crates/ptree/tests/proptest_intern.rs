@@ -1,0 +1,113 @@
+//! Property tests for the [`SubtreeInterner`]: on random taxonomies,
+//! the id-space lattice must round-trip through owned [`Subtree`]s and
+//! agree with the naive set operations everywhere.
+
+use pcs_ptree::enumerate::enumerate_rooted_subtrees;
+use pcs_ptree::{PTree, QuerySpace, Subtree, SubtreeIdSet, SubtreeInterner, Taxonomy};
+use proptest::prelude::*;
+
+/// Strategy: a random taxonomy of up to 13 labels plus a label pick
+/// for the query profile.
+fn instance() -> impl Strategy<Value = (Vec<u32>, Vec<u16>)> {
+    (proptest::collection::vec(any::<u32>(), 0..12), proptest::collection::vec(any::<u16>(), 0..8))
+}
+
+fn build(parents: &[u32]) -> Taxonomy {
+    let mut tax = Taxonomy::new("r");
+    for (i, &p) in parents.iter().enumerate() {
+        let parent = p % (i as u32 + 1);
+        tax.add_child(parent, &format!("n{}", i + 1)).unwrap();
+    }
+    tax
+}
+
+fn space_of(tax: &Taxonomy, raw: &[u16]) -> QuerySpace {
+    let labels = raw.iter().map(|&r| r as u32 % tax.len() as u32);
+    let tq = PTree::from_labels(tax, labels).unwrap();
+    QuerySpace::new(tax, &tq).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interning is injective and stable: every valid subtree gets one
+    /// dense id, and `subtree(intern(s)) == s`.
+    #[test]
+    fn interner_roundtrips((parents, raw) in instance()) {
+        let tax = build(&parents);
+        let space = space_of(&tax, &raw);
+        let mut it = SubtreeInterner::new(&space);
+        let all = enumerate_rooted_subtrees(&space);
+        let mut ids = Vec::new();
+        for s in &all {
+            let id = it.intern(s);
+            prop_assert_eq!(&it.subtree(id), s);
+            prop_assert_eq!(it.intern(s), id, "re-interning must be stable");
+            ids.push(id);
+        }
+        // Dense and distinct.
+        let mut seen = SubtreeIdSet::new();
+        for &id in &ids {
+            prop_assert!(id.index() < it.num_interned());
+            prop_assert!(seen.insert(id), "two subtrees shared an id");
+        }
+        prop_assert_eq!(it.num_interned(), all.len());
+    }
+
+    /// The ±one-node id moves and the move generators agree with the
+    /// naive owned `Subtree` operations on every valid subtree.
+    #[test]
+    fn id_ops_agree_with_owned_ops((parents, raw) in instance()) {
+        let tax = build(&parents);
+        let space = space_of(&tax, &raw);
+        let mut it = SubtreeInterner::new(&space);
+        let all = enumerate_rooted_subtrees(&space);
+        let mut buf = Vec::new();
+        for s in &all {
+            let id = it.intern(s);
+            prop_assert_eq!(it.count(id) as usize, s.count());
+            prop_assert_eq!(it.max_pos(id), s.max_pos());
+            prop_assert_eq!(
+                it.positions(id).collect::<Vec<_>>(),
+                s.positions().collect::<Vec<_>>()
+            );
+            // Move generators.
+            it.rightmost_extensions_into(id, &mut buf);
+            prop_assert_eq!(&buf, &space.rightmost_extensions(s));
+            it.lattice_children_into(id, &mut buf);
+            prop_assert_eq!(&buf, &space.lattice_children(s));
+            it.lattice_parents_into(id, &mut buf);
+            prop_assert_eq!(&buf, &space.lattice_parents(s));
+            it.leaves_into(id, &mut buf);
+            prop_assert_eq!(&buf, &space.leaves(s));
+            // with/without (twice: second call exercises the cache).
+            it.lattice_children_into(id, &mut buf);
+            let children = buf.clone();
+            for p in children {
+                let grown = it.with(id, p);
+                prop_assert_eq!(it.subtree(grown), s.with(p));
+                prop_assert_eq!(it.with(id, p), grown);
+                prop_assert_eq!(it.without(grown, p), id);
+                prop_assert!(it.is_subset(id, grown));
+                prop_assert!(!it.is_subset(grown, id));
+            }
+        }
+    }
+
+    /// `union` in id space equals the owned bitset union on random
+    /// subtree pairs.
+    #[test]
+    fn union_agrees((parents, raw) in instance(), pick in any::<u64>()) {
+        let tax = build(&parents);
+        let space = space_of(&tax, &raw);
+        let all = enumerate_rooted_subtrees(&space);
+        let a: &Subtree = &all[(pick % all.len() as u64) as usize];
+        let b: &Subtree = &all[((pick >> 16) % all.len() as u64) as usize];
+        let mut it = SubtreeInterner::new(&space);
+        let (ia, ib) = (it.intern(a), it.intern(b));
+        let u = it.union(ia, ib);
+        prop_assert_eq!(it.subtree(u), a.union(b));
+        // Subset test matches containment of the owned trees.
+        prop_assert_eq!(it.is_subset(ia, ib), a.is_subset_of(b));
+    }
+}

@@ -11,13 +11,23 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Set-equality of the whole CP-tree query surface: per-label member
-/// lists, every `get(k, q, label)`, and headMap restoration.
+/// lists, every `get(k, q, label)`, and headMap restoration. The
+/// zero-copy slice view (`get_ref`, over the incrementally re-laid-out
+/// DFS arena) must stay set-equal to the owned sorted path on both
+/// sides at every step.
 fn assert_index_equivalent(a: &CpTree, b: &CpTree, tax: &Taxonomy, n: usize, max_k: u32) {
     assert_eq!(a.num_vertices(), b.num_vertices());
     assert_eq!(a.num_populated_labels(), b.num_populated_labels());
     for v in 0..n as u32 {
         assert_eq!(a.restore_ptree(tax, v), b.restore_ptree(tax, v), "headMap of {v}");
     }
+    let slice_as_set = |idx: &CpTree, k, q, label| {
+        idx.get_ref(k, q, label).map(|s| {
+            let mut v = s.to_vec();
+            v.sort_unstable();
+            v
+        })
+    };
     for label in 0..tax.len() as u32 {
         assert_eq!(
             a.vertices_with_label(label),
@@ -26,7 +36,18 @@ fn assert_index_equivalent(a: &CpTree, b: &CpTree, tax: &Taxonomy, n: usize, max
         );
         for &q in a.vertices_with_label(label) {
             for k in 0..=max_k {
-                assert_eq!(a.get(k, q, label), b.get(k, q, label), "label={label} q={q} k={k}");
+                let owned = a.get(k, q, label);
+                assert_eq!(owned, b.get(k, q, label), "label={label} q={q} k={k}");
+                assert_eq!(
+                    slice_as_set(a, k, q, label),
+                    owned,
+                    "patched arena slice diverged: label={label} q={q} k={k}"
+                );
+                assert_eq!(
+                    slice_as_set(b, k, q, label),
+                    owned,
+                    "rebuilt arena slice diverged: label={label} q={q} k={k}"
+                );
             }
         }
     }
