@@ -221,6 +221,58 @@ fn main() {
     println!("index_construction/cptree_seq {:>12.2} us", us);
     index_results.push(("cptree_seq_us".into(), us));
 
+    // ---- persistence: cold start via snapshot vs eager rebuild.
+    // `eager_build_us` is the price a replica pays today (validate +
+    // cores + full CP-tree build); `persist_load_us` is the warm-start
+    // replacement. The roadmap target is load ≤ 1/10 of build.
+    let eager_build_us = best_of(cfg.reps, || {
+        PcsEngine::builder()
+            .graph(ds.graph.clone())
+            .taxonomy(ds.tax.clone())
+            .profiles(ds.profiles.clone())
+            .index_mode(IndexMode::Eager)
+            .build()
+            .unwrap()
+    });
+    println!("persistence/eager_build {:>12.2} us", eager_build_us);
+    index_results.push(("eager_build_us".into(), eager_build_us));
+    let warm = PcsEngine::builder()
+        .graph(ds.graph.clone())
+        .taxonomy(ds.tax.clone())
+        .profiles(ds.profiles.clone())
+        .index_mode(IndexMode::Eager)
+        .build()
+        .unwrap();
+    let snap_path =
+        std::env::temp_dir().join(format!("pcs-bench-snapshot-{}.snapshot", std::process::id()));
+    let save_us = best_of(cfg.reps, || warm.save(&snap_path).unwrap());
+    println!("persistence/persist_save {:>12.2} us", save_us);
+    index_results.push(("persist_save_us".into(), save_us));
+    let load_us = best_of(cfg.reps, || {
+        PcsEngine::builder().index_mode(IndexMode::Eager).load(&snap_path).unwrap()
+    });
+    println!(
+        "persistence/persist_load {:>12.2} us ({:.1}x faster than eager build)",
+        load_us,
+        eager_build_us / load_us
+    );
+    index_results.push(("persist_load_us".into(), load_us));
+    // Re-query smoke: the loaded engine answers exactly like the warm
+    // one (this is the CI `--quick` save/load/re-query gate).
+    let loaded = PcsEngine::builder().index_mode(IndexMode::Eager).load(&snap_path).unwrap();
+    let _ = std::fs::remove_file(&snap_path);
+    for &q in queries.iter().take(3) {
+        let req = QueryRequest::vertex(q).k(cfg.k);
+        let a = warm.query(&req).unwrap();
+        let b = loaded.query(&req).unwrap();
+        assert_eq!(
+            a.communities(),
+            b.communities(),
+            "loaded engine diverged from its source at q={q}"
+        );
+    }
+    drop((warm, loaded));
+
     // ---- update_throughput: state-neutral add+remove batch pairs
     // through the incremental engine, and the full-rebuild fallback.
     let edges = churn_edges(&ds, if cfg.quick { 2 } else { 8 });

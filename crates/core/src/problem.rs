@@ -256,12 +256,18 @@ impl<'a> QueryContext<'a> {
         }
         // `incre`/advanced restore T(q) through the index headMap (the
         // paper's line "restore T(q) using I.headMap"); without an index
-        // the profile array is used directly. Both yield the same tree.
+        // the profile array is borrowed directly (no copy — the
+        // index-less path of every query on an `IndexMode::Disabled`
+        // engine). Both yield the same tree.
+        let restored;
         let tq = match self.index {
-            Some(idx) => idx.restore_ptree(self.tax, q),
-            None => self.profiles[q as usize].clone(),
+            Some(idx) => {
+                restored = idx.restore_ptree(self.tax, q);
+                &restored
+            }
+            None => &self.profiles[q as usize],
         };
-        QuerySpace::new(self.tax, &tq).map_err(|_| PcsError::QueryVertexOutOfRange {
+        QuerySpace::new(self.tax, tq).map_err(|_| PcsError::QueryVertexOutOfRange {
             vertex: q,
             n: self.graph.num_vertices(),
         })

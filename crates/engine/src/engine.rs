@@ -54,13 +54,13 @@ pub enum IndexMode {
 /// ```
 #[derive(Debug, Default)]
 pub struct EngineBuilder {
-    graph: Option<Graph>,
-    tax: Option<Taxonomy>,
-    profiles: Vec<PTree>,
-    index_mode: IndexMode,
-    index_build_threads: usize,
-    batch_threads: Option<NonZeroUsize>,
-    patch_cap_fraction: Option<f64>,
+    pub(crate) graph: Option<Graph>,
+    pub(crate) tax: Option<Taxonomy>,
+    pub(crate) profiles: Vec<PTree>,
+    pub(crate) index_mode: IndexMode,
+    pub(crate) index_build_threads: usize,
+    pub(crate) batch_threads: Option<NonZeroUsize>,
+    pub(crate) patch_cap_fraction: Option<f64>,
 }
 
 impl EngineBuilder {
@@ -127,38 +127,48 @@ impl EngineBuilder {
     /// Validates the inputs and produces the engine. With
     /// [`IndexMode::Eager`] this also builds the CP-tree index and the
     /// core decomposition.
-    pub fn build(self) -> Result<PcsEngine> {
-        let graph = self.graph.ok_or(BuildError::MissingGraph)?;
-        let tax = self.tax.ok_or(BuildError::MissingTaxonomy)?;
+    pub fn build(mut self) -> Result<PcsEngine> {
+        let graph = self.graph.take().ok_or(BuildError::MissingGraph)?;
+        let tax = self.tax.take().ok_or(BuildError::MissingTaxonomy)?;
+        let profiles = std::mem::take(&mut self.profiles);
         // Defense in depth: graphs built through `Graph::from_edges` are
         // canonical by construction, but foreign CSR layouts (mmap'd
         // files, wire formats) may not be — reject self-loops, duplicate
         // edges, and asymmetry instead of silently indexing them.
         graph.validate().map_err(|e| BuildError::MalformedGraph { detail: e.to_string() })?;
-        if graph.num_vertices() != self.profiles.len() {
+        if graph.num_vertices() != profiles.len() {
             return Err(BuildError::ProfileCountMismatch {
                 vertices: graph.num_vertices(),
-                profiles: self.profiles.len(),
+                profiles: profiles.len(),
             }
             .into());
         }
-        for (v, p) in self.profiles.iter().enumerate() {
+        for (v, p) in profiles.iter().enumerate() {
             if !profile_is_valid(&tax, p) {
                 return Err(BuildError::InvalidProfile { vertex: v as u32 }.into());
             }
         }
+        let snapshot = Arc::new(SnapshotInner {
+            graph: Arc::new(graph),
+            profiles: Arc::new(profiles),
+            cores: Arc::new(OnceLock::new()),
+            index: OnceLock::new(),
+            epoch: 0,
+        });
+        self.assemble(tax, snapshot)
+    }
+
+    /// The shared assembly tail of [`build`](EngineBuilder::build) and
+    /// [`load`](EngineBuilder::load): resolves configuration defaults,
+    /// wraps the initial snapshot, and warms eagerly-indexed engines —
+    /// kept in one place so a loaded engine can never drift from a
+    /// built one.
+    pub(crate) fn assemble(self, tax: Taxonomy, snapshot: Arc<SnapshotInner>) -> Result<PcsEngine> {
         let batch_threads = self
             .batch_threads
             .or_else(|| std::thread::available_parallelism().ok())
             .map(NonZeroUsize::get)
             .unwrap_or(1);
-        let snapshot = Arc::new(SnapshotInner {
-            graph: Arc::new(graph),
-            profiles: Arc::new(self.profiles),
-            cores: Arc::new(OnceLock::new()),
-            index: OnceLock::new(),
-            epoch: 0,
-        });
         let engine = PcsEngine {
             tax,
             index_mode: self.index_mode,
@@ -246,7 +256,7 @@ impl PcsEngine {
         self.index_mode
     }
 
-    fn snapshot_arc(&self) -> Arc<SnapshotInner> {
+    pub(crate) fn snapshot_arc(&self) -> Arc<SnapshotInner> {
         self.state.read().expect("engine state lock poisoned").clone()
     }
 

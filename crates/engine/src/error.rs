@@ -3,6 +3,7 @@
 use crate::update::UpdateError;
 use pcs_core::PcsError;
 use pcs_index::IndexError;
+use pcs_store::StoreError;
 use std::fmt;
 
 /// Everything that can go wrong building or querying a
@@ -34,6 +35,11 @@ pub enum Error {
     /// An [`UpdateBatch`](crate::UpdateBatch) failed validation; the
     /// engine state is unchanged.
     Update(UpdateError),
+    /// Saving or loading an on-disk snapshot failed
+    /// ([`PcsEngine::save`](crate::PcsEngine::save) /
+    /// [`EngineBuilder::load`](crate::EngineBuilder::load)); the file
+    /// was rejected before any engine state was adopted.
+    Store(StoreError),
 }
 
 impl fmt::Display for Error {
@@ -48,6 +54,7 @@ impl fmt::Display for Error {
                  built with IndexMode::Disabled"
             ),
             Error::Update(e) => write!(f, "update rejected: {e}"),
+            Error::Store(e) => write!(f, "snapshot store failed: {e}"),
         }
     }
 }
@@ -59,8 +66,15 @@ impl std::error::Error for Error {
             Error::Query(e) => Some(e),
             Error::Index(e) => Some(e),
             Error::Update(e) => Some(e),
+            Error::Store(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        Error::Store(e)
     }
 }
 
@@ -127,6 +141,11 @@ pub enum BuildError {
         /// Description of the violated invariant.
         detail: String,
     },
+    /// [`EngineBuilder::load`](crate::EngineBuilder::load) was called
+    /// on a builder that already holds a graph, taxonomy, or profiles —
+    /// a snapshot supplies all three, so mixing them is almost
+    /// certainly a bug (which inputs did the caller mean?).
+    DataWithSnapshot,
 }
 
 impl fmt::Display for BuildError {
@@ -145,6 +164,11 @@ impl fmt::Display for BuildError {
             BuildError::MalformedGraph { detail } => {
                 write!(f, "graph failed structural validation: {detail}")
             }
+            BuildError::DataWithSnapshot => write!(
+                f,
+                "builder already holds graph/taxonomy/profiles; a snapshot supplies all \
+                 three — use a fresh builder (configuration methods are fine) with .load(..)"
+            ),
         }
     }
 }

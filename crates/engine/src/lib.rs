@@ -23,6 +23,11 @@
 //! * [`EngineSnapshot`] — a consistent immutable view at one epoch;
 //!   queries are lock-free against the snapshot current when they
 //!   started, while updates publish the next epoch.
+//! * [`PcsEngine::save`] / [`EngineBuilder::load`] — versioned,
+//!   checksummed on-disk snapshots (via `pcs-store`): a replica
+//!   warm-starts by bulk-loading the persisted graph, cores, and
+//!   CP-tree arenas instead of rebuilding them, resuming at the saved
+//!   epoch with full mutability.
 //! * [`Error`] — one `#[non_exhaustive]` [`std::error::Error`]
 //!   wrapping query, index, update, and validation failures.
 //!
@@ -53,6 +58,7 @@
 
 mod engine;
 mod error;
+mod persist;
 mod request;
 mod snapshot;
 mod update;
@@ -66,3 +72,6 @@ pub use update::{IndexMaintenance, Update, UpdateBatch, UpdateError, UpdateRepor
 // The facade re-exports the algorithm selector so callers need only
 // this crate for the common path.
 pub use pcs_core::Algorithm;
+// ...and the snapshot-store error type, which surfaces through
+// [`Error::Store`] on the save/load path.
+pub use pcs_store::StoreError;

@@ -1,0 +1,233 @@
+//! Engine persistence: warm-starting from on-disk snapshots.
+//!
+//! [`PcsEngine::save`] serializes the current epoch snapshot — graph,
+//! taxonomy, profiles, core numbers, and the CP-tree's flat arenas —
+//! through [`pcs_store`]'s versioned, checksummed container;
+//! [`EngineBuilder::load`] does the inverse, producing an engine that
+//! is indistinguishable from the one that saved: same epoch, same
+//! answers, and the same mutability ([`PcsEngine::apply`] works on a
+//! loaded engine exactly as on a built one, because the writer state is
+//! materialized lazily from the current snapshot either way).
+//!
+//! Loading is *validate-then-bulk-copy*: the store layer proves byte
+//! integrity (checksums) and structural soundness (CSR invariants,
+//! arena invariants, cross-section agreement), after which the arrays
+//! are adopted wholesale — no union-find, no peeling, no per-label
+//! construction. That is what makes a warm start one to two orders of
+//! magnitude cheaper than `EngineBuilder::build` with an eager index.
+
+use pcs_store::{decode_snapshot_bytes_with, encode_snapshot, StoreError};
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+use pcs_graph::core::CoreDecomposition;
+
+use crate::engine::{EngineBuilder, IndexMode, PcsEngine};
+use crate::error::{BuildError, Result};
+use crate::snapshot::SnapshotInner;
+
+impl PcsEngine {
+    /// Writes the current epoch snapshot to `path` as a versioned,
+    /// checksummed binary file (see `pcs_store` for the wire layout).
+    ///
+    /// What is saved is exactly what the current snapshot holds: the
+    /// graph, taxonomy, and profiles always; the core decomposition
+    /// always (computed first if no query has needed it yet — it is
+    /// O(n + m) and makes the snapshot warm); the CP-tree index only if
+    /// it is already built — `save` never triggers an index build. Call
+    /// [`warm`](PcsEngine::warm) first to persist a fully warmed
+    /// engine.
+    ///
+    /// Concurrent updates are safe: the snapshot is one immutable
+    /// epoch, so the file is internally consistent even if writers
+    /// publish new epochs mid-save.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let snap = self.snapshot_arc();
+        let cores = snap.cores();
+        let file = encode_snapshot(
+            snap.epoch,
+            &snap.graph,
+            self.taxonomy(),
+            &snap.profiles,
+            Some(cores.core_numbers()),
+            snap.index_if_built(),
+        );
+        file.write(path).map_err(Into::into)
+    }
+}
+
+impl EngineBuilder {
+    /// Builds an engine from an on-disk snapshot instead of in-memory
+    /// parts: the warm-start counterpart of
+    /// [`build`](EngineBuilder::build).
+    ///
+    /// Configuration methods ([`index_mode`](EngineBuilder::index_mode),
+    /// [`index_build_threads`](EngineBuilder::index_build_threads),
+    /// [`batch_threads`](EngineBuilder::batch_threads),
+    /// [`incremental_patch_cap`](EngineBuilder::incremental_patch_cap))
+    /// apply as usual; data methods must not have been called — a
+    /// snapshot supplies the graph, taxonomy, and profiles, and mixing
+    /// sources is rejected with [`BuildError::DataWithSnapshot`].
+    ///
+    /// The loaded engine resumes at the saved epoch
+    /// (`engine.snapshot().epoch` picks up where the source left off),
+    /// answers queries bit-identically to the source engine, and
+    /// accepts [`apply`](PcsEngine::apply) exactly as a built engine
+    /// does. A persisted index is adopted when the mode allows it
+    /// (dropped under [`IndexMode::Disabled`]); with
+    /// [`IndexMode::Eager`] and no index in the file, the index is
+    /// built here, preserving the eager guarantee.
+    ///
+    /// Corrupt, truncated, or version-skewed files fail with a typed
+    /// [`pcs_store::StoreError`] (wrapped in
+    /// [`Error::Store`](crate::Error::Store)) before any state is
+    /// adopted — never a panic and never a silently wrong engine. A
+    /// snapshot is a warm-start mechanism, not an authentication
+    /// boundary: see `pcs_store`'s trust-model docs for what is
+    /// re-validated versus writer-trusted.
+    pub fn load(self, path: impl AsRef<Path>) -> Result<PcsEngine> {
+        if self.graph.is_some() || self.tax.is_some() || !self.profiles.is_empty() {
+            return Err(BuildError::DataWithSnapshot.into());
+        }
+        // One read, one zero-copy container validation; the decoders
+        // bulk-copy straight out of the file buffer. A Disabled
+        // replica would drop the index anyway, so it skips decoding
+        // the INDEX section entirely.
+        let bytes = std::fs::read(path)
+            .map_err(|e| StoreError::Io { op: "read", detail: e.to_string() })?;
+        let contents = decode_snapshot_bytes_with(&bytes, self.index_mode != IndexMode::Disabled)?;
+        drop(bytes);
+        // The store layer has already validated structure and
+        // cross-section agreement (the same invariants `build` checks,
+        // plus the index↔profiles pin), so the parts are adopted
+        // directly.
+        let cores_cell = OnceLock::new();
+        if let Some(core) = contents.cores {
+            let _ = cores_cell.set(CoreDecomposition::from_core_numbers(core));
+        }
+        let index_cell = OnceLock::new();
+        if self.index_mode != IndexMode::Disabled {
+            if let Some(idx) = contents.index {
+                let _ = index_cell.set(Ok(idx));
+            }
+        }
+        let snapshot = Arc::new(SnapshotInner {
+            graph: Arc::new(contents.graph),
+            profiles: Arc::new(contents.profiles),
+            cores: Arc::new(cores_cell),
+            index: index_cell,
+            epoch: contents.epoch,
+        });
+        // Same assembly tail as `build`, so configuration defaults can
+        // never drift between built and loaded engines.
+        self.assemble(contents.tax, snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Error, IndexMode, PcsEngine, QueryRequest};
+    use pcs_graph::Graph;
+    use pcs_ptree::{PTree, Taxonomy};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pcs-engine-{}-{name}.snapshot", std::process::id()))
+    }
+
+    fn small_engine(mode: IndexMode) -> PcsEngine {
+        let mut tax = Taxonomy::new("r");
+        let a = tax.add_child(Taxonomy::ROOT, "a").unwrap();
+        let b = tax.add_child(a, "b").unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
+        let profiles = vec![
+            PTree::from_labels(&tax, [a]).unwrap(),
+            PTree::from_labels(&tax, [b]).unwrap(),
+            PTree::from_labels(&tax, [b]).unwrap(),
+            PTree::from_labels(&tax, [a, b]).unwrap(),
+            PTree::from_labels(&tax, [a]).unwrap(),
+            PTree::root_only(), // isolated vertex
+        ];
+        PcsEngine::builder()
+            .graph(g)
+            .taxonomy(tax)
+            .profiles(profiles)
+            .index_mode(mode)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_answers_and_epoch() {
+        let engine = small_engine(IndexMode::Eager);
+        engine.add_edge(0, 3).unwrap();
+        assert_eq!(engine.epoch(), 1);
+        let path = tmp("roundtrip");
+        engine.save(&path).unwrap();
+        let loaded = PcsEngine::builder().index_mode(IndexMode::Eager).load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        assert_eq!(loaded.epoch(), 1, "epoch resumes where the source left off");
+        assert!(loaded.index_built(), "persisted index adopted without a rebuild");
+        for q in 0..6u32 {
+            for k in 1..4u32 {
+                let a = engine.query(&QueryRequest::vertex(q).k(k)).unwrap();
+                let b = loaded.query(&QueryRequest::vertex(q).k(k)).unwrap();
+                assert_eq!(a.communities(), b.communities(), "q={q} k={k}");
+            }
+        }
+        // The loaded engine is fully mutable: same update → same state.
+        let ra = engine.remove_edge(2, 4).unwrap();
+        let rb = loaded.remove_edge(2, 4).unwrap();
+        assert_eq!(ra.epoch, rb.epoch);
+        assert_eq!(
+            engine.snapshot().cores().core_numbers(),
+            loaded.snapshot().cores().core_numbers()
+        );
+    }
+
+    #[test]
+    fn disabled_mode_drops_the_persisted_index() {
+        let engine = small_engine(IndexMode::Eager);
+        let path = tmp("disabled");
+        engine.save(&path).unwrap();
+        let loaded = PcsEngine::builder().index_mode(IndexMode::Disabled).load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(!loaded.index_built());
+        assert!(matches!(
+            loaded.query(&QueryRequest::vertex(0).k(2).algorithm(pcs_core::Algorithm::AdvP)),
+            Err(Error::IndexDisabled { .. })
+        ));
+    }
+
+    #[test]
+    fn lazy_save_omits_unbuilt_index_and_load_rebuilds_lazily() {
+        let engine = small_engine(IndexMode::Lazy);
+        assert!(!engine.index_built());
+        let path = tmp("lazy");
+        engine.save(&path).unwrap();
+        let loaded = PcsEngine::builder().load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(!loaded.index_built(), "no index section, none adopted");
+        // First indexed query builds it lazily, as on a built engine.
+        let resp = loaded.query(&QueryRequest::vertex(0).k(2)).unwrap();
+        assert!(resp.index_used);
+        assert!(loaded.index_built());
+    }
+
+    #[test]
+    fn mixing_data_and_snapshot_is_rejected() {
+        let engine = small_engine(IndexMode::Lazy);
+        let path = tmp("mixed");
+        engine.save(&path).unwrap();
+        let err =
+            PcsEngine::builder().graph(Graph::from_edges(1, &[]).unwrap()).load(&path).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(err, Error::Build(crate::BuildError::DataWithSnapshot)));
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let err = PcsEngine::builder().load(tmp("never-written")).unwrap_err();
+        assert!(matches!(err, Error::Store(pcs_store::StoreError::Io { op: "read", .. })));
+    }
+}

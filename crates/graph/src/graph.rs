@@ -72,10 +72,11 @@ impl Graph {
     /// Checks the CSR structural invariants: a monotone offset array
     /// bounding `neighbors` exactly, in-range endpoints, sorted
     /// duplicate-free adjacency lists, no self-loops, and symmetric
-    /// half-edges. O(m log d). Always `Ok` for graphs built through
+    /// half-edges. O(n + m). Always `Ok` for graphs built through
     /// [`Graph::from_edges`] / [`GraphBuilder`]; exists so adopters of
-    /// foreign layouts ([`Graph::from_csr`], engine builders) can
-    /// reject corrupt input instead of silently indexing it.
+    /// foreign layouts ([`Graph::from_csr`], engine builders, snapshot
+    /// loaders) can reject corrupt input instead of silently indexing
+    /// it.
     pub fn validate(&self) -> Result<()> {
         let malformed = |detail: String| GraphError::MalformedGraph { detail };
         if self.offsets.is_empty() {
@@ -109,9 +110,23 @@ impl Graph {
                 if u == v {
                     return Err(malformed(format!("self-loop at vertex {v}")));
                 }
-                if self.neighbors(u).binary_search(&v).is_err() {
+            }
+        }
+        // Symmetry in one linear sweep: visiting half-edges (v, u) in
+        // ascending v (and, within v, ascending u) order means the
+        // reverse entries (u, v) of each u's sorted list are consumed
+        // in exactly list order — so a per-vertex cursor either matches
+        // every reverse half-edge, or the layout is asymmetric. Every
+        // entry is consumed exactly once because both sides of the
+        // comparison are the same 2m entries.
+        let mut cursor: Vec<usize> = self.offsets[..n].to_vec();
+        for v in 0..n as VertexId {
+            for &u in self.neighbors(v) {
+                let cu = cursor[u as usize];
+                if cu >= self.offsets[u as usize + 1] || self.neighbors[cu] != v {
                     return Err(malformed(format!("half-edge {v}->{u} has no reverse")));
                 }
+                cursor[u as usize] = cu + 1;
             }
         }
         Ok(())
@@ -172,6 +187,23 @@ impl Graph {
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
         self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The raw CSR offset array (`n + 1` entries spanning
+    /// [`Graph::csr_neighbors`]). Together with `csr_neighbors` this is
+    /// the graph's entire persistent state: a snapshot writer can dump
+    /// both arrays verbatim and hand them back to [`Graph::from_csr`],
+    /// which re-validates every structural invariant on the way in.
+    #[inline]
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw flat neighbor array (`2m` entries, each adjacency list
+    /// sorted). See [`Graph::csr_offsets`].
+    #[inline]
+    pub fn csr_neighbors(&self) -> &[VertexId] {
+        &self.neighbors
     }
 
     /// Returns the subgraph induced by `keep` together with the mapping

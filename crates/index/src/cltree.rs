@@ -28,19 +28,56 @@
 use pcs_graph::core::CoreDecomposition;
 use pcs_graph::{Graph, UnionFind, VertexId};
 
+use crate::{IndexError, Result};
+
 /// Sentinel for "no parent" links inside the forest.
 const NONE: u32 = u32::MAX;
 
+/// The complete persistent state of a [`ClTree`] as parallel flat
+/// arrays — the wire form snapshot writers serialize section by
+/// section (struct-of-arrays, so every field is one contiguous
+/// `memcpy`-shaped blob).
+///
+/// Produced by [`ClTree::to_flat`]; consumed (and fully re-validated)
+/// by [`ClTree::from_flat`]. Per-node children lists are *not* part of
+/// the state: they are the inverse of `parent` and are re-derived on
+/// import.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClTreeFlat {
+    /// Per-node core level.
+    pub core: Vec<u32>,
+    /// Per-node parent id (`u32::MAX` at forest roots). Always greater
+    /// than the child id when present — construction creates deeper
+    /// nodes first — which is what makes upward walks cycle-free.
+    pub parent: Vec<u32>,
+    /// Per-node arena offset of the node's subtree.
+    pub sub_off: Vec<u32>,
+    /// Per-node arena length of the node's subtree.
+    pub sub_len: Vec<u32>,
+    /// Per-node count of own vertices at the head of the subtree range.
+    pub own_len: Vec<u32>,
+    /// All member vertices in DFS order (the zero-copy query arena).
+    pub arena: Vec<VertexId>,
+    /// Sorted member vertices, parallel with `node_of`/`arena_pos`.
+    pub members: Vec<VertexId>,
+    /// Forest node holding each sorted member. (Per-member core
+    /// numbers are not part of the flat state: a member's core is its
+    /// node's level, and [`ClTree::from_flat`] re-derives them.)
+    pub node_of: Vec<u32>,
+    /// Arena position of each sorted member.
+    pub arena_pos: Vec<u32>,
+}
+
 /// One forest node: a connected c-ĉore, minus the deeper ĉores nested
 /// inside it (those are its children). Member vertices are held by the
-/// owning [`ClTree`]'s arena; see [`ClTree::node_members`] and
-/// [`ClTree::subtree_members`].
-#[derive(Clone, Debug)]
+/// owning [`ClTree`]'s arena (see [`ClTree::node_members`] and
+/// [`ClTree::subtree_members`]); child ids by its `kids` arena (see
+/// [`ClTree::children`]) — a node itself is six words, so cloning or
+/// loading a tree allocates per *tree*, never per node.
+#[derive(Clone, Copy, Debug)]
 pub struct ClNode {
     /// Core level of this node.
     pub core: u32,
-    /// Child node ids (deeper ĉores merged under this one).
-    pub children: Vec<u32>,
     /// Parent node id, or `u32::MAX` at a forest root.
     parent: u32,
     /// Arena offset of this node's subtree (own vertices first).
@@ -50,6 +87,10 @@ pub struct ClNode {
     /// How many of the leading `sub_len` entries are this node's own
     /// vertices (those whose core number equals `core`).
     own_len: u32,
+    /// Offset of this node's child ids in the owning tree's `kids`.
+    kids_off: u32,
+    /// Number of child ids.
+    kids_len: u32,
 }
 
 impl ClNode {
@@ -65,6 +106,9 @@ impl ClNode {
 #[derive(Clone, Debug)]
 pub struct ClTree {
     nodes: Vec<ClNode>,
+    /// All child ids, one contiguous run per node (`kids_off`/
+    /// `kids_len` in [`ClNode`]).
+    kids: Vec<u32>,
     /// All member vertices in DFS order: each node's own vertices
     /// (sorted), then its children's subtrees.
     arena: Vec<VertexId>,
@@ -95,6 +139,7 @@ impl ClTree {
         if n == 0 {
             return ClTree {
                 nodes: Vec::new(),
+                kids: Vec::new(),
                 arena: Vec::new(),
                 members: Vec::new(),
                 node_of: Vec::new(),
@@ -118,6 +163,9 @@ impl ClTree {
         // ids are local vertex ids < n).
         let mut attached: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut nodes: Vec<ClNode> = Vec::new();
+        // Children per node during construction; flattened into the
+        // `kids` arena once the forest shape is final.
+        let mut child_lists: Vec<Vec<u32>> = Vec::new();
         // Own vertices per node (original host ids), moved into the
         // arena once the forest shape is final.
         let mut own: Vec<Vec<VertexId>> = Vec::new();
@@ -165,13 +213,15 @@ impl ClTree {
                     node_of_local[v as usize] = id;
                 }
                 own.push(level_buf[i..j].iter().map(|&(_, v)| ids[v as usize]).collect());
+                child_lists.push(children);
                 nodes.push(ClNode {
                     core: c,
-                    children,
                     parent: NONE,
                     sub_off: 0,
                     sub_len: 0,
                     own_len: 0,
+                    kids_off: 0,
+                    kids_len: 0,
                 });
                 attached[root as usize].push(id);
                 i = j;
@@ -200,7 +250,7 @@ impl ClTree {
                     node.own_len = vs.len() as u32;
                     arena.extend(vs);
                     stack.push(Step::Exit(id));
-                    for &ch in nodes[id as usize].children.iter().rev() {
+                    for &ch in child_lists[id as usize].iter().rev() {
                         stack.push(Step::Enter(ch));
                     }
                 }
@@ -211,6 +261,13 @@ impl ClTree {
             }
         }
         debug_assert_eq!(arena.len(), ids.len());
+        // Flatten the per-node child lists into one arena.
+        let mut kids: Vec<u32> = Vec::with_capacity(nodes.len());
+        for (id, list) in child_lists.into_iter().enumerate() {
+            nodes[id].kids_off = kids.len() as u32;
+            nodes[id].kids_len = list.len() as u32;
+            kids.extend(list);
+        }
         // Invert the arena: where did each (sorted) member land?
         let mut arena_pos = vec![0u32; ids.len()];
         for (pos, &v) in arena.iter().enumerate() {
@@ -219,7 +276,187 @@ impl ClTree {
         }
 
         let core_of: Vec<u32> = (0..n as u32).map(|v| cd.core_number(v)).collect();
-        ClTree { nodes, arena, members: ids, node_of: node_of_local, core_of, arena_pos }
+        ClTree { nodes, kids, arena, members: ids, node_of: node_of_local, core_of, arena_pos }
+    }
+
+    /// Exports the tree's complete persistent state as flat arrays
+    /// (copies; the tree itself is untouched). See [`ClTreeFlat`].
+    pub fn to_flat(&self) -> ClTreeFlat {
+        ClTreeFlat {
+            core: self.nodes.iter().map(|n| n.core).collect(),
+            parent: self.nodes.iter().map(|n| n.parent).collect(),
+            sub_off: self.nodes.iter().map(|n| n.sub_off).collect(),
+            sub_len: self.nodes.iter().map(|n| n.sub_len).collect(),
+            own_len: self.nodes.iter().map(|n| n.own_len).collect(),
+            arena: self.arena.clone(),
+            members: self.members.clone(),
+            node_of: self.node_of.clone(),
+            arena_pos: self.arena_pos.clone(),
+        }
+    }
+
+    /// Reconstructs a tree from flat arrays, validating every
+    /// structural invariant the query paths rely on — a malformed input
+    /// yields [`IndexError::CorruptIndex`], never a tree that could
+    /// hang an upward walk or answer wrongly. O(nodes + members).
+    ///
+    /// Checked invariants: consistent array lengths; strictly sorted
+    /// members; parent ids greater than their child's (so ancestor
+    /// walks terminate) with strictly decreasing core levels upward;
+    /// subtree ranges inside the arena, with `own_len ≤ sub_len`, and
+    /// a **laminar arena geometry** — every node's children exactly
+    /// tile the tail of its range after the own-vertex prefix, and the
+    /// roots exactly tile the whole arena, so no slice a query can
+    /// return ever overlaps a sibling ĉore; `arena_pos` a true inverse
+    /// (`arena[arena_pos[i]] == members[i]`, hence a permutation);
+    /// every member located inside its own node's own-vertex range.
+    /// Per-member core numbers are derived (`core[node_of[i]]`), not
+    /// trusted.
+    pub fn from_flat(flat: ClTreeFlat) -> Result<ClTree> {
+        let corrupt = |detail: String| IndexError::CorruptIndex { detail };
+        let n_nodes = flat.core.len();
+        let n_members = flat.members.len();
+        if [flat.parent.len(), flat.sub_off.len(), flat.sub_len.len(), flat.own_len.len()]
+            .iter()
+            .any(|&l| l != n_nodes)
+        {
+            return Err(corrupt("node arrays disagree on length".into()));
+        }
+        if [flat.node_of.len(), flat.arena_pos.len(), flat.arena.len()]
+            .iter()
+            .any(|&l| l != n_members)
+        {
+            return Err(corrupt("member arrays disagree on length".into()));
+        }
+        if n_nodes >= NONE as usize {
+            return Err(corrupt(format!("{n_nodes} nodes overflow the id space")));
+        }
+        if flat.members.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(corrupt("member list is unsorted or holds duplicates".into()));
+        }
+        let mut kid_counts: Vec<u32> = vec![0; n_nodes];
+        for id in 0..n_nodes {
+            let p = flat.parent[id];
+            if p != NONE {
+                // Deeper ĉores are created first, so a legal parent id is
+                // always larger — and that ordering is exactly what rules
+                // out parent-link cycles.
+                if (p as usize) >= n_nodes || (p as usize) <= id {
+                    return Err(corrupt(format!("node {id} has non-topological parent {p}")));
+                }
+                if flat.core[p as usize] >= flat.core[id] {
+                    return Err(corrupt(format!("node {id} does not deepen below parent {p}")));
+                }
+                kid_counts[p as usize] += 1;
+            }
+            let (off, len, own) =
+                (flat.sub_off[id] as usize, flat.sub_len[id] as usize, flat.own_len[id] as usize);
+            if off + len > n_members || own > len {
+                return Err(corrupt(format!("node {id} subtree range escapes the arena")));
+            }
+            if p != NONE {
+                // The parent's own range bound is checked on its later
+                // iteration; compare in u64 so an adversarial near-MAX
+                // offset cannot wrap here first.
+                let (poff, plen) =
+                    (flat.sub_off[p as usize] as u64, flat.sub_len[p as usize] as u64);
+                if (flat.sub_off[id] as u64) < poff || (off + len) as u64 > poff + plen {
+                    return Err(corrupt(format!("node {id} range not nested in parent {p}")));
+                }
+            }
+        }
+        let mut core_of = Vec::with_capacity(n_members);
+        for i in 0..n_members {
+            let (node, pos) = (flat.node_of[i], flat.arena_pos[i]);
+            if node as usize >= n_nodes {
+                return Err(corrupt(format!("member {i} points at missing node {node}")));
+            }
+            if pos as usize >= n_members || flat.arena[pos as usize] != flat.members[i] {
+                return Err(corrupt(format!("arena_pos of member {i} is not an inverse")));
+            }
+            // Each member sits in the own-vertex prefix of its node's
+            // range — the placement `community_ref`'s range tests
+            // assume — and inherits that node's core level.
+            let id = node as usize;
+            if pos < flat.sub_off[id] || pos >= flat.sub_off[id] + flat.own_len[id] {
+                return Err(corrupt(format!("member {i} lies outside its node's own range")));
+            }
+            core_of.push(flat.core[id]);
+        }
+        // Children are the inverse of `parent`: counting scatter, two
+        // allocations total (ids ascending within each parent's run).
+        let mut kids_off: Vec<u32> = Vec::with_capacity(n_nodes);
+        let mut acc = 0u32;
+        for &c in &kid_counts {
+            kids_off.push(acc);
+            acc += c;
+        }
+        let mut kids = vec![0u32; acc as usize];
+        let mut cursor = kids_off.clone();
+        for id in 0..n_nodes {
+            let p = flat.parent[id];
+            if p != NONE {
+                kids[cursor[p as usize] as usize] = id as u32;
+                cursor[p as usize] += 1;
+            }
+        }
+        // Laminar geometry: each node's children must exactly tile the
+        // tail of its subtree range after the own prefix (and the roots
+        // the whole arena) — nesting alone would still admit
+        // sibling-overlapping ranges, i.e. communities leaking into
+        // each other.
+        let tile = |start: u32, end: u32, spans: &mut Vec<(u32, u32)>| -> bool {
+            spans.sort_unstable();
+            let mut at = start;
+            for &(off, len) in spans.iter() {
+                if off != at {
+                    return false;
+                }
+                at += len;
+            }
+            at == end
+        };
+        let mut spans: Vec<(u32, u32)> = Vec::new();
+        for id in 0..n_nodes {
+            spans.clear();
+            let run = (kids_off[id] as usize)..(kids_off[id] + kid_counts[id]) as usize;
+            spans.extend(
+                kids[run].iter().map(|&ch| (flat.sub_off[ch as usize], flat.sub_len[ch as usize])),
+            );
+            let start = flat.sub_off[id] + flat.own_len[id];
+            if !tile(start, flat.sub_off[id] + flat.sub_len[id], &mut spans) {
+                return Err(corrupt(format!("children of node {id} do not tile its range")));
+            }
+        }
+        spans.clear();
+        spans.extend(
+            (0..n_nodes)
+                .filter(|&id| flat.parent[id] == NONE)
+                .map(|id| (flat.sub_off[id], flat.sub_len[id])),
+        );
+        if !tile(0, n_members as u32, &mut spans) {
+            return Err(corrupt("root ranges do not tile the arena".into()));
+        }
+        let nodes = (0..n_nodes)
+            .map(|id| ClNode {
+                core: flat.core[id],
+                parent: flat.parent[id],
+                sub_off: flat.sub_off[id],
+                sub_len: flat.sub_len[id],
+                own_len: flat.own_len[id],
+                kids_off: kids_off[id],
+                kids_len: kid_counts[id],
+            })
+            .collect();
+        Ok(ClTree {
+            nodes,
+            kids,
+            arena: flat.arena,
+            members: flat.members,
+            node_of: flat.node_of,
+            core_of,
+            arena_pos: flat.arena_pos,
+        })
     }
 
     /// Number of forest nodes.
@@ -237,9 +474,21 @@ impl ClTree {
         &self.members
     }
 
+    /// Consumes the tree, yielding its sorted member list without a
+    /// copy (the incremental CP-tree patcher's rebuild seed).
+    pub fn into_members(self) -> Vec<VertexId> {
+        self.members
+    }
+
     /// Forest node by id.
     pub fn node(&self, id: u32) -> &ClNode {
         &self.nodes[id as usize]
+    }
+
+    /// Child node ids of `id` (deeper ĉores merged under it).
+    pub fn children(&self, id: u32) -> &[u32] {
+        let node = &self.nodes[id as usize];
+        &self.kids[node.kids_off as usize..(node.kids_off + node.kids_len) as usize]
     }
 
     /// The vertices whose core number equals `node(id).core` within
@@ -349,7 +598,8 @@ impl ClTree {
         use std::mem::size_of;
         self.arena.len() * size_of::<VertexId>()
             + self.members.len() * (size_of::<VertexId>() + 3 * size_of::<u32>())
-            + self.nodes.iter().map(|n| size_of::<ClNode>() + n.children.len() * 4).sum::<usize>()
+            + self.nodes.len() * size_of::<ClNode>()
+            + self.kids.len() * size_of::<u32>()
     }
 }
 
@@ -449,7 +699,7 @@ mod tests {
         let t = ClTree::build(&g);
         for id in 0..t.num_nodes() as u32 {
             let mut expect: Vec<VertexId> = t.node_members(id).to_vec();
-            for &ch in &t.node(id).children {
+            for &ch in t.children(id) {
                 expect.extend_from_slice(t.subtree_members(ch));
             }
             expect.sort_unstable();
@@ -457,7 +707,7 @@ mod tests {
             got.sort_unstable();
             assert_eq!(got, expect, "node {id}");
             // Children ranges are contained in the parent range.
-            for &ch in &t.node(id).children {
+            for &ch in t.children(id) {
                 let p = t.node(id);
                 let c = t.node(ch);
                 assert!(c.sub_off >= p.sub_off);
@@ -594,6 +844,129 @@ mod tests {
         let mut collected = t.subtree_members(nid).to_vec();
         collected.sort_unstable();
         assert_eq!(collected, t.get(0, 3).unwrap());
+    }
+
+    /// `to_flat` → `from_flat` reproduces the whole query surface, and
+    /// the flat form is byte-stable across the round trip.
+    #[test]
+    fn flat_round_trip() {
+        let g = figure4();
+        let t = ClTree::build(&g);
+        let flat = t.to_flat();
+        let back = ClTree::from_flat(flat.clone()).unwrap();
+        assert_eq!(back.to_flat(), flat, "round trip is stable");
+        for q in g.vertices() {
+            for k in 0..=4 {
+                assert_eq!(t.get(q, k), back.get(q, k), "q={q} k={k}");
+                assert_eq!(
+                    t.community_ref(q, k).map(<[VertexId]>::to_vec),
+                    back.community_ref(q, k).map(<[VertexId]>::to_vec)
+                );
+            }
+            assert_eq!(t.core_of(q), back.core_of(q));
+            assert_eq!(t.node_of(q), back.node_of(q));
+        }
+        // Empty tree round-trips too.
+        let empty = ClTree::build_on_subset(&g, &[]);
+        assert_eq!(ClTree::from_flat(empty.to_flat()).unwrap().num_nodes(), 0);
+    }
+
+    /// Every class of malformed flat input is rejected with
+    /// `CorruptIndex`, never adopted.
+    #[test]
+    fn from_flat_rejects_corruption() {
+        let g = figure4();
+        let good = ClTree::build(&g).to_flat();
+        let corrupt = |mutate: &dyn Fn(&mut ClTreeFlat)| {
+            let mut f = good.clone();
+            mutate(&mut f);
+            ClTree::from_flat(f).unwrap_err()
+        };
+        let is_corrupt = |e: crate::IndexError| matches!(e, crate::IndexError::CorruptIndex { .. });
+        assert!(is_corrupt(corrupt(&|f| {
+            f.core.pop();
+        })));
+        assert!(is_corrupt(corrupt(&|f| {
+            f.arena.pop();
+        })));
+        assert!(is_corrupt(corrupt(&|f| f.members.swap(0, 1))));
+        assert!(is_corrupt(corrupt(&|f| f.parent[0] = 0))); // self/backward parent
+        assert!(is_corrupt(corrupt(&|f| f.sub_len[0] = u32::MAX)));
+        assert!(is_corrupt(corrupt(&|f| f.node_of[0] = 99)));
+        assert!(is_corrupt(corrupt(&|f| f.arena_pos[0] = 99)));
+        assert!(is_corrupt(corrupt(&|f| {
+            // Two nodes at the same level on one path.
+            if let Some(p) = f.parent.iter().position(|&p| p != super::NONE) {
+                f.core[p] = f.core[f.parent[p] as usize];
+            } else {
+                f.core.pop(); // fallback: still corrupt
+            }
+        })));
+    }
+
+    /// A forged flat tree whose sibling (or root) ranges overlap —
+    /// individually nested, cores fine, members placed — must still be
+    /// rejected: overlapping ranges would leak one community's
+    /// vertices into another.
+    #[test]
+    fn from_flat_rejects_overlapping_ranges() {
+        // Two K4s bridged through a low-core hub: one core-2 root whose
+        // two children are the core-3 K4 ĉores.
+        let g = Graph::from_edges(
+            9,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (4, 5),
+                (4, 6),
+                (4, 7),
+                (5, 6),
+                (5, 7),
+                (6, 7),
+                (8, 0),
+                (8, 4),
+            ],
+        )
+        .unwrap();
+        let flat = ClTree::build(&g).to_flat();
+        let root = (0..flat.parent.len()).position(|i| flat.parent[i] == super::NONE).unwrap();
+        let kids: Vec<usize> =
+            (0..flat.parent.len()).filter(|&i| flat.parent[i] as usize == root).collect();
+        assert_eq!(kids.len(), 2, "root must hold the two K4 ĉores");
+        // Extend the earlier child's range over its sibling: still
+        // nested in the root, own prefix and member placement intact.
+        let (a, b) = if flat.sub_off[kids[0]] < flat.sub_off[kids[1]] {
+            (kids[0], kids[1])
+        } else {
+            (kids[1], kids[0])
+        };
+        let mut bad = flat.clone();
+        bad.sub_len[a] += flat.sub_len[b];
+        assert!(
+            matches!(ClTree::from_flat(bad), Err(crate::IndexError::CorruptIndex { .. })),
+            "sibling overlap must be rejected"
+        );
+        // Sanity: the untouched flat form still loads.
+        assert!(ClTree::from_flat(flat).is_ok());
+
+        // Root-level overlap on a forest (three roots).
+        let forest =
+            Graph::from_edges(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+        let flat = ClTree::build(&forest).to_flat();
+        let mut roots: Vec<usize> =
+            (0..flat.parent.len()).filter(|&i| flat.parent[i] == super::NONE).collect();
+        roots.sort_by_key(|&i| flat.sub_off[i]);
+        assert!(roots.len() >= 2);
+        let mut bad = flat.clone();
+        bad.sub_len[roots[0]] += flat.sub_len[roots[1]];
+        assert!(
+            matches!(ClTree::from_flat(bad), Err(crate::IndexError::CorruptIndex { .. })),
+            "root overlap must be rejected"
+        );
     }
 
     #[test]

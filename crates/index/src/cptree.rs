@@ -14,8 +14,35 @@ use pcs_graph::{demoted_by_deletion, promoted_by_insertion, FxHashMap, FxHashSet
 use pcs_graph::{Graph, VertexId};
 use pcs_ptree::{LabelId, PTree, Taxonomy};
 
-use crate::cltree::ClTree;
+use crate::cltree::{ClTree, ClTreeFlat};
 use crate::{IndexError, Result};
+
+/// One populated CP-tree node in wire form: its label, and the
+/// CL-tree's flat arrays. The node's member list is the CL-tree's
+/// (sorted) member array — it is not duplicated on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CpNodeFlat {
+    /// The label this node indexes.
+    pub label: LabelId,
+    /// The per-label CL-tree as flat arrays.
+    pub cl: ClTreeFlat,
+}
+
+/// The complete persistent state of a [`CpTree`]: per-label CL-trees
+/// plus the `headMap`, all as length-delimited flat arrays. Produced by
+/// [`CpTree::to_flat`], consumed and re-validated by
+/// [`CpTree::from_flat`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CpTreeFlat {
+    /// Number of vertices the index covers.
+    pub n: usize,
+    /// Total number of taxonomy labels (populated or not).
+    pub num_labels: usize,
+    /// Populated nodes in ascending label order.
+    pub nodes: Vec<CpNodeFlat>,
+    /// `headMap`: per vertex, the leaf labels of its P-tree.
+    pub head_map: Vec<Vec<LabelId>>,
+}
 
 /// One applied change to the underlying profiled graph, as reported to
 /// the index for incremental maintenance. Deltas describe *effective*
@@ -59,15 +86,15 @@ pub struct CpPatchStats {
 }
 
 /// One CP-tree node: a taxonomy label plus the CL-tree of its induced
-/// subgraph.
+/// subgraph. The sorted vertex list of the label is the CL-tree's
+/// member array ([`ClTree::members`]) — not duplicated here, so
+/// cloning an index for incremental patching copies each list once.
 #[derive(Clone, Debug)]
 pub struct CpNode {
     /// The label this node indexes.
     pub label: LabelId,
-    /// Sorted vertices whose P-tree contains `label`.
-    pub vertices: Vec<VertexId>,
-    /// The CL-tree over those vertices (the paper's per-node
-    /// `vertexNodeMap`).
+    /// The CL-tree over the vertices whose P-tree contains `label`
+    /// (the paper's per-node `vertexNodeMap`).
     pub cl: ClTree,
 }
 
@@ -123,7 +150,7 @@ impl CpTree {
                     continue;
                 }
                 let cl = ClTree::build_on_subset(g, &verts);
-                nodes[label] = Some(CpNode { label: label as LabelId, vertices: verts, cl });
+                nodes[label] = Some(CpNode { label: label as LabelId, cl });
             }
         } else {
             let work: Vec<(usize, Vec<VertexId>)> =
@@ -138,14 +165,7 @@ impl CpTree {
                                 .iter()
                                 .map(|(label, verts)| {
                                     let cl = ClTree::build_on_subset(g, verts);
-                                    (
-                                        *label,
-                                        CpNode {
-                                            label: *label as LabelId,
-                                            vertices: verts.clone(),
-                                            cl,
-                                        },
-                                    )
+                                    (*label, CpNode { label: *label as LabelId, cl })
                                 })
                                 .collect::<Vec<_>>()
                         })
@@ -158,6 +178,67 @@ impl CpTree {
             }
         }
         Ok(CpTree { nodes, head_map, n: g.num_vertices() })
+    }
+
+    /// Exports the index's complete persistent state (copies). See
+    /// [`CpTreeFlat`].
+    pub fn to_flat(&self) -> CpTreeFlat {
+        CpTreeFlat {
+            n: self.n,
+            num_labels: self.nodes.len(),
+            nodes: self
+                .nodes
+                .iter()
+                .flatten()
+                .map(|node| CpNodeFlat { label: node.label, cl: node.cl.to_flat() })
+                .collect(),
+            head_map: self.head_map.clone(),
+        }
+    }
+
+    /// Reconstructs an index from flat arrays, re-validating structure:
+    /// label ids in range and strictly ascending, per-label CL-trees
+    /// structurally sound ([`ClTree::from_flat`]), member lists confined
+    /// to `0..n`, and a `headMap` entry per vertex with in-range labels.
+    /// Malformed input yields [`IndexError::CorruptIndex`].
+    ///
+    /// Semantic agreement with the graph and profiles it was built from
+    /// is the writer's responsibility; snapshot loaders additionally
+    /// cross-check the restored `headMap` against the profile section.
+    pub fn from_flat(flat: CpTreeFlat) -> Result<CpTree> {
+        let corrupt = |detail: String| IndexError::CorruptIndex { detail };
+        if flat.head_map.len() != flat.n {
+            return Err(corrupt(format!(
+                "headMap covers {} vertices, index covers {}",
+                flat.head_map.len(),
+                flat.n
+            )));
+        }
+        for (v, heads) in flat.head_map.iter().enumerate() {
+            if heads.iter().any(|&l| l as usize >= flat.num_labels) {
+                return Err(corrupt(format!("headMap of vertex {v} references a missing label")));
+            }
+        }
+        let mut nodes: Vec<Option<CpNode>> = vec![None; flat.num_labels];
+        let mut prev_label: Option<LabelId> = None;
+        for node in flat.nodes {
+            if node.label as usize >= flat.num_labels {
+                return Err(corrupt(format!("populated label {} out of range", node.label)));
+            }
+            if prev_label.is_some_and(|p| p >= node.label) {
+                return Err(corrupt("populated labels not strictly ascending".into()));
+            }
+            prev_label = Some(node.label);
+            let cl = ClTree::from_flat(node.cl)?;
+            if cl.members().is_empty() {
+                return Err(corrupt(format!("label {} is populated but empty", node.label)));
+            }
+            if cl.members().last().is_some_and(|&v| v as usize >= flat.n) {
+                return Err(corrupt(format!("label {} indexes out-of-range vertices", node.label)));
+            }
+            nodes[node.label as usize] = Some(CpNode { label: node.label, cl });
+        }
+        Ok(CpTree { nodes, head_map: flat.head_map, n: flat.n })
     }
 
     /// Number of vertices the index covers.
@@ -178,7 +259,7 @@ impl CpTree {
 
     /// Sorted vertices carrying `label` (empty slice when none).
     pub fn vertices_with_label(&self, label: LabelId) -> &[VertexId] {
-        self.node(label).map_or(&[], |n| &n.vertices)
+        self.node(label).map_or(&[], |n| n.cl.members())
     }
 
     /// The paper's `I.get(k, q, t)` as a **borrowed slice**: the k-ĉore
@@ -428,7 +509,7 @@ impl CpTree {
         // Pass 3: rebuild.
         for label in rebuild {
             let mut verts = match self.nodes[label as usize].take() {
-                Some(node) => node.vertices,
+                Some(node) => node.cl.into_members(),
                 None => Vec::new(),
             };
             if let Some(removed) = member_remove.get(&label) {
@@ -443,7 +524,7 @@ impl CpTree {
                 continue; // node stays vacated
             }
             let cl = ClTree::build_on_subset(g_after, &verts);
-            self.nodes[label as usize] = Some(CpNode { label, vertices: verts, cl });
+            self.nodes[label as usize] = Some(CpNode { label, cl });
         }
         // Pass 4: refresh the headMap for re-profiled vertices.
         for v in profile_vertices {
@@ -457,7 +538,6 @@ impl CpTree {
     pub fn memory_bytes(&self) -> usize {
         let mut total = 0usize;
         for node in self.nodes.iter().flatten() {
-            total += node.vertices.len() * std::mem::size_of::<VertexId>();
             total += node.cl.memory_bytes();
         }
         for h in &self.head_map {
@@ -814,6 +894,58 @@ mod tests {
         expect.sort_unstable();
         assert_eq!(touched, expect);
         let _ = g;
+    }
+
+    /// Flat export/import reproduces the full query surface (the wire
+    /// path snapshots travel through).
+    #[test]
+    fn flat_round_trip_matches_everywhere() {
+        let (g, t, profiles) = figure1();
+        let idx = CpTree::build(&g, &t, &profiles).unwrap();
+        let flat = idx.to_flat();
+        let back = CpTree::from_flat(flat.clone()).unwrap();
+        assert_eq!(back.to_flat(), flat, "round trip is stable");
+        assert_semantically_equal(&idx, &back, &t, 8);
+        // And the rebuilt index keeps accepting incremental batches.
+        let mut patched = back.clone();
+        let mut dyn_g = pcs_graph::DynamicGraph::from_graph(&g);
+        dyn_g.add_edge(2, 4).unwrap();
+        let g_after = dyn_g.to_graph();
+        patched.apply_batch(&g_after, &t, &profiles, &[GraphDelta::EdgeAdded { u: 2, v: 4 }]);
+        let fresh = CpTree::build(&g_after, &t, &profiles).unwrap();
+        assert_semantically_equal(&patched, &fresh, &t, 8);
+    }
+
+    #[test]
+    fn from_flat_rejects_malformed_structures() {
+        let (g, t, profiles) = figure1();
+        let good = CpTree::build(&g, &t, &profiles).unwrap().to_flat();
+        let corrupt = |mutate: &dyn Fn(&mut CpTreeFlat)| {
+            let mut f = good.clone();
+            mutate(&mut f);
+            assert!(
+                matches!(CpTree::from_flat(f), Err(IndexError::CorruptIndex { .. })),
+                "mutation must be rejected"
+            );
+        };
+        corrupt(&|f| {
+            f.head_map.pop();
+        });
+        corrupt(&|f| f.head_map[0] = vec![999]);
+        corrupt(&|f| f.nodes[0].label = 999);
+        corrupt(&|f| f.nodes.swap(0, 1)); // labels no longer ascending
+        corrupt(&|f| {
+            f.nodes[0].cl.members.clear();
+            f.nodes[0].cl.arena.clear();
+            f.nodes[0].cl.node_of.clear();
+            f.nodes[0].cl.arena_pos.clear();
+        }); // populated but empty
+        corrupt(&|f| {
+            let m = &mut f.nodes[0].cl;
+            let last = m.members.len() - 1;
+            m.members[last] = 999;
+            m.arena[m.arena_pos[last] as usize] = 999;
+        });
     }
 
     #[test]

@@ -40,8 +40,8 @@
 pub mod cltree;
 pub mod cptree;
 
-pub use cltree::ClTree;
-pub use cptree::{CpPatchStats, CpTree, GraphDelta};
+pub use cltree::{ClTree, ClTreeFlat};
+pub use cptree::{CpNodeFlat, CpPatchStats, CpTree, CpTreeFlat, GraphDelta};
 
 /// Errors produced while building or querying indexes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +55,13 @@ pub enum IndexError {
     },
     /// A profile references a label outside the taxonomy.
     UnknownLabel(pcs_ptree::LabelId),
+    /// A flat representation handed to [`ClTree::from_flat`] /
+    /// [`CpTree::from_flat`] violates a structural invariant (snapshot
+    /// loaders surface this as a corrupt-section error).
+    CorruptIndex {
+        /// Description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for IndexError {
@@ -64,6 +71,9 @@ impl std::fmt::Display for IndexError {
                 write!(f, "graph has {vertices} vertices but {profiles} profiles were supplied")
             }
             IndexError::UnknownLabel(l) => write!(f, "profile references unknown label {l}"),
+            IndexError::CorruptIndex { detail } => {
+                write!(f, "flat index representation is corrupt: {detail}")
+            }
         }
     }
 }

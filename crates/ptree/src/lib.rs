@@ -44,7 +44,7 @@ pub mod taxonomy;
 pub mod ted;
 
 pub use intern::{SubtreeId, SubtreeIdSet, SubtreeInterner};
-pub use ptree::PTree;
+pub use ptree::{PTree, ProfileLoader};
 pub use query::{QuerySpace, Subtree};
 pub use taxonomy::{LabelId, Taxonomy};
 pub use ted::{symmetric_difference_distance, tree_edit_distance, OrderedTree};

@@ -15,6 +15,59 @@
 use crate::taxonomy::{LabelId, Taxonomy};
 use crate::{PTreeError, Result};
 
+/// Amortized bulk P-tree validation: the same contract as
+/// [`PTree::from_closed_sorted`], but over many profiles with one
+/// reusable stamp array instead of per-node binary searches — O(len)
+/// per profile. Snapshot loaders validate hundreds of thousands of
+/// profile nodes on the warm-start path; this keeps that linear.
+#[derive(Debug)]
+pub struct ProfileLoader {
+    /// `stamp[label] == tick` ⇔ label seen in the current profile.
+    stamp: Vec<u32>,
+    tick: u32,
+}
+
+impl ProfileLoader {
+    /// A loader for profiles over `tax`.
+    pub fn new(tax: &Taxonomy) -> Self {
+        ProfileLoader { stamp: vec![u32::MAX; tax.len()], tick: 0 }
+    }
+
+    /// Validates that `nodes` is strictly ascending, in range, rooted,
+    /// and ancestor-closed, then wraps it without copying. Equivalent
+    /// to [`PTree::from_closed_sorted`] (including its error cases).
+    pub fn ptree(&mut self, tax: &Taxonomy, nodes: Vec<LabelId>) -> Result<PTree> {
+        if nodes.first() != Some(&Taxonomy::ROOT) {
+            return Err(PTreeError::TaxonomyMismatch);
+        }
+        if self.tick == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = u32::MAX);
+            self.tick = 0;
+        }
+        let tick = self.tick;
+        self.tick += 1;
+        let mut prev = Taxonomy::ROOT;
+        for (i, &id) in nodes.iter().enumerate() {
+            if id as usize >= tax.len() {
+                return Err(PTreeError::UnknownLabel(id));
+            }
+            if i > 0 {
+                if id <= prev {
+                    return Err(PTreeError::TaxonomyMismatch);
+                }
+                // `parent(id) < id` and the list is ascending, so a
+                // present parent is already stamped.
+                if self.stamp[tax.parent(id) as usize] != tick {
+                    return Err(PTreeError::TaxonomyMismatch);
+                }
+            }
+            self.stamp[id as usize] = tick;
+            prev = id;
+        }
+        Ok(PTree::from_validated(nodes))
+    }
+}
+
 /// An induced rooted subtree of a [`Taxonomy`] (Definition 2/3).
 ///
 /// Invariant: `nodes` is sorted, deduplicated, ancestor-closed, and
@@ -60,6 +113,11 @@ impl PTree {
             return Err(PTreeError::TaxonomyMismatch);
         }
         Ok(PTree { nodes })
+    }
+
+    /// Crate-internal constructor for [`ProfileLoader`].
+    pub(crate) fn from_validated(nodes: Vec<LabelId>) -> Self {
+        PTree { nodes }
     }
 
     /// The sorted node ids.

@@ -13,13 +13,34 @@ use crate::{PTreeError, Result};
 pub type LabelId = u32;
 
 /// A rooted label hierarchy — the paper's GP-tree.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Taxonomy {
     labels: Vec<String>,
     parent: Vec<LabelId>,
     children: Vec<Vec<LabelId>>,
     depth: Vec<u32>,
     by_name: FxHashMap<String, LabelId>,
+}
+
+/// Process-wide count of [`Taxonomy`] deep copies (see
+/// [`Taxonomy::clone_count`]).
+static TAXONOMY_CLONES: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+impl Clone for Taxonomy {
+    fn clone(&self) -> Self {
+        // A taxonomy clone duplicates every label string; hot paths must
+        // never do it. The counter is the audit hook regression tests
+        // use to pin clone-free paths (one relaxed add per deep copy —
+        // noise next to the string allocations it counts).
+        TAXONOMY_CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Taxonomy {
+            labels: self.labels.clone(),
+            parent: self.parent.clone(),
+            children: self.children.clone(),
+            depth: self.depth.clone(),
+            by_name: self.by_name.clone(),
+        }
+    }
 }
 
 impl Taxonomy {
@@ -58,6 +79,72 @@ impl Taxonomy {
         self.children[parent as usize].push(id);
         self.by_name.insert(label.to_owned(), id);
         Ok(id)
+    }
+
+    /// Rebuilds a taxonomy from its persistent state: the label names
+    /// and the parent array, both in id order (the root first, every
+    /// parent id smaller than its child's — the invariant
+    /// [`Taxonomy::add_child`] maintains). Children, depths, and the
+    /// name lookup are re-derived in O(labels).
+    ///
+    /// This is the snapshot-loading counterpart of
+    /// [`Taxonomy::label_names`] + [`Taxonomy::parents`]. Inputs that
+    /// violate the invariants are rejected:
+    /// [`PTreeError::TaxonomyMismatch`] for an empty/odd-shaped pair or
+    /// a non-topological parent order, [`PTreeError::UnknownLabel`] for
+    /// an out-of-range parent id, [`PTreeError::DuplicateLabel`] for a
+    /// reused name.
+    pub fn from_parts(labels: Vec<String>, parent: Vec<LabelId>) -> Result<Taxonomy> {
+        if labels.is_empty() || labels.len() != parent.len() || parent[0] != Self::ROOT {
+            return Err(PTreeError::TaxonomyMismatch);
+        }
+        if labels.len() > u32::MAX as usize {
+            return Err(PTreeError::TaxonomyMismatch);
+        }
+        let mut children: Vec<Vec<LabelId>> = vec![Vec::new(); labels.len()];
+        let mut depth = vec![0u32; labels.len()];
+        for (id, &p) in parent.iter().enumerate().skip(1) {
+            if p as usize >= labels.len() {
+                return Err(PTreeError::UnknownLabel(p));
+            }
+            // `parent(id) < id` is what makes one forward pass enough
+            // (and rules out cycles).
+            if p as usize >= id {
+                return Err(PTreeError::TaxonomyMismatch);
+            }
+            children[p as usize].push(id as LabelId);
+            depth[id] = depth[p as usize] + 1;
+        }
+        let mut by_name = FxHashMap::default();
+        for (id, name) in labels.iter().enumerate() {
+            if by_name.insert(name.clone(), id as LabelId).is_some() {
+                return Err(PTreeError::DuplicateLabel(name.clone()));
+            }
+        }
+        Ok(Taxonomy { labels, parent, children, depth, by_name })
+    }
+
+    /// All label names in id order (the root at index 0). With
+    /// [`Taxonomy::parents`] this is the complete persistent state; feed
+    /// both to [`Taxonomy::from_parts`] to reconstruct.
+    #[inline]
+    pub fn label_names(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The parent array in id order (the root maps to itself). See
+    /// [`Taxonomy::label_names`].
+    #[inline]
+    pub fn parents(&self) -> &[LabelId] {
+        &self.parent
+    }
+
+    /// How many [`Taxonomy`] values have been deep-copied in this
+    /// process so far (monotone counter). Regression tests snapshot it
+    /// around a code path to pin that the path performs zero taxonomy
+    /// clones; production code should never need it.
+    pub fn clone_count() -> usize {
+        TAXONOMY_CLONES.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Number of labels (including the root).
@@ -202,6 +289,62 @@ mod tests {
         assert_eq!(anc, vec![ml, ids[0], Taxonomy::ROOT]);
         let anc_root: Vec<LabelId> = t.ancestors_inclusive(Taxonomy::ROOT).collect();
         assert_eq!(anc_root, vec![Taxonomy::ROOT]);
+    }
+
+    /// `label_names` + `parents` → `from_parts` reproduces the whole
+    /// accessor surface (the snapshot persistence path).
+    #[test]
+    fn from_parts_round_trip() {
+        let (t, ids) = ccs_fragment();
+        let back = Taxonomy::from_parts(t.label_names().to_vec(), t.parents().to_vec()).unwrap();
+        assert_eq!(back.len(), t.len());
+        for id in 0..t.len() as LabelId {
+            assert_eq!(back.label(id), t.label(id));
+            assert_eq!(back.parent(id), t.parent(id));
+            assert_eq!(back.children(id), t.children(id));
+            assert_eq!(back.depth(id), t.depth(id));
+            assert_eq!(back.id_of(t.label(id)), Some(id));
+        }
+        let _ = ids;
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_inputs() {
+        let name = |s: &str| s.to_owned();
+        // Empty / mismatched lengths / root not its own parent.
+        assert_eq!(Taxonomy::from_parts(vec![], vec![]).unwrap_err(), PTreeError::TaxonomyMismatch);
+        assert_eq!(
+            Taxonomy::from_parts(vec![name("r")], vec![0, 0]).unwrap_err(),
+            PTreeError::TaxonomyMismatch
+        );
+        assert_eq!(
+            Taxonomy::from_parts(vec![name("r"), name("a")], vec![1, 0]).unwrap_err(),
+            PTreeError::TaxonomyMismatch
+        );
+        // Non-topological parent (forward reference / self-parent).
+        assert_eq!(
+            Taxonomy::from_parts(vec![name("r"), name("a"), name("b")], vec![0, 2, 1]).unwrap_err(),
+            PTreeError::TaxonomyMismatch
+        );
+        // Out-of-range parent id.
+        assert_eq!(
+            Taxonomy::from_parts(vec![name("r"), name("a")], vec![0, 9]).unwrap_err(),
+            PTreeError::UnknownLabel(9)
+        );
+        // Duplicate name.
+        assert_eq!(
+            Taxonomy::from_parts(vec![name("r"), name("r")], vec![0, 0]).unwrap_err(),
+            PTreeError::DuplicateLabel("r".into())
+        );
+    }
+
+    #[test]
+    fn clone_count_is_monotone_and_counts() {
+        let (t, _) = ccs_fragment();
+        let before = Taxonomy::clone_count();
+        let copy = t.clone();
+        assert!(Taxonomy::clone_count() > before);
+        assert_eq!(copy.len(), t.len());
     }
 
     #[test]

@@ -47,6 +47,33 @@ pub trait Strategy {
     {
         FlatMap { base: self, f }
     }
+
+    /// Transforms each generated value.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, T, F> Strategy for Map<B, F>
+where
+    B: Strategy,
+    F: Fn(B::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (self.f)(self.base.generate(rng))
+    }
 }
 
 /// Strategy returned by [`Strategy::prop_flat_map`].
@@ -122,7 +149,7 @@ macro_rules! impl_range_strategy {
     )*};
 }
 
-impl_range_strategy!(u16, u32, u64, usize, i32, i64);
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
 
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident . $idx:tt),+))*) => {$(

@@ -88,7 +88,7 @@ macro_rules! impl_int_range {
     )*};
 }
 
-impl_int_range!(u16, u32, u64, usize, i32, i64);
+impl_int_range!(u8, u16, u32, u64, usize, i32, i64);
 
 /// Uniform integer in `[0, span)` by rejection from the top 64 bits;
 /// span 0 means the full 2^64 range collapsed into u128 arithmetic.

@@ -1,0 +1,539 @@
+//! Section encodings: engine state ⇄ flat little-endian payloads.
+//!
+//! Every section is a sequence of length-prefixed flat arrays — the
+//! load path is *validate-then-bulk-copy*: checksums (the container's
+//! job) prove the bytes are what the writer produced, structural
+//! validation (each component's `from_*` constructor) proves the arrays
+//! describe a legal value, and the arrays themselves are adopted
+//! wholesale rather than decoded element by element.
+//!
+//! | id | section | contents |
+//! |---|---|---|
+//! | 1 | `META` | epoch, vertex/edge/label counts (cross-checked) |
+//! | 2 | `GRAPH` | CSR offsets (u64) + neighbor array (u32) |
+//! | 3 | `TAXONOMY` | parent array + length-prefixed label names |
+//! | 4 | `PROFILES` | per-vertex node counts + flat label array |
+//! | 5 | `CORES` | per-vertex core numbers (optional section) |
+//! | 6 | `INDEX` | headMap + per-label CL-tree flat arenas (optional) |
+
+use crate::format::{
+    Result, SectionReader, SectionWriter, SnapshotFile, SnapshotSlices, StoreError,
+};
+use pcs_graph::{Graph, VertexId};
+use pcs_index::{ClTreeFlat, CpNodeFlat, CpTree, CpTreeFlat};
+use pcs_ptree::{PTree, ProfileLoader, Taxonomy};
+
+/// Well-known section ids (see the module table).
+pub mod section {
+    /// Epoch and cross-checked counts.
+    pub const META: u32 = 1;
+    /// The CSR graph.
+    pub const GRAPH: u32 = 2;
+    /// The GP-tree.
+    pub const TAXONOMY: u32 = 3;
+    /// Per-vertex P-trees.
+    pub const PROFILES: u32 = 4;
+    /// Core numbers (optional).
+    pub const CORES: u32 = 5;
+    /// The CP-tree index (optional).
+    pub const INDEX: u32 = 6;
+}
+
+/// A fully decoded snapshot: everything an engine needs to warm-start.
+#[derive(Debug)]
+pub struct SnapshotContents {
+    /// The epoch the source engine was at when saved.
+    pub epoch: u64,
+    /// The host graph (structurally validated on decode).
+    pub graph: Graph,
+    /// The GP-tree.
+    pub tax: Taxonomy,
+    /// Per-vertex P-trees.
+    pub profiles: Vec<PTree>,
+    /// Core numbers, when the source snapshot had them computed.
+    pub cores: Option<Vec<u32>>,
+    /// The CP-tree index, when the source snapshot had one built.
+    pub index: Option<CpTree>,
+}
+
+fn corrupt(section: u32, detail: impl Into<String>) -> StoreError {
+    StoreError::Corrupt { section, detail: detail.into() }
+}
+
+/// Serializes one engine snapshot into a [`SnapshotFile`].
+///
+/// `cores` and `index` are optional: pass whatever the source snapshot
+/// has already materialized. The writer guarantees the sections agree
+/// with each other — [`decode_snapshot`] re-checks the cheap
+/// consistency subset on the way back in.
+pub fn encode_snapshot(
+    epoch: u64,
+    graph: &Graph,
+    tax: &Taxonomy,
+    profiles: &[PTree],
+    cores: Option<&[u32]>,
+    index: Option<&CpTree>,
+) -> SnapshotFile {
+    let mut file = SnapshotFile::new();
+    // Narrow (two-byte) id width whenever every id-like value fits:
+    // vertex ids, label ids, and everything bounded by them (core
+    // levels, arena offsets, CL-node ids). `u16::MAX` stays reserved
+    // as the widened `u32::MAX` sentinel.
+    let narrow = graph.num_vertices() < u16::MAX as usize && tax.len() < u16::MAX as usize;
+
+    let mut meta = SectionWriter::new();
+    meta.put_u64(epoch);
+    meta.put_u64(graph.num_vertices() as u64);
+    meta.put_u64(graph.num_edges() as u64);
+    meta.put_u64(tax.len() as u64);
+    meta.put_u64(narrow as u64);
+    file.push_section(section::META, meta.finish());
+
+    let mut g = SectionWriter::new();
+    g.put_u64(graph.num_vertices() as u64);
+    g.put_usize_slice_as_u64(graph.csr_offsets());
+    g.put_u64(graph.csr_neighbors().len() as u64);
+    g.put_id_slice(graph.csr_neighbors(), narrow);
+    file.push_section(section::GRAPH, g.finish());
+
+    let mut t = SectionWriter::new();
+    t.put_u64(tax.len() as u64);
+    t.put_id_slice(tax.parents(), narrow);
+    for name in tax.label_names() {
+        t.put_u32(name.len() as u32);
+        t.put_bytes(name.as_bytes());
+    }
+    file.push_section(section::TAXONOMY, t.finish());
+
+    let mut p = SectionWriter::new();
+    p.put_u64(profiles.len() as u64);
+    for profile in profiles {
+        p.put_u32(profile.nodes().len() as u32);
+    }
+    let total: usize = profiles.iter().map(|pr| pr.nodes().len()).sum();
+    p.put_u64(total as u64);
+    for profile in profiles {
+        p.put_id_slice(profile.nodes(), narrow);
+    }
+    file.push_section(section::PROFILES, p.finish());
+
+    if let Some(core) = cores {
+        let mut c = SectionWriter::new();
+        c.put_u64(core.len() as u64);
+        c.put_id_slice(core, narrow);
+        file.push_section(section::CORES, c.finish());
+    }
+
+    if let Some(idx) = index {
+        file.push_section(section::INDEX, encode_index(idx, tax.len(), narrow));
+    }
+    file
+}
+
+/// Serializes the index one label at a time: only a single label's
+/// CL-tree is flattened at any moment, so saving never holds a second
+/// copy of the whole index in memory.
+fn encode_index(idx: &CpTree, num_labels: usize, narrow: bool) -> Vec<u8> {
+    let n = idx.num_vertices();
+    let mut w = SectionWriter::new();
+    w.put_u64(n as u64);
+    w.put_u64(num_labels as u64);
+    for v in 0..n as VertexId {
+        w.put_u32(idx.head(v).len() as u32);
+    }
+    let total: usize = (0..n as VertexId).map(|v| idx.head(v).len()).sum();
+    w.put_u64(total as u64);
+    for v in 0..n as VertexId {
+        w.put_id_slice(idx.head(v), narrow);
+    }
+    w.put_u64(idx.num_populated_labels() as u64);
+    for label in 0..num_labels as u32 {
+        let Some(node) = idx.node(label) else {
+            continue;
+        };
+        w.put_u32(node.label);
+        let cl = node.cl.to_flat();
+        w.put_u64(cl.core.len() as u64);
+        w.put_id_slice(&cl.core, narrow);
+        w.put_id_slice(&cl.parent, narrow);
+        w.put_id_slice(&cl.sub_off, narrow);
+        w.put_id_slice(&cl.sub_len, narrow);
+        w.put_id_slice(&cl.own_len, narrow);
+        w.put_u64(cl.arena.len() as u64);
+        w.put_id_slice(&cl.arena, narrow);
+        w.put_id_slice(&cl.members, narrow);
+        w.put_id_slice(&cl.node_of, narrow);
+        w.put_id_slice(&cl.arena_pos, narrow);
+    }
+    w.finish()
+}
+
+/// Anything the codec can pull sections out of: the owned
+/// [`SnapshotFile`] or the zero-copy [`SnapshotSlices`] view.
+pub trait SectionSource {
+    /// The payload of section `id`, if present.
+    fn section(&self, id: u32) -> Option<&[u8]>;
+}
+
+impl SectionSource for SnapshotFile {
+    fn section(&self, id: u32) -> Option<&[u8]> {
+        SnapshotFile::section(self, id)
+    }
+}
+
+impl SectionSource for SnapshotSlices<'_> {
+    fn section(&self, id: u32) -> Option<&[u8]> {
+        SnapshotSlices::section(self, id)
+    }
+}
+
+/// One-call warm-start path: container-validate `bytes` without
+/// copying payloads, then [`decode_snapshot`].
+pub fn decode_snapshot_bytes(bytes: &[u8]) -> Result<SnapshotContents> {
+    decode_snapshot_bytes_with(bytes, true)
+}
+
+/// [`decode_snapshot_bytes`] with the index decode made optional:
+/// replicas that will drop the index anyway (`IndexMode::Disabled`)
+/// pass `want_index = false` and skip decoding/validating the INDEX
+/// section — the dominant share of a warm snapshot — entirely. The
+/// container still checksums every section either way.
+pub fn decode_snapshot_bytes_with(bytes: &[u8], want_index: bool) -> Result<SnapshotContents> {
+    decode_snapshot_with(&SnapshotSlices::from_bytes(bytes)?, want_index)
+}
+
+/// Decodes (and cross-validates) a snapshot file back into engine
+/// parts.
+///
+/// Validation layers, cheapest first: the container already proved
+/// byte integrity via checksums; this function proves *structure*
+/// (graph CSR invariants, taxonomy shape, P-tree closure, CL-tree
+/// arena invariants) and *cross-section agreement* (counts line up,
+/// core numbers fit their degrees, and the index `headMap` restores
+/// exactly the profile section's P-trees). Anything that fails maps to
+/// a typed [`StoreError`] — a decoded snapshot is safe to serve from.
+pub fn decode_snapshot(file: &impl SectionSource) -> Result<SnapshotContents> {
+    decode_snapshot_with(file, true)
+}
+
+/// [`decode_snapshot`] with the index decode made optional (see
+/// [`decode_snapshot_bytes_with`]). With `want_index = false` the
+/// INDEX section is left untouched and `contents.index` is `None`.
+pub fn decode_snapshot_with(
+    file: &impl SectionSource,
+    want_index: bool,
+) -> Result<SnapshotContents> {
+    let require = |id: u32| file.section(id).ok_or(StoreError::MissingSection { section: id });
+
+    let mut meta = SectionReader::new(require(section::META)?, section::META);
+    let epoch = meta.u64()?;
+    let meta_n = meta.usize64()?;
+    let meta_m = meta.usize64()?;
+    let meta_labels = meta.usize64()?;
+    let narrow = match meta.u64()? {
+        0 => false,
+        1 => true,
+        other => return Err(corrupt(section::META, format!("unknown flags {other}"))),
+    };
+    if narrow && (meta_n >= u16::MAX as usize || meta_labels >= u16::MAX as usize) {
+        return Err(corrupt(section::META, "narrow id width cannot hold the declared counts"));
+    }
+    meta.finish()?;
+
+    let mut g = SectionReader::new(require(section::GRAPH)?, section::GRAPH);
+    let n = g.usize64()?;
+    if n != meta_n {
+        return Err(corrupt(section::GRAPH, "vertex count disagrees with META"));
+    }
+    let offsets = g.usize_vec_from_u64(
+        n.checked_add(1).ok_or_else(|| corrupt(section::GRAPH, "vertex count overflows"))?,
+    )?;
+    let nbr_len = g.usize64()?;
+    let neighbors: Vec<VertexId> = g.id_vec(nbr_len, narrow)?;
+    g.finish()?;
+    let graph =
+        Graph::from_csr(offsets, neighbors).map_err(|e| corrupt(section::GRAPH, e.to_string()))?;
+    if graph.num_edges() != meta_m {
+        return Err(corrupt(section::GRAPH, "edge count disagrees with META"));
+    }
+
+    let mut t = SectionReader::new(require(section::TAXONOMY)?, section::TAXONOMY);
+    let labels_len = t.usize64()?;
+    if labels_len != meta_labels {
+        return Err(corrupt(section::TAXONOMY, "label count disagrees with META"));
+    }
+    let parents = t.id_vec(labels_len, narrow)?;
+    let mut names = Vec::with_capacity(labels_len);
+    for _ in 0..labels_len {
+        let len = t.u32()? as usize;
+        let raw = t.bytes(len)?;
+        names.push(
+            String::from_utf8(raw.to_vec())
+                .map_err(|_| corrupt(section::TAXONOMY, "label name is not UTF-8"))?,
+        );
+    }
+    t.finish()?;
+    let tax = Taxonomy::from_parts(names, parents)
+        .map_err(|e| corrupt(section::TAXONOMY, e.to_string()))?;
+
+    let mut p = SectionReader::new(require(section::PROFILES)?, section::PROFILES);
+    let profile_count = p.usize64()?;
+    if profile_count != n {
+        return Err(corrupt(section::PROFILES, "profile count disagrees with the graph"));
+    }
+    let lens = p.u32_vec(profile_count)?;
+    let total = p.usize64()?;
+    if lens.iter().map(|&l| l as u64).sum::<u64>() != total as u64 {
+        return Err(corrupt(section::PROFILES, "per-profile lengths disagree with the total"));
+    }
+    let flat = p.id_vec(total, narrow)?;
+    p.finish()?;
+    let mut profiles = Vec::with_capacity(profile_count);
+    let mut loader = ProfileLoader::new(&tax);
+    let mut at = 0usize;
+    for (v, &len) in lens.iter().enumerate() {
+        let nodes = flat[at..at + len as usize].to_vec();
+        at += len as usize;
+        profiles.push(loader.ptree(&tax, nodes).map_err(|_| {
+            corrupt(section::PROFILES, format!("profile of vertex {v} is not a valid P-tree"))
+        })?);
+    }
+
+    let cores = match file.section(section::CORES) {
+        None => None,
+        Some(payload) => {
+            let mut c = SectionReader::new(payload, section::CORES);
+            let count = c.usize64()?;
+            if count != n {
+                return Err(corrupt(section::CORES, "core count disagrees with the graph"));
+            }
+            let core = c.id_vec(count, narrow)?;
+            c.finish()?;
+            // A vertex's core number can never exceed its degree — the
+            // cheap sanity bound that catches a cores section paired
+            // with the wrong graph.
+            for (v, &k) in core.iter().enumerate() {
+                if k as usize > graph.degree(v as VertexId) {
+                    return Err(corrupt(
+                        section::CORES,
+                        format!("core number {k} of vertex {v} exceeds its degree"),
+                    ));
+                }
+            }
+            Some(core)
+        }
+    };
+
+    let index = match file.section(section::INDEX).filter(|_| want_index) {
+        None => None,
+        Some(payload) => {
+            let flat = decode_index(payload, n, tax.len(), narrow)?;
+            let idx =
+                CpTree::from_flat(flat).map_err(|e| corrupt(section::INDEX, e.to_string()))?;
+            // The headMap must restore exactly the profiles section's
+            // P-trees — the cross-section pin that an index actually
+            // belongs to this snapshot. Restoration is upward closure,
+            // so `closure(head(v)) == T(v)` iff every head is in T(v)
+            // (closure ⊆ T(v) follows, T(v) being ancestor-closed) and
+            // the closure's size equals |T(v)|. Counted with one
+            // reusable stamp array: no per-vertex allocation or sort.
+            let mut stamp = vec![u32::MAX; tax.len()];
+            for v in 0..n as VertexId {
+                let profile = &profiles[v as usize];
+                let heads = idx.head(v);
+                let mut closure_size = 0usize;
+                for &h in heads {
+                    if !profile.contains(h) {
+                        return Err(corrupt(
+                            section::INDEX,
+                            format!("headMap of vertex {v} escapes its profile"),
+                        ));
+                    }
+                    let mut cur = h;
+                    while stamp[cur as usize] != v {
+                        stamp[cur as usize] = v;
+                        closure_size += 1;
+                        if cur == Taxonomy::ROOT {
+                            break;
+                        }
+                        cur = tax.parent(cur);
+                    }
+                }
+                if closure_size != profile.len() {
+                    return Err(corrupt(
+                        section::INDEX,
+                        format!("headMap of vertex {v} does not restore its profile"),
+                    ));
+                }
+            }
+            Some(idx)
+        }
+    };
+
+    Ok(SnapshotContents { epoch, graph, tax, profiles, cores, index })
+}
+
+fn decode_index(payload: &[u8], n: usize, num_labels: usize, narrow: bool) -> Result<CpTreeFlat> {
+    let mut r = SectionReader::new(payload, section::INDEX);
+    let idx_n = r.usize64()?;
+    let idx_labels = r.usize64()?;
+    if idx_n != n || idx_labels != num_labels {
+        return Err(corrupt(section::INDEX, "index dimensions disagree with graph/taxonomy"));
+    }
+    let head_lens = r.u32_vec(idx_n)?;
+    let total = r.usize64()?;
+    if head_lens.iter().map(|&l| l as u64).sum::<u64>() != total as u64 {
+        return Err(corrupt(section::INDEX, "headMap lengths disagree with the total"));
+    }
+    let flat_heads = r.id_vec(total, narrow)?;
+    let mut head_map = Vec::with_capacity(idx_n);
+    let mut at = 0usize;
+    for &len in &head_lens {
+        head_map.push(flat_heads[at..at + len as usize].to_vec());
+        at += len as usize;
+    }
+    let node_count = r.usize64()?;
+    let mut nodes = Vec::with_capacity(node_count.min(idx_labels));
+    for _ in 0..node_count {
+        let label = r.u32()?;
+        let cl_nodes = r.usize64()?;
+        let cl = ClTreeFlat {
+            core: r.id_vec(cl_nodes, narrow)?,
+            parent: r.id_vec(cl_nodes, narrow)?,
+            sub_off: r.id_vec(cl_nodes, narrow)?,
+            sub_len: r.id_vec(cl_nodes, narrow)?,
+            own_len: r.id_vec(cl_nodes, narrow)?,
+            arena: Vec::new(),
+            members: Vec::new(),
+            node_of: Vec::new(),
+            arena_pos: Vec::new(),
+        };
+        let members = r.usize64()?;
+        let cl = ClTreeFlat {
+            arena: r.id_vec(members, narrow)?,
+            members: r.id_vec(members, narrow)?,
+            node_of: r.id_vec(members, narrow)?,
+            arena_pos: r.id_vec(members, narrow)?,
+            ..cl
+        };
+        nodes.push(CpNodeFlat { label, cl });
+    }
+    r.finish()?;
+    Ok(CpTreeFlat { n: idx_n, num_labels: idx_labels, nodes, head_map })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_graph::core::CoreDecomposition;
+
+    fn tiny() -> (Graph, Taxonomy, Vec<PTree>) {
+        let mut tax = Taxonomy::new("r");
+        let a = tax.add_child(Taxonomy::ROOT, "a").unwrap();
+        let b = tax.add_child(a, "b").unwrap();
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        let profiles = vec![
+            PTree::from_labels(&tax, [a]).unwrap(),
+            PTree::from_labels(&tax, [b]).unwrap(),
+            PTree::from_labels(&tax, [a, b]).unwrap(),
+            PTree::root_only(),
+            PTree::root_only(), // isolated vertex 4
+        ];
+        (g, tax, profiles)
+    }
+
+    #[test]
+    fn full_round_trip_through_bytes() {
+        let (g, tax, profiles) = tiny();
+        let cores = CoreDecomposition::new(&g);
+        let index = CpTree::build(&g, &tax, &profiles).unwrap();
+        let file =
+            encode_snapshot(42, &g, &tax, &profiles, Some(cores.core_numbers()), Some(&index));
+        let back = SnapshotFile::from_bytes(&file.to_bytes()).expect("container validates");
+        let contents = decode_snapshot(&back).expect("decodes");
+        assert_eq!(contents.epoch, 42);
+        assert_eq!(&contents.graph, &g);
+        assert_eq!(contents.tax.label_names(), tax.label_names());
+        assert_eq!(contents.tax.parents(), tax.parents());
+        assert_eq!(contents.profiles, profiles);
+        assert_eq!(contents.cores.as_deref(), Some(cores.core_numbers()));
+        let idx = contents.index.expect("index section present");
+        assert_eq!(idx.to_flat(), index.to_flat());
+    }
+
+    /// Graphs too large for two-byte ids take the wide path; both
+    /// widths must round-trip.
+    #[test]
+    fn wide_mode_round_trips() {
+        let n = u16::MAX as usize + 10;
+        let mut tax = Taxonomy::new("r");
+        let a = tax.add_child(Taxonomy::ROOT, "a").unwrap();
+        let edges: Vec<(u32, u32)> = (0..200u32).map(|i| (i, u16::MAX as u32 + i % 10)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut profiles = vec![PTree::root_only(); n];
+        profiles[n - 1] = PTree::from_labels(&tax, [a]).unwrap();
+        let cores = CoreDecomposition::new(&g);
+        let index = CpTree::build(&g, &tax, &profiles).unwrap();
+        let file =
+            encode_snapshot(7, &g, &tax, &profiles, Some(cores.core_numbers()), Some(&index));
+        let contents =
+            decode_snapshot(&SnapshotFile::from_bytes(&file.to_bytes()).unwrap()).unwrap();
+        assert_eq!(&contents.graph, &g);
+        assert_eq!(contents.profiles, profiles);
+        assert_eq!(contents.index.unwrap().to_flat(), index.to_flat());
+    }
+
+    #[test]
+    fn optional_sections_really_optional() {
+        let (g, tax, profiles) = tiny();
+        let file = encode_snapshot(0, &g, &tax, &profiles, None, None);
+        let contents = decode_snapshot(&file).unwrap();
+        assert!(contents.cores.is_none());
+        assert!(contents.index.is_none());
+    }
+
+    #[test]
+    fn index_decode_can_be_skipped() {
+        let (g, tax, profiles) = tiny();
+        let index = CpTree::build(&g, &tax, &profiles).unwrap();
+        let file = encode_snapshot(0, &g, &tax, &profiles, None, Some(&index));
+        let contents = decode_snapshot_with(&file, false).unwrap();
+        assert!(contents.index.is_none(), "INDEX section present but not wanted");
+        assert_eq!(&contents.graph, &g, "the rest of the snapshot still decodes");
+    }
+
+    #[test]
+    fn missing_required_section_is_typed() {
+        let (g, tax, profiles) = tiny();
+        let full = encode_snapshot(0, &g, &tax, &profiles, None, None);
+        for drop_id in [section::META, section::GRAPH, section::TAXONOMY, section::PROFILES] {
+            let mut partial = SnapshotFile::new();
+            for id in full.section_ids() {
+                if id != drop_id {
+                    partial.push_section(id, full.section(id).unwrap().to_vec());
+                }
+            }
+            assert_eq!(
+                decode_snapshot(&partial).unwrap_err(),
+                StoreError::MissingSection { section: drop_id }
+            );
+        }
+    }
+
+    #[test]
+    fn cross_section_disagreement_is_corrupt() {
+        let (g, tax, profiles) = tiny();
+        // Cores from a *different* (denser) graph exceed degrees here.
+        let other = Graph::from_edges(
+            5,
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)],
+        )
+        .unwrap();
+        let wrong_cores = CoreDecomposition::new(&other);
+        let file = encode_snapshot(0, &g, &tax, &profiles, Some(wrong_cores.core_numbers()), None);
+        assert!(matches!(
+            decode_snapshot(&file).unwrap_err(),
+            StoreError::Corrupt { section: section::CORES, .. }
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! # pcs-store — versioned on-disk engine snapshots
+//!
+//! The offline cost of profiled community search (CP-tree construction,
+//! core decomposition) is the price the paper pays *once* so every
+//! online query is cheap — but paying it again on every process start
+//! is untenable for a serving system. This crate persists the whole
+//! engine state as one **versioned, checksummed binary snapshot** so a
+//! replica warm-starts by validating and bulk-copying flat arrays
+//! instead of rebuilding indexes:
+//!
+//! * [`SnapshotFile`] — the container: magic + format version + section
+//!   table, one xxHash64 checksum per section (and one for the table),
+//!   little-endian, hand-rolled, zero external dependencies.
+//! * [`codec`] — section encodings for the CSR graph, taxonomy,
+//!   P-trees, core numbers, and the CP-tree's flat DFS arenas; every
+//!   decode re-validates structure *and* cross-section agreement.
+//! * [`StoreError`] — one typed error for every way a file can be
+//!   wrong: truncation, bit flips, version skew, length overflows,
+//!   structural corruption. Corrupt input can never panic, hang, or
+//!   yield a silently wrong engine.
+//!
+//! ## Trust model
+//!
+//! Three independent guarantees, from strongest to writer-trusted:
+//! **integrity** — any damage to a written file (bit flips,
+//! truncation, length lies) is caught by the checksums; **structural
+//! soundness** — even a file an adversary *re-checksummed* decodes
+//! into well-formed values only (CSR invariants, taxonomy shape,
+//! P-tree closure, laminar CL-tree arenas), so no input can hang a
+//! traversal or return a malformed community; **semantic fidelity** —
+//! that the persisted cores/index actually describe the persisted
+//! graph is the writer's contract, spot-checked on load by the cheap
+//! cross-section pins (counts, `core ≤ degree`, `headMap` ⇔ profiles)
+//! but not re-derived. Snapshots are a warm-start mechanism, not an
+//! authentication boundary: only load files you (transitively) wrote.
+//!
+//! Applications normally reach this crate through
+//! `pcs_engine::PcsEngine::save` / `EngineBuilder::load`; the types
+//! here are the layer underneath (and the integration surface for
+//! external tooling that inspects snapshots).
+//!
+//! ## Versioning and compatibility
+//!
+//! A reader accepts exactly the [`FORMAT_VERSION`]s it knows how to
+//! decode; newer files fail fast with
+//! [`StoreError::UnsupportedVersion`] instead of guessing. Adding new
+//! *sections* is backward-compatible (unknown ids are preserved by the
+//! container and ignored by the codec); changing the layout of an
+//! existing section requires a version bump.
+
+pub mod codec;
+pub mod format;
+
+pub use codec::{
+    decode_snapshot, decode_snapshot_bytes, decode_snapshot_bytes_with, decode_snapshot_with,
+    encode_snapshot, section, SectionSource, SnapshotContents,
+};
+pub use format::{
+    xxh64, Result, SectionReader, SectionWriter, SnapshotFile, SnapshotSlices, StoreError,
+    FORMAT_VERSION, MAGIC, MAX_SECTIONS, SECTION_TABLE,
+};

@@ -1,0 +1,292 @@
+//! The corruption matrix: every way a snapshot file can be damaged —
+//! truncation at arbitrary points, bit flips in the header, the
+//! section table, and every section payload, wrong magic, a future
+//! format version, and section-length overflows — must surface as a
+//! typed [`StoreError`], never as a panic, a hang, or a silently wrong
+//! engine. Each case runs under `std::panic::catch_unwind` so a panic
+//! anywhere in the load path fails the test with the offending case.
+
+use pcs_engine::{Error, IndexMode, PcsEngine, QueryRequest, StoreError};
+use pcs_graph::Graph;
+use pcs_ptree::{PTree, Taxonomy};
+use pcs_store::{xxh64, SnapshotFile, FORMAT_VERSION, SECTION_TABLE};
+use std::panic::catch_unwind;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tmp_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "pcs-fault-{}-{tag}-{}.snapshot",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A healthy snapshot (graph + profiles + cores + built index) plus the
+/// engine that wrote it.
+fn healthy_snapshot() -> (Vec<u8>, PcsEngine) {
+    let mut tax = Taxonomy::new("r");
+    let a = tax.add_child(Taxonomy::ROOT, "a").unwrap();
+    let b = tax.add_child(a, "b").unwrap();
+    let c = tax.add_child(Taxonomy::ROOT, "c").unwrap();
+    let g = Graph::from_edges(
+        8,
+        &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6), (4, 6)],
+    )
+    .unwrap();
+    let profiles = vec![
+        PTree::from_labels(&tax, [a]).unwrap(),
+        PTree::from_labels(&tax, [b]).unwrap(),
+        PTree::from_labels(&tax, [b, c]).unwrap(),
+        PTree::from_labels(&tax, [a, c]).unwrap(),
+        PTree::from_labels(&tax, [b]).unwrap(),
+        PTree::from_labels(&tax, [c]).unwrap(),
+        PTree::from_labels(&tax, [a]).unwrap(),
+        PTree::root_only(), // isolated vertex
+    ];
+    let engine = PcsEngine::builder()
+        .graph(g)
+        .taxonomy(tax)
+        .profiles(profiles)
+        .index_mode(IndexMode::Eager)
+        .build()
+        .unwrap();
+    let path = tmp_path("healthy");
+    engine.save(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    (bytes, engine)
+}
+
+/// Loads corrupted bytes through the full engine path inside
+/// `catch_unwind`; returns the typed error. Panics (= test failure)
+/// when the load panicked or — worse — succeeded.
+fn must_fail_typed(bytes: &[u8], case: &str) -> Error {
+    let path = tmp_path("case");
+    std::fs::write(&path, bytes).unwrap();
+    let result = catch_unwind(|| PcsEngine::builder().load(&path));
+    std::fs::remove_file(&path).unwrap();
+    match result {
+        Err(_) => panic!("case {case}: load PANICKED instead of returning an error"),
+        Ok(Ok(_)) => panic!("case {case}: corrupted snapshot loaded successfully"),
+        Ok(Err(e)) => e,
+    }
+}
+
+/// The section table region, as (start, end) byte offsets.
+fn table_range(bytes: &[u8]) -> (usize, usize) {
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    (24, 24 + 32 * count)
+}
+
+#[test]
+fn truncation_at_every_interesting_length_is_typed() {
+    let (bytes, _engine) = healthy_snapshot();
+    let (_, table_end) = table_range(&bytes);
+    // Every header byte, every table boundary, a sweep through the
+    // payloads, and one-short-of-complete.
+    let mut cuts: Vec<usize> = (0..24.min(bytes.len())).collect();
+    cuts.extend([24, table_end - 1, table_end]);
+    cuts.extend((table_end..bytes.len()).step_by(97));
+    cuts.push(bytes.len() - 1);
+    for cut in cuts {
+        let err = must_fail_typed(&bytes[..cut], &format!("truncate@{cut}"));
+        assert!(
+            matches!(
+                err,
+                Error::Store(
+                    StoreError::Truncated { .. }
+                        | StoreError::BadMagic { .. }
+                        | StoreError::SectionOverflow { .. }
+                        | StoreError::ChecksumMismatch { .. }
+                )
+            ),
+            "truncate@{cut}: unexpected error {err:?}"
+        );
+    }
+    // The empty file too.
+    let err = must_fail_typed(&[], "empty");
+    assert!(matches!(err, Error::Store(StoreError::Truncated { needed: 24, actual: 0 })));
+}
+
+#[test]
+fn bit_flips_in_every_region_are_typed() {
+    let (bytes, _engine) = healthy_snapshot();
+    let (table_start, table_end) = table_range(&bytes);
+    // Flip one bit at a spread of positions covering the magic, the
+    // version, the count, the table checksum, every table entry, and
+    // every payload (all six sections lie in [table_end, len)).
+    let mut positions: Vec<usize> = (0..table_end).step_by(3).collect();
+    positions.extend((table_end..bytes.len()).step_by(53));
+    positions.push(bytes.len() - 1);
+    for pos in positions {
+        for bit in [0u8, 7] {
+            let mut corrupted = bytes.clone();
+            corrupted[pos] ^= 1 << bit;
+            let case = format!("flip byte {pos} bit {bit}");
+            let err = must_fail_typed(&corrupted, &case);
+            let expected_class = match pos {
+                0..=7 => matches!(err, Error::Store(StoreError::BadMagic { .. })),
+                8..=11 => matches!(err, Error::Store(StoreError::UnsupportedVersion { .. })),
+                // Count / table checksum: the section-count cap, the
+                // table checksum, or a bounds check on the re-declared
+                // layout must catch it.
+                p if p < table_start => matches!(
+                    err,
+                    Error::Store(
+                        StoreError::ChecksumMismatch { .. }
+                            | StoreError::Truncated { .. }
+                            | StoreError::Corrupt { section: SECTION_TABLE, .. }
+                    )
+                ),
+                p if p < table_end => matches!(
+                    err,
+                    Error::Store(StoreError::ChecksumMismatch { section: SECTION_TABLE, .. })
+                ),
+                // Payload flips: the per-section checksum names the
+                // damaged section.
+                _ => matches!(
+                    err,
+                    Error::Store(StoreError::ChecksumMismatch { section, .. })
+                        if section != SECTION_TABLE
+                ),
+            };
+            assert!(expected_class, "{case}: unexpected error {err:?}");
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_is_typed() {
+    let (bytes, _engine) = healthy_snapshot();
+    let mut corrupted = bytes.clone();
+    corrupted[..8].copy_from_slice(b"NOTASNAP");
+    assert_eq!(
+        must_fail_typed(&corrupted, "wrong magic"),
+        Error::Store(StoreError::BadMagic { found: *b"NOTASNAP" })
+    );
+    // A zip file, say.
+    let err = must_fail_typed(b"PK\x03\x04 anything else entirely", "zip");
+    assert!(matches!(err, Error::Store(StoreError::BadMagic { .. })));
+}
+
+#[test]
+fn future_format_version_is_typed() {
+    let (bytes, _engine) = healthy_snapshot();
+    let mut corrupted = bytes.clone();
+    corrupted[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    assert_eq!(
+        must_fail_typed(&corrupted, "future version"),
+        Error::Store(StoreError::UnsupportedVersion {
+            found: FORMAT_VERSION + 1,
+            supported: FORMAT_VERSION,
+        })
+    );
+}
+
+/// Crafting an *internally consistent* overflow: the table entry's
+/// length is inflated and the table checksum recomputed, so the read
+/// reaches the dedicated bounds check rather than the checksum guard.
+#[test]
+fn section_length_overflow_is_typed() {
+    let (bytes, _engine) = healthy_snapshot();
+    for (case, new_len) in [("huge", u64::MAX), ("past-eof", bytes.len() as u64)] {
+        let mut corrupted = bytes.clone();
+        let (table_start, table_end) = table_range(&corrupted);
+        // First entry: id at +0, offset at +8, len at +16.
+        corrupted[table_start + 16..table_start + 24].copy_from_slice(&new_len.to_le_bytes());
+        let table_sum = xxh64(&corrupted[table_start..table_end], FORMAT_VERSION as u64);
+        corrupted[16..24].copy_from_slice(&table_sum.to_le_bytes());
+        let err = must_fail_typed(&corrupted, case);
+        assert!(
+            matches!(err, Error::Store(StoreError::SectionOverflow { len, .. }) if len == new_len),
+            "{case}: unexpected error {err:?}"
+        );
+    }
+}
+
+/// A forged header declaring an absurd section count must be rejected
+/// up front (bounded work), not ground through a quadratic table scan
+/// or a giant allocation.
+#[test]
+fn absurd_section_count_is_rejected_fast() {
+    let (bytes, _engine) = healthy_snapshot();
+    let mut forged = bytes.clone();
+    forged[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    let start = std::time::Instant::now();
+    let err = must_fail_typed(&forged, "forged count");
+    assert!(
+        matches!(err, Error::Store(StoreError::Corrupt { section: SECTION_TABLE, .. })),
+        "unexpected error {err:?}"
+    );
+    assert!(start.elapsed().as_secs() < 5, "count check must run before any scaled work");
+}
+
+/// Saves are atomic: overwriting an existing snapshot goes through a
+/// temp file + rename, so the destination always holds either the old
+/// or the new complete file (and no temp litter survives).
+#[test]
+fn save_over_existing_snapshot_is_atomic_and_clean() {
+    let (bytes, engine) = healthy_snapshot();
+    let path = tmp_path("atomic");
+    std::fs::write(&path, b"previous contents, not even a snapshot").unwrap();
+    engine.save(&path).unwrap();
+    let reread = std::fs::read(&path).unwrap();
+    assert_eq!(reread, bytes, "rename replaced the file with the complete new snapshot");
+    let dir = path.parent().unwrap();
+    let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+    let leftovers: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with(&stem) && n.ends_with(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A checksum-valid file whose *contents* lie (a section decodes but
+/// disagrees with its siblings) must still be rejected: swap in a
+/// cores section computed for a different graph.
+#[test]
+fn internally_inconsistent_sections_are_typed() {
+    let (bytes, _engine) = healthy_snapshot();
+    let file = SnapshotFile::from_bytes(&bytes).unwrap();
+    let mut forged = SnapshotFile::new();
+    for id in file.section_ids() {
+        if id == pcs_store::section::CORES {
+            // Degree-violating core numbers for vertex 7 (isolated),
+            // written at the file's (narrow) id width so the decode
+            // reaches the semantic degree check.
+            let mut w = pcs_store::SectionWriter::new();
+            w.put_u64(8);
+            w.put_id_slice(&[2, 2, 3, 2, 3, 2, 2, 9], true);
+            forged.push_section(id, w.finish());
+        } else {
+            forged.push_section(id, file.section(id).unwrap().to_vec());
+        }
+    }
+    let err = must_fail_typed(&forged.to_bytes(), "forged cores");
+    assert!(
+        matches!(err, Error::Store(StoreError::Corrupt { section: pcs_store::section::CORES, .. })),
+        "unexpected error {err:?}"
+    );
+}
+
+/// After surviving the whole gauntlet, the pristine bytes still load
+/// and answer like the source engine — the matrix harness itself is
+/// not what makes loads fail.
+#[test]
+fn pristine_bytes_still_load_and_answer() {
+    let (bytes, engine) = healthy_snapshot();
+    let path = tmp_path("pristine");
+    std::fs::write(&path, &bytes).unwrap();
+    let loaded = PcsEngine::builder().index_mode(IndexMode::Eager).load(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    for q in 0..8u32 {
+        let a = engine.query(&QueryRequest::vertex(q).k(2)).unwrap();
+        let b = loaded.query(&QueryRequest::vertex(q).k(2)).unwrap();
+        assert_eq!(a.communities(), b.communities(), "q={q}");
+    }
+}

@@ -101,6 +101,26 @@ fn main() {
         let kws: Vec<&str> = c.keywords.iter().map(|&l| tax.label(l)).collect();
         println!("  {{{}}} sharing [{}]", members.join(", "), kws.join(", "));
     }
+
+    // --- Persist and warm-start -------------------------------------------
+    // A serving replica never rebuilds: save the warmed engine once,
+    // load it anywhere. The loaded engine resumes at the same epoch and
+    // answers bit-identically (and stays fully updatable).
+    engine.warm().expect("index builds");
+    let path = std::env::temp_dir().join(format!("pcs-quickstart-{}.snapshot", std::process::id()));
+    engine.save(&path).expect("snapshot written");
+    let loaded = PcsEngine::builder().load(&path).expect("snapshot loads");
+    let again = loaded.query(&QueryRequest::vertex(q).k(k)).expect("query in range");
+    let orig = engine.query(&QueryRequest::vertex(q).k(k)).expect("query in range");
+    assert_eq!(orig.communities(), again.communities());
+    println!(
+        "\nsaved -> loaded -> re-queried: {} communities again at epoch {} \
+         (snapshot at {})",
+        again.communities().len(),
+        loaded.epoch(),
+        path.display()
+    );
+    let _ = std::fs::remove_file(&path);
 }
 
 fn indent(s: &str) -> String {

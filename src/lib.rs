@@ -23,6 +23,7 @@
 //! | [`baselines`] | `pcs-baselines` | Global, Local, ACQ, §5.3 metric variants |
 //! | [`metrics`] | `pcs-metrics` | CPS, LDR, CPF, F1 |
 //! | [`datasets`] | `pcs-datasets` | paper-calibrated synthetic datasets |
+//! | [`store`] | `pcs-store` | versioned, checksummed on-disk engine snapshots |
 //!
 //! ## Quickstart
 //!
@@ -93,6 +94,7 @@ pub use pcs_graph as graph;
 pub use pcs_index as index;
 pub use pcs_metrics as metrics;
 pub use pcs_ptree as ptree;
+pub use pcs_store as store;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -114,4 +116,5 @@ pub mod prelude {
     pub use pcs_index::{ClTree, CpTree};
     pub use pcs_metrics::{best_f1, cpf, cps, f1_score, ldr};
     pub use pcs_ptree::{LabelId, PTree, Taxonomy};
+    pub use pcs_store::{SnapshotFile, StoreError};
 }

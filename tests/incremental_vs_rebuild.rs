@@ -141,6 +141,76 @@ fn incremental_state_matches_rebuild_over_500_steps() {
     assert!(skipped_total > 0, "bounded no-op detection never fired over 500 steps — suspicious");
 }
 
+/// A third engine is saved and loaded mid-stream, then receives the
+/// remaining updates: the persisted engine must stay indistinguishable
+/// from both the continuously incremental engine and a from-scratch
+/// rebuild at every checked step — the proof that a snapshot is a
+/// faithful resume point, not just a read-only export.
+#[test]
+fn engine_saved_and_loaded_mid_stream_stays_equivalent() {
+    let tax = random_taxonomy(32, 4, 6, 91);
+    let ds = pcs::datasets::gen::generate(&DatasetSpec::small("persisted", 52, 61), tax);
+    let stream = update_stream(&ds, &UpdateStreamSpec::new(160, 17));
+    let incremental = PcsEngine::builder()
+        .graph(ds.graph.clone())
+        .taxonomy(ds.tax.clone())
+        .profiles(ds.profiles.clone())
+        .index_mode(IndexMode::Eager)
+        .build()
+        .unwrap();
+    let as_batch = |timed: &TimedOp| match &timed.op {
+        StreamOp::AddEdge(a, b) => UpdateBatch::new().add_edge(*a, *b),
+        StreamOp::RemoveEdge(a, b) => UpdateBatch::new().remove_edge(*a, *b),
+        StreamOp::SetProfile(v, p) => UpdateBatch::new().set_profile(*v, p.clone()),
+    };
+    let split = stream.len() / 2;
+    for timed in &stream[..split] {
+        incremental.apply(&as_batch(timed)).unwrap();
+    }
+    // Persist mid-stream and resume from disk.
+    let path = std::env::temp_dir().join(format!("pcs-midstream-{}.snapshot", std::process::id()));
+    incremental.save(&path).unwrap();
+    let loaded = PcsEngine::builder().index_mode(IndexMode::Eager).load(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(loaded.epoch(), incremental.epoch(), "epoch resumes at the save point");
+
+    let index_check_stride = if cfg!(debug_assertions) { 3 } else { 1 };
+    for (step, timed) in stream[split..].iter().enumerate() {
+        let batch = as_batch(timed);
+        let ra = incremental.apply(&batch).unwrap();
+        let rb = loaded.apply(&batch).unwrap();
+        assert_eq!(ra.epoch, rb.epoch, "step {step}: epochs diverged");
+        assert_eq!(ra.noops, rb.noops, "step {step}: no-op classification diverged");
+        let (sa, sb) = (incremental.snapshot(), loaded.snapshot());
+        // Cores: loaded engine vs live engine vs full bucket peel.
+        let rebuilt_cores = CoreDecomposition::new(sb.graph());
+        assert_eq!(
+            sb.cores().core_numbers(),
+            sa.cores().core_numbers(),
+            "step {step}: loaded cores diverged from the incremental engine"
+        );
+        assert_eq!(
+            sb.cores().core_numbers(),
+            rebuilt_cores.core_numbers(),
+            "step {step}: loaded cores diverged from a rebuild"
+        );
+        // Index: loaded-and-patched vs live-patched vs from-scratch.
+        if step % index_check_stride == 0 {
+            let fresh = CpTree::build(sb.graph(), loaded.taxonomy(), sb.profiles()).unwrap();
+            let max_k = rebuilt_cores.max_core() + 1;
+            let n = sb.graph().num_vertices();
+            assert_index_equivalent(
+                sb.index().expect("eager loaded engine keeps its index fresh"),
+                sa.index().expect("eager incremental engine keeps its index fresh"),
+                loaded.taxonomy(),
+                n,
+                max_k,
+            );
+            assert_index_equivalent(sb.index().unwrap(), &fresh, loaded.taxonomy(), n, max_k);
+        }
+    }
+}
+
 /// Multi-op batches, all three index policies side by side, and the
 /// fallback (cap 0) path — every engine must answer identically after
 /// every batch.
