@@ -4,7 +4,7 @@ use std::borrow::Cow;
 
 use pcs_graph::core::CoreDecomposition;
 use pcs_graph::{Graph, VertexId};
-use pcs_index::CpTree;
+use pcs_index::IndexRef;
 use pcs_ptree::{PTree, QuerySpace, Taxonomy};
 
 use crate::advanced::FindStrategy;
@@ -184,8 +184,11 @@ pub struct QueryContext<'a> {
     pub tax: &'a Taxonomy,
     /// Per-vertex P-trees (`profiles[v] = T(v)`).
     pub profiles: &'a [PTree],
-    /// Optional CP-tree index (required by every algorithm but `basic`).
-    pub index: Option<&'a CpTree>,
+    /// Optional CP-tree index (required by every algorithm but
+    /// `basic`) — either shape: the monolithic [`pcs_index::CpTree`]
+    /// or the serving engine's [`pcs_index::ShardedCpIndex`], behind
+    /// one `Copy` [`IndexRef`] handle.
+    pub index: Option<IndexRef<'a>>,
     /// Core numbers of the whole graph (used by `basic`'s `Gk`).
     /// Owned when computed by [`QueryContext::new`]; borrowed when an
     /// engine shares one precomputed decomposition across queries.
@@ -222,7 +225,7 @@ impl<'a> QueryContext<'a> {
         graph: &'a Graph,
         tax: &'a Taxonomy,
         profiles: &'a [PTree],
-        index: Option<&'a CpTree>,
+        index: Option<IndexRef<'a>>,
         cores: &'a CoreDecomposition,
     ) -> Result<Self> {
         Self::check_profiles(graph, profiles)?;
@@ -239,9 +242,10 @@ impl<'a> QueryContext<'a> {
         Ok(())
     }
 
-    /// Attaches a prebuilt CP-tree index.
-    pub fn with_index(mut self, index: &'a CpTree) -> Self {
-        self.index = Some(index);
+    /// Attaches a prebuilt index — either the monolithic `&CpTree` or
+    /// a `&ShardedCpIndex` (both convert into [`IndexRef`]).
+    pub fn with_index(mut self, index: impl Into<IndexRef<'a>>) -> Self {
+        self.index = Some(index.into());
         self
     }
 

@@ -3,7 +3,7 @@
 use pcs_core::{Algorithm, QueryContext, QueryScratch};
 use pcs_graph::core::CoreDecomposition;
 use pcs_graph::{DynamicGraph, FxHashMap, Graph, IncrementalCores, VertexId};
-use pcs_index::{CpTree, GraphDelta, IndexError};
+use pcs_index::{GraphDelta, IndexError, IndexRef, ShardedCpIndex};
 use pcs_ptree::{PTree, Taxonomy};
 use std::num::NonZeroUsize;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
@@ -17,14 +17,18 @@ use crate::update::{IndexMaintenance, Update, UpdateBatch, UpdateError, UpdateRe
 /// When the engine constructs its CP-tree index.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum IndexMode {
-    /// Build on the first query that needs it (default). The build is
-    /// raced at most once per snapshot via [`OnceLock`].
+    /// Lazy **per shard** (default): the first query that needs the
+    /// index creates only the cheap facade (per-label member lists +
+    /// `headMap`), and each label's CL-tree shard materializes on its
+    /// first probe — concurrent readers materialize distinct shards
+    /// independently behind per-label `OnceLock` slots. Time to first
+    /// query tracks the queried labels' shards, not the taxonomy.
     #[default]
     Lazy,
-    /// Build inside [`EngineBuilder::build`] and keep it fresh across
-    /// updates (incremental patch when the invalidation set is small,
-    /// synchronous rebuild otherwise), trading update latency for
-    /// predictable query latency.
+    /// Build every shard inside [`EngineBuilder::build`] and keep the
+    /// index fresh across updates (incremental patch when the
+    /// invalidation set is small, synchronous rebuild otherwise),
+    /// trading update latency for predictable query latency.
     Eager,
     /// Never build; index-dependent algorithms fail with
     /// [`Error::IndexDisabled`] and [`Algorithm::Auto`] resolves to
@@ -277,29 +281,39 @@ impl PcsEngine {
         self.snapshot_arc().index_if_built().is_some()
     }
 
-    /// Forces construction of the index (policy permitting) and the
-    /// core decomposition on the current snapshot, so the next query
-    /// pays no warm-up cost. Idempotent; cheap once everything is
+    /// Forces construction of the index facade **and every shard**
+    /// (policy permitting) plus the core decomposition on the current
+    /// snapshot, so the next query pays no warm-up cost regardless of
+    /// which labels it touches. Idempotent; cheap once everything is
     /// cached.
     pub fn warm(&self) -> Result<()> {
         let snap = self.snapshot_arc();
         snap.cores();
         if self.index_mode != IndexMode::Disabled {
-            self.ensure_index(&snap)?;
+            self.ensure_index(&snap)?.materialize_all(self.index_build_threads);
         }
         Ok(())
     }
 
-    fn ensure_index<'a>(&self, snap: &'a SnapshotInner) -> Result<&'a CpTree> {
+    /// The sharded-index facade of `snap`, created on first need: one
+    /// pass over the profiles (member lists + `headMap`), no CL-trees.
+    /// Shards materialize later, on their first probe.
+    fn ensure_index<'a>(&self, snap: &'a SnapshotInner) -> Result<&'a ShardedCpIndex> {
         let built = snap.index.get_or_init(|| {
-            CpTree::build_with_threads(
-                &snap.graph,
-                &self.tax,
-                &snap.profiles,
-                self.index_build_threads,
-            )
+            ShardedCpIndex::build(Arc::clone(&snap.graph), &self.tax, Arc::clone(&snap.profiles))
+                .map(|mut idx| {
+                    idx.set_global_cores(Arc::clone(&snap.cores));
+                    idx
+                })
         });
         built.as_ref().map_err(|e| Error::Index(e.clone()))
+    }
+
+    /// Number of materialized index shards in the current snapshot —
+    /// the per-label laziness observability metric. Never triggers
+    /// construction.
+    pub fn resident_shards(&self) -> usize {
+        self.snapshot_arc().index_if_built().map_or(0, ShardedCpIndex::resident_shards)
     }
 
     /// Resolves [`Algorithm::Auto`] against this engine's index
@@ -321,11 +335,14 @@ impl PcsEngine {
             if self.index_mode == IndexMode::Disabled {
                 return Err(Error::IndexDisabled { algorithm: algorithm.name() });
             }
-            Some(self.ensure_index(snap)?)
+            // Only the facade is ensured here; the query materializes
+            // exactly the shards its subtree lattice probes.
+            Some(IndexRef::from(self.ensure_index(snap)?))
         } else {
             // `basic` ignores the index, but an already-built one still
-            // serves P-tree restoration; never *trigger* a build for it.
-            snap.index_if_built()
+            // serves P-tree restoration (headMap — no shard needed);
+            // never *trigger* a facade build for it.
+            snap.index_if_built().map(IndexRef::from)
         };
         let cores = snap.cores();
         let ctx = QueryContext::from_parts(&snap.graph, &self.tax, &snap.profiles, index, cores)?;
@@ -378,7 +395,7 @@ impl PcsEngine {
             &snap.graph,
             &self.tax,
             &snap.profiles,
-            snap.index_if_built(),
+            snap.index_if_built().map(IndexRef::from),
             snap.cores(),
         )?;
         Ok(f(&ctx))
@@ -597,9 +614,18 @@ impl PcsEngine {
         } else {
             Arc::clone(&snap.cores)
         };
-        let index_cell: OnceLock<std::result::Result<CpTree, IndexError>> = OnceLock::new();
-        let rebuild =
-            || CpTree::build_with_threads(&graph, &self.tax, &profiles, self.index_build_threads);
+        let index_cell: OnceLock<std::result::Result<ShardedCpIndex, IndexError>> = OnceLock::new();
+        // A full rebuild (eager engines past the patch cap) recreates
+        // the facade and materializes every shard, shard-parallel.
+        let rebuild = || {
+            ShardedCpIndex::build(Arc::clone(&graph), &self.tax, Arc::clone(&profiles)).map(
+                |mut idx| {
+                    idx.set_global_cores(Arc::clone(&cores));
+                    idx.materialize_all(self.index_build_threads);
+                    idx
+                },
+            )
+        };
         let maintenance = if self.index_mode == IndexMode::Disabled {
             IndexMaintenance::Disabled
         } else {
@@ -608,19 +634,27 @@ impl PcsEngine {
                     // apply_batch re-derives this classification; both
                     // passes are O(batch ops), not O(graph), so sharing
                     // it isn't worth widening the index API.
-                    let touched = old.invalidation_set(&self.tax, &profiles, &deltas);
+                    let touched = old.invalidation_set(&profiles, &deltas);
                     let cap = self.patch_cap(old.num_populated_labels());
                     if touched.len() <= cap {
-                        // The clone copies the whole index (O(index
-                        // size) memcpy) and the patch then rebuilds
-                        // only the touched labels — construction, not
-                        // copying, dominates CP-tree cost. Sharing
-                        // untouched labels via Arc<CpNode> would make
-                        // the copy proportional to the invalidation
-                        // set too; do that when profiling shows the
-                        // memcpy on large indexes.
+                        // The clone shares resident shards (`Arc`) and
+                        // copies only the facade tables; the patch then
+                        // rebuilds touched **resident** shards and
+                        // merely invalidates absent ones — a shard
+                        // nobody queried is never built to be patched.
                         let mut patched = old.clone();
-                        let stats = patched.apply_batch(&graph, &self.tax, &profiles, &deltas);
+                        let stats = patched.apply_batch(
+                            &graph,
+                            &profiles,
+                            &deltas,
+                            Some(Arc::clone(&cores)),
+                        );
+                        // Eager mode promises a fully resident index:
+                        // re-materialize whatever the patch left cold
+                        // (e.g. a label the batch newly populated).
+                        if self.index_mode == IndexMode::Eager {
+                            patched.materialize_all(self.index_build_threads);
+                        }
                         let _ = index_cell.set(Ok(patched));
                         IndexMaintenance::Patched(stats)
                     } else if self.index_mode == IndexMode::Eager {

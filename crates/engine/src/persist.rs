@@ -16,14 +16,17 @@
 //! construction. That is what makes a warm start one to two orders of
 //! magnitude cheaper than `EngineBuilder::build` with an eager index.
 
-use pcs_store::{decode_snapshot_bytes_with, encode_snapshot, StoreError};
+use pcs_store::{
+    decode_snapshot_bytes_mode, encode_snapshot, DecodedShards, IndexDecode, StoreError,
+};
 use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
 use pcs_graph::core::CoreDecomposition;
+use pcs_index::ShardedCpIndex;
 
 use crate::engine::{EngineBuilder, IndexMode, PcsEngine};
-use crate::error::{BuildError, Result};
+use crate::error::{BuildError, Error, Result};
 use crate::snapshot::SnapshotInner;
 
 impl PcsEngine {
@@ -33,10 +36,12 @@ impl PcsEngine {
     /// What is saved is exactly what the current snapshot holds: the
     /// graph, taxonomy, and profiles always; the core decomposition
     /// always (computed first if no query has needed it yet — it is
-    /// O(n + m) and makes the snapshot warm); the CP-tree index only if
-    /// it is already built — `save` never triggers an index build. Call
+    /// O(n + m) and makes the snapshot warm); the sharded index only
+    /// if its facade is built, and then only its **resident** shards —
+    /// `save` never triggers an index or shard build. Call
     /// [`warm`](PcsEngine::warm) first to persist a fully warmed
-    /// engine.
+    /// engine; a partially warm save is still a faithful resume point
+    /// (absent shards rebuild on demand after load).
     ///
     /// Concurrent updates are safe: the snapshot is one immutable
     /// epoch, so the file is internally consistent even if writers
@@ -73,10 +78,20 @@ impl EngineBuilder {
     /// (`engine.snapshot().epoch` picks up where the source left off),
     /// answers queries bit-identically to the source engine, and
     /// accepts [`apply`](PcsEngine::apply) exactly as a built engine
-    /// does. A persisted index is adopted when the mode allows it
-    /// (dropped under [`IndexMode::Disabled`]); with
-    /// [`IndexMode::Eager`] and no index in the file, the index is
-    /// built here, preserving the eager guarantee.
+    /// does. How the persisted index is adopted follows the index
+    /// mode:
+    ///
+    /// * [`IndexMode::Lazy`] — **partial load**: the facade (member
+    ///   table + `headMap`) and the shard directory are mapped
+    ///   eagerly, but each persisted shard payload is decoded only on
+    ///   its first probe; shards absent from the file rebuild from the
+    ///   graph on demand. Time-to-first-query stays proportional to
+    ///   the queried labels, even straight off disk.
+    /// * [`IndexMode::Eager`] — every persisted shard is decoded and
+    ///   validated up front, and any missing shard is built here,
+    ///   preserving the eager guarantee.
+    /// * [`IndexMode::Disabled`] — the `INDEX` section is skipped
+    ///   entirely (not even decoded).
     ///
     /// Corrupt, truncated, or version-skewed files fail with a typed
     /// [`pcs_store::StoreError`] (wrapped in
@@ -92,34 +107,57 @@ impl EngineBuilder {
         // One read, one zero-copy container validation; the decoders
         // bulk-copy straight out of the file buffer. A Disabled
         // replica would drop the index anyway, so it skips decoding
-        // the INDEX section entirely.
+        // the INDEX section entirely; a Lazy replica maps the shard
+        // directory but defers every shard payload to first touch.
         let bytes = std::fs::read(path)
             .map_err(|e| StoreError::Io { op: "read", detail: e.to_string() })?;
-        let contents = decode_snapshot_bytes_with(&bytes, self.index_mode != IndexMode::Disabled)?;
+        let mode = match self.index_mode {
+            IndexMode::Disabled => IndexDecode::Skip,
+            IndexMode::Lazy => IndexDecode::Partial,
+            IndexMode::Eager => IndexDecode::Eager,
+        };
+        let contents = decode_snapshot_bytes_mode(&bytes, mode)?;
         drop(bytes);
         // The store layer has already validated structure and
         // cross-section agreement (the same invariants `build` checks,
         // plus the index↔profiles pin), so the parts are adopted
         // directly.
-        let cores_cell = OnceLock::new();
+        let graph = Arc::new(contents.graph);
+        let profiles = Arc::new(contents.profiles);
+        let cores_cell = Arc::new(OnceLock::new());
         if let Some(core) = contents.cores {
             let _ = cores_cell.set(CoreDecomposition::from_core_numbers(core));
         }
         let index_cell = OnceLock::new();
-        if self.index_mode != IndexMode::Disabled {
-            if let Some(idx) = contents.index {
-                let _ = index_cell.set(Ok(idx));
-            }
+        if let Some(decoded) = contents.index {
+            let (resident, source) = match decoded.shards {
+                DecodedShards::Resident(shards) => (shards, None),
+                DecodedShards::Lazy(store) => {
+                    (Vec::new(), Some(store as Arc<dyn pcs_index::ShardSource>))
+                }
+            };
+            let mut idx = ShardedCpIndex::from_loaded(
+                Arc::clone(&graph),
+                Arc::clone(&profiles),
+                decoded.members_of,
+                resident,
+                source,
+            )
+            .map_err(Error::Index)?;
+            idx.set_global_cores(Arc::clone(&cores_cell));
+            let _ = index_cell.set(Ok(idx));
         }
         let snapshot = Arc::new(SnapshotInner {
-            graph: Arc::new(contents.graph),
-            profiles: Arc::new(contents.profiles),
-            cores: Arc::new(cores_cell),
+            graph,
+            profiles,
+            cores: cores_cell,
             index: index_cell,
             epoch: contents.epoch,
         });
         // Same assembly tail as `build`, so configuration defaults can
-        // never drift between built and loaded engines.
+        // never drift between built and loaded engines (with Eager,
+        // `assemble` warms the engine, materializing any shard the
+        // file did not carry).
         self.assemble(contents.tax, snapshot)
     }
 }

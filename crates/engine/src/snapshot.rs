@@ -10,7 +10,7 @@
 
 use pcs_graph::core::CoreDecomposition;
 use pcs_graph::Graph;
-use pcs_index::{CpTree, IndexError};
+use pcs_index::{IndexError, ShardedCpIndex};
 use pcs_ptree::PTree;
 use std::sync::{Arc, OnceLock};
 
@@ -28,9 +28,11 @@ pub(crate) struct SnapshotInner {
     /// it pre-seeded from the incrementally maintained master copy,
     /// profile-only batches share the previous epoch's cell.
     pub(crate) cores: Arc<OnceLock<CoreDecomposition>>,
-    /// Built lazily (policy permitting); update batches publish it
-    /// pre-seeded when incremental patching or an eager rebuild ran.
-    pub(crate) index: OnceLock<std::result::Result<CpTree, IndexError>>,
+    /// The sharded index facade, created lazily (policy permitting);
+    /// update batches publish it pre-seeded when incremental patching
+    /// or an eager rebuild ran. Individual shards inside materialize
+    /// on their own per-label `OnceLock`s.
+    pub(crate) index: OnceLock<std::result::Result<ShardedCpIndex, IndexError>>,
     pub(crate) epoch: u64,
 }
 
@@ -40,8 +42,9 @@ impl SnapshotInner {
         self.cores.get_or_init(|| CoreDecomposition::new(&self.graph))
     }
 
-    /// The CP-tree, if this snapshot has one built already.
-    pub(crate) fn index_if_built(&self) -> Option<&CpTree> {
+    /// The sharded index, if this snapshot has its facade built
+    /// already (individual shards may still be cold).
+    pub(crate) fn index_if_built(&self) -> Option<&ShardedCpIndex> {
         self.index.get().and_then(|r| r.as_ref().ok())
     }
 }
@@ -75,10 +78,19 @@ impl EngineSnapshot {
         self.inner.cores()
     }
 
-    /// The CP-tree index at this epoch, if built. Never triggers
-    /// construction.
-    pub fn index(&self) -> Option<&CpTree> {
+    /// The sharded CP-tree index at this epoch, if its facade is
+    /// built. Never triggers facade construction (probing the returned
+    /// index can still materialize individual shards — that is its
+    /// contract).
+    pub fn index(&self) -> Option<&ShardedCpIndex> {
         self.inner.index_if_built()
+    }
+
+    /// Number of materialized index shards at this epoch (0 when no
+    /// facade is built). Never triggers any construction — the serving
+    /// observability companion to [`EngineSnapshot::index`].
+    pub fn resident_shards(&self) -> usize {
+        self.inner.index_if_built().map_or(0, ShardedCpIndex::resident_shards)
     }
 
     /// The epoch counter: 0 for the engine as built, +1 per published

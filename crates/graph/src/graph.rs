@@ -219,15 +219,23 @@ impl Graph {
         for (new, &old) in old_ids.iter().enumerate() {
             new_id[old as usize] = new as u32;
         }
-        let mut builder = GraphBuilder::new(old_ids.len());
+        // Direct CSR assembly: kept ids ascend and the host adjacency
+        // lists are sorted, so each filtered, relabeled list comes out
+        // sorted and symmetry/loop-freedom are inherited — one linear
+        // pass over the kept adjacency, no edge-list sort. (This is
+        // the per-shard build hot path of the sharded CP-tree index.)
+        let upper: usize = old_ids.iter().map(|&old| self.degree(old)).sum();
+        let mut offsets = Vec::with_capacity(old_ids.len() + 1);
+        offsets.push(0usize);
+        let mut neighbors = Vec::with_capacity(upper);
         for &old in &old_ids {
-            for &nb in self.neighbors(old) {
-                if nb > old && new_id[nb as usize] != u32::MAX {
-                    builder.add_edge(new_id[old as usize], new_id[nb as usize]);
-                }
-            }
+            neighbors.extend(self.neighbors(old).iter().filter_map(|&nb| {
+                let id = new_id[nb as usize];
+                (id != u32::MAX).then_some(id)
+            }));
+            offsets.push(neighbors.len());
         }
-        (builder.build(), old_ids)
+        (Graph::from_csr_unchecked(offsets, neighbors), old_ids)
     }
 }
 

@@ -127,27 +127,54 @@ pub struct ClTree {
 impl ClTree {
     /// Builds the CL-tree of the whole graph.
     pub fn build(g: &Graph) -> ClTree {
-        let all: Vec<VertexId> = g.vertices().collect();
-        Self::build_on_subset(g, &all)
+        Self::build_full(g, &CoreDecomposition::new(g))
+    }
+
+    /// Builds the CL-tree of the whole graph from an **already
+    /// computed** core decomposition: no induced-subgraph copy and no
+    /// re-peel. This is the sharded index's fast path for the root
+    /// shard (every vertex carries the taxonomy root, so its CL-tree is
+    /// exactly the global one, and the serving engine already holds the
+    /// epoch's decomposition).
+    ///
+    /// `cores` must describe `g` — a decomposition of a different graph
+    /// is a caller contract violation (wrong answers, not unsafety).
+    pub fn build_full(g: &Graph, cores: &CoreDecomposition) -> ClTree {
+        if g.num_vertices() == 0 {
+            return Self::empty();
+        }
+        Self::assemble(g, cores, None)
     }
 
     /// Builds the CL-tree of the subgraph induced by `subset`
     /// (duplicates allowed; original vertex ids are retained).
     pub fn build_on_subset(g: &Graph, subset: &[VertexId]) -> ClTree {
         let (sub, ids) = g.induced_subgraph(subset);
-        let n = sub.num_vertices();
-        if n == 0 {
-            return ClTree {
-                nodes: Vec::new(),
-                kids: Vec::new(),
-                arena: Vec::new(),
-                members: Vec::new(),
-                node_of: Vec::new(),
-                core_of: Vec::new(),
-                arena_pos: Vec::new(),
-            };
+        if sub.num_vertices() == 0 {
+            return Self::empty();
         }
         let cd = CoreDecomposition::new(&sub);
+        Self::assemble(&sub, &cd, Some(ids))
+    }
+
+    fn empty() -> ClTree {
+        ClTree {
+            nodes: Vec::new(),
+            kids: Vec::new(),
+            arena: Vec::new(),
+            members: Vec::new(),
+            node_of: Vec::new(),
+            core_of: Vec::new(),
+            arena_pos: Vec::new(),
+        }
+    }
+
+    /// The shared construction core: union-find sweep + DFS arena
+    /// layout over `sub` with core numbers `cd`. `ids` maps local ids
+    /// back to host ids (`None` = identity, the whole-graph path).
+    fn assemble(sub: &Graph, cd: &CoreDecomposition, ids: Option<Vec<VertexId>>) -> ClTree {
+        let n = sub.num_vertices();
+        let to_host = |v: u32| ids.as_ref().map_or(v, |ids| ids[v as usize]);
         let max_core = cd.max_core();
 
         // Vertices bucketed by core level (local ids).
@@ -166,9 +193,12 @@ impl ClTree {
         // Children per node during construction; flattened into the
         // `kids` arena once the forest shape is final.
         let mut child_lists: Vec<Vec<u32>> = Vec::new();
-        // Own vertices per node (original host ids), moved into the
-        // arena once the forest shape is final.
-        let mut own: Vec<Vec<VertexId>> = Vec::new();
+        // Own vertices of every node (original host ids), flat with
+        // per-node `(offset, len)` runs — one allocation for the whole
+        // build instead of one per node; copied into the arena once
+        // the forest shape is final.
+        let mut own_flat: Vec<VertexId> = Vec::with_capacity(n);
+        let mut own_runs: Vec<(u32, u32)> = Vec::new();
         let mut node_of_local = vec![NONE; n];
         // Scratch for the per-level sort-then-partition grouping.
         let mut level_buf: Vec<(u32, u32)> = Vec::new();
@@ -212,7 +242,9 @@ impl ClTree {
                 for &(_, v) in &level_buf[i..j] {
                     node_of_local[v as usize] = id;
                 }
-                own.push(level_buf[i..j].iter().map(|&(_, v)| ids[v as usize]).collect());
+                let off = own_flat.len() as u32;
+                own_flat.extend(level_buf[i..j].iter().map(|&(_, v)| to_host(v)));
+                own_runs.push((off, (j - i) as u32));
                 child_lists.push(children);
                 nodes.push(ClNode {
                     core: c,
@@ -231,7 +263,7 @@ impl ClTree {
 
         // Lay the arena out in DFS order (own vertices before child
         // subtrees) and record per-node subtree ranges.
-        let mut arena: Vec<VertexId> = Vec::with_capacity(ids.len());
+        let mut arena: Vec<VertexId> = Vec::with_capacity(n);
         enum Step {
             Enter(u32),
             Exit(u32),
@@ -246,9 +278,9 @@ impl ClTree {
                 Step::Enter(id) => {
                     let node = &mut nodes[id as usize];
                     node.sub_off = arena.len() as u32;
-                    let vs = std::mem::take(&mut own[id as usize]);
-                    node.own_len = vs.len() as u32;
-                    arena.extend(vs);
+                    let (off, len) = own_runs[id as usize];
+                    node.own_len = len;
+                    arena.extend_from_slice(&own_flat[off as usize..(off + len) as usize]);
                     stack.push(Step::Exit(id));
                     for &ch in child_lists[id as usize].iter().rev() {
                         stack.push(Step::Enter(ch));
@@ -260,7 +292,7 @@ impl ClTree {
                 }
             }
         }
-        debug_assert_eq!(arena.len(), ids.len());
+        debug_assert_eq!(arena.len(), n);
         // Flatten the per-node child lists into one arena.
         let mut kids: Vec<u32> = Vec::with_capacity(nodes.len());
         for (id, list) in child_lists.into_iter().enumerate() {
@@ -269,14 +301,18 @@ impl ClTree {
             kids.extend(list);
         }
         // Invert the arena: where did each (sorted) member land?
-        let mut arena_pos = vec![0u32; ids.len()];
+        let mut arena_pos = vec![0u32; n];
         for (pos, &v) in arena.iter().enumerate() {
-            let i = ids.binary_search(&v).expect("arena holds exactly the members");
+            let i = match &ids {
+                Some(ids) => ids.binary_search(&v).expect("arena holds exactly the members"),
+                None => v as usize,
+            };
             arena_pos[i] = pos as u32;
         }
 
         let core_of: Vec<u32> = (0..n as u32).map(|v| cd.core_number(v)).collect();
-        ClTree { nodes, kids, arena, members: ids, node_of: node_of_local, core_of, arena_pos }
+        let members = ids.unwrap_or_else(|| (0..n as VertexId).collect());
+        ClTree { nodes, kids, arena, members, node_of: node_of_local, core_of, arena_pos }
     }
 
     /// Exports the tree's complete persistent state as flat arrays

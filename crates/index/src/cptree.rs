@@ -14,35 +14,8 @@ use pcs_graph::{demoted_by_deletion, promoted_by_insertion, FxHashMap, FxHashSet
 use pcs_graph::{Graph, VertexId};
 use pcs_ptree::{LabelId, PTree, Taxonomy};
 
-use crate::cltree::{ClTree, ClTreeFlat};
+use crate::cltree::ClTree;
 use crate::{IndexError, Result};
-
-/// One populated CP-tree node in wire form: its label, and the
-/// CL-tree's flat arrays. The node's member list is the CL-tree's
-/// (sorted) member array — it is not duplicated on the wire.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CpNodeFlat {
-    /// The label this node indexes.
-    pub label: LabelId,
-    /// The per-label CL-tree as flat arrays.
-    pub cl: ClTreeFlat,
-}
-
-/// The complete persistent state of a [`CpTree`]: per-label CL-trees
-/// plus the `headMap`, all as length-delimited flat arrays. Produced by
-/// [`CpTree::to_flat`], consumed and re-validated by
-/// [`CpTree::from_flat`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CpTreeFlat {
-    /// Number of vertices the index covers.
-    pub n: usize,
-    /// Total number of taxonomy labels (populated or not).
-    pub num_labels: usize,
-    /// Populated nodes in ascending label order.
-    pub nodes: Vec<CpNodeFlat>,
-    /// `headMap`: per vertex, the leaf labels of its P-tree.
-    pub head_map: Vec<Vec<LabelId>>,
-}
 
 /// One applied change to the underlying profiled graph, as reported to
 /// the index for incremental maintenance. Deltas describe *effective*
@@ -72,7 +45,8 @@ pub enum GraphDelta {
     },
 }
 
-/// What [`CpTree::apply_batch`] did, label by label.
+/// What [`CpTree::apply_batch`] (or the sharded equivalent,
+/// [`crate::ShardedCpIndex::apply_batch`]) did, label by label.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CpPatchStats {
     /// Labels whose induced subgraph was touched by at least one delta
@@ -83,6 +57,11 @@ pub struct CpPatchStats {
     /// Touched labels proven unchanged by the bounded traversal check
     /// and left as-is.
     pub labels_skipped: usize,
+    /// Touched labels whose shard was not resident and was merely
+    /// invalidated — membership bookkeeping only, no CL-tree built.
+    /// Always 0 for the monolithic [`CpTree`], whose labels are all
+    /// resident by construction.
+    pub labels_invalidated: usize,
 }
 
 /// One CP-tree node: a taxonomy label plus the CL-tree of its induced
@@ -153,21 +132,27 @@ impl CpTree {
                 nodes[label] = Some(CpNode { label: label as LabelId, cl });
             }
         } else {
+            // Shard-parallel: every label is one independent work item,
+            // claimed from a shared counter. Static chunking used to
+            // strand the few giant labels (root, top-level areas) on
+            // one worker; work stealing keeps all threads busy until
+            // the last shard finishes.
             let work: Vec<(usize, Vec<VertexId>)> =
                 vertices_of.into_iter().enumerate().filter(|(_, v)| !v.is_empty()).collect();
+            let next = std::sync::atomic::AtomicUsize::new(0);
             let built: Vec<(usize, CpNode)> = std::thread::scope(|scope| {
-                let chunk = work.len().div_ceil(threads).max(1);
-                let handles: Vec<_> = work
-                    .chunks(chunk)
-                    .map(|batch| {
+                let (work, next) = (&work, &next);
+                let handles: Vec<_> = (0..threads.min(work.len()).max(1))
+                    .map(|_| {
                         scope.spawn(move || {
-                            batch
-                                .iter()
-                                .map(|(label, verts)| {
-                                    let cl = ClTree::build_on_subset(g, verts);
-                                    (*label, CpNode { label: *label as LabelId, cl })
-                                })
-                                .collect::<Vec<_>>()
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                let Some((label, verts)) = work.get(i) else { break };
+                                let cl = ClTree::build_on_subset(g, verts);
+                                out.push((*label, CpNode { label: *label as LabelId, cl }));
+                            }
+                            out
                         })
                     })
                     .collect();
@@ -178,67 +163,6 @@ impl CpTree {
             }
         }
         Ok(CpTree { nodes, head_map, n: g.num_vertices() })
-    }
-
-    /// Exports the index's complete persistent state (copies). See
-    /// [`CpTreeFlat`].
-    pub fn to_flat(&self) -> CpTreeFlat {
-        CpTreeFlat {
-            n: self.n,
-            num_labels: self.nodes.len(),
-            nodes: self
-                .nodes
-                .iter()
-                .flatten()
-                .map(|node| CpNodeFlat { label: node.label, cl: node.cl.to_flat() })
-                .collect(),
-            head_map: self.head_map.clone(),
-        }
-    }
-
-    /// Reconstructs an index from flat arrays, re-validating structure:
-    /// label ids in range and strictly ascending, per-label CL-trees
-    /// structurally sound ([`ClTree::from_flat`]), member lists confined
-    /// to `0..n`, and a `headMap` entry per vertex with in-range labels.
-    /// Malformed input yields [`IndexError::CorruptIndex`].
-    ///
-    /// Semantic agreement with the graph and profiles it was built from
-    /// is the writer's responsibility; snapshot loaders additionally
-    /// cross-check the restored `headMap` against the profile section.
-    pub fn from_flat(flat: CpTreeFlat) -> Result<CpTree> {
-        let corrupt = |detail: String| IndexError::CorruptIndex { detail };
-        if flat.head_map.len() != flat.n {
-            return Err(corrupt(format!(
-                "headMap covers {} vertices, index covers {}",
-                flat.head_map.len(),
-                flat.n
-            )));
-        }
-        for (v, heads) in flat.head_map.iter().enumerate() {
-            if heads.iter().any(|&l| l as usize >= flat.num_labels) {
-                return Err(corrupt(format!("headMap of vertex {v} references a missing label")));
-            }
-        }
-        let mut nodes: Vec<Option<CpNode>> = vec![None; flat.num_labels];
-        let mut prev_label: Option<LabelId> = None;
-        for node in flat.nodes {
-            if node.label as usize >= flat.num_labels {
-                return Err(corrupt(format!("populated label {} out of range", node.label)));
-            }
-            if prev_label.is_some_and(|p| p >= node.label) {
-                return Err(corrupt("populated labels not strictly ascending".into()));
-            }
-            prev_label = Some(node.label);
-            let cl = ClTree::from_flat(node.cl)?;
-            if cl.members().is_empty() {
-                return Err(corrupt(format!("label {} is populated but empty", node.label)));
-            }
-            if cl.members().last().is_some_and(|&v| v as usize >= flat.n) {
-                return Err(corrupt(format!("label {} indexes out-of-range vertices", node.label)));
-            }
-            nodes[node.label as usize] = Some(CpNode { label: node.label, cl });
-        }
-        Ok(CpTree { nodes, head_map: flat.head_map, n: flat.n })
     }
 
     /// Number of vertices the index covers.
@@ -275,16 +199,6 @@ impl CpTree {
         self.node(label)?.cl.community_ref(q, k)
     }
 
-    /// The paper's `I.get(k, q, t)`: the k-ĉore containing `q` in the
-    /// subgraph of vertices carrying `label`. Sorted; `None` when it
-    /// does not exist.
-    ///
-    /// Owned convenience wrapper that copies and sorts on every call —
-    /// **prefer [`CpTree::get_ref`] anywhere performance matters**.
-    pub fn get(&self, k: u32, q: VertexId, label: LabelId) -> Option<Vec<VertexId>> {
-        self.node(label)?.cl.get(q, k)
-    }
-
     /// Leaf labels of `v`'s P-tree (the `headMap` entry).
     pub fn head(&self, v: VertexId) -> &[LabelId] {
         &self.head_map[v as usize]
@@ -300,23 +214,6 @@ impl CpTree {
     // ------------------------------------------------------------------
     // Incremental maintenance (the serving engine's update path)
     // ------------------------------------------------------------------
-
-    /// All labels carried by `v` according to the index itself: the
-    /// upward closure of its `headMap` leaves. This is exactly
-    /// `T(v).nodes()` for the profiles the index was built from, so it
-    /// reflects the *pre-batch* state while a patch is being planned.
-    fn carried_labels(&self, tax: &Taxonomy, v: VertexId) -> FxHashSet<LabelId> {
-        let mut out = FxHashSet::default();
-        out.insert(Taxonomy::ROOT);
-        for &leaf in &self.head_map[v as usize] {
-            for a in tax.ancestors_inclusive(leaf) {
-                if !out.insert(a) {
-                    break; // the rest of the path is already present
-                }
-            }
-        }
-        out
-    }
 
     /// The labels whose CP-tree node a batch of deltas can possibly
     /// affect, deduplicated and sorted.
@@ -334,89 +231,7 @@ impl CpTree {
         profiles_after: &[PTree],
         deltas: &[GraphDelta],
     ) -> Vec<LabelId> {
-        let mut touched: FxHashSet<LabelId> = FxHashSet::default();
-        let mut carried_memo: FxHashMap<VertexId, FxHashSet<LabelId>> = FxHashMap::default();
-        for delta in deltas {
-            match *delta {
-                GraphDelta::EdgeAdded { u, v } | GraphDelta::EdgeRemoved { u, v } => {
-                    for w in [u, v] {
-                        carried_memo.entry(w).or_insert_with(|| self.carried_labels(tax, w));
-                    }
-                    let (cu, cv) = (&carried_memo[&u], &carried_memo[&v]);
-                    touched.extend(cu.intersection(cv).copied());
-                }
-                GraphDelta::ProfileChanged { v } => {
-                    let old = self.carried_labels(tax, v);
-                    let new: FxHashSet<LabelId> =
-                        profiles_after[v as usize].nodes().iter().copied().collect();
-                    touched.extend(old.symmetric_difference(&new).copied());
-                }
-            }
-        }
-        let mut out: Vec<LabelId> = touched.into_iter().collect();
-        out.sort_unstable();
-        out
-    }
-
-    /// True when the single edge change `{u, v}` (inserted when
-    /// `added`) provably leaves `label`'s CL-tree unchanged.
-    ///
-    /// Both tests are bounded traversals of the label's induced
-    /// subgraph, never O(n):
-    ///
-    /// * **Insertion** is a no-op iff no member's subgraph core number
-    ///   rises ([`promoted_by_insertion`] over the label-filtered
-    ///   adjacency returns nothing) *and* the endpoints already shared
-    ///   their `min(core)`-ĉore (same [`ClTree::summit`]), so no ĉores
-    ///   merge at any level.
-    /// * **Removal** is a no-op iff no member's core number drops *and*
-    ///   the endpoints are still connected within the
-    ///   `min(core)`-level members, so no ĉore splits.
-    fn edge_change_preserves_label(
-        &self,
-        g_after: &Graph,
-        label: LabelId,
-        u: VertexId,
-        v: VertexId,
-        added: bool,
-    ) -> bool {
-        let Some(node) = self.node(label) else {
-            return false;
-        };
-        let cl = &node.cl;
-        let (Some(cu), Some(cv)) = (cl.core_of(u), cl.core_of(v)) else {
-            return false;
-        };
-        let k = cu.min(cv);
-        let adj =
-            |w: VertexId| g_after.neighbors(w).iter().copied().filter(|&z| cl.contains_vertex(z));
-        let core = |w: VertexId| cl.core_of(w).expect("adjacency filtered to members");
-        if added {
-            if cl.summit(u, k) != cl.summit(v, k) {
-                return false; // two ĉores merge at level ≤ k
-            }
-            promoted_by_insertion(u, v, adj, core).is_empty()
-        } else {
-            if !demoted_by_deletion(u, v, adj, core).is_empty() {
-                return false;
-            }
-            // Still connected within the k-level members? (Connectivity
-            // at level k implies connectivity at every level below it.)
-            let mut seen: FxHashSet<VertexId> = FxHashSet::default();
-            let mut stack = vec![u];
-            seen.insert(u);
-            while let Some(w) = stack.pop() {
-                if w == v {
-                    return true;
-                }
-                for z in adj(w) {
-                    if core(z) >= k && seen.insert(z) {
-                        stack.push(z);
-                    }
-                }
-            }
-            false
-        }
+        invalidation_set_from(&|v| carried_labels(&self.head_map, tax, v), profiles_after, deltas)
     }
 
     /// Applies a batch of effective graph deltas in place, rebuilding
@@ -444,62 +259,25 @@ impl CpTree {
     ) -> CpPatchStats {
         debug_assert_eq!(self.n, g_after.num_vertices(), "vertex set is fixed");
         debug_assert_eq!(self.n, profiles_after.len());
-        // Pass 1: classify touched labels. Edge-touched labels count
-        // their deltas (and remember the last one) so the no-op check
-        // only runs when it is sound: exactly one edge change and no
-        // membership change for that label.
-        let mut edge_touch: FxHashMap<LabelId, (usize, (VertexId, VertexId, bool))> =
-            FxHashMap::default();
-        let mut profile_touch: FxHashSet<LabelId> = FxHashSet::default();
-        let mut member_add: FxHashMap<LabelId, Vec<VertexId>> = FxHashMap::default();
-        let mut member_remove: FxHashMap<LabelId, Vec<VertexId>> = FxHashMap::default();
-        let mut profile_vertices: Vec<VertexId> = Vec::new();
-        let mut carried_memo: FxHashMap<VertexId, FxHashSet<LabelId>> = FxHashMap::default();
-        for delta in deltas {
-            match *delta {
-                GraphDelta::EdgeAdded { u, v } | GraphDelta::EdgeRemoved { u, v } => {
-                    let added = matches!(delta, GraphDelta::EdgeAdded { .. });
-                    for w in [u, v] {
-                        carried_memo.entry(w).or_insert_with(|| self.carried_labels(tax, w));
-                    }
-                    let (cu, cv) = (&carried_memo[&u], &carried_memo[&v]);
-                    for &label in cu.intersection(cv) {
-                        let entry = edge_touch.entry(label).or_insert((0, (u, v, added)));
-                        entry.0 += 1;
-                        entry.1 = (u, v, added);
-                    }
-                }
-                GraphDelta::ProfileChanged { v } => {
-                    debug_assert!(
-                        !profile_vertices.contains(&v),
-                        "one ProfileChanged delta per vertex"
-                    );
-                    profile_vertices.push(v);
-                    let old = self.carried_labels(tax, v);
-                    let new: FxHashSet<LabelId> =
-                        profiles_after[v as usize].nodes().iter().copied().collect();
-                    for &label in new.difference(&old) {
-                        profile_touch.insert(label);
-                        member_add.entry(label).or_default().push(v);
-                    }
-                    for &label in old.difference(&new) {
-                        profile_touch.insert(label);
-                        member_remove.entry(label).or_default().push(v);
-                    }
-                }
-            }
-        }
+        // Pass 1: classify touched labels (shared with the sharded
+        // index — see `classify_batch`).
+        let touch =
+            classify_batch(&|v| carried_labels(&self.head_map, tax, v), profiles_after, deltas);
         // Pass 2: decide, per touched label, between skip and rebuild.
         // Decisions read only pre-batch state, so order is irrelevant.
-        let mut rebuild: Vec<LabelId> = profile_touch.iter().copied().collect();
+        let mut rebuild: Vec<LabelId> = touch.profile_touch.iter().copied().collect();
         let mut stats =
-            CpPatchStats { labels_touched: profile_touch.len(), ..CpPatchStats::default() };
-        for (&label, &(count, (u, v, added))) in &edge_touch {
-            if profile_touch.contains(&label) {
+            CpPatchStats { labels_touched: touch.profile_touch.len(), ..CpPatchStats::default() };
+        for (&label, &(count, (u, v, added))) in &touch.edge_touch {
+            if touch.profile_touch.contains(&label) {
                 continue; // already queued for rebuild
             }
             stats.labels_touched += 1;
-            if count == 1 && self.edge_change_preserves_label(g_after, label, u, v, added) {
+            let preserved = count == 1
+                && self
+                    .node(label)
+                    .is_some_and(|node| edge_change_preserves(&node.cl, g_after, u, v, added));
+            if preserved {
                 stats.labels_skipped += 1;
             } else {
                 rebuild.push(label);
@@ -512,13 +290,7 @@ impl CpTree {
                 Some(node) => node.cl.into_members(),
                 None => Vec::new(),
             };
-            if let Some(removed) = member_remove.get(&label) {
-                verts.retain(|v| !removed.contains(v));
-            }
-            if let Some(added) = member_add.get(&label) {
-                verts.extend_from_slice(added);
-                verts.sort_unstable();
-            }
+            touch.patch_members(label, &mut verts);
             stats.labels_rebuilt += 1;
             if verts.is_empty() {
                 continue; // node stays vacated
@@ -527,10 +299,16 @@ impl CpTree {
             self.nodes[label as usize] = Some(CpNode { label, cl });
         }
         // Pass 4: refresh the headMap for re-profiled vertices.
-        for v in profile_vertices {
+        for &v in &touch.profile_vertices {
             self.head_map[v as usize] = profiles_after[v as usize].leaves(tax);
         }
         stats
+    }
+
+    /// Decomposes the index into its per-label nodes and `headMap` (the
+    /// monolithic → sharded conversion seed).
+    pub(crate) fn into_parts(self) -> (Vec<Option<CpNode>>, Vec<Vec<LabelId>>, usize) {
+        (self.nodes, self.head_map, self.n)
     }
 
     /// Approximate heap footprint in bytes (for the paper's space-cost
@@ -547,10 +325,223 @@ impl CpTree {
     }
 }
 
+// ---------------------------------------------------------------------
+// Maintenance helpers shared by the monolithic `CpTree` and the
+// per-label `ShardedCpIndex`. Each shape supplies its own pre-batch
+// carried-label oracle (`labels_of`): the monolithic index closes its
+// `headMap` upward, the sharded index reads its shared profile `Arc`
+// directly — but the classification logic is one function, so the two
+// shapes can never drift in how they treat a batch.
+// ---------------------------------------------------------------------
+
+/// The carried-label oracle: all labels `T(v)` held **before** the
+/// batch being planned.
+pub(crate) type LabelsOf<'a> = dyn Fn(VertexId) -> FxHashSet<LabelId> + 'a;
+
+/// All labels carried by `v` according to a `headMap`: the upward
+/// closure of its leaves. This is exactly `T(v).nodes()` for the
+/// profiles the index was built from, so it reflects the *pre-batch*
+/// state while a patch is being planned.
+pub(crate) fn carried_labels(
+    head_map: &[Vec<LabelId>],
+    tax: &Taxonomy,
+    v: VertexId,
+) -> FxHashSet<LabelId> {
+    let mut out = FxHashSet::default();
+    out.insert(Taxonomy::ROOT);
+    for &leaf in &head_map[v as usize] {
+        for a in tax.ancestors_inclusive(leaf) {
+            if !out.insert(a) {
+                break; // the rest of the path is already present
+            }
+        }
+    }
+    out
+}
+
+/// [`CpTree::invalidation_set`] as a free function of the carried-label
+/// oracle.
+pub(crate) fn invalidation_set_from(
+    labels_of: &LabelsOf<'_>,
+    profiles_after: &[PTree],
+    deltas: &[GraphDelta],
+) -> Vec<LabelId> {
+    let mut touched: FxHashSet<LabelId> = FxHashSet::default();
+    let mut carried_memo: FxHashMap<VertexId, FxHashSet<LabelId>> = FxHashMap::default();
+    for delta in deltas {
+        match *delta {
+            GraphDelta::EdgeAdded { u, v } | GraphDelta::EdgeRemoved { u, v } => {
+                for w in [u, v] {
+                    carried_memo.entry(w).or_insert_with(|| labels_of(w));
+                }
+                let (cu, cv) = (&carried_memo[&u], &carried_memo[&v]);
+                touched.extend(cu.intersection(cv).copied());
+            }
+            GraphDelta::ProfileChanged { v } => {
+                let old = labels_of(v);
+                let new: FxHashSet<LabelId> =
+                    profiles_after[v as usize].nodes().iter().copied().collect();
+                touched.extend(old.symmetric_difference(&new).copied());
+            }
+        }
+    }
+    let mut out: Vec<LabelId> = touched.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// The per-label classification of one delta batch: which labels were
+/// touched by edges (with the delta count and the last edge, so the
+/// bounded no-op check only runs when sound), which by membership
+/// changes, and the net member additions/removals per label.
+pub(crate) struct BatchTouch {
+    pub(crate) edge_touch: FxHashMap<LabelId, (usize, (VertexId, VertexId, bool))>,
+    pub(crate) profile_touch: FxHashSet<LabelId>,
+    pub(crate) member_add: FxHashMap<LabelId, Vec<VertexId>>,
+    pub(crate) member_remove: FxHashMap<LabelId, Vec<VertexId>>,
+    pub(crate) profile_vertices: Vec<VertexId>,
+}
+
+impl BatchTouch {
+    /// Applies `label`'s net membership delta to a sorted member list
+    /// in place (result stays sorted).
+    pub(crate) fn patch_members(&self, label: LabelId, verts: &mut Vec<VertexId>) {
+        if let Some(removed) = self.member_remove.get(&label) {
+            verts.retain(|v| !removed.contains(v));
+        }
+        if let Some(added) = self.member_add.get(&label) {
+            verts.extend_from_slice(added);
+            verts.sort_unstable();
+        }
+    }
+}
+
+/// Pass 1 of every incremental patch: walk the deltas once, bucketing
+/// touched labels. Reads only pre-batch state (through `labels_of`).
+pub(crate) fn classify_batch(
+    labels_of: &LabelsOf<'_>,
+    profiles_after: &[PTree],
+    deltas: &[GraphDelta],
+) -> BatchTouch {
+    let mut touch = BatchTouch {
+        edge_touch: FxHashMap::default(),
+        profile_touch: FxHashSet::default(),
+        member_add: FxHashMap::default(),
+        member_remove: FxHashMap::default(),
+        profile_vertices: Vec::new(),
+    };
+    let mut carried_memo: FxHashMap<VertexId, FxHashSet<LabelId>> = FxHashMap::default();
+    for delta in deltas {
+        match *delta {
+            GraphDelta::EdgeAdded { u, v } | GraphDelta::EdgeRemoved { u, v } => {
+                let added = matches!(delta, GraphDelta::EdgeAdded { .. });
+                for w in [u, v] {
+                    carried_memo.entry(w).or_insert_with(|| labels_of(w));
+                }
+                let (cu, cv) = (&carried_memo[&u], &carried_memo[&v]);
+                for &label in cu.intersection(cv) {
+                    let entry = touch.edge_touch.entry(label).or_insert((0, (u, v, added)));
+                    entry.0 += 1;
+                    entry.1 = (u, v, added);
+                }
+            }
+            GraphDelta::ProfileChanged { v } => {
+                debug_assert!(
+                    !touch.profile_vertices.contains(&v),
+                    "one ProfileChanged delta per vertex"
+                );
+                touch.profile_vertices.push(v);
+                let old = labels_of(v);
+                let new: FxHashSet<LabelId> =
+                    profiles_after[v as usize].nodes().iter().copied().collect();
+                for &label in new.difference(&old) {
+                    touch.profile_touch.insert(label);
+                    touch.member_add.entry(label).or_default().push(v);
+                }
+                for &label in old.difference(&new) {
+                    touch.profile_touch.insert(label);
+                    touch.member_remove.entry(label).or_default().push(v);
+                }
+            }
+        }
+    }
+    touch
+}
+
+/// True when the single edge change `{u, v}` (inserted when `added`)
+/// provably leaves `cl` — one label's CL-tree — unchanged.
+///
+/// Both tests are bounded traversals of the label's induced subgraph,
+/// never O(n):
+///
+/// * **Insertion** is a no-op iff no member's subgraph core number
+///   rises ([`promoted_by_insertion`] over the label-filtered
+///   adjacency returns nothing) *and* the endpoints already shared
+///   their `min(core)`-ĉore (same [`ClTree::summit`]), so no ĉores
+///   merge at any level.
+/// * **Removal** is a no-op iff no member's core number drops *and*
+///   the endpoints are still connected within the `min(core)`-level
+///   members, so no ĉore splits.
+pub(crate) fn edge_change_preserves(
+    cl: &ClTree,
+    g_after: &Graph,
+    u: VertexId,
+    v: VertexId,
+    added: bool,
+) -> bool {
+    let (Some(cu), Some(cv)) = (cl.core_of(u), cl.core_of(v)) else {
+        return false;
+    };
+    let k = cu.min(cv);
+    let adj = |w: VertexId| g_after.neighbors(w).iter().copied().filter(|&z| cl.contains_vertex(z));
+    let core = |w: VertexId| cl.core_of(w).expect("adjacency filtered to members");
+    if added {
+        if cl.summit(u, k) != cl.summit(v, k) {
+            return false; // two ĉores merge at level ≤ k
+        }
+        promoted_by_insertion(u, v, adj, core).is_empty()
+    } else {
+        if !demoted_by_deletion(u, v, adj, core).is_empty() {
+            return false;
+        }
+        // Still connected within the k-level members? (Connectivity
+        // at level k implies connectivity at every level below it.)
+        let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+        let mut stack = vec![u];
+        seen.insert(u);
+        while let Some(w) = stack.pop() {
+            if w == v {
+                return true;
+            }
+            for z in adj(w) {
+                if core(z) >= k && seen.insert(z) {
+                    stack.push(z);
+                }
+            }
+        }
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pcs_graph::core::CoreDecomposition;
+
+    /// Test-only resurrection of the removed owned `CpTree::get`
+    /// wrapper: the production query surface is [`CpTree::get_ref`];
+    /// tests keep the sorted-copy shorthand for readable assertions.
+    trait GetSorted {
+        fn get(&self, k: u32, q: VertexId, label: LabelId) -> Option<Vec<VertexId>>;
+    }
+
+    impl GetSorted for CpTree {
+        fn get(&self, k: u32, q: VertexId, label: LabelId) -> Option<Vec<VertexId>> {
+            let mut out = self.get_ref(k, q, label)?.to_vec();
+            out.sort_unstable();
+            Some(out)
+        }
+    }
 
     /// Fig. 1(a): graph A..H with the CCS-fragment profiles.
     fn figure1() -> (Graph, Taxonomy, Vec<PTree>) {
@@ -894,58 +885,6 @@ mod tests {
         expect.sort_unstable();
         assert_eq!(touched, expect);
         let _ = g;
-    }
-
-    /// Flat export/import reproduces the full query surface (the wire
-    /// path snapshots travel through).
-    #[test]
-    fn flat_round_trip_matches_everywhere() {
-        let (g, t, profiles) = figure1();
-        let idx = CpTree::build(&g, &t, &profiles).unwrap();
-        let flat = idx.to_flat();
-        let back = CpTree::from_flat(flat.clone()).unwrap();
-        assert_eq!(back.to_flat(), flat, "round trip is stable");
-        assert_semantically_equal(&idx, &back, &t, 8);
-        // And the rebuilt index keeps accepting incremental batches.
-        let mut patched = back.clone();
-        let mut dyn_g = pcs_graph::DynamicGraph::from_graph(&g);
-        dyn_g.add_edge(2, 4).unwrap();
-        let g_after = dyn_g.to_graph();
-        patched.apply_batch(&g_after, &t, &profiles, &[GraphDelta::EdgeAdded { u: 2, v: 4 }]);
-        let fresh = CpTree::build(&g_after, &t, &profiles).unwrap();
-        assert_semantically_equal(&patched, &fresh, &t, 8);
-    }
-
-    #[test]
-    fn from_flat_rejects_malformed_structures() {
-        let (g, t, profiles) = figure1();
-        let good = CpTree::build(&g, &t, &profiles).unwrap().to_flat();
-        let corrupt = |mutate: &dyn Fn(&mut CpTreeFlat)| {
-            let mut f = good.clone();
-            mutate(&mut f);
-            assert!(
-                matches!(CpTree::from_flat(f), Err(IndexError::CorruptIndex { .. })),
-                "mutation must be rejected"
-            );
-        };
-        corrupt(&|f| {
-            f.head_map.pop();
-        });
-        corrupt(&|f| f.head_map[0] = vec![999]);
-        corrupt(&|f| f.nodes[0].label = 999);
-        corrupt(&|f| f.nodes.swap(0, 1)); // labels no longer ascending
-        corrupt(&|f| {
-            f.nodes[0].cl.members.clear();
-            f.nodes[0].cl.arena.clear();
-            f.nodes[0].cl.node_of.clear();
-            f.nodes[0].cl.arena_pos.clear();
-        }); // populated but empty
-        corrupt(&|f| {
-            let m = &mut f.nodes[0].cl;
-            let last = m.members.len() - 1;
-            m.members[last] = 999;
-            m.arena[m.arena_pos[last] as usize] = 999;
-        });
     }
 
     #[test]

@@ -30,18 +30,25 @@
 //! let index = CpTree::build(&g, &tax, &profiles).unwrap();
 //! // 1-ĉore of vertex 0 among vertices labelled `a`: the edge {0, 1}.
 //! // `get_ref` is the zero-copy hot path (borrowed arena slice, set
-//! // order); `get` is the owned, sorted convenience wrapper.
+//! // order) — the only `I.get` the index exposes; sort a copy when
+//! // order matters.
 //! let mut members = index.get_ref(1, 0, a).unwrap().to_vec();
 //! members.sort_unstable();
 //! assert_eq!(members, vec![0, 1]);
-//! assert_eq!(index.get(1, 0, a).unwrap(), vec![0, 1]);
 //! ```
+//!
+//! Serving systems use the label-sharded shape instead
+//! ([`ShardedCpIndex`]): the same index split into per-label
+//! [`IndexShard`]s that materialize on demand, so the first query pays
+//! for the labels it touches rather than the whole taxonomy.
 
 pub mod cltree;
 pub mod cptree;
+pub mod sharded;
 
 pub use cltree::{ClTree, ClTreeFlat};
-pub use cptree::{CpNodeFlat, CpPatchStats, CpTree, CpTreeFlat, GraphDelta};
+pub use cptree::{CpPatchStats, CpTree, GraphDelta};
+pub use sharded::{IndexRef, IndexShard, ShardSource, ShardedCpIndex};
 
 /// Errors produced while building or querying indexes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,9 +62,9 @@ pub enum IndexError {
     },
     /// A profile references a label outside the taxonomy.
     UnknownLabel(pcs_ptree::LabelId),
-    /// A flat representation handed to [`ClTree::from_flat`] /
-    /// [`CpTree::from_flat`] violates a structural invariant (snapshot
-    /// loaders surface this as a corrupt-section error).
+    /// A flat representation handed to [`ClTree::from_flat`] (or a
+    /// loaded sharded-index part) violates a structural invariant
+    /// (snapshot loaders surface this as a corrupt-section error).
     CorruptIndex {
         /// Description of the violated invariant.
         detail: String,

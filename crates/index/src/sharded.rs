@@ -1,0 +1,1025 @@
+//! The label-sharded CP-tree: per-label shards materialized on demand.
+//!
+//! The paper's CP-tree is literally a per-label head map of independent
+//! CL-trees, so nothing forces all of them to exist at once. This
+//! module splits the index into one [`IndexShard`] per populated label
+//! behind a [`ShardedCpIndex`] facade:
+//!
+//! * the **facade** (per-label member lists over the epoch's shared
+//!   profile `Arc`) is built eagerly — one bucketing pass, no
+//!   CL-trees, milliseconds where a full build takes hundreds;
+//! * each **shard** (a label's CL-tree) materializes on first probe
+//!   through a per-label [`OnceLock`] slot, so concurrent readers
+//!   materialize *distinct* shards independently and race on the same
+//!   shard at most once;
+//! * a query only ever touches the labels in its subtree lattice
+//!   (`T(q)`'s closure), so time-to-first-query tracks the queried
+//!   labels' shard sizes, not the whole taxonomy;
+//! * the incremental-update path **patches resident shards and merely
+//!   invalidates absent ones** — a shard nobody queried is never built
+//!   just to be patched;
+//! * shards can be rehydrated from a snapshot through a [`ShardSource`]
+//!   (the store's partial-load mode) instead of rebuilt from the graph,
+//!   falling back to a from-graph build whenever the source cannot
+//!   produce a structurally valid shard for the current members.
+//!
+//! The monolithic [`CpTree`] remains as the reproduction-layer /
+//! differential-testing reference; both shapes classify update batches
+//! through the same helpers, so they cannot drift.
+
+use std::sync::{Arc, OnceLock};
+
+use pcs_graph::core::CoreDecomposition;
+use pcs_graph::{Graph, VertexId};
+use pcs_ptree::{LabelId, PTree, Taxonomy};
+
+use crate::cltree::ClTree;
+use crate::cptree::{
+    classify_batch, edge_change_preserves, invalidation_set_from, CpPatchStats, CpTree, GraphDelta,
+};
+use crate::{IndexError, Result};
+use pcs_graph::FxHashSet;
+
+/// One materialized shard: a label and the CL-tree of the subgraph
+/// induced by its carriers. The label's sorted member list is the
+/// CL-tree's member array.
+#[derive(Clone, Debug)]
+pub struct IndexShard {
+    /// The label this shard indexes.
+    pub label: LabelId,
+    /// The per-label CL-tree.
+    pub cl: ClTree,
+}
+
+/// A pluggable shard supplier: given a label, produce its CL-tree from
+/// somewhere cheaper than a from-graph build (in practice, the
+/// snapshot store's lazily decoded per-shard payloads).
+///
+/// A source is advisory: the index cross-checks every supplied tree's
+/// member list against its own bookkeeping and falls back to building
+/// from the graph on any mismatch or failure — a source can make
+/// materialization faster, never wrong.
+pub trait ShardSource: Send + Sync {
+    /// The CL-tree of `label`, if this source can produce one.
+    fn load_shard(&self, label: LabelId) -> Option<ClTree>;
+}
+
+/// The label-sharded CP-tree index. See the [module docs](self).
+///
+/// Shared references materialize shards on demand (`&self`, via
+/// per-label `OnceLock`s); the engine's writer patches a cloned index
+/// through [`ShardedCpIndex::apply_batch`]. Cloning shares resident
+/// shards (`Arc`) instead of deep-copying them, so the writer's
+/// clone-and-patch cost tracks the invalidation set, not the index
+/// size.
+pub struct ShardedCpIndex {
+    /// The graph shards are built against (the epoch's graph).
+    graph: Arc<Graph>,
+    /// Per label: the sorted vertices carrying it (empty ⇔ unpopulated).
+    /// Eager — one pass over the profiles — and authoritative: a
+    /// shard's member list always equals this one. Per-label `Arc` so
+    /// the writer's clone shares every untouched list and copies only
+    /// the lists its batch actually patches (copy-on-write via
+    /// `Arc::make_mut`).
+    members_of: Vec<Arc<Vec<VertexId>>>,
+    /// Per label: the materialization slot.
+    slots: Vec<OnceLock<Arc<IndexShard>>>,
+    /// The epoch's per-vertex P-trees, shared with the owning snapshot
+    /// (`Arc` — the facade stores no copy). Replaces the monolithic
+    /// index's `headMap`: `T(v)` restoration is a profile clone, and
+    /// the update classifier reads label sets straight from here.
+    profiles: Arc<Vec<PTree>>,
+    /// Optional shard supplier (snapshot partial load).
+    source: Option<Arc<dyn ShardSource>>,
+    /// `source_live[l]` — the source's payload for `l` still describes
+    /// the current epoch. Cleared per label by `apply_batch` the moment
+    /// a delta invalidates it.
+    source_live: Vec<bool>,
+    /// The epoch's global core decomposition, when the owner shares
+    /// one: the root label's shard covers every vertex, so its CL-tree
+    /// is built straight from these cores with no induced-subgraph
+    /// copy and no re-peel.
+    global_cores: Option<Arc<OnceLock<CoreDecomposition>>>,
+    n: usize,
+}
+
+impl ShardedCpIndex {
+    /// Builds the facade only: one bucketing pass over the (shared)
+    /// profiles into per-label member lists. O(Σ|T(v)|), allocation
+    /// per populated label only — no CL-tree is constructed and no
+    /// head map is copied; shards materialize on first probe.
+    pub fn build(
+        graph: Arc<Graph>,
+        tax: &Taxonomy,
+        profiles: Arc<Vec<PTree>>,
+    ) -> Result<ShardedCpIndex> {
+        if graph.num_vertices() != profiles.len() {
+            return Err(IndexError::ProfileCountMismatch {
+                vertices: graph.num_vertices(),
+                profiles: profiles.len(),
+            });
+        }
+        let mut members_of: Vec<Vec<VertexId>> = vec![Vec::new(); tax.len()];
+        for (v, p) in profiles.iter().enumerate() {
+            for &l in p.nodes() {
+                if l as usize >= tax.len() {
+                    return Err(IndexError::UnknownLabel(l));
+                }
+                members_of[l as usize].push(v as VertexId);
+            }
+        }
+        let n = graph.num_vertices();
+        Ok(ShardedCpIndex {
+            graph,
+            slots: (0..members_of.len()).map(|_| OnceLock::new()).collect(),
+            source_live: vec![false; members_of.len()],
+            members_of: members_of.into_iter().map(Arc::new).collect(),
+            profiles,
+            source: None,
+            global_cores: None,
+            n,
+        })
+    }
+
+    /// Converts a monolithic [`CpTree`] into a fully resident sharded
+    /// index (the test bridge between the two shapes). `profiles` must
+    /// be the same profiles the monolithic index was built from.
+    pub fn from_cp_tree(
+        idx: CpTree,
+        graph: Arc<Graph>,
+        profiles: Arc<Vec<PTree>>,
+    ) -> ShardedCpIndex {
+        let (nodes, _head_map, n) = idx.into_parts();
+        debug_assert_eq!(n, graph.num_vertices());
+        debug_assert_eq!(n, profiles.len());
+        let mut members_of = Vec::with_capacity(nodes.len());
+        let mut slots = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            match node {
+                Some(node) => {
+                    members_of.push(Arc::new(node.cl.members().to_vec()));
+                    slots.push(OnceLock::from(Arc::new(IndexShard {
+                        label: node.label,
+                        cl: node.cl,
+                    })));
+                }
+                None => {
+                    members_of.push(Arc::new(Vec::new()));
+                    slots.push(OnceLock::new());
+                }
+            }
+        }
+        ShardedCpIndex {
+            graph,
+            source_live: vec![false; members_of.len()],
+            members_of,
+            slots,
+            profiles,
+            source: None,
+            global_cores: None,
+            n,
+        }
+    }
+
+    /// Assembles an index from loaded (snapshot) parts: the facade
+    /// arrays, any already-decoded resident shards, and an optional
+    /// lazy [`ShardSource`] for the rest. Re-validates the cheap
+    /// structural invariants the query paths rely on; the supplied
+    /// `ClTree`s are assumed structurally validated by their own
+    /// `from_flat`.
+    pub fn from_loaded(
+        graph: Arc<Graph>,
+        profiles: Arc<Vec<PTree>>,
+        members_of: Vec<Vec<VertexId>>,
+        resident: Vec<(LabelId, ClTree)>,
+        source: Option<Arc<dyn ShardSource>>,
+    ) -> Result<ShardedCpIndex> {
+        let corrupt = |detail: String| IndexError::CorruptIndex { detail };
+        let n = graph.num_vertices();
+        let num_labels = members_of.len();
+        if profiles.len() != n {
+            return Err(corrupt(format!(
+                "profiles cover {} vertices, graph has {n}",
+                profiles.len()
+            )));
+        }
+        for (label, members) in members_of.iter().enumerate() {
+            if members.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(corrupt(format!("members of label {label} unsorted or duplicated")));
+            }
+            if members.last().is_some_and(|&v| v as usize >= n) {
+                return Err(corrupt(format!("label {label} indexes out-of-range vertices")));
+            }
+        }
+        let mut slots: Vec<OnceLock<Arc<IndexShard>>> =
+            (0..num_labels).map(|_| OnceLock::new()).collect();
+        let mut prev: Option<LabelId> = None;
+        for (label, cl) in resident {
+            if label as usize >= num_labels {
+                return Err(corrupt(format!("resident shard label {label} out of range")));
+            }
+            if prev.is_some_and(|p| p >= label) {
+                return Err(corrupt("resident shard labels not strictly ascending".into()));
+            }
+            prev = Some(label);
+            if cl.members() != &members_of[label as usize][..] {
+                return Err(corrupt(format!(
+                    "shard {label} member list disagrees with the member table"
+                )));
+            }
+            if cl.members().is_empty() {
+                return Err(corrupt(format!("label {label} has a shard but no members")));
+            }
+            slots[label as usize] = OnceLock::from(Arc::new(IndexShard { label, cl }));
+        }
+        Ok(ShardedCpIndex {
+            graph,
+            source_live: vec![source.is_some(); num_labels],
+            members_of: members_of.into_iter().map(Arc::new).collect(),
+            slots,
+            profiles,
+            source,
+            global_cores: None,
+            n,
+        })
+    }
+
+    /// Shares the owner's per-epoch global core decomposition, so any
+    /// shard covering every vertex (the root label) is assembled from
+    /// it directly instead of re-peeling the whole graph. The cell
+    /// must describe [`ShardedCpIndex`]'s current graph; a later
+    /// [`apply_batch`](ShardedCpIndex::apply_batch) that changes the
+    /// graph **drops** the cell defensively, so a caller who forgets
+    /// to re-set it falls back to a correct from-graph peel rather
+    /// than building the root shard on stale cores.
+    pub fn set_global_cores(&mut self, cores: Arc<OnceLock<CoreDecomposition>>) {
+        self.global_cores = Some(cores);
+    }
+
+    /// Number of vertices the index covers.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of taxonomy labels (populated or not).
+    pub fn num_labels(&self) -> usize {
+        self.members_of.len()
+    }
+
+    /// Number of populated labels (carried by at least one vertex) —
+    /// resident or not.
+    pub fn num_populated_labels(&self) -> usize {
+        self.members_of.iter().filter(|m| !m.is_empty()).count()
+    }
+
+    /// Number of currently materialized shards. Never triggers
+    /// materialization (the serving observability metric).
+    pub fn resident_shards(&self) -> usize {
+        self.slots.iter().filter(|s| s.get().is_some()).count()
+    }
+
+    /// The shard of `label` **if already materialized** — never builds.
+    pub fn shard_if_resident(&self, label: LabelId) -> Option<&IndexShard> {
+        self.slots.get(label as usize)?.get().map(Arc::as_ref)
+    }
+
+    /// The shard of `label`, materializing it on first touch (`None`
+    /// for unpopulated labels). Concurrent callers materializing
+    /// distinct labels proceed independently; the same label is built
+    /// exactly once per epoch.
+    pub fn shard(&self, label: LabelId) -> Option<&IndexShard> {
+        let i = label as usize;
+        if self.members_of.get(i).is_none_or(|m| m.is_empty()) {
+            return None;
+        }
+        Some(self.slots[i].get_or_init(|| Arc::new(self.build_shard(label))))
+    }
+
+    /// Materializes every populated shard, fanning out over up to
+    /// `threads` workers (work-stealing over labels, like the
+    /// monolithic shard-parallel build). Idempotent.
+    pub fn materialize_all(&self, threads: usize) {
+        let pending: Vec<LabelId> = (0..self.members_of.len() as LabelId)
+            .filter(|&l| {
+                !self.members_of[l as usize].is_empty() && self.slots[l as usize].get().is_none()
+            })
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        let threads = threads.max(1).min(pending.len());
+        if threads == 1 {
+            for &label in &pending {
+                let _ = self.shard(label);
+            }
+            return;
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let (pending, next) = (&pending, &next);
+            for _ in 0..threads {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&label) = pending.get(i) else { break };
+                    let _ = self.shard(label);
+                });
+            }
+        });
+    }
+
+    /// Builds (or rehydrates) one shard. Root-sized shards reuse the
+    /// shared global core decomposition; everything else peels its
+    /// induced subgraph.
+    fn build_shard(&self, label: LabelId) -> IndexShard {
+        let members: &[VertexId] = &self.members_of[label as usize];
+        if self.source_live[label as usize] {
+            if let Some(source) = &self.source {
+                if let Some(cl) = source.load_shard(label) {
+                    if cl.members() == members {
+                        return IndexShard { label, cl };
+                    }
+                }
+            }
+        }
+        let cl = if members.len() == self.n {
+            match &self.global_cores {
+                Some(cell) => ClTree::build_full(
+                    &self.graph,
+                    cell.get_or_init(|| CoreDecomposition::new(&self.graph)),
+                ),
+                None => ClTree::build_full(&self.graph, &CoreDecomposition::new(&self.graph)),
+            }
+        } else {
+            ClTree::build_on_subset(&self.graph, members)
+        };
+        IndexShard { label, cl }
+    }
+
+    /// Sorted vertices carrying `label` (empty slice when none). Always
+    /// answerable from the facade — no shard is materialized.
+    pub fn vertices_with_label(&self, label: LabelId) -> &[VertexId] {
+        self.members_of.get(label as usize).map_or(&[], |m| m.as_slice())
+    }
+
+    /// The paper's `I.get(k, q, t)` as a borrowed arena slice (the
+    /// query hot path) — materializes `label`'s shard on first touch.
+    /// Distinct but unsorted; `None` when the ĉore does not exist.
+    #[inline]
+    pub fn get_ref(&self, k: u32, q: VertexId, label: LabelId) -> Option<&[VertexId]> {
+        self.shard(label)?.cl.community_ref(q, k)
+    }
+
+    /// The epoch's P-tree of `v` — the sharded replacement for the
+    /// monolithic index's headMap restoration (`tax` is unused here;
+    /// kept for signature parity with [`CpTree::restore_ptree`]).
+    pub fn restore_ptree(&self, _tax: &Taxonomy, v: VertexId) -> PTree {
+        self.profiles[v as usize].clone()
+    }
+
+    /// The pre-batch carried-label oracle for the shared maintenance
+    /// classifier: `T(v).nodes()` straight from the profile share.
+    fn labels_of(&self, v: VertexId) -> FxHashSet<LabelId> {
+        self.profiles[v as usize].nodes().iter().copied().collect()
+    }
+
+    /// See [`CpTree::invalidation_set`] — identical classification,
+    /// reading this index's shared pre-batch profiles.
+    pub fn invalidation_set(
+        &self,
+        profiles_after: &[PTree],
+        deltas: &[GraphDelta],
+    ) -> Vec<LabelId> {
+        invalidation_set_from(&|v| self.labels_of(v), profiles_after, deltas)
+    }
+
+    /// Applies a batch of effective graph deltas: membership tables and
+    /// the `headMap` are always brought up to date, **resident** shards
+    /// are re-verified (bounded no-op check) or rebuilt, and **absent**
+    /// shards are merely invalidated — their slot stays cold and any
+    /// snapshot source for them is marked stale, so the cost of a
+    /// shard nobody queried is bookkeeping, never a CL-tree build.
+    ///
+    /// Same delta contract as [`CpTree::apply_batch`]; after the call
+    /// the index answers exactly like a from-scratch build on the
+    /// post-batch inputs, shard by shard and lazily.
+    ///
+    /// `cores_after` is the post-batch global core decomposition cell,
+    /// when the owner maintains one: it replaces the previous epoch's
+    /// shared cell *before* any resident full-vertex-set shard is
+    /// rebuilt, so the root shard never re-peels the graph. Passing
+    /// `None` drops the old cell whenever the graph changed (stale
+    /// cores must never build a shard) — correctness is preserved
+    /// either way, only the shortcut is lost.
+    pub fn apply_batch(
+        &mut self,
+        g_after: &Arc<Graph>,
+        profiles_after: &Arc<Vec<PTree>>,
+        deltas: &[GraphDelta],
+        cores_after: Option<Arc<OnceLock<CoreDecomposition>>>,
+    ) -> CpPatchStats {
+        debug_assert_eq!(self.n, g_after.num_vertices(), "vertex set is fixed");
+        debug_assert_eq!(self.n, profiles_after.len());
+        let touch = classify_batch(&|v| self.labels_of(v), profiles_after, deltas);
+        let mut stats = CpPatchStats::default();
+        let mut rebuild: Vec<LabelId> = Vec::new();
+        // Membership-changed labels: patch the member table in place,
+        // then rebuild (resident) or invalidate (absent).
+        let mut profile_touched: Vec<LabelId> = touch.profile_touch.iter().copied().collect();
+        profile_touched.sort_unstable();
+        for &label in &profile_touched {
+            stats.labels_touched += 1;
+            let i = label as usize;
+            // Copy-on-write: only the lists the batch touches are
+            // duplicated; every other label keeps sharing the previous
+            // epoch's `Arc`.
+            touch.patch_members(label, Arc::make_mut(&mut self.members_of[i]));
+            self.source_live[i] = false;
+            if self.slots[i].get().is_some() {
+                rebuild.push(label);
+            } else {
+                stats.labels_invalidated += 1;
+            }
+        }
+        // Edge-touched labels: membership is unchanged; resident shards
+        // run the bounded no-op check (single edge only) or rebuild,
+        // absent ones are invalidated.
+        for (&label, &(count, (u, v, added))) in &touch.edge_touch {
+            if touch.profile_touch.contains(&label) {
+                continue; // already handled above
+            }
+            stats.labels_touched += 1;
+            let i = label as usize;
+            match self.slots[i].get() {
+                Some(shard) => {
+                    if count == 1 && edge_change_preserves(&shard.cl, g_after, u, v, added) {
+                        stats.labels_skipped += 1;
+                    } else {
+                        self.source_live[i] = false;
+                        rebuild.push(label);
+                    }
+                }
+                None => {
+                    self.source_live[i] = false;
+                    stats.labels_invalidated += 1;
+                }
+            }
+        }
+        // Rebuild the resident invalidated shards against the new
+        // graph. The graph handle must be swapped first: `build_shard`
+        // reads it, and future on-demand materializations of the
+        // invalidated absent shards must see the post-batch graph too.
+        // A shared global-cores cell describes the *old* graph: swap
+        // in the post-batch cell, or drop the stale one if the caller
+        // maintains none and the graph actually changed.
+        match cores_after {
+            Some(cell) => self.global_cores = Some(cell),
+            None => {
+                if !Arc::ptr_eq(&self.graph, g_after) {
+                    self.global_cores = None;
+                }
+            }
+        }
+        self.graph = Arc::clone(g_after);
+        rebuild.sort_unstable();
+        for label in rebuild {
+            let i = label as usize;
+            stats.labels_rebuilt += 1;
+            self.slots[i] = if self.members_of[i].is_empty() {
+                OnceLock::new() // the label lost its last carrier
+            } else {
+                OnceLock::from(Arc::new(self.build_shard(label)))
+            };
+        }
+        // Swap in the post-batch profile share (one Arc clone — the
+        // snapshot the engine is publishing owns the same vector).
+        self.profiles = Arc::clone(profiles_after);
+        stats
+    }
+
+    /// Iterator over the currently resident shards, in ascending label
+    /// order (what a snapshot save persists).
+    pub fn resident_iter(&self) -> impl Iterator<Item = &IndexShard> + '_ {
+        self.slots.iter().filter_map(|s| s.get().map(Arc::as_ref))
+    }
+
+    /// Approximate heap footprint in bytes: facade tables plus
+    /// **resident** shards (the number that actually bounds a lazy
+    /// replica's memory).
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = 0usize;
+        for shard in self.resident_iter() {
+            total += shard.cl.memory_bytes();
+        }
+        for m in &self.members_of {
+            total += m.len() * std::mem::size_of::<VertexId>();
+        }
+        // The profile share is owned by the snapshot, not the index;
+        // it is deliberately not counted here.
+        total
+    }
+}
+
+impl Clone for ShardedCpIndex {
+    /// Shares resident shards, per-label member lists, the profile
+    /// vector, and the shard source (`Arc` clones throughout); nothing
+    /// is deep-copied. This is the writer's clone-and-patch entry
+    /// point: O(labels) pointer copies, with the patch then
+    /// copy-on-writing only the touched member lists — cost tracks
+    /// the invalidation set, not the index size.
+    fn clone(&self) -> Self {
+        let slots = self
+            .slots
+            .iter()
+            .map(|slot| match slot.get() {
+                Some(arc) => OnceLock::from(Arc::clone(arc)),
+                None => OnceLock::new(),
+            })
+            .collect();
+        ShardedCpIndex {
+            graph: Arc::clone(&self.graph),
+            members_of: self.members_of.clone(),
+            slots,
+            profiles: Arc::clone(&self.profiles),
+            source: self.source.clone(),
+            source_live: self.source_live.clone(),
+            global_cores: self.global_cores.clone(),
+            n: self.n,
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedCpIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCpIndex")
+            .field("vertices", &self.n)
+            .field("labels", &self.members_of.len())
+            .field("populated", &self.num_populated_labels())
+            .field("resident", &self.resident_shards())
+            .field("has_source", &self.source.is_some())
+            .finish()
+    }
+}
+
+/// A borrowed view over either index shape, so the query layer serves
+/// both the monolithic reproduction index and the sharded serving
+/// index through one zero-cost (enum-dispatched, `Copy`) handle.
+#[derive(Clone, Copy)]
+pub enum IndexRef<'a> {
+    /// The monolithic [`CpTree`] (reproduction / differential layer).
+    Monolithic(&'a CpTree),
+    /// The sharded serving index (materializes shards on probe).
+    Sharded(&'a ShardedCpIndex),
+}
+
+impl<'a> IndexRef<'a> {
+    /// The paper's `I.get(k, q, t)` as a borrowed slice. On the sharded
+    /// shape this materializes the label's shard on first touch.
+    #[inline]
+    pub fn get_ref(self, k: u32, q: VertexId, label: LabelId) -> Option<&'a [VertexId]> {
+        match self {
+            IndexRef::Monolithic(idx) => idx.get_ref(k, q, label),
+            IndexRef::Sharded(idx) => idx.get_ref(k, q, label),
+        }
+    }
+
+    /// Restores `T(v)`: headMap upward closure on the monolithic
+    /// shape, a shared-profile clone on the sharded one.
+    pub fn restore_ptree(self, tax: &Taxonomy, v: VertexId) -> PTree {
+        match self {
+            IndexRef::Monolithic(idx) => idx.restore_ptree(tax, v),
+            IndexRef::Sharded(idx) => idx.restore_ptree(tax, v),
+        }
+    }
+
+    /// Sorted vertices carrying `label` (never materializes a shard).
+    pub fn vertices_with_label(self, label: LabelId) -> &'a [VertexId] {
+        match self {
+            IndexRef::Monolithic(idx) => idx.vertices_with_label(label),
+            IndexRef::Sharded(idx) => idx.vertices_with_label(label),
+        }
+    }
+
+    /// Number of vertices the index covers.
+    pub fn num_vertices(self) -> usize {
+        match self {
+            IndexRef::Monolithic(idx) => idx.num_vertices(),
+            IndexRef::Sharded(idx) => idx.num_vertices(),
+        }
+    }
+
+    /// Number of populated labels (resident or not).
+    pub fn num_populated_labels(self) -> usize {
+        match self {
+            IndexRef::Monolithic(idx) => idx.num_populated_labels(),
+            IndexRef::Sharded(idx) => idx.num_populated_labels(),
+        }
+    }
+}
+
+impl<'a> From<&'a CpTree> for IndexRef<'a> {
+    fn from(idx: &'a CpTree) -> Self {
+        IndexRef::Monolithic(idx)
+    }
+}
+
+impl<'a> From<&'a ShardedCpIndex> for IndexRef<'a> {
+    fn from(idx: &'a ShardedCpIndex) -> Self {
+        IndexRef::Sharded(idx)
+    }
+}
+
+impl std::fmt::Debug for IndexRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexRef::Monolithic(_) => f.write_str("IndexRef::Monolithic"),
+            IndexRef::Sharded(idx) => write!(f, "IndexRef::Sharded({idx:?})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_graph::DynamicGraph;
+
+    fn figure1() -> (Arc<Graph>, Taxonomy, Vec<PTree>) {
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 3),
+                (0, 4),
+                (1, 3),
+                (1, 4),
+                (3, 4),
+                (1, 2),
+                (2, 3),
+                (4, 5),
+                (5, 6),
+                (5, 7),
+                (6, 7),
+            ],
+        )
+        .unwrap();
+        let mut t = Taxonomy::new("r");
+        let cm = t.add_child(0, "CM").unwrap();
+        let is = t.add_child(0, "IS").unwrap();
+        let hw = t.add_child(0, "HW").unwrap();
+        let ml = t.add_child(cm, "ML").unwrap();
+        let ai = t.add_child(cm, "AI").unwrap();
+        let dms = t.add_child(is, "DMS").unwrap();
+        let profiles = vec![
+            PTree::from_labels(&t, [dms, hw]).unwrap(),
+            PTree::from_labels(&t, [ml, ai]).unwrap(),
+            PTree::from_labels(&t, [ml, ai, is]).unwrap(),
+            PTree::from_labels(&t, [ml, ai, dms, hw]).unwrap(),
+            PTree::from_labels(&t, [dms, hw]).unwrap(),
+            PTree::from_labels(&t, [is, hw]).unwrap(),
+            PTree::from_labels(&t, [hw, cm]).unwrap(),
+            PTree::from_labels(&t, [is, hw]).unwrap(),
+        ];
+        (Arc::new(g), t, profiles)
+    }
+
+    fn sorted_ref(idx: &ShardedCpIndex, k: u32, q: VertexId, label: LabelId) -> Option<Vec<u32>> {
+        idx.get_ref(k, q, label).map(|s| {
+            let mut v = s.to_vec();
+            v.sort_unstable();
+            v
+        })
+    }
+
+    fn sorted_mono(idx: &CpTree, k: u32, q: VertexId, label: LabelId) -> Option<Vec<u32>> {
+        idx.get_ref(k, q, label).map(|s| {
+            let mut v = s.to_vec();
+            v.sort_unstable();
+            v
+        })
+    }
+
+    /// The full query surface of the sharded index equals the
+    /// monolithic build's.
+    fn assert_matches_monolithic(sharded: &ShardedCpIndex, mono: &CpTree, tax: &Taxonomy) {
+        assert_eq!(sharded.num_vertices(), mono.num_vertices());
+        assert_eq!(sharded.num_populated_labels(), mono.num_populated_labels());
+        for v in 0..sharded.num_vertices() as u32 {
+            assert_eq!(sharded.restore_ptree(tax, v), mono.restore_ptree(tax, v), "headMap {v}");
+        }
+        for label in 0..tax.len() as u32 {
+            assert_eq!(sharded.vertices_with_label(label), mono.vertices_with_label(label));
+            for q in 0..sharded.num_vertices() as u32 {
+                for k in 0..6 {
+                    assert_eq!(
+                        sorted_ref(sharded, k, q, label),
+                        sorted_mono(mono, k, q, label),
+                        "label={label} q={q} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn facade_is_cold_until_probed() {
+        let (g, t, profiles) = figure1();
+        let idx = ShardedCpIndex::build(g, &t, Arc::new(profiles.clone())).unwrap();
+        assert_eq!(idx.resident_shards(), 0, "facade build materializes nothing");
+        assert_eq!(idx.num_populated_labels(), 7);
+        // Membership and profile restoration answer from the facade
+        // alone — no shard is ever touched.
+        assert_eq!(idx.vertices_with_label(Taxonomy::ROOT).len(), 8);
+        assert_eq!(idx.restore_ptree(&t, 1), profiles[1]);
+        assert_eq!(idx.resident_shards(), 0);
+        // One probe materializes exactly one shard.
+        let hw = t.id_of("HW").unwrap();
+        assert!(idx.get_ref(1, 0, hw).is_some());
+        assert_eq!(idx.resident_shards(), 1);
+        assert!(idx.shard_if_resident(hw).is_some());
+        assert!(idx.shard_if_resident(Taxonomy::ROOT).is_none());
+    }
+
+    #[test]
+    fn lazy_probes_match_monolithic_everywhere() {
+        let (g, t, profiles) = figure1();
+        let mono = CpTree::build(&g, &t, &profiles).unwrap();
+        let sharded = ShardedCpIndex::build(g, &t, Arc::new(profiles)).unwrap();
+        assert_matches_monolithic(&sharded, &mono, &t);
+        // After the sweep everything is resident, and probing again is
+        // stable (same Arc).
+        assert_eq!(sharded.resident_shards(), sharded.num_populated_labels());
+        let hw = t.id_of("HW").unwrap();
+        let a = sharded.get_ref(1, 0, hw).unwrap().as_ptr();
+        let b = sharded.get_ref(1, 0, hw).unwrap().as_ptr();
+        assert_eq!(a, b, "repeated probes borrow the same arena");
+    }
+
+    #[test]
+    fn materialize_all_parallel_matches_sequential() {
+        let (g, t, profiles) = figure1();
+        let mono = CpTree::build(&g, &t, &profiles).unwrap();
+        let sharded = ShardedCpIndex::build(g, &t, Arc::new(profiles)).unwrap();
+        sharded.materialize_all(4);
+        assert_eq!(sharded.resident_shards(), sharded.num_populated_labels());
+        assert_matches_monolithic(&sharded, &mono, &t);
+        sharded.materialize_all(4); // idempotent
+        assert_eq!(sharded.resident_shards(), sharded.num_populated_labels());
+    }
+
+    #[test]
+    fn root_shard_reuses_shared_cores() {
+        let (g, t, profiles) = figure1();
+        let mono = CpTree::build(&g, &t, &profiles).unwrap();
+        let mut sharded = ShardedCpIndex::build(Arc::clone(&g), &t, Arc::new(profiles)).unwrap();
+        let cell = Arc::new(OnceLock::new());
+        cell.set(CoreDecomposition::new(&g)).unwrap();
+        sharded.set_global_cores(Arc::clone(&cell));
+        assert_eq!(
+            sorted_ref(&sharded, 2, 3, Taxonomy::ROOT),
+            sorted_mono(&mono, 2, 3, Taxonomy::ROOT)
+        );
+        assert_matches_monolithic(&sharded, &mono, &t);
+    }
+
+    #[test]
+    fn from_cp_tree_is_fully_resident_and_equal() {
+        let (g, t, profiles) = figure1();
+        let mono = CpTree::build(&g, &t, &profiles).unwrap();
+        let sharded =
+            ShardedCpIndex::from_cp_tree(mono.clone(), Arc::clone(&g), Arc::new(profiles));
+        assert_eq!(sharded.resident_shards(), sharded.num_populated_labels());
+        assert_matches_monolithic(&sharded, &mono, &t);
+    }
+
+    #[test]
+    fn patch_rebuilds_resident_and_invalidates_absent() {
+        let (g, t, profiles) = figure1();
+        let profiles = Arc::new(profiles);
+        let sharded = ShardedCpIndex::build(Arc::clone(&g), &t, Arc::clone(&profiles)).unwrap();
+        // Materialize only HW; leave every other shard cold.
+        let hw = t.id_of("HW").unwrap();
+        assert!(sharded.get_ref(1, 0, hw).is_some());
+        let mut patched = sharded.clone();
+        // Add A-E: touches r, IS, DMS, HW (their shared labels).
+        let mut dyn_g = DynamicGraph::from_graph(&g);
+        dyn_g.add_edge(0, 4).unwrap();
+        let g_after = Arc::new(dyn_g.to_graph());
+        let deltas = [GraphDelta::EdgeAdded { u: 0, v: 4 }];
+        let stats = patched.apply_batch(&g_after, &profiles, &deltas, None);
+        assert_eq!(stats.labels_touched, 4);
+        assert_eq!(
+            stats.labels_rebuilt + stats.labels_skipped,
+            1,
+            "only the resident HW shard was revisited"
+        );
+        assert_eq!(stats.labels_invalidated, 3, "absent shards invalidated, never built");
+        // Cold shards now materialize against the *new* graph; the
+        // whole surface equals a monolithic rebuild.
+        let fresh = CpTree::build(&g_after, &t, &profiles).unwrap();
+        assert_matches_monolithic(&patched, &fresh, &t);
+        // The original (pre-patch clone source) still answers pre-batch
+        // state: resident shard Arcs were shared, not mutated.
+        let before = CpTree::build(&g, &t, &profiles).unwrap();
+        assert_eq!(sorted_ref(&sharded, 1, 0, hw), sorted_mono(&before, 1, 0, hw));
+    }
+
+    #[test]
+    fn profile_patch_updates_membership_without_building_cold_shards() {
+        let (g, t, mut profiles) = figure1();
+        let sharded =
+            ShardedCpIndex::build(Arc::clone(&g), &t, Arc::new(profiles.clone())).unwrap();
+        let mut patched = sharded.clone();
+        let dms = t.id_of("DMS").unwrap();
+        profiles[6] = PTree::from_labels(&t, [dms]).unwrap();
+        let profiles = Arc::new(profiles);
+        let stats =
+            patched.apply_batch(&g, &profiles, &[GraphDelta::ProfileChanged { v: 6 }], None);
+        assert!(stats.labels_touched > 0);
+        assert_eq!(stats.labels_rebuilt, 0, "nothing was resident");
+        assert_eq!(stats.labels_invalidated, stats.labels_touched);
+        assert_eq!(patched.resident_shards(), 0);
+        assert!(patched.vertices_with_label(dms).contains(&6));
+        let fresh = CpTree::build(&g, &t, &profiles).unwrap();
+        assert_matches_monolithic(&patched, &fresh, &t);
+    }
+
+    #[test]
+    fn randomized_churn_with_interleaved_materialization() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x5a4d);
+        for trial in 0..3 {
+            let labels = 9 + trial;
+            let mut tax = Taxonomy::new("r");
+            let mut ids = vec![Taxonomy::ROOT];
+            for i in 1..labels {
+                let parent = ids[rng.gen_range(0..ids.len())];
+                ids.push(tax.add_child(parent, &format!("n{i}")).unwrap());
+            }
+            let n = 16 + trial * 5;
+            let mut edges = Vec::new();
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    if rng.gen_bool(0.2) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges).unwrap();
+            let mut profiles: Vec<PTree> = (0..n)
+                .map(|_| {
+                    let count = rng.gen_range(0..=4usize);
+                    let picks: Vec<u32> =
+                        (0..count).map(|_| ids[rng.gen_range(0..ids.len())]).collect();
+                    PTree::from_labels(&tax, picks).unwrap()
+                })
+                .collect();
+            let mut dyn_g = DynamicGraph::from_graph(&g);
+            let mut idx =
+                ShardedCpIndex::build(Arc::new(g), &tax, Arc::new(profiles.clone())).unwrap();
+            for step in 0..40 {
+                // Occasionally probe a random (possibly cold) shard —
+                // interleaving materialization with churn.
+                if step % 3 == 0 {
+                    let label = ids[rng.gen_range(0..ids.len())];
+                    let q = rng.gen_range(0..n as u32);
+                    let _ = idx.get_ref(rng.gen_range(0..3), q, label);
+                }
+                let mut deltas = Vec::new();
+                let mut reprofiled: Vec<u32> = Vec::new();
+                for _ in 0..rng.gen_range(1..4) {
+                    match rng.gen_range(0..3) {
+                        0 => {
+                            let a = rng.gen_range(0..n as u32);
+                            let b = rng.gen_range(0..n as u32);
+                            if a != b && dyn_g.add_edge(a, b).unwrap() {
+                                deltas.push(GraphDelta::EdgeAdded { u: a, v: b });
+                            }
+                        }
+                        1 => {
+                            let a = rng.gen_range(0..n as u32);
+                            let b = rng.gen_range(0..n as u32);
+                            if a != b && dyn_g.remove_edge(a, b).unwrap() {
+                                deltas.push(GraphDelta::EdgeRemoved { u: a, v: b });
+                            }
+                        }
+                        _ => {
+                            let v = rng.gen_range(0..n as u32);
+                            if reprofiled.contains(&v) {
+                                continue;
+                            }
+                            let count = rng.gen_range(0..=4usize);
+                            let picks: Vec<u32> =
+                                (0..count).map(|_| ids[rng.gen_range(0..ids.len())]).collect();
+                            let p = PTree::from_labels(&tax, picks).unwrap();
+                            if p != profiles[v as usize] {
+                                profiles[v as usize] = p;
+                                reprofiled.push(v);
+                                deltas.push(GraphDelta::ProfileChanged { v });
+                            }
+                        }
+                    }
+                }
+                if deltas.is_empty() {
+                    continue;
+                }
+                let g_after = Arc::new(dyn_g.to_graph());
+                idx.apply_batch(&g_after, &Arc::new(profiles.clone()), &deltas, None);
+                let fresh = CpTree::build(&g_after, &tax, &profiles).unwrap();
+                assert_matches_monolithic(&idx, &fresh, &tax);
+            }
+        }
+    }
+
+    /// A `ShardSource` is advisory: valid payloads are adopted, stale
+    /// or lying ones are rebuilt from the graph.
+    #[test]
+    fn shard_source_is_cross_checked() {
+        #[derive(Debug)]
+        struct FakeSource {
+            good: LabelId,
+            good_cl: ClTree,
+            lying: LabelId,
+            lying_cl: ClTree,
+        }
+        impl ShardSource for FakeSource {
+            fn load_shard(&self, label: LabelId) -> Option<ClTree> {
+                if label == self.good {
+                    Some(self.good_cl.clone())
+                } else if label == self.lying {
+                    Some(self.lying_cl.clone())
+                } else {
+                    None
+                }
+            }
+        }
+        let (g, t, profiles) = figure1();
+        let profiles = Arc::new(profiles);
+        let mono = CpTree::build(&g, &t, &profiles).unwrap();
+        let facade = ShardedCpIndex::build(Arc::clone(&g), &t, Arc::clone(&profiles)).unwrap();
+        let hw = t.id_of("HW").unwrap();
+        let dms = t.id_of("DMS").unwrap();
+        let source = FakeSource {
+            good: hw,
+            good_cl: mono.node(hw).unwrap().cl.clone(),
+            lying: dms,
+            // Wrong member set for DMS: the CL-tree of HW's members.
+            lying_cl: mono.node(hw).unwrap().cl.clone(),
+        };
+        let idx = ShardedCpIndex::from_loaded(
+            Arc::clone(&g),
+            Arc::clone(&profiles),
+            facade.members_of.iter().map(|m| m.to_vec()).collect(),
+            Vec::new(),
+            Some(Arc::new(source)),
+        )
+        .unwrap();
+        // Both shards answer correctly: HW adopted from the source,
+        // DMS rejected (member mismatch) and rebuilt from the graph.
+        assert_matches_monolithic(&idx, &mono, &t);
+    }
+
+    #[test]
+    fn from_loaded_rejects_malformed_parts() {
+        let (g, t, profiles) = figure1();
+        let profiles = Arc::new(profiles);
+        let mono = CpTree::build(&g, &t, &profiles).unwrap();
+        let facade = ShardedCpIndex::build(Arc::clone(&g), &t, Arc::clone(&profiles)).unwrap();
+        let members: Vec<Vec<VertexId>> = facade.members_of.iter().map(|m| m.to_vec()).collect();
+        let corrupt = |profiles: Arc<Vec<PTree>>,
+                       members: Vec<Vec<VertexId>>,
+                       resident: Vec<(LabelId, ClTree)>| {
+            assert!(matches!(
+                ShardedCpIndex::from_loaded(Arc::clone(&g), profiles, members, resident, None),
+                Err(IndexError::CorruptIndex { .. })
+            ));
+        };
+        // Short profile vector.
+        corrupt(Arc::new(profiles[..7].to_vec()), members.clone(), Vec::new());
+        // Unsorted members.
+        let mut bad = members.clone();
+        bad[0].swap(0, 1);
+        corrupt(Arc::clone(&profiles), bad, Vec::new());
+        // Out-of-range member.
+        let mut bad = members.clone();
+        bad[0].push(99);
+        corrupt(Arc::clone(&profiles), bad, Vec::new());
+        // Resident shard whose members disagree with the table.
+        let hw = t.id_of("HW").unwrap();
+        let dms = t.id_of("DMS").unwrap();
+        corrupt(
+            Arc::clone(&profiles),
+            members.clone(),
+            vec![(dms, mono.node(hw).unwrap().cl.clone())],
+        );
+        // Out-of-order resident labels (dms > hw, so hw-after-dms is
+        // a descending pair).
+        corrupt(
+            Arc::clone(&profiles),
+            members.clone(),
+            vec![
+                (dms, mono.node(dms).unwrap().cl.clone()),
+                (hw, mono.node(hw).unwrap().cl.clone()),
+            ],
+        );
+    }
+}

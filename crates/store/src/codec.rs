@@ -14,14 +14,29 @@
 //! | 3 | `TAXONOMY` | parent array + length-prefixed label names |
 //! | 4 | `PROFILES` | per-vertex node counts + flat label array |
 //! | 5 | `CORES` | per-vertex core numbers (optional section) |
-//! | 6 | `INDEX` | headMap + per-label CL-tree flat arenas (optional) |
+//! | 6 | `INDEX` | the sharded index (optional); layout is versioned |
+//!
+//! ## The INDEX section, v1 vs v2
+//!
+//! * **v1** (read-only): headMap + every populated label's CL-tree,
+//!   back to back — monolithic, all-or-nothing.
+//! * **v2** (written): no head map (the `PROFILES` section already
+//!   carries every `T(v)` and the sharded runtime shares it by `Arc`)
+//!   — just the full per-label **member table**, then a **shard
+//!   directory** (label, offset, length into a trailing payload blob)
+//!   holding only the shards that were *resident* when the engine
+//!   saved. A partial load maps the directory eagerly and
+//!   decodes individual shard payloads lazily on first touch
+//!   ([`LazyShardStore`]); shards absent from the file (or invalidated
+//!   later) are rebuilt from the graph on demand.
 
 use crate::format::{
     Result, SectionReader, SectionWriter, SnapshotFile, SnapshotSlices, StoreError,
 };
 use pcs_graph::{Graph, VertexId};
-use pcs_index::{ClTreeFlat, CpNodeFlat, CpTree, CpTreeFlat};
-use pcs_ptree::{PTree, ProfileLoader, Taxonomy};
+use pcs_index::{ClTree, ClTreeFlat, CpTree, ShardSource, ShardedCpIndex};
+use pcs_ptree::{LabelId, PTree, ProfileLoader, Taxonomy};
+use std::sync::Arc;
 
 /// Well-known section ids (see the module table).
 pub mod section {
@@ -35,8 +50,108 @@ pub mod section {
     pub const PROFILES: u32 = 4;
     /// Core numbers (optional).
     pub const CORES: u32 = 5;
-    /// The CP-tree index (optional).
+    /// The sharded CP-tree index (optional).
     pub const INDEX: u32 = 6;
+}
+
+/// How [`decode_snapshot_mode`] treats the `INDEX` section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexDecode {
+    /// Leave the section untouched (`contents.index = None`): replicas
+    /// that drop the index anyway skip the dominant decode cost.
+    Skip,
+    /// Decode and structurally validate every shard payload up front.
+    Eager,
+    /// Map the shard directory eagerly but defer each shard payload's
+    /// decode to its first materialization (v2 files only; v1 files
+    /// have no directory and decode eagerly regardless).
+    Partial,
+}
+
+/// The decoded `INDEX` section: the facade member table plus the
+/// shards in whichever residency the decode mode produced. (The v2
+/// wire format carries no head map — `T(v)` restoration reads the
+/// `PROFILES` section's trees, which the engine shares with the index
+/// by `Arc`; v1 files still carry one and it is pin-checked against
+/// the profiles, then dropped.)
+#[derive(Debug)]
+pub struct DecodedIndex {
+    /// Per label, the sorted vertices carrying it (empty ⇔ unpopulated).
+    pub members_of: Vec<Vec<VertexId>>,
+    /// The shard payloads.
+    pub shards: DecodedShards,
+}
+
+/// Shard payloads in decoded or lazily decodable form.
+pub enum DecodedShards {
+    /// Every persisted shard, decoded and validated (v1 files, and v2
+    /// under [`IndexDecode::Eager`]). Ascending label order.
+    Resident(Vec<(LabelId, ClTree)>),
+    /// The v2 partial-load handle: payload bytes retained, decoded per
+    /// shard on first touch.
+    Lazy(Arc<LazyShardStore>),
+}
+
+impl std::fmt::Debug for DecodedShards {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodedShards::Resident(v) => write!(f, "Resident({} shards)", v.len()),
+            DecodedShards::Lazy(store) => write!(f, "Lazy({} shards)", store.entries.len()),
+        }
+    }
+}
+
+/// The retained shard payload region of a v2 snapshot plus its
+/// directory: a [`ShardSource`] that decodes one shard per
+/// [`load_shard`](ShardSource::load_shard) call.
+///
+/// The container already checksummed these bytes at load, so random
+/// damage cannot reach this point; a *forged* (re-checksummed) payload
+/// that fails structural validation here simply yields `None`, and the
+/// owning [`ShardedCpIndex`] rebuilds that shard from the graph — a bad
+/// payload can cost time, never correctness.
+pub struct LazyShardStore {
+    blob: Vec<u8>,
+    /// `(label, offset, len)` into `blob`, ascending labels.
+    entries: Vec<(LabelId, usize, usize)>,
+    narrow: bool,
+}
+
+impl LazyShardStore {
+    /// Labels with a persisted payload, in ascending order.
+    pub fn labels(&self) -> impl Iterator<Item = LabelId> + '_ {
+        self.entries.iter().map(|&(l, _, _)| l)
+    }
+
+    /// Decodes the payload of `label`, if persisted. Structural
+    /// failures surface as a typed error (callers going through
+    /// [`ShardSource`] treat them as "not available").
+    pub fn decode(&self, label: LabelId) -> Result<Option<ClTree>> {
+        let Ok(i) = self.entries.binary_search_by_key(&label, |&(l, _, _)| l) else {
+            return Ok(None);
+        };
+        let (_, off, len) = self.entries[i];
+        let mut r = SectionReader::new(&self.blob[off..off + len], section::INDEX);
+        let flat = decode_cl(&mut r, self.narrow)?;
+        r.finish()?;
+        let cl = ClTree::from_flat(flat).map_err(|e| corrupt(section::INDEX, e.to_string()))?;
+        Ok(Some(cl))
+    }
+}
+
+impl ShardSource for LazyShardStore {
+    fn load_shard(&self, label: LabelId) -> Option<ClTree> {
+        self.decode(label).ok().flatten()
+    }
+}
+
+impl std::fmt::Debug for LazyShardStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazyShardStore")
+            .field("shards", &self.entries.len())
+            .field("blob_bytes", &self.blob.len())
+            .finish()
+    }
 }
 
 /// A fully decoded snapshot: everything an engine needs to warm-start.
@@ -52,21 +167,47 @@ pub struct SnapshotContents {
     pub profiles: Vec<PTree>,
     /// Core numbers, when the source snapshot had them computed.
     pub cores: Option<Vec<u32>>,
-    /// The CP-tree index, when the source snapshot had one built.
-    pub index: Option<CpTree>,
+    /// The sharded index parts, when the source snapshot had a facade
+    /// built (resident shards only; the rest rebuild on demand).
+    pub index: Option<DecodedIndex>,
 }
 
 fn corrupt(section: u32, detail: impl Into<String>) -> StoreError {
     StoreError::Corrupt { section, detail: detail.into() }
 }
 
-/// Serializes one engine snapshot into a [`SnapshotFile`].
+/// Serializes one engine snapshot into a (current-version)
+/// [`SnapshotFile`].
 ///
 /// `cores` and `index` are optional: pass whatever the source snapshot
-/// has already materialized. The writer guarantees the sections agree
-/// with each other — [`decode_snapshot`] re-checks the cheap
-/// consistency subset on the way back in.
+/// has already materialized. Only the index's **resident** shards are
+/// persisted — the member table covers every populated label, so a
+/// loader can rebuild the rest on demand. The writer guarantees the
+/// sections agree with each other — [`decode_snapshot`] re-checks the
+/// cheap consistency subset on the way back in.
 pub fn encode_snapshot(
+    epoch: u64,
+    graph: &Graph,
+    tax: &Taxonomy,
+    profiles: &[PTree],
+    cores: Option<&[u32]>,
+    index: Option<&ShardedCpIndex>,
+) -> SnapshotFile {
+    let mut file = SnapshotFile::new();
+    let narrow = narrow_width(graph, tax);
+    encode_common_sections(&mut file, epoch, graph, tax, profiles, cores, narrow);
+    if let Some(idx) = index {
+        file.push_section(section::INDEX, encode_index_v2(idx, narrow));
+    }
+    file
+}
+
+/// The **legacy v1 writer**, kept so the v1→v2 compatibility path stays
+/// testable without committed binary fixtures (and for tooling that
+/// must produce files an old reader accepts). Writes a version-1
+/// container with the monolithic v1 `INDEX` layout. Production code
+/// writes [`encode_snapshot`]; nothing in the serving path calls this.
+pub fn encode_snapshot_v1(
     epoch: u64,
     graph: &Graph,
     tax: &Taxonomy,
@@ -74,13 +215,32 @@ pub fn encode_snapshot(
     cores: Option<&[u32]>,
     index: Option<&CpTree>,
 ) -> SnapshotFile {
-    let mut file = SnapshotFile::new();
-    // Narrow (two-byte) id width whenever every id-like value fits:
-    // vertex ids, label ids, and everything bounded by them (core
-    // levels, arena offsets, CL-node ids). `u16::MAX` stays reserved
-    // as the widened `u32::MAX` sentinel.
-    let narrow = graph.num_vertices() < u16::MAX as usize && tax.len() < u16::MAX as usize;
+    let mut file = SnapshotFile::new_versioned(1);
+    let narrow = narrow_width(graph, tax);
+    encode_common_sections(&mut file, epoch, graph, tax, profiles, cores, narrow);
+    if let Some(idx) = index {
+        file.push_section(section::INDEX, encode_index_v1(idx, tax.len(), narrow));
+    }
+    file
+}
 
+/// Narrow (two-byte) id width whenever every id-like value fits:
+/// vertex ids, label ids, and everything bounded by them (core levels,
+/// arena offsets, CL-node ids). `u16::MAX` stays reserved as the
+/// widened `u32::MAX` sentinel.
+fn narrow_width(graph: &Graph, tax: &Taxonomy) -> bool {
+    graph.num_vertices() < u16::MAX as usize && tax.len() < u16::MAX as usize
+}
+
+fn encode_common_sections(
+    file: &mut SnapshotFile,
+    epoch: u64,
+    graph: &Graph,
+    tax: &Taxonomy,
+    profiles: &[PTree],
+    cores: Option<&[u32]>,
+    narrow: bool,
+) {
     let mut meta = SectionWriter::new();
     meta.put_u64(epoch);
     meta.put_u64(graph.num_vertices() as u64);
@@ -123,17 +283,49 @@ pub fn encode_snapshot(
         c.put_id_slice(core, narrow);
         file.push_section(section::CORES, c.finish());
     }
-
-    if let Some(idx) = index {
-        file.push_section(section::INDEX, encode_index(idx, tax.len(), narrow));
-    }
-    file
 }
 
-/// Serializes the index one label at a time: only a single label's
-/// CL-tree is flattened at any moment, so saving never holds a second
-/// copy of the whole index in memory.
-fn encode_index(idx: &CpTree, num_labels: usize, narrow: bool) -> Vec<u8> {
+/// One CL-tree's flat arrays (the per-shard payload, shared by both
+/// index layouts).
+fn encode_cl(w: &mut SectionWriter, cl: &ClTreeFlat, narrow: bool) {
+    w.put_u64(cl.core.len() as u64);
+    w.put_id_slice(&cl.core, narrow);
+    w.put_id_slice(&cl.parent, narrow);
+    w.put_id_slice(&cl.sub_off, narrow);
+    w.put_id_slice(&cl.sub_len, narrow);
+    w.put_id_slice(&cl.own_len, narrow);
+    w.put_u64(cl.arena.len() as u64);
+    w.put_id_slice(&cl.arena, narrow);
+    w.put_id_slice(&cl.members, narrow);
+    w.put_id_slice(&cl.node_of, narrow);
+    w.put_id_slice(&cl.arena_pos, narrow);
+}
+
+fn decode_cl(r: &mut SectionReader<'_>, narrow: bool) -> Result<ClTreeFlat> {
+    let cl_nodes = r.usize64()?;
+    let cl = ClTreeFlat {
+        core: r.id_vec(cl_nodes, narrow)?,
+        parent: r.id_vec(cl_nodes, narrow)?,
+        sub_off: r.id_vec(cl_nodes, narrow)?,
+        sub_len: r.id_vec(cl_nodes, narrow)?,
+        own_len: r.id_vec(cl_nodes, narrow)?,
+        arena: Vec::new(),
+        members: Vec::new(),
+        node_of: Vec::new(),
+        arena_pos: Vec::new(),
+    };
+    let members = r.usize64()?;
+    Ok(ClTreeFlat {
+        arena: r.id_vec(members, narrow)?,
+        members: r.id_vec(members, narrow)?,
+        node_of: r.id_vec(members, narrow)?,
+        arena_pos: r.id_vec(members, narrow)?,
+        ..cl
+    })
+}
+
+/// v1 `INDEX`: headMap, then every populated label's CL-tree inline.
+fn encode_index_v1(idx: &CpTree, num_labels: usize, narrow: bool) -> Vec<u8> {
     let n = idx.num_vertices();
     let mut w = SectionWriter::new();
     w.put_u64(n as u64);
@@ -152,19 +344,52 @@ fn encode_index(idx: &CpTree, num_labels: usize, narrow: bool) -> Vec<u8> {
             continue;
         };
         w.put_u32(node.label);
-        let cl = node.cl.to_flat();
-        w.put_u64(cl.core.len() as u64);
-        w.put_id_slice(&cl.core, narrow);
-        w.put_id_slice(&cl.parent, narrow);
-        w.put_id_slice(&cl.sub_off, narrow);
-        w.put_id_slice(&cl.sub_len, narrow);
-        w.put_id_slice(&cl.own_len, narrow);
-        w.put_u64(cl.arena.len() as u64);
-        w.put_id_slice(&cl.arena, narrow);
-        w.put_id_slice(&cl.members, narrow);
-        w.put_id_slice(&cl.node_of, narrow);
-        w.put_id_slice(&cl.arena_pos, narrow);
+        encode_cl(&mut w, &node.cl.to_flat(), narrow);
     }
+    w.finish()
+}
+
+/// v2 `INDEX`: the full member table, then a shard directory over a
+/// trailing blob holding only the resident shards' payloads (no head
+/// map — `T(v)` lives in the `PROFILES` section). Serialized one
+/// shard at a time — saving never holds a second copy of the whole
+/// index in memory.
+fn encode_index_v2(idx: &ShardedCpIndex, narrow: bool) -> Vec<u8> {
+    let n = idx.num_vertices();
+    let num_labels = idx.num_labels();
+    let mut w = SectionWriter::new();
+    w.put_u64(n as u64);
+    w.put_u64(num_labels as u64);
+    for label in 0..num_labels as LabelId {
+        w.put_u32(idx.vertices_with_label(label).len() as u32);
+    }
+    let total: usize = (0..num_labels as LabelId).map(|l| idx.vertices_with_label(l).len()).sum();
+    w.put_u64(total as u64);
+    for label in 0..num_labels as LabelId {
+        w.put_id_slice(idx.vertices_with_label(label), narrow);
+    }
+    // Directory + blob: encode each resident shard once, recording its
+    // (offset, len) run inside the blob.
+    let mut blob = SectionWriter::new();
+    let mut directory: Vec<(LabelId, u64, u64)> = Vec::new();
+    let mut at = 0u64;
+    for shard in idx.resident_iter() {
+        let mut sw = SectionWriter::new();
+        encode_cl(&mut sw, &shard.cl.to_flat(), narrow);
+        let payload = sw.finish();
+        directory.push((shard.label, at, payload.len() as u64));
+        at += payload.len() as u64;
+        blob.put_bytes(&payload);
+    }
+    let blob = blob.finish();
+    w.put_u64(directory.len() as u64);
+    for (label, off, len) in directory {
+        w.put_u32(label);
+        w.put_u64(off);
+        w.put_u64(len);
+    }
+    w.put_u64(blob.len() as u64);
+    w.put_bytes(&blob);
     w.finish()
 }
 
@@ -173,11 +398,18 @@ fn encode_index(idx: &CpTree, num_labels: usize, narrow: bool) -> Vec<u8> {
 pub trait SectionSource {
     /// The payload of section `id`, if present.
     fn section(&self, id: u32) -> Option<&[u8]>;
+
+    /// The container format version (selects the `INDEX` layout).
+    fn version(&self) -> u32;
 }
 
 impl SectionSource for SnapshotFile {
     fn section(&self, id: u32) -> Option<&[u8]> {
         SnapshotFile::section(self, id)
+    }
+
+    fn version(&self) -> u32 {
+        SnapshotFile::version(self)
     }
 }
 
@@ -185,12 +417,16 @@ impl SectionSource for SnapshotSlices<'_> {
     fn section(&self, id: u32) -> Option<&[u8]> {
         SnapshotSlices::section(self, id)
     }
+
+    fn version(&self) -> u32 {
+        SnapshotSlices::version(self)
+    }
 }
 
 /// One-call warm-start path: container-validate `bytes` without
 /// copying payloads, then [`decode_snapshot`].
 pub fn decode_snapshot_bytes(bytes: &[u8]) -> Result<SnapshotContents> {
-    decode_snapshot_bytes_with(bytes, true)
+    decode_snapshot_bytes_mode(bytes, IndexDecode::Eager)
 }
 
 /// [`decode_snapshot_bytes`] with the index decode made optional:
@@ -199,7 +435,16 @@ pub fn decode_snapshot_bytes(bytes: &[u8]) -> Result<SnapshotContents> {
 /// section — the dominant share of a warm snapshot — entirely. The
 /// container still checksums every section either way.
 pub fn decode_snapshot_bytes_with(bytes: &[u8], want_index: bool) -> Result<SnapshotContents> {
-    decode_snapshot_with(&SnapshotSlices::from_bytes(bytes)?, want_index)
+    decode_snapshot_bytes_mode(
+        bytes,
+        if want_index { IndexDecode::Eager } else { IndexDecode::Skip },
+    )
+}
+
+/// [`decode_snapshot_bytes`] with an explicit [`IndexDecode`] mode
+/// (the engine's lazy load path uses [`IndexDecode::Partial`]).
+pub fn decode_snapshot_bytes_mode(bytes: &[u8], mode: IndexDecode) -> Result<SnapshotContents> {
+    decode_snapshot_mode(&SnapshotSlices::from_bytes(bytes)?, mode)
 }
 
 /// Decodes (and cross-validates) a snapshot file back into engine
@@ -213,7 +458,7 @@ pub fn decode_snapshot_bytes_with(bytes: &[u8], want_index: bool) -> Result<Snap
 /// exactly the profile section's P-trees). Anything that fails maps to
 /// a typed [`StoreError`] — a decoded snapshot is safe to serve from.
 pub fn decode_snapshot(file: &impl SectionSource) -> Result<SnapshotContents> {
-    decode_snapshot_with(file, true)
+    decode_snapshot_mode(file, IndexDecode::Eager)
 }
 
 /// [`decode_snapshot`] with the index decode made optional (see
@@ -222,6 +467,14 @@ pub fn decode_snapshot(file: &impl SectionSource) -> Result<SnapshotContents> {
 pub fn decode_snapshot_with(
     file: &impl SectionSource,
     want_index: bool,
+) -> Result<SnapshotContents> {
+    decode_snapshot_mode(file, if want_index { IndexDecode::Eager } else { IndexDecode::Skip })
+}
+
+/// [`decode_snapshot`] with an explicit [`IndexDecode`] mode.
+pub fn decode_snapshot_mode(
+    file: &impl SectionSource,
+    mode: IndexDecode,
 ) -> Result<SnapshotContents> {
     let require = |id: u32| file.section(id).ok_or(StoreError::MissingSection { section: id });
 
@@ -324,107 +577,279 @@ pub fn decode_snapshot_with(
         }
     };
 
-    let index = match file.section(section::INDEX).filter(|_| want_index) {
-        None => None,
-        Some(payload) => {
-            let flat = decode_index(payload, n, tax.len(), narrow)?;
-            let idx =
-                CpTree::from_flat(flat).map_err(|e| corrupt(section::INDEX, e.to_string()))?;
-            // The headMap must restore exactly the profiles section's
-            // P-trees — the cross-section pin that an index actually
-            // belongs to this snapshot. Restoration is upward closure,
-            // so `closure(head(v)) == T(v)` iff every head is in T(v)
-            // (closure ⊆ T(v) follows, T(v) being ancestor-closed) and
-            // the closure's size equals |T(v)|. Counted with one
-            // reusable stamp array: no per-vertex allocation or sort.
-            let mut stamp = vec![u32::MAX; tax.len()];
-            for v in 0..n as VertexId {
-                let profile = &profiles[v as usize];
-                let heads = idx.head(v);
-                let mut closure_size = 0usize;
-                for &h in heads {
-                    if !profile.contains(h) {
-                        return Err(corrupt(
-                            section::INDEX,
-                            format!("headMap of vertex {v} escapes its profile"),
-                        ));
-                    }
-                    let mut cur = h;
-                    while stamp[cur as usize] != v {
-                        stamp[cur as usize] = v;
-                        closure_size += 1;
-                        if cur == Taxonomy::ROOT {
-                            break;
-                        }
-                        cur = tax.parent(cur);
-                    }
-                }
-                if closure_size != profile.len() {
-                    return Err(corrupt(
-                        section::INDEX,
-                        format!("headMap of vertex {v} does not restore its profile"),
-                    ));
-                }
-            }
-            Some(idx)
-        }
+    let index = match file.section(section::INDEX) {
+        Some(payload) if mode != IndexDecode::Skip => Some(match file.version() {
+            1 => decode_index_v1(payload, n, &tax, &profiles, narrow)?,
+            _ => decode_index_v2(payload, n, tax.len(), &profiles, narrow, mode)?,
+        }),
+        _ => None,
     };
 
     Ok(SnapshotContents { epoch, graph, tax, profiles, cores, index })
 }
 
-fn decode_index(payload: &[u8], n: usize, num_labels: usize, narrow: bool) -> Result<CpTreeFlat> {
+/// Shared head-map block of both index layouts.
+fn decode_head_map(
+    r: &mut SectionReader<'_>,
+    n: usize,
+    num_labels: usize,
+    narrow: bool,
+) -> Result<Vec<Vec<LabelId>>> {
+    let head_lens = r.u32_vec(n)?;
+    let total = r.usize64()?;
+    if head_lens.iter().map(|&l| l as u64).sum::<u64>() != total as u64 {
+        return Err(corrupt(section::INDEX, "headMap lengths disagree with the total"));
+    }
+    let flat_heads = r.id_vec(total, narrow)?;
+    if flat_heads.iter().any(|&l| l as usize >= num_labels) {
+        return Err(corrupt(section::INDEX, "headMap references a missing label"));
+    }
+    let mut head_map = Vec::with_capacity(n);
+    let mut at = 0usize;
+    for &len in &head_lens {
+        head_map.push(flat_heads[at..at + len as usize].to_vec());
+        at += len as usize;
+    }
+    Ok(head_map)
+}
+
+/// Validates one decoded shard payload against the member table and
+/// structural invariants.
+fn validated_shard(
+    flat: ClTreeFlat,
+    label: LabelId,
+    members: &[VertexId],
+    n: usize,
+) -> Result<ClTree> {
+    let cl = ClTree::from_flat(flat).map_err(|e| corrupt(section::INDEX, e.to_string()))?;
+    if cl.members().is_empty() {
+        return Err(corrupt(section::INDEX, format!("label {label} is populated but empty")));
+    }
+    if cl.members().last().is_some_and(|&v| v as usize >= n) {
+        return Err(corrupt(
+            section::INDEX,
+            format!("label {label} indexes out-of-range vertices"),
+        ));
+    }
+    if cl.members() != members {
+        return Err(corrupt(
+            section::INDEX,
+            format!("shard {label} member list disagrees with the member table"),
+        ));
+    }
+    Ok(cl)
+}
+
+/// The v1 monolithic layout: every populated label's CL-tree, decoded
+/// eagerly; the member table is derived from the shards themselves.
+/// The wire head map is pin-checked against the profile section (the
+/// v1 proof that the index belongs to this snapshot) and then dropped
+/// — the sharded runtime restores `T(v)` from the profiles directly.
+fn decode_index_v1(
+    payload: &[u8],
+    n: usize,
+    tax: &Taxonomy,
+    profiles: &[PTree],
+    narrow: bool,
+) -> Result<DecodedIndex> {
+    let num_labels = tax.len();
     let mut r = SectionReader::new(payload, section::INDEX);
     let idx_n = r.usize64()?;
     let idx_labels = r.usize64()?;
     if idx_n != n || idx_labels != num_labels {
         return Err(corrupt(section::INDEX, "index dimensions disagree with graph/taxonomy"));
     }
-    let head_lens = r.u32_vec(idx_n)?;
-    let total = r.usize64()?;
-    if head_lens.iter().map(|&l| l as u64).sum::<u64>() != total as u64 {
-        return Err(corrupt(section::INDEX, "headMap lengths disagree with the total"));
+    let head_map = decode_head_map(&mut r, n, num_labels, narrow)?;
+    // The headMap must restore exactly the profiles section's
+    // P-trees. Restoration is upward closure, so
+    // `closure(head(v)) == T(v)` iff every head is in T(v) (closure ⊆
+    // T(v) follows, T(v) being ancestor-closed) and the closure's size
+    // equals |T(v)|. Counted with one reusable stamp array: no
+    // per-vertex allocation or sort.
+    let mut stamp = vec![u32::MAX; num_labels];
+    for v in 0..n as VertexId {
+        let profile = &profiles[v as usize];
+        let heads = &head_map[v as usize];
+        let mut closure_size = 0usize;
+        for &h in heads {
+            if !profile.contains(h) {
+                return Err(corrupt(
+                    section::INDEX,
+                    format!("headMap of vertex {v} escapes its profile"),
+                ));
+            }
+            let mut cur = h;
+            while stamp[cur as usize] != v {
+                stamp[cur as usize] = v;
+                closure_size += 1;
+                if cur == Taxonomy::ROOT {
+                    break;
+                }
+                cur = tax.parent(cur);
+            }
+        }
+        if closure_size != profile.len() {
+            return Err(corrupt(
+                section::INDEX,
+                format!("headMap of vertex {v} does not restore its profile"),
+            ));
+        }
     }
-    let flat_heads = r.id_vec(total, narrow)?;
-    let mut head_map = Vec::with_capacity(idx_n);
-    let mut at = 0usize;
-    for &len in &head_lens {
-        head_map.push(flat_heads[at..at + len as usize].to_vec());
-        at += len as usize;
-    }
+    drop(head_map);
     let node_count = r.usize64()?;
-    let mut nodes = Vec::with_capacity(node_count.min(idx_labels));
+    let mut members_of: Vec<Vec<VertexId>> = vec![Vec::new(); num_labels];
+    let mut shards: Vec<(LabelId, ClTree)> = Vec::with_capacity(node_count.min(num_labels));
+    let mut prev: Option<LabelId> = None;
     for _ in 0..node_count {
         let label = r.u32()?;
-        let cl_nodes = r.usize64()?;
-        let cl = ClTreeFlat {
-            core: r.id_vec(cl_nodes, narrow)?,
-            parent: r.id_vec(cl_nodes, narrow)?,
-            sub_off: r.id_vec(cl_nodes, narrow)?,
-            sub_len: r.id_vec(cl_nodes, narrow)?,
-            own_len: r.id_vec(cl_nodes, narrow)?,
-            arena: Vec::new(),
-            members: Vec::new(),
-            node_of: Vec::new(),
-            arena_pos: Vec::new(),
-        };
-        let members = r.usize64()?;
-        let cl = ClTreeFlat {
-            arena: r.id_vec(members, narrow)?,
-            members: r.id_vec(members, narrow)?,
-            node_of: r.id_vec(members, narrow)?,
-            arena_pos: r.id_vec(members, narrow)?,
-            ..cl
-        };
-        nodes.push(CpNodeFlat { label, cl });
+        if label as usize >= num_labels {
+            return Err(corrupt(section::INDEX, format!("populated label {label} out of range")));
+        }
+        if prev.is_some_and(|p| p >= label) {
+            return Err(corrupt(section::INDEX, "populated labels not strictly ascending"));
+        }
+        prev = Some(label);
+        let flat = decode_cl(&mut r, narrow)?;
+        let members = flat.members.clone();
+        let cl = validated_shard(flat, label, &members, n)?;
+        members_of[label as usize] = members;
+        shards.push((label, cl));
     }
     r.finish()?;
-    Ok(CpTreeFlat { n: idx_n, num_labels: idx_labels, nodes, head_map })
+    Ok(DecodedIndex { members_of, shards: DecodedShards::Resident(shards) })
+}
+
+/// The v2 sharded layout: member table + shard directory + blob. The
+/// directory is always validated eagerly; payload decode is eager or
+/// deferred per `mode`.
+fn decode_index_v2(
+    payload: &[u8],
+    n: usize,
+    num_labels: usize,
+    profiles: &[PTree],
+    narrow: bool,
+    mode: IndexDecode,
+) -> Result<DecodedIndex> {
+    let mut r = SectionReader::new(payload, section::INDEX);
+    let idx_n = r.usize64()?;
+    let idx_labels = r.usize64()?;
+    if idx_n != n || idx_labels != num_labels {
+        return Err(corrupt(section::INDEX, "index dimensions disagree with graph/taxonomy"));
+    }
+    let member_lens = r.u32_vec(num_labels)?;
+    let total = r.usize64()?;
+    if member_lens.iter().map(|&l| l as u64).sum::<u64>() != total as u64 {
+        return Err(corrupt(section::INDEX, "member-table lengths disagree with the total"));
+    }
+    let flat_members = r.id_vec(total, narrow)?;
+    let mut members_of = Vec::with_capacity(num_labels);
+    let mut at = 0usize;
+    for (label, &len) in member_lens.iter().enumerate() {
+        let members = &flat_members[at..at + len as usize];
+        at += len as usize;
+        if members.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(corrupt(section::INDEX, format!("members of label {label} unsorted")));
+        }
+        if members.last().is_some_and(|&v| v as usize >= n) {
+            return Err(corrupt(
+                section::INDEX,
+                format!("label {label} indexes out-of-range vertices"),
+            ));
+        }
+        members_of.push(members.to_vec());
+    }
+    // Cross-section pin: the member table must be exactly the
+    // carrier sets of the PROFILES section. Every listed member must
+    // carry the label, and the grand totals must agree — since member
+    // lists are strictly sorted (no duplicates), containment plus
+    // equal counts forces equality. This is the v2 counterpart of the
+    // v1 headMap↔profiles pin.
+    let carried_total: usize = profiles.iter().map(PTree::len).sum();
+    if total != carried_total {
+        return Err(corrupt(
+            section::INDEX,
+            format!("member table lists {total} carriers, profiles imply {carried_total}"),
+        ));
+    }
+    for (label, members) in members_of.iter().enumerate() {
+        for &v in members {
+            if !profiles[v as usize].contains(label as LabelId) {
+                return Err(corrupt(
+                    section::INDEX,
+                    format!("vertex {v} listed under label {label} it does not carry"),
+                ));
+            }
+        }
+    }
+    // The shard directory: labels strictly ascending and populated,
+    // payload runs exactly tiling the blob.
+    let shard_count = r.usize64()?;
+    if shard_count > num_labels {
+        return Err(corrupt(section::INDEX, "more shards than labels"));
+    }
+    let mut directory: Vec<(LabelId, usize, usize)> = Vec::with_capacity(shard_count);
+    let mut prev: Option<LabelId> = None;
+    let mut expect_off = 0u64;
+    for _ in 0..shard_count {
+        let label = r.u32()?;
+        let off = r.u64()?;
+        let len = r.u64()?;
+        if label as usize >= num_labels {
+            return Err(corrupt(section::INDEX, format!("shard label {label} out of range")));
+        }
+        if prev.is_some_and(|p| p >= label) {
+            return Err(corrupt(section::INDEX, "shard labels not strictly ascending"));
+        }
+        prev = Some(label);
+        if members_of[label as usize].is_empty() {
+            return Err(corrupt(section::INDEX, format!("shard {label} has no members")));
+        }
+        if off != expect_off {
+            return Err(corrupt(section::INDEX, format!("shard {label} payload does not tile")));
+        }
+        expect_off = off
+            .checked_add(len)
+            .ok_or_else(|| corrupt(section::INDEX, "shard payload length overflows"))?;
+        let (off, len) = (
+            usize::try_from(off)
+                .map_err(|_| corrupt(section::INDEX, "shard offset exceeds address space"))?,
+            usize::try_from(len)
+                .map_err(|_| corrupt(section::INDEX, "shard length exceeds address space"))?,
+        );
+        directory.push((label, off, len));
+    }
+    let blob_len = r.usize64()?;
+    if expect_off != blob_len as u64 {
+        return Err(corrupt(section::INDEX, "shard directory does not cover the blob"));
+    }
+    let blob = r.bytes(blob_len)?;
+    r.finish()?;
+    let shards = match mode {
+        IndexDecode::Eager => {
+            let mut out = Vec::with_capacity(directory.len());
+            for (label, off, len) in directory {
+                let mut sr = SectionReader::new(&blob[off..off + len], section::INDEX);
+                let flat = decode_cl(&mut sr, narrow)?;
+                sr.finish()?;
+                let cl = validated_shard(flat, label, &members_of[label as usize], n)?;
+                out.push((label, cl));
+            }
+            DecodedShards::Resident(out)
+        }
+        IndexDecode::Partial => DecodedShards::Lazy(Arc::new(LazyShardStore {
+            blob: blob.to_vec(),
+            entries: directory,
+            narrow,
+        })),
+        IndexDecode::Skip => unreachable!("Skip never reaches the index decoder"),
+    };
+    Ok(DecodedIndex { members_of, shards })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::format::FORMAT_VERSION;
     use pcs_graph::core::CoreDecomposition;
 
     fn tiny() -> (Graph, Taxonomy, Vec<PTree>) {
@@ -442,14 +867,40 @@ mod tests {
         (g, tax, profiles)
     }
 
+    fn sharded(g: &Graph, tax: &Taxonomy, profiles: &[PTree]) -> ShardedCpIndex {
+        let idx =
+            ShardedCpIndex::build(Arc::new(g.clone()), tax, Arc::new(profiles.to_vec())).unwrap();
+        idx.materialize_all(1);
+        idx
+    }
+
+    fn assert_index_matches(decoded: &DecodedIndex, idx: &ShardedCpIndex, tax: &Taxonomy) {
+        for label in 0..tax.len() as u32 {
+            assert_eq!(
+                decoded.members_of[label as usize],
+                idx.vertices_with_label(label),
+                "members of {label}"
+            );
+        }
+        let DecodedShards::Resident(shards) = &decoded.shards else {
+            panic!("eager decode yields resident shards");
+        };
+        assert_eq!(shards.len(), idx.resident_shards());
+        for (label, cl) in shards {
+            let shard = idx.shard_if_resident(*label).expect("persisted shard resident");
+            assert_eq!(cl.to_flat(), shard.cl.to_flat(), "shard {label}");
+        }
+    }
+
     #[test]
     fn full_round_trip_through_bytes() {
         let (g, tax, profiles) = tiny();
         let cores = CoreDecomposition::new(&g);
-        let index = CpTree::build(&g, &tax, &profiles).unwrap();
+        let index = sharded(&g, &tax, &profiles);
         let file =
             encode_snapshot(42, &g, &tax, &profiles, Some(cores.core_numbers()), Some(&index));
         let back = SnapshotFile::from_bytes(&file.to_bytes()).expect("container validates");
+        assert_eq!(back.version(), FORMAT_VERSION);
         let contents = decode_snapshot(&back).expect("decodes");
         assert_eq!(contents.epoch, 42);
         assert_eq!(&contents.graph, &g);
@@ -457,8 +908,46 @@ mod tests {
         assert_eq!(contents.tax.parents(), tax.parents());
         assert_eq!(contents.profiles, profiles);
         assert_eq!(contents.cores.as_deref(), Some(cores.core_numbers()));
-        let idx = contents.index.expect("index section present");
-        assert_eq!(idx.to_flat(), index.to_flat());
+        assert_index_matches(&contents.index.expect("index section present"), &index, &tax);
+    }
+
+    /// A partially resident index persists only its resident shards;
+    /// the member table still covers every populated label.
+    #[test]
+    fn partial_residency_round_trips() {
+        let (g, tax, profiles) = tiny();
+        let index =
+            ShardedCpIndex::build(Arc::new(g.clone()), &tax, Arc::new(profiles.clone())).unwrap();
+        let a = tax.id_of("a").unwrap();
+        assert!(index.get_ref(0, 0, a).is_some(), "materialize exactly one shard");
+        assert_eq!(index.resident_shards(), 1);
+        let file = encode_snapshot(0, &g, &tax, &profiles, None, Some(&index));
+        let contents = decode_snapshot(&file).unwrap();
+        let decoded = contents.index.unwrap();
+        assert_index_matches(&decoded, &index, &tax);
+        assert_eq!(decoded.members_of[0].len(), 5, "root members present without a shard");
+    }
+
+    /// Partial load defers shard payloads; each decodes on first touch
+    /// and matches the eager decode.
+    #[test]
+    fn lazy_decode_matches_eager() {
+        let (g, tax, profiles) = tiny();
+        let index = sharded(&g, &tax, &profiles);
+        let bytes = encode_snapshot(0, &g, &tax, &profiles, None, Some(&index)).to_bytes();
+        let eager = decode_snapshot_bytes(&bytes).unwrap().index.unwrap();
+        let partial =
+            decode_snapshot_bytes_mode(&bytes, IndexDecode::Partial).unwrap().index.unwrap();
+        let DecodedShards::Resident(eager_shards) = &eager.shards else { panic!() };
+        let DecodedShards::Lazy(store) = &partial.shards else {
+            panic!("partial decode keeps shards lazy");
+        };
+        assert_eq!(store.labels().count(), eager_shards.len());
+        for (label, cl) in eager_shards {
+            let lazy = store.decode(*label).unwrap().expect("persisted shard decodes");
+            assert_eq!(lazy.to_flat(), cl.to_flat(), "shard {label}");
+        }
+        assert!(store.decode(999).unwrap().is_none(), "absent labels decode to None");
     }
 
     /// Graphs too large for two-byte ids take the wide path; both
@@ -473,14 +962,43 @@ mod tests {
         let mut profiles = vec![PTree::root_only(); n];
         profiles[n - 1] = PTree::from_labels(&tax, [a]).unwrap();
         let cores = CoreDecomposition::new(&g);
-        let index = CpTree::build(&g, &tax, &profiles).unwrap();
+        let index = sharded(&g, &tax, &profiles);
         let file =
             encode_snapshot(7, &g, &tax, &profiles, Some(cores.core_numbers()), Some(&index));
         let contents =
             decode_snapshot(&SnapshotFile::from_bytes(&file.to_bytes()).unwrap()).unwrap();
         assert_eq!(&contents.graph, &g);
         assert_eq!(contents.profiles, profiles);
-        assert_eq!(contents.index.unwrap().to_flat(), index.to_flat());
+        assert_index_matches(&contents.index.unwrap(), &index, &tax);
+    }
+
+    /// The retained v1 writer produces files this reader still decodes
+    /// into the same parts.
+    #[test]
+    fn v1_files_still_decode() {
+        let (g, tax, profiles) = tiny();
+        let cores = CoreDecomposition::new(&g);
+        let mono = CpTree::build(&g, &tax, &profiles).unwrap();
+        let file =
+            encode_snapshot_v1(9, &g, &tax, &profiles, Some(cores.core_numbers()), Some(&mono));
+        assert_eq!(file.version(), 1);
+        let bytes = file.to_bytes();
+        let back = SnapshotFile::from_bytes(&bytes).unwrap();
+        assert_eq!(back.version(), 1);
+        let contents = decode_snapshot(&back).unwrap();
+        assert_eq!(contents.epoch, 9);
+        assert_eq!(&contents.graph, &g);
+        let decoded = contents.index.unwrap();
+        let DecodedShards::Resident(shards) = &decoded.shards else { panic!() };
+        assert_eq!(shards.len(), mono.num_populated_labels());
+        for (label, cl) in shards {
+            assert_eq!(cl.to_flat(), mono.node(*label).unwrap().cl.to_flat(), "label {label}");
+            assert_eq!(
+                decoded.members_of[*label as usize],
+                mono.vertices_with_label(*label),
+                "members {label}"
+            );
+        }
     }
 
     #[test]
@@ -495,7 +1013,7 @@ mod tests {
     #[test]
     fn index_decode_can_be_skipped() {
         let (g, tax, profiles) = tiny();
-        let index = CpTree::build(&g, &tax, &profiles).unwrap();
+        let index = sharded(&g, &tax, &profiles);
         let file = encode_snapshot(0, &g, &tax, &profiles, None, Some(&index));
         let contents = decode_snapshot_with(&file, false).unwrap();
         assert!(contents.index.is_none(), "INDEX section present but not wanted");

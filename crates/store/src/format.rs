@@ -3,7 +3,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"PCSSNAP1"
-//! 8       4     format version (u32 LE, currently 1)
+//! 8       4     format version (u32 LE; this build writes 2, reads 1-2)
 //! 12      4     section count (u32 LE)
 //! 16      8     xxh64 of the section table (seeded with the version)
 //! 24      32×c  section table: { id: u32, pad: u32, offset: u64,
@@ -25,8 +25,16 @@ use std::path::Path;
 /// First eight bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"PCSSNAP1";
 
-/// The format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// The format version this build **writes** (and the newest it reads).
+///
+/// v2 changed the `INDEX` section to the label-sharded layout (member
+/// table + per-shard payload directory); the container layout itself is
+/// unchanged. Readers still accept [`MIN_FORMAT_VERSION`]..=v2 — v1
+/// files load transparently.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest format version this build still reads.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Pseudo section id used in [`StoreError::ChecksumMismatch`] when the
 /// section *table* (not a payload) fails its checksum.
@@ -237,15 +245,38 @@ pub fn xxh64(input: &[u8], seed: u64) -> u64 {
 
 /// An in-memory snapshot: an ordered list of `(section id, payload)`
 /// pairs, serializable to the checksummed wire layout above.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct SnapshotFile {
     sections: Vec<(u32, Vec<u8>)>,
+    /// The container version `to_bytes` stamps (and section layouts
+    /// follow). Defaults to [`FORMAT_VERSION`]; the legacy writer kept
+    /// for compatibility tests dials it back to 1.
+    version: u32,
+}
+
+impl Default for SnapshotFile {
+    fn default() -> Self {
+        SnapshotFile { sections: Vec::new(), version: FORMAT_VERSION }
+    }
 }
 
 impl SnapshotFile {
     /// An empty snapshot.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty snapshot that will serialize as format `version`.
+    /// Callers are responsible for pushing section payloads in that
+    /// version's layout (this is the compat-test/tooling entry point —
+    /// production code always writes [`FORMAT_VERSION`]).
+    pub fn new_versioned(version: u32) -> Self {
+        SnapshotFile { sections: Vec::new(), version }
+    }
+
+    /// The format version this file parses/serializes as.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Appends a section. Ids must be unique per file (the reader
@@ -272,7 +303,7 @@ impl SnapshotFile {
         let total = table_end + self.sections.iter().map(|(_, p)| p.len() as u64).sum::<u64>();
         let mut out = Vec::with_capacity(total as usize);
         out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
         out.extend_from_slice(&count.to_le_bytes());
         let mut table = Vec::with_capacity((TABLE_ENTRY_LEN * count as u64) as usize);
         let mut offset = table_end;
@@ -284,7 +315,7 @@ impl SnapshotFile {
             table.extend_from_slice(&xxh64(payload, *id as u64).to_le_bytes());
             offset += payload.len() as u64;
         }
-        out.extend_from_slice(&xxh64(&table, FORMAT_VERSION as u64).to_le_bytes());
+        out.extend_from_slice(&xxh64(&table, self.version as u64).to_le_bytes());
         out.extend_from_slice(&table);
         for (_, payload) in &self.sections {
             out.extend_from_slice(payload);
@@ -298,6 +329,7 @@ impl SnapshotFile {
         let view = SnapshotSlices::from_bytes(bytes)?;
         Ok(SnapshotFile {
             sections: view.sections.iter().map(|&(id, s)| (id, s.to_vec())).collect(),
+            version: view.version,
         })
     }
 
@@ -364,6 +396,7 @@ impl SnapshotFile {
 #[derive(Debug)]
 pub struct SnapshotSlices<'a> {
     sections: Vec<(u32, &'a [u8])>,
+    version: u32,
 }
 
 impl<'a> SnapshotSlices<'a> {
@@ -378,7 +411,7 @@ impl<'a> SnapshotSlices<'a> {
             return Err(StoreError::BadMagic { found: bytes[..8].try_into().expect("8 bytes") });
         }
         let version = le_u32(&bytes[8..12]);
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(StoreError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -443,7 +476,12 @@ impl<'a> SnapshotSlices<'a> {
             }
             sections.push((id, payload));
         }
-        Ok(SnapshotSlices { sections })
+        Ok(SnapshotSlices { sections, version })
+    }
+
+    /// The format version the file declared (already range-checked).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The payload of section `id`, if present.

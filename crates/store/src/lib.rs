@@ -52,10 +52,11 @@ pub mod codec;
 pub mod format;
 
 pub use codec::{
-    decode_snapshot, decode_snapshot_bytes, decode_snapshot_bytes_with, decode_snapshot_with,
-    encode_snapshot, section, SectionSource, SnapshotContents,
+    decode_snapshot, decode_snapshot_bytes, decode_snapshot_bytes_mode, decode_snapshot_bytes_with,
+    decode_snapshot_mode, decode_snapshot_with, encode_snapshot, encode_snapshot_v1, section,
+    DecodedIndex, DecodedShards, IndexDecode, LazyShardStore, SectionSource, SnapshotContents,
 };
 pub use format::{
     xxh64, Result, SectionReader, SectionWriter, SnapshotFile, SnapshotSlices, StoreError,
-    FORMAT_VERSION, MAGIC, MAX_SECTIONS, SECTION_TABLE,
+    FORMAT_VERSION, MAGIC, MAX_SECTIONS, MIN_FORMAT_VERSION, SECTION_TABLE,
 };

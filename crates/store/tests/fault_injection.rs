@@ -290,3 +290,159 @@ fn pristine_bytes_still_load_and_answer() {
         assert_eq!(a.communities(), b.communities(), "q={q}");
     }
 }
+
+// ---------------------------------------------------------------------
+// v2 shard-table corruption matrix: forged (re-checksummed) INDEX
+// sections whose shard directory lies must fail with typed errors —
+// the directory is validated eagerly in *both* eager and partial load
+// modes. Forged shard *payloads* are rejected by the eager decode; the
+// partial path defers their decode and transparently rebuilds the
+// shard from the graph instead, so a bad payload can never produce a
+// wrong answer.
+// ---------------------------------------------------------------------
+
+/// Byte offset of the shard directory inside the healthy v2 INDEX
+/// payload, plus the shard count found there. Mirrors the reader's
+/// cursor walk (n, num_labels, member lens/total/ids, then the
+/// directory); META's `narrow` flag decides the id width.
+fn v2_directory_offset(index_payload: &[u8], num_labels: usize, narrow: bool) -> (usize, usize) {
+    let id = if narrow { 2 } else { 4 };
+    let mut at = 16; // n + num_labels
+    at += 4 * num_labels; // member lens (u32 each)
+    let total = u64::from_le_bytes(index_payload[at..at + 8].try_into().unwrap()) as usize;
+    at += 8 + id * total;
+    let count = u64::from_le_bytes(index_payload[at..at + 8].try_into().unwrap()) as usize;
+    (at + 8, count)
+}
+
+/// Rebuilds the container around a mutated INDEX payload (checksums
+/// recomputed, so only the structural validators can catch it) and
+/// asserts the typed rejection — under the eager load path, where
+/// every shard is decoded up front.
+fn forge_index(bytes: &[u8], case: &str, mutate: impl Fn(&mut Vec<u8>)) -> Error {
+    let file = SnapshotFile::from_bytes(bytes).unwrap();
+    let mut forged = SnapshotFile::new();
+    for id in file.section_ids() {
+        let mut payload = file.section(id).unwrap().to_vec();
+        if id == pcs_store::section::INDEX {
+            mutate(&mut payload);
+        }
+        forged.push_section(id, payload);
+    }
+    let path = tmp_path("v2idx");
+    std::fs::write(&path, forged.to_bytes()).unwrap();
+    let result = catch_unwind(|| PcsEngine::builder().index_mode(IndexMode::Eager).load(&path));
+    std::fs::remove_file(&path).unwrap();
+    match result {
+        Err(_) => panic!("case {case}: eager load PANICKED instead of returning an error"),
+        Ok(Ok(_)) => panic!("case {case}: forged shard table loaded successfully"),
+        Ok(Err(e)) => e,
+    }
+}
+
+#[test]
+fn v2_shard_table_corruptions_are_typed() {
+    let (bytes, _engine) = healthy_snapshot();
+    let file = SnapshotFile::from_bytes(&bytes).unwrap();
+    let payload = file.section(pcs_store::section::INDEX).unwrap();
+    let num_labels = u64::from_le_bytes(payload[8..16].try_into().unwrap()) as usize;
+    let (dir_at, shard_count) = v2_directory_offset(payload, num_labels, true);
+    assert!(shard_count >= 2, "healthy eager snapshot persists several shards");
+    let expect_corrupt = |case: &str, err: Error| {
+        assert!(
+            matches!(
+                err,
+                Error::Store(StoreError::Corrupt { section: pcs_store::section::INDEX, .. })
+            ),
+            "{case}: unexpected error {err:?}"
+        );
+    };
+    // Entry layout: u32 label, u64 offset, u64 len (20 bytes each).
+    expect_corrupt(
+        "label out of range",
+        forge_index(&bytes, "label out of range", |p| {
+            p[dir_at..dir_at + 4].copy_from_slice(&(num_labels as u32).to_le_bytes());
+        }),
+    );
+    expect_corrupt(
+        "labels not ascending",
+        forge_index(&bytes, "labels not ascending", |p| {
+            let second = u32::from_le_bytes(p[dir_at + 20..dir_at + 24].try_into().unwrap());
+            p[dir_at..dir_at + 4].copy_from_slice(&second.to_le_bytes());
+        }),
+    );
+    expect_corrupt(
+        "offset does not tile",
+        forge_index(&bytes, "offset does not tile", |p| {
+            p[dir_at + 4..dir_at + 12].copy_from_slice(&1u64.to_le_bytes());
+        }),
+    );
+    expect_corrupt(
+        "length overflows",
+        forge_index(&bytes, "length overflows", |p| {
+            p[dir_at + 12..dir_at + 20].copy_from_slice(&u64::MAX.to_le_bytes());
+        }),
+    );
+    expect_corrupt(
+        "more shards than labels",
+        forge_index(&bytes, "more shards than labels", |p| {
+            p[dir_at - 8..dir_at].copy_from_slice(&(num_labels as u64 + 1).to_le_bytes());
+        }),
+    );
+    // Member-table lie that keeps the list sorted and the grand total
+    // intact, so only the carrier cross-pin can catch it: label "b"
+    // (id 2) is carried by vertices [1, 2, 4]; replacing the trailing
+    // 4 with 3 (vertex 3 carries a and c, not b) stays strictly
+    // ascending — the forged table survives every structural check
+    // and must be rejected by the members↔profiles pin.
+    expect_corrupt(
+        "member not a carrier",
+        forge_index(&bytes, "member not a carrier", |p| {
+            let lens: Vec<u32> = (0..num_labels)
+                .map(|l| u32::from_le_bytes(p[16 + 4 * l..20 + 4 * l].try_into().unwrap()))
+                .collect();
+            assert_eq!(lens[2], 3, "fixture: label b carried by exactly [1, 2, 4]");
+            let ids_at = 16 + 4 * num_labels + 8;
+            let slot = ids_at + 2 * (lens[0] + lens[1] + 2) as usize;
+            assert_eq!(&p[slot..slot + 2], &4u16.to_le_bytes()[..], "fixture drifted");
+            p[slot..slot + 2].copy_from_slice(&3u16.to_le_bytes());
+        }),
+    );
+    // Forged shard payload (flip one byte inside the blob): the eager
+    // decode rejects it...
+    let blob_last = payload.len() - 1;
+    let err = forge_index(&bytes, "forged payload", |p| {
+        p[blob_last] ^= 0x01;
+    });
+    expect_corrupt("forged payload", err);
+}
+
+/// ...while the partial (lazy) load defers the payload decode, spots
+/// the damage at materialization, and rebuilds the shard from the
+/// graph — the replica still answers exactly like the source. A bad
+/// payload can cost time, never correctness.
+#[test]
+fn v2_forged_shard_payload_is_rebuilt_under_partial_load() {
+    let (bytes, engine) = healthy_snapshot();
+    let file = SnapshotFile::from_bytes(&bytes).unwrap();
+    let mut forged = SnapshotFile::new();
+    for id in file.section_ids() {
+        let mut payload = file.section(id).unwrap().to_vec();
+        if id == pcs_store::section::INDEX {
+            let last = payload.len() - 1;
+            payload[last] ^= 0x01; // inside the final shard's blob
+        }
+        forged.push_section(id, payload);
+    }
+    let path = tmp_path("lazyrepair");
+    std::fs::write(&path, forged.to_bytes()).unwrap();
+    let loaded = PcsEngine::builder().index_mode(IndexMode::Lazy).load(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    for q in 0..8u32 {
+        for k in 1..4u32 {
+            let a = engine.query(&QueryRequest::vertex(q).k(k)).unwrap();
+            let b = loaded.query(&QueryRequest::vertex(q).k(k)).unwrap();
+            assert_eq!(a.communities(), b.communities(), "q={q} k={k}");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! v1 → v2 snapshot compatibility: files written by the retained
+//! format-1 writer (monolithic INDEX layout, version-1 container) must
+//! load into the sharded engine and answer **bit-identically** across
+//! all five algorithms, resume at the saved epoch, and stay fully
+//! mutable — the promise that upgrading the binary never strands a
+//! fleet's existing snapshots.
+
+use pcs_engine::{Algorithm, IndexMode, PcsEngine, QueryRequest, StoreError};
+use pcs_graph::core::CoreDecomposition;
+use pcs_graph::Graph;
+use pcs_index::CpTree;
+use pcs_ptree::{PTree, Taxonomy};
+use pcs_store::{encode_snapshot_v1, SnapshotFile};
+use std::path::PathBuf;
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pcs-v1compat-{}-{tag}.snapshot", std::process::id()))
+}
+
+/// A graph with nested labels, an isolated vertex, and enough
+/// structure that every algorithm does real work.
+fn instance() -> (Graph, Taxonomy, Vec<PTree>) {
+    let mut tax = Taxonomy::new("r");
+    let a = tax.add_child(Taxonomy::ROOT, "a").unwrap();
+    let b = tax.add_child(a, "b").unwrap();
+    let c = tax.add_child(Taxonomy::ROOT, "c").unwrap();
+    let d = tax.add_child(c, "d").unwrap();
+    let g = Graph::from_edges(
+        10,
+        &[
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (2, 4),
+            (4, 5),
+            (5, 6),
+            (4, 6),
+            (6, 7),
+            (7, 8),
+            (6, 8),
+            (0, 3),
+        ],
+    )
+    .unwrap();
+    let profiles = vec![
+        PTree::from_labels(&tax, [a, c]).unwrap(),
+        PTree::from_labels(&tax, [b]).unwrap(),
+        PTree::from_labels(&tax, [b, d]).unwrap(),
+        PTree::from_labels(&tax, [a, d]).unwrap(),
+        PTree::from_labels(&tax, [b, c]).unwrap(),
+        PTree::from_labels(&tax, [c]).unwrap(),
+        PTree::from_labels(&tax, [d]).unwrap(),
+        PTree::from_labels(&tax, [a]).unwrap(),
+        PTree::from_labels(&tax, [b]).unwrap(),
+        PTree::root_only(), // isolated vertex
+    ];
+    (g, tax, profiles)
+}
+
+/// Writes a v1 file (version-1 container + monolithic INDEX layout)
+/// for the instance, exactly as the previous release would have.
+fn v1_snapshot_file(epoch: u64) -> (Vec<u8>, PcsEngine) {
+    let (g, tax, profiles) = instance();
+    let cores = CoreDecomposition::new(&g);
+    let index = CpTree::build(&g, &tax, &profiles).unwrap();
+    let file =
+        encode_snapshot_v1(epoch, &g, &tax, &profiles, Some(cores.core_numbers()), Some(&index));
+    assert_eq!(file.version(), 1, "the legacy writer stamps format 1");
+    let bytes = file.to_bytes();
+    // Sanity: the bytes really declare version 1 on the wire.
+    assert_eq!(&bytes[8..12], &1u32.to_le_bytes());
+    let reference = PcsEngine::builder()
+        .graph(g)
+        .taxonomy(tax)
+        .profiles(profiles)
+        .index_mode(IndexMode::Eager)
+        .build()
+        .unwrap();
+    (bytes, reference)
+}
+
+#[test]
+fn v1_file_loads_bit_identical_across_all_five_algorithms() {
+    let (bytes, reference) = v1_snapshot_file(3);
+    let path = tmp_path("all-algos");
+    std::fs::write(&path, &bytes).unwrap();
+    for mode in [IndexMode::Lazy, IndexMode::Eager] {
+        let loaded = PcsEngine::builder().index_mode(mode).load(&path).unwrap();
+        assert_eq!(loaded.epoch(), 3, "epoch resumes from the v1 file");
+        if mode == IndexMode::Eager {
+            // The v1 index is monolithic: every populated label arrives
+            // resident, and eager mode keeps it that way.
+            let snap = loaded.snapshot();
+            assert_eq!(
+                snap.resident_shards(),
+                snap.index().unwrap().num_populated_labels(),
+                "v1 shards all adopted"
+            );
+        }
+        for algo in Algorithm::ALL {
+            for q in 0..10u32 {
+                for k in 1..4u32 {
+                    let req = QueryRequest::vertex(q).k(k).algorithm(algo);
+                    let a = reference.query(&req).unwrap();
+                    let b = loaded.query(&req).unwrap();
+                    assert_eq!(
+                        a.communities(),
+                        b.communities(),
+                        "{mode:?} {} q={q} k={k}",
+                        algo.name()
+                    );
+                }
+            }
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn v1_loaded_engine_stays_mutable_and_resaves_as_v2() {
+    let (bytes, reference) = v1_snapshot_file(0);
+    let path = tmp_path("mutate");
+    std::fs::write(&path, &bytes).unwrap();
+    let loaded = PcsEngine::builder().load(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    // Same update on both engines: identical post-update answers.
+    let ra = reference.add_edge(1, 4).unwrap();
+    let rb = loaded.add_edge(1, 4).unwrap();
+    assert_eq!(ra.epoch, rb.epoch);
+    for q in 0..10u32 {
+        let a = reference.query(&QueryRequest::vertex(q).k(2)).unwrap();
+        let b = loaded.query(&QueryRequest::vertex(q).k(2)).unwrap();
+        assert_eq!(a.communities(), b.communities(), "post-update q={q}");
+    }
+    // Re-saving writes the current (v2) format; the round trip stays
+    // equivalent — the one-way v1 → v2 migration path.
+    let path2 = tmp_path("resave");
+    loaded.save(&path2).unwrap();
+    let resaved_bytes = std::fs::read(&path2).unwrap();
+    assert_eq!(&resaved_bytes[8..12], &pcs_store::FORMAT_VERSION.to_le_bytes());
+    let resaved = PcsEngine::builder().index_mode(IndexMode::Eager).load(&path2).unwrap();
+    std::fs::remove_file(&path2).unwrap();
+    for q in 0..10u32 {
+        let a = loaded.query(&QueryRequest::vertex(q).k(2)).unwrap();
+        let b = resaved.query(&QueryRequest::vertex(q).k(2)).unwrap();
+        assert_eq!(a.communities(), b.communities(), "resaved q={q}");
+    }
+}
+
+#[test]
+fn v1_index_headmap_pin_still_enforced() {
+    // A v1 file whose INDEX headMap disagrees with the PROFILES
+    // section must still be rejected with a typed error — swapping the
+    // profiles section for different (valid) profiles breaks the pin.
+    let (bytes, _reference) = v1_snapshot_file(0);
+    let file = SnapshotFile::from_bytes(&bytes).unwrap();
+    let (g, tax, _) = instance();
+    let wrong_profiles: Vec<PTree> = (0..10)
+        .map(|v| {
+            if v % 2 == 0 {
+                PTree::root_only()
+            } else {
+                PTree::from_labels(&tax, [tax.id_of("c").unwrap()]).unwrap()
+            }
+        })
+        .collect();
+    let cores = CoreDecomposition::new(&g);
+    let forged_src =
+        encode_snapshot_v1(0, &g, &tax, &wrong_profiles, Some(cores.core_numbers()), None);
+    let mut forged = SnapshotFile::new_versioned(1);
+    for id in file.section_ids() {
+        if id == pcs_store::section::PROFILES {
+            forged.push_section(id, forged_src.section(id).unwrap().to_vec());
+        } else {
+            forged.push_section(id, file.section(id).unwrap().to_vec());
+        }
+    }
+    let path = tmp_path("pin");
+    std::fs::write(&path, forged.to_bytes()).unwrap();
+    let err = PcsEngine::builder().load(&path).unwrap_err();
+    std::fs::remove_file(&path).unwrap();
+    assert!(
+        matches!(
+            err,
+            pcs_engine::Error::Store(StoreError::Corrupt {
+                section: pcs_store::section::INDEX,
+                ..
+            })
+        ),
+        "unexpected error {err:?}"
+    );
+}

@@ -113,7 +113,7 @@ pub mod prelude {
         QueryResponse, Update, UpdateBatch, UpdateReport,
     };
     pub use pcs_graph::{DynamicGraph, Graph, GraphBuilder, VertexId};
-    pub use pcs_index::{ClTree, CpTree};
+    pub use pcs_index::{ClTree, CpTree, IndexRef, IndexShard, ShardedCpIndex};
     pub use pcs_metrics::{best_f1, cpf, cps, f1_score, ldr};
     pub use pcs_ptree::{LabelId, PTree, Taxonomy};
     pub use pcs_store::{SnapshotFile, StoreError};

@@ -131,9 +131,16 @@ fn parallel_index_identical_on_generated_data() {
     let par = CpTree::build_with_threads(&ds.graph, &ds.tax, &ds.profiles, 4).unwrap();
     assert_eq!(seq.num_populated_labels(), par.num_populated_labels());
     let (queries, level) = pcs::datasets::sample_query_vertices(&ds, 6, 5, 5);
+    let sorted = |idx: &CpTree, q: u32, label: u32| {
+        idx.get_ref(level, q, label).map(|s| {
+            let mut v = s.to_vec();
+            v.sort_unstable();
+            v
+        })
+    };
     for &q in &queries {
         for label in ds.profiles[q as usize].nodes() {
-            assert_eq!(seq.get(level, q, *label), par.get(level, q, *label));
+            assert_eq!(sorted(&seq, q, *label), sorted(&par, q, *label));
         }
     }
 }

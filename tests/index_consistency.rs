@@ -7,6 +7,20 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// Test-only sorted-copy shim over the zero-copy `get_ref` (the owned
+/// `CpTree::get` wrapper is no longer part of the production surface).
+trait GetSorted {
+    fn get(&self, k: u32, q: VertexId, label: LabelId) -> Option<Vec<VertexId>>;
+}
+
+impl GetSorted for CpTree {
+    fn get(&self, k: u32, q: VertexId, label: LabelId) -> Option<Vec<VertexId>> {
+        let mut out = self.get_ref(k, q, label)?.to_vec();
+        out.sort_unstable();
+        Some(out)
+    }
+}
+
 fn random_instance(seed: u64) -> (Graph, Taxonomy, Vec<PTree>) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let labels = rng.gen_range(4..=14usize);
@@ -35,6 +49,105 @@ fn random_instance(seed: u64) -> (Graph, Taxonomy, Vec<PTree>) {
         })
         .collect();
     (g, tax, profiles)
+}
+
+/// Drives a lazily sharded index and a monolithic from-scratch rebuild
+/// through the same randomized churn, interleaving cold-shard probes
+/// with patches, and pins the full query surface set-equal after every
+/// effective batch.
+fn sharded_matches_monolithic_after_churn(seed: u64) -> Result<(), TestCaseError> {
+    use std::sync::Arc;
+    let (g, tax, mut profiles) = random_instance(seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5a5a);
+    let mut dyn_g = DynamicGraph::from_graph(&g);
+    let mut idx = ShardedCpIndex::build(Arc::new(g), &tax, Arc::new(profiles.clone()))
+        .expect("valid instance");
+    let label_ids: Vec<LabelId> = (0..tax.len() as LabelId).collect();
+    for step in 0..14 {
+        // Cold (or warm) probe between batches: a random label/vertex
+        // pair, materializing on demand mid-stream.
+        if step % 2 == 0 {
+            let label = label_ids[rng.gen_range(0..label_ids.len())];
+            let q = rng.gen_range(0..profiles.len() as u32);
+            let _ = idx.get_ref(rng.gen_range(0..3), q, label);
+        }
+        let mut deltas = Vec::new();
+        let mut reprofiled: Vec<u32> = Vec::new();
+        for _ in 0..rng.gen_range(1..4) {
+            let n = profiles.len() as u32;
+            match rng.gen_range(0..3) {
+                0 => {
+                    let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    if a != b && dyn_g.add_edge(a, b).unwrap() {
+                        deltas.push(pcs::index::GraphDelta::EdgeAdded { u: a, v: b });
+                    }
+                }
+                1 => {
+                    let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    if a != b && dyn_g.remove_edge(a, b).unwrap() {
+                        deltas.push(pcs::index::GraphDelta::EdgeRemoved { u: a, v: b });
+                    }
+                }
+                _ => {
+                    let v = rng.gen_range(0..n);
+                    if reprofiled.contains(&v) {
+                        continue;
+                    }
+                    let count = rng.gen_range(0..=4usize);
+                    let picks: Vec<LabelId> =
+                        (0..count).map(|_| label_ids[rng.gen_range(0..label_ids.len())]).collect();
+                    let p = PTree::from_labels(&tax, picks).unwrap();
+                    if p != profiles[v as usize] {
+                        profiles[v as usize] = p;
+                        reprofiled.push(v);
+                        deltas.push(pcs::index::GraphDelta::ProfileChanged { v });
+                    }
+                }
+            }
+        }
+        if deltas.is_empty() {
+            continue;
+        }
+        let g_after = Arc::new(dyn_g.to_graph());
+        let stats = idx.apply_batch(&g_after, &Arc::new(profiles.clone()), &deltas, None);
+        prop_assert_eq!(
+            stats.labels_rebuilt + stats.labels_skipped + stats.labels_invalidated,
+            stats.labels_touched,
+            "patch accounting must cover every touched label"
+        );
+        let fresh = CpTree::build(&g_after, &tax, &profiles).unwrap();
+        let sorted = |s: Option<&[VertexId]>| {
+            s.map(|s| {
+                let mut v = s.to_vec();
+                v.sort_unstable();
+                v
+            })
+        };
+        for label in 0..tax.len() as u32 {
+            prop_assert_eq!(
+                idx.vertices_with_label(label),
+                fresh.vertices_with_label(label),
+                "members of label {}",
+                label
+            );
+            for q in 0..profiles.len() as u32 {
+                for k in 0..3u32 {
+                    prop_assert_eq!(
+                        sorted(idx.get_ref(k, q, label)),
+                        sorted(fresh.get_ref(k, q, label)),
+                        "label={} q={} k={}",
+                        label,
+                        q,
+                        k
+                    );
+                }
+            }
+        }
+        for v in 0..profiles.len() as u32 {
+            prop_assert_eq!(&idx.restore_ptree(&tax, v), &profiles[v as usize]);
+        }
+    }
+    Ok(())
 }
 
 proptest! {
@@ -70,6 +183,11 @@ proptest! {
         for v in g.vertices() {
             prop_assert_eq!(&index.restore_ptree(&tax, v), &profiles[v as usize]);
         }
+    }
+
+    #[test]
+    fn sharded_lazy_index_stays_set_equal_to_monolithic_rebuild(seed in 0u64..10_000) {
+        sharded_matches_monolithic_after_churn(seed)?;
     }
 
     #[test]
