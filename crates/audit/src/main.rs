@@ -1,0 +1,37 @@
+//! CLI for the workspace lint: `cargo run -p pcs-audit -- check [root]`.
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let root = args.get(1).map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+            let cfg = pcs_audit::RuleConfig::workspace_default();
+            match pcs_audit::run_check(&root, &cfg) {
+                Ok(findings) if findings.is_empty() => {
+                    println!("pcs-audit: clean");
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        eprintln!("{f}");
+                    }
+                    eprintln!("pcs-audit: {} finding(s)", findings.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("pcs-audit: io error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: pcs-audit check [workspace-root]");
+            ExitCode::FAILURE
+        }
+    }
+}

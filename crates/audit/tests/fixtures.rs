@@ -1,0 +1,123 @@
+//! The fixture-corpus tests: one deliberately bad snippet per rule
+//! (asserted to trigger exactly that rule and nothing else), clean and
+//! suppressed snippets (asserted silent), and the walker's guarantee
+//! that this corpus never leaks into a real workspace check.
+
+use pcs_audit::{
+    check_source, collect_rs_files, Finding, RuleConfig, RULE_ALLOW_MALFORMED, RULE_ALLOW_UNUSED,
+    RULE_ERROR_ENUM, RULE_INSTANT_IN_LOOP, RULE_NO_INDEX, RULE_NO_PANIC, RULE_QUERY_HASH,
+    RULE_STORE_CAST,
+};
+use std::path::Path;
+
+/// A hot-path pseudo-path: no-panic, no-index, query-hash, and
+/// instant-in-loop all apply here.
+const HOT: &str = "crates/core/src/verify.rs";
+
+fn lint(fixture: &str, as_path: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(fixture);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    check_source(as_path, &src, &RuleConfig::workspace_default())
+}
+
+#[test]
+fn each_bad_fixture_triggers_exactly_its_rule() {
+    // (fixture, linted under this pseudo-path, expected rule, count)
+    let cases: &[(&str, &str, &str, usize)] = &[
+        // .unwrap(), .expect(), panic!, unreachable!
+        ("bad_no_panic.rs", HOT, RULE_NO_PANIC, 4),
+        // v[i] and v[0]
+        ("bad_no_index.rs", HOT, RULE_NO_INDEX, 2),
+        // one narrowing cast, linted as the store codec
+        ("bad_store_cast.rs", "crates/store/src/codec.rs", RULE_STORE_CAST, 1),
+        // every HashMap mention in the query path: use, return type,
+        // annotation, constructor
+        ("bad_query_hash.rs", HOT, RULE_QUERY_HASH, 4),
+        // only the Instant::now() inside the loop body
+        ("bad_instant_in_loop.rs", "crates/engine/src/engine.rs", RULE_INSTANT_IN_LOOP, 1),
+        // error-enum applies workspace-wide, no special path needed
+        ("bad_error_enum.rs", "crates/metrics/src/fixture.rs", RULE_ERROR_ENUM, 1),
+        ("bad_allow_malformed.rs", HOT, RULE_ALLOW_MALFORMED, 1),
+        ("bad_allow_unused.rs", HOT, RULE_ALLOW_UNUSED, 1),
+    ];
+    for &(fixture, as_path, rule, count) in cases {
+        let findings = lint(fixture, as_path);
+        assert!(
+            findings.iter().all(|f| f.rule == rule),
+            "{fixture}: expected only [{rule}] findings, got {findings:#?}"
+        );
+        assert_eq!(
+            findings.len(),
+            count,
+            "{fixture}: expected {count} [{rule}] findings, got {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn scoped_rules_are_silent_outside_their_scope() {
+    // The same bad snippets, linted under a path no positional rule
+    // covers: only the workspace-wide hygiene rules may speak, and
+    // none of these snippets violates them.
+    for fixture in ["bad_no_panic.rs", "bad_no_index.rs", "bad_store_cast.rs", "bad_query_hash.rs"]
+    {
+        let findings = lint(fixture, "crates/metrics/src/fixture.rs");
+        assert!(findings.is_empty(), "{fixture} out of scope: {findings:#?}");
+    }
+    // The store-cast snippet inside the query path is likewise silent:
+    // `as` narrowing is a codec rule, not a query rule.
+    let findings = lint("bad_store_cast.rs", HOT);
+    assert!(findings.is_empty(), "store cast linted as hot path: {findings:#?}");
+}
+
+#[test]
+fn clean_and_suppressed_fixtures_are_silent() {
+    for fixture in ["clean.rs", "allow_line.rs", "allow_block.rs", "cfg_test.rs"] {
+        let findings = lint(fixture, HOT);
+        assert!(findings.is_empty(), "{fixture}: {findings:#?}");
+    }
+}
+
+#[test]
+fn line_allow_does_not_leak_past_its_line() {
+    // The allow covers only the line below it; a second violation two
+    // lines later must still be reported.
+    let src = "fn f(v: &[u32]) -> u32 {\n\
+               \x20   // audit:allow(no-panic): fixture reason; first is guarded\n\
+               \x20   let a = v.first().copied().unwrap();\n\
+               \x20   let b = v.last().copied().unwrap();\n\
+               \x20   a + b\n\
+               }\n";
+    let findings = check_source(HOT, src, &RuleConfig::workspace_default());
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, RULE_NO_PANIC);
+    assert_eq!(findings[0].line, 4);
+}
+
+#[test]
+fn block_allow_covers_only_one_rule() {
+    // An allow-block for no-index must not swallow a no-panic finding
+    // inside the same block.
+    let src = "// audit:allow-block(no-index): fixture reason; len checked at entry\n\
+               fn f(v: &[u32]) -> u32 {\n\
+               \x20   if v.len() < 2 { return 0; }\n\
+               \x20   v[0] + v[1] + v.first().copied().unwrap()\n\
+               }\n";
+    let findings = check_source(HOT, src, &RuleConfig::workspace_default());
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, RULE_NO_PANIC);
+}
+
+#[test]
+fn fixture_corpus_is_excluded_from_the_workspace_walk() {
+    // Walk the real workspace root: the corpus above is intentionally
+    // bad and must never reach a real `check` run.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = collect_rs_files(&root).unwrap();
+    assert!(!files.is_empty());
+    for f in &files {
+        let p = f.to_string_lossy().replace('\\', "/");
+        assert!(!p.contains("audit/tests/fixtures/"), "fixture {p} leaked into the workspace walk");
+    }
+}

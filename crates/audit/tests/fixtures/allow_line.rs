@@ -1,0 +1,7 @@
+// Fixture: a line-form allow with a reason, directly above the
+// violation it suppresses. Zero findings expected.
+
+fn must(v: &[u32]) -> u32 {
+    // audit:allow(no-panic): fixture reason; the caller guarantees non-empty input
+    v.first().copied().unwrap()
+}

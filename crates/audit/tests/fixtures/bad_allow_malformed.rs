@@ -1,0 +1,5 @@
+// Fixture: an allow comment with a rule but no reason — the reason is
+// mandatory, so this is an allow-malformed hygiene finding.
+
+// audit:allow(no-panic)
+fn nothing() {}

@@ -1,0 +1,7 @@
+// Fixture: a well-formed allow whose coverage span contains no finding
+// of its rule — dead suppressions must be removed, not accumulated.
+
+fn fine() -> u32 {
+    // audit:allow(no-panic): fixture reason; nothing below can fail
+    40 + 2
+}

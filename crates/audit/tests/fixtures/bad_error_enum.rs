@@ -1,0 +1,8 @@
+// Fixture: a public error enum without #[non_exhaustive].
+
+/// Missing its forward-compatibility guard.
+#[derive(Debug)]
+pub enum FixtureError {
+    Io,
+    Parse,
+}

@@ -1,0 +1,15 @@
+// Fixture: a clock read inside a per-item loop. The `use` mention and
+// any Instant outside a loop body are fine; only the in-loop call is a
+// finding.
+
+use std::time::Instant;
+
+fn probe(items: &[u32]) -> u128 {
+    let start = Instant::now();
+    let mut total = start.elapsed().as_nanos();
+    for _ in items {
+        let t = Instant::now();
+        total += t.elapsed().as_nanos();
+    }
+    total
+}

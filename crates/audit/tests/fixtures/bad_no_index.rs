@@ -1,0 +1,5 @@
+// Fixture: bare slice indexing, the no-index rule's only target.
+
+fn pick(v: &[u32], i: usize) -> u32 {
+    v[i] + v[0]
+}

@@ -1,0 +1,11 @@
+// Fixture: every panicking construct the no-panic rule forbids, and
+// nothing else. Linted under a hot-path pseudo-path.
+
+fn take(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    let second = v.get(1).expect("second element");
+    if *first > *second {
+        panic!("ordering");
+    }
+    unreachable!()
+}

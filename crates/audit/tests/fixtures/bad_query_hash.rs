@@ -1,0 +1,11 @@
+// Fixture: hash containers in the allocation-free query path.
+
+use std::collections::HashMap;
+
+fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut seen: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *seen.entry(x).or_insert(0) += 1;
+    }
+    seen
+}

@@ -1,0 +1,6 @@
+// Fixture: a narrowing `as` cast, which the store codec must replace
+// with a checked conversion surfacing StoreError::Corrupt.
+
+fn narrow(len: usize) -> u32 {
+    len as u32
+}

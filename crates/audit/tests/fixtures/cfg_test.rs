@@ -1,0 +1,19 @@
+// Fixture: #[cfg(test)] items are skipped entirely — test code is
+// allowed to panic. Zero findings expected.
+
+pub fn shipping() -> u32 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![shipping()];
+        assert_eq!(v.first().copied().unwrap(), 7);
+        let w = [1u32, 2];
+        assert_eq!(w[0], 1);
+    }
+}

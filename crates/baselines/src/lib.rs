@@ -22,6 +22,8 @@
 //! reported subtree is the actual maximal common subtree of the member
 //! profiles) so the metrics crate can score every method uniformly.
 
+#![deny(unsafe_code)]
+
 pub mod acq;
 pub mod global;
 pub mod local;

@@ -13,6 +13,8 @@
 //! cargo run -p pcs-bench --release --bin fig14_query_efficiency -- --section k
 //! ```
 
+#![deny(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Common harness options parsed from `std::env::args`.

@@ -118,8 +118,13 @@ pub fn find_cut(ver: &mut Verifier<'_>, strategy: FindStrategy) -> Cut {
 /// Algorithm 5 (`find-I`): run the `incre` enumeration until the first
 /// maximal feasible subtree, and pair it with one infeasible child.
 fn find_i(ver: &mut Verifier<'_>) -> Cut {
-    let gk = ver.gk().expect("find functions require Gk");
     let root = ver.ids_mut().root_only();
+    let Some(gk) = ver.gk() else {
+        // Callers guarantee Gk ≠ ∅; degrade to the trivially feasible
+        // root-only subtree rather than panic.
+        debug_assert!(false, "find functions require Gk");
+        return Cut { infeasible: None, feasible: root };
+    };
     let mut stack: Vec<(SubtreeId, Rc<Vec<VertexId>>)> = vec![(root, gk)];
     ver.note_generated(1);
     let mut ext: Vec<u32> = Vec::new();
@@ -158,7 +163,9 @@ fn find_i(ver: &mut Verifier<'_>) -> Cut {
     // branch died infeasible *after* a feasible prefix whose maximality
     // check failed — impossible, because a failed maximality check
     // implies a feasible child, which the rightmost enumeration visits.
-    unreachable!("find-I always locates a maximal feasible subtree when Gk exists");
+    // Degrade to the root-only cut rather than panic.
+    debug_assert!(false, "find-I always locates a maximal feasible subtree when Gk exists");
+    Cut { infeasible: None, feasible: root }
 }
 
 /// Algorithm 6 (`find-D`): descend from `T(q)`, removing one leaf at a
@@ -185,7 +192,11 @@ fn find_d(ver: &mut Verifier<'_>) -> Cut {
             }
         }
     }
-    unreachable!("the root-only subtree is feasible when Gk exists");
+    // The descent always bottoms out at the root-only subtree, which is
+    // feasible when Gk exists — so the loop above must have returned.
+    debug_assert!(false, "the root-only subtree is feasible when Gk exists");
+    let root = ver.ids_mut().root_only();
+    Cut { infeasible: None, feasible: root }
 }
 
 /// Algorithm 7 (`find-P`): verify whole root-to-leaf paths — for a path
@@ -199,18 +210,13 @@ fn find_p(ver: &mut Verifier<'_>) -> Cut {
     let full = ver.ids_mut().full();
     let mut s: Vec<u32> = Vec::new();
     ver.ids().leaves_into(full, &mut s);
-    let mut f: Option<SubtreeId> = None;
-    loop {
+    let mut f = 'seed: loop {
         for &t in &s {
             let path = ver.ids_mut().intern(&space.path_to(t));
             ver.note_generated(1);
             if ver.verify_id(path).is_some() {
-                f = Some(path);
-                break;
+                break 'seed path;
             }
-        }
-        if f.is_some() {
-            break;
         }
         // Lift to parents (dedup, drop the root's self-parent loop).
         let mut parents: Vec<u32> = s.iter().map(|&t| space.parent_of(t)).collect();
@@ -218,12 +224,10 @@ fn find_p(ver: &mut Verifier<'_>) -> Cut {
         parents.dedup();
         if parents == [0] {
             // Only the root path remains; it is feasible since Gk ≠ ∅.
-            f = Some(ver.ids_mut().root_only());
-            break;
+            break 'seed ver.ids_mut().root_only();
         }
         s = parents;
-    }
-    let mut f = f.expect("loop always seeds F");
+    };
 
     // Lines 4-11: extend F by each remaining path; on the first failure
     // walk that path from F downward to locate the exact boundary.
@@ -243,16 +247,25 @@ fn find_p(ver: &mut Verifier<'_>) -> Cut {
         let missing: Vec<u32> =
             ver.ids().positions(path).filter(|&p| !ver.ids().contains(f, p)).collect();
         let mut cur = f;
+        let mut boundary: Option<Cut> = None;
         for p in missing {
             let cand = ver.ids_mut().with(cur, p);
             ver.note_generated(1);
             if ver.verify_id(cand).is_some() {
                 cur = cand;
             } else {
-                return Cut { infeasible: Some(cand), feasible: cur };
+                boundary = Some(Cut { infeasible: Some(cand), feasible: cur });
+                break;
             }
         }
-        unreachable!("target was infeasible, so some step must fail");
+        if let Some(cut) = boundary {
+            return cut;
+        }
+        // Adding every missing node reassembles `target`, which was
+        // infeasible — some step must have failed. If the memo somehow
+        // disagrees, keep the feasible `cur` and move on.
+        debug_assert!(false, "target was infeasible, so some step must fail");
+        f = cur;
     }
 
     // Every probed path fit into F. Climb greedily until F is maximal
@@ -278,10 +291,10 @@ fn find_p(ver: &mut Verifier<'_>) -> Cut {
             }
         }
         if !grew {
-            return Cut {
-                infeasible: Some(first_infeasible.expect("children nonempty")),
-                feasible: f,
-            };
+            // With children nonempty and none feasible, the scan always
+            // recorded a first infeasible child.
+            debug_assert!(first_infeasible.is_some(), "children nonempty");
+            return Cut { infeasible: first_infeasible, feasible: f };
         }
     }
 }
@@ -303,16 +316,21 @@ pub fn expand_ptree(
     // Line 2: IF = ∅ with F ≠ ∅ means F = T(q) is feasible — it is the
     // unique maximal subtree.
     let Some(if0) = cut.infeasible else {
-        let community = ver.verify_id(cut.feasible).expect("cut.feasible is feasible");
-        results.push((cut.feasible, community));
+        if let Some(community) = ver.verify_id(cut.feasible) {
+            results.push((cut.feasible, community));
+        } else {
+            debug_assert!(false, "cut.feasible is feasible");
+        }
         return;
     };
     let mut recorded = SubtreeIdSet::new();
-    // Record the seed F when maximal (it lies on the boundary too).
+    // Record the seed F when maximal (it lies on the boundary too;
+    // maximal implies feasible, so the verify always succeeds).
     if ver.is_maximal_feasible_id(cut.feasible) {
-        let community = ver.verify_id(cut.feasible).expect("feasible");
-        recorded.insert(cut.feasible);
-        results.push((cut.feasible, community));
+        if let Some(community) = ver.verify_id(cut.feasible) {
+            recorded.insert(cut.feasible);
+            results.push((cut.feasible, community));
+        }
     }
 
     let mut queue: VecDeque<SubtreeId> = VecDeque::new();

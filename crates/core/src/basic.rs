@@ -60,10 +60,12 @@ fn run(mut ver: Verifier<'_>) -> PcsOutcome {
                 }
             }
             if flag && ver.is_maximal_feasible_id(t_prime) {
-                let community = ver.verify_id(t_prime).expect("maximal implies feasible");
-                // Rightmost enumeration generates each subtree exactly
-                // once, so no dedup is needed here.
-                results.push((t_prime, community));
+                // Maximal implies feasible, so the verify (a memo hit)
+                // always yields a community. Rightmost enumeration
+                // generates each subtree exactly once — no dedup needed.
+                if let Some(community) = ver.verify_id(t_prime) {
+                    results.push((t_prime, community));
+                }
             }
         }
     }

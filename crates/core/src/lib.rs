@@ -43,6 +43,8 @@
 //! assert!(out.communities[0].subtree.contains(a));
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod advanced;
 pub mod basic;
 pub mod incre;

@@ -12,6 +12,7 @@ use crate::Result;
 
 /// Errors surfaced by PCS queries.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum PcsError {
     /// The query vertex does not exist in the graph.
     QueryVertexOutOfRange {

@@ -108,6 +108,29 @@ impl QueryScratch {
             }
         };
     }
+
+    /// The dense `Gk` position of `v`, if `v` was stamped this epoch.
+    /// Fully bounds-checked: a vertex beyond the scratch (impossible
+    /// after `begin(n)`) reads as unstamped.
+    #[inline]
+    fn gk_pos_of(&self, v: VertexId) -> Option<u32> {
+        let vi = v as usize;
+        if self.gk_pos_epoch.get(vi).copied() == Some(self.epoch) {
+            self.gk_pos.get(vi).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Stamps `v` at dense `Gk` position `i` for the current epoch.
+    #[inline]
+    fn stamp_gk_pos(&mut self, v: VertexId, i: u32) {
+        let vi = v as usize;
+        if let (Some(p), Some(e)) = (self.gk_pos.get_mut(vi), self.gk_pos_epoch.get_mut(vi)) {
+            *p = i;
+            *e = self.epoch;
+        }
+    }
 }
 
 /// One label's k-ĉore of the query vertex, as a bitset over `Gk`.
@@ -119,6 +142,20 @@ enum LabelCoreSet {
     Missing,
     /// The ĉore's members, as set bits over `Gk` positions.
     Built { bits: Box<[u64]>, count: u32 },
+}
+
+/// The shared fallback for out-of-range label positions (impossible by
+/// construction — `label_sets` is sized to the query space — but the
+/// checked accessor needs a value, and "missing" is the conservative
+/// answer: the candidate is simply infeasible).
+const MISSING_SET: LabelCoreSet = LabelCoreSet::Missing;
+
+/// Checked [`LabelCoreSet`] lookup. A free function (not a method) so
+/// callers holding disjoint `&mut` borrows of other `Verifier` fields
+/// can still use it.
+#[inline]
+fn label_set(sets: &[LabelCoreSet], pos: u32) -> &LabelCoreSet {
+    sets.get(pos as usize).unwrap_or(&MISSING_SET)
 }
 
 /// Either owned (one-shot queries) or borrowed (pooled) scratch.
@@ -205,8 +242,7 @@ impl<'a> Verifier<'a> {
         // bitsets over Gk answer membership in O(1).
         if let Some(gk) = &gk {
             for (i, &v) in gk.iter().enumerate() {
-                scr.gk_pos[v as usize] = i as u32;
-                scr.gk_pos_epoch[v as usize] = scr.epoch;
+                scr.stamp_gk_pos(v, i as u32);
             }
         }
         let stats = QueryStats { query_tree_size: space.len() as u32, ..Default::default() };
@@ -265,14 +301,22 @@ impl<'a> Verifier<'a> {
         let ctx = self.ctx;
         let space = self.space;
         let scr = self.scratch.get();
-        ensure_mask(scr, ctx, space, v);
-        let mask = scr.masks[v as usize].as_ref().unwrap();
-        self.interner.is_subset_of_words(id, mask.words())
+        let interner = &self.interner;
+        ensure_mask(scr, ctx, space, v)
+            .is_some_and(|mask| interner.is_subset_of_words(id, mask.words()))
     }
 
-    fn ensure_memo(&mut self, id: SubtreeId) {
+    /// The memoized verdict for `id`, growing the table on first sight.
+    fn memo_get(&mut self, id: SubtreeId) -> Option<Community> {
         if id.index() >= self.memo.len() {
             self.memo.resize(self.interner.num_interned().max(id.index() + 1), None);
+        }
+        self.memo.get(id.index()).and_then(Clone::clone)
+    }
+
+    fn memo_set(&mut self, id: SubtreeId, result: Community) {
+        if let Some(slot) = self.memo.get_mut(id.index()) {
+            *slot = Some(result);
         }
     }
 
@@ -286,10 +330,9 @@ impl<'a> Verifier<'a> {
             // every vertex contains the taxonomy root.
             return self.gk.clone();
         }
-        self.ensure_memo(id);
-        if let Some(hit) = &self.memo[id.index()] {
+        if let Some(hit) = self.memo_get(id) {
             self.stats.memo_hits += 1;
-            return hit.clone();
+            return hit;
         }
         let result = if self.ctx.index.is_some() {
             self.verify_indexed(id)
@@ -301,7 +344,7 @@ impl<'a> Verifier<'a> {
                     let gk = Rc::clone(gk);
                     self.stats.seed_scanned += gk.len() as u64;
                     let (ctx, space) = (self.ctx, self.space);
-                    filter_seed(&self.interner, id, ctx, space, self.scratch.get(), &gk[..]);
+                    filter_seed(&self.interner, id, ctx, space, self.scratch.get(), gk.as_slice());
                     self.peel()
                 }
                 None => None,
@@ -310,7 +353,7 @@ impl<'a> Verifier<'a> {
         if result.is_some() {
             self.stats.feasible += 1;
         }
-        self.memo[id.index()] = Some(result.clone());
+        self.memo_set(id, result.clone());
         result
     }
 
@@ -325,99 +368,126 @@ impl<'a> Verifier<'a> {
         self.interner.leaves_into(id, &mut leaves);
         debug_assert!(!leaves.is_empty(), "non-empty candidate has a leaf");
         // Ensure every leaf's ĉore bitset exists; find the smallest.
+        // `ensure_label_set` never leaves a set `Unbuilt`, so an
+        // `Unbuilt` here is a logic error — treated as missing (the
+        // conservative verdict) rather than a panic.
         let mut best: Option<(u32, u32)> = None; // (count, pos)
         let mut missing = false;
         for &p in &leaves {
             match self.ensure_label_set(p) {
-                LabelCoreSet::Missing => {
-                    missing = true;
-                    break;
-                }
                 LabelCoreSet::Built { count, .. } => {
                     let count = *count;
                     if best.is_none_or(|(c, _)| count < c) {
                         best = Some((count, p));
                     }
                 }
-                LabelCoreSet::Unbuilt => unreachable!("ensure_label_set builds"),
+                state => {
+                    debug_assert!(
+                        matches!(state, LabelCoreSet::Missing),
+                        "ensure_label_set builds"
+                    );
+                    missing = true;
+                    break;
+                }
             }
         }
-        let result = if missing {
-            None
-        } else {
-            let (best_count, best_pos) = best.expect("at least one leaf");
-            self.stats.seed_scanned += best_count as u64;
-            let gk = self.gk.clone().expect("a built label ĉore implies Gk exists");
-            // AND all leaf sets into the scratch word buffer.
-            let scr = self.scratch.get();
-            let QueryScratch { words_buf, seed, .. } = scr;
-            let LabelCoreSet::Built { bits, .. } = &self.label_sets[best_pos as usize] else {
-                unreachable!()
-            };
-            words_buf.clear();
-            words_buf.extend_from_slice(bits);
-            for &p in &leaves {
-                if p != best_pos {
-                    let LabelCoreSet::Built { bits, .. } = &self.label_sets[p as usize] else {
-                        unreachable!()
-                    };
-                    for (a, b) in words_buf.iter_mut().zip(bits.iter()) {
-                        *a &= *b;
+        let best = if missing { None } else { best };
+        let result = match (best, self.gk.clone()) {
+            (Some((best_count, best_pos)), Some(gk)) => {
+                self.stats.seed_scanned += best_count as u64;
+                // AND all leaf sets into the scratch word buffer.
+                let scr = self.scratch.get();
+                let QueryScratch { words_buf, seed, .. } = scr;
+                words_buf.clear();
+                if let LabelCoreSet::Built { bits, .. } = label_set(&self.label_sets, best_pos) {
+                    words_buf.extend_from_slice(bits);
+                }
+                for &p in &leaves {
+                    if p != best_pos {
+                        if let LabelCoreSet::Built { bits, .. } = label_set(&self.label_sets, p) {
+                            for (a, b) in words_buf.iter_mut().zip(bits.iter()) {
+                                *a &= *b;
+                            }
+                        }
                     }
                 }
-            }
-            // Materialize: Gk is sorted, so the seed comes out sorted.
-            seed.clear();
-            for (wi, &w) in words_buf.iter().enumerate() {
-                let mut bits = w;
-                while bits != 0 {
-                    let b = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    seed.push(gk[wi * 64 + b]);
+                // Materialize: Gk is sorted, so the seed comes out
+                // sorted. Set bits only exist at stamped Gk positions,
+                // so the checked lookup never actually misses.
+                seed.clear();
+                for (wi, &w) in words_buf.iter().enumerate() {
+                    let mut bits = w;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if let Some(&v) = gk.get(wi * 64 + b) {
+                            seed.push(v);
+                        }
+                    }
+                }
+                if seed.len() == best_count as usize {
+                    // The smallest leaf ĉore survived the intersection
+                    // whole: the candidates ARE that ĉore — a connected
+                    // k-core containing q — so the peel is a no-op.
+                    self.stats.verifications += 1;
+                    Some(Rc::new(seed.clone()))
+                } else {
+                    self.peel()
                 }
             }
-            if seed.len() == best_count as usize {
-                // The smallest leaf ĉore survived the intersection
-                // whole: the candidates ARE that ĉore — a connected
-                // k-core containing q — so the peel is a no-op.
-                self.stats.verifications += 1;
-                Some(Rc::new(seed.clone()))
-            } else {
-                self.peel()
+            (Some(_), None) => {
+                debug_assert!(false, "a built label ĉore implies Gk exists");
+                None
             }
+            (None, _) => None,
         };
         self.leaf_buf = leaves;
         result
     }
 
     /// Builds (once) the bitset of `I.get(k, q, label_at(pos))` over
-    /// `Gk` positions.
+    /// `Gk` positions. Only meaningful on the indexed path; with no
+    /// index attached the set reads as `Missing` (callers guard on
+    /// `ctx.index` before reaching here).
     fn ensure_label_set(&mut self, pos: u32) -> &LabelCoreSet {
-        if matches!(self.label_sets[pos as usize], LabelCoreSet::Unbuilt) {
-            let index = self.ctx.index.expect("indexed path");
-            let label = self.space.label_at(pos);
-            let built = match index.get_ref(self.k, self.q, label) {
-                None => LabelCoreSet::Missing,
-                Some(slice) => {
-                    let gk_len = self.gk.as_ref().map_or(0, |g| g.len());
-                    let mut bits = vec![0u64; gk_len.div_ceil(64).max(1)].into_boxed_slice();
-                    let scr = self.scratch.get();
-                    let mut count = 0u32;
-                    for &v in slice {
-                        // Every level-k label ĉore is a subset of Gk;
-                        // the epoch guard is a defensive no-op.
-                        if scr.gk_pos_epoch[v as usize] == scr.epoch {
-                            let i = scr.gk_pos[v as usize] as usize;
-                            bits[i / 64] |= 1 << (i % 64);
-                            count += 1;
+        if matches!(label_set(&self.label_sets, pos), LabelCoreSet::Unbuilt) {
+            let built = match self.ctx.index {
+                None => {
+                    debug_assert!(false, "ensure_label_set on the unindexed path");
+                    LabelCoreSet::Missing
+                }
+                Some(index) => {
+                    let label = self.space.label_at(pos);
+                    match index.get_ref(self.k, self.q, label) {
+                        None => LabelCoreSet::Missing,
+                        Some(slice) => {
+                            let gk_len = self.gk.as_ref().map_or(0, |g| g.len());
+                            let mut bits =
+                                vec![0u64; gk_len.div_ceil(64).max(1)].into_boxed_slice();
+                            let scr = self.scratch.get();
+                            let mut count = 0u32;
+                            for &v in slice {
+                                // Every level-k label ĉore is a subset
+                                // of Gk; an unstamped vertex would mean
+                                // the index disagrees with the core
+                                // decomposition, so skip it.
+                                if let Some(i) = scr.gk_pos_of(v) {
+                                    if let Some(w) = bits.get_mut(i as usize / 64) {
+                                        *w |= 1 << (i % 64);
+                                        count += 1;
+                                    }
+                                }
+                            }
+                            LabelCoreSet::Built { bits, count }
                         }
                     }
-                    LabelCoreSet::Built { bits, count }
                 }
             };
-            self.label_sets[pos as usize] = built;
+            if let Some(slot) = self.label_sets.get_mut(pos as usize) {
+                *slot = built;
+            }
         }
-        &self.label_sets[pos as usize]
+        label_set(&self.label_sets, pos)
     }
 
     /// `Gk[T]` computed by narrowing a known parent community
@@ -432,30 +502,29 @@ impl<'a> Verifier<'a> {
         base: &Rc<Vec<VertexId>>,
         added_pos: u32,
     ) -> Community {
-        self.ensure_memo(id);
-        if let Some(hit) = &self.memo[id.index()] {
+        if let Some(hit) = self.memo_get(id) {
             self.stats.memo_hits += 1;
-            return hit.clone();
+            return hit;
         }
         debug_assert!(
             self.ctx.index.is_some(),
             "verify_from_base is only used by index-based algorithms"
         );
-        let result = match self.ensure_label_set(added_pos) {
-            LabelCoreSet::Missing => None,
-            LabelCoreSet::Built { .. } => {
+        self.ensure_label_set(added_pos);
+        let result = match label_set(&self.label_sets, added_pos) {
+            LabelCoreSet::Built { bits, .. } => {
                 self.stats.seed_scanned += base.len() as u64;
-                let LabelCoreSet::Built { bits, .. } = &self.label_sets[added_pos as usize] else {
-                    unreachable!()
-                };
                 // candidates = base ∩ I.get(k, q, t): one O(1) bit test
                 // per base member, never a walk of the label's ĉore.
-                let QueryScratch { seed, gk_pos, gk_pos_epoch, epoch, .. } = self.scratch.get();
+                let scr = self.scratch.get();
+                let epoch = scr.epoch;
+                let QueryScratch { seed, gk_pos, gk_pos_epoch, .. } = scr;
                 seed.clear();
                 for &v in base.iter() {
-                    if gk_pos_epoch[v as usize] == *epoch {
-                        let i = gk_pos[v as usize] as usize;
-                        if bits[i / 64] & (1 << (i % 64)) != 0 {
+                    let vi = v as usize;
+                    if gk_pos_epoch.get(vi).copied() == Some(epoch) {
+                        let i = gk_pos.get(vi).copied().unwrap_or(u32::MAX) as usize;
+                        if bits.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0) {
                             seed.push(v);
                         }
                     }
@@ -471,12 +540,14 @@ impl<'a> Verifier<'a> {
                     self.peel()
                 }
             }
-            LabelCoreSet::Unbuilt => unreachable!("ensure_label_set builds"),
+            // `ensure_label_set` never leaves `Unbuilt`; either way a
+            // non-built set means the narrowed candidate is infeasible.
+            _ => None,
         };
         if result.is_some() {
             self.stats.feasible += 1;
         }
-        self.memo[id.index()] = Some(result.clone());
+        self.memo_set(id, result.clone());
         result
     }
 
@@ -507,13 +578,13 @@ impl<'a> Verifier<'a> {
         if id.index() >= self.maximal_memo.len() {
             self.maximal_memo.resize(self.interner.num_interned().max(id.index() + 1), 0);
         }
-        match self.maximal_memo[id.index()] {
-            1 => return true,
-            2 => return false,
+        match self.maximal_memo.get(id.index()).copied() {
+            Some(1) => return true,
+            Some(2) => return false,
             _ => {}
         }
         let Some(community) = self.verify_id(id) else {
-            self.maximal_memo[id.index()] = 2;
+            self.set_maximal_verdict(id, 2);
             return false;
         };
         let mut buf = std::mem::take(&mut self.maximal_buf);
@@ -534,8 +605,17 @@ impl<'a> Verifier<'a> {
             }
         }
         self.maximal_buf = buf;
-        self.maximal_memo[id.index()] = if maximal { 1 } else { 2 };
+        self.set_maximal_verdict(id, if maximal { 1 } else { 2 });
         maximal
+    }
+
+    /// Records a maximality verdict (the table was grown by the caller;
+    /// the checked write tolerates a stale length).
+    #[inline]
+    fn set_maximal_verdict(&mut self, id: SubtreeId, verdict: u8) {
+        if let Some(slot) = self.maximal_memo.get_mut(id.index()) {
+            *slot = verdict;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -581,21 +661,31 @@ impl<'a> Verifier<'a> {
 }
 
 /// Builds (or revalidates) the lazy mask of `v`: `T(v)` projected onto
-/// the query space's bit positions.
-fn ensure_mask(scr: &mut QueryScratch, ctx: &QueryContext<'_>, space: &QuerySpace, v: VertexId) {
+/// the query space's bit positions. Returns the mask, or `None` for a
+/// vertex with no profile (out of range — impossible after `begin(n)`,
+/// but the conservative answer is "contains nothing").
+fn ensure_mask<'s>(
+    scr: &'s mut QueryScratch,
+    ctx: &QueryContext<'_>,
+    space: &QuerySpace,
+    v: VertexId,
+) -> Option<&'s Subtree> {
     let vi = v as usize;
-    if scr.mask_epoch[vi] == scr.epoch {
-        return;
-    }
-    let profile = &ctx.profiles[vi];
-    let mut m = space.empty();
-    for pos in 0..space.len() as u32 {
-        if profile.contains(space.label_at(pos)) {
-            m.insert(pos);
+    if scr.mask_epoch.get(vi).copied() != Some(scr.epoch) {
+        let profile = ctx.profiles.get(vi)?;
+        let mut m = space.empty();
+        for pos in 0..space.len() as u32 {
+            if profile.contains(space.label_at(pos)) {
+                m.insert(pos);
+            }
+        }
+        let ep = scr.epoch;
+        if let (Some(slot), Some(e)) = (scr.masks.get_mut(vi), scr.mask_epoch.get_mut(vi)) {
+            *slot = Some(m);
+            *e = ep;
         }
     }
-    scr.masks[vi] = Some(m);
-    scr.mask_epoch[vi] = scr.epoch;
+    scr.masks.get(vi)?.as_ref()
 }
 
 /// Filters `seed` by the per-vertex mask test for candidate `id` into
@@ -610,9 +700,9 @@ fn filter_seed(
 ) {
     scr.seed.clear();
     for &v in seed {
-        ensure_mask(scr, ctx, space, v);
-        let mask = scr.masks[v as usize].as_ref().unwrap();
-        if interner.is_subset_of_words(id, mask.words()) {
+        let ok = ensure_mask(scr, ctx, space, v)
+            .is_some_and(|mask| interner.is_subset_of_words(id, mask.words()));
+        if ok {
             scr.seed.push(v);
         }
     }
@@ -623,12 +713,12 @@ fn filter_seed(
 pub fn intersect_sorted(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
+    while let (Some(&x), Some(&y)) = (a.get(i), b.get(j)) {
+        match x.cmp(&y) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                out.push(a[i]);
+                out.push(x);
                 i += 1;
                 j += 1;
             }

@@ -25,6 +25,7 @@ use crate::gen::ProfiledDataset;
 
 /// Errors from dataset persistence.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum DatasetIoError {
     /// Filesystem or format error from the graph layer.
     Graph(GraphError),

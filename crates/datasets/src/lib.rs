@@ -24,6 +24,8 @@
 //! * [`updates`] — timestamped edge/profile mutation streams for the
 //!   engine's live-update path.
 
+#![deny(unsafe_code)]
+
 pub mod ego;
 pub mod gen;
 pub mod io;

@@ -182,6 +182,8 @@ impl EngineBuilder {
             state: RwLock::new(snapshot),
             writer: Mutex::new(None),
             scratch_pool: Mutex::new(Vec::new()),
+            #[cfg(feature = "debug-invariants")]
+            verify_epoch_hwm: std::sync::atomic::AtomicU64::new(0),
         };
         if self.index_mode == IndexMode::Eager {
             engine.warm()?;
@@ -242,6 +244,11 @@ pub struct PcsEngine {
     /// checks one out, runs allocation-free, and returns it. Pooled so
     /// concurrent `query_batch` workers each get their own.
     scratch_pool: Mutex<Vec<QueryScratch>>,
+    /// Highest epoch [`verify_deep`](PcsEngine::verify_deep) has seen:
+    /// published epochs must never regress, and the verifier is the
+    /// witness.
+    #[cfg(feature = "debug-invariants")]
+    verify_epoch_hwm: std::sync::atomic::AtomicU64,
 }
 
 impl PcsEngine {
@@ -698,6 +705,137 @@ impl PcsEngine {
             return 0;
         }
         ((populated_labels as f64 * self.patch_cap_fraction).ceil() as usize).max(4)
+    }
+}
+
+/// The deep invariant verifier and the corruption hooks its mutation
+/// tests seed state through. Compiled only under `debug-invariants`;
+/// release builds and the bench harness carry none of this code.
+#[cfg(feature = "debug-invariants")]
+impl PcsEngine {
+    /// Cross-checks every invariant the current snapshot must satisfy
+    /// — CSR symmetry/sortedness/no-self-loops, `core(v) ≤ deg(v)`
+    /// plus the k-core closure spot-check, profile ancestor-closure,
+    /// index member-table ⇄ profile consistency, and resident-shard
+    /// CL-tree arena geometry (see
+    /// [`EngineSnapshot::verify_deep`](crate::EngineSnapshot::verify_deep))
+    /// — and additionally that the published epoch never regresses
+    /// below one this engine has already verified.
+    ///
+    /// Returns the first violated invariant as a human-readable
+    /// description; `Ok(())` means the snapshot is internally
+    /// consistent at full depth.
+    pub fn verify_deep(&self) -> std::result::Result<(), String> {
+        use std::sync::atomic::Ordering;
+        let snap = self.snapshot_arc();
+        let seen = self.verify_epoch_hwm.fetch_max(snap.epoch, Ordering::AcqRel);
+        if seen > snap.epoch {
+            return Err(format!(
+                "epoch regression: previously verified epoch {seen}, \
+                 current snapshot is epoch {}",
+                snap.epoch
+            ));
+        }
+        snap.verify_deep(&self.tax)
+    }
+
+    /// Republishes the current snapshot with `parts` swapped in.
+    /// Shared tail of the corruption hooks below.
+    fn publish_for_test(&self, next: SnapshotInner) {
+        *self.state.write().expect("engine state lock poisoned") = Arc::new(next);
+    }
+
+    /// A copy of the current snapshot's index cell ([`ShardedCpIndex`]
+    /// clones share resident shards, so this is cheap).
+    fn index_cell_for_test(
+        snap: &SnapshotInner,
+    ) -> OnceLock<std::result::Result<ShardedCpIndex, IndexError>> {
+        let cell = OnceLock::new();
+        if let Some(r) = snap.index.get() {
+            let _ = cell.set(r.clone());
+        }
+        cell
+    }
+
+    /// Test-only corruption hook: swaps in a replacement graph with no
+    /// validation (pair with
+    /// `Graph::from_csr_unvalidated_for_test`). Derived state (cores,
+    /// index) is dropped so the graph check fires first.
+    pub fn corrupt_graph_for_test(&self, graph: Graph) {
+        let snap = self.snapshot_arc();
+        self.publish_for_test(SnapshotInner {
+            graph: Arc::new(graph),
+            profiles: Arc::clone(&snap.profiles),
+            cores: Arc::new(OnceLock::new()),
+            index: OnceLock::new(),
+            epoch: snap.epoch,
+        });
+    }
+
+    /// Test-only corruption hook: replaces the snapshot's core
+    /// decomposition with forged per-vertex numbers.
+    pub fn corrupt_cores_for_test(&self, core_numbers: Vec<u32>) {
+        let snap = self.snapshot_arc();
+        let cell = OnceLock::new();
+        let _ = cell.set(CoreDecomposition::from_core_numbers(core_numbers));
+        self.publish_for_test(SnapshotInner {
+            graph: Arc::clone(&snap.graph),
+            profiles: Arc::clone(&snap.profiles),
+            cores: Arc::new(cell),
+            index: Self::index_cell_for_test(&snap),
+            epoch: snap.epoch,
+        });
+    }
+
+    /// Test-only corruption hook: replaces the snapshot's profiles
+    /// with no validation, **keeping** the built index — the way to
+    /// desynchronize the index's member table from the published
+    /// profiles without touching the index itself.
+    pub fn corrupt_profiles_for_test(&self, profiles: Vec<PTree>) {
+        let snap = self.snapshot_arc();
+        self.publish_for_test(SnapshotInner {
+            graph: Arc::clone(&snap.graph),
+            profiles: Arc::new(profiles),
+            cores: Arc::clone(&snap.cores),
+            index: Self::index_cell_for_test(&snap),
+            epoch: snap.epoch,
+        });
+    }
+
+    /// Test-only corruption hook: clones the built index, lets the
+    /// caller mutate the clone (e.g.
+    /// `ShardedCpIndex::tamper_member_table_for_test`), and republishes
+    /// it. Returns `false` (and publishes nothing) when no index is
+    /// built on the current snapshot.
+    pub fn corrupt_index_for_test(&self, mutate: impl FnOnce(&mut ShardedCpIndex)) -> bool {
+        let snap = self.snapshot_arc();
+        let Some(idx) = snap.index_if_built() else { return false };
+        let mut tampered = idx.clone();
+        mutate(&mut tampered);
+        let cell = OnceLock::new();
+        let _ = cell.set(Ok(tampered));
+        self.publish_for_test(SnapshotInner {
+            graph: Arc::clone(&snap.graph),
+            profiles: Arc::clone(&snap.profiles),
+            cores: Arc::clone(&snap.cores),
+            index: cell,
+            epoch: snap.epoch,
+        });
+        true
+    }
+
+    /// Test-only corruption hook: republishes the current state under
+    /// an arbitrary epoch number, so mutation tests can stage an epoch
+    /// regression.
+    pub fn corrupt_epoch_for_test(&self, epoch: u64) {
+        let snap = self.snapshot_arc();
+        self.publish_for_test(SnapshotInner {
+            graph: Arc::clone(&snap.graph),
+            profiles: Arc::clone(&snap.profiles),
+            cores: Arc::clone(&snap.cores),
+            index: Self::index_cell_for_test(&snap),
+            epoch,
+        });
     }
 }
 

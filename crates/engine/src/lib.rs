@@ -56,6 +56,8 @@
 //! assert!(resp.index_used);
 //! ```
 
+#![deny(unsafe_code)]
+
 mod engine;
 mod error;
 mod persist;

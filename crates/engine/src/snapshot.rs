@@ -49,6 +49,78 @@ impl SnapshotInner {
     }
 }
 
+/// The deep invariant verifier. Compiled only under `debug-invariants`;
+/// release builds carry none of this code.
+#[cfg(feature = "debug-invariants")]
+impl SnapshotInner {
+    /// Cross-checks every invariant one epoch's published state must
+    /// satisfy:
+    ///
+    /// * **CSR structure** via [`Graph::validate`]: monotone offsets,
+    ///   sorted duplicate-free adjacency, no self-loops, symmetric
+    ///   half-edges;
+    /// * **profiles**: one per vertex, every label in range, every
+    ///   node set ancestor-closed in the taxonomy;
+    /// * **cores** (when computed): one per vertex, `core(v) ≤ deg(v)`,
+    ///   and the k-core closure spot-check at every vertex —
+    ///   `|{u ∈ N(v) : core(u) ≥ core(v)}| ≥ core(v)` (a forged
+    ///   decomposition that claims a deeper ĉore than the graph
+    ///   supports fails here);
+    /// * **index** (when built): the full
+    ///   [`ShardedCpIndex::verify_deep`] pass against this snapshot's
+    ///   authoritative graph and profiles.
+    ///
+    /// Epoch monotonicity is checked one level up, in
+    /// [`PcsEngine::verify_deep`](crate::PcsEngine::verify_deep),
+    /// which owns the high-water mark.
+    pub(crate) fn verify_deep(&self, tax: &pcs_ptree::Taxonomy) -> std::result::Result<(), String> {
+        let at = |detail: String| format!("epoch {}: {detail}", self.epoch);
+        let n = self.graph.num_vertices();
+        self.graph.validate().map_err(|e| at(format!("CSR invariant broken: {e}")))?;
+        if self.profiles.len() != n {
+            return Err(at(format!("{} profiles for {n} vertices", self.profiles.len())));
+        }
+        for (v, p) in self.profiles.iter().enumerate() {
+            if let Some(&l) = p.nodes().iter().find(|&&l| l as usize >= tax.len()) {
+                return Err(at(format!("profile of vertex {v} names unknown label {l}")));
+            }
+            if !tax.is_ancestor_closed(p.nodes()) {
+                return Err(at(format!("profile of vertex {v} is not ancestor-closed")));
+            }
+        }
+        if let Some(cores) = self.cores.get() {
+            let core = cores.core_numbers();
+            if core.len() != n {
+                return Err(at(format!("{} core numbers for {n} vertices", core.len())));
+            }
+            for (v, &c) in core.iter().enumerate() {
+                let nbrs = self.graph.neighbors(v as u32);
+                if c as usize > nbrs.len() {
+                    return Err(at(format!(
+                        "core number {c} of vertex {v} exceeds its degree {}",
+                        nbrs.len()
+                    )));
+                }
+                let support = nbrs
+                    .iter()
+                    .filter(|&&u| core.get(u as usize).is_some_and(|&cu| cu >= c))
+                    .count();
+                if support < c as usize {
+                    return Err(at(format!(
+                        "k-core closure violated at vertex {v}: core {c} but only \
+                         {support} neighbors at that level"
+                    )));
+                }
+            }
+        }
+        if let Some(idx) = self.index_if_built() {
+            idx.verify_deep(tax, &self.graph, &self.profiles)
+                .map_err(|e| at(format!("index: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
 /// A consistent, immutable view of the engine at one epoch.
 ///
 /// Obtained from [`PcsEngine::snapshot`](crate::PcsEngine::snapshot);
@@ -97,6 +169,15 @@ impl EngineSnapshot {
     /// update batch.
     pub fn epoch(&self) -> u64 {
         self.inner.epoch
+    }
+
+    /// Runs the deep invariant verifier on this snapshot alone (no
+    /// epoch-monotonicity check — that needs the engine's high-water
+    /// mark; see [`PcsEngine::verify_deep`](crate::PcsEngine::verify_deep)).
+    /// `tax` must be the owning engine's taxonomy.
+    #[cfg(feature = "debug-invariants")]
+    pub fn verify_deep(&self, tax: &pcs_ptree::Taxonomy) -> std::result::Result<(), String> {
+        self.inner.verify_deep(tax)
     }
 }
 

@@ -1,0 +1,170 @@
+//! Mutation-style negative tests for the `debug-invariants` deep
+//! verifier: each test seeds exactly one corruption class through the
+//! feature-gated hooks and asserts `PcsEngine::verify_deep` names it.
+//! A verifier that cannot catch planted corruption is worse than none
+//! — these tests are the zero-false-negative proof.
+#![cfg(feature = "debug-invariants")]
+
+use pcs_engine::{IndexMode, PcsEngine};
+use pcs_graph::Graph;
+use pcs_index::ClTree;
+use pcs_ptree::{PTree, Taxonomy};
+
+/// Triangle {0,1,2} with a tail 2–3–4; taxonomy r → {a, b}, a → c.
+fn parts() -> (Graph, Taxonomy, Vec<PTree>) {
+    let g = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]).unwrap();
+    let mut tax = Taxonomy::new("r");
+    let a = tax.add_child(Taxonomy::ROOT, "a").unwrap();
+    let b = tax.add_child(Taxonomy::ROOT, "b").unwrap();
+    let c = tax.add_child(a, "c").unwrap();
+    let profiles = vec![
+        PTree::from_labels(&tax, [c]).unwrap(),
+        PTree::from_labels(&tax, [a]).unwrap(),
+        PTree::from_labels(&tax, [b]).unwrap(),
+        PTree::from_labels(&tax, [a, b]).unwrap(),
+        PTree::from_labels(&tax, [b]).unwrap(),
+    ];
+    (g, tax, profiles)
+}
+
+fn eager_engine() -> PcsEngine {
+    let (g, tax, profiles) = parts();
+    PcsEngine::builder()
+        .graph(g)
+        .taxonomy(tax)
+        .profiles(profiles)
+        .index_mode(IndexMode::Eager)
+        .build()
+        .unwrap()
+}
+
+fn expect_violation(engine: &PcsEngine, needle: &str) {
+    let err = engine.verify_deep().expect_err("planted corruption must be detected");
+    assert!(err.contains(needle), "diagnostic {err:?} does not mention {needle:?}");
+}
+
+#[test]
+fn clean_engine_passes_at_every_epoch() {
+    let engine = eager_engine();
+    engine.verify_deep().unwrap();
+    engine.add_edge(1, 3).unwrap();
+    engine.verify_deep().unwrap();
+    engine.remove_edge(0, 1).unwrap();
+    engine.verify_deep().unwrap();
+    let tax = engine.taxonomy().clone();
+    let p = PTree::from_labels(&tax, [tax.id_of("b").unwrap()]).unwrap();
+    engine.update_profile(0, p).unwrap();
+    engine.verify_deep().unwrap();
+    // Lazily indexed engines verify too, before and after warm-up.
+    let (g, tax, profiles) = parts();
+    let lazy = PcsEngine::builder()
+        .graph(g)
+        .taxonomy(tax)
+        .profiles(profiles)
+        .index_mode(IndexMode::Lazy)
+        .build()
+        .unwrap();
+    lazy.verify_deep().unwrap();
+    lazy.warm().unwrap();
+    lazy.verify_deep().unwrap();
+}
+
+#[test]
+fn detects_asymmetric_csr() {
+    let engine = eager_engine();
+    // Vertex 0 lists 1 as a neighbor; 1 does not list 0 back.
+    let half = Graph::from_csr_unvalidated_for_test(vec![0, 1, 1, 1, 1, 1], vec![1]);
+    engine.corrupt_graph_for_test(half);
+    expect_violation(&engine, "CSR invariant broken");
+}
+
+#[test]
+fn detects_unsorted_adjacency() {
+    let engine = eager_engine();
+    // Symmetric 0–1, 0–2 but vertex 0's list is out of order.
+    let bad = Graph::from_csr_unvalidated_for_test(vec![0, 2, 3, 4, 4, 4], vec![2, 1, 0, 0]);
+    engine.corrupt_graph_for_test(bad);
+    expect_violation(&engine, "CSR invariant broken");
+}
+
+#[test]
+fn detects_core_number_above_degree() {
+    let engine = eager_engine();
+    engine.snapshot().cores(); // make sure the cell is populated
+                               // Vertex 4 has degree 1; claim core 3.
+    engine.corrupt_cores_for_test(vec![2, 2, 2, 1, 3]);
+    expect_violation(&engine, "exceeds its degree");
+}
+
+#[test]
+fn detects_kcore_closure_violation() {
+    let engine = eager_engine();
+    // Vertex 3 has degree 2 (neighbors 2 and 4), so core 2 passes the
+    // degree check — but only vertex 2 sits at level ≥ 2, so the
+    // closure count 1 < 2 convicts the forgery.
+    engine.corrupt_cores_for_test(vec![2, 2, 2, 2, 1]);
+    expect_violation(&engine, "k-core closure violated");
+}
+
+#[test]
+fn detects_non_ancestor_closed_profile() {
+    let engine = eager_engine();
+    let mut profiles = engine.snapshot().profiles().to_vec();
+    // Label 3 ("c") without its parent 1 ("a"): upward closure broken.
+    profiles[0] = PTree::from_nodes_unchecked_for_test(vec![0, 3]);
+    engine.corrupt_profiles_for_test(profiles);
+    expect_violation(&engine, "not ancestor-closed");
+}
+
+#[test]
+fn detects_member_table_profile_mismatch() {
+    let engine = eager_engine();
+    // Desynchronize from the index side: empty out label 1's table.
+    assert!(engine.corrupt_index_for_test(|idx| idx.tamper_member_table_for_test(1, Vec::new())));
+    expect_violation(&engine, "disagrees with the profiles");
+
+    // ... and from the snapshot side: publish different profiles while
+    // keeping the index built against the old ones.
+    let engine = eager_engine();
+    let tax = engine.taxonomy().clone();
+    let mut profiles = engine.snapshot().profiles().to_vec();
+    profiles[1] = PTree::from_labels(&tax, [tax.id_of("b").unwrap()]).unwrap();
+    engine.corrupt_profiles_for_test(profiles);
+    expect_violation(&engine, "disagrees with the profiles");
+}
+
+#[test]
+fn detects_shard_member_list_divergence() {
+    let engine = eager_engine();
+    let snap = engine.snapshot();
+    let g = snap.graph().clone();
+    drop(snap);
+    // A structurally valid CL-tree over the wrong member set.
+    let stray = ClTree::build_on_subset(&g, &[0]);
+    assert!(engine.corrupt_index_for_test(|idx| idx.replace_shard_for_test(1, stray)));
+    expect_violation(&engine, "diverged from the member table");
+}
+
+#[test]
+fn detects_arena_geometry_lie() {
+    let engine = eager_engine();
+    let snap = engine.snapshot();
+    let shard = snap.index().unwrap().shard_if_resident(1).expect("eager index is resident");
+    let mut flat = shard.cl.to_flat();
+    drop(snap);
+    // Claim one more own vertex than the subtree range holds.
+    flat.own_len[0] = flat.sub_len[0] + 1;
+    let lying = ClTree::from_flat_unchecked_for_test(flat);
+    assert!(engine.corrupt_index_for_test(|idx| idx.replace_shard_for_test(1, lying)));
+    expect_violation(&engine, "fails structural validation");
+}
+
+#[test]
+fn detects_epoch_regression() {
+    let engine = eager_engine();
+    engine.add_edge(1, 3).unwrap();
+    assert_eq!(engine.epoch(), 1);
+    engine.verify_deep().unwrap(); // high-water mark now 1
+    engine.corrupt_epoch_for_test(0);
+    expect_violation(&engine, "epoch regression");
+}

@@ -69,6 +69,16 @@ impl Graph {
         g
     }
 
+    /// Test-only corruption hook: adopts CSR arrays with **no**
+    /// validation and no debug assertion, so the `debug-invariants`
+    /// mutation tests can seed deliberately malformed layouts
+    /// (asymmetric half-edges, unsorted lists) and assert that
+    /// `verify_deep` catches them. Never use outside those tests.
+    #[cfg(feature = "debug-invariants")]
+    pub fn from_csr_unvalidated_for_test(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
+        Graph { offsets, neighbors }
+    }
+
     /// Checks the CSR structural invariants: a monotone offset array
     /// bounding `neighbors` exactly, in-range endpoints, sorted
     /// duplicate-free adjacency lists, no self-loops, and symmetric

@@ -37,6 +37,8 @@
 //! assert_eq!(comm, vec![0, 1, 2]);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod bitset;
 pub mod components;
 pub mod core;
@@ -59,6 +61,7 @@ pub use unionfind::UnionFind;
 
 /// Errors produced by the graph substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum GraphError {
     /// An edge endpoint was `>= n` for a graph declared with `n` vertices.
     VertexOutOfRange {

@@ -33,6 +33,12 @@ use crate::{IndexError, Result};
 /// Sentinel for "no parent" links inside the forest.
 const NONE: u32 = u32::MAX;
 
+/// Fallback node for out-of-range ids (impossible for ids produced by
+/// this tree — `from_flat` validates every stored id): empty ranges and
+/// no parent, so every derived slice is empty and every walk stops.
+const EMPTY_NODE: ClNode =
+    ClNode { core: 0, parent: NONE, sub_off: 0, sub_len: 0, own_len: 0, kids_off: 0, kids_len: 0 };
+
 /// The complete persistent state of a [`ClTree`] as parallel flat
 /// arrays — the wire form snapshot writers serialize section by
 /// section (struct-of-arrays, so every field is one contiguous
@@ -172,6 +178,8 @@ impl ClTree {
     /// The shared construction core: union-find sweep + DFS arena
     /// layout over `sub` with core numbers `cd`. `ids` maps local ids
     /// back to host ids (`None` = identity, the whole-graph path).
+    // audit:allow-block(no-index): build-time only (never on the query path); every index is a local vertex id < n or a node id < nodes.len() created by this very function
+    // audit:allow-block(no-panic): union is guarded by ra != rb and the arena holds exactly the member set it was just built from; a failure here is a construction bug, not an input condition
     fn assemble(sub: &Graph, cd: &CoreDecomposition, ids: Option<Vec<VertexId>>) -> ClTree {
         let n = sub.num_vertices();
         let to_host = |v: u32| ids.as_ref().map_or(v, |ids| ids[v as usize]);
@@ -348,6 +356,7 @@ impl ClTree {
     /// every member located inside its own node's own-vertex range.
     /// Per-member core numbers are derived (`core[node_of[i]]`), not
     /// trusted.
+    // audit:allow-block(no-index): this function IS the validator guarding the query path — all array lengths are cross-checked at entry and every id is range-checked before the first indexed use; a checked rewrite would obscure which line validates which invariant
     pub fn from_flat(flat: ClTreeFlat) -> Result<ClTree> {
         let corrupt = |detail: String| IndexError::CorruptIndex { detail };
         let n_nodes = flat.core.len();
@@ -495,6 +504,68 @@ impl ClTree {
         })
     }
 
+    /// Test-only corruption hook: reassembles a tree from flat arrays
+    /// with **none** of [`ClTree::from_flat`]'s validation, so the
+    /// `debug-invariants` mutation tests can plant geometry lies
+    /// (overlapping subtree ranges, dishonest `own_len`) and assert
+    /// that `verify_deep`'s round-trip through the real validator
+    /// catches them. Never use outside those tests.
+    #[cfg(feature = "debug-invariants")]
+    pub fn from_flat_unchecked_for_test(flat: ClTreeFlat) -> ClTree {
+        let n_nodes = flat.core.len();
+        let mut kid_counts: Vec<u32> = vec![0; n_nodes];
+        for &p in &flat.parent {
+            if p != NONE {
+                if let Some(c) = kid_counts.get_mut(p as usize) {
+                    *c += 1;
+                }
+            }
+        }
+        let mut kids_off: Vec<u32> = Vec::with_capacity(n_nodes);
+        let mut acc = 0u32;
+        for &c in &kid_counts {
+            kids_off.push(acc);
+            acc += c;
+        }
+        let mut kids = vec![0u32; acc as usize];
+        let mut cursor = kids_off.clone();
+        for (id, &p) in flat.parent.iter().enumerate() {
+            if p != NONE {
+                if let Some(cu) = cursor.get_mut(p as usize) {
+                    if let Some(slot) = kids.get_mut(*cu as usize) {
+                        *slot = id as u32;
+                    }
+                    *cu += 1;
+                }
+            }
+        }
+        let core_of: Vec<u32> = flat
+            .node_of
+            .iter()
+            .map(|&nd| flat.core.get(nd as usize).copied().unwrap_or(0))
+            .collect();
+        let nodes: Vec<ClNode> = (0..n_nodes)
+            .map(|id| ClNode {
+                core: flat.core.get(id).copied().unwrap_or(0),
+                parent: flat.parent.get(id).copied().unwrap_or(NONE),
+                sub_off: flat.sub_off.get(id).copied().unwrap_or(0),
+                sub_len: flat.sub_len.get(id).copied().unwrap_or(0),
+                own_len: flat.own_len.get(id).copied().unwrap_or(0),
+                kids_off: kids_off.get(id).copied().unwrap_or(0),
+                kids_len: kid_counts.get(id).copied().unwrap_or(0),
+            })
+            .collect();
+        ClTree {
+            nodes,
+            kids,
+            arena: flat.arena,
+            members: flat.members,
+            node_of: flat.node_of,
+            core_of,
+            arena_pos: flat.arena_pos,
+        }
+    }
+
     /// Number of forest nodes.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
@@ -516,30 +587,38 @@ impl ClTree {
         self.members
     }
 
+    /// Checked node lookup; out-of-range ids read as [`EMPTY_NODE`].
+    #[inline]
+    fn nd(&self, id: u32) -> &ClNode {
+        self.nodes.get(id as usize).unwrap_or(&EMPTY_NODE)
+    }
+
     /// Forest node by id.
     pub fn node(&self, id: u32) -> &ClNode {
-        &self.nodes[id as usize]
+        self.nd(id)
     }
 
     /// Child node ids of `id` (deeper ĉores merged under it).
     pub fn children(&self, id: u32) -> &[u32] {
-        let node = &self.nodes[id as usize];
-        &self.kids[node.kids_off as usize..(node.kids_off + node.kids_len) as usize]
+        let node = self.nd(id);
+        self.kids
+            .get(node.kids_off as usize..(node.kids_off + node.kids_len) as usize)
+            .unwrap_or(&[])
     }
 
     /// The vertices whose core number equals `node(id).core` within
     /// this ĉore (sorted).
     pub fn node_members(&self, id: u32) -> &[VertexId] {
-        let node = &self.nodes[id as usize];
-        &self.arena[node.sub_off as usize..(node.sub_off + node.own_len) as usize]
+        let node = self.nd(id);
+        self.arena.get(node.sub_off as usize..(node.sub_off + node.own_len) as usize).unwrap_or(&[])
     }
 
     /// All vertices of the ĉore rooted at `id` — the node's whole
     /// subtree — as a borrowed arena slice. Distinct but **not
     /// globally sorted** (DFS order); sort a copy if order matters.
     pub fn subtree_members(&self, id: u32) -> &[VertexId] {
-        let node = &self.nodes[id as usize];
-        &self.arena[node.sub_off as usize..(node.sub_off + node.sub_len) as usize]
+        let node = self.nd(id);
+        self.arena.get(node.sub_off as usize..(node.sub_off + node.sub_len) as usize).unwrap_or(&[])
     }
 
     /// True when `v` is indexed by this tree.
@@ -558,21 +637,22 @@ impl ClTree {
         let Ok(i) = self.members.binary_search(&v) else {
             return false;
         };
-        let node = &self.nodes[id as usize];
-        let pos = self.arena_pos[i];
-        pos >= node.sub_off && pos < node.sub_off + node.sub_len
+        let node = self.nd(id);
+        self.arena_pos
+            .get(i)
+            .is_some_and(|&pos| pos >= node.sub_off && pos < node.sub_off + node.sub_len)
     }
 
     /// Core number of `v` within the indexed subgraph, if present.
     pub fn core_of(&self, v: VertexId) -> Option<u32> {
         let i = self.members.binary_search(&v).ok()?;
-        Some(self.core_of[i])
+        self.core_of.get(i).copied()
     }
 
     /// The `vertexNodeMap` lookup: the forest node holding `v`.
     pub fn node_of(&self, v: VertexId) -> Option<u32> {
         let i = self.members.binary_search(&v).ok()?;
-        Some(self.node_of[i])
+        self.node_of.get(i).copied()
     }
 
     /// The forest node whose subtree *is* the k-ĉore of `q`: the
@@ -585,13 +665,15 @@ impl ClTree {
     /// prove an edge insertion merges nothing.
     pub fn summit(&self, q: VertexId, k: u32) -> Option<u32> {
         let i = self.members.binary_search(&q).ok()?;
-        if self.core_of[i] < k {
+        if self.core_of.get(i).copied()? < k {
             return None;
         }
-        let mut cur = self.node_of[i];
+        // Parent ids strictly increase upward (validated on import), so
+        // the walk terminates; an out-of-range id reads as a root.
+        let mut cur = self.node_of.get(i).copied()?;
         loop {
-            let p = self.nodes[cur as usize].parent;
-            if p == NONE || self.nodes[p as usize].core < k {
+            let p = self.nd(cur).parent;
+            if p == NONE || self.nd(p).core < k {
                 break;
             }
             cur = p;
@@ -626,7 +708,7 @@ impl ClTree {
 
     /// Iterator over forest roots.
     pub fn roots(&self) -> impl Iterator<Item = u32> + '_ {
-        (0..self.nodes.len() as u32).filter(|&id| self.nodes[id as usize].parent == NONE)
+        self.nodes.iter().enumerate().filter(|(_, n)| n.parent == NONE).map(|(id, _)| id as u32)
     }
 
     /// Approximate heap footprint in bytes.

@@ -42,6 +42,8 @@
 //! [`IndexShard`]s that materialize on demand, so the first query pays
 //! for the labels it touches rather than the whole taxonomy.
 
+#![deny(unsafe_code)]
+
 pub mod cltree;
 pub mod cptree;
 pub mod sharded;
@@ -52,6 +54,7 @@ pub use sharded::{IndexRef, IndexShard, ShardSource, ShardedCpIndex};
 
 /// Errors produced while building or querying indexes.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum IndexError {
     /// The number of vertex profiles differs from the graph size.
     ProfileCountMismatch {

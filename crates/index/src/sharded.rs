@@ -122,10 +122,10 @@ impl ShardedCpIndex {
         let mut members_of: Vec<Vec<VertexId>> = vec![Vec::new(); tax.len()];
         for (v, p) in profiles.iter().enumerate() {
             for &l in p.nodes() {
-                if l as usize >= tax.len() {
-                    return Err(IndexError::UnknownLabel(l));
+                match members_of.get_mut(l as usize) {
+                    Some(list) => list.push(v as VertexId),
+                    None => return Err(IndexError::UnknownLabel(l)),
                 }
-                members_of[l as usize].push(v as VertexId);
             }
         }
         let n = graph.num_vertices();
@@ -204,7 +204,7 @@ impl ShardedCpIndex {
             )));
         }
         for (label, members) in members_of.iter().enumerate() {
-            if members.windows(2).any(|w| w[0] >= w[1]) {
+            if members.windows(2).any(|w| w.first() >= w.last()) {
                 return Err(corrupt(format!("members of label {label} unsorted or duplicated")));
             }
             if members.last().is_some_and(|&v| v as usize >= n) {
@@ -222,7 +222,7 @@ impl ShardedCpIndex {
                 return Err(corrupt("resident shard labels not strictly ascending".into()));
             }
             prev = Some(label);
-            if cl.members() != &members_of[label as usize][..] {
+            if members_of.get(label as usize).map(Vec::as_slice) != Some(cl.members()) {
                 return Err(corrupt(format!(
                     "shard {label} member list disagrees with the member table"
                 )));
@@ -230,7 +230,9 @@ impl ShardedCpIndex {
             if cl.members().is_empty() {
                 return Err(corrupt(format!("label {label} has a shard but no members")));
             }
-            slots[label as usize] = OnceLock::from(Arc::new(IndexShard { label, cl }));
+            if let Some(slot) = slots.get_mut(label as usize) {
+                *slot = OnceLock::from(Arc::new(IndexShard { label, cl }));
+            }
         }
         Ok(ShardedCpIndex {
             graph,
@@ -292,17 +294,20 @@ impl ShardedCpIndex {
         if self.members_of.get(i).is_none_or(|m| m.is_empty()) {
             return None;
         }
-        Some(self.slots[i].get_or_init(|| Arc::new(self.build_shard(label))))
+        Some(self.slots.get(i)?.get_or_init(|| Arc::new(self.build_shard(label))))
     }
 
     /// Materializes every populated shard, fanning out over up to
     /// `threads` workers (work-stealing over labels, like the
     /// monolithic shard-parallel build). Idempotent.
     pub fn materialize_all(&self, threads: usize) {
-        let pending: Vec<LabelId> = (0..self.members_of.len() as LabelId)
-            .filter(|&l| {
-                !self.members_of[l as usize].is_empty() && self.slots[l as usize].get().is_none()
-            })
+        let pending: Vec<LabelId> = self
+            .members_of
+            .iter()
+            .zip(&self.slots)
+            .enumerate()
+            .filter(|(_, (m, slot))| !m.is_empty() && slot.get().is_none())
+            .map(|(l, _)| l as LabelId)
             .collect();
         if pending.is_empty() {
             return;
@@ -331,8 +336,9 @@ impl ShardedCpIndex {
     /// shared global core decomposition; everything else peels its
     /// induced subgraph.
     fn build_shard(&self, label: LabelId) -> IndexShard {
-        let members: &[VertexId] = &self.members_of[label as usize];
-        if self.source_live[label as usize] {
+        let members: &[VertexId] =
+            self.members_of.get(label as usize).map(|m| m.as_slice()).unwrap_or_default();
+        if self.source_live.get(label as usize).copied().unwrap_or(false) {
             if let Some(source) = &self.source {
                 if let Some(cl) = source.load_shard(label) {
                     if cl.members() == members {
@@ -373,13 +379,18 @@ impl ShardedCpIndex {
     /// monolithic index's headMap restoration (`tax` is unused here;
     /// kept for signature parity with [`CpTree::restore_ptree`]).
     pub fn restore_ptree(&self, _tax: &Taxonomy, v: VertexId) -> PTree {
-        self.profiles[v as usize].clone()
+        // An out-of-range vertex (impossible for vertices of the
+        // indexed graph) restores as the trivial root-only profile.
+        self.profiles.get(v as usize).cloned().unwrap_or_else(PTree::root_only)
     }
 
     /// The pre-batch carried-label oracle for the shared maintenance
     /// classifier: `T(v).nodes()` straight from the profile share.
     fn labels_of(&self, v: VertexId) -> FxHashSet<LabelId> {
-        self.profiles[v as usize].nodes().iter().copied().collect()
+        self.profiles
+            .get(v as usize)
+            .map(|p| p.nodes().iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// See [`CpTree::invalidation_set`] — identical classification,
@@ -432,9 +443,13 @@ impl ShardedCpIndex {
             // Copy-on-write: only the lists the batch touches are
             // duplicated; every other label keeps sharing the previous
             // epoch's `Arc`.
-            touch.patch_members(label, Arc::make_mut(&mut self.members_of[i]));
-            self.source_live[i] = false;
-            if self.slots[i].get().is_some() {
+            if let Some(list) = self.members_of.get_mut(i) {
+                touch.patch_members(label, Arc::make_mut(list));
+            }
+            if let Some(live) = self.source_live.get_mut(i) {
+                *live = false;
+            }
+            if self.slots.get(i).is_some_and(|s| s.get().is_some()) {
                 rebuild.push(label);
             } else {
                 stats.labels_invalidated += 1;
@@ -449,17 +464,21 @@ impl ShardedCpIndex {
             }
             stats.labels_touched += 1;
             let i = label as usize;
-            match self.slots[i].get() {
+            match self.slots.get(i).and_then(OnceLock::get) {
                 Some(shard) => {
                     if count == 1 && edge_change_preserves(&shard.cl, g_after, u, v, added) {
                         stats.labels_skipped += 1;
                     } else {
-                        self.source_live[i] = false;
+                        if let Some(live) = self.source_live.get_mut(i) {
+                            *live = false;
+                        }
                         rebuild.push(label);
                     }
                 }
                 None => {
-                    self.source_live[i] = false;
+                    if let Some(live) = self.source_live.get_mut(i) {
+                        *live = false;
+                    }
                     stats.labels_invalidated += 1;
                 }
             }
@@ -484,11 +503,14 @@ impl ShardedCpIndex {
         for label in rebuild {
             let i = label as usize;
             stats.labels_rebuilt += 1;
-            self.slots[i] = if self.members_of[i].is_empty() {
+            let next = if self.members_of.get(i).is_none_or(|m| m.is_empty()) {
                 OnceLock::new() // the label lost its last carrier
             } else {
                 OnceLock::from(Arc::new(self.build_shard(label)))
             };
+            if let Some(slot) = self.slots.get_mut(i) {
+                *slot = next;
+            }
         }
         // Swap in the post-batch profile share (one Arc clone — the
         // snapshot the engine is publishing owns the same vector).
@@ -516,6 +538,108 @@ impl ShardedCpIndex {
         // The profile share is owned by the snapshot, not the index;
         // it is deliberately not counted here.
         total
+    }
+}
+
+/// Deep invariant verification and the corruption hooks its mutation
+/// tests seed state through. Compiled only under `debug-invariants`.
+#[cfg(feature = "debug-invariants")]
+impl ShardedCpIndex {
+    /// Cross-checks every structural invariant the query paths rely on
+    /// against the **authoritative** epoch state (`graph`, `profiles`
+    /// as published by the owning snapshot — not this index's own
+    /// copies, so a drifted internal share is itself a finding):
+    ///
+    /// * facade geometry: vertex count and label count match;
+    /// * member-table ⇄ profile consistency: each label's member list
+    ///   equals the sorted set of vertices whose profile carries it
+    ///   (members ⊆ carrier set and nothing missing);
+    /// * every resident shard: label slot agreement, member list equal
+    ///   to the facade's (the CL-tree indexes exactly its carriers),
+    ///   and full arena-geometry validation by round-tripping the tree
+    ///   through [`ClTree::from_flat`] — laminar tiling, topological
+    ///   parents, true inverse `arena_pos`, own-range placement.
+    pub fn verify_deep(
+        &self,
+        tax: &Taxonomy,
+        graph: &Graph,
+        profiles: &[PTree],
+    ) -> std::result::Result<(), String> {
+        let n = graph.num_vertices();
+        if self.n != n {
+            return Err(format!("index covers {} vertices, graph has {n}", self.n));
+        }
+        if self.profiles.len() != n {
+            return Err(format!(
+                "index profile share covers {} vertices, graph has {n}",
+                self.profiles.len()
+            ));
+        }
+        if self.members_of.len() != tax.len() {
+            return Err(format!(
+                "member table covers {} labels, taxonomy has {}",
+                self.members_of.len(),
+                tax.len()
+            ));
+        }
+        // Reference bucketing from the authoritative profiles.
+        let mut expect: Vec<Vec<VertexId>> = vec![Vec::new(); tax.len()];
+        for (v, p) in profiles.iter().enumerate() {
+            for &l in p.nodes() {
+                match expect.get_mut(l as usize) {
+                    Some(list) => list.push(v as VertexId),
+                    None => return Err(format!("profile of vertex {v} names unknown label {l}")),
+                }
+            }
+        }
+        for (l, (mine, want)) in self.members_of.iter().zip(&expect).enumerate() {
+            if mine.as_slice() != want.as_slice() {
+                return Err(format!(
+                    "member table of label {l} disagrees with the profiles \
+                     ({} members recorded, {} carriers exist)",
+                    mine.len(),
+                    want.len()
+                ));
+            }
+        }
+        for (l, slot) in self.slots.iter().enumerate() {
+            let Some(shard) = slot.get() else { continue };
+            if shard.label as usize != l {
+                return Err(format!("slot {l} holds a shard labelled {}", shard.label));
+            }
+            let table = self.members_of.get(l).map(|m| m.as_slice()).unwrap_or_default();
+            if shard.cl.members() != table {
+                return Err(format!(
+                    "resident shard {l} member list diverged from the member table"
+                ));
+            }
+            if shard.cl.members().last().is_some_and(|&v| v as usize >= n) {
+                return Err(format!("resident shard {l} indexes out-of-range vertices"));
+            }
+            ClTree::from_flat(shard.cl.to_flat())
+                .map_err(|e| format!("resident shard {l} fails structural validation: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Test-only corruption hook: overwrites a label's member table
+    /// with no cross-checks, desynchronizing it from the profiles so
+    /// mutation tests can assert [`verify_deep`](Self::verify_deep)
+    /// catches the mismatch. Never use outside those tests.
+    pub fn tamper_member_table_for_test(&mut self, label: LabelId, members: Vec<VertexId>) {
+        if let Some(slot) = self.members_of.get_mut(label as usize) {
+            *slot = Arc::new(members);
+        }
+    }
+
+    /// Test-only corruption hook: forces a shard into a label's slot
+    /// with no validation (pair with
+    /// [`ClTree::from_flat_unchecked_for_test`] to plant geometry
+    /// lies). Never use outside those tests.
+    pub fn replace_shard_for_test(&mut self, label: LabelId, cl: ClTree) {
+        if let Some(slot) = self.slots.get_mut(label as usize) {
+            *slot = OnceLock::from(Arc::new(IndexShard { label, cl }));
+        }
     }
 }
 

@@ -15,6 +15,8 @@
 //! * [`f1`] — F1-score of a found community against ground-truth
 //!   circles (Fig. 11 / Table 4).
 
+#![deny(unsafe_code)]
+
 pub mod cpf;
 pub mod cps;
 pub mod f1;

@@ -36,6 +36,8 @@
 //! assert!(!common.contains(is));
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod enumerate;
 pub mod intern;
 pub mod ptree;
@@ -51,6 +53,7 @@ pub use ted::{symmetric_difference_distance, tree_edit_distance, OrderedTree};
 
 /// Errors produced by the profile-tree substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum PTreeError {
     /// A label name was already used elsewhere in the taxonomy (label
     /// names are globally unique so that `id_of` is unambiguous).

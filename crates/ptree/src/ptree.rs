@@ -120,6 +120,15 @@ impl PTree {
         PTree { nodes }
     }
 
+    /// Test-only corruption hook: wraps an arbitrary node list with
+    /// **no** validation, so the `debug-invariants` mutation tests can
+    /// plant non-ancestor-closed profiles and assert that
+    /// `verify_deep` catches them. Never use outside those tests.
+    #[cfg(feature = "debug-invariants")]
+    pub fn from_nodes_unchecked_for_test(nodes: Vec<LabelId>) -> Self {
+        PTree { nodes }
+    }
+
     /// The sorted node ids.
     #[inline]
     pub fn nodes(&self) -> &[LabelId] {

@@ -15,6 +15,8 @@
 //! closure once so benches stay compile- and run-checked in CI without
 //! paying measurement time.
 
+#![deny(unsafe_code)]
+
 use std::fmt::Display;
 use std::hint;
 use std::time::{Duration, Instant};

@@ -8,6 +8,8 @@
 //! from a seeded deterministic RNG; failures report the generated
 //! input but (unlike real proptest) are not shrunk.
 
+#![deny(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::fmt;

@@ -8,6 +8,8 @@
 //! Streams are deterministic per seed but are NOT bit-compatible with
 //! crates.io `rand`; nothing in-tree depends on the exact stream.
 
+#![deny(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level entropy source: everything derives from `next_u64`.

@@ -130,8 +130,17 @@ impl LazyShardStore {
         let Ok(i) = self.entries.binary_search_by_key(&label, |&(l, _, _)| l) else {
             return Ok(None);
         };
-        let (_, off, len) = self.entries[i];
-        let mut r = SectionReader::new(&self.blob[off..off + len], section::INDEX);
+        let Some(&(_, off, len)) = self.entries.get(i) else {
+            return Ok(None);
+        };
+        let end = off
+            .checked_add(len)
+            .ok_or_else(|| corrupt(section::INDEX, "shard extent overflows"))?;
+        let payload = self
+            .blob
+            .get(off..end)
+            .ok_or_else(|| corrupt(section::INDEX, "shard extent out of bounds"))?;
+        let mut r = SectionReader::new(payload, section::INDEX);
         let flat = decode_cl(&mut r, self.narrow)?;
         r.finish()?;
         let cl = ClTree::from_flat(flat).map_err(|e| corrupt(section::INDEX, e.to_string()))?;
@@ -232,6 +241,15 @@ fn narrow_width(graph: &Graph, tax: &Taxonomy) -> bool {
     graph.num_vertices() < u16::MAX as usize && tax.len() < u16::MAX as usize
 }
 
+/// Encode-side checked narrowing to the u32 wire width. Overflow is a
+/// writer contract violation (ids and per-entity list lengths are bounded
+/// by u32 vertex/label counts); failing loudly beats serializing a
+/// checksum-valid lie — the same policy as [`SectionWriter::put_id_slice`].
+fn wire_u32(x: usize, what: &str) -> u32 {
+    // audit:allow(no-panic): writer contract — a wrapped length would serialize a checksum-valid corrupt file
+    u32::try_from(x).unwrap_or_else(|_| panic!("{what} {x} overflows the u32 wire width"))
+}
+
 fn encode_common_sections(
     file: &mut SnapshotFile,
     epoch: u64,
@@ -260,7 +278,7 @@ fn encode_common_sections(
     t.put_u64(tax.len() as u64);
     t.put_id_slice(tax.parents(), narrow);
     for name in tax.label_names() {
-        t.put_u32(name.len() as u32);
+        t.put_u32(wire_u32(name.len(), "label name length"));
         t.put_bytes(name.as_bytes());
     }
     file.push_section(section::TAXONOMY, t.finish());
@@ -268,7 +286,7 @@ fn encode_common_sections(
     let mut p = SectionWriter::new();
     p.put_u64(profiles.len() as u64);
     for profile in profiles {
-        p.put_u32(profile.nodes().len() as u32);
+        p.put_u32(wire_u32(profile.nodes().len(), "profile length"));
     }
     let total: usize = profiles.iter().map(|pr| pr.nodes().len()).sum();
     p.put_u64(total as u64);
@@ -326,20 +344,20 @@ fn decode_cl(r: &mut SectionReader<'_>, narrow: bool) -> Result<ClTreeFlat> {
 
 /// v1 `INDEX`: headMap, then every populated label's CL-tree inline.
 fn encode_index_v1(idx: &CpTree, num_labels: usize, narrow: bool) -> Vec<u8> {
-    let n = idx.num_vertices();
+    let n = wire_u32(idx.num_vertices(), "vertex count");
     let mut w = SectionWriter::new();
-    w.put_u64(n as u64);
+    w.put_u64(u64::from(n));
     w.put_u64(num_labels as u64);
-    for v in 0..n as VertexId {
-        w.put_u32(idx.head(v).len() as u32);
+    for v in 0..n {
+        w.put_u32(wire_u32(idx.head(v).len(), "head list length"));
     }
-    let total: usize = (0..n as VertexId).map(|v| idx.head(v).len()).sum();
+    let total: usize = (0..n).map(|v| idx.head(v).len()).sum();
     w.put_u64(total as u64);
-    for v in 0..n as VertexId {
+    for v in 0..n {
         w.put_id_slice(idx.head(v), narrow);
     }
     w.put_u64(idx.num_populated_labels() as u64);
-    for label in 0..num_labels as u32 {
+    for label in 0..wire_u32(num_labels, "label count") {
         let Some(node) = idx.node(label) else {
             continue;
         };
@@ -356,16 +374,16 @@ fn encode_index_v1(idx: &CpTree, num_labels: usize, narrow: bool) -> Vec<u8> {
 /// index in memory.
 fn encode_index_v2(idx: &ShardedCpIndex, narrow: bool) -> Vec<u8> {
     let n = idx.num_vertices();
-    let num_labels = idx.num_labels();
+    let num_labels = wire_u32(idx.num_labels(), "label count");
     let mut w = SectionWriter::new();
     w.put_u64(n as u64);
-    w.put_u64(num_labels as u64);
-    for label in 0..num_labels as LabelId {
-        w.put_u32(idx.vertices_with_label(label).len() as u32);
+    w.put_u64(u64::from(num_labels));
+    for label in 0..num_labels {
+        w.put_u32(wire_u32(idx.vertices_with_label(label).len(), "member list length"));
     }
-    let total: usize = (0..num_labels as LabelId).map(|l| idx.vertices_with_label(l).len()).sum();
+    let total: usize = (0..num_labels).map(|l| idx.vertices_with_label(l).len()).sum();
     w.put_u64(total as u64);
-    for label in 0..num_labels as LabelId {
+    for label in 0..num_labels {
         w.put_id_slice(idx.vertices_with_label(label), narrow);
     }
     // Directory + blob: encode each resident shard once, recording its
@@ -543,11 +561,15 @@ pub fn decode_snapshot_mode(
     p.finish()?;
     let mut profiles = Vec::with_capacity(profile_count);
     let mut loader = ProfileLoader::new(&tax);
-    let mut at = 0usize;
+    let mut rest = flat.as_slice();
     for (v, &len) in lens.iter().enumerate() {
-        let nodes = flat[at..at + len as usize].to_vec();
-        at += len as usize;
-        profiles.push(loader.ptree(&tax, nodes).map_err(|_| {
+        // The sum-vs-total check above makes this splittable by
+        // construction; `get` keeps the decoder structurally panic-free.
+        let (nodes, tail) = rest
+            .split_at_checked(len as usize)
+            .ok_or_else(|| corrupt(section::PROFILES, "per-profile lengths overrun the data"))?;
+        rest = tail;
+        profiles.push(loader.ptree(&tax, nodes.to_vec()).map_err(|_| {
             corrupt(section::PROFILES, format!("profile of vertex {v} is not a valid P-tree"))
         })?);
     }
@@ -566,7 +588,9 @@ pub fn decode_snapshot_mode(
             // cheap sanity bound that catches a cores section paired
             // with the wrong graph.
             for (v, &k) in core.iter().enumerate() {
-                if k as usize > graph.degree(v as VertexId) {
+                let vid = VertexId::try_from(v)
+                    .map_err(|_| corrupt(section::CORES, "vertex count overflows u32"))?;
+                if k as usize > graph.degree(vid) {
                     return Err(corrupt(
                         section::CORES,
                         format!("core number {k} of vertex {v} exceeds its degree"),
@@ -605,10 +629,13 @@ fn decode_head_map(
         return Err(corrupt(section::INDEX, "headMap references a missing label"));
     }
     let mut head_map = Vec::with_capacity(n);
-    let mut at = 0usize;
+    let mut rest = flat_heads.as_slice();
     for &len in &head_lens {
-        head_map.push(flat_heads[at..at + len as usize].to_vec());
-        at += len as usize;
+        let (heads, tail) = rest
+            .split_at_checked(len as usize)
+            .ok_or_else(|| corrupt(section::INDEX, "headMap lengths overrun the data"))?;
+        rest = tail;
+        head_map.push(heads.to_vec());
     }
     Ok(head_map)
 }
@@ -666,10 +693,8 @@ fn decode_index_v1(
     // T(v) follows, T(v) being ancestor-closed) and the closure's size
     // equals |T(v)|. Counted with one reusable stamp array: no
     // per-vertex allocation or sort.
-    let mut stamp = vec![u32::MAX; num_labels];
-    for v in 0..n as VertexId {
-        let profile = &profiles[v as usize];
-        let heads = &head_map[v as usize];
+    let mut stamp = vec![usize::MAX; num_labels];
+    for (v, (profile, heads)) in profiles.iter().zip(&head_map).enumerate() {
         let mut closure_size = 0usize;
         for &h in heads {
             if !profile.contains(h) {
@@ -679,9 +704,20 @@ fn decode_index_v1(
                 ));
             }
             let mut cur = h;
-            while stamp[cur as usize] != v {
-                stamp[cur as usize] = v;
-                closure_size += 1;
+            loop {
+                match stamp.get_mut(cur as usize) {
+                    Some(s) if *s != v => {
+                        *s = v;
+                        closure_size += 1;
+                    }
+                    Some(_) => break,
+                    None => {
+                        return Err(corrupt(
+                            section::INDEX,
+                            format!("headMap of vertex {v} references a missing label"),
+                        ))
+                    }
+                }
                 if cur == Taxonomy::ROOT {
                     break;
                 }
@@ -702,9 +738,11 @@ fn decode_index_v1(
     let mut prev: Option<LabelId> = None;
     for _ in 0..node_count {
         let label = r.u32()?;
-        if label as usize >= num_labels {
+        // `get_mut` is the bounds check: a label past the taxonomy has no
+        // member-table slot.
+        let Some(slot) = members_of.get_mut(label as usize) else {
             return Err(corrupt(section::INDEX, format!("populated label {label} out of range")));
-        }
+        };
         if prev.is_some_and(|p| p >= label) {
             return Err(corrupt(section::INDEX, "populated labels not strictly ascending"));
         }
@@ -712,7 +750,7 @@ fn decode_index_v1(
         let flat = decode_cl(&mut r, narrow)?;
         let members = flat.members.clone();
         let cl = validated_shard(flat, label, &members, n)?;
-        members_of[label as usize] = members;
+        *slot = members;
         shards.push((label, cl));
     }
     r.finish()?;
@@ -743,11 +781,13 @@ fn decode_index_v2(
     }
     let flat_members = r.id_vec(total, narrow)?;
     let mut members_of = Vec::with_capacity(num_labels);
-    let mut at = 0usize;
+    let mut rest = flat_members.as_slice();
     for (label, &len) in member_lens.iter().enumerate() {
-        let members = &flat_members[at..at + len as usize];
-        at += len as usize;
-        if members.windows(2).any(|w| w[0] >= w[1]) {
+        let (members, tail) = rest
+            .split_at_checked(len as usize)
+            .ok_or_else(|| corrupt(section::INDEX, "member-table lengths overrun the data"))?;
+        rest = tail;
+        if members.windows(2).any(|w| w.first() >= w.last()) {
             return Err(corrupt(section::INDEX, format!("members of label {label} unsorted")));
         }
         if members.last().is_some_and(|&v| v as usize >= n) {
@@ -772,8 +812,11 @@ fn decode_index_v2(
         ));
     }
     for (label, members) in members_of.iter().enumerate() {
+        let label = LabelId::try_from(label)
+            .map_err(|_| corrupt(section::INDEX, "label count overflows u32"))?;
         for &v in members {
-            if !profiles[v as usize].contains(label as LabelId) {
+            let carries = profiles.get(v as usize).is_some_and(|p| p.contains(label));
+            if !carries {
                 return Err(corrupt(
                     section::INDEX,
                     format!("vertex {v} listed under label {label} it does not carry"),
@@ -794,14 +837,14 @@ fn decode_index_v2(
         let label = r.u32()?;
         let off = r.u64()?;
         let len = r.u64()?;
-        if label as usize >= num_labels {
+        let Some(shard_members) = members_of.get(label as usize) else {
             return Err(corrupt(section::INDEX, format!("shard label {label} out of range")));
-        }
+        };
         if prev.is_some_and(|p| p >= label) {
             return Err(corrupt(section::INDEX, "shard labels not strictly ascending"));
         }
         prev = Some(label);
-        if members_of[label as usize].is_empty() {
+        if shard_members.is_empty() {
             return Err(corrupt(section::INDEX, format!("shard {label} has no members")));
         }
         if off != expect_off {
@@ -828,10 +871,18 @@ fn decode_index_v2(
         IndexDecode::Eager => {
             let mut out = Vec::with_capacity(directory.len());
             for (label, off, len) in directory {
-                let mut sr = SectionReader::new(&blob[off..off + len], section::INDEX);
+                // The directory tiling check bounds every run; `get`
+                // keeps the decoder structurally panic-free.
+                let payload = off
+                    .checked_add(len)
+                    .and_then(|end| blob.get(off..end))
+                    .ok_or_else(|| corrupt(section::INDEX, "shard payload out of bounds"))?;
+                let mut sr = SectionReader::new(payload, section::INDEX);
                 let flat = decode_cl(&mut sr, narrow)?;
                 sr.finish()?;
-                let cl = validated_shard(flat, label, &members_of[label as usize], n)?;
+                let empty: &[VertexId] = &[];
+                let members = members_of.get(label as usize).map_or(empty, Vec::as_slice);
+                let cl = validated_shard(flat, label, members, n)?;
                 out.push((label, cl));
             }
             DecodedShards::Resident(out)
@@ -841,7 +892,11 @@ fn decode_index_v2(
             entries: directory,
             narrow,
         })),
-        IndexDecode::Skip => unreachable!("Skip never reaches the index decoder"),
+        // Unreachable by construction (`decode_snapshot_mode` never routes
+        // Skip here), but a typed error is the contract of this module.
+        IndexDecode::Skip => {
+            return Err(corrupt(section::INDEX, "internal: Skip mode reached the index decoder"))
+        }
     };
     Ok(DecodedIndex { members_of, shards })
 }

@@ -176,14 +176,25 @@ fn xxh_merge(acc: u64, val: u64) -> u64 {
     (acc ^ xxh_round(0, val)).wrapping_mul(P1).wrapping_add(P4)
 }
 
+// Every call site is length-guarded, so the zero fallback is dead code;
+// it exists so these helpers are structurally incapable of panicking on
+// the decode path.
 #[inline]
 fn le_u64(b: &[u8]) -> u64 {
-    u64::from_le_bytes(b[..8].try_into().expect("8-byte slice"))
+    debug_assert!(b.len() >= 8);
+    b.first_chunk::<8>().map_or(0, |c| u64::from_le_bytes(*c))
 }
 
 #[inline]
 fn le_u32(b: &[u8]) -> u32 {
-    u32::from_le_bytes(b[..4].try_into().expect("4-byte slice"))
+    debug_assert!(b.len() >= 4);
+    b.first_chunk::<4>().map_or(0, |c| u32::from_le_bytes(*c))
+}
+
+#[inline]
+fn le_u16(b: &[u8]) -> u16 {
+    debug_assert!(b.len() >= 2);
+    b.first_chunk::<2>().map_or(0, |c| u16::from_le_bytes(*c))
 }
 
 /// The XXH64 hash of `input` under `seed` — the checksum every section
@@ -199,11 +210,15 @@ pub fn xxh64(input: &[u8], seed: u64) -> u64 {
         let mut v3 = seed;
         let mut v4 = seed.wrapping_sub(P1);
         while rest.len() >= 32 {
-            v1 = xxh_round(v1, le_u64(&rest[0..8]));
-            v2 = xxh_round(v2, le_u64(&rest[8..16]));
-            v3 = xxh_round(v3, le_u64(&rest[16..24]));
-            v4 = xxh_round(v4, le_u64(&rest[24..32]));
-            rest = &rest[32..];
+            let (c1, r) = rest.split_at(8);
+            let (c2, r) = r.split_at(8);
+            let (c3, r) = r.split_at(8);
+            let (c4, r) = r.split_at(8);
+            v1 = xxh_round(v1, le_u64(c1));
+            v2 = xxh_round(v2, le_u64(c2));
+            v3 = xxh_round(v3, le_u64(c3));
+            v4 = xxh_round(v4, le_u64(c4));
+            rest = r;
         }
         let mut h = v1
             .rotate_left(1)
@@ -219,15 +234,17 @@ pub fn xxh64(input: &[u8], seed: u64) -> u64 {
     };
     h = h.wrapping_add(len);
     while rest.len() >= 8 {
-        h = (h ^ xxh_round(0, le_u64(rest))).rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
-        rest = &rest[8..];
+        let (c, r) = rest.split_at(8);
+        h = (h ^ xxh_round(0, le_u64(c))).rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+        rest = r;
     }
     if rest.len() >= 4 {
-        h = (h ^ (le_u32(rest) as u64).wrapping_mul(P1))
+        let (c, r) = rest.split_at(4);
+        h = (h ^ u64::from(le_u32(c)).wrapping_mul(P1))
             .rotate_left(23)
             .wrapping_mul(P2)
             .wrapping_add(P3);
-        rest = &rest[4..];
+        rest = r;
     }
     for &b in rest {
         h = (h ^ (b as u64).wrapping_mul(P5)).rotate_left(11).wrapping_mul(P1);
@@ -297,9 +314,15 @@ impl SnapshotFile {
     }
 
     /// Serializes to the wire layout.
+    ///
+    /// # Panics
+    /// If more than `u32::MAX` sections were pushed — a writer contract
+    /// violation that would otherwise serialize a checksum-valid lie
+    /// (the reader's `MAX_SECTIONS` cap is orders of magnitude lower).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let count = self.sections.len() as u32;
-        let table_end = HEADER_LEN + TABLE_ENTRY_LEN * count as u64;
+        // audit:allow(no-panic): writer contract — a wrapped section count would produce a checksum-valid corrupt file
+        let count = u32::try_from(self.sections.len()).expect("section count fits u32");
+        let table_end = HEADER_LEN + TABLE_ENTRY_LEN * u64::from(count);
         let total = table_end + self.sections.iter().map(|(_, p)| p.len() as u64).sum::<u64>();
         let mut out = Vec::with_capacity(total as usize);
         out.extend_from_slice(&MAGIC);
@@ -404,20 +427,28 @@ impl<'a> SnapshotSlices<'a> {
     /// payload.
     pub fn from_bytes(bytes: &'a [u8]) -> Result<SnapshotSlices<'a>> {
         let file_len = bytes.len() as u64;
-        if file_len < HEADER_LEN {
+        // One length check admits the whole fixed-size header; every
+        // field below comes off `split_at` within it, so no later read
+        // can go out of bounds.
+        let Some(header) = bytes.get(..HEADER_LEN as usize) else {
             return Err(StoreError::Truncated { needed: HEADER_LEN, actual: file_len });
+        };
+        let (magic, header) = header.split_at(8);
+        let (version_b, header) = header.split_at(4);
+        let (count_b, table_sum_b) = header.split_at(4);
+        if magic != MAGIC {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(magic);
+            return Err(StoreError::BadMagic { found });
         }
-        if bytes[..8] != MAGIC {
-            return Err(StoreError::BadMagic { found: bytes[..8].try_into().expect("8 bytes") });
-        }
-        let version = le_u32(&bytes[8..12]);
+        let version = le_u32(version_b);
         if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(StoreError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
             });
         }
-        let count = le_u32(&bytes[12..16]) as u64;
+        let count = u64::from(le_u32(count_b));
         // Cap the declared section count before it sizes anything: a
         // forged header could otherwise drive the duplicate-id scan
         // quadratic and the table allocation huge long before any
@@ -430,12 +461,11 @@ impl<'a> SnapshotSlices<'a> {
                 detail: format!("{count} sections declared (limit {MAX_SECTIONS})"),
             });
         }
-        let stored_table_sum = le_u64(&bytes[16..24]);
+        let stored_table_sum = le_u64(table_sum_b);
         let table_end = HEADER_LEN + TABLE_ENTRY_LEN * count; // cannot overflow: count < 2^32
-        if file_len < table_end {
+        let Some(table) = bytes.get(HEADER_LEN as usize..table_end as usize) else {
             return Err(StoreError::Truncated { needed: table_end, actual: file_len });
-        }
-        let table = &bytes[HEADER_LEN as usize..table_end as usize];
+        };
         let table_sum = xxh64(table, version as u64);
         if table_sum != stored_table_sum {
             return Err(StoreError::ChecksumMismatch {
@@ -446,10 +476,14 @@ impl<'a> SnapshotSlices<'a> {
         }
         let mut sections: Vec<(u32, &'a [u8])> = Vec::with_capacity(count as usize);
         for entry in table.chunks_exact(TABLE_ENTRY_LEN as usize) {
-            let id = le_u32(&entry[0..4]);
-            let offset = le_u64(&entry[8..16]);
-            let len = le_u64(&entry[16..24]);
-            let stored_sum = le_u64(&entry[24..32]);
+            let (id_b, entry) = entry.split_at(4);
+            let (_reserved, entry) = entry.split_at(4);
+            let (offset_b, entry) = entry.split_at(8);
+            let (len_b, sum_b) = entry.split_at(8);
+            let id = le_u32(id_b);
+            let offset = le_u64(offset_b);
+            let len = le_u64(len_b);
+            let stored_sum = le_u64(sum_b);
             let end = offset.checked_add(len).ok_or(StoreError::SectionOverflow {
                 section: id,
                 offset,
@@ -465,8 +499,10 @@ impl<'a> SnapshotSlices<'a> {
                     detail: "section id appears twice".into(),
                 });
             }
-            let payload = &bytes[offset as usize..end as usize];
-            let sum = xxh64(payload, id as u64);
+            let Some(payload) = bytes.get(offset as usize..end as usize) else {
+                return Err(StoreError::SectionOverflow { section: id, offset, len, file_len });
+            };
+            let sum = xxh64(payload, u64::from(id));
             if sum != stored_sum {
                 return Err(StoreError::ChecksumMismatch {
                     section: id,
@@ -557,8 +593,10 @@ impl SectionWriter {
         }
         self.buf.reserve(xs.len() * 2);
         for &x in xs {
-            assert!(x < u16::MAX as u32 || x == u32::MAX, "id {x} overflows the narrow width");
-            let v = if x == u32::MAX { u16::MAX } else { x as u16 };
+            assert!(x < u32::from(u16::MAX) || x == u32::MAX, "id {x} overflows the narrow width");
+            // The assert admits exactly the values where this is lossless:
+            // in-range ids convert, and the u32 sentinel maps to the u16 one.
+            let v = u16::try_from(x).unwrap_or(u16::MAX);
             self.buf.extend_from_slice(&v.to_le_bytes());
         }
     }
@@ -603,7 +641,10 @@ impl<'a> SectionReader<'a> {
             .checked_add(n)
             .filter(|&e| e <= self.buf.len())
             .ok_or_else(|| self.corrupt(format!("ran out of bytes at offset {}", self.pos)))?;
-        let out = &self.buf[self.pos..end];
+        let out = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| self.corrupt(format!("ran out of bytes at offset {}", self.pos)))?;
         self.pos = end;
         Ok(out)
     }
@@ -645,11 +686,11 @@ impl<'a> SectionReader<'a> {
             .take(n)?
             .chunks_exact(2)
             .map(|c| {
-                let v = u16::from_le_bytes(c.try_into().expect("2-byte chunk"));
+                let v = le_u16(c);
                 if v == u16::MAX {
                     u32::MAX
                 } else {
-                    v as u32
+                    u32::from(v)
                 }
             })
             .collect())

@@ -48,6 +48,8 @@
 //! container and ignored by the codec); changing the layout of an
 //! existing section requires a version bump.
 
+#![deny(unsafe_code)]
+
 pub mod codec;
 pub mod format;
 

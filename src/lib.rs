@@ -86,6 +86,8 @@
 //! whole slice of requests to
 //! [`query_batch`](pcs_engine::PcsEngine::query_batch).
 
+#![deny(unsafe_code)]
+
 pub use pcs_baselines as baselines;
 pub use pcs_core as core;
 pub use pcs_datasets as datasets;

@@ -56,6 +56,18 @@ fn communities_of(resp: &QueryResponse) -> Vec<(Vec<u32>, Vec<u32>)> {
     resp.communities().iter().map(|c| (c.subtree.nodes().to_vec(), c.vertices.clone())).collect()
 }
 
+/// Under `--features debug-invariants`, every checked step of the
+/// harness additionally runs the deep invariant verifier (CSR
+/// symmetry, core/profile closure, member-table ⇄ profile agreement,
+/// resident-shard arena geometry, epoch monotonicity) on the engine;
+/// without the feature this is a no-op and the harness is unchanged.
+#[cfg(feature = "debug-invariants")]
+fn verify_deep(engine: &PcsEngine, at: &str) {
+    engine.verify_deep().unwrap_or_else(|e| panic!("{at}: deep invariant violated: {e}"));
+}
+#[cfg(not(feature = "debug-invariants"))]
+fn verify_deep(_engine: &PcsEngine, _at: &str) {}
+
 /// The acceptance-criteria run: > 500 singleton update steps, with the
 /// incremental index and cores checked against a full rebuild after
 /// every single step.
@@ -109,6 +121,7 @@ fn incremental_state_matches_rebuild_over_500_steps() {
         // samples every 3rd (cores are still verified at every step).
         let index_check_stride = if cfg!(debug_assertions) { 3 } else { 1 };
         if step % index_check_stride == 0 {
+            verify_deep(&engine, &format!("step {step}"));
             let fresh = CpTree::build(snap.graph(), engine.taxonomy(), snap.profiles()).unwrap();
             let max_k = full_cores.max_core() + 1;
             assert_index_equivalent(
@@ -219,6 +232,8 @@ fn lazy_sharded_engine_interleaves_cold_queries_with_churn() {
         // monolithic rebuild) set-equal across the full surface.
         let stride = if cfg!(debug_assertions) { 9 } else { 3 };
         if step % stride == 0 {
+            verify_deep(&lazy, &format!("lazy, step {step}"));
+            verify_deep(&eager, &format!("eager, step {step}"));
             let (sl, se) = (lazy.snapshot(), eager.snapshot());
             let fresh = CpTree::build(sl.graph(), lazy.taxonomy(), sl.profiles()).unwrap();
             let max_k = CoreDecomposition::new(sl.graph()).max_core() + 1;
@@ -295,6 +310,8 @@ fn engine_saved_and_loaded_mid_stream_stays_equivalent() {
         );
         // Index: loaded-and-patched vs live-patched vs from-scratch.
         if step % index_check_stride == 0 {
+            verify_deep(&incremental, &format!("incremental, step {step}"));
+            verify_deep(&loaded, &format!("loaded, step {step}"));
             let fresh = CpTree::build(sb.graph(), loaded.taxonomy(), sb.profiles()).unwrap();
             let max_k = rebuilt_cores.max_core() + 1;
             let n = sb.graph().num_vertices();
@@ -367,6 +384,9 @@ fn batched_updates_agree_across_policies_and_fallback() {
         }
     }
     assert!(saw_rebuilt, "cap 0 must exercise the full-rebuild fallback");
+    verify_deep(&incremental, "final state, always-patch policy");
+    verify_deep(&rebuilding, "final state, always-rebuild policy");
+    verify_deep(&lazy, "final state, lazy policy");
     // Final state: the always-patched index equals a fresh build.
     let snap = incremental.snapshot();
     let fresh = CpTree::build(snap.graph(), incremental.taxonomy(), snap.profiles()).unwrap();
