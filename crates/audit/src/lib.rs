@@ -110,8 +110,22 @@ impl RuleConfig {
         ];
         let mut instant: Vec<String> = hot.iter().map(|s| s.to_string()).collect();
         instant.push("crates/engine/src/engine.rs".to_string());
+        let mut hot_path: Vec<String> = hot.iter().map(|s| s.to_string()).collect();
+        // pcs-serve request path: panic-free and index-free like the
+        // rest of the serving tier. Deliberately NOT in `instant_loops`:
+        // its loops are connection-scale (accept, poll, batch-gather),
+        // not per-vertex, and taking timestamps inside them is the
+        // mechanism for keep-alive timeouts and batch windows.
+        for f in [
+            "crates/serve/src/http.rs",
+            "crates/serve/src/protocol.rs",
+            "crates/serve/src/server.rs",
+            "crates/serve/src/batch.rs",
+        ] {
+            hot_path.push(f.to_string());
+        }
         RuleConfig {
-            hot_path: hot.iter().map(|s| s.to_string()).collect(),
+            hot_path,
             store_codec: store.iter().map(|s| s.to_string()).collect(),
             query_alloc_free: query.iter().map(|s| s.to_string()).collect(),
             instant_loops: instant,

@@ -1,0 +1,280 @@
+//! Serving-layer benchmark: a live `pcs-serve` server under a
+//! closed-loop zipfian load, reported as `BENCH_serve.json`.
+//!
+//! The harness builds the DBLP-like suite dataset, starts the real
+//! server on a loopback socket, generates a mixed read/write workload
+//! with [`serve_traffic`] (zipfian vertex popularity, `apply` writes
+//! interleaved), replays it through the in-crate closed-loop load
+//! generator, and emits latency percentiles (p50/p99/p999), observed
+//! qps, and the server's own counters (shed, batches, dedup) in the
+//! bench-snapshot JSON conventions.
+//!
+//! ```text
+//! cargo run -p pcs-bench --release --bin bench_serve             # full run, writes ./BENCH_serve.json
+//! cargo run -p pcs-bench --release --bin bench_serve -- --quick  # CI smoke: tiny run into target/,
+//!                                                                # asserts zero 5xx and zero failures
+//! ```
+//!
+//! `--quick` doubles as the CI gate: besides shrinking the run it
+//! *asserts* that every request completed without a 5xx — a stalled or
+//! panicking server fails the step rather than writing bad numbers.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pcs_datasets::suite::{build, SuiteConfig};
+use pcs_datasets::updates::StreamOp;
+use pcs_datasets::{serve_traffic, ServeOp, SuiteDataset, TrafficSpec};
+use pcs_engine::{IndexMode, PcsEngine};
+use pcs_serve::{run_load, LoadConfig, LoadOp, PcsServer, ServeConfig};
+
+struct Config {
+    quick: bool,
+    out_dir: PathBuf,
+    scale: f64,
+    requests: usize,
+    concurrency: usize,
+    workers: usize,
+    zipf_s: f64,
+    write_fraction: f64,
+    k: u32,
+    seed: u64,
+}
+
+impl Config {
+    fn parse() -> Config {
+        let mut cfg = Config {
+            quick: false,
+            out_dir: PathBuf::from("."),
+            scale: 0.01,
+            requests: 2_000,
+            concurrency: 4,
+            workers: 2,
+            zipf_s: 1.1,
+            write_fraction: 0.05,
+            k: 6,
+            seed: 0x5e41e,
+        };
+        let mut out_dir_given = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut take =
+                |what: &str| args.next().unwrap_or_else(|| panic!("{flag} takes {what}"));
+            match flag.as_str() {
+                "--quick" => cfg.quick = true,
+                "--requests" => {
+                    cfg.requests = take("a count").parse().expect("--requests takes a count")
+                }
+                "--concurrency" => {
+                    cfg.concurrency = take("a count").parse().expect("--concurrency takes a count")
+                }
+                "--workers" => {
+                    cfg.workers = take("a count").parse().expect("--workers takes a count")
+                }
+                "--zipf" => cfg.zipf_s = take("a skew").parse().expect("--zipf takes a float"),
+                "--write-fraction" => {
+                    cfg.write_fraction =
+                        take("a fraction").parse().expect("--write-fraction takes a float")
+                }
+                "--out-dir" => {
+                    cfg.out_dir = PathBuf::from(take("a path"));
+                    out_dir_given = true;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --quick --requests <n> --concurrency <n> --workers <n> \
+                         --zipf <s> --write-fraction <f> --out-dir <dir>"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if cfg.quick {
+            cfg.scale = 0.002;
+            cfg.requests = cfg.requests.min(300);
+            cfg.concurrency = cfg.concurrency.min(3);
+            if !out_dir_given {
+                cfg.out_dir = PathBuf::from("target");
+            }
+        }
+        cfg
+    }
+}
+
+/// Renders one dataset-level op to the wire-level replay op.
+fn to_load_op(op: &ServeOp) -> LoadOp {
+    match op {
+        ServeOp::Query { vertex, k } => LoadOp::Query { vertex: *vertex, k: *k },
+        ServeOp::Update(StreamOp::AddEdge(a, b)) => LoadOp::Apply(format!("add {a} {b}\n")),
+        ServeOp::Update(StreamOp::RemoveEdge(a, b)) => LoadOp::Apply(format!("remove {a} {b}\n")),
+        ServeOp::Update(StreamOp::SetProfile(v, p)) => {
+            let mut line = format!("profile {v}");
+            for l in p.nodes() {
+                let _ = write!(line, " {l}");
+            }
+            line.push('\n');
+            LoadOp::Apply(line)
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+fn write_snapshot(path: &Path, cfg: &Config, results: &str) {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"pcs-bench-snapshot/v2\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"dataset\": \"DBLP-like\", \"scale\": {}, \"k\": {}, \
+         \"requests\": {}, \"concurrency\": {}, \"workers\": {}, \"zipf_s\": {}, \
+         \"write_fraction\": {}, \"quick\": {}}},",
+        cfg.scale,
+        cfg.k,
+        cfg.requests,
+        cfg.concurrency,
+        cfg.workers,
+        cfg.zipf_s,
+        cfg.write_fraction,
+        cfg.quick
+    );
+    let _ = writeln!(out, "  \"results\": {results},");
+    let _ = writeln!(out, "  \"baseline\": null");
+    out.push_str("}\n");
+    std::fs::create_dir_all(path.parent().unwrap_or(Path::new("."))).expect("create out dir");
+    std::fs::write(path, out).expect("write snapshot file");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let cfg = Config::parse();
+    let suite = SuiteConfig { scale: cfg.scale, ..SuiteConfig::default() };
+    let ds = build(SuiteDataset::Dblp, suite);
+    println!(
+        "dataset: {} vertices, {} edges (DBLP-like @ scale {})",
+        ds.graph.num_vertices(),
+        ds.graph.num_edges(),
+        cfg.scale
+    );
+
+    // The workload: zipfian reads over the k-core hot set, writes from
+    // the update-stream generator, all deterministic in the seed.
+    let spec = TrafficSpec {
+        requests: cfg.requests,
+        zipf_s: cfg.zipf_s,
+        write_fraction: cfg.write_fraction,
+        k: cfg.k,
+        ..TrafficSpec::new(cfg.requests, cfg.seed)
+    };
+    let ops: Vec<LoadOp> = serve_traffic(&ds, &spec).iter().map(to_load_op).collect();
+    let reads = ops.iter().filter(|o| matches!(o, LoadOp::Query { .. })).count();
+    println!("workload: {} ops ({} reads, {} writes)", ops.len(), reads, ops.len() - reads);
+
+    // Eager index + incremental patching: the serving configuration.
+    // (Lazy mode would drop shards on every write and make each read
+    // re-materialize them — correct, but not what a server deploys.)
+    let engine = Arc::new(
+        PcsEngine::builder()
+            .graph(ds.graph.clone())
+            .taxonomy(ds.tax.clone())
+            .profiles(ds.profiles.clone())
+            .index_mode(IndexMode::Eager)
+            .build()
+            .expect("suite dataset builds"),
+    );
+    let server_cfg = ServeConfig {
+        workers: cfg.workers,
+        max_connections: (cfg.concurrency * 4).max(16),
+        ..ServeConfig::default()
+    };
+    let server =
+        PcsServer::start(Arc::clone(&engine), "127.0.0.1:0", server_cfg).expect("server starts");
+    println!("serving on {}", server.local_addr());
+
+    let load_cfg = LoadConfig {
+        concurrency: cfg.concurrency,
+        read_timeout: Duration::from_secs(30),
+        ..LoadConfig::default()
+    };
+    let report = run_load(server.local_addr(), &ops, &load_cfg);
+    let stats = server.shutdown();
+
+    println!(
+        "load: {} ok, {} 4xx, {} 5xx, {} shed-retries, {} failed in {:.2}s → {:.0} qps",
+        report.ok,
+        report.http_4xx,
+        report.http_5xx,
+        report.shed_retries,
+        report.failed,
+        report.elapsed.as_secs_f64(),
+        report.qps
+    );
+    println!(
+        "read latency us: p50 {} p99 {} p999 {} (n={}); write p50 {} (n={})",
+        report.read_latency.p50,
+        report.read_latency.p99,
+        report.read_latency.p999,
+        report.read_latency.samples,
+        report.write_latency.p50,
+        report.write_latency.samples
+    );
+    println!(
+        "server: {} requests over {} connections; {} batches carried {} queries, dedup saved {}",
+        stats.requests, stats.accepted, stats.batches, stats.batched_requests, stats.dedup_saved
+    );
+
+    if cfg.quick {
+        // The CI gate: a wedged, shedding-forever, or erroring server
+        // fails the step here instead of writing useless numbers.
+        assert_eq!(report.http_5xx, 0, "server answered 5xx under the smoke load");
+        assert_eq!(stats.http_5xx, 0, "server counted 5xx responses");
+        assert_eq!(report.failed, 0, "load generator abandoned ops");
+        assert_eq!(report.ok + report.http_4xx, report.total, "requests went missing");
+        assert!(report.read_latency.samples > 0, "no read latencies recorded");
+        println!("--quick gate: ok ({} requests, zero 5xx)", report.total);
+    }
+
+    let mut results = String::from("{");
+    let mut first = true;
+    let mut put = |key: &str, value: String| {
+        if !first {
+            results.push_str(", ");
+        }
+        first = false;
+        let _ = write!(results, "{}: {value}", json_str(key));
+    };
+    put("qps", format!("{:.2}", report.qps));
+    put("elapsed_s", format!("{:.3}", report.elapsed.as_secs_f64()));
+    put("ok", report.ok.to_string());
+    put("http_4xx", report.http_4xx.to_string());
+    put("http_5xx", report.http_5xx.to_string());
+    put("shed_retries", report.shed_retries.to_string());
+    put("failed", report.failed.to_string());
+    put("read_p50_us", report.read_latency.p50.to_string());
+    put("read_p99_us", report.read_latency.p99.to_string());
+    put("read_p999_us", report.read_latency.p999.to_string());
+    put("read_mean_us", report.read_latency.mean.to_string());
+    put("read_samples", report.read_latency.samples.to_string());
+    put("write_p50_us", report.write_latency.p50.to_string());
+    put("write_p99_us", report.write_latency.p99.to_string());
+    put("write_p999_us", report.write_latency.p999.to_string());
+    put("write_samples", report.write_latency.samples.to_string());
+    put("server_requests", stats.requests.to_string());
+    put("server_accepted", stats.accepted.to_string());
+    put("server_shed", stats.shed.to_string());
+    put("batches", stats.batches.to_string());
+    put("batched_requests", stats.batched_requests.to_string());
+    put("dedup_saved", stats.dedup_saved.to_string());
+    results.push('}');
+
+    let path =
+        cfg.out_dir.join(if cfg.quick { "BENCH_serve.quick.json" } else { "BENCH_serve.json" });
+    write_snapshot(&path, &cfg, &results);
+}

@@ -33,10 +33,12 @@ pub mod queries;
 pub mod scale;
 pub mod suite;
 pub mod taxonomy;
+pub mod traffic;
 pub mod updates;
 
 pub use gen::{DatasetSpec, ProfiledDataset};
 pub use io::{load_dataset, save_dataset};
 pub use queries::sample_query_vertices;
 pub use suite::{SuiteConfig, SuiteDataset};
+pub use traffic::{serve_traffic, ServeOp, TrafficSpec, ZipfRanks};
 pub use updates::{update_stream, StreamOp, TimedOp, UpdateStreamSpec};

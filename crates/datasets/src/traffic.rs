@@ -1,0 +1,268 @@
+//! Serving traffic: zipfian read/write request streams.
+//!
+//! Online community search serves *repeated* queries whose popularity
+//! is heavily skewed — a small set of hot vertices (prolific authors,
+//! celebrity accounts) absorbs most of the traffic, the long tail the
+//! rest. The Leskovec et al. large-network study (PAPERS.md) is the
+//! motivating regime: power-law popularity is the rule, not the
+//! exception, in every large social/collaboration graph. This module
+//! generates a reproducible **serving workload** against a
+//! [`ProfiledDataset`]: a mixed stream of point queries (vertex drawn
+//! from a zipfian rank distribution over query-eligible vertices) and
+//! writes (drawn from the [`update_stream`](crate::update_stream)
+//! generator), ready to be replayed by a closed-loop load generator.
+//!
+//! Everything is deterministic in the spec's seed, like the rest of the
+//! crate.
+
+use crate::gen::ProfiledDataset;
+use crate::queries::sample_query_vertices;
+use crate::updates::{update_stream, StreamOp, UpdateStreamSpec};
+use pcs_graph::VertexId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One serving request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeOp {
+    /// A read: the profiled communities of `vertex` at degree bound
+    /// `k`.
+    Query {
+        /// The query vertex.
+        vertex: VertexId,
+        /// The degree bound.
+        k: u32,
+    },
+    /// A write: one mutation from the update-stream generator.
+    Update(StreamOp),
+}
+
+/// Shape of a generated serving workload.
+#[derive(Clone, Debug)]
+pub struct TrafficSpec {
+    /// Number of requests to emit.
+    pub requests: usize,
+    /// Zipf skew exponent `s` (rank `r` drawn with probability
+    /// proportional to `1/r^s`). `1.0`–`1.2` matches measured web and
+    /// social-query traffic; `0.0` degenerates to uniform.
+    pub zipf_s: f64,
+    /// Fraction of requests that are writes, `0.0..=1.0`.
+    pub write_fraction: f64,
+    /// Size of the popularity population: queries are drawn (by zipf
+    /// rank) from this many query-eligible vertices.
+    pub popularity_pool: usize,
+    /// Degree bound used by every query.
+    pub k: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TrafficSpec {
+    /// A serving default: zipf 1.1 over 256 hot vertices, 5% writes —
+    /// the read-heavy regime community-search services live in.
+    pub fn new(requests: usize, seed: u64) -> Self {
+        TrafficSpec {
+            requests,
+            zipf_s: 1.1,
+            write_fraction: 0.05,
+            popularity_pool: 256,
+            k: 6,
+            seed,
+        }
+    }
+}
+
+/// A zipfian rank sampler over `0..n`: rank `r` (0-based) is drawn
+/// with probability proportional to `1/(r+1)^s`, via inverse-CDF
+/// binary search on the precomputed cumulative weights.
+#[derive(Clone, Debug)]
+pub struct ZipfRanks {
+    cdf: Vec<f64>,
+}
+
+impl ZipfRanks {
+    /// Precomputes the cumulative distribution for `n` ranks at skew
+    /// `s`. `n` must be positive; `s = 0` is uniform.
+    pub fn new(n: usize, s: f64) -> ZipfRanks {
+        assert!(n > 0, "zipf population must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        // Normalize so the last entry is exactly 1.0.
+        for w in &mut cdf {
+            *w /= total;
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfRanks { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the population is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // partition_point: first rank whose cumulative weight covers u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Generates a serving workload against `ds`.
+///
+/// The query population is drawn from
+/// [`sample_query_vertices`] at the spec's `k` (so hot vertices are
+/// ones whose queries do real work — they sit in a `k`-core), then
+/// zipf-ranked in sampled order. Writes replay an
+/// [`update_stream`] in order, so the usual guarantees hold: removals
+/// name live edges, insertions missing ones, plus the deliberate no-op
+/// dose a robust ingestion path must absorb.
+pub fn serve_traffic(ds: &ProfiledDataset, spec: &TrafficSpec) -> Vec<ServeOp> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let (pool, _) =
+        sample_query_vertices(ds, spec.k, spec.popularity_pool.max(1), spec.seed ^ 0x7a);
+    assert!(!pool.is_empty(), "no query-eligible vertices at k = {}", spec.k);
+    let zipf = ZipfRanks::new(pool.len(), spec.zipf_s);
+
+    // Pre-generate the write side: expected write count plus slack so
+    // an unlucky bernoulli run cannot exhaust it.
+    let write_fraction = spec.write_fraction.clamp(0.0, 1.0);
+    let expected_writes = ((spec.requests as f64) * write_fraction).ceil() as usize;
+    let mut writes = if expected_writes > 0 {
+        update_stream(ds, &UpdateStreamSpec::new(expected_writes * 2 + 8, spec.seed ^ 0x3b))
+            .into_iter()
+            .map(|t| t.op)
+            .collect::<Vec<_>>()
+    } else {
+        Vec::new()
+    }
+    .into_iter();
+
+    let mut out = Vec::with_capacity(spec.requests);
+    for _ in 0..spec.requests {
+        let is_write = write_fraction > 0.0 && rng.gen_bool(write_fraction);
+        if is_write {
+            if let Some(op) = writes.next() {
+                out.push(ServeOp::Update(op));
+                continue;
+            }
+        }
+        let rank = zipf.sample(&mut rng);
+        let vertex = pool[rank.min(pool.len() - 1)];
+        out.push(ServeOp::Query { vertex, k: spec.k });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, DatasetSpec};
+    use crate::taxonomy::random_taxonomy;
+    use pcs_graph::FxHashMap;
+
+    fn dataset() -> ProfiledDataset {
+        generate(&DatasetSpec::small("traffic", 150, 6), random_taxonomy(60, 4, 6, 2))
+    }
+
+    #[test]
+    fn traffic_is_deterministic_in_seed() {
+        let ds = dataset();
+        let spec = TrafficSpec { k: 3, ..TrafficSpec::new(300, 5) };
+        assert_eq!(serve_traffic(&ds, &spec), serve_traffic(&ds, &spec));
+        let other = TrafficSpec { seed: 6, ..spec };
+        assert_ne!(serve_traffic(&ds, &spec), serve_traffic(&ds, &other));
+    }
+
+    #[test]
+    fn mix_and_ranges_match_the_spec() {
+        let ds = dataset();
+        let spec = TrafficSpec { k: 3, write_fraction: 0.2, ..TrafficSpec::new(1000, 11) };
+        let ops = serve_traffic(&ds, &spec);
+        assert_eq!(ops.len(), 1000);
+        let n = ds.graph.num_vertices() as u32;
+        let writes = ops.iter().filter(|o| matches!(o, ServeOp::Update(_))).count();
+        // Bernoulli(0.2) over 1000 draws: [120, 280] is > 6 sigma.
+        assert!((120..=280).contains(&writes), "writes: {writes}");
+        for op in &ops {
+            match op {
+                ServeOp::Query { vertex, k } => {
+                    assert!(*vertex < n && *k == 3);
+                }
+                ServeOp::Update(StreamOp::AddEdge(a, b))
+                | ServeOp::Update(StreamOp::RemoveEdge(a, b)) => {
+                    assert!(*a < n && *b < n && a != b);
+                }
+                ServeOp::Update(StreamOp::SetProfile(v, p)) => {
+                    assert!(*v < n);
+                    assert!(ds.tax.is_ancestor_closed(p.nodes()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_popularity_is_zipf_skewed() {
+        let ds = dataset();
+        let spec = TrafficSpec {
+            k: 3,
+            write_fraction: 0.0,
+            popularity_pool: 64,
+            ..TrafficSpec::new(4000, 21)
+        };
+        let ops = serve_traffic(&ds, &spec);
+        let mut counts: FxHashMap<u32, usize> = FxHashMap::default();
+        for op in &ops {
+            if let ServeOp::Query { vertex, .. } = op {
+                *counts.entry(*vertex).or_insert(0) += 1;
+            }
+        }
+        let distinct = counts.len();
+        let max = counts.values().copied().max().unwrap_or(0);
+        let uniform_share = ops.len() / distinct.max(1);
+        // The hottest vertex must absorb far more than a uniform share.
+        assert!(
+            max > uniform_share * 3,
+            "hottest vertex got {max} of {} requests over {distinct} vertices \
+             (uniform share {uniform_share}) — not zipfian",
+            ops.len()
+        );
+    }
+
+    #[test]
+    fn zipf_sampler_is_well_formed() {
+        let z = ZipfRanks::new(100, 1.1);
+        assert_eq!(z.len(), 100);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut first_two = 0usize;
+        for _ in 0..1000 {
+            let r = z.sample(&mut rng);
+            assert!(r < 100);
+            if r < 2 {
+                first_two += 1;
+            }
+        }
+        // Ranks 0 and 1 carry ~37% of the mass at s = 1.1 over n=100.
+        assert!(first_two > 200, "top-2 ranks drew {first_two}/1000");
+        // s = 0 is uniform: top-2 of 100 ranks stays near 2%.
+        let u = ZipfRanks::new(100, 0.0);
+        let mut first_two_u = 0usize;
+        for _ in 0..1000 {
+            if u.sample(&mut rng) < 2 {
+                first_two_u += 1;
+            }
+        }
+        assert!(first_two_u < 100, "uniform top-2 drew {first_two_u}/1000");
+    }
+}

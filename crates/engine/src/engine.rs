@@ -65,6 +65,7 @@ pub struct EngineBuilder {
     pub(crate) index_build_threads: usize,
     pub(crate) batch_threads: Option<NonZeroUsize>,
     pub(crate) patch_cap_fraction: Option<f64>,
+    pub(crate) scratch_pool_cap: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -128,6 +129,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Maximum number of [`QueryScratch`] buffers the engine retains
+    /// between queries (default: `2 × batch_threads`, clamped to
+    /// `4..=64`). Each scratch holds O(n) working memory, so the pool
+    /// must track the real concurrency level, not the worst spike ever
+    /// seen: a burst of clients beyond the cap allocates transient
+    /// scratches that are dropped on return instead of retained
+    /// forever. Clamped to at least 1.
+    pub fn scratch_pool_cap(mut self, cap: usize) -> Self {
+        self.scratch_pool_cap = Some(cap.max(1));
+        self
+    }
+
     /// Validates the inputs and produces the engine. With
     /// [`IndexMode::Eager`] this also builds the CP-tree index and the
     /// core decomposition.
@@ -179,6 +192,9 @@ impl EngineBuilder {
             index_build_threads: self.index_build_threads.max(1),
             batch_threads,
             patch_cap_fraction: self.patch_cap_fraction.unwrap_or(0.5),
+            scratch_pool_cap: self
+                .scratch_pool_cap
+                .unwrap_or_else(|| (batch_threads * 2).clamp(4, 64)),
             state: RwLock::new(snapshot),
             writer: Mutex::new(None),
             scratch_pool: Mutex::new(Vec::new()),
@@ -235,6 +251,10 @@ pub struct PcsEngine {
     index_build_threads: usize,
     batch_threads: usize,
     patch_cap_fraction: f64,
+    /// Upper bound on `scratch_pool.len()`: scratches returned to a
+    /// full pool are dropped, so a transient concurrency spike cannot
+    /// permanently pin `spike × O(n)` working memory.
+    scratch_pool_cap: usize,
     /// The current snapshot. Readers hold the read lock only long
     /// enough to clone the `Arc`; writers only to swap it.
     state: RwLock<Arc<SnapshotInner>>,
@@ -323,6 +343,52 @@ impl PcsEngine {
         self.snapshot_arc().index_if_built().map_or(0, ShardedCpIndex::resident_shards)
     }
 
+    /// Locks the scratch pool, **recovering** from poisoning instead of
+    /// propagating it: a reader that panicked while holding this lock
+    /// (e.g. an algorithm bug on one pathological query) must not turn
+    /// into a permanent denial of service for every later query. The
+    /// pool only caches reusable buffers, so recovery is trivial —
+    /// discard whatever the panicking thread left behind and continue
+    /// with an empty pool; subsequent queries re-allocate on demand.
+    fn lock_scratch_pool(&self) -> std::sync::MutexGuard<'_, Vec<QueryScratch>> {
+        match self.scratch_pool.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                self.scratch_pool.clear_poison();
+                guard
+            }
+        }
+    }
+
+    /// Number of [`QueryScratch`] buffers currently pooled — the
+    /// serving-memory observability companion to
+    /// [`resident_shards`](Self::resident_shards). Never exceeds
+    /// [`pooled_scratch_cap`](Self::pooled_scratch_cap).
+    pub fn pooled_scratches(&self) -> usize {
+        self.lock_scratch_pool().len()
+    }
+
+    /// The retention cap on the scratch pool (see
+    /// [`EngineBuilder::scratch_pool_cap`]).
+    pub fn pooled_scratch_cap(&self) -> usize {
+        self.scratch_pool_cap
+    }
+
+    /// Test-only: poisons the scratch pool mutex by panicking while the
+    /// lock is held (the panic is caught here). Exercises the recovery
+    /// path in [`lock_scratch_pool`](Self::lock_scratch_pool); real
+    /// code has no reason to call this.
+    #[doc(hidden)]
+    pub fn poison_scratch_pool_for_test(&self) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.scratch_pool.lock();
+            panic!("deliberate scratch-pool poisoning (test hook)");
+        }));
+        assert!(result.is_err(), "the poisoning closure must panic");
+    }
+
     /// Resolves [`Algorithm::Auto`] against this engine's index
     /// policy: `AdvP` whenever an index exists or may be built lazily,
     /// `Basic` when the index is disabled.
@@ -357,7 +423,7 @@ impl PcsEngine {
         // state, profile masks, candidate seeds) are reused instead of
         // reallocated per request.
         let mut scratch = {
-            let mut pool = self.scratch_pool.lock().expect("scratch pool poisoned");
+            let mut pool = self.lock_scratch_pool();
             pool.pop().unwrap_or_else(|| QueryScratch::new(snap.graph.num_vertices()))
         };
         let start = Instant::now();
@@ -369,8 +435,11 @@ impl PcsEngine {
         );
         let elapsed = start.elapsed();
         {
-            let mut pool = self.scratch_pool.lock().expect("scratch pool poisoned");
-            if pool.len() < 64 {
+            // Return the scratch unless the pool is at its retention
+            // cap: a spike of concurrent callers beyond the cap pays a
+            // transient allocation instead of growing the pool forever.
+            let mut pool = self.lock_scratch_pool();
+            if pool.len() < self.scratch_pool_cap {
                 pool.push(scratch);
             }
         }

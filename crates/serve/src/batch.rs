@@ -1,0 +1,320 @@
+//! Cross-request query batching.
+//!
+//! Worker threads do not call [`PcsEngine::query`] directly. Each
+//! validated query is submitted to a shared [`Batcher`]; a dedicated
+//! dispatcher thread gathers everything that arrives within a short
+//! window (or until the batch cap), **deduplicates identical
+//! requests**, and executes the whole batch through
+//! [`PcsEngine::query_batch`] — which pins *one* epoch snapshot and
+//! shares it across the batch. Two things fall out of that:
+//!
+//! * under a zipfian workload the hot vertices collapse — fifty
+//!   concurrent requests for the same `(v, k)` cost one search;
+//! * every response in a batch reports the same `epoch`, so a client
+//!   fanning one logical operation across requests can check it got a
+//!   consistent view.
+//!
+//! The submitting worker blocks on a per-request slot (condvar) until
+//! the dispatcher posts its result. A slot that is still empty after
+//! [`SUBMIT_DEADLINE`] returns `None` — the server maps that to a 500
+//! rather than parking a connection forever; it cannot happen unless
+//! the dispatcher thread has died.
+
+use pcs_engine::{Error as EngineError, PcsEngine, QueryRequest, QueryResponse};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Hard ceiling on how long a submitter waits for its result.
+pub const SUBMIT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// One waiting request's result cell.
+struct Slot {
+    result: Mutex<Option<Result<QueryResponse, EngineError>>>,
+    done: Condvar,
+}
+
+struct PendingQuery {
+    req: QueryRequest,
+    slot: Arc<Slot>,
+}
+
+struct BatcherState {
+    pending: Vec<PendingQuery>,
+    shutdown: bool,
+}
+
+/// Counters the batcher maintains (read via the server's `/stats`).
+#[derive(Debug, Default)]
+pub struct BatchStats {
+    /// Batches dispatched.
+    pub batches: AtomicU64,
+    /// Requests carried by those batches (pre-dedup).
+    pub batched_requests: AtomicU64,
+    /// Requests answered from a deduplicated twin's execution.
+    pub dedup_saved: AtomicU64,
+}
+
+/// The shared batching queue. Workers submit; one dispatcher drains.
+pub struct Batcher {
+    state: Mutex<BatcherState>,
+    arrived: Condvar,
+    stats: BatchStats,
+    window: Duration,
+    max_batch: usize,
+}
+
+impl Batcher {
+    /// Creates a batcher gathering for at most `window` per batch, up
+    /// to `max_batch` requests.
+    pub fn new(window: Duration, max_batch: usize) -> Batcher {
+        Batcher {
+            state: Mutex::new(BatcherState { pending: Vec::new(), shutdown: false }),
+            arrived: Condvar::new(),
+            stats: BatchStats::default(),
+            window,
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    /// The batching counters.
+    pub fn stats(&self) -> &BatchStats {
+        &self.stats
+    }
+
+    /// Recovers the state lock even if a holder panicked: the queue is
+    /// a Vec of (request, slot) pairs, which cannot be left in a
+    /// torn state by any code here.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, BatcherState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.state.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Submits one validated query and blocks until the dispatcher
+    /// posts the result. Returns `None` only on dispatcher death
+    /// (deadline) or post-shutdown submission.
+    pub fn submit(&self, req: QueryRequest) -> Option<Result<QueryResponse, EngineError>> {
+        let slot = Arc::new(Slot { result: Mutex::new(None), done: Condvar::new() });
+        {
+            let mut state = self.lock_state();
+            if state.shutdown {
+                return None;
+            }
+            state.pending.push(PendingQuery { req, slot: Arc::clone(&slot) });
+        }
+        self.arrived.notify_all();
+
+        let deadline = Instant::now() + SUBMIT_DEADLINE;
+        let mut result = match slot.result.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                slot.result.clear_poison();
+                poisoned.into_inner()
+            }
+        };
+        loop {
+            if let Some(r) = result.take() {
+                return Some(r);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timeout) = self.done_wait(result, &slot.done, deadline - now).ok()?;
+            result = guard;
+        }
+    }
+
+    /// One condvar wait with poison recovery.
+    #[allow(clippy::type_complexity)]
+    fn done_wait<'a>(
+        &self,
+        guard: std::sync::MutexGuard<'a, Option<Result<QueryResponse, EngineError>>>,
+        done: &Condvar,
+        dur: Duration,
+    ) -> Result<(std::sync::MutexGuard<'a, Option<Result<QueryResponse, EngineError>>>, bool), ()>
+    {
+        match done.wait_timeout(guard, dur) {
+            Ok((g, t)) => Ok((g, t.timed_out())),
+            Err(_) => Err(()),
+        }
+    }
+
+    /// The dispatcher loop. Run on a dedicated thread; returns when
+    /// [`Batcher::shutdown`] is called and the queue has drained.
+    pub fn run_dispatcher(&self, engine: &PcsEngine) {
+        loop {
+            let taken = {
+                let mut state = self.lock_state();
+                // Sleep until something arrives or shutdown.
+                while state.pending.is_empty() && !state.shutdown {
+                    state = match self.arrived.wait(state) {
+                        Ok(g) => g,
+                        Err(poisoned) => {
+                            self.state.clear_poison();
+                            poisoned.into_inner()
+                        }
+                    };
+                }
+                if state.pending.is_empty() && state.shutdown {
+                    return;
+                }
+                // Gather: give stragglers one window to pile on, then
+                // take everything up to the cap.
+                let deadline = Instant::now() + self.window;
+                while state.pending.len() < self.max_batch && !state.shutdown {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match self.arrived.wait_timeout(state, deadline - now) {
+                        Ok((g, timed_out)) => {
+                            state = g;
+                            if timed_out.timed_out() {
+                                break;
+                            }
+                        }
+                        Err(poisoned) => {
+                            self.state.clear_poison();
+                            state = poisoned.into_inner().0;
+                        }
+                    }
+                }
+                let take = state.pending.len().min(self.max_batch);
+                state.pending.drain(..take).collect::<Vec<_>>()
+            };
+            if taken.is_empty() {
+                continue;
+            }
+            self.execute(engine, taken);
+        }
+    }
+
+    /// Deduplicates and executes one gathered batch, then distributes
+    /// results to the waiting slots.
+    fn execute(&self, engine: &PcsEngine, batch: Vec<PendingQuery>) {
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+        // Dedup key: the full request identity. QueryRequest doesn't
+        // implement Hash, so key on its observable fields.
+        type Key = (u32, u32, &'static str, Option<usize>, bool);
+        let key = |r: &QueryRequest| -> Key {
+            (
+                r.vertex_id(),
+                r.degree_bound(),
+                r.requested_algorithm().name(),
+                r.community_cap(),
+                r.wants_stats(),
+            )
+        };
+        let mut unique: Vec<QueryRequest> = Vec::new();
+        let mut index_of: HashMap<Key, usize> = HashMap::new();
+        let mut assignment: Vec<usize> = Vec::with_capacity(batch.len());
+        for p in &batch {
+            let k = key(&p.req);
+            let idx = *index_of.entry(k).or_insert_with(|| {
+                unique.push(p.req.clone());
+                unique.len() - 1
+            });
+            assignment.push(idx);
+        }
+        let saved = batch.len() - unique.len();
+        if saved > 0 {
+            self.stats.dedup_saved.fetch_add(saved as u64, Ordering::Relaxed);
+        }
+
+        // One epoch pin for the whole batch.
+        let results = engine.query_batch(&unique);
+
+        for (p, idx) in batch.iter().zip(assignment) {
+            let outcome = results
+                .get(idx)
+                .cloned()
+                .unwrap_or(Err(EngineError::IndexDisabled { algorithm: "batch-dispatch" }));
+            let mut cell = match p.slot.result.lock() {
+                Ok(g) => g,
+                Err(poisoned) => {
+                    p.slot.result.clear_poison();
+                    poisoned.into_inner()
+                }
+            };
+            *cell = Some(outcome);
+            drop(cell);
+            p.slot.done.notify_all();
+        }
+    }
+
+    /// Signals shutdown and wakes the dispatcher so it can drain and
+    /// exit. Safe to call more than once.
+    pub fn shutdown(&self) {
+        self.lock_state().shutdown = true;
+        self.arrived.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_engine::PcsEngine;
+    use pcs_graph::Graph;
+    use pcs_ptree::{PTree, Taxonomy};
+    use std::sync::atomic::Ordering;
+    use std::thread;
+
+    fn engine() -> Arc<PcsEngine> {
+        let n = 12usize;
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for d in 1..=2u32 {
+                let v = (u + d) % n as u32;
+                let (lo, hi) = (u.min(v), u.max(v));
+                if !edges.contains(&(lo, hi)) {
+                    edges.push((lo, hi));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let mut tax = Taxonomy::new("root");
+        let a = tax.add_child(Taxonomy::ROOT, "a").unwrap();
+        let profiles = (0..n).map(|_| PTree::from_labels(&tax, [a]).unwrap()).collect::<Vec<_>>();
+        Arc::new(PcsEngine::builder().graph(g).taxonomy(tax).profiles(profiles).build().unwrap())
+    }
+
+    #[test]
+    fn submissions_get_results_and_twins_dedup() {
+        let engine = engine();
+        let batcher = Arc::new(Batcher::new(Duration::from_millis(30), 64));
+        let dispatcher = {
+            let b = Arc::clone(&batcher);
+            let e = Arc::clone(&engine);
+            thread::spawn(move || b.run_dispatcher(&e))
+        };
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let b = Arc::clone(&batcher);
+            handles.push(thread::spawn(move || {
+                b.submit(QueryRequest::vertex(3).k(2)).expect("result")
+            }));
+        }
+        let epochs: Vec<u64> =
+            handles.into_iter().map(|h| h.join().unwrap().expect("query ok").epoch).collect();
+        assert!(epochs.windows(2).all(|w| w[0] == w[1]), "one epoch per batch");
+        assert!(batcher.stats().dedup_saved.load(Ordering::Relaxed) > 0);
+        batcher.shutdown();
+        dispatcher.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_refuses_new_submissions() {
+        let batcher = Batcher::new(Duration::from_millis(5), 8);
+        batcher.shutdown();
+        assert!(batcher.submit(QueryRequest::vertex(0).k(1)).is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! # pcs-serve — the std-only network serving layer
+//!
+//! Puts a [`PcsEngine`](pcs_engine::PcsEngine) behind a socket: a
+//! hand-rolled HTTP/1.1 server over `std::net` (no async runtime, no
+//! external dependencies — the container builds offline), plus the
+//! closed-loop load generator that measures it.
+//!
+//! The interesting engineering lives at three points:
+//!
+//! * **Admission control** ([`server`]) — a bounded live-connection
+//!   count checked at the accept gate; excess connections are shed
+//!   with an immediate `503` instead of queueing without bound. Under
+//!   overload the server degrades by *refusing* work, never by
+//!   stalling or panicking.
+//! * **Cross-request batching** ([`batch`]) — concurrent queries are
+//!   gathered for a short window, deduplicated, and executed through
+//!   `query_batch` under a single epoch pin, so a zipfian hot set
+//!   collapses to one search per distinct request per window.
+//! * **Total server-side validation** ([`protocol`]) — every
+//!   out-of-range vertex, `k = 0`, absurd community cap, or malformed
+//!   body is a typed 4xx produced *before* any snapshot or scratch
+//!   buffer is touched.
+//!
+//! The protocol grammar and the `BENCH_serve.json` schema are
+//! documented in `crates/README.md` ("Serving layer").
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod batch;
+pub mod http;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use batch::Batcher;
+pub use http::{HttpConn, HttpError, Method, Request, Response};
+pub use loadgen::{run_load, LatencyUs, LoadConfig, LoadOp, LoadReport};
+pub use protocol::{ApiError, Route};
+pub use server::{PcsServer, ServeConfig, ServeError, ServerStats, StatsSnapshot};

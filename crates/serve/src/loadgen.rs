@@ -1,0 +1,364 @@
+//! A closed-loop load generator for the serving layer.
+//!
+//! *Closed loop*: each client thread keeps exactly one request in
+//! flight — send, wait for the full response, record the latency, send
+//! the next. Throughput is therefore an **output** of the measurement
+//! (concurrency ÷ mean latency), not an input, which is the honest way
+//! to measure a server whose latency you do not yet know; open-loop
+//! generators overstate tail latency the moment the server saturates.
+//!
+//! The generator replays a pre-generated operation list (typically a
+//! zipfian [`serve_traffic`] stream rendered to [`LoadOp`]s by the
+//! bench harness) round-robin across `concurrency` keep-alive
+//! connections, and reports per-class latency percentiles plus the
+//! shed/error tallies the admission-control story needs.
+//!
+//! [`serve_traffic`]: https://docs.rs/pcs-datasets
+//!
+//! This module is driver code, not the serving hot path — it lives
+//! outside the audit's no-panic scope.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One request to replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoadOp {
+    /// `GET /query?v=..&k=..`.
+    Query {
+        /// The query vertex.
+        vertex: u32,
+        /// The degree bound.
+        k: u32,
+    },
+    /// `POST /apply` with this body (already in wire format: one op
+    /// per line).
+    Apply(String),
+}
+
+/// Load-run shape.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Concurrent client connections (each a closed loop).
+    pub concurrency: usize,
+    /// Reconnect/retry attempts after a shed 503 or refused connect
+    /// before the op is abandoned as `failed`.
+    pub max_retries: usize,
+    /// Backoff between retries.
+    pub retry_backoff: Duration,
+    /// Socket read timeout per response.
+    pub read_timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            concurrency: 4,
+            max_retries: 64,
+            retry_backoff: Duration::from_millis(1),
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Latency percentiles in microseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyUs {
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Mean.
+    pub mean: u64,
+    /// Sample count.
+    pub samples: usize,
+}
+
+/// The outcome of one load run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Ops attempted.
+    pub total: usize,
+    /// 2xx responses.
+    pub ok: usize,
+    /// 4xx responses.
+    pub http_4xx: usize,
+    /// 5xx responses received *as a final answer* (excludes shed 503s
+    /// that were retried successfully).
+    pub http_5xx: usize,
+    /// Shed events absorbed (503 or refused connect, then retried).
+    pub shed_retries: usize,
+    /// Ops abandoned after exhausting retries.
+    pub failed: usize,
+    /// Wall-clock of the whole run.
+    pub elapsed: Duration,
+    /// Completed requests per second (closed-loop observed rate).
+    pub qps: f64,
+    /// Read (query) latency percentiles.
+    pub read_latency: LatencyUs,
+    /// Write (apply) latency percentiles.
+    pub write_latency: LatencyUs,
+}
+
+/// Computes percentiles from raw microsecond samples.
+pub fn latency_summary(samples: &mut [u64]) -> LatencyUs {
+    if samples.is_empty() {
+        return LatencyUs::default();
+    }
+    samples.sort_unstable();
+    let at = |q: f64| -> u64 {
+        let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+        samples[idx.min(samples.len() - 1)]
+    };
+    let mean = samples.iter().sum::<u64>() / samples.len() as u64;
+    LatencyUs { p50: at(0.50), p99: at(0.99), p999: at(0.999), mean, samples: samples.len() }
+}
+
+struct ClientTally {
+    ok: usize,
+    http_4xx: usize,
+    http_5xx: usize,
+    shed_retries: usize,
+    failed: usize,
+    read_us: Vec<u64>,
+    write_us: Vec<u64>,
+}
+
+/// Replays `ops` against `addr` and reports.
+pub fn run_load(addr: SocketAddr, ops: &[LoadOp], cfg: &LoadConfig) -> LoadReport {
+    let concurrency = cfg.concurrency.max(1);
+    let shed_total = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(concurrency);
+        for client in 0..concurrency {
+            let shed_total = Arc::clone(&shed_total);
+            // Round-robin partition: client i replays ops i, i+c, ...
+            let slice: Vec<&LoadOp> = ops.iter().skip(client).step_by(concurrency).collect();
+            handles.push(scope.spawn(move || client_loop(addr, &slice, cfg, &shed_total)));
+        }
+        handles.into_iter().map(|h| h.join().expect("load client panicked")).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut report = LoadReport { total: ops.len(), elapsed, ..LoadReport::default() };
+    let mut read_us = Vec::new();
+    let mut write_us = Vec::new();
+    for t in tallies {
+        report.ok += t.ok;
+        report.http_4xx += t.http_4xx;
+        report.http_5xx += t.http_5xx;
+        report.shed_retries += t.shed_retries;
+        report.failed += t.failed;
+        read_us.extend(t.read_us);
+        write_us.extend(t.write_us);
+    }
+    let completed = report.ok + report.http_4xx + report.http_5xx;
+    report.qps = completed as f64 / elapsed.as_secs_f64().max(1e-9);
+    report.read_latency = latency_summary(&mut read_us);
+    report.write_latency = latency_summary(&mut write_us);
+    report
+}
+
+/// One client: a closed loop over its share of the ops.
+fn client_loop(
+    addr: SocketAddr,
+    ops: &[&LoadOp],
+    cfg: &LoadConfig,
+    shed_total: &AtomicU64,
+) -> ClientTally {
+    let mut tally = ClientTally {
+        ok: 0,
+        http_4xx: 0,
+        http_5xx: 0,
+        shed_retries: 0,
+        failed: 0,
+        read_us: Vec::with_capacity(ops.len()),
+        write_us: Vec::new(),
+    };
+    let mut conn: Option<TcpStream> = None;
+    'ops: for op in ops {
+        let wire = render_op(op);
+        let mut attempts = 0usize;
+        loop {
+            let stream = match conn.take() {
+                Some(s) => s,
+                None => match TcpStream::connect(addr) {
+                    Ok(s) => {
+                        let _ = s.set_read_timeout(Some(cfg.read_timeout));
+                        let _ = s.set_nodelay(true);
+                        s
+                    }
+                    Err(_) => {
+                        // Connection refused / reset — the server is
+                        // shedding at the accept gate or restarting.
+                        tally.shed_retries += 1;
+                        shed_total.fetch_add(1, Ordering::Relaxed);
+                        attempts += 1;
+                        if attempts > cfg.max_retries {
+                            tally.failed += 1;
+                            continue 'ops;
+                        }
+                        thread::sleep(cfg.retry_backoff);
+                        continue;
+                    }
+                },
+            };
+            let started = Instant::now();
+            match exchange(stream, &wire) {
+                Ok((status, keep, stream)) => {
+                    if keep {
+                        conn = Some(stream);
+                    }
+                    if status == 503 {
+                        // Shed under load: back off and retry the op.
+                        tally.shed_retries += 1;
+                        shed_total.fetch_add(1, Ordering::Relaxed);
+                        attempts += 1;
+                        if attempts > cfg.max_retries {
+                            tally.failed += 1;
+                            continue 'ops;
+                        }
+                        thread::sleep(cfg.retry_backoff);
+                        continue;
+                    }
+                    let us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    match op {
+                        LoadOp::Query { .. } => tally.read_us.push(us),
+                        LoadOp::Apply(_) => tally.write_us.push(us),
+                    }
+                    if (200..300).contains(&status) {
+                        tally.ok += 1;
+                    } else if (400..500).contains(&status) {
+                        tally.http_4xx += 1;
+                    } else {
+                        tally.http_5xx += 1;
+                    }
+                    continue 'ops;
+                }
+                Err(_) => {
+                    // Mid-exchange failure: drop the connection, retry.
+                    attempts += 1;
+                    if attempts > cfg.max_retries {
+                        tally.failed += 1;
+                        continue 'ops;
+                    }
+                    thread::sleep(cfg.retry_backoff);
+                    continue;
+                }
+            }
+        }
+    }
+    tally
+}
+
+/// Serializes one op to wire bytes.
+fn render_op(op: &LoadOp) -> Vec<u8> {
+    match op {
+        LoadOp::Query { vertex, k } => format!(
+            "GET /query?v={vertex}&k={k} HTTP/1.1\r\nHost: pcs\r\nConnection: keep-alive\r\n\r\n"
+        )
+        .into_bytes(),
+        LoadOp::Apply(body) => format!(
+            "POST /apply HTTP/1.1\r\nHost: pcs\r\nConnection: keep-alive\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes(),
+    }
+}
+
+/// Sends one request and reads one full response. Returns
+/// `(status, server_keeps_alive, stream)`.
+fn exchange(mut stream: TcpStream, wire: &[u8]) -> std::io::Result<(u16, bool, TcpStream)> {
+    stream.write_all(wire)?;
+    stream.flush()?;
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // Read until the full head is in.
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let got = stream.read(&mut chunk)?;
+        if got == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..got]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 =
+        status_line.split(' ').nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+        })?;
+    let mut content_length = 0usize;
+    let mut keep = true;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().unwrap_or(0);
+            } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close")
+            {
+                keep = false;
+            }
+        }
+    }
+    // Drain the body.
+    let mut have = buf.len() - (head_end + 4);
+    while have < content_length {
+        let got = stream.read(&mut chunk)?;
+        if got == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        have += got;
+    }
+    Ok((status, keep, stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_orders_percentiles() {
+        let mut samples: Vec<u64> = (1..=1000).collect();
+        let s = latency_summary(&mut samples);
+        assert_eq!(s.samples, 1000);
+        assert!(s.p50 <= s.p99 && s.p99 <= s.p999);
+        assert_eq!(s.p50, 501);
+        assert_eq!(s.p999, 999);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        assert_eq!(latency_summary(&mut Vec::new()), LatencyUs::default());
+    }
+
+    #[test]
+    fn ops_render_valid_http() {
+        let q = render_op(&LoadOp::Query { vertex: 7, k: 3 });
+        let text = String::from_utf8(q).unwrap();
+        assert!(text.starts_with("GET /query?v=7&k=3 HTTP/1.1\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+        let a = render_op(&LoadOp::Apply("add 0 1\n".to_string()));
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.contains("Content-Length: 8"));
+        assert!(text.ends_with("add 0 1\n"));
+    }
+}

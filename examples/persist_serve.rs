@@ -15,11 +15,17 @@
 //!   *time to first query* tracks the labels the first request
 //!   actually touches, not the whole taxonomy.
 //!
+//! Finally the warm replica goes **behind a real socket**: `pcs-serve`
+//! binds a loopback port, HTTP clients query it concurrently, and the
+//! server is drained gracefully — the full persist → load → serve
+//! lifecycle in one process.
+//!
 //! Run with: `cargo run --release --example persist_serve`
 
 use pcs::datasets::suite::{build, SuiteConfig};
 use pcs::datasets::{sample_query_vertices, SuiteDataset};
 use pcs::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -123,4 +129,32 @@ fn main() {
     }
 
     let _ = std::fs::remove_file(&path);
+
+    // --- Serve the warm replica over a real socket -----------------------
+    // The eager replica becomes the network-facing engine: bind a
+    // loopback port, replay a small closed-loop workload over HTTP, and
+    // shut down gracefully. This is exactly what `pcs-serve`'s CI smoke
+    // does at larger scale (see crates/README.md, "Serving layer").
+    let server = PcsServer::start(Arc::new(replica), "127.0.0.1:0", ServeConfig::default())
+        .expect("loopback bind");
+    println!("serving the warm replica on http://{}/query", server.local_addr());
+    let ops: Vec<LoadOp> = queries.iter().map(|&q| LoadOp::Query { vertex: q, k }).collect();
+    let report = run_load(
+        server.local_addr(),
+        &ops,
+        &LoadConfig { concurrency: 2, ..LoadConfig::default() },
+    );
+    let stats = server.shutdown();
+    assert_eq!(report.ok, ops.len(), "every HTTP query must answer 200");
+    assert_eq!(stats.http_5xx, 0, "a healthy server never answers 5xx");
+    println!(
+        "served {} HTTP queries at {:.0} qps (p50 {} us, p99 {} us); \
+         {} batches, dedup saved {}; drained cleanly",
+        report.ok,
+        report.qps,
+        report.read_latency.p50,
+        report.read_latency.p99,
+        stats.batches,
+        stats.dedup_saved
+    );
 }

@@ -24,6 +24,7 @@
 //! | [`metrics`] | `pcs-metrics` | CPS, LDR, CPF, F1 |
 //! | [`datasets`] | `pcs-datasets` | paper-calibrated synthetic datasets |
 //! | [`store`] | `pcs-store` | versioned, checksummed on-disk engine snapshots |
+//! | [`serve`] | `pcs-serve` | std-only HTTP/1.1 serving layer + closed-loop load generator |
 //!
 //! ## Quickstart
 //!
@@ -96,6 +97,7 @@ pub use pcs_graph as graph;
 pub use pcs_index as index;
 pub use pcs_metrics as metrics;
 pub use pcs_ptree as ptree;
+pub use pcs_serve as serve;
 pub use pcs_store as store;
 
 /// One-stop imports for applications.
@@ -118,5 +120,8 @@ pub mod prelude {
     pub use pcs_index::{ClTree, CpTree, IndexRef, IndexShard, ShardedCpIndex};
     pub use pcs_metrics::{best_f1, cpf, cps, f1_score, ldr};
     pub use pcs_ptree::{LabelId, PTree, Taxonomy};
+    pub use pcs_serve::{
+        run_load, LoadConfig, LoadOp, LoadReport, PcsServer, ServeConfig, StatsSnapshot,
+    };
     pub use pcs_store::{SnapshotFile, StoreError};
 }
