@@ -100,8 +100,18 @@ impl RuleConfig {
             // pcs-store decode path: must return typed StoreError, never panic
             "crates/store/src/codec.rs",
             "crates/store/src/format.rs",
+            // WAL hot path: append/commit run inside every durable
+            // apply, and the recovery reader must fail typed, not
+            // panic, on arbitrary on-disk bytes
+            "crates/store/src/wal.rs",
+            "crates/engine/src/durable.rs",
         ];
-        let store: &[&str] = &["crates/store/src/codec.rs", "crates/store/src/format.rs"];
+        let store: &[&str] = &[
+            "crates/store/src/codec.rs",
+            "crates/store/src/format.rs",
+            "crates/store/src/wal.rs",
+            "crates/engine/src/durable.rs",
+        ];
         let query: &[&str] = &[
             "crates/core/src/verify.rs",
             "crates/core/src/basic.rs",
@@ -121,6 +131,7 @@ impl RuleConfig {
             "crates/serve/src/protocol.rs",
             "crates/serve/src/server.rs",
             "crates/serve/src/batch.rs",
+            "crates/serve/src/replica.rs",
         ] {
             hot_path.push(f.to_string());
         }

@@ -1,0 +1,343 @@
+//! WAL micro-benchmark: append/fsync throughput, group-commit
+//! coalescing under concurrent writers, and crash-recovery time as a
+//! function of the replayed tail length — reported as `BENCH_wal.json`.
+//!
+//! Three phases:
+//!
+//! 1. **Solo append** — one writer, one fsync per record: the
+//!    durability floor (every record pays a full `fdatasync`).
+//! 2. **Group commit** — several writers appending concurrently with a
+//!    small fsync window: the log coalesces neighbours into shared
+//!    syncs, so fsyncs ≪ records while every committed record is still
+//!    on disk before `commit` returns.
+//! 3. **Recovery** — a durable engine absorbs an update stream, is
+//!    dropped cold (no checkpoint), and is re-opened: snapshot load +
+//!    tail replay back to the exact pre-crash epoch, timed for several
+//!    tail lengths.
+//!
+//! ```text
+//! cargo run -p pcs-bench --release --bin bench_wal             # full run, writes ./BENCH_wal.json
+//! cargo run -p pcs-bench --release --bin bench_wal -- --quick  # CI smoke into target/, asserts the
+//!                                                              # durability invariants held
+//! ```
+//!
+//! `--quick` doubles as the CI gate: it *asserts* that recovery lands
+//! on the exact pre-crash epoch and that group commit actually
+//! coalesced fsyncs, instead of merely printing numbers.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use pcs_datasets::taxonomy::random_taxonomy;
+use pcs_datasets::{update_stream, DatasetSpec, StreamOp, UpdateStreamSpec};
+use pcs_engine::{PcsEngine, UpdateBatch};
+use pcs_store::{Wal, WalOptions};
+
+struct Config {
+    quick: bool,
+    out_dir: PathBuf,
+    /// Records per append phase.
+    records: usize,
+    /// Payload bytes per record.
+    payload: usize,
+    /// Concurrent writers in the group-commit phase.
+    threads: usize,
+    /// Group-commit fsync window.
+    window: Duration,
+    /// Update-stream steps for the longest recovery tail.
+    steps: usize,
+    seed: u64,
+}
+
+impl Config {
+    fn parse() -> Config {
+        let mut cfg = Config {
+            quick: false,
+            out_dir: PathBuf::from("."),
+            records: 4_000,
+            payload: 256,
+            threads: 4,
+            window: Duration::from_micros(500),
+            steps: 400,
+            seed: 0x4a11,
+        };
+        let mut out_dir_given = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut take =
+                |what: &str| args.next().unwrap_or_else(|| panic!("{flag} takes {what}"));
+            match flag.as_str() {
+                "--quick" => cfg.quick = true,
+                "--records" => {
+                    cfg.records = take("a count").parse().expect("--records takes a count")
+                }
+                "--payload" => {
+                    cfg.payload = take("a byte size").parse().expect("--payload takes bytes")
+                }
+                "--threads" => {
+                    cfg.threads = take("a count").parse().expect("--threads takes a count")
+                }
+                "--window-us" => {
+                    cfg.window = Duration::from_micros(
+                        take("microseconds").parse().expect("--window-us takes µs"),
+                    )
+                }
+                "--steps" => cfg.steps = take("a count").parse().expect("--steps takes a count"),
+                "--out-dir" => {
+                    cfg.out_dir = PathBuf::from(take("a path"));
+                    out_dir_given = true;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --quick --records <n> --payload <bytes> --threads <n> \
+                         --window-us <µs> --steps <n> --out-dir <dir>"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if cfg.quick {
+            cfg.records = cfg.records.min(400);
+            cfg.steps = cfg.steps.min(90);
+            if !out_dir_given {
+                cfg.out_dir = PathBuf::from("target");
+            }
+        }
+        cfg
+    }
+}
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pcs-bench-wal-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    dir
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+struct AppendOutcome {
+    per_s: f64,
+    fsyncs: u64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// Phase 1: one writer, commit (→ fsync) after every append.
+fn solo_append(cfg: &Config) -> AppendOutcome {
+    let dir = bench_dir("solo");
+    let (wal, _) = Wal::open(&dir, WalOptions::default(), 0).expect("open solo wal");
+    let payload = vec![0xabu8; cfg.payload];
+    let mut latencies = Vec::with_capacity(cfg.records);
+    let start = Instant::now();
+    for _ in 0..cfg.records {
+        let t0 = Instant::now();
+        let ticket = wal.append_next(&payload).expect("append");
+        wal.commit(&ticket).expect("commit");
+        latencies.push(t0.elapsed().as_micros() as u64);
+    }
+    let elapsed = start.elapsed();
+    let stats = wal.stats();
+    assert_eq!(wal.durable_epoch(), cfg.records as u64, "solo records must all be durable");
+    latencies.sort_unstable();
+    let out = AppendOutcome {
+        per_s: cfg.records as f64 / elapsed.as_secs_f64(),
+        fsyncs: stats.fsyncs,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    };
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// Phase 2: `threads` writers share the log; the group window lets one
+/// leader's fsync cover its neighbours' records.
+fn group_append(cfg: &Config) -> AppendOutcome {
+    let dir = bench_dir("group");
+    let opts = WalOptions { group_window: cfg.window, ..WalOptions::default() };
+    let (wal, _) = Wal::open(&dir, opts, 0).expect("open group wal");
+    let per_thread = cfg.records / cfg.threads.max(1);
+    let total = per_thread * cfg.threads.max(1);
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads.max(1))
+            .map(|t| {
+                let wal = wal.clone();
+                let payload = vec![t as u8; cfg.payload];
+                s.spawn(move || {
+                    let mut local = Vec::with_capacity(per_thread);
+                    for _ in 0..per_thread {
+                        let t0 = Instant::now();
+                        let ticket = wal.append_next(&payload).expect("append");
+                        wal.commit(&ticket).expect("commit");
+                        local.push(t0.elapsed().as_micros() as u64);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("writer thread")).collect()
+    });
+    let elapsed = start.elapsed();
+    let stats = wal.stats();
+    assert_eq!(wal.durable_epoch(), total as u64, "group records must all be durable");
+    latencies.sort_unstable();
+    let out = AppendOutcome {
+        per_s: total as f64 / elapsed.as_secs_f64(),
+        fsyncs: stats.fsyncs,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    };
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// Phase 3: recovery time (snapshot load + tail replay) vs tail
+/// length. Returns `(tail_batches, pre_crash_epoch, recovery)` rows.
+fn recovery(cfg: &Config) -> Vec<(usize, u64, Duration)> {
+    let tax = random_taxonomy(30, 4, 6, cfg.seed);
+    let ds = pcs_datasets::gen::generate(&DatasetSpec::small("wal-recovery", 56, 33), tax);
+    let stream = update_stream(&ds, &UpdateStreamSpec::new(cfg.steps, 7));
+    let tails = [cfg.steps / 4, cfg.steps / 2, cfg.steps];
+    let mut rows = Vec::new();
+    for tail in tails {
+        let dir = bench_dir(&format!("recover-{tail}"));
+        let engine = PcsEngine::builder()
+            .graph(ds.graph.clone())
+            .taxonomy(ds.tax.clone())
+            .profiles(ds.profiles.clone())
+            .durable(&dir)
+            .build()
+            .expect("durable engine builds");
+        for timed in &stream[..tail] {
+            let batch = match &timed.op {
+                StreamOp::AddEdge(a, b) => UpdateBatch::new().add_edge(*a, *b),
+                StreamOp::RemoveEdge(a, b) => UpdateBatch::new().remove_edge(*a, *b),
+                StreamOp::SetProfile(v, p) => UpdateBatch::new().set_profile(*v, p.clone()),
+            };
+            engine.apply(&batch).expect("stream batch applies");
+        }
+        let pre_crash = engine.epoch();
+        // "Crash": drop without checkpointing — recovery must replay
+        // the whole tail from the epoch-0 snapshot.
+        drop(engine);
+        let t0 = Instant::now();
+        let recovered = PcsEngine::builder().durable(&dir).open().expect("recovery succeeds");
+        let elapsed = t0.elapsed();
+        assert_eq!(recovered.epoch(), pre_crash, "recovery must land on the exact pre-crash epoch");
+        rows.push((tail, pre_crash, elapsed));
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    rows
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+fn write_snapshot(path: &Path, cfg: &Config, results: &str) {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"pcs-bench-snapshot/v2\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"records\": {}, \"payload_bytes\": {}, \"threads\": {}, \
+         \"group_window_us\": {}, \"steps\": {}, \"quick\": {}}},",
+        cfg.records,
+        cfg.payload,
+        cfg.threads,
+        cfg.window.as_micros(),
+        cfg.steps,
+        cfg.quick
+    );
+    let _ = writeln!(out, "  \"results\": {results},");
+    let _ = writeln!(out, "  \"baseline\": null");
+    out.push_str("}\n");
+    std::fs::create_dir_all(path.parent().unwrap_or(Path::new("."))).expect("create out dir");
+    std::fs::write(path, out).expect("write snapshot file");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let cfg = Config::parse();
+
+    let solo = solo_append(&cfg);
+    println!(
+        "solo append:  {:.0} rec/s, {} fsyncs / {} records, commit p50 {} µs p99 {} µs",
+        solo.per_s, solo.fsyncs, cfg.records, solo.p50_us, solo.p99_us
+    );
+
+    let group = group_append(&cfg);
+    let group_records = (cfg.records / cfg.threads.max(1)) * cfg.threads.max(1);
+    println!(
+        "group append: {:.0} rec/s, {} fsyncs / {} records ({} writers, {} µs window), \
+         commit p50 {} µs p99 {} µs",
+        group.per_s,
+        group.fsyncs,
+        group_records,
+        cfg.threads,
+        cfg.window.as_micros(),
+        group.p50_us,
+        group.p99_us
+    );
+
+    let recovery_rows = recovery(&cfg);
+    for (tail, epoch, elapsed) in &recovery_rows {
+        println!(
+            "recovery: {tail:>5} batch tail (epoch {epoch}) replayed in {:.2} ms",
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
+
+    if cfg.quick {
+        // The CI gate: the invariants, not the numbers.
+        assert!(
+            group.fsyncs < group_records as u64,
+            "group commit never coalesced: {} fsyncs for {} records",
+            group.fsyncs,
+            group_records
+        );
+        assert_eq!(solo.fsyncs, cfg.records as u64, "solo commits must fsync per record");
+        println!("--quick gate: ok (recovery exact, group commit coalesced)");
+    }
+
+    let mut results = String::from("{");
+    let mut first = true;
+    let mut put = |key: &str, value: String| {
+        if !first {
+            results.push_str(", ");
+        }
+        first = false;
+        let _ = write!(results, "{}: {value}", json_str(key));
+    };
+    put("solo_append_per_s", format!("{:.2}", solo.per_s));
+    put("solo_fsyncs", solo.fsyncs.to_string());
+    put("solo_commit_p50_us", solo.p50_us.to_string());
+    put("solo_commit_p99_us", solo.p99_us.to_string());
+    put("group_append_per_s", format!("{:.2}", group.per_s));
+    put("group_fsyncs", group.fsyncs.to_string());
+    put("group_records", group_records.to_string());
+    put("group_commit_p50_us", group.p50_us.to_string());
+    put("group_commit_p99_us", group.p99_us.to_string());
+    for (tail, epoch, elapsed) in &recovery_rows {
+        put(&format!("recovery_tail_{tail}_ms"), format!("{:.3}", elapsed.as_secs_f64() * 1e3));
+        put(&format!("recovery_tail_{tail}_epoch"), epoch.to_string());
+    }
+    results.push('}');
+
+    let path = cfg.out_dir.join(if cfg.quick { "BENCH_wal.quick.json" } else { "BENCH_wal.json" });
+    write_snapshot(&path, &cfg, &results);
+}

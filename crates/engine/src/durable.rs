@@ -1,0 +1,509 @@
+//! Durability and replication: the WAL-backed engine lifecycle.
+//!
+//! A crash must never cost an acknowledged update. This module wires
+//! `pcs_store`'s write-ahead log into the engine's update path so that
+//! every applied [`UpdateBatch`](crate::UpdateBatch) is on stable
+//! storage *before* its epoch is published to readers:
+//!
+//! ```text
+//!   apply:    validate → mutate master → encode batch
+//!           → WAL append (epoch N) → group-commit fsync
+//!           → publish snapshot N        (readers see N only after fsync)
+//!   recover:  load snapshot (epoch S) → replay WAL records S+1.. → serve
+//! ```
+//!
+//! The durable directory layout is one snapshot plus one WAL
+//! subdirectory:
+//!
+//! ```text
+//!   <dir>/snapshot.pcs   — latest checkpoint (atomic rename + dir fsync)
+//!   <dir>/wal/wal-*.seg  — epoch-stamped, checksummed update records
+//! ```
+//!
+//! [`EngineBuilder::durable`] + [`EngineBuilder::build`] initialize a
+//! fresh directory (epoch-0 snapshot, empty log);
+//! [`EngineBuilder::open`] recovers an existing one, resuming at the
+//! exact pre-crash epoch; [`PcsEngine::checkpoint`] rewrites the
+//! snapshot and reclaims WAL segments the snapshot now covers.
+//!
+//! Replication rides the same log: [`WalFollower`] tails a primary's
+//! durable directory read-only (never truncating the primary's live
+//! tail), and [`PcsEngine::wal_tail_since`] re-frames the fsynced tail
+//! for the HTTP `GET /wal?from=epoch` endpoint, which a network
+//! follower applies via [`PcsEngine::apply_wal_frames`]. Either way the
+//! follower's state at epoch N is byte-for-byte the primary's: the same
+//! batches, applied in the same order, through the same `apply` path
+//! the differential harness proves equivalent to a from-scratch build.
+//!
+//! ## Failure contract
+//!
+//! Every failure on the durable pipeline — injected kill point, real
+//! I/O error, torn frame — is **fail-stop**: the WAL refuses further
+//! appends, in-flight and later `apply` calls return typed errors, and
+//! the already-published prefix keeps serving reads. Reopening the
+//! directory recovers exactly the fsynced prefix; nothing is ever
+//! half-applied, because publication happens only after the fsync that
+//! covers it.
+
+use pcs_graph::VertexId;
+use pcs_ptree::{LabelId, PTree, Taxonomy};
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use pcs_store::wal::{self, Wal, WalOptions};
+use pcs_store::{SectionReader, SectionWriter, StoreError, WAL_SECTION};
+
+use crate::engine::{EngineBuilder, PcsEngine};
+use crate::error::{BuildError, Error, Result};
+use crate::update::{Update, UpdateBatch};
+
+/// File name of the checkpoint snapshot inside a durable directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.pcs";
+/// Subdirectory holding the WAL segments inside a durable directory.
+pub const WAL_DIR: &str = "wal";
+
+/// Hard cap on one serialized batch payload, far below the WAL's own
+/// frame cap so an absurd batch fails with a typed error before it
+/// bloats a segment.
+const MAX_BATCH_BYTES: usize = (wal::MAX_RECORD_LEN as usize) / 2;
+
+// Operation tags on the wire. Part of the WAL payload format; changing
+// them (or the field layout below) requires a new record section id.
+const TAG_ADD_EDGE: u32 = 0;
+const TAG_REMOVE_EDGE: u32 = 1;
+const TAG_SET_PROFILE: u32 = 2;
+
+/// Serializes one update batch into a WAL record payload.
+///
+/// Wire layout (little-endian, validated by [`decode_update_batch`]):
+///
+/// ```text
+///   u32 op_count
+///   op_count × { u32 tag,
+///                tag 0/1 (edge):    u32 u, u32 v
+///                tag 2 (profile):   u32 vertex, u32 k, k × u32 label }
+/// ```
+///
+/// Profiles are stored as their sorted, ancestor-closed node sets —
+/// exactly the [`PTree`] invariant — so decode re-validates closure
+/// against the engine's taxonomy instead of trusting the bytes.
+pub fn encode_update_batch(batch: &UpdateBatch) -> std::result::Result<Vec<u8>, StoreError> {
+    let mut w = SectionWriter::new();
+    let count = u32::try_from(batch.len()).map_err(|_| StoreError::Corrupt {
+        section: WAL_SECTION,
+        detail: format!("batch of {} ops exceeds the u32 op-count field", batch.len()),
+    })?;
+    w.put_u32(count);
+    for op in batch.ops() {
+        match op {
+            Update::AddEdge { u, v } => {
+                w.put_u32(TAG_ADD_EDGE);
+                w.put_u32(*u);
+                w.put_u32(*v);
+            }
+            Update::RemoveEdge { u, v } => {
+                w.put_u32(TAG_REMOVE_EDGE);
+                w.put_u32(*u);
+                w.put_u32(*v);
+            }
+            Update::SetProfile { vertex, profile } => {
+                w.put_u32(TAG_SET_PROFILE);
+                w.put_u32(*vertex);
+                let nodes = profile.nodes();
+                let k = u32::try_from(nodes.len()).map_err(|_| StoreError::Corrupt {
+                    section: WAL_SECTION,
+                    detail: format!(
+                        "profile of {} labels exceeds the u32 length field",
+                        nodes.len()
+                    ),
+                })?;
+                w.put_u32(k);
+                w.put_u32_slice(nodes);
+            }
+        }
+    }
+    let payload = w.finish();
+    if payload.len() > MAX_BATCH_BYTES {
+        return Err(StoreError::Corrupt {
+            section: WAL_SECTION,
+            detail: format!("serialized batch of {} bytes exceeds the record cap", payload.len()),
+        });
+    }
+    Ok(payload)
+}
+
+/// Deserializes a WAL record payload written by [`encode_update_batch`],
+/// re-validating every profile against `tax` (bounds, strict sort,
+/// ancestor closure). Malformed bytes yield a typed
+/// [`StoreError::Corrupt`], never a panic.
+pub fn decode_update_batch(
+    payload: &[u8],
+    tax: &Taxonomy,
+) -> std::result::Result<UpdateBatch, StoreError> {
+    let corrupt = |detail: String| StoreError::Corrupt { section: WAL_SECTION, detail };
+    let mut r = SectionReader::new(payload, WAL_SECTION);
+    let count = r.u32()? as usize;
+    let mut batch = UpdateBatch::new();
+    for i in 0..count {
+        let tag = r.u32()?;
+        match tag {
+            TAG_ADD_EDGE | TAG_REMOVE_EDGE => {
+                let u: VertexId = r.u32()?;
+                let v: VertexId = r.u32()?;
+                batch.push(if tag == TAG_ADD_EDGE {
+                    Update::AddEdge { u, v }
+                } else {
+                    Update::RemoveEdge { u, v }
+                });
+            }
+            TAG_SET_PROFILE => {
+                let vertex: VertexId = r.u32()?;
+                let k = r.u32()? as usize;
+                let nodes: Vec<LabelId> = r.u32_vec(k)?;
+                if !nodes.windows(2).all(|p| p.first() < p.get(1)) {
+                    return Err(corrupt(format!(
+                        "op {i}: profile node set is not strictly sorted"
+                    )));
+                }
+                if let Some(&max) = nodes.last() {
+                    if max as usize >= tax.len() {
+                        return Err(corrupt(format!(
+                            "op {i}: profile label {max} outside taxonomy of {} labels",
+                            tax.len()
+                        )));
+                    }
+                }
+                let profile = PTree::from_closed_sorted(tax, nodes)
+                    .map_err(|e| corrupt(format!("op {i}: profile rejected: {e}")))?;
+                batch.push(Update::SetProfile { vertex, profile });
+            }
+            other => return Err(corrupt(format!("op {i}: unknown operation tag {other}"))),
+        }
+    }
+    r.finish()?;
+    Ok(batch)
+}
+
+/// The engine's attachment to its durable directory: the open WAL plus
+/// the publication sequencer that keeps snapshot swaps in epoch order
+/// even though appliers release the writer lock before their fsync.
+pub(crate) struct DurableState {
+    pub(crate) dir: PathBuf,
+    pub(crate) wal: Wal,
+    /// Highest epoch published to readers. Appliers wait here until
+    /// every earlier epoch is published, so a fast fsync can never
+    /// publish ahead of a slower predecessor.
+    published: Mutex<u64>,
+    publish_cv: Condvar,
+}
+
+impl DurableState {
+    pub(crate) fn new(dir: PathBuf, wal: Wal, published: u64) -> Self {
+        DurableState { dir, wal, published: Mutex::new(published), publish_cv: Condvar::new() }
+    }
+
+    /// Path of the WAL subdirectory.
+    pub(crate) fn wal_dir(&self) -> PathBuf {
+        self.dir.join(WAL_DIR)
+    }
+
+    fn lock_published(&self) -> MutexGuard<'_, u64> {
+        // A poisoned publish lock means an applier panicked mid-swap;
+        // the WAL fail-stops (matching its own poisoning policy) so
+        // later appends error instead of publishing over unknown state.
+        match self.published.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.wal.fail_stop();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Publishes epoch `epoch` via `swap`, strictly after epoch
+    /// `epoch - 1`. Returns a typed error (without swapping) if the
+    /// pipeline fail-stopped while waiting — a predecessor died between
+    /// its fsync and its publish, so this epoch's base state will never
+    /// become visible.
+    pub(crate) fn publish_in_order(&self, epoch: u64, swap: impl FnOnce()) -> Result<()> {
+        let mut published = self.lock_published();
+        while *published != epoch - 1 {
+            if self.wal.is_failed() || *published >= epoch {
+                self.publish_cv.notify_all();
+                return Err(Error::Store(StoreError::Io {
+                    op: "wal-publish",
+                    detail: format!(
+                        "epoch {epoch} cannot be published: pipeline fail-stopped at \
+                         published epoch {}",
+                        *published
+                    ),
+                }));
+            }
+            published = match self.publish_cv.wait(published) {
+                Ok(g) => g,
+                Err(poisoned) => {
+                    self.wal.fail_stop();
+                    poisoned.into_inner()
+                }
+            };
+        }
+        swap();
+        *published = epoch;
+        self.publish_cv.notify_all();
+        Ok(())
+    }
+
+    /// Fail-stops the whole durable pipeline: refuses further WAL
+    /// appends and wakes every applier parked on the publication
+    /// sequencer so they return typed errors instead of hanging.
+    pub(crate) fn abort(&self) {
+        self.wal.fail_stop();
+        self.publish_cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for DurableState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableState")
+            .field("dir", &self.dir)
+            .field("durable_epoch", &self.wal.durable_epoch())
+            .field("failed", &self.wal.is_failed())
+            .finish()
+    }
+}
+
+impl EngineBuilder {
+    /// Names the durable directory. With [`build`](Self::build) the
+    /// directory must be empty (or absent): the engine writes an
+    /// epoch-0 snapshot and starts an empty WAL, and from then on every
+    /// applied batch is fsynced to the log *before* its epoch is
+    /// published. With [`open`](Self::open) the directory must hold a
+    /// previous engine's state, which is recovered exactly.
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Tunes the WAL (segment size, group-commit window). Defaults are
+    /// [`WalOptions::default`]; only meaningful together with
+    /// [`durable`](Self::durable).
+    pub fn wal_options(mut self, opts: WalOptions) -> Self {
+        self.wal_opts = opts;
+        self
+    }
+
+    /// Recovers an engine from the durable directory named by
+    /// [`durable`](Self::durable): loads the checkpoint snapshot, then
+    /// replays every WAL record past the snapshot's epoch through the
+    /// normal `apply` path, resuming at the exact pre-crash epoch. A
+    /// torn or corrupt record truncates the log there (everything
+    /// before it is kept; the unacknowledged tail is discarded); a
+    /// *gap* — a record whose epoch is not the next expected one —
+    /// aborts recovery with a typed error rather than serving a wrong
+    /// engine.
+    ///
+    /// Configuration methods (index mode, thread counts, patch cap)
+    /// apply as with [`load`](Self::load); data methods must not have
+    /// been called.
+    pub fn open(mut self) -> Result<PcsEngine> {
+        let dir = self.durable_dir.take().ok_or(BuildError::MissingDurableDir)?;
+        let opts = std::mem::take(&mut self.wal_opts);
+        let mut engine = self.load(dir.join(SNAPSHOT_FILE))?;
+        let snap_epoch = engine.epoch();
+        let (wal, replay) = Wal::open(dir.join(WAL_DIR), opts, snap_epoch)?;
+        for rec in replay.records {
+            // Records at or below the snapshot's epoch are already in
+            // the checkpoint; they linger only until the next reclaim.
+            if rec.epoch <= snap_epoch {
+                continue;
+            }
+            let batch = decode_update_batch(&rec.payload, engine.taxonomy())?;
+            // `durable` is still unset here, so replay publishes
+            // in-memory without re-logging the record it came from.
+            engine.apply_inner(&batch, Some(rec.epoch))?;
+        }
+        let published = engine.epoch();
+        engine.durable = Some(DurableState::new(dir, wal, published));
+        Ok(engine)
+    }
+
+    /// Builds a read-only **follower** seeded from another engine's
+    /// durable directory: loads the primary's current checkpoint and
+    /// replays whatever WAL tail is already on disk. The source is
+    /// never written — segments are scanned read-only and a torn live
+    /// tail is simply left for the next [`WalFollower::poll`] — so a
+    /// follower can safely run against a primary's live directory (or
+    /// a snapshot-consistent copy of it).
+    pub fn follow(mut self, source: impl Into<PathBuf>) -> Result<WalFollower> {
+        let source = source.into();
+        // A follower is read-only by definition: it replays the
+        // primary's log rather than writing one of its own, so any
+        // `durable(dir)` configuration is ignored.
+        self.durable_dir = None;
+        let engine = self.load(source.join(SNAPSHOT_FILE))?;
+        let follower = WalFollower { engine, source };
+        follower.poll()?;
+        Ok(follower)
+    }
+}
+
+/// Called from `EngineBuilder::build` when [`EngineBuilder::durable`]
+/// was configured: initializes a fresh durable directory around the
+/// just-built epoch-0 engine.
+pub(crate) fn init_fresh(engine: &mut PcsEngine, dir: PathBuf, opts: WalOptions) -> Result<()> {
+    std::fs::create_dir_all(&dir).map_err(|e| {
+        Error::Store(StoreError::Io {
+            op: "durable-init",
+            detail: format!("{}: {e}", dir.display()),
+        })
+    })?;
+    let snap_path = dir.join(SNAPSHOT_FILE);
+    let wal_nonempty =
+        wal::list_segments(&dir.join(WAL_DIR)).map(|s| !s.is_empty()).unwrap_or(false);
+    if snap_path.exists() || wal_nonempty {
+        return Err(BuildError::DurableDirNotEmpty { dir: dir.display().to_string() }.into());
+    }
+    engine.save(&snap_path)?;
+    let (wal, _replay) = Wal::open(dir.join(WAL_DIR), opts, engine.epoch())?;
+    engine.durable = Some(DurableState::new(dir, wal, engine.epoch()));
+    Ok(())
+}
+
+impl PcsEngine {
+    pub(crate) fn durable_state(&self) -> Result<&DurableState> {
+        self.durable.as_ref().ok_or(Error::NotDurable)
+    }
+
+    /// Highest epoch covered by a completed WAL fsync: `Some(e)` means
+    /// every batch up to epoch `e` survives a crash. `None` on engines
+    /// without a durable directory. Always trails (or equals)
+    /// [`epoch`](Self::epoch), because epochs publish only after their
+    /// fsync.
+    pub fn durable_epoch(&self) -> Option<u64> {
+        self.durable.as_ref().map(|d| d.wal.durable_epoch())
+    }
+
+    /// Rewrites the durable directory's checkpoint snapshot at the
+    /// current epoch (atomic rename + directory fsync), rotates the
+    /// WAL, and reclaims every segment the snapshot now covers.
+    /// Returns the checkpointed epoch. Serialized against `apply`
+    /// via the writer lock; readers are never blocked.
+    pub fn checkpoint(&self) -> Result<u64> {
+        let ds = self.durable_state()?;
+        // audit:allow(no-panic): a poisoned writer lock means an apply already panicked mid-mutation; checkpointing that half-applied state would persist it, so propagate the panic
+        let _guard = self.writer.lock().expect("engine writer lock poisoned");
+        let snap = self.snapshot_arc();
+        self.write_snapshot(&snap, ds.dir.join(SNAPSHOT_FILE))?;
+        // Rotation fsyncs and closes the active segment so the reclaim
+        // watermark below can retire it too once the *next* checkpoint
+        // covers the records it still holds.
+        ds.wal.rotate()?;
+        ds.wal.reclaim(snap.epoch)?;
+        Ok(snap.epoch)
+    }
+
+    /// Re-frames the fsynced WAL tail after `after_epoch` (at most
+    /// `max_bytes` of payload) as self-describing checksummed frames —
+    /// the body of the `GET /wal?from=epoch` replication endpoint,
+    /// applied on the other side by
+    /// [`apply_wal_frames`](Self::apply_wal_frames). Only records
+    /// covered by a completed fsync are served, so a follower can never
+    /// observe an epoch the primary could still lose. An empty vector
+    /// means the follower is caught up. A reclaimed gap (the follower
+    /// fell behind the oldest retained segment) is a typed
+    /// [`StoreError::Corrupt`] — the follower must re-seed from the
+    /// snapshot.
+    pub fn wal_tail_since(&self, after_epoch: u64, max_bytes: u64) -> Result<Vec<u8>> {
+        let ds = self.durable_state()?;
+        let durable = ds.wal.durable_epoch();
+        if after_epoch >= durable {
+            return Ok(Vec::new());
+        }
+        let records = wal::read_records_since(&ds.wal_dir(), after_epoch, durable, max_bytes)?;
+        Ok(wal::encode_records(&records)?)
+    }
+
+    /// Applies a frame stream produced by
+    /// [`wal_tail_since`](Self::wal_tail_since): decodes each record,
+    /// skips epochs this engine already has, and applies the rest in
+    /// order through the normal `apply` path (re-logging them if this
+    /// engine is itself durable — chained replication comes for free).
+    /// Returns the number of batches applied. Any torn frame, checksum
+    /// mismatch, or epoch gap is a typed error; nothing is applied past
+    /// the first bad frame.
+    pub fn apply_wal_frames(&self, frames: &[u8]) -> Result<usize> {
+        let scan = wal::decode_frames(frames, None);
+        if let Some(detail) = scan.torn {
+            return Err(Error::Store(StoreError::Corrupt {
+                section: WAL_SECTION,
+                detail: format!("replication stream damaged: {detail}"),
+            }));
+        }
+        let mut applied = 0usize;
+        for rec in &scan.records {
+            if rec.epoch <= self.epoch() {
+                continue;
+            }
+            let batch = decode_update_batch(&rec.payload, self.taxonomy())?;
+            self.apply_inner(&batch, Some(rec.epoch))?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+}
+
+/// A read-only replica that tails a primary's durable directory:
+/// built by [`EngineBuilder::follow`], advanced by [`poll`](Self::poll),
+/// queried through [`engine`](Self::engine). At every polled epoch the
+/// follower's cores and index answer identically to the primary's at
+/// that epoch — same batches, same order, same `apply` path.
+#[derive(Debug)]
+pub struct WalFollower {
+    engine: PcsEngine,
+    source: PathBuf,
+}
+
+impl WalFollower {
+    /// The replica engine (serve queries from here).
+    pub fn engine(&self) -> &PcsEngine {
+        &self.engine
+    }
+
+    /// The primary durable directory being tailed.
+    pub fn source(&self) -> &Path {
+        &self.source
+    }
+
+    /// The replica's current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.engine.epoch()
+    }
+
+    /// Reads and applies every complete WAL record past the replica's
+    /// epoch; returns how many batches were applied (0 = caught up). A
+    /// torn record mid-write on the primary is left for the next poll;
+    /// an epoch *gap* (the primary reclaimed segments past this
+    /// replica's position — it fell too far behind) is a typed error,
+    /// after which the caller re-seeds with [`EngineBuilder::follow`].
+    pub fn poll(&self) -> Result<usize> {
+        let after = self.engine.epoch();
+        let records =
+            wal::read_records_since(&self.source.join(WAL_DIR), after, u64::MAX, u64::MAX)?;
+        let mut applied = 0usize;
+        for rec in &records {
+            if rec.epoch <= self.engine.epoch() {
+                continue;
+            }
+            let batch = decode_update_batch(&rec.payload, self.engine.taxonomy())?;
+            self.engine.apply_inner(&batch, Some(rec.epoch))?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Consumes the follower, promoting the replica engine to a
+    /// standalone (e.g. for failover after the primary is gone).
+    pub fn into_engine(self) -> PcsEngine {
+        self.engine
+    }
+}

@@ -66,6 +66,8 @@ pub struct EngineBuilder {
     pub(crate) batch_threads: Option<NonZeroUsize>,
     pub(crate) patch_cap_fraction: Option<f64>,
     pub(crate) scratch_pool_cap: Option<usize>,
+    pub(crate) durable_dir: Option<std::path::PathBuf>,
+    pub(crate) wal_opts: pcs_store::WalOptions,
 }
 
 impl EngineBuilder {
@@ -143,8 +145,13 @@ impl EngineBuilder {
 
     /// Validates the inputs and produces the engine. With
     /// [`IndexMode::Eager`] this also builds the CP-tree index and the
-    /// core decomposition.
+    /// core decomposition. With [`durable`](EngineBuilder::durable)
+    /// configured, the target directory must be empty: the engine
+    /// writes its epoch-0 snapshot and starts an empty WAL there (use
+    /// [`open`](EngineBuilder::open) to recover an existing one).
     pub fn build(mut self) -> Result<PcsEngine> {
+        let durable_dir = self.durable_dir.take();
+        let wal_opts = std::mem::take(&mut self.wal_opts);
         let graph = self.graph.take().ok_or(BuildError::MissingGraph)?;
         let tax = self.tax.take().ok_or(BuildError::MissingTaxonomy)?;
         let profiles = std::mem::take(&mut self.profiles);
@@ -172,7 +179,11 @@ impl EngineBuilder {
             index: OnceLock::new(),
             epoch: 0,
         });
-        self.assemble(tax, snapshot)
+        let mut engine = self.assemble(tax, snapshot)?;
+        if let Some(dir) = durable_dir {
+            crate::durable::init_fresh(&mut engine, dir, wal_opts)?;
+        }
+        Ok(engine)
     }
 
     /// The shared assembly tail of [`build`](EngineBuilder::build) and
@@ -197,6 +208,7 @@ impl EngineBuilder {
                 .unwrap_or_else(|| (batch_threads * 2).clamp(4, 64)),
             state: RwLock::new(snapshot),
             writer: Mutex::new(None),
+            durable: None,
             scratch_pool: Mutex::new(Vec::new()),
             #[cfg(feature = "debug-invariants")]
             verify_epoch_hwm: std::sync::atomic::AtomicU64::new(0),
@@ -212,10 +224,20 @@ fn profile_is_valid(tax: &Taxonomy, p: &PTree) -> bool {
     p.nodes().iter().all(|&l| (l as usize) < tax.len()) && tax.is_ancestor_closed(p.nodes())
 }
 
-/// The writer's mutable master copy of the data, kept in lockstep with
-/// the latest published snapshot. Materialized on the first `apply` so
-/// read-only engines pay nothing.
-struct WriterState {
+/// The writer's mutable master copy of the data. Materialized on the
+/// first `apply` so read-only engines pay nothing.
+///
+/// `base` is the snapshot the master state currently equals — the last
+/// snapshot *built* by an applier, which on a durable engine may run
+/// ahead of the published one: appliers release the writer lock before
+/// their fsync completes, so the next applier must stack on the
+/// pending snapshot, not the published one. On the non-durable path
+/// the two never diverge. If a durable applier dies after mutating the
+/// master (failed append, fsync, or publish), the whole `WriterState`
+/// is discarded (`writer = None`) so the next `apply` rebuilds it from
+/// the snapshot readers actually see.
+pub(crate) struct WriterState {
+    base: Arc<SnapshotInner>,
     graph: DynamicGraph,
     cores: IncrementalCores,
     profiles: Vec<PTree>,
@@ -259,7 +281,11 @@ pub struct PcsEngine {
     /// enough to clone the `Arc`; writers only to swap it.
     state: RwLock<Arc<SnapshotInner>>,
     /// Serializes writers and owns the mutable master state.
-    writer: Mutex<Option<WriterState>>,
+    pub(crate) writer: Mutex<Option<WriterState>>,
+    /// The WAL attachment (durable engines only): set once during
+    /// `build`/`open`, before the engine is shared, and immutable
+    /// afterwards.
+    pub(crate) durable: Option<crate::durable::DurableState>,
     /// Reusable per-query working memory ([`QueryScratch`]): each query
     /// checks one out, runs allocation-free, and returns it. Pooled so
     /// concurrent `query_batch` workers each get their own.
@@ -570,15 +596,63 @@ impl PcsEngine {
     /// No-op operations (duplicate edge inserts, absent removals,
     /// identical profiles) are counted in the report, not errors. A
     /// batch of only no-ops publishes nothing and keeps the epoch.
+    ///
+    /// # Durability
+    ///
+    /// On an engine opened with
+    /// [`EngineBuilder::durable`](crate::EngineBuilder::durable) the
+    /// batch is appended to the WAL and **fsynced before its epoch is
+    /// published**: once `apply` returns `Ok`, the batch survives a
+    /// crash, and a reader can never observe an epoch the engine could
+    /// still lose. Concurrent appliers coalesce into shared group
+    /// commits; snapshots still publish strictly in epoch order. Any
+    /// failure on that pipeline (I/O error, injected kill point)
+    /// fail-stops the log — this and every later `apply` return typed
+    /// errors, already-published epochs keep serving reads, and
+    /// reopening the directory recovers the fsynced prefix.
     pub fn apply(&self, batch: &UpdateBatch) -> Result<UpdateReport> {
+        self.apply_inner(batch, None)
+    }
+
+    /// Replays a batch that must land on **exactly** `epoch`: the
+    /// WAL-recovery and replication entry point (see
+    /// [`WalFollower`](crate::WalFollower) and
+    /// [`apply_wal_frames`](Self::apply_wal_frames)). Unlike
+    /// [`apply`](Self::apply), a stamped batch is never allowed to
+    /// drift: landing on any other epoch is
+    /// [`UpdateError::EpochMismatch`] and a batch with no effect is
+    /// [`UpdateError::ReplayNoEffect`] — both mean the log and this
+    /// engine have diverged, and both leave the engine unchanged.
+    pub fn apply_at_epoch(&self, batch: &UpdateBatch, epoch: u64) -> Result<UpdateReport> {
+        self.apply_inner(batch, Some(epoch))
+    }
+
+    pub(crate) fn apply_inner(
+        &self,
+        batch: &UpdateBatch,
+        expect_epoch: Option<u64>,
+    ) -> Result<UpdateReport> {
         let start = Instant::now();
         let mut guard = self.writer.lock().expect("engine writer lock poisoned");
-        let snap = self.snapshot_arc();
-        let ws = guard.get_or_insert_with(|| WriterState {
-            graph: DynamicGraph::from_graph(&snap.graph),
-            cores: IncrementalCores::new(snap.cores().core_numbers().to_vec()),
-            profiles: snap.profiles.as_ref().clone(),
+        let ws = guard.get_or_insert_with(|| {
+            let snap = self.snapshot_arc();
+            WriterState {
+                base: Arc::clone(&snap),
+                graph: DynamicGraph::from_graph(&snap.graph),
+                cores: IncrementalCores::new(snap.cores().core_numbers().to_vec()),
+                profiles: snap.profiles.as_ref().clone(),
+            }
         });
+        // The snapshot the master state currently equals: the pending
+        // one on a durable engine mid-pipeline, the published one
+        // otherwise.
+        let base = Arc::clone(&ws.base);
+        let epoch = base.epoch + 1;
+        if let Some(expected) = expect_epoch {
+            if epoch != expected {
+                return Err(UpdateError::EpochMismatch { expected, next: epoch }.into());
+            }
+        }
         let n = ws.graph.num_vertices();
         // Validate the whole batch before touching anything.
         for op in batch.ops() {
@@ -656,14 +730,22 @@ impl PcsEngine {
             }
         }
         if deltas.is_empty() {
+            // A primary never logs an all-no-op batch (nothing is
+            // published for one), so a *replayed* no-op means the log
+            // and this engine disagree about the state the batch was
+            // applied to.
+            if expect_epoch.is_some() {
+                return Err(UpdateError::ReplayNoEffect { epoch }.into());
+            }
             return Ok(UpdateReport {
-                epoch: snap.epoch,
+                epoch: base.epoch,
                 edges_added: 0,
                 edges_removed: 0,
                 profiles_changed: 0,
                 noops,
                 cores_changed: 0,
                 index: IndexMaintenance::Unchanged,
+                durable_epoch: self.durable_epoch(),
                 elapsed: start.elapsed(),
             });
         }
@@ -676,11 +758,11 @@ impl PcsEngine {
         // what stays bounded.)
         let edges_changed = edges_added + edges_removed > 0;
         let graph =
-            if edges_changed { Arc::new(ws.graph.to_graph()) } else { Arc::clone(&snap.graph) };
+            if edges_changed { Arc::new(ws.graph.to_graph()) } else { Arc::clone(&base.graph) };
         let profiles = if profiles_changed > 0 {
             Arc::new(ws.profiles.clone())
         } else {
-            Arc::clone(&snap.profiles)
+            Arc::clone(&base.profiles)
         };
         let cores = if edges_changed {
             let cell = OnceLock::new();
@@ -688,7 +770,7 @@ impl PcsEngine {
                 cell.set(CoreDecomposition::from_core_numbers(ws.cores.core_numbers().to_vec()));
             Arc::new(cell)
         } else {
-            Arc::clone(&snap.cores)
+            Arc::clone(&base.cores)
         };
         let index_cell: OnceLock<std::result::Result<ShardedCpIndex, IndexError>> = OnceLock::new();
         // A full rebuild (eager engines past the patch cap) recreates
@@ -705,7 +787,7 @@ impl PcsEngine {
         let maintenance = if self.index_mode == IndexMode::Disabled {
             IndexMaintenance::Disabled
         } else {
-            match snap.index.get() {
+            match base.index.get() {
                 Some(Ok(old)) => {
                     // apply_batch re-derives this classification; both
                     // passes are O(batch ops), not O(graph), so sharing
@@ -750,9 +832,59 @@ impl PcsEngine {
                 }
             }
         };
-        let epoch = snap.epoch + 1;
         let next = Arc::new(SnapshotInner { graph, profiles, cores, index: index_cell, epoch });
-        *self.state.write().expect("engine state lock poisoned") = next;
+        let mut durable_epoch = None;
+        match self.durable.as_ref() {
+            // Recovery replay runs before `durable` is attached, so a
+            // replayed record is never re-logged.
+            Some(ds) => {
+                // Log → fsync → publish. The master state is already
+                // mutated, so from here every failure must discard the
+                // writer state (the next `apply` re-materializes it
+                // from the published snapshot) and fail-stop the
+                // pipeline — otherwise an unlogged mutation could leak
+                // into a later epoch's base.
+                let append = crate::durable::encode_update_batch(batch)
+                    .and_then(|payload| ds.wal.append(epoch, &payload));
+                let ticket = match append {
+                    Ok(t) => t,
+                    Err(e) => {
+                        *guard = None;
+                        ds.abort();
+                        return Err(e.into());
+                    }
+                };
+                // Hand the writer lock to the next applier before the
+                // fsync: it stacks on `next` (pending, unpublished) and
+                // joins the same group commit instead of serializing
+                // behind this one's disk wait.
+                ws.base = Arc::clone(&next);
+                drop(guard);
+                let committed = ds
+                    .wal
+                    .commit(&ticket)
+                    .map_err(Error::from)
+                    .and_then(|()| {
+                        pcs_store::faults::hit("engine.before_publish").map_err(Error::from)
+                    })
+                    .and_then(|()| {
+                        ds.publish_in_order(epoch, || {
+                            *self.state.write().expect("engine state lock poisoned") =
+                                Arc::clone(&next);
+                        })
+                    });
+                if let Err(e) = committed {
+                    ds.abort();
+                    *self.writer.lock().expect("engine writer lock poisoned") = None;
+                    return Err(e);
+                }
+                durable_epoch = Some(ds.wal.durable_epoch());
+            }
+            None => {
+                ws.base = Arc::clone(&next);
+                *self.state.write().expect("engine state lock poisoned") = next;
+            }
+        }
         Ok(UpdateReport {
             epoch,
             edges_added,
@@ -761,6 +893,7 @@ impl PcsEngine {
             noops,
             cores_changed,
             index: maintenance,
+            durable_epoch,
             elapsed: start.elapsed(),
         })
     }

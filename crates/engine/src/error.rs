@@ -40,6 +40,12 @@ pub enum Error {
     /// [`EngineBuilder::load`](crate::EngineBuilder::load)); the file
     /// was rejected before any engine state was adopted.
     Store(StoreError),
+    /// A durability-only operation
+    /// ([`PcsEngine::checkpoint`](crate::PcsEngine::checkpoint),
+    /// [`PcsEngine::wal_tail_since`](crate::PcsEngine::wal_tail_since))
+    /// was called on an engine that was not opened with
+    /// [`EngineBuilder::durable`](crate::EngineBuilder::durable).
+    NotDurable,
 }
 
 impl fmt::Display for Error {
@@ -55,6 +61,11 @@ impl fmt::Display for Error {
             ),
             Error::Update(e) => write!(f, "update rejected: {e}"),
             Error::Store(e) => write!(f, "snapshot store failed: {e}"),
+            Error::NotDurable => write!(
+                f,
+                "this engine has no durable directory; open it with \
+                 EngineBuilder::durable(dir) first"
+            ),
         }
     }
 }
@@ -146,6 +157,20 @@ pub enum BuildError {
     /// a snapshot supplies all three, so mixing them is almost
     /// certainly a bug (which inputs did the caller mean?).
     DataWithSnapshot,
+    /// [`EngineBuilder::open`](crate::EngineBuilder::open) was called
+    /// without [`durable`](crate::EngineBuilder::durable) naming the
+    /// directory to recover from.
+    MissingDurableDir,
+    /// [`EngineBuilder::build`](crate::EngineBuilder::build) with
+    /// [`durable`](crate::EngineBuilder::durable) targeted a directory
+    /// that already holds a snapshot or WAL segments. A fresh build
+    /// would shadow that state; use
+    /// [`open`](crate::EngineBuilder::open) to recover it instead (or
+    /// point the builder at an empty directory).
+    DurableDirNotEmpty {
+        /// The conflicting directory.
+        dir: String,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -168,6 +193,14 @@ impl fmt::Display for BuildError {
                 f,
                 "builder already holds graph/taxonomy/profiles; a snapshot supplies all \
                  three — use a fresh builder (configuration methods are fine) with .load(..)"
+            ),
+            BuildError::MissingDurableDir => {
+                write!(f, "no durable directory configured (call .durable(dir) before .open())")
+            }
+            BuildError::DurableDirNotEmpty { dir } => write!(
+                f,
+                "durable directory {dir} already holds a snapshot or WAL segments; \
+                 use .open() to recover it instead of .build()"
             ),
         }
     }

@@ -28,6 +28,13 @@
 //!   warm-starts by bulk-loading the persisted graph, cores, and
 //!   CP-tree arenas instead of rebuilding them, resuming at the saved
 //!   epoch with full mutability.
+//! * [`EngineBuilder::durable`] / [`EngineBuilder::open`] — the
+//!   WAL-backed lifecycle: every applied batch is fsynced to an
+//!   epoch-stamped log *before* its epoch publishes, crash recovery
+//!   replays the snapshot + log tail to the exact pre-crash epoch,
+//!   [`PcsEngine::checkpoint`] reclaims covered segments, and a
+//!   [`WalFollower`] tails the log as a read-only replica (see the
+//!   [`mod@durable`] module docs).
 //! * [`Error`] — one `#[non_exhaustive]` [`std::error::Error`]
 //!   wrapping query, index, update, and validation failures.
 //!
@@ -58,6 +65,7 @@
 
 #![deny(unsafe_code)]
 
+pub mod durable;
 mod engine;
 mod error;
 mod persist;
@@ -65,6 +73,7 @@ mod request;
 mod snapshot;
 mod update;
 
+pub use durable::{decode_update_batch, encode_update_batch, WalFollower, SNAPSHOT_FILE, WAL_DIR};
 pub use engine::{EngineBuilder, IndexMode, PcsEngine};
 pub use error::{BuildError, Error, Result};
 pub use request::{QueryRequest, QueryResponse};
@@ -75,5 +84,6 @@ pub use update::{IndexMaintenance, Update, UpdateBatch, UpdateError, UpdateRepor
 // this crate for the common path.
 pub use pcs_core::Algorithm;
 // ...and the snapshot-store error type, which surfaces through
-// [`Error::Store`] on the save/load path.
-pub use pcs_store::StoreError;
+// [`Error::Store`] on the save/load path, plus the WAL tuning knobs
+// [`EngineBuilder::wal_options`] accepts.
+pub use pcs_store::{StoreError, WalOptions};

@@ -48,6 +48,18 @@ impl PcsEngine {
     /// publish new epochs mid-save.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
         let snap = self.snapshot_arc();
+        self.write_snapshot(&snap, path)
+    }
+
+    /// Serializes one pinned snapshot. Split out of
+    /// [`save`](Self::save) so [`checkpoint`](Self::checkpoint) can
+    /// write the *same* epoch it then uses as the WAL reclaim
+    /// watermark, even if a concurrent applier publishes mid-write.
+    pub(crate) fn write_snapshot(
+        &self,
+        snap: &SnapshotInner,
+        path: impl AsRef<Path>,
+    ) -> Result<()> {
         let cores = snap.cores();
         let file = encode_snapshot(
             snap.epoch,

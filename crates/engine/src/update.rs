@@ -161,6 +161,13 @@ pub struct UpdateReport {
     pub cores_changed: usize,
     /// What happened to the CP-tree index.
     pub index: IndexMaintenance,
+    /// Highest epoch covered by a completed WAL fsync at the time the
+    /// report was assembled: `Some(e)` on engines opened with
+    /// [`EngineBuilder::durable`](crate::EngineBuilder::durable) (where
+    /// `e >= epoch` means this batch itself is on stable storage),
+    /// `None` on purely in-memory engines. Lets clients distinguish
+    /// applied-in-memory from fsynced-to-log.
+    pub durable_epoch: Option<u64>,
     /// Wall-clock time of validation + application + publication.
     pub elapsed: Duration,
 }
@@ -196,6 +203,23 @@ pub enum UpdateError {
         /// The vertex whose new profile failed validation.
         vertex: VertexId,
     },
+    /// A replayed batch (WAL recovery, follower tailing) was stamped
+    /// with an epoch that is not the engine's next epoch — the log and
+    /// the engine have diverged, so applying it would corrupt state.
+    EpochMismatch {
+        /// The epoch the batch was stamped with.
+        expected: u64,
+        /// The epoch the engine would actually publish next.
+        next: u64,
+    },
+    /// A replayed batch had no effect. A primary never logs an
+    /// all-no-op batch (nothing is published for one), so a replica or
+    /// recovery replaying the same prefix must see the same effects;
+    /// a no-op replay means the two states have diverged.
+    ReplayNoEffect {
+        /// The epoch the ineffective batch was stamped with.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for UpdateError {
@@ -209,6 +233,20 @@ impl fmt::Display for UpdateError {
             }
             UpdateError::InvalidProfile { vertex } => {
                 write!(f, "replacement profile for vertex {vertex} is not a valid subtree of the taxonomy")
+            }
+            UpdateError::EpochMismatch { expected, next } => {
+                write!(
+                    f,
+                    "replayed batch is stamped epoch {expected}, but the engine's next \
+                     epoch is {next}: log and engine state have diverged"
+                )
+            }
+            UpdateError::ReplayNoEffect { epoch } => {
+                write!(
+                    f,
+                    "replayed batch for epoch {epoch} had no effect; a logged batch is \
+                     never a no-op, so replica and primary state have diverged"
+                )
             }
         }
     }

@@ -263,7 +263,7 @@ impl HttpConn {
             if resp.keep_alive { "keep-alive" } else { "close" },
         )
         .into_bytes();
-        wire.extend_from_slice(resp.body.as_bytes());
+        wire.extend_from_slice(&resp.body);
         self.stream.write_all(&wire)?;
         self.stream.flush()
     }
@@ -316,8 +316,9 @@ pub struct Response {
     pub status: u16,
     /// Content-Type header value.
     pub content_type: &'static str,
-    /// The body.
-    pub body: String,
+    /// The body — raw bytes, so the WAL replication endpoint can ship
+    /// binary frames over the same writer as the JSON routes.
+    pub body: Vec<u8>,
     /// Whether to advertise `Connection: keep-alive`.
     pub keep_alive: bool,
 }
@@ -325,7 +326,12 @@ pub struct Response {
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: String, keep_alive: bool) -> Response {
-        Response { status, content_type: "application/json", body, keep_alive }
+        Response { status, content_type: "application/json", body: body.into_bytes(), keep_alive }
+    }
+
+    /// A binary response (`application/octet-stream`).
+    pub fn octets(status: u16, body: Vec<u8>, keep_alive: bool) -> Response {
+        Response { status, content_type: "application/octet-stream", body, keep_alive }
     }
 }
 
@@ -337,6 +343,7 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        410 => "Gone",
         413 => "Content Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -399,7 +406,7 @@ mod tests {
 
     #[test]
     fn reasons_cover_emitted_statuses() {
-        for s in [200u16, 400, 404, 405, 408, 413, 431, 500, 503, 505] {
+        for s in [200u16, 400, 404, 405, 408, 410, 413, 431, 500, 503, 505] {
             assert_ne!(reason(s), "Unknown");
         }
     }

@@ -20,6 +20,11 @@
 //!   out-of-range vertex, `k = 0`, absurd community cap, or malformed
 //!   body is a typed 4xx produced *before* any snapshot or scratch
 //!   buffer is touched.
+//! * **WAL replication** ([`replica`]) — a durable primary exposes its
+//!   write-ahead log at `GET /wal?from=<epoch>`; an [`HttpFollower`]
+//!   tails it into a local engine, re-validating every frame, so reads
+//!   scale out with the same prefix-consistency guarantee crash
+//!   recovery provides.
 //!
 //! The protocol grammar and the `BENCH_serve.json` schema are
 //! documented in `crates/README.md` ("Serving layer").
@@ -31,10 +36,12 @@ pub mod batch;
 pub mod http;
 pub mod loadgen;
 pub mod protocol;
+pub mod replica;
 pub mod server;
 
 pub use batch::Batcher;
 pub use http::{HttpConn, HttpError, Method, Request, Response};
 pub use loadgen::{run_load, LatencyUs, LoadConfig, LoadOp, LoadReport};
 pub use protocol::{ApiError, Route};
+pub use replica::{HttpFollower, ReplicaConfig, ReplicaError};
 pub use server::{PcsServer, ServeConfig, ServeError, ServerStats, StatsSnapshot};

@@ -1,7 +1,7 @@
 //! The service protocol: routes, request validation, and JSON
 //! rendering.
 //!
-//! Four routes:
+//! Five routes:
 //!
 //! * `GET /query?v=<u32>&k=<u32>[&algo=<name>][&max=<n>][&stats=0|1]`
 //!   — one community search. `algo` is one of `auto`, `basic`,
@@ -10,6 +10,12 @@
 //!   `add <u> <v>`, `remove <u> <v>`, `profile <v> [<label>...]`.
 //! * `GET /health` — liveness + current epoch.
 //! * `GET /stats` — server counters.
+//! * `GET /wal?from=<u64>[&max=<bytes>]` — the replication feed: raw
+//!   WAL frames for every *durable* epoch strictly after `from`, as
+//!   `application/octet-stream`. A follower feeds the bytes straight
+//!   into `PcsEngine::apply_wal_frames`. `max` caps the response size
+//!   (clamped to [`MAX_WAL_TAIL_BYTES`]); a reclaimed gap answers
+//!   `410 Gone` — the follower must re-seed from a snapshot.
 //!
 //! Validation is **server-side and total**: every malformed or
 //! out-of-range request is rejected with a typed [`ApiError`] (a 4xx)
@@ -30,6 +36,10 @@ pub const MAX_COMMUNITY_CAP: usize = 10_000;
 /// Ceiling on `k`: the degree bound can never exceed the vertex count,
 /// and absurd values signal a malformed client.
 pub const MAX_DEGREE_BOUND: u32 = 1 << 20;
+/// Ceiling on one `/wal` response, bytes. A follower that is far
+/// behind simply polls again — bounding each response keeps a single
+/// replication request from monopolizing a worker's write path.
+pub const MAX_WAL_TAIL_BYTES: u64 = 8 << 20;
 
 /// A typed request rejection. Everything here maps to a 4xx status —
 /// the request was understood to be invalid before the engine was
@@ -184,6 +194,15 @@ pub enum Route {
     Health,
     /// Server counters.
     Stats,
+    /// The replication feed: WAL frames for durable epochs after
+    /// `from`, at most `max` bytes per response.
+    WalTail {
+        /// Resume point: the follower's current epoch.
+        from: u64,
+        /// Response size cap, already clamped to
+        /// [`MAX_WAL_TAIL_BYTES`].
+        max: u64,
+    },
 }
 
 /// Cap on ops per `/apply` body.
@@ -198,7 +217,8 @@ pub fn route(req: &Request, n: usize, tax: &Taxonomy) -> Result<Route, ApiError>
         (Method::Post, "/apply") => Ok(Route::Apply(parse_apply(&req.body, n, tax)?)),
         (Method::Get, "/health") => Ok(Route::Health),
         (Method::Get, "/stats") => Ok(Route::Stats),
-        (Method::Post, p @ ("/query" | "/health" | "/stats")) => {
+        (Method::Get, "/wal") => parse_wal(&req.query),
+        (Method::Post, p @ ("/query" | "/health" | "/stats" | "/wal")) => {
             Err(ApiError::MethodNotAllowed { path: p.to_string(), method: "POST" })
         }
         (Method::Get, "/apply") => {
@@ -271,6 +291,37 @@ fn parse_query(query: &str, n: usize) -> Result<QueryRequest, ApiError> {
         req = req.max_communities(m);
     }
     Ok(req)
+}
+
+/// Parses `from=..[&max=..]` into a [`Route::WalTail`]. `from` is the
+/// follower's current epoch (0 = from the start of the retained log);
+/// `max` is a per-response byte budget, silently clamped to
+/// [`MAX_WAL_TAIL_BYTES`] — a replica asking for "everything" is a
+/// normal catch-up, not a malformed request.
+fn parse_wal(query: &str) -> Result<Route, ApiError> {
+    let mut from: Option<u64> = None;
+    let mut max = MAX_WAL_TAIL_BYTES;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match name {
+            "from" => {
+                from = Some(value.parse().map_err(|_| ApiError::BadParam {
+                    name: "from",
+                    expected: "an unsigned epoch",
+                })?);
+            }
+            "max" => {
+                let m: u64 = value.parse().map_err(|_| ApiError::BadParam {
+                    name: "max",
+                    expected: "an unsigned byte budget",
+                })?;
+                max = m.min(MAX_WAL_TAIL_BYTES);
+            }
+            other => return Err(ApiError::UnknownParam(other.to_string())),
+        }
+    }
+    let from = from.ok_or(ApiError::MissingParam("from"))?;
+    Ok(Route::WalTail { from, max })
 }
 
 /// Case-insensitive algorithm name lookup.
@@ -436,12 +487,24 @@ pub fn render_query_response(resp: &QueryResponse) -> String {
     )
 }
 
-/// Renders an update report.
+/// Renders an `Option<u64>` as a JSON number or `null`.
+pub fn json_opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders an update report. `durable_epoch` is the highest epoch the
+/// WAL had fsynced when this batch committed (`null` on a non-durable
+/// engine); it always trails or equals `epoch` of a later report, and
+/// covers at least this batch's own epoch.
 pub fn render_update_report(report: &UpdateReport) -> String {
     format!(
-        "{{\"epoch\":{},\"edges_added\":{},\"edges_removed\":{},\"profiles_changed\":{},\
-         \"noops\":{},\"cores_changed\":{},\"elapsed_us\":{}}}",
+        "{{\"epoch\":{},\"durable_epoch\":{},\"edges_added\":{},\"edges_removed\":{},\
+         \"profiles_changed\":{},\"noops\":{},\"cores_changed\":{},\"elapsed_us\":{}}}",
         report.epoch,
+        json_opt_u64(report.durable_epoch),
         report.edges_added,
         report.edges_removed,
         report.profiles_changed,
@@ -554,6 +617,34 @@ mod tests {
         assert_eq!(
             parse_apply(b"profile 1 77", 10, &t).unwrap_err(),
             ApiError::UnknownLabel { line: 1, label: 77 }
+        );
+    }
+
+    #[test]
+    fn wal_route_parses_and_clamps() {
+        let t = tax();
+        assert_eq!(
+            route(&get("/wal", "from=42"), 10, &t).unwrap(),
+            Route::WalTail { from: 42, max: MAX_WAL_TAIL_BYTES }
+        );
+        assert_eq!(
+            route(&get("/wal", "from=0&max=1024"), 10, &t).unwrap(),
+            Route::WalTail { from: 0, max: 1024 }
+        );
+        // An oversized budget is clamped, not rejected: a far-behind
+        // follower catching up is the normal case.
+        assert_eq!(
+            route(&get("/wal", &format!("from=0&max={}", u64::MAX)), 10, &t).unwrap(),
+            Route::WalTail { from: 0, max: MAX_WAL_TAIL_BYTES }
+        );
+        assert_eq!(route(&get("/wal", ""), 10, &t).unwrap_err(), ApiError::MissingParam("from"));
+        assert_eq!(
+            route(&get("/wal", "from=x"), 10, &t).unwrap_err(),
+            ApiError::BadParam { name: "from", expected: "an unsigned epoch" }
+        );
+        assert_eq!(
+            route(&get("/wal", "from=1&limit=2"), 10, &t).unwrap_err(),
+            ApiError::UnknownParam("limit".into())
         );
     }
 

@@ -29,10 +29,10 @@
 use crate::batch::Batcher;
 use crate::http::{HttpConn, HttpError, Poll, Response, SHED_503};
 use crate::protocol::{
-    engine_error_status, render_api_error, render_engine_error, render_query_response,
-    render_update_report, route, Route,
+    engine_error_status, json_opt_u64, render_api_error, render_engine_error,
+    render_query_response, render_update_report, route, Route,
 };
-use pcs_engine::PcsEngine;
+use pcs_engine::{Error as EngineError, PcsEngine, StoreError};
 use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -141,15 +141,23 @@ pub struct StatsSnapshot {
     pub batched_requests: u64,
     /// Requests answered by a deduplicated twin's execution.
     pub dedup_saved: u64,
+    /// The engine's published epoch when the snapshot was taken.
+    pub epoch: u64,
+    /// The engine's durable (fsynced-WAL) epoch; `None` without a
+    /// durable directory. The engine fsyncs before it publishes, so
+    /// this never lags `epoch` — transiently it may *lead* by the
+    /// batches sitting between their group commit and publication.
+    pub durable_epoch: Option<u64>,
 }
 
 impl StatsSnapshot {
-    /// Renders the `/stats` body.
+    /// Renders the `/stats` body. `durable_epoch` is `null` on a
+    /// non-durable engine.
     pub fn to_json(&self) -> String {
         format!(
             "{{\"accepted\":{},\"shed\":{},\"requests\":{},\"queries\":{},\"updates\":{},\
              \"http_4xx\":{},\"http_5xx\":{},\"batches\":{},\"batched_requests\":{},\
-             \"dedup_saved\":{}}}",
+             \"dedup_saved\":{},\"epoch\":{},\"durable_epoch\":{}}}",
             self.accepted,
             self.shed,
             self.requests,
@@ -160,6 +168,8 @@ impl StatsSnapshot {
             self.batches,
             self.batched_requests,
             self.dedup_saved,
+            self.epoch,
+            json_opt_u64(self.durable_epoch),
         )
     }
 }
@@ -225,7 +235,15 @@ impl Shared {
 
     fn snapshot_stats(&self) -> StatsSnapshot {
         let b = self.batcher.stats();
+        // Read the published epoch *before* the durable epoch: the
+        // engine fsyncs before it publishes, so durable ≥ published at
+        // every instant — this read order keeps the pair consistent
+        // (durable_epoch ≥ epoch) even against a concurrent writer.
+        let epoch = self.engine.epoch();
+        let durable_epoch = self.engine.durable_epoch();
         StatsSnapshot {
+            epoch,
+            durable_epoch,
             accepted: self.stats.accepted.load(Ordering::Relaxed),
             shed: self.stats.shed.load(Ordering::Relaxed),
             requests: self.stats.requests.load(Ordering::Relaxed),
@@ -427,19 +445,30 @@ fn serve_one(shared: &Shared, http: &mut HttpConn, allow_keep_alive: bool) -> bo
         }
     };
     let keep = allow_keep_alive && req.keep_alive;
-    let (status, body) = dispatch(shared, &req);
+    let (status, payload) = dispatch(shared, &req);
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     shared.count_status(status);
-    if http.write_response(&Response::json(status, body, keep)).is_err() {
+    let resp = match payload {
+        Payload::Json(body) => Response::json(status, body, keep),
+        Payload::Octets(body) => Response::octets(status, body, keep),
+    };
+    if http.write_response(&resp).is_err() {
         return false;
     }
     keep
 }
 
+/// A dispatched response body: JSON for every API route, raw bytes
+/// for the `/wal` replication feed.
+enum Payload {
+    Json(String),
+    Octets(Vec<u8>),
+}
+
 /// Routes one parsed request and produces `(status, body)`.
-fn dispatch(shared: &Shared, req: &crate::http::Request) -> (u16, String) {
+fn dispatch(shared: &Shared, req: &crate::http::Request) -> (u16, Payload) {
     let routed = route(req, shared.vertex_count, shared.engine.taxonomy());
-    match routed {
+    let (status, body) = match routed {
         Err(api) => (api.status(), render_api_error(&api)),
         Ok(Route::Health) => {
             (200, format!("{{\"status\":\"ok\",\"epoch\":{}}}", shared.engine.epoch()))
@@ -464,6 +493,38 @@ fn dispatch(shared: &Shared, req: &crate::http::Request) -> (u16, String) {
                 Err(e) => (engine_error_status(&e), render_engine_error(&e)),
             }
         }
+        Ok(Route::WalTail { from, max }) => {
+            return match shared.engine.wal_tail_since(from, max) {
+                Ok(frames) => (200, Payload::Octets(frames)),
+                Err(e) => {
+                    let (status, tag, detail) = wal_error(&e);
+                    (
+                        status,
+                        Payload::Json(format!(
+                            "{{\"error\":\"{tag}\",\"detail\":\"{}\"}}",
+                            crate::protocol::json_escape(&detail)
+                        )),
+                    )
+                }
+            };
+        }
+    };
+    (status, Payload::Json(body))
+}
+
+/// Maps a `/wal` failure to `(status, tag, detail)`.
+///
+/// * A reclaimed gap (the requested epochs were checkpointed away) is
+///   `410 Gone` — the follower cannot catch up from the log and must
+///   re-seed from a snapshot.
+/// * Asking a non-durable server for its log is a client
+///   misconfiguration → 400.
+/// * Anything else is a server-side store failure → 500.
+fn wal_error(err: &EngineError) -> (u16, &'static str, String) {
+    match err {
+        EngineError::Store(StoreError::Corrupt { .. }) => (410, "wal_gone", err.to_string()),
+        EngineError::NotDurable => (400, "not_durable", err.to_string()),
+        _ => (500, "wal", err.to_string()),
     }
 }
 

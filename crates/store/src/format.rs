@@ -362,8 +362,17 @@ impl SnapshotFile {
     /// of the data it points at), and then renamed over the target —
     /// so an interrupted save (crash, power loss) can never destroy a
     /// previous good snapshot, and a reader never observes a
-    /// half-written file. The parent directory is also fsynced on a
-    /// best-effort basis so the rename itself survives power loss.
+    /// half-written file. The parent directory is then fsynced so the
+    /// rename itself survives power loss; a directory-sync *failure*
+    /// is a real error (the caller believes the save durable), and
+    /// only platforms that refuse to open directories at all skip it.
+    ///
+    /// Kill points (crash-fault tests): `snapshot.before_rename` —
+    /// the temp file is synced but the target still holds the old
+    /// bytes; `snapshot.after_rename` — the rename happened but its
+    /// directory entry was never synced. At either point the target
+    /// path parses as a complete snapshot (old or new) — never a
+    /// half-written one.
     pub fn write(&self, path: impl AsRef<Path>) -> Result<()> {
         use std::io::Write as _;
         let io = |op: &'static str| {
@@ -388,15 +397,15 @@ impl SnapshotFile {
             let mut f = std::fs::File::create(&tmp).map_err(io("create"))?;
             f.write_all(&self.to_bytes()).map_err(io("write"))?;
             f.sync_all().map_err(io("sync"))?;
+            crate::faults::hit("snapshot.before_rename")?;
             std::fs::rename(&tmp, path).map_err(io("rename"))
         })())?;
+        crate::faults::hit("snapshot.after_rename")?;
         // Durability of the directory entry (not of the data — that is
-        // already synced): best-effort, since some platforms refuse
-        // fsync on directories.
+        // already synced). An error here means the rename could still
+        // be lost to power failure, so it must surface.
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            if let Ok(d) = std::fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
+            crate::wal::sync_dir(dir)?;
         }
         Ok(())
     }

@@ -18,6 +18,10 @@
 //!   wrong: truncation, bit flips, version skew, length overflows,
 //!   structural corruption. Corrupt input can never panic, hang, or
 //!   yield a silently wrong engine.
+//! * [`wal`] — the write-ahead log that closes the gap *between*
+//!   snapshots: segmented, epoch-stamped, checksummed update records
+//!   with group commit on the append side and torn-tail truncation on
+//!   recovery, under the same typed-error contract.
 //!
 //! ## Trust model
 //!
@@ -51,7 +55,10 @@
 #![deny(unsafe_code)]
 
 pub mod codec;
+#[doc(hidden)]
+pub mod faults;
 pub mod format;
+pub mod wal;
 
 pub use codec::{
     decode_snapshot, decode_snapshot_bytes, decode_snapshot_bytes_mode, decode_snapshot_bytes_with,
@@ -61,4 +68,9 @@ pub use codec::{
 pub use format::{
     xxh64, Result, SectionReader, SectionWriter, SnapshotFile, SnapshotSlices, StoreError,
     FORMAT_VERSION, MAGIC, MAX_SECTIONS, MIN_FORMAT_VERSION, SECTION_TABLE,
+};
+pub use wal::{
+    decode_frames, encode_record, encode_records, list_segments, read_records, read_records_since,
+    FrameScan, SegmentInfo, Wal, WalOptions, WalRecord, WalReplay, WalStats, WalTail, WalTicket,
+    MAX_RECORD_LEN, WAL_MAGIC, WAL_SECTION, WAL_VERSION,
 };

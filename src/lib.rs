@@ -114,14 +114,15 @@ pub mod prelude {
     };
     pub use pcs_engine::{
         EngineBuilder, EngineSnapshot, Error as EngineError, IndexMode, PcsEngine, QueryRequest,
-        QueryResponse, Update, UpdateBatch, UpdateReport,
+        QueryResponse, Update, UpdateBatch, UpdateReport, WalFollower,
     };
     pub use pcs_graph::{DynamicGraph, Graph, GraphBuilder, VertexId};
     pub use pcs_index::{ClTree, CpTree, IndexRef, IndexShard, ShardedCpIndex};
     pub use pcs_metrics::{best_f1, cpf, cps, f1_score, ldr};
     pub use pcs_ptree::{LabelId, PTree, Taxonomy};
     pub use pcs_serve::{
-        run_load, LoadConfig, LoadOp, LoadReport, PcsServer, ServeConfig, StatsSnapshot,
+        run_load, HttpFollower, LoadConfig, LoadOp, LoadReport, PcsServer, ReplicaConfig,
+        ServeConfig, StatsSnapshot,
     };
-    pub use pcs_store::{SnapshotFile, StoreError};
+    pub use pcs_store::{SnapshotFile, StoreError, WalOptions};
 }

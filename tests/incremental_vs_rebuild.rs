@@ -333,6 +333,131 @@ fn engine_saved_and_loaded_mid_stream_stays_equivalent() {
     }
 }
 
+/// The replica-convergence differential: a *durable* primary absorbs a
+/// 300+-step mixed stream while a [`WalFollower`] tails its write-ahead
+/// log. At every synced epoch the follower must be set-equal to the
+/// primary — profiles, cores, and sampled community answers — because
+/// both ran the identical batches through the identical `apply` path.
+/// The follower is torn down and re-seeded twice mid-stream (once
+/// replaying the full log from the epoch-0 snapshot, once from a
+/// checkpoint snapshot after the primary reclaimed covered segments),
+/// so convergence is proven across restarts and log truncation, not
+/// just along one warm tail.
+#[test]
+fn wal_follower_stays_equivalent_at_every_synced_epoch() {
+    let tax = random_taxonomy(30, 4, 6, 77);
+    let ds = pcs::datasets::gen::generate(&DatasetSpec::small("replica", 48, 19), tax);
+    let stream = update_stream(&ds, &UpdateStreamSpec::new(310, 41));
+    assert!(stream.len() >= 300, "the stream must exercise 300+ steps");
+    let dir = std::env::temp_dir().join(format!("pcs-replica-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let primary = PcsEngine::builder()
+        .graph(ds.graph.clone())
+        .taxonomy(ds.tax.clone())
+        .profiles(ds.profiles.clone())
+        .index_mode(IndexMode::Eager)
+        .durable(&dir)
+        .build()
+        .unwrap();
+    let as_batch = |timed: &TimedOp| match &timed.op {
+        StreamOp::AddEdge(a, b) => UpdateBatch::new().add_edge(*a, *b),
+        StreamOp::RemoveEdge(a, b) => UpdateBatch::new().remove_edge(*a, *b),
+        StreamOp::SetProfile(v, p) => UpdateBatch::new().set_profile(*v, p.clone()),
+    };
+    let sync_and_check = |follower: &WalFollower, rng: &mut SmallRng, at: &str| {
+        follower.poll().unwrap_or_else(|e| panic!("{at}: poll failed: {e}"));
+        assert_eq!(follower.epoch(), primary.epoch(), "{at}: follower missed epochs");
+        let (fs, ps) = (follower.engine().snapshot(), primary.snapshot());
+        assert_eq!(fs.profiles(), ps.profiles(), "{at}: profiles diverged");
+        assert_eq!(
+            fs.cores().core_numbers(),
+            ps.cores().core_numbers(),
+            "{at}: core numbers diverged"
+        );
+        for _ in 0..3 {
+            let q = rng.gen_range(0..ds.graph.num_vertices() as u32);
+            let k = rng.gen_range(1..4u32);
+            let f = follower.engine().query(&QueryRequest::vertex(q).k(k)).unwrap();
+            let p = primary.query(&QueryRequest::vertex(q).k(k)).unwrap();
+            assert_eq!(communities_of(&f), communities_of(&p), "{at}: q {q} k {k} diverged");
+        }
+    };
+
+    let mut follower = Some(PcsEngine::builder().follow(&dir).unwrap());
+    let mut rng = SmallRng::seed_from_u64(0xf0110);
+    let (third, half, two_thirds) = (stream.len() / 3, stream.len() / 2, 2 * stream.len() / 3);
+    let mut checkpoint_epoch = 0u64;
+    for (step, timed) in stream.iter().enumerate() {
+        primary.apply(&as_batch(timed)).unwrap();
+        // Restart #1: drop the follower entirely and re-seed from the
+        // epoch-0 snapshot — the full log tail must replay cleanly.
+        if step == third {
+            drop(follower.take());
+            follower = Some(PcsEngine::builder().follow(&dir).unwrap());
+        }
+        // Checkpoint: the primary advances its snapshot and reclaims
+        // covered segments. Reclaim drops *every* epoch at or below
+        // the watermark, so the live follower is synced first — the
+        // operational contract: reclaim only past your replicas (a
+        // follower left behind gets the typed gap error and re-seeds,
+        // which restart #2 below exercises).
+        if step == half {
+            follower.as_ref().unwrap().poll().unwrap();
+            checkpoint_epoch = primary.checkpoint().unwrap();
+            assert_eq!(checkpoint_epoch, primary.epoch());
+        }
+        // Restart #2: re-seed after the reclaim — the new follower
+        // must boot from the checkpoint snapshot plus the short tail,
+        // since the epoch-0 log prefix no longer exists.
+        if step == two_thirds {
+            drop(follower.take());
+            follower = Some(PcsEngine::builder().follow(&dir).unwrap());
+            assert!(
+                follower.as_ref().unwrap().epoch() >= checkpoint_epoch,
+                "restart after checkpoint must seed from the advanced snapshot"
+            );
+        }
+        // Sync points: every 5th step, plus a deep verify on a stride.
+        if step % 5 == 0 {
+            let f = follower.as_ref().unwrap();
+            sync_and_check(f, &mut rng, &format!("step {step}"));
+            if step % 45 == 0 {
+                verify_deep(f.engine(), &format!("follower, step {step}"));
+            }
+        }
+    }
+    // Final barrier: full surface equivalence of the follower against
+    // both the primary and a from-scratch rebuild of the final state.
+    let f = follower.unwrap();
+    f.poll().unwrap();
+    assert_eq!(f.epoch(), primary.epoch());
+    let (fs, ps) = (f.engine().snapshot(), primary.snapshot());
+    let fresh = CpTree::build(fs.graph(), f.engine().taxonomy(), fs.profiles()).unwrap();
+    let max_k = CoreDecomposition::new(fs.graph()).max_core() + 1;
+    let n = fs.graph().num_vertices();
+    // Probing materializes the (lazy) follower index shard by shard;
+    // it must answer exactly like the primary's eagerly patched index
+    // and the monolithic rebuild. A follower that was never queried
+    // may not have an index facade yet; one indexed query creates it
+    // on the snapshot `fs` already holds.
+    if fs.index().is_none() {
+        f.engine().query(&QueryRequest::vertex(0).k(1).algorithm(Algorithm::AdvP)).unwrap();
+    }
+    let follower_idx = fs.index().expect("an indexed query creates the facade");
+    assert_index_equivalent(
+        follower_idx.into(),
+        ps.index().expect("eager primary keeps its index fresh").into(),
+        f.engine().taxonomy(),
+        n,
+        max_k,
+    );
+    assert_index_equivalent(follower_idx.into(), (&fresh).into(), f.engine().taxonomy(), n, max_k);
+    verify_deep(f.engine(), "follower, final state");
+    verify_deep(&primary, "primary, final state");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Multi-op batches, all three index policies side by side, and the
 /// fallback (cap 0) path — every engine must answer identically after
 /// every batch.
