@@ -97,6 +97,9 @@ impl RuleConfig {
             // pcs-engine snapshot read path
             "crates/engine/src/snapshot.rs",
             "crates/engine/src/persist.rs",
+            // result-cache lookup/fill runs on every cached query and
+            // inside every epoch publish (carry_surviving)
+            "crates/engine/src/cache.rs",
             // pcs-store decode path: must return typed StoreError, never panic
             "crates/store/src/codec.rs",
             "crates/store/src/format.rs",

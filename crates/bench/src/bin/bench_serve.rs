@@ -1,23 +1,29 @@
 //! Serving-layer benchmark: a live `pcs-serve` server under a
 //! closed-loop zipfian load, reported as `BENCH_serve.json`.
 //!
-//! The harness builds the DBLP-like suite dataset, starts the real
-//! server on a loopback socket, generates a mixed read/write workload
-//! with [`serve_traffic`] (zipfian vertex popularity, `apply` writes
-//! interleaved), replays it through the in-crate closed-loop load
-//! generator, and emits latency percentiles (p50/p99/p999), observed
-//! qps, and the server's own counters (shed, batches, dedup) in the
+//! The harness builds the DBLP-like suite dataset, generates a mixed
+//! read/write workload with [`serve_traffic`] (zipfian vertex
+//! popularity, `apply` writes interleaved), then replays it **twice in
+//! the same process** — once against a cache-disabled engine, once
+//! against an engine with the epoch-keyed result cache on — and
+//! reports both runs plus their in-run qps ratio. Per the repo's
+//! bench-variance policy, the ratio is the headline (two runs, same
+//! container, same workload bytes); the absolute qps are context.
+//! Latency percentiles (p50/p99/p999), the server's own counters
+//! (shed, batches, dedup, cache, coalesced applies) ride along in the
 //! bench-snapshot JSON conventions.
 //!
 //! ```text
 //! cargo run -p pcs-bench --release --bin bench_serve             # full run, writes ./BENCH_serve.json
 //! cargo run -p pcs-bench --release --bin bench_serve -- --quick  # CI smoke: tiny run into target/,
-//!                                                                # asserts zero 5xx and zero failures
+//!                                                                # asserts zero 5xx, zero failures,
+//!                                                                # and a nonzero in-run cache hit rate
 //! ```
 //!
 //! `--quick` doubles as the CI gate: besides shrinking the run it
 //! *asserts* that every request completed without a 5xx — a stalled or
-//! panicking server fails the step rather than writing bad numbers.
+//! panicking server fails the step rather than writing bad numbers —
+//! and that the zipfian replay actually hit the result cache.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -27,8 +33,8 @@ use std::time::Duration;
 use pcs_datasets::suite::{build, SuiteConfig};
 use pcs_datasets::updates::StreamOp;
 use pcs_datasets::{serve_traffic, ServeOp, SuiteDataset, TrafficSpec};
-use pcs_engine::{IndexMode, PcsEngine};
-use pcs_serve::{run_load, LoadConfig, LoadOp, PcsServer, ServeConfig};
+use pcs_engine::{CacheMode, CacheStatsSnapshot, IndexMode, PcsEngine};
+use pcs_serve::{run_load, LoadConfig, LoadOp, LoadReport, PcsServer, ServeConfig, StatsSnapshot};
 
 struct Config {
     quick: bool,
@@ -153,6 +159,98 @@ fn write_snapshot(path: &Path, cfg: &Config, results: &str) {
     println!("wrote {}", path.display());
 }
 
+/// One full server lifecycle: build an engine with `cache`, serve the
+/// whole replay, shut down. Returns the load report, the server's
+/// final counters, and the engine's cache counters.
+fn run_phase(
+    cfg: &Config,
+    ds: &pcs_datasets::ProfiledDataset,
+    ops: &[LoadOp],
+    cache: CacheMode,
+    label: &str,
+) -> (LoadReport, StatsSnapshot, CacheStatsSnapshot) {
+    // Eager index + incremental patching: the serving configuration.
+    // (Lazy mode would drop shards on every write and make each read
+    // re-materialize them — correct, but not what a server deploys.)
+    let engine = Arc::new(
+        PcsEngine::builder()
+            .graph(ds.graph.clone())
+            .taxonomy(ds.tax.clone())
+            .profiles(ds.profiles.clone())
+            .index_mode(IndexMode::Eager)
+            .result_cache(cache)
+            .build()
+            .expect("suite dataset builds"),
+    );
+    let server_cfg = ServeConfig {
+        workers: cfg.workers,
+        max_connections: (cfg.concurrency * 4).max(16),
+        ..ServeConfig::default()
+    };
+    let server =
+        PcsServer::start(Arc::clone(&engine), "127.0.0.1:0", server_cfg).expect("server starts");
+    println!("[{label}] serving on {}", server.local_addr());
+
+    let load_cfg = LoadConfig {
+        concurrency: cfg.concurrency,
+        read_timeout: Duration::from_secs(30),
+        ..LoadConfig::default()
+    };
+    let report = run_load(server.local_addr(), ops, &load_cfg);
+    let stats = server.shutdown();
+    let cache_stats = engine.cache_stats();
+
+    println!(
+        "[{label}] load: {} ok, {} 4xx, {} 5xx, {} shed-retries, {} failed in {:.2}s → {:.0} qps",
+        report.ok,
+        report.http_4xx,
+        report.http_5xx,
+        report.shed_retries,
+        report.failed,
+        report.elapsed.as_secs_f64(),
+        report.qps
+    );
+    println!(
+        "[{label}] read latency us: p50 {} p99 {} p999 {} (n={}); write p50 {} (n={})",
+        report.read_latency.p50,
+        report.read_latency.p99,
+        report.read_latency.p999,
+        report.read_latency.samples,
+        report.write_latency.p50,
+        report.write_latency.samples
+    );
+    println!(
+        "[{label}] server: {} requests over {} connections; {} batches carried {} queries, \
+         dedup saved {}, cache answered {}, {} apply groups coalesced {}",
+        stats.requests,
+        stats.accepted,
+        stats.batches,
+        stats.batched_requests,
+        stats.dedup_saved,
+        stats.cache_answered,
+        stats.apply_groups,
+        stats.apply_coalesced,
+    );
+    println!(
+        "[{label}] cache: {} hits, {} misses, {} evictions (hit rate {:.3})",
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.evictions,
+        cache_stats.hit_rate()
+    );
+    (report, stats, cache_stats)
+}
+
+/// The quick-gate assertions every phase must satisfy.
+fn assert_phase_healthy(label: &str, report: &LoadReport, stats: &StatsSnapshot) {
+    assert_eq!(report.http_5xx, 0, "[{label}] server answered 5xx under the smoke load");
+    assert_eq!(stats.http_5xx, 0, "[{label}] server counted 5xx responses");
+    assert_eq!(stats.internal_errors, 0, "[{label}] server hit internal errors");
+    assert_eq!(report.failed, 0, "[{label}] load generator abandoned ops");
+    assert_eq!(report.ok + report.http_4xx, report.total, "[{label}] requests went missing");
+    assert!(report.read_latency.samples > 0, "[{label}] no read latencies recorded");
+}
+
 fn main() {
     let cfg = Config::parse();
     let suite = SuiteConfig { scale: cfg.scale, ..SuiteConfig::default() };
@@ -177,68 +275,38 @@ fn main() {
     let reads = ops.iter().filter(|o| matches!(o, LoadOp::Query { .. })).count();
     println!("workload: {} ops ({} reads, {} writes)", ops.len(), reads, ops.len() - reads);
 
-    // Eager index + incremental patching: the serving configuration.
-    // (Lazy mode would drop shards on every write and make each read
-    // re-materialize them — correct, but not what a server deploys.)
-    let engine = Arc::new(
-        PcsEngine::builder()
-            .graph(ds.graph.clone())
-            .taxonomy(ds.tax.clone())
-            .profiles(ds.profiles.clone())
-            .index_mode(IndexMode::Eager)
-            .build()
-            .expect("suite dataset builds"),
-    );
-    let server_cfg = ServeConfig {
-        workers: cfg.workers,
-        max_connections: (cfg.concurrency * 4).max(16),
-        ..ServeConfig::default()
-    };
-    let server =
-        PcsServer::start(Arc::clone(&engine), "127.0.0.1:0", server_cfg).expect("server starts");
-    println!("serving on {}", server.local_addr());
-
-    let load_cfg = LoadConfig {
-        concurrency: cfg.concurrency,
-        read_timeout: Duration::from_secs(30),
-        ..LoadConfig::default()
-    };
-    let report = run_load(server.local_addr(), &ops, &load_cfg);
-    let stats = server.shutdown();
-
+    // Two identical replays in one process: cache off first (so any
+    // page-cache/JIT-ish warmup favors the *baseline*, keeping the
+    // reported ratio conservative), then the cached run.
+    let (report_off, stats_off, _) = run_phase(&cfg, &ds, &ops, CacheMode::Off, "cache-off");
+    let (report, stats, cache_stats) = run_phase(&cfg, &ds, &ops, CacheMode::Wholesale, "cached");
+    let cache_qps_ratio = report.qps / report_off.qps.max(1e-9);
     println!(
-        "load: {} ok, {} 4xx, {} 5xx, {} shed-retries, {} failed in {:.2}s → {:.0} qps",
-        report.ok,
-        report.http_4xx,
-        report.http_5xx,
-        report.shed_retries,
-        report.failed,
-        report.elapsed.as_secs_f64(),
-        report.qps
-    );
-    println!(
-        "read latency us: p50 {} p99 {} p999 {} (n={}); write p50 {} (n={})",
-        report.read_latency.p50,
-        report.read_latency.p99,
-        report.read_latency.p999,
-        report.read_latency.samples,
-        report.write_latency.p50,
-        report.write_latency.samples
-    );
-    println!(
-        "server: {} requests over {} connections; {} batches carried {} queries, dedup saved {}",
-        stats.requests, stats.accepted, stats.batches, stats.batched_requests, stats.dedup_saved
+        "in-run ratio: cached {:.0} qps / cache-off {:.0} qps = {:.2}x (hit rate {:.3})",
+        report.qps,
+        report_off.qps,
+        cache_qps_ratio,
+        cache_stats.hit_rate()
     );
 
     if cfg.quick {
         // The CI gate: a wedged, shedding-forever, or erroring server
-        // fails the step here instead of writing useless numbers.
-        assert_eq!(report.http_5xx, 0, "server answered 5xx under the smoke load");
-        assert_eq!(stats.http_5xx, 0, "server counted 5xx responses");
-        assert_eq!(report.failed, 0, "load generator abandoned ops");
-        assert_eq!(report.ok + report.http_4xx, report.total, "requests went missing");
-        assert!(report.read_latency.samples > 0, "no read latencies recorded");
-        println!("--quick gate: ok ({} requests, zero 5xx)", report.total);
+        // fails the step here instead of writing useless numbers — and
+        // a zipfian replay that never hits the cache means the serving
+        // cache path is dead wiring.
+        assert_phase_healthy("cache-off", &report_off, &stats_off);
+        assert_phase_healthy("cached", &report, &stats);
+        assert!(cache_stats.hits > 0, "zipfian replay produced zero cache hits");
+        assert!(stats.cache_answered > 0, "the batcher never answered from the cache");
+        assert_eq!(
+            stats_off.cache_hits + stats_off.cache_misses,
+            0,
+            "the cache-off engine must not touch cache counters"
+        );
+        println!(
+            "--quick gate: ok ({} requests × 2 phases, zero 5xx, {} cache hits)",
+            report.total, cache_stats.hits
+        );
     }
 
     let mut results = String::from("{");
@@ -272,6 +340,22 @@ fn main() {
     put("batches", stats.batches.to_string());
     put("batched_requests", stats.batched_requests.to_string());
     put("dedup_saved", stats.dedup_saved.to_string());
+    // The cache story: both phases' throughput, the in-run ratio, and
+    // the cached phase's hit/miss/eviction counters.
+    put("qps_cache_off", format!("{:.2}", report_off.qps));
+    put("cache_qps_ratio", format!("{cache_qps_ratio:.3}"));
+    put("cache_hits", cache_stats.hits.to_string());
+    put("cache_misses", cache_stats.misses.to_string());
+    put("cache_evictions", cache_stats.evictions.to_string());
+    put("cache_hit_rate", format!("{:.4}", cache_stats.hit_rate()));
+    put("cache_answered", stats.cache_answered.to_string());
+    put("read_p50_us_cache_off", report_off.read_latency.p50.to_string());
+    put("read_p99_us_cache_off", report_off.read_latency.p99.to_string());
+    // The write path: group-commit coalescing counters (both phases
+    // apply the same writes; report the cached phase's).
+    put("apply_groups", stats.apply_groups.to_string());
+    put("apply_coalesced", stats.apply_coalesced.to_string());
+    put("internal_errors", stats.internal_errors.to_string());
     results.push('}');
 
     let path =

@@ -2,13 +2,15 @@
 
 use pcs_core::{Algorithm, QueryContext, QueryScratch};
 use pcs_graph::core::CoreDecomposition;
+use pcs_graph::FxHashSet;
 use pcs_graph::{DynamicGraph, FxHashMap, Graph, IncrementalCores, VertexId};
 use pcs_index::{GraphDelta, IndexError, IndexRef, ShardedCpIndex};
 use pcs_ptree::{PTree, Taxonomy};
 use std::num::NonZeroUsize;
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
 
+use crate::cache::{CacheKey, CacheMode, CacheStats, CacheStatsSnapshot, QueryCache};
 use crate::error::{BuildError, Error, Result};
 use crate::request::{QueryRequest, QueryResponse};
 use crate::snapshot::{EngineSnapshot, SnapshotInner};
@@ -66,6 +68,8 @@ pub struct EngineBuilder {
     pub(crate) batch_threads: Option<NonZeroUsize>,
     pub(crate) patch_cap_fraction: Option<f64>,
     pub(crate) scratch_pool_cap: Option<usize>,
+    pub(crate) cache_mode: CacheMode,
+    pub(crate) cache_capacity: Option<usize>,
     pub(crate) durable_dir: Option<std::path::PathBuf>,
     pub(crate) wal_opts: pcs_store::WalOptions,
 }
@@ -143,6 +147,24 @@ impl EngineBuilder {
         self
     }
 
+    /// Chooses the result-cache invalidation policy (default
+    /// [`CacheMode::Off`]). With a cache enabled, every published
+    /// snapshot carries an epoch-keyed map of recently computed
+    /// answers; see [`PcsEngine::query_cached`] and the
+    /// [`cache`](crate::cache) module docs.
+    pub fn result_cache(mut self, mode: CacheMode) -> Self {
+        self.cache_mode = mode;
+        self
+    }
+
+    /// Maximum resident entries in the result cache (default 4096,
+    /// clamped to at least 2). Only meaningful with
+    /// [`result_cache`](EngineBuilder::result_cache) enabled.
+    pub fn result_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity.max(2));
+        self
+    }
+
     /// Validates the inputs and produces the engine. With
     /// [`IndexMode::Eager`] this also builds the CP-tree index and the
     /// core decomposition. With [`durable`](EngineBuilder::durable)
@@ -177,6 +199,7 @@ impl EngineBuilder {
             profiles: Arc::new(profiles),
             cores: Arc::new(OnceLock::new()),
             index: OnceLock::new(),
+            cache: None,
             epoch: 0,
         });
         let mut engine = self.assemble(tax, snapshot)?;
@@ -197,6 +220,16 @@ impl EngineBuilder {
             .or_else(|| std::thread::available_parallelism().ok())
             .map(NonZeroUsize::get)
             .unwrap_or(1);
+        let cache_stats = Arc::new(CacheStats::default());
+        let cache_capacity = self.cache_capacity.unwrap_or(4096);
+        // Attach the epoch-0 cache here, on the shared tail of `build`
+        // and `load`, so built and loaded engines cache identically.
+        let snapshot = if self.cache_mode == CacheMode::Off {
+            snapshot
+        } else {
+            let cache = QueryCache::new(cache_capacity, Arc::clone(&cache_stats));
+            Arc::new(snapshot.as_ref().clone_with_cache(Some(cache)))
+        };
         let engine = PcsEngine {
             tax,
             index_mode: self.index_mode,
@@ -206,8 +239,13 @@ impl EngineBuilder {
             scratch_pool_cap: self
                 .scratch_pool_cap
                 .unwrap_or_else(|| (batch_threads * 2).clamp(4, 64)),
+            cache_mode: self.cache_mode,
+            cache_capacity,
+            cache_stats,
             state: RwLock::new(snapshot),
             writer: Mutex::new(None),
+            coalesce: Mutex::new(CoalesceQueue::default()),
+            coalesce_stats: CoalesceStats::default(),
             durable: None,
             scratch_pool: Mutex::new(Vec::new()),
             #[cfg(feature = "debug-invariants")]
@@ -241,6 +279,99 @@ pub(crate) struct WriterState {
     graph: DynamicGraph,
     cores: IncrementalCores,
     profiles: Vec<PTree>,
+}
+
+/// How long an [`apply_coalesced`](PcsEngine::apply_coalesced)
+/// follower waits for its group leader before declaring the leader
+/// lost. Generous: a leader holds the writer path for at most one
+/// batch apply (plus fsync on durable engines).
+const COALESCE_DEADLINE: Duration = Duration::from_secs(30);
+
+/// One waiting participant in a coalesced apply group: the leader
+/// posts the shared group result here.
+#[derive(Default)]
+struct ApplySlot {
+    result: Mutex<Option<Result<UpdateReport>>>,
+    done: Condvar,
+}
+
+impl ApplySlot {
+    fn post(&self, result: Result<UpdateReport>) {
+        match self.result.lock() {
+            Ok(mut guard) => {
+                *guard = Some(result);
+                self.done.notify_all();
+            }
+            Err(poisoned) => {
+                *poisoned.into_inner() = Some(result);
+                self.result.clear_poison();
+                self.done.notify_all();
+            }
+        }
+    }
+
+    fn wait(&self, deadline: Duration) -> Result<UpdateReport> {
+        let lost = || Error::Internal {
+            component: "apply-coalesce",
+            detail: format!("group leader did not publish a result within {deadline:?}"),
+        };
+        let mut guard = match self.result.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.result.clear_poison();
+                poisoned.into_inner()
+            }
+        };
+        let wait_started = Instant::now();
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            let remaining = match deadline.checked_sub(wait_started.elapsed()) {
+                Some(rem) if !rem.is_zero() => rem,
+                _ => return Err(lost()),
+            };
+            guard = match self.done.wait_timeout(guard, remaining) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => {
+                    self.result.clear_poison();
+                    poisoned.into_inner().0
+                }
+            };
+        }
+    }
+}
+
+/// The shared group-commit queue of
+/// [`apply_coalesced`](PcsEngine::apply_coalesced): the first writer
+/// to find `leader_active == false` becomes leader and drains
+/// `pending` in merged groups until it runs dry.
+#[derive(Default)]
+struct CoalesceQueue {
+    pending: Vec<(UpdateBatch, Arc<ApplySlot>)>,
+    leader_active: bool,
+}
+
+/// Monotonic counters of the write-coalescing path (see
+/// [`PcsEngine::coalesce_stats`]).
+#[derive(Debug, Default)]
+struct CoalesceStats {
+    submitted: std::sync::atomic::AtomicU64,
+    groups: std::sync::atomic::AtomicU64,
+    coalesced: std::sync::atomic::AtomicU64,
+}
+
+/// A point-in-time copy of the engine's write-coalescing counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoalesceStatsSnapshot {
+    /// Batches submitted through
+    /// [`apply_coalesced`](PcsEngine::apply_coalesced).
+    pub submitted: u64,
+    /// Merged groups actually applied (each publishes one epoch).
+    pub groups: u64,
+    /// Batches that rode along in someone else's group instead of
+    /// paying their own epoch publish (`submitted - groups`).
+    pub coalesced: u64,
 }
 
 /// An owned, `Send + Sync` profiled-community-search engine: the
@@ -280,8 +411,17 @@ pub struct PcsEngine {
     /// The current snapshot. Readers hold the read lock only long
     /// enough to clone the `Arc`; writers only to swap it.
     state: RwLock<Arc<SnapshotInner>>,
+    /// Result-cache policy and sizing (see
+    /// [`EngineBuilder::result_cache`]); the stats live here so the
+    /// counters survive each epoch's cache replacement.
+    cache_mode: CacheMode,
+    cache_capacity: usize,
+    cache_stats: Arc<CacheStats>,
     /// Serializes writers and owns the mutable master state.
     pub(crate) writer: Mutex<Option<WriterState>>,
+    /// The group-commit queue of [`apply_coalesced`](Self::apply_coalesced).
+    coalesce: Mutex<CoalesceQueue>,
+    coalesce_stats: CoalesceStats,
     /// The WAL attachment (durable engines only): set once during
     /// `build`/`open`, before the engine is shared, and immutable
     /// afterwards.
@@ -426,6 +566,91 @@ impl PcsEngine {
     pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse> {
         let snap = self.snapshot_arc();
         self.query_on(&snap, request)
+    }
+
+    /// The configured result-cache policy.
+    pub fn cache_mode(&self) -> CacheMode {
+        self.cache_mode
+    }
+
+    /// Engine-lifetime result-cache counters (all zero with
+    /// [`CacheMode::Off`]).
+    pub fn cache_stats(&self) -> CacheStatsSnapshot {
+        self.cache_stats.snapshot()
+    }
+
+    /// Write-coalescing counters of
+    /// [`apply_coalesced`](Self::apply_coalesced).
+    pub fn coalesce_stats(&self) -> CoalesceStatsSnapshot {
+        use std::sync::atomic::Ordering;
+        CoalesceStatsSnapshot {
+            submitted: self.coalesce_stats.submitted.load(Ordering::Relaxed),
+            groups: self.coalesce_stats.groups.load(Ordering::Relaxed),
+            coalesced: self.coalesce_stats.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Answers one request through the result cache: a hit returns the
+    /// `Arc`-shared response computed earlier **at the current epoch**
+    /// (or carried over by [`CacheMode::Surgical`]), a miss computes,
+    /// fills the cache, and returns the fresh answer. Equivalent to
+    /// [`query`](Self::query) in every observable way except
+    /// `elapsed`, which on a hit reports the original computation's
+    /// wall time. With [`CacheMode::Off`] or a bypassing request this
+    /// is exactly `query` plus one `Arc` allocation.
+    pub fn query_cached(&self, request: &QueryRequest) -> Result<Arc<QueryResponse>> {
+        let snap = self.snapshot_arc();
+        if let Some(hit) = self.cache_lookup_on(&snap, request) {
+            return Ok(hit);
+        }
+        let response = Arc::new(self.query_on(&snap, request)?);
+        self.cache_fill_on(&snap, request, &response);
+        Ok(response)
+    }
+
+    /// The cached answer for `request` at the current epoch, if
+    /// resident. Counts a hit/miss; never computes. Always `None` with
+    /// [`CacheMode::Off`] or a bypassing request (no counter traffic).
+    pub fn cache_lookup(&self, request: &QueryRequest) -> Option<Arc<QueryResponse>> {
+        let snap = self.snapshot_arc();
+        self.cache_lookup_on(&snap, request)
+    }
+
+    /// Offers an externally computed `response` to the cache. Ignored
+    /// unless the response's epoch still matches the current
+    /// snapshot's (a response computed against a superseded epoch must
+    /// never be served at the new one) and the request allows caching.
+    pub fn cache_fill(&self, request: &QueryRequest, response: &Arc<QueryResponse>) {
+        let snap = self.snapshot_arc();
+        self.cache_fill_on(&snap, request, response);
+    }
+
+    fn cache_lookup_on(
+        &self,
+        snap: &SnapshotInner,
+        request: &QueryRequest,
+    ) -> Option<Arc<QueryResponse>> {
+        if request.bypasses_cache() {
+            return None;
+        }
+        let cache = snap.cache.as_ref()?;
+        let algorithm = self.resolve_algorithm(request.requested_algorithm());
+        cache.lookup(&CacheKey::for_request(request, algorithm))
+    }
+
+    fn cache_fill_on(
+        &self,
+        snap: &SnapshotInner,
+        request: &QueryRequest,
+        response: &Arc<QueryResponse>,
+    ) {
+        if request.bypasses_cache() || response.epoch != snap.epoch {
+            return;
+        }
+        if let Some(cache) = snap.cache.as_ref() {
+            let algorithm = self.resolve_algorithm(request.requested_algorithm());
+            cache.insert(CacheKey::for_request(request, algorithm), Arc::clone(response));
+        }
     }
 
     fn query_on(&self, snap: &SnapshotInner, request: &QueryRequest) -> Result<QueryResponse> {
@@ -627,34 +852,15 @@ impl PcsEngine {
         self.apply_inner(batch, Some(epoch))
     }
 
-    pub(crate) fn apply_inner(
-        &self,
-        batch: &UpdateBatch,
-        expect_epoch: Option<u64>,
-    ) -> Result<UpdateReport> {
-        let start = Instant::now();
-        let mut guard = self.writer.lock().expect("engine writer lock poisoned");
-        let ws = guard.get_or_insert_with(|| {
-            let snap = self.snapshot_arc();
-            WriterState {
-                base: Arc::clone(&snap),
-                graph: DynamicGraph::from_graph(&snap.graph),
-                cores: IncrementalCores::new(snap.cores().core_numbers().to_vec()),
-                profiles: snap.profiles.as_ref().clone(),
-            }
-        });
-        // The snapshot the master state currently equals: the pending
-        // one on a durable engine mid-pipeline, the published one
-        // otherwise.
-        let base = Arc::clone(&ws.base);
-        let epoch = base.epoch + 1;
-        if let Some(expected) = expect_epoch {
-            if epoch != expected {
-                return Err(UpdateError::EpochMismatch { expected, next: epoch }.into());
-            }
-        }
-        let n = ws.graph.num_vertices();
-        // Validate the whole batch before touching anything.
+    /// Validates every op of `batch` against a fixed vertex count and
+    /// this engine's (immutable) taxonomy, touching nothing. The
+    /// checks are state-independent beyond `n` — the vertex set never
+    /// grows or shrinks — which is what lets
+    /// [`apply_coalesced`](Self::apply_coalesced) pre-validate each
+    /// batch *individually* before merging: one malformed batch is
+    /// rejected to its own caller and can never poison the group it
+    /// would have joined.
+    fn validate_ops(&self, batch: &UpdateBatch, n: usize) -> Result<()> {
         for op in batch.ops() {
             match op {
                 Update::AddEdge { u, v } | Update::RemoveEdge { u, v } => {
@@ -681,6 +887,120 @@ impl PcsEngine {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Applies `batch` through the **write-coalescing** path: when
+    /// several threads submit concurrently, one becomes the group
+    /// leader, merges every queued batch into a single
+    /// [`apply`](Self::apply) (one epoch publish, one WAL record on
+    /// durable engines), and hands the shared [`UpdateReport`] to all
+    /// participants. A sustained update stream thereby amortizes the
+    /// per-epoch costs — CSR export, index maintenance, fsync — over
+    /// the whole group instead of paying them per batch.
+    ///
+    /// Semantics relative to `apply`:
+    /// * Each batch is validated **individually** before it joins a
+    ///   group; a rejected batch returns its own typed error and
+    ///   cannot fail innocent co-grouped writers.
+    /// * The returned report describes the **merged** group: its
+    ///   `epoch` is the group's published epoch and its counters
+    ///   (edges added/removed, no-ops, …) aggregate every member's
+    ///   ops. Single-writer callers always form a group of one, whose
+    ///   report is identical to `apply`'s.
+    /// * Ops keep their submission order within a batch and groups
+    ///   preserve queue order, so the merged history is a legal
+    ///   serialization of the member batches.
+    pub fn apply_coalesced(&self, batch: &UpdateBatch) -> Result<UpdateReport> {
+        use std::sync::atomic::Ordering;
+        self.validate_ops(batch, self.snapshot_arc().graph.num_vertices())?;
+        self.coalesce_stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let slot = Arc::new(ApplySlot::default());
+        let is_leader = {
+            let mut queue = self.lock_coalesce();
+            queue.pending.push((batch.clone(), Arc::clone(&slot)));
+            let lead = !queue.leader_active;
+            if lead {
+                queue.leader_active = true;
+            }
+            lead
+        };
+        if !is_leader {
+            return slot.wait(COALESCE_DEADLINE);
+        }
+        loop {
+            let group = {
+                let mut queue = self.lock_coalesce();
+                if queue.pending.is_empty() {
+                    queue.leader_active = false;
+                    break;
+                }
+                std::mem::take(&mut queue.pending)
+            };
+            let merged: UpdateBatch =
+                group.iter().flat_map(|(b, _)| b.ops().iter().cloned()).collect();
+            let result = self.apply_inner(&merged, None);
+            self.coalesce_stats.groups.fetch_add(1, Ordering::Relaxed);
+            self.coalesce_stats.coalesced.fetch_add(group.len() as u64 - 1, Ordering::Relaxed);
+            for (_, member) in &group {
+                member.post(result.clone());
+            }
+        }
+        // The leader's own result was posted (to its own slot) by the
+        // first loop iteration.
+        slot.wait(COALESCE_DEADLINE)
+    }
+
+    /// Locks the coalesce queue, recovering from poisoning: a panic in
+    /// one writer must not wedge the write path forever. Pending
+    /// members left by the panicking thread are failed explicitly so
+    /// their submitters' deadline waits resolve immediately.
+    fn lock_coalesce(&self) -> std::sync::MutexGuard<'_, CoalesceQueue> {
+        match self.coalesce.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                for (_, slot) in guard.pending.drain(..) {
+                    slot.post(Err(Error::Internal {
+                        component: "apply-coalesce",
+                        detail: "a coalescing writer panicked; batch was not applied".into(),
+                    }));
+                }
+                guard.leader_active = false;
+                self.coalesce.clear_poison();
+                guard
+            }
+        }
+    }
+
+    pub(crate) fn apply_inner(
+        &self,
+        batch: &UpdateBatch,
+        expect_epoch: Option<u64>,
+    ) -> Result<UpdateReport> {
+        let start = Instant::now();
+        let mut guard = self.writer.lock().expect("engine writer lock poisoned");
+        let ws = guard.get_or_insert_with(|| {
+            let snap = self.snapshot_arc();
+            WriterState {
+                base: Arc::clone(&snap),
+                graph: DynamicGraph::from_graph(&snap.graph),
+                cores: IncrementalCores::new(snap.cores().core_numbers().to_vec()),
+                profiles: snap.profiles.as_ref().clone(),
+            }
+        });
+        // The snapshot the master state currently equals: the pending
+        // one on a durable engine mid-pipeline, the published one
+        // otherwise.
+        let base = Arc::clone(&ws.base);
+        let epoch = base.epoch + 1;
+        if let Some(expected) = expect_epoch {
+            if epoch != expected {
+                return Err(UpdateError::EpochMismatch { expected, next: epoch }.into());
+            }
+        }
+        // Validate the whole batch before touching anything.
+        self.validate_ops(batch, ws.graph.num_vertices())?;
         // Apply to the master state, collecting effective deltas.
         let mut deltas: Vec<GraphDelta> = Vec::new();
         let mut original_profiles: FxHashMap<VertexId, PTree> = FxHashMap::default();
@@ -719,11 +1039,13 @@ impl PcsEngine {
         // One net ProfileChanged delta per vertex: a sequence of writes
         // ending where it started is a no-op.
         let mut profiles_changed = 0usize;
+        let mut changed_profiles: Vec<VertexId> = Vec::new();
         let mut reprofiled: Vec<VertexId> = original_profiles.keys().copied().collect();
         reprofiled.sort_unstable();
         for v in reprofiled {
             if original_profiles[&v] != ws.profiles[v as usize] {
                 deltas.push(GraphDelta::ProfileChanged { v });
+                changed_profiles.push(v);
                 profiles_changed += 1;
             } else {
                 noops += 1;
@@ -806,6 +1128,7 @@ impl PcsEngine {
                             &profiles,
                             &deltas,
                             Some(Arc::clone(&cores)),
+                            self.index_build_threads,
                         );
                         // Eager mode promises a fully resident index:
                         // re-materialize whatever the patch left cold
@@ -832,7 +1155,10 @@ impl PcsEngine {
                 }
             }
         };
-        let next = Arc::new(SnapshotInner { graph, profiles, cores, index: index_cell, epoch });
+        let cache =
+            self.next_cache(&base, edges_changed, &changed_profiles, &original_profiles, &profiles);
+        let next =
+            Arc::new(SnapshotInner { graph, profiles, cores, index: index_cell, cache, epoch });
         let mut durable_epoch = None;
         match self.durable.as_ref() {
             // Recovery replay runs before `durable` is attached, so a
@@ -908,6 +1234,60 @@ impl PcsEngine {
         }
         ((populated_labels as f64 * self.patch_cap_fraction).ceil() as usize).max(4)
     }
+
+    /// The result cache the next epoch's snapshot publishes with.
+    ///
+    /// `Wholesale` always starts empty — trivially sound. `Surgical`
+    /// carries over the entries the batch provably cannot have
+    /// changed, by the same label-lattice reasoning the CP-tree
+    /// patcher uses: a query for vertex `q` only ever examines
+    /// induced subgraphs `G_T` for subtrees `T ⊆ T(q)`, and a
+    /// profile-only batch changes `G_T` membership only for subtrees
+    /// containing a label in some reprofiled vertex's pre/post
+    /// symmetric difference. So an entry survives iff its query
+    /// vertex was not reprofiled and its (unchanged) profile shares
+    /// no label with that difference. Edge batches invalidate
+    /// everything: every query considers the root-level candidate
+    /// (the global k-core), which any edge flip can change.
+    fn next_cache(
+        &self,
+        base: &SnapshotInner,
+        edges_changed: bool,
+        changed_profiles: &[VertexId],
+        original_profiles: &FxHashMap<VertexId, PTree>,
+        profiles_after: &Arc<Vec<PTree>>,
+    ) -> Option<QueryCache> {
+        let fresh = || QueryCache::new(self.cache_capacity, Arc::clone(&self.cache_stats));
+        match self.cache_mode {
+            CacheMode::Off => None,
+            CacheMode::Wholesale => Some(fresh()),
+            CacheMode::Surgical => {
+                let Some(prev) = base.cache.as_ref() else { return Some(fresh()) };
+                if edges_changed {
+                    return Some(fresh());
+                }
+                let mut touched: FxHashSet<u32> = FxHashSet::default();
+                let mut reprofiled: FxHashSet<VertexId> = FxHashSet::default();
+                for &v in changed_profiles {
+                    reprofiled.insert(v);
+                    let (Some(pre), Some(post)) =
+                        (original_profiles.get(&v), profiles_after.get(v as usize))
+                    else {
+                        return Some(fresh());
+                    };
+                    let pre_set: FxHashSet<u32> = pre.nodes().iter().copied().collect();
+                    let post_set: FxHashSet<u32> = post.nodes().iter().copied().collect();
+                    touched.extend(pre_set.symmetric_difference(&post_set).copied());
+                }
+                Some(prev.carry_surviving(self.cache_capacity, |key| {
+                    !reprofiled.contains(&key.vertex())
+                        && profiles_after
+                            .get(key.vertex() as usize)
+                            .is_some_and(|p| p.nodes().iter().all(|l| !touched.contains(l)))
+                }))
+            }
+        }
+    }
 }
 
 /// The deep invariant verifier and the corruption hooks its mutation
@@ -970,6 +1350,7 @@ impl PcsEngine {
             profiles: Arc::clone(&snap.profiles),
             cores: Arc::new(OnceLock::new()),
             index: OnceLock::new(),
+            cache: None,
             epoch: snap.epoch,
         });
     }
@@ -985,6 +1366,7 @@ impl PcsEngine {
             profiles: Arc::clone(&snap.profiles),
             cores: Arc::new(cell),
             index: Self::index_cell_for_test(&snap),
+            cache: None,
             epoch: snap.epoch,
         });
     }
@@ -1000,6 +1382,7 @@ impl PcsEngine {
             profiles: Arc::new(profiles),
             cores: Arc::clone(&snap.cores),
             index: Self::index_cell_for_test(&snap),
+            cache: None,
             epoch: snap.epoch,
         });
     }
@@ -1021,6 +1404,7 @@ impl PcsEngine {
             profiles: Arc::clone(&snap.profiles),
             cores: Arc::clone(&snap.cores),
             index: cell,
+            cache: None,
             epoch: snap.epoch,
         });
         true
@@ -1036,6 +1420,7 @@ impl PcsEngine {
             profiles: Arc::clone(&snap.profiles),
             cores: Arc::clone(&snap.cores),
             index: Self::index_cell_for_test(&snap),
+            cache: None,
             epoch,
         });
     }

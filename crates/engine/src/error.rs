@@ -46,6 +46,17 @@ pub enum Error {
     /// was called on an engine that was not opened with
     /// [`EngineBuilder::durable`](crate::EngineBuilder::durable).
     NotDurable,
+    /// An internal invariant of the serving machinery was violated —
+    /// e.g. a batch dispatcher produced fewer results than requests, or
+    /// a coalesced write group lost its leader. Never the client's
+    /// fault: protocol layers must map this to a 5xx, not a 4xx.
+    Internal {
+        /// The subsystem that broke its invariant (stable tag, e.g.
+        /// `"batch-dispatch"`).
+        component: &'static str,
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -66,6 +77,9 @@ impl fmt::Display for Error {
                 "this engine has no durable directory; open it with \
                  EngineBuilder::durable(dir) first"
             ),
+            Error::Internal { component, detail } => {
+                write!(f, "internal error in {component}: {detail}")
+            }
         }
     }
 }

@@ -23,6 +23,12 @@
 //! * [`EngineSnapshot`] — a consistent immutable view at one epoch;
 //!   queries are lock-free against the snapshot current when they
 //!   started, while updates publish the next epoch.
+//! * [`CacheMode`] / [`PcsEngine::query_cached`] — an epoch-keyed
+//!   result cache for zipfian read traffic, invalidated wholesale on
+//!   every publish or surgically via the same label-lattice reasoning
+//!   the index patcher uses (see the [`mod@cache`] docs), plus
+//!   [`PcsEngine::apply_coalesced`], the group-committing write path
+//!   that amortizes epoch publishes across concurrent writers.
 //! * [`PcsEngine::save`] / [`EngineBuilder::load`] — versioned,
 //!   checksummed on-disk snapshots (via `pcs-store`): a replica
 //!   warm-starts by bulk-loading the persisted graph, cores, and
@@ -65,6 +71,7 @@
 
 #![deny(unsafe_code)]
 
+pub mod cache;
 pub mod durable;
 mod engine;
 mod error;
@@ -73,8 +80,9 @@ mod request;
 mod snapshot;
 mod update;
 
+pub use cache::{CacheMode, CacheStatsSnapshot};
 pub use durable::{decode_update_batch, encode_update_batch, WalFollower, SNAPSHOT_FILE, WAL_DIR};
-pub use engine::{EngineBuilder, IndexMode, PcsEngine};
+pub use engine::{CoalesceStatsSnapshot, EngineBuilder, IndexMode, PcsEngine};
 pub use error::{BuildError, Error, Result};
 pub use request::{QueryRequest, QueryResponse};
 pub use snapshot::EngineSnapshot;

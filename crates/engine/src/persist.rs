@@ -164,6 +164,7 @@ impl EngineBuilder {
             profiles,
             cores: cores_cell,
             index: index_cell,
+            cache: None,
             epoch: contents.epoch,
         });
         // Same assembly tail as `build`, so configuration defaults can

@@ -19,14 +19,20 @@ use std::time::Duration;
 /// ```
 ///
 /// Defaults: `k = 6` (the paper's evaluation default),
-/// [`Algorithm::Auto`], no community cap, stats off.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// [`Algorithm::Auto`], no community cap, stats off, cache allowed.
+///
+/// The struct derives `Hash` + `Eq` so deduplication layers (the
+/// serving batcher, caches) can key on the request **itself** instead
+/// of mirroring its fields into a hand-maintained tuple that silently
+/// drops any field added later.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct QueryRequest {
     vertex: VertexId,
     k: u32,
     algorithm: Algorithm,
     max_communities: Option<usize>,
     collect_stats: bool,
+    bypass_cache: bool,
 }
 
 impl QueryRequest {
@@ -38,6 +44,7 @@ impl QueryRequest {
             algorithm: Algorithm::Auto,
             max_communities: None,
             collect_stats: false,
+            bypass_cache: false,
         }
     }
 
@@ -72,6 +79,15 @@ impl QueryRequest {
         self
     }
 
+    /// Opts this request out of the engine's result cache (default:
+    /// cache allowed). A bypassing request neither reads a cached
+    /// answer nor fills the cache — the knob for freshness-critical
+    /// clients and for A/B-measuring the cache itself.
+    pub fn bypass_cache(mut self, bypass: bool) -> Self {
+        self.bypass_cache = bypass;
+        self
+    }
+
     /// The query vertex.
     pub fn vertex_id(&self) -> VertexId {
         self.vertex
@@ -95,6 +111,11 @@ impl QueryRequest {
     /// Whether stats were requested.
     pub fn wants_stats(&self) -> bool {
         self.collect_stats
+    }
+
+    /// Whether this request opted out of the result cache.
+    pub fn bypasses_cache(&self) -> bool {
+        self.bypass_cache
     }
 }
 
@@ -152,6 +173,7 @@ mod tests {
         assert_eq!(req.requested_algorithm(), Algorithm::Auto);
         assert_eq!(req.community_cap(), None);
         assert!(!req.wants_stats());
+        assert!(!req.bypasses_cache());
     }
 
     #[test]
@@ -160,10 +182,12 @@ mod tests {
             .k(2)
             .algorithm(Algorithm::Basic)
             .max_communities(1)
-            .collect_stats(true);
+            .collect_stats(true)
+            .bypass_cache(true);
         assert_eq!(req.degree_bound(), 2);
         assert_eq!(req.requested_algorithm(), Algorithm::Basic);
         assert_eq!(req.community_cap(), Some(1));
         assert!(req.wants_stats());
+        assert!(req.bypasses_cache());
     }
 }

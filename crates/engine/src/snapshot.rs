@@ -8,6 +8,7 @@
 //! [`QueryResponse`](crate::QueryResponse) says exactly which graph
 //! version answered.
 
+use crate::cache::QueryCache;
 use pcs_graph::core::CoreDecomposition;
 use pcs_graph::Graph;
 use pcs_index::{IndexError, ShardedCpIndex};
@@ -33,6 +34,11 @@ pub(crate) struct SnapshotInner {
     /// or an eager rebuild ran. Individual shards inside materialize
     /// on their own per-label `OnceLock`s.
     pub(crate) index: OnceLock<std::result::Result<ShardedCpIndex, IndexError>>,
+    /// The epoch-keyed result cache, present when the engine was built
+    /// with a [`CacheMode`](crate::CacheMode) other than `Off`. Bound
+    /// to this snapshot's version: a hit can only return an answer
+    /// computed against exactly this graph and these profiles.
+    pub(crate) cache: Option<QueryCache>,
     pub(crate) epoch: u64,
 }
 
@@ -46,6 +52,24 @@ impl SnapshotInner {
     /// already (individual shards may still be cold).
     pub(crate) fn index_if_built(&self) -> Option<&ShardedCpIndex> {
         self.index.get().and_then(|r| r.as_ref().ok())
+    }
+
+    /// A structural copy of this snapshot — sharing every `Arc`'d
+    /// component and whatever the index cell holds (index clones share
+    /// resident shards, so this is cheap) — with `cache` swapped in.
+    pub(crate) fn clone_with_cache(&self, cache: Option<QueryCache>) -> SnapshotInner {
+        let index = OnceLock::new();
+        if let Some(r) = self.index.get() {
+            let _ = index.set(r.clone());
+        }
+        SnapshotInner {
+            graph: Arc::clone(&self.graph),
+            profiles: Arc::clone(&self.profiles),
+            cores: Arc::clone(&self.cores),
+            index,
+            cache,
+            epoch: self.epoch,
+        }
     }
 }
 

@@ -173,3 +173,86 @@ fn readers_stay_consistent_under_lazy_updates() {
     // publications (Deferred drops included).
     stress(IndexMode::Lazy, 42);
 }
+
+/// The group-commit write path: every concurrent `apply_coalesced`
+/// caller gets a report, all effects land, a malformed batch fails
+/// only its own submitter, and the coalesce counters balance
+/// (`groups + coalesced == submitted`).
+#[test]
+fn coalesced_writers_each_get_a_report_and_bad_batches_fail_alone() {
+    let (g, tax, profiles) = random_instance(77);
+    let n = g.num_vertices() as u32;
+    let engine = PcsEngine::builder()
+        .graph(g)
+        .taxonomy(tax.clone())
+        .profiles(profiles)
+        .index_mode(IndexMode::Eager)
+        .build()
+        .unwrap();
+
+    // Clear the writer vertices' profiles first (serially), so each
+    // concurrent writer's set-to-full below is a guaranteed change —
+    // an UpdateBatch keeps only the last profile op per vertex, and a
+    // random profile may already be empty.
+    let writers = 8u32;
+    let clear: UpdateBatch = (0..writers)
+        .map(|t| (t, PTree::from_labels(&tax, []).unwrap()))
+        .fold(UpdateBatch::new(), |b, (t, p)| b.set_profile(t, p));
+    engine.apply(&clear).unwrap();
+
+    let reports = Mutex::new(Vec::new());
+    let bad = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for t in 0..writers {
+            let engine = &engine;
+            let tax = &tax;
+            let reports = &reports;
+            s.spawn(move || {
+                let full =
+                    PTree::from_labels(tax, (1..tax.len() as u32).collect::<Vec<_>>()).unwrap();
+                let batch = UpdateBatch::new().set_profile(t, full);
+                let report = engine.apply_coalesced(&batch).expect("valid batch applies");
+                reports.lock().unwrap().push(report);
+            });
+        }
+        // Two writers submit batches naming an out-of-range vertex:
+        // pre-validation must bounce them individually without
+        // touching the groups their contemporaries formed.
+        for _ in 0..2 {
+            let engine = &engine;
+            let bad = &bad;
+            s.spawn(move || {
+                let batch = UpdateBatch::new().add_edge(0, n + 100);
+                bad.lock().unwrap().push(engine.apply_coalesced(&batch));
+            });
+        }
+    });
+
+    let reports = reports.into_inner().unwrap();
+    assert_eq!(reports.len(), writers as usize);
+    // Every good batch changed its vertex's (cleared) profile, so the
+    // merged report every member receives counts >= 1 change and the
+    // final snapshot carries all eight writes.
+    for r in &reports {
+        assert!(r.profiles_changed >= 1, "merged report shows no effect: {r:?}");
+    }
+    let snap = engine.snapshot();
+    for t in 0..writers {
+        assert_eq!(
+            snap.profiles()[t as usize].nodes().len(),
+            tax.len(),
+            "vertex {t}'s full profile did not land"
+        );
+    }
+    let max_epoch = reports.iter().map(|r| r.epoch).max().unwrap();
+    assert_eq!(snap.epoch(), max_epoch, "last published epoch is the max reported");
+
+    for err in bad.into_inner().unwrap() {
+        assert!(err.is_err(), "out-of-range batch must be rejected to its own caller");
+    }
+
+    let cs = engine.coalesce_stats();
+    assert_eq!(cs.submitted, writers as u64, "rejected batches never count as submitted");
+    assert!(cs.groups >= 1 && cs.groups <= cs.submitted);
+    assert_eq!(cs.groups + cs.coalesced, cs.submitted, "coalesce counters must balance");
+}

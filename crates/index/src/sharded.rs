@@ -421,12 +421,20 @@ impl ShardedCpIndex {
     /// `None` drops the old cell whenever the graph changed (stale
     /// cores must never build a shard) — correctness is preserved
     /// either way, only the shortcut is lost.
+    ///
+    /// `threads` bounds the workers the resident-shard rebuild phase
+    /// fans out over (work-stealing over invalidated labels, exactly
+    /// like [`materialize_all`](Self::materialize_all)); `1` keeps the
+    /// whole patch sequential. Facade bookkeeping (member tables,
+    /// invalidation) is always sequential — it is O(batch), not
+    /// O(shard).
     pub fn apply_batch(
         &mut self,
         g_after: &Arc<Graph>,
         profiles_after: &Arc<Vec<PTree>>,
         deltas: &[GraphDelta],
         cores_after: Option<Arc<OnceLock<CoreDecomposition>>>,
+        threads: usize,
     ) -> CpPatchStats {
         debug_assert_eq!(self.n, g_after.num_vertices(), "vertex set is fixed");
         debug_assert_eq!(self.n, profiles_after.len());
@@ -500,16 +508,58 @@ impl ShardedCpIndex {
         }
         self.graph = Arc::clone(g_after);
         rebuild.sort_unstable();
-        for label in rebuild {
+        // Split the labels that lost their last carrier (slot cleared,
+        // nothing to build) from those needing a CL-tree rebuild.
+        let mut to_build: Vec<LabelId> = Vec::new();
+        for &label in &rebuild {
             let i = label as usize;
             stats.labels_rebuilt += 1;
-            let next = if self.members_of.get(i).is_none_or(|m| m.is_empty()) {
-                OnceLock::new() // the label lost its last carrier
+            if self.members_of.get(i).is_none_or(|m| m.is_empty()) {
+                if let Some(slot) = self.slots.get_mut(i) {
+                    *slot = OnceLock::new();
+                }
             } else {
-                OnceLock::from(Arc::new(self.build_shard(label)))
-            };
-            if let Some(slot) = self.slots.get_mut(i) {
-                *slot = next;
+                to_build.push(label);
+            }
+        }
+        let threads = threads.max(1).min(to_build.len().max(1));
+        if threads == 1 {
+            for &label in &to_build {
+                let shard = Arc::new(self.build_shard(label));
+                if let Some(slot) = self.slots.get_mut(label as usize) {
+                    *slot = OnceLock::from(shard);
+                }
+            }
+        } else {
+            // `build_shard` is `&self` (it only reads the already
+            // patched facade tables and the post-batch graph), so
+            // workers steal labels from a shared counter — the same
+            // shape as `materialize_all` — building into per-label
+            // cells; the slots are then installed sequentially once
+            // the scope has joined.
+            let mut cells: Vec<OnceLock<IndexShard>> = Vec::new();
+            cells.resize_with(to_build.len(), OnceLock::new);
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let this: &ShardedCpIndex = self;
+            std::thread::scope(|scope| {
+                let (to_build, cells, next) = (&to_build, &cells, &next);
+                for _ in 0..threads {
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&label) = to_build.get(i) else { break };
+                        if let Some(cell) = cells.get(i) {
+                            let _ = cell.set(this.build_shard(label));
+                        }
+                    });
+                }
+            });
+            for (i, cell) in cells.into_iter().enumerate() {
+                let Some(shard) = cell.into_inner() else { continue };
+                if let Some(&label) = to_build.get(i) {
+                    if let Some(slot) = self.slots.get_mut(label as usize) {
+                        *slot = OnceLock::from(Arc::new(shard));
+                    }
+                }
             }
         }
         // Swap in the post-batch profile share (one Arc clone — the
@@ -928,7 +978,7 @@ mod tests {
         dyn_g.add_edge(0, 4).unwrap();
         let g_after = Arc::new(dyn_g.to_graph());
         let deltas = [GraphDelta::EdgeAdded { u: 0, v: 4 }];
-        let stats = patched.apply_batch(&g_after, &profiles, &deltas, None);
+        let stats = patched.apply_batch(&g_after, &profiles, &deltas, None, 2);
         assert_eq!(stats.labels_touched, 4);
         assert_eq!(
             stats.labels_rebuilt + stats.labels_skipped,
@@ -956,7 +1006,7 @@ mod tests {
         profiles[6] = PTree::from_labels(&t, [dms]).unwrap();
         let profiles = Arc::new(profiles);
         let stats =
-            patched.apply_batch(&g, &profiles, &[GraphDelta::ProfileChanged { v: 6 }], None);
+            patched.apply_batch(&g, &profiles, &[GraphDelta::ProfileChanged { v: 6 }], None, 1);
         assert!(stats.labels_touched > 0);
         assert_eq!(stats.labels_rebuilt, 0, "nothing was resident");
         assert_eq!(stats.labels_invalidated, stats.labels_touched);
@@ -1047,7 +1097,7 @@ mod tests {
                     continue;
                 }
                 let g_after = Arc::new(dyn_g.to_graph());
-                idx.apply_batch(&g_after, &Arc::new(profiles.clone()), &deltas, None);
+                idx.apply_batch(&g_after, &Arc::new(profiles.clone()), &deltas, None, 2);
                 let fresh = CpTree::build(&g_after, &tax, &profiles).unwrap();
                 assert_matches_monolithic(&idx, &fresh, &tax);
             }

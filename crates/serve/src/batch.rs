@@ -3,16 +3,28 @@
 //! Worker threads do not call [`PcsEngine::query`] directly. Each
 //! validated query is submitted to a shared [`Batcher`]; a dedicated
 //! dispatcher thread gathers everything that arrives within a short
-//! window (or until the batch cap), **deduplicates identical
-//! requests**, and executes the whole batch through
-//! [`PcsEngine::query_batch`] — which pins *one* epoch snapshot and
-//! shares it across the batch. Two things fall out of that:
+//! window (or until the batch cap), answers whatever it can **from the
+//! engine's result cache**, **deduplicates the remaining identical
+//! requests**, and executes them through [`PcsEngine::query_batch`] —
+//! which pins *one* epoch snapshot and shares it across the batch.
+//! Fresh answers are offered back to the cache, so the next window's
+//! twins never execute at all. Three things fall out of that:
 //!
 //! * under a zipfian workload the hot vertices collapse — fifty
-//!   concurrent requests for the same `(v, k)` cost one search;
-//! * every response in a batch reports the same `epoch`, so a client
-//!   fanning one logical operation across requests can check it got a
-//!   consistent view.
+//!   concurrent requests for the same `(v, k)` cost one search, and
+//!   on a cache-enabled engine the *next* fifty cost zero;
+//! * every executed response in a batch reports the same `epoch` (a
+//!   cache hit may report an older epoch only under the engine's
+//!   surgical mode, which proves the answer unchanged);
+//! * results are `Arc`-shared, so a hundred waiters for one hot
+//!   answer clone a pointer, not a community list.
+//!
+//! **Dedup-key contract:** the dedup map is keyed on the
+//! [`QueryRequest`] itself (`Hash + Eq` are derived on the request).
+//! Never mirror request fields into a hand-maintained tuple key: any
+//! field added later silently falls out of such a mirror, and two
+//! requests differing only in that field would then dedup together —
+//! serving one client another client's answer.
 //!
 //! The submitting worker blocks on a per-request slot (condvar) until
 //! the dispatcher posts its result. A slot that is still empty after
@@ -29,10 +41,30 @@ use std::time::{Duration, Instant};
 /// Hard ceiling on how long a submitter waits for its result.
 pub const SUBMIT_DEADLINE: Duration = Duration::from_secs(30);
 
+/// What a submitter gets back: the engine answer (`Arc`-shared with
+/// every deduplicated twin and with the result cache) or the error.
+pub type BatchOutcome = Result<Arc<QueryResponse>, EngineError>;
+
 /// One waiting request's result cell.
 struct Slot {
-    result: Mutex<Option<Result<QueryResponse, EngineError>>>,
+    result: Mutex<Option<BatchOutcome>>,
     done: Condvar,
+}
+
+impl Slot {
+    /// Posts the outcome and wakes the waiting submitter.
+    fn post(&self, outcome: BatchOutcome) {
+        let mut cell = match self.result.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.result.clear_poison();
+                poisoned.into_inner()
+            }
+        };
+        *cell = Some(outcome);
+        drop(cell);
+        self.done.notify_all();
+    }
 }
 
 struct PendingQuery {
@@ -54,6 +86,9 @@ pub struct BatchStats {
     pub batched_requests: AtomicU64,
     /// Requests answered from a deduplicated twin's execution.
     pub dedup_saved: AtomicU64,
+    /// Requests answered straight from the engine's result cache,
+    /// before dedup or execution.
+    pub cache_answered: AtomicU64,
 }
 
 /// The shared batching queue. Workers submit; one dispatcher drains.
@@ -99,7 +134,7 @@ impl Batcher {
     /// Submits one validated query and blocks until the dispatcher
     /// posts the result. Returns `None` only on dispatcher death
     /// (deadline) or post-shutdown submission.
-    pub fn submit(&self, req: QueryRequest) -> Option<Result<QueryResponse, EngineError>> {
+    pub fn submit(&self, req: QueryRequest) -> Option<BatchOutcome> {
         let slot = Arc::new(Slot { result: Mutex::new(None), done: Condvar::new() });
         {
             let mut state = self.lock_state();
@@ -135,11 +170,10 @@ impl Batcher {
     #[allow(clippy::type_complexity)]
     fn done_wait<'a>(
         &self,
-        guard: std::sync::MutexGuard<'a, Option<Result<QueryResponse, EngineError>>>,
+        guard: std::sync::MutexGuard<'a, Option<BatchOutcome>>,
         done: &Condvar,
         dur: Duration,
-    ) -> Result<(std::sync::MutexGuard<'a, Option<Result<QueryResponse, EngineError>>>, bool), ()>
-    {
+    ) -> Result<(std::sync::MutexGuard<'a, Option<BatchOutcome>>, bool), ()> {
         match done.wait_timeout(guard, dur) {
             Ok((g, t)) => Ok((g, t.timed_out())),
             Err(_) => Err(()),
@@ -196,58 +230,105 @@ impl Batcher {
         }
     }
 
-    /// Deduplicates and executes one gathered batch, then distributes
-    /// results to the waiting slots.
+    /// Answers one gathered batch: cache pass, then dedup, then one
+    /// pinned-epoch execution, then distribution to the waiting slots.
     fn execute(&self, engine: &PcsEngine, batch: Vec<PendingQuery>) {
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
         self.stats.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
 
-        // Dedup key: the full request identity. QueryRequest doesn't
-        // implement Hash, so key on its observable fields.
-        type Key = (u32, u32, &'static str, Option<usize>, bool);
-        let key = |r: &QueryRequest| -> Key {
-            (
-                r.vertex_id(),
-                r.degree_bound(),
-                r.requested_algorithm().name(),
-                r.community_cap(),
-                r.wants_stats(),
-            )
-        };
-        let mut unique: Vec<QueryRequest> = Vec::new();
-        let mut index_of: HashMap<Key, usize> = HashMap::new();
-        let mut assignment: Vec<usize> = Vec::with_capacity(batch.len());
-        for p in &batch {
-            let k = key(&p.req);
-            let idx = *index_of.entry(k).or_insert_with(|| {
-                unique.push(p.req.clone());
-                unique.len() - 1
-            });
-            assignment.push(idx);
+        // Cache pass first: anything answerable at the current epoch
+        // skips dedup and execution entirely. Bypassing requests and
+        // cache-less engines fall straight through (lookup is `None`).
+        let mut misses: Vec<PendingQuery> = Vec::with_capacity(batch.len());
+        let mut hits = 0u64;
+        for p in batch {
+            match engine.cache_lookup(&p.req) {
+                Some(cached) => {
+                    hits += 1;
+                    p.slot.post(Ok(cached));
+                }
+                None => misses.push(p),
+            }
         }
-        let saved = batch.len() - unique.len();
+        if hits > 0 {
+            self.stats.cache_answered.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses.is_empty() {
+            return;
+        }
+
+        let (unique, assignment) = Self::dedup_requests(misses.iter().map(|p| &p.req));
+        let saved = misses.len() - unique.len();
         if saved > 0 {
             self.stats.dedup_saved.fetch_add(saved as u64, Ordering::Relaxed);
         }
 
         // One epoch pin for the whole batch.
-        let results = engine.query_batch(&unique);
+        let results: Vec<BatchOutcome> =
+            engine.query_batch(&unique).into_iter().map(|r| r.map(Arc::new)).collect();
 
-        for (p, idx) in batch.iter().zip(assignment) {
-            let outcome = results
-                .get(idx)
-                .cloned()
-                .unwrap_or(Err(EngineError::IndexDisabled { algorithm: "batch-dispatch" }));
-            let mut cell = match p.slot.result.lock() {
-                Ok(g) => g,
-                Err(poisoned) => {
-                    p.slot.result.clear_poison();
-                    poisoned.into_inner()
+        // Offer the fresh answers to the cache. `cache_fill` refuses
+        // responses stamped with a superseded epoch, so a publish
+        // racing this batch can never plant a stale entry.
+        for (req, result) in unique.iter().zip(&results) {
+            if let Ok(resp) = result {
+                engine.cache_fill(req, resp);
+            }
+        }
+
+        Self::distribute(&misses, &assignment, &results);
+    }
+
+    /// Collapses identical requests: returns the unique requests plus,
+    /// per input, the index of its unique twin.
+    ///
+    /// Keyed on the request itself (see the module docs' dedup-key
+    /// contract): every `QueryRequest` field — present and future —
+    /// participates via the derived `Hash`/`Eq`, so a new builder knob
+    /// can never silently fall out of the key and alias two distinct
+    /// requests.
+    fn dedup_requests<'a>(
+        requests: impl Iterator<Item = &'a QueryRequest>,
+    ) -> (Vec<QueryRequest>, Vec<usize>) {
+        let mut unique: Vec<QueryRequest> = Vec::new();
+        let mut index_of: HashMap<QueryRequest, usize> = HashMap::new();
+        let mut assignment: Vec<usize> = Vec::new();
+        for req in requests {
+            let idx = match index_of.get(req) {
+                Some(&idx) => idx,
+                None => {
+                    let idx = unique.len();
+                    unique.push(req.clone());
+                    index_of.insert(req.clone(), idx);
+                    idx
                 }
             };
-            *cell = Some(outcome);
-            drop(cell);
-            p.slot.done.notify_all();
+            assignment.push(idx);
+        }
+        (unique, assignment)
+    }
+
+    /// Posts `results[assignment[i]]` to `pending[i]`'s slot.
+    ///
+    /// A missing result — the dispatcher produced fewer results than
+    /// unique requests, which is a bug in this module, not a property
+    /// of any client's request — posts a truthful
+    /// [`EngineError::Internal`] (a stable-tagged 500 at the HTTP
+    /// layer) instead of fabricating a client-addressable error.
+    fn distribute(pending: &[PendingQuery], assignment: &[usize], results: &[BatchOutcome]) {
+        for (i, p) in pending.iter().enumerate() {
+            let outcome = assignment.get(i).and_then(|&idx| results.get(idx)).cloned();
+            let outcome = outcome.unwrap_or_else(|| {
+                Err(EngineError::Internal {
+                    component: "batch-dispatch",
+                    detail: format!(
+                        "no result for request {i}: {} results for {} waiters",
+                        results.len(),
+                        pending.len()
+                    ),
+                })
+            });
+            p.slot.post(outcome);
         }
     }
 
@@ -316,5 +397,59 @@ mod tests {
         let batcher = Batcher::new(Duration::from_millis(5), 8);
         batcher.shutdown();
         assert!(batcher.submit(QueryRequest::vertex(0).k(1)).is_none());
+    }
+
+    /// The dedup-key contract: requests differing in ANY builder field
+    /// must never collapse together. The old hand-maintained tuple key
+    /// silently dropped fields added after it was written (it never
+    /// carried `bypass_cache`), aliasing distinct requests.
+    #[test]
+    fn requests_differing_in_any_builder_field_never_dedup() {
+        use pcs_engine::Algorithm;
+        let base = || QueryRequest::vertex(3).k(2);
+        let variants: Vec<QueryRequest> = vec![
+            base(),
+            QueryRequest::vertex(4).k(2),       // vertex differs
+            base().k(3),                        // k differs
+            base().algorithm(Algorithm::Basic), // algorithm differs
+            base().max_communities(1),          // cap differs
+            base().collect_stats(true),         // stats flag differs
+            base().bypass_cache(true),          // cache flag differs
+        ];
+        let (unique, assignment) = Batcher::dedup_requests(variants.iter());
+        assert_eq!(unique.len(), variants.len(), "distinct requests deduped together: {unique:?}");
+        assert_eq!(assignment, (0..variants.len()).collect::<Vec<_>>());
+
+        // And true twins still collapse.
+        let twins = [base(), base(), base()];
+        let (unique, assignment) = Batcher::dedup_requests(twins.iter());
+        assert_eq!(unique.len(), 1);
+        assert_eq!(assignment, vec![0, 0, 0]);
+    }
+
+    /// A results/waiters length mismatch is a dispatcher bug and must
+    /// surface as the truthful `Internal` error, not a fabricated
+    /// client-addressable one (the old code claimed `IndexDisabled`
+    /// for an algorithm named "batch-dispatch").
+    #[test]
+    fn forced_result_mismatch_reports_internal_error() {
+        let pending: Vec<PendingQuery> = (0..2)
+            .map(|v| PendingQuery {
+                req: QueryRequest::vertex(v).k(1),
+                slot: Arc::new(Slot { result: Mutex::new(None), done: Condvar::new() }),
+            })
+            .collect();
+        let resp = Arc::new(engine().query(&QueryRequest::vertex(0).k(1)).expect("query ok"));
+        // Two waiters, two assignments — but only one result made it.
+        Batcher::distribute(&pending, &[0, 1], &[Ok(resp)]);
+
+        let take = |p: &PendingQuery| p.slot.result.lock().unwrap().take().expect("posted");
+        assert!(take(&pending[0]).is_ok(), "covered slot gets its result");
+        match take(&pending[1]) {
+            Err(EngineError::Internal { component, .. }) => {
+                assert_eq!(component, "batch-dispatch");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
     }
 }

@@ -107,14 +107,20 @@ pub struct LoadReport {
 }
 
 /// Computes percentiles from raw microsecond samples.
+///
+/// Uses the **nearest-rank** definition: the q-th percentile is the
+/// smallest sample with at least `⌈n·q⌉` samples at or below it. In
+/// particular, a tail percentile of a small sample set reports the
+/// *maximum* (p999 of 10 samples is the slowest request), never an
+/// interpolated or rounded-down index that understates the tail.
 pub fn latency_summary(samples: &mut [u64]) -> LatencyUs {
     if samples.is_empty() {
         return LatencyUs::default();
     }
     samples.sort_unstable();
     let at = |q: f64| -> u64 {
-        let idx = ((samples.len() - 1) as f64 * q).round() as usize;
-        samples[idx.min(samples.len() - 1)]
+        let rank = (samples.len() as f64 * q).ceil() as usize;
+        samples[rank.clamp(1, samples.len()) - 1]
     };
     let mean = samples.iter().sum::<u64>() / samples.len() as u64;
     LatencyUs { p50: at(0.50), p99: at(0.99), p999: at(0.999), mean, samples: samples.len() }
@@ -341,8 +347,33 @@ mod tests {
         let s = latency_summary(&mut samples);
         assert_eq!(s.samples, 1000);
         assert!(s.p50 <= s.p99 && s.p99 <= s.p999);
-        assert_eq!(s.p50, 501);
+        // Nearest-rank: p50 of 1..=1000 is the 500th value, p99 the
+        // 990th, p999 the 999th.
+        assert_eq!(s.p50, 500);
+        assert_eq!(s.p99, 990);
         assert_eq!(s.p999, 999);
+    }
+
+    /// Small-sample tails: with fewer than 1000 samples, p999 must be
+    /// the maximum. The old `((n - 1) * q).round()` indexing landed
+    /// below the max for every n in 502..1000 (e.g. index 997 of 999
+    /// samples), silently understating the reported tail.
+    #[test]
+    fn small_sample_tail_percentiles_clamp_to_max() {
+        let mut one = vec![42u64];
+        let s = latency_summary(&mut one);
+        assert_eq!((s.p50, s.p99, s.p999), (42, 42, 42));
+
+        let mut two = vec![10u64, 20];
+        let s = latency_summary(&mut two);
+        assert_eq!(s.p50, 10, "nearest-rank median of two is the lower");
+        assert_eq!(s.p99, 20);
+        assert_eq!(s.p999, 20);
+
+        let mut many: Vec<u64> = (1..=999).collect();
+        let s = latency_summary(&mut many);
+        assert_eq!(s.p999, 999, "p999 of 999 samples is the max");
+        assert_eq!(s.p99, 990);
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! Five routes:
 //!
 //! * `GET /query?v=<u32>&k=<u32>[&algo=<name>][&max=<n>][&stats=0|1]`
-//!   — one community search. `algo` is one of `auto`, `basic`,
-//!   `incre`, `adv-I`, `adv-D`, `adv-P` (case-insensitive).
+//!   `[&cache=0|1]` — one community search. `algo` is one of `auto`,
+//!   `basic`, `incre`, `adv-I`, `adv-D`, `adv-P` (case-insensitive).
+//!   `cache=0` opts this request out of the engine's result cache
+//!   (never read, never filled); the default participates.
 //! * `POST /apply` — a newline-separated batch of mutations:
 //!   `add <u> <v>`, `remove <u> <v>`, `profile <v> [<label>...]`.
 //! * `GET /health` — liveness + current epoch.
@@ -236,6 +238,7 @@ fn parse_query(query: &str, n: usize) -> Result<QueryRequest, ApiError> {
     let mut algo = Algorithm::Auto;
     let mut max: Option<usize> = None;
     let mut stats = false;
+    let mut bypass_cache = false;
     for pair in query.split('&').filter(|p| !p.is_empty()) {
         let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
         match name {
@@ -269,6 +272,15 @@ fn parse_query(query: &str, n: usize) -> Result<QueryRequest, ApiError> {
                     }
                 };
             }
+            "cache" => {
+                bypass_cache = match value {
+                    "1" | "true" => false,
+                    "0" | "false" => true,
+                    _ => {
+                        return Err(ApiError::BadParam { name: "cache", expected: "0 or 1" });
+                    }
+                };
+            }
             other => return Err(ApiError::UnknownParam(other.to_string())),
         }
     }
@@ -283,7 +295,11 @@ fn parse_query(query: &str, n: usize) -> Result<QueryRequest, ApiError> {
     if k > MAX_DEGREE_BOUND {
         return Err(ApiError::DegreeBoundTooLarge { k });
     }
-    let mut req = QueryRequest::vertex(v).k(k).algorithm(algo).collect_stats(stats);
+    let mut req = QueryRequest::vertex(v)
+        .k(k)
+        .algorithm(algo)
+        .collect_stats(stats)
+        .bypass_cache(bypass_cache);
     if let Some(m) = max {
         if m > MAX_COMMUNITY_CAP {
             return Err(ApiError::MaxCommunitiesTooLarge { max: m });
@@ -414,11 +430,14 @@ fn parse_vertex(field: Option<&str>, line: usize, n: usize) -> Result<u32, ApiEr
 /// Status for an error the engine itself returned (post-validation,
 /// so these are rare): update rejections and index-policy refusals are
 /// the client's fault, everything else is ours.
+/// [`EngineError::Internal`] is explicitly a 500 — it reports a bug in
+/// our dispatch/coalescing machinery, never anything the client sent.
 pub fn engine_error_status(err: &EngineError) -> u16 {
     match err {
         EngineError::Update(_) => 400,
         EngineError::Query(_) => 400,
         EngineError::IndexDisabled { .. } => 400,
+        EngineError::Internal { .. } => 500,
         _ => 500,
     }
 }
@@ -519,9 +538,15 @@ pub fn render_api_error(err: &ApiError) -> String {
     format!("{{\"error\":\"{}\",\"detail\":\"{}\"}}", err.tag(), json_escape(&err.to_string()))
 }
 
-/// Renders an engine-side failure.
+/// Renders an engine-side failure. Server-side faults carry the
+/// stable `"internal"` tag so clients (and the load harness) can tell
+/// a server bug from an engine-level refusal without parsing prose.
 pub fn render_engine_error(err: &EngineError) -> String {
-    format!("{{\"error\":\"engine\",\"detail\":\"{}\"}}", json_escape(&err.to_string()))
+    let tag = match err {
+        EngineError::Internal { .. } => "internal",
+        _ => "engine",
+    };
+    format!("{{\"error\":\"{tag}\",\"detail\":\"{}\"}}", json_escape(&err.to_string()))
 }
 
 #[cfg(test)]
@@ -581,6 +606,33 @@ mod tests {
             err(&format!("v=1&k={}", u32::MAX)),
             ApiError::DegreeBoundTooLarge { .. }
         ));
+    }
+
+    #[test]
+    fn cache_param_controls_bypass() {
+        let t = tax();
+        let parsed = |q: &str| match route(&get("/query", q), 10, &t).unwrap() {
+            Route::Query(req) => req,
+            other => panic!("expected query route, got {other:?}"),
+        };
+        assert!(!parsed("v=1&k=2").bypasses_cache(), "cache participation is the default");
+        assert!(parsed("v=1&k=2&cache=0").bypasses_cache());
+        assert!(!parsed("v=1&k=2&cache=1").bypasses_cache());
+        assert_eq!(
+            route(&get("/query", "v=1&k=2&cache=maybe"), 10, &t).unwrap_err(),
+            ApiError::BadParam { name: "cache", expected: "0 or 1" }
+        );
+    }
+
+    #[test]
+    fn internal_errors_are_tagged_500() {
+        let err = EngineError::Internal { component: "batch-dispatch", detail: "x".into() };
+        assert_eq!(engine_error_status(&err), 500);
+        assert!(render_engine_error(&err).starts_with("{\"error\":\"internal\""));
+        // Client-addressable failures keep their 400 + generic tag.
+        let refusal = EngineError::IndexDisabled { algorithm: "adv-P" };
+        assert_eq!(engine_error_status(&refusal), 400);
+        assert!(render_engine_error(&refusal).starts_with("{\"error\":\"engine\""));
     }
 
     #[test]

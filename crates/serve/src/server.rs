@@ -116,6 +116,12 @@ pub struct ServerStats {
     pub http_4xx: AtomicU64,
     /// Responses with a 5xx status.
     pub http_5xx: AtomicU64,
+    /// Server-side faults: `EngineError::Internal` surfaced to a
+    /// client, or the batch dispatcher failing to answer at all. These
+    /// are bugs or dead threads, never client mistakes — a nonzero
+    /// count here deserves a look even when traffic is otherwise
+    /// healthy.
+    pub internal_errors: AtomicU64,
 }
 
 /// A point-in-time copy of every counter, including the batcher's.
@@ -141,6 +147,26 @@ pub struct StatsSnapshot {
     pub batched_requests: u64,
     /// Requests answered by a deduplicated twin's execution.
     pub dedup_saved: u64,
+    /// Requests the batcher answered straight from the result cache.
+    pub cache_answered: u64,
+    /// Server-side faults surfaced to clients (see
+    /// [`ServerStats::internal_errors`]).
+    pub internal_errors: u64,
+    /// Result-cache hits (engine-wide, including direct
+    /// `query_cached` callers).
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Result-cache entries dropped by capacity rotation.
+    pub cache_evictions: u64,
+    /// Entries carried across an epoch publish by surgical
+    /// invalidation.
+    pub cache_surgical_survivals: u64,
+    /// Write groups committed by the coalescing apply path.
+    pub apply_groups: u64,
+    /// Writer submissions that rode a leader's group instead of
+    /// publishing their own epoch.
+    pub apply_coalesced: u64,
     /// The engine's published epoch when the snapshot was taken.
     pub epoch: u64,
     /// The engine's durable (fsynced-WAL) epoch; `None` without a
@@ -156,8 +182,11 @@ impl StatsSnapshot {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"accepted\":{},\"shed\":{},\"requests\":{},\"queries\":{},\"updates\":{},\
-             \"http_4xx\":{},\"http_5xx\":{},\"batches\":{},\"batched_requests\":{},\
-             \"dedup_saved\":{},\"epoch\":{},\"durable_epoch\":{}}}",
+             \"http_4xx\":{},\"http_5xx\":{},\"internal_errors\":{},\"batches\":{},\
+             \"batched_requests\":{},\"dedup_saved\":{},\"cache_answered\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},\
+             \"cache_surgical_survivals\":{},\"apply_groups\":{},\"apply_coalesced\":{},\
+             \"epoch\":{},\"durable_epoch\":{}}}",
             self.accepted,
             self.shed,
             self.requests,
@@ -165,9 +194,17 @@ impl StatsSnapshot {
             self.updates,
             self.http_4xx,
             self.http_5xx,
+            self.internal_errors,
             self.batches,
             self.batched_requests,
             self.dedup_saved,
+            self.cache_answered,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_surgical_survivals,
+            self.apply_groups,
+            self.apply_coalesced,
             self.epoch,
             json_opt_u64(self.durable_epoch),
         )
@@ -241,9 +278,17 @@ impl Shared {
         // (durable_epoch ≥ epoch) even against a concurrent writer.
         let epoch = self.engine.epoch();
         let durable_epoch = self.engine.durable_epoch();
+        let cache = self.engine.cache_stats();
+        let coalesce = self.engine.coalesce_stats();
         StatsSnapshot {
             epoch,
             durable_epoch,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_surgical_survivals: cache.surgical_survivals,
+            apply_groups: coalesce.groups,
+            apply_coalesced: coalesce.coalesced,
             accepted: self.stats.accepted.load(Ordering::Relaxed),
             shed: self.stats.shed.load(Ordering::Relaxed),
             requests: self.stats.requests.load(Ordering::Relaxed),
@@ -254,6 +299,8 @@ impl Shared {
             batches: b.batches.load(Ordering::Relaxed),
             batched_requests: b.batched_requests.load(Ordering::Relaxed),
             dedup_saved: b.dedup_saved.load(Ordering::Relaxed),
+            cache_answered: b.cache_answered.load(Ordering::Relaxed),
+            internal_errors: self.stats.internal_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -478,19 +525,35 @@ fn dispatch(shared: &Shared, req: &crate::http::Request) -> (u16, Payload) {
             shared.stats.queries.fetch_add(1, Ordering::Relaxed);
             match shared.batcher.submit(q) {
                 Some(Ok(resp)) => (200, render_query_response(&resp)),
-                Some(Err(e)) => (engine_error_status(&e), render_engine_error(&e)),
-                None => (
-                    500,
-                    "{\"error\":\"dispatch\",\"detail\":\"batch dispatcher unavailable\"}"
-                        .to_string(),
-                ),
+                Some(Err(e)) => {
+                    if matches!(e, EngineError::Internal { .. }) {
+                        shared.stats.internal_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    (engine_error_status(&e), render_engine_error(&e))
+                }
+                None => {
+                    shared.stats.internal_errors.fetch_add(1, Ordering::Relaxed);
+                    (
+                        500,
+                        "{\"error\":\"dispatch\",\"detail\":\"batch dispatcher unavailable\"}"
+                            .to_string(),
+                    )
+                }
             }
         }
         Ok(Route::Apply(batch)) => {
             shared.stats.updates.fetch_add(1, Ordering::Relaxed);
-            match shared.engine.apply(&batch) {
+            // Coalesced: concurrent `/apply` calls group-commit into
+            // one epoch publish (and, on a durable engine, share its
+            // fsync) instead of serializing full publishes.
+            match shared.engine.apply_coalesced(&batch) {
                 Ok(report) => (200, render_update_report(&report)),
-                Err(e) => (engine_error_status(&e), render_engine_error(&e)),
+                Err(e) => {
+                    if matches!(e, EngineError::Internal { .. }) {
+                        shared.stats.internal_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    (engine_error_status(&e), render_engine_error(&e))
+                }
             }
         }
         Ok(Route::WalTail { from, max }) => {

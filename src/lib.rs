@@ -113,8 +113,8 @@ pub mod prelude {
         UpdateStreamSpec,
     };
     pub use pcs_engine::{
-        EngineBuilder, EngineSnapshot, Error as EngineError, IndexMode, PcsEngine, QueryRequest,
-        QueryResponse, Update, UpdateBatch, UpdateReport, WalFollower,
+        CacheMode, EngineBuilder, EngineSnapshot, Error as EngineError, IndexMode, PcsEngine,
+        QueryRequest, QueryResponse, Update, UpdateBatch, UpdateReport, WalFollower,
     };
     pub use pcs_graph::{DynamicGraph, Graph, GraphBuilder, VertexId};
     pub use pcs_index::{ClTree, CpTree, IndexRef, IndexShard, ShardedCpIndex};

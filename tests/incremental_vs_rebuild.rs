@@ -458,6 +458,165 @@ fn wal_follower_stays_equivalent_at_every_synced_epoch() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The result-cache differential: engines with the cache on (both
+/// invalidation modes) must be response-equal to a cache-disabled
+/// engine at every checked step of a mixed read/write stream. The read
+/// pattern deliberately revisits a hot set so the caches actually
+/// serve hits (asserted at the end) — a cache that was never hit would
+/// make this test vacuous — and the stream's profile-only batches give
+/// surgical mode real carry-over to prove sound.
+#[test]
+fn cached_engines_stay_equivalent_to_uncached_across_mixed_stream() {
+    let tax = random_taxonomy(32, 4, 6, 63);
+    let ds = pcs::datasets::gen::generate(&DatasetSpec::small("cached", 50, 27), tax);
+    let stream = update_stream(&ds, &UpdateStreamSpec::new(120, 53));
+    let build = |mode: CacheMode| {
+        PcsEngine::builder()
+            .graph(ds.graph.clone())
+            .taxonomy(ds.tax.clone())
+            .profiles(ds.profiles.clone())
+            .index_mode(IndexMode::Eager)
+            .result_cache(mode)
+            .build()
+            .unwrap()
+    };
+    let wholesale = build(CacheMode::Wholesale);
+    let surgical = build(CacheMode::Surgical);
+    let uncached = build(CacheMode::Off);
+    let as_batch = |timed: &TimedOp| match &timed.op {
+        StreamOp::AddEdge(a, b) => UpdateBatch::new().add_edge(*a, *b),
+        StreamOp::RemoveEdge(a, b) => UpdateBatch::new().remove_edge(*a, *b),
+        StreamOp::SetProfile(v, p) => UpdateBatch::new().set_profile(*v, p.clone()),
+    };
+    let mut rng = SmallRng::seed_from_u64(0xcac4e);
+    let n = ds.graph.num_vertices() as u32;
+    for (step, timed) in stream.iter().enumerate() {
+        let batch = as_batch(timed);
+        let r0 = uncached.apply(&batch).unwrap();
+        for (name, engine) in [("wholesale", &wholesale), ("surgical", &surgical)] {
+            let r = engine.apply(&batch).unwrap();
+            assert_eq!(r.epoch, r0.epoch, "step {step}: {name} epoch diverged");
+            assert_eq!(r.noops, r0.noops, "step {step}: {name} no-ops diverged");
+        }
+        // Mixed reads: mostly a small hot set (so later steps hit the
+        // cache), occasionally a cold probe. Each request is asked
+        // twice per cached engine — the second ask within a step must
+        // be a same-epoch hit and still answer identically.
+        for _ in 0..3 {
+            let q =
+                if rng.gen_bool(0.7) { rng.gen_range(0..8u32.min(n)) } else { rng.gen_range(0..n) };
+            let k = rng.gen_range(1..4u32);
+            let req = QueryRequest::vertex(q).k(k);
+            let reference = uncached.query(&req).unwrap();
+            for (name, engine) in [("wholesale", &wholesale), ("surgical", &surgical)] {
+                for ask in 0..2 {
+                    let resp = engine.query_cached(&req).unwrap();
+                    assert_eq!(
+                        communities_of(&reference),
+                        communities_of(&resp),
+                        "step {step} ask {ask}: {name} diverged at q {q} k {k}"
+                    );
+                    assert_eq!(
+                        reference.total_communities, resp.total_communities,
+                        "step {step} ask {ask}: {name} total diverged at q {q} k {k}"
+                    );
+                    assert_eq!(
+                        reference.truncated(),
+                        resp.truncated(),
+                        "step {step} ask {ask}: {name} truncation diverged at q {q} k {k}"
+                    );
+                }
+            }
+        }
+    }
+    let (ws, ss, off) = (wholesale.cache_stats(), surgical.cache_stats(), uncached.cache_stats());
+    assert!(ws.hits > 0, "wholesale cache never hit — the differential was vacuous");
+    assert!(ss.hits > 0, "surgical cache never hit — the differential was vacuous");
+    assert_eq!((off.hits, off.misses), (0, 0), "CacheMode::Off must not touch cache counters");
+    // Dense random profiles share labels heavily, so cross-epoch
+    // survival is rare on this stream; the carry-over semantics are
+    // pinned by `surgical_cache_carries_unrelated_entries` below on a
+    // taxonomy built to guarantee disjointness.
+    verify_deep(&wholesale, "final state, wholesale cache");
+    verify_deep(&surgical, "final state, surgical cache");
+}
+
+/// Surgical carry-over, pinned on a taxonomy with two disjoint
+/// branches: a cached answer for a branch-`a` vertex must survive a
+/// profile-only update confined to branch `b` (and keep answering
+/// identically to a recompute), while a cached answer whose profile
+/// meets the changed labels must be invalidated.
+#[test]
+fn surgical_cache_carries_unrelated_entries() {
+    let mut tax = Taxonomy::new("root");
+    let a = tax.add_child(Taxonomy::ROOT, "a").unwrap();
+    let b = tax.add_child(Taxonomy::ROOT, "b").unwrap();
+    let a1 = tax.add_child(a, "a1").unwrap();
+    let b1 = tax.add_child(b, "b1").unwrap();
+    // An 8-ring with chords: every vertex sits in a 2-core.
+    let n = 8usize;
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for d in 1..=2u32 {
+            let v = (u + d) % n as u32;
+            let (lo, hi) = (u.min(v), u.max(v));
+            if !edges.contains(&(lo, hi)) {
+                edges.push((lo, hi));
+            }
+        }
+    }
+    let graph = Graph::from_edges(n, &edges).unwrap();
+    let profiles: Vec<PTree> = (0..n)
+        .map(|v| {
+            let leaf = if v < 4 { a1 } else { b1 };
+            PTree::from_labels(&tax, [leaf]).unwrap()
+        })
+        .collect();
+    let engine = PcsEngine::builder()
+        .graph(graph)
+        .taxonomy(tax.clone())
+        .profiles(profiles)
+        .result_cache(CacheMode::Surgical)
+        .build()
+        .unwrap();
+
+    // Cache one answer per branch.
+    let req_a = QueryRequest::vertex(0).k(2);
+    let req_b = QueryRequest::vertex(5).k(2);
+    let before_a = engine.query_cached(&req_a).unwrap();
+    let before_b = engine.query_cached(&req_b).unwrap();
+    let seeded = engine.cache_stats();
+    assert_eq!(seeded.misses, 2);
+
+    // Reprofile vertex 7 inside branch b: symdiff = {b1}.
+    let shrunk = PTree::from_labels(&tax, [b]).unwrap();
+    engine.apply(&UpdateBatch::new().set_profile(7, shrunk)).unwrap();
+    let carried = engine.cache_stats();
+    assert_eq!(
+        carried.surgical_survivals, 1,
+        "exactly the branch-a entry survives the branch-b update"
+    );
+
+    // The survivor is a hit at the new epoch and equals a recompute.
+    let after_a = engine.query_cached(&req_a).unwrap();
+    assert_eq!(engine.cache_stats().hits, seeded.hits + 1, "branch-a entry must hit");
+    assert_eq!(communities_of(&before_a), communities_of(&after_a));
+    let recomputed = engine.query(&req_a).unwrap();
+    assert_eq!(communities_of(&after_a), communities_of(&recomputed));
+
+    // The branch-b entry was invalidated: a fresh miss, and the new
+    // answer reflects the shrunken profile (vertex 7 left G_{b1}).
+    let after_b = engine.query_cached(&req_b).unwrap();
+    assert_eq!(engine.cache_stats().misses, seeded.misses + 1, "branch-b entry must miss");
+    let recomputed_b = engine.query(&req_b).unwrap();
+    assert_eq!(communities_of(&after_b), communities_of(&recomputed_b));
+    assert_ne!(
+        communities_of(&before_b),
+        communities_of(&after_b),
+        "the branch-b answer must actually change — otherwise this test proves nothing"
+    );
+}
+
 /// Multi-op batches, all three index policies side by side, and the
 /// fallback (cap 0) path — every engine must answer identically after
 /// every batch.
