@@ -103,6 +103,10 @@ impl RuleConfig {
             // pcs-store decode path: must return typed StoreError, never panic
             "crates/store/src/codec.rs",
             "crates/store/src/format.rs",
+            // lazy-load hot path: positioned reads + deferred decode
+            // run on every replica first touch
+            "crates/store/src/source.rs",
+            "crates/store/src/lazy.rs",
             // WAL hot path: append/commit run inside every durable
             // apply, and the recovery reader must fail typed, not
             // panic, on arbitrary on-disk bytes
@@ -112,6 +116,8 @@ impl RuleConfig {
         let store: &[&str] = &[
             "crates/store/src/codec.rs",
             "crates/store/src/format.rs",
+            "crates/store/src/source.rs",
+            "crates/store/src/lazy.rs",
             "crates/store/src/wal.rs",
             "crates/engine/src/durable.rs",
         ];

@@ -25,7 +25,7 @@
 use pcs_core::ProfiledCommunity;
 use pcs_graph::core::SubsetCore;
 use pcs_graph::{FxHashSet, Graph, VertexId};
-use pcs_ptree::{LabelId, PTree, Taxonomy};
+use pcs_ptree::{LabelId, ProfilesRef, Taxonomy};
 
 use crate::community_from_vertices;
 
@@ -52,13 +52,14 @@ pub struct AcqOutcome {
 
 /// Runs ACQ for `(q, k)`. The query's keywords are the non-root labels
 /// of `T(q)`.
-pub fn acq_query(
+pub fn acq_query<'a>(
     g: &Graph,
     _tax: &Taxonomy,
-    profiles: &[PTree],
+    profiles: impl Into<ProfilesRef<'a>>,
     q: VertexId,
     k: u32,
 ) -> AcqOutcome {
+    let profiles = profiles.into();
     if q as usize >= g.num_vertices() {
         return AcqOutcome::default();
     }
@@ -67,7 +68,9 @@ pub fn acq_query(
     let Some(gk) = sc.kcore_component_within(g, &all, q, k) else {
         return AcqOutcome::default();
     };
-    let wq = &profiles[q as usize];
+    let Some(wq) = profiles.get(q as usize) else {
+        return AcqOutcome::default();
+    };
 
     // shared(C): keywords of W(q) carried by every member of C.
     let shared = |community: &[VertexId]| -> Vec<LabelId> {
@@ -75,7 +78,10 @@ pub fn acq_query(
             .iter()
             .copied()
             .filter(|&w| {
-                w != Taxonomy::ROOT && community.iter().all(|&v| profiles[v as usize].contains(w))
+                w != Taxonomy::ROOT
+                    && community
+                        .iter()
+                        .all(|&v| profiles.get(v as usize).is_some_and(|p| p.contains(w)))
             })
             .collect()
     };
@@ -92,8 +98,11 @@ pub fn acq_query(
             if w == Taxonomy::ROOT || s.binary_search(&w).is_ok() {
                 continue;
             }
-            let cands: Vec<VertexId> =
-                community.iter().copied().filter(|&v| profiles[v as usize].contains(w)).collect();
+            let cands: Vec<VertexId> = community
+                .iter()
+                .copied()
+                .filter(|&v| profiles.get(v as usize).is_some_and(|p| p.contains(w)))
+                .collect();
             if let Some(next_comm) = sc.kcore_component_within(g, &cands, q, k) {
                 let next_set = shared(&next_comm);
                 if visited.insert(next_set.clone()) {
@@ -120,6 +129,7 @@ pub fn acq_query(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcs_ptree::PTree;
 
     /// The paper's Fig. 1 example (corrected profiles; see pcs-core).
     fn figure1() -> (Graph, Taxonomy, Vec<PTree>) {

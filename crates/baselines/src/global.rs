@@ -26,7 +26,7 @@ pub fn global_query(
     let all: Vec<VertexId> = g.vertices().collect();
     let mut sc = SubsetCore::new(g.num_vertices());
     let vertices = sc.kcore_component_within(g, &all, q, k)?;
-    Some(community_from_vertices(vertices, profiles))
+    Some(community_from_vertices(vertices, profiles.into()))
 }
 
 /// The unconstrained Global objective: the community containing `q`
@@ -44,7 +44,7 @@ pub fn global_max_min_degree(
     let cd = CoreDecomposition::new(g);
     let k = cd.core_number(q);
     let vertices = cd.kcore_component(g, q, k)?;
-    Some((community_from_vertices(vertices, profiles), k))
+    Some((community_from_vertices(vertices, profiles.into()), k))
 }
 
 #[cfg(test)]

@@ -36,15 +36,15 @@ pub use variants::{variant_query, CohesivenessMetric};
 
 use pcs_core::ProfiledCommunity;
 use pcs_graph::VertexId;
-use pcs_ptree::PTree;
+use pcs_ptree::{PTree, ProfilesRef};
 
 /// Wraps a raw vertex set into a [`ProfiledCommunity`] by computing its
 /// maximal common subtree from `profiles`.
 pub(crate) fn community_from_vertices(
     vertices: Vec<VertexId>,
-    profiles: &[PTree],
+    profiles: ProfilesRef<'_>,
 ) -> ProfiledCommunity {
-    let subtree = PTree::intersect_all(vertices.iter().map(|&v| &profiles[v as usize]))
+    let subtree = PTree::intersect_all(vertices.iter().filter_map(|&v| profiles.get(v as usize)))
         .unwrap_or_else(PTree::root_only);
     ProfiledCommunity { subtree, vertices }
 }

@@ -54,7 +54,7 @@ pub fn local_query(
     loop {
         if members.len() >= next_check {
             if let Some(found) = sc.kcore_component_within(g, &members, q, k) {
-                return Some(community_from_vertices(found, profiles));
+                return Some(community_from_vertices(found, profiles.into()));
             }
             next_check = members.len() + (members.len() / 4).max(k as usize + 1);
         }
@@ -73,11 +73,11 @@ pub fn local_query(
         let Some(best) = best else {
             // Frontier exhausted: final attempt with what was gathered.
             let found = sc.kcore_component_within(g, &members, q, k)?;
-            return Some(community_from_vertices(found, profiles));
+            return Some(community_from_vertices(found, profiles.into()));
         };
         if members.len() >= budget {
             let found = sc.kcore_component_within(g, &members, q, k)?;
-            return Some(community_from_vertices(found, profiles));
+            return Some(community_from_vertices(found, profiles.into()));
         }
         score.remove(&best);
         in_set[best as usize] = true;

@@ -87,8 +87,12 @@ fn common_paths_query(ctx: &QueryContext<'_>, q: VertexId, k: u32) -> Vec<Profil
     let Some(gk) = sc.kcore_component_within(g, &all, q, k) else {
         return Vec::new();
     };
-    let leaves: Vec<LabelId> = ctx.profiles[q as usize].leaves(ctx.tax);
-    let has_path = |v: VertexId, leaf: LabelId| ctx.profiles[v as usize].contains(leaf);
+    let Some(pq) = ctx.profiles.get(q as usize) else {
+        return Vec::new();
+    };
+    let leaves: Vec<LabelId> = pq.leaves(ctx.tax);
+    let has_path =
+        |v: VertexId, leaf: LabelId| ctx.profiles.get(v as usize).is_some_and(|p| p.contains(leaf));
     let shared = |community: &[VertexId]| -> Vec<LabelId> {
         leaves
             .iter()
@@ -142,7 +146,9 @@ fn similarity_query(
     if q as usize >= g.num_vertices() {
         return Vec::new();
     }
-    let tq = &ctx.profiles[q as usize];
+    let Some(tq) = ctx.profiles.get(q as usize) else {
+        return Vec::new();
+    };
     let tq_ord = OrderedTree::from_ptree(ctx.tax, tq);
     let mut sc = SubsetCore::new(g.num_vertices());
     let all: Vec<VertexId> = g.vertices().collect();
@@ -152,7 +158,9 @@ fn similarity_query(
     let cands: Vec<VertexId> = gk
         .into_iter()
         .filter(|&v| {
-            let tv = &ctx.profiles[v as usize];
+            let Some(tv) = ctx.profiles.get(v as usize) else {
+                return false;
+            };
             let ted = tree_edit_distance(&OrderedTree::from_ptree(ctx.tax, tv), &tq_ord);
             let denom = tv.union(tq).len().max(1);
             1.0 - (ted as f64 / denom as f64) >= beta

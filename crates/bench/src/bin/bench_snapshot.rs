@@ -44,6 +44,7 @@ struct Config {
     quick: bool,
     record_baseline: bool,
     assert_lazy_wins: bool,
+    scale_sweep: bool,
     out_dir: PathBuf,
     scale: f64,
     k: u32,
@@ -58,6 +59,7 @@ impl Config {
             quick: false,
             record_baseline: false,
             assert_lazy_wins: false,
+            scale_sweep: false,
             out_dir: PathBuf::from("."),
             scale: 0.01,
             k: 6,
@@ -73,6 +75,7 @@ impl Config {
                 "--quick" => cfg.quick = true,
                 "--record-baseline" => cfg.record_baseline = true,
                 "--assert-lazy-wins" => cfg.assert_lazy_wins = true,
+                "--scale-sweep" => cfg.scale_sweep = true,
                 "--reps" => {
                     cfg.reps = args
                         .next()
@@ -86,7 +89,8 @@ impl Config {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: --quick --record-baseline --assert-lazy-wins --reps <n> --out-dir <dir>"
+                        "options: --quick --record-baseline --assert-lazy-wins --scale-sweep \
+                         --reps <n> --out-dir <dir>"
                     );
                     std::process::exit(0);
                 }
@@ -213,13 +217,19 @@ fn previous_results(path: &Path) -> Option<String> {
     None
 }
 
-fn write_snapshot(path: &Path, cfg: &Config, results: &str, baseline: Option<String>) {
+fn write_snapshot(
+    path: &Path,
+    dataset: &str,
+    cfg: &Config,
+    results: &str,
+    baseline: Option<String>,
+) {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema\": \"pcs-bench-snapshot/v2\",");
     let _ = writeln!(
         out,
-        "  \"config\": {{\"dataset\": \"DBLP-like\", \"scale\": {}, \"k\": {}, \"queries\": {}, \"reps\": {}, \"quick\": {}}},",
-        cfg.scale, cfg.k, cfg.queries, cfg.reps, cfg.quick
+        "  \"config\": {{\"dataset\": {}, \"scale\": {}, \"k\": {}, \"queries\": {}, \"reps\": {}, \"quick\": {}}},",
+        json_str(dataset), cfg.scale, cfg.k, cfg.queries, cfg.reps, cfg.quick
     );
     let _ = writeln!(out, "  \"results\": {results},");
     let baseline = baseline.unwrap_or_else(|| "null".into());
@@ -247,8 +257,145 @@ fn churn_edges(ds: &pcs_datasets::ProfiledDataset, count: usize) -> Vec<(VertexI
     out
 }
 
+/// Current resident-set size in KiB, read from `/proc/self/statm`
+/// (std-only; `None` off Linux). Pages are assumed 4 KiB — true on
+/// every environment this repo targets.
+fn rss_kb() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * 4)
+}
+
+/// Running maximum of [`rss_kb`] across explicit sample points — a
+/// poor man's high-water mark that needs no OS support beyond statm.
+struct RssPeak(u64);
+
+impl RssPeak {
+    fn new() -> RssPeak {
+        RssPeak(rss_kb().unwrap_or(0))
+    }
+
+    fn sample(&mut self) -> u64 {
+        self.0 = self.0.max(rss_kb().unwrap_or(0));
+        self.0
+    }
+}
+
+/// The `--scale-sweep` mode: generate → build → save → lazy-load →
+/// first query → steady state at each scale, recording wall times,
+/// peak RSS, and the lazy-vs-eager bytes-read ratio (an eager load
+/// reads the whole file by definition; the lazy counter comes from
+/// [`PcsEngine::snapshot_io`]). Writes `BENCH_scale.json`.
+fn run_scale_sweep(cfg: &Config) {
+    let scales: &[f64] = if cfg.quick { &[0.002, 0.01] } else { &[0.01, 0.1, 1.0] };
+    let dataset = SuiteDataset::Dblp;
+    let mut rows: Vec<String> = Vec::new();
+    for &scale in scales {
+        let mut peak = RssPeak::new();
+        let t = Instant::now();
+        let ds = build(dataset, SuiteConfig { scale, ..SuiteConfig::default() });
+        let gen_us = t.elapsed().as_secs_f64() * 1e6;
+        let (vertices, edges) = (ds.graph.num_vertices(), ds.graph.num_edges());
+        println!("scale {scale}: {vertices} vertices, {edges} edges (generated in {gen_us:.0} us)");
+        let (qs, _) = sample_query_vertices(&ds, cfg.k, 4, 0x14);
+        let q = qs.first().copied().unwrap_or(0);
+        peak.sample();
+        // Move (not clone) the dataset into the builder: at scale 1.0
+        // a second copy of the profiles is the difference between
+        // fitting and thrashing.
+        let pcs_datasets::ProfiledDataset { graph, tax, profiles, .. } = ds;
+        let t = Instant::now();
+        let engine = PcsEngine::builder()
+            .graph(graph)
+            .taxonomy(tax)
+            .profiles(profiles)
+            .index_mode(IndexMode::Eager)
+            .build()
+            .unwrap();
+        let build_us = t.elapsed().as_secs_f64() * 1e6;
+        peak.sample();
+        let snap_path = std::env::temp_dir()
+            .join(format!("pcs-bench-sweep-{}-{scale}.snapshot", std::process::id()));
+        let t = Instant::now();
+        engine.save(&snap_path).unwrap();
+        let save_us = t.elapsed().as_secs_f64() * 1e6;
+        let file_bytes = std::fs::metadata(&snap_path).unwrap().len();
+        drop(engine);
+        peak.sample();
+        // Lazy warm-start: open (structure only), then the first query
+        // faults in exactly what it touches. TtFQ is load + first
+        // answer, one shot; the bytes counter pins how much of the
+        // file that took.
+        let t = Instant::now();
+        let loaded = PcsEngine::builder().index_mode(IndexMode::Lazy).load(&snap_path).unwrap();
+        let load_us = t.elapsed().as_secs_f64() * 1e6;
+        std::hint::black_box(
+            loaded.query(&QueryRequest::vertex(q).k(cfg.k)).unwrap().communities().len(),
+        );
+        let ttfq_us = t.elapsed().as_secs_f64() * 1e6;
+        let io = loaded.snapshot_io().expect("lazy load exposes IO counters");
+        let ttfq_bytes = io.bytes_read;
+        let ratio = ttfq_bytes as f64 / file_bytes.max(1) as f64;
+        assert!(
+            ratio < 1.0,
+            "lazy TtFQ must not read the whole file ({ttfq_bytes} of {file_bytes} bytes)"
+        );
+        let steady = Metric::from_samples(&sample_us(cfg.reps.max(3), || {
+            std::hint::black_box(
+                loaded.query(&QueryRequest::vertex(q).k(cfg.k)).unwrap().communities().len(),
+            );
+        }));
+        let peak_kb = peak.sample();
+        drop(loaded);
+        let _ = std::fs::remove_file(&snap_path);
+        println!(
+            "scale {scale}: build {build_us:.0} us, save {save_us:.0} us, lazy load {load_us:.0} us, \
+             ttfq {ttfq_us:.0} us ({ttfq_bytes} of {file_bytes} bytes = {:.1}%), \
+             steady {:.0} us, peak rss {peak_kb} KiB",
+            ratio * 100.0,
+            steady.headline(),
+        );
+        let pairs = vec![
+            ("vertices".to_string(), Metric::Scalar(vertices as f64)),
+            ("edges".to_string(), Metric::Scalar(edges as f64)),
+            ("gen_us".to_string(), Metric::Scalar(gen_us)),
+            ("build_us".to_string(), Metric::Scalar(build_us)),
+            ("save_us".to_string(), Metric::Scalar(save_us)),
+            ("load_us".to_string(), Metric::Scalar(load_us)),
+            ("ttfq_us".to_string(), Metric::Scalar(ttfq_us)),
+            ("steady_query_us".to_string(), steady),
+            ("file_bytes".to_string(), Metric::Scalar(file_bytes as f64)),
+            ("ttfq_bytes".to_string(), Metric::Scalar(ttfq_bytes as f64)),
+            ("lazy_eager_bytes_ratio".to_string(), Metric::Scalar(ratio)),
+            ("peak_rss_kb".to_string(), Metric::Scalar(peak_kb as f64)),
+        ];
+        rows.push(format!("{}: {}", json_str(&format!("{scale}")), json_obj(&pairs)));
+    }
+    let path =
+        cfg.out_dir.join(if cfg.quick { "BENCH_scale.quick.json" } else { "BENCH_scale.json" });
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"pcs-bench-scale/v1\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"dataset\": {}, \"k\": {}, \"reps\": {}, \"quick\": {}}},",
+        json_str(dataset.name()),
+        cfg.k,
+        cfg.reps,
+        cfg.quick
+    );
+    let _ = writeln!(out, "  \"results\": {{{}}}", rows.join(", "));
+    out.push_str("}\n");
+    std::fs::create_dir_all(path.parent().unwrap_or(Path::new("."))).expect("create out dir");
+    std::fs::write(&path, out).expect("write scale sweep file");
+    println!("wrote {}", path.display());
+}
+
 fn main() {
     let cfg = Config::parse();
+    if cfg.scale_sweep {
+        run_scale_sweep(&cfg);
+        return;
+    }
     let suite = SuiteConfig { scale: cfg.scale, ..SuiteConfig::default() };
     let ds = build(SuiteDataset::Dblp, suite);
     println!(
@@ -624,6 +771,6 @@ fn main() {
         cfg.out_dir.join(if cfg.quick { "BENCH_index.quick.json" } else { "BENCH_index.json" });
     let query_baseline = cfg.record_baseline.then(|| previous_results(&query_path)).flatten();
     let index_baseline = cfg.record_baseline.then(|| previous_results(&index_path)).flatten();
-    write_snapshot(&query_path, &cfg, &json_obj(&query_results), query_baseline);
-    write_snapshot(&index_path, &cfg, &json_obj(&index_results), index_baseline);
+    write_snapshot(&query_path, &ds.name, &cfg, &json_obj(&query_results), query_baseline);
+    write_snapshot(&index_path, &ds.name, &cfg, &json_obj(&index_results), index_baseline);
 }

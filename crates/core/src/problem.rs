@@ -5,7 +5,7 @@ use std::borrow::Cow;
 use pcs_graph::core::CoreDecomposition;
 use pcs_graph::{Graph, VertexId};
 use pcs_index::IndexRef;
-use pcs_ptree::{PTree, QuerySpace, Taxonomy};
+use pcs_ptree::{PTree, ProfilesRef, QuerySpace, Taxonomy};
 
 use crate::advanced::FindStrategy;
 use crate::Result;
@@ -183,8 +183,10 @@ pub struct QueryContext<'a> {
     pub graph: &'a Graph,
     /// The GP-tree.
     pub tax: &'a Taxonomy,
-    /// Per-vertex P-trees (`profiles[v] = T(v)`).
-    pub profiles: &'a [PTree],
+    /// Per-vertex P-trees (`profiles[v] = T(v)`), behind a view that is
+    /// either a resident slice or a file-backed source faulting ranges
+    /// in on first touch (see [`pcs_ptree::ProfilesRef`]).
+    pub profiles: ProfilesRef<'a>,
     /// Optional CP-tree index (required by every algorithm but
     /// `basic`) — either shape: the monolithic [`pcs_index::CpTree`]
     /// or the serving engine's [`pcs_index::ShardedCpIndex`], behind
@@ -198,7 +200,12 @@ pub struct QueryContext<'a> {
 
 impl<'a> QueryContext<'a> {
     /// Creates a context without an index (only `basic` will run).
-    pub fn new(graph: &'a Graph, tax: &'a Taxonomy, profiles: &'a [PTree]) -> Result<Self> {
+    pub fn new(
+        graph: &'a Graph,
+        tax: &'a Taxonomy,
+        profiles: impl Into<ProfilesRef<'a>>,
+    ) -> Result<Self> {
+        let profiles = profiles.into();
         Self::check_profiles(graph, profiles)?;
         Ok(QueryContext {
             graph,
@@ -225,15 +232,16 @@ impl<'a> QueryContext<'a> {
     pub fn from_parts(
         graph: &'a Graph,
         tax: &'a Taxonomy,
-        profiles: &'a [PTree],
+        profiles: impl Into<ProfilesRef<'a>>,
         index: Option<IndexRef<'a>>,
         cores: &'a CoreDecomposition,
     ) -> Result<Self> {
+        let profiles = profiles.into();
         Self::check_profiles(graph, profiles)?;
         Ok(QueryContext { graph, tax, profiles, index, cores: Cow::Borrowed(cores) })
     }
 
-    fn check_profiles(graph: &Graph, profiles: &[PTree]) -> Result<()> {
+    fn check_profiles(graph: &Graph, profiles: ProfilesRef<'_>) -> Result<()> {
         if graph.num_vertices() != profiles.len() {
             return Err(PcsError::ProfileCountMismatch {
                 vertices: graph.num_vertices(),
@@ -270,7 +278,20 @@ impl<'a> QueryContext<'a> {
                 restored = idx.restore_ptree(self.tax, q);
                 &restored
             }
-            None => &self.profiles[q as usize],
+            // A lazy source that fails to fault `q`'s range in yields
+            // `None`; reporting the vertex as unanswerable here is safe
+            // (never a wrong community), and the engine layer replaces
+            // this with the source's typed error before the caller
+            // sees it.
+            None => match self.profiles.get(q as usize) {
+                Some(p) => p,
+                None => {
+                    return Err(PcsError::QueryVertexOutOfRange {
+                        vertex: q,
+                        n: self.graph.num_vertices(),
+                    })
+                }
+            },
         };
         QuerySpace::new(self.tax, tq).map_err(|_| PcsError::QueryVertexOutOfRange {
             vertex: q,

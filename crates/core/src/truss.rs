@@ -53,7 +53,7 @@ pub fn truss_query(ctx: &QueryContext<'_>, q: VertexId, k: u32) -> Result<PcsOut
             let cands: Vec<VertexId> = base
                 .iter()
                 .copied()
-                .filter(|&v| want.is_subtree_of(&ctx.profiles[v as usize]))
+                .filter(|&v| ctx.profiles.get(v as usize).is_some_and(|p| want.is_subtree_of(p)))
                 .collect();
             stats.verifications += 1;
             let res = engine.ktruss_component_within(g, &cands, q, k).map(Rc::new);

@@ -501,6 +501,34 @@ impl WalFollower {
         Ok(applied)
     }
 
+    /// Re-seeds the replica in place from the primary's *current*
+    /// checkpoint snapshot — the recovery move after [`poll`](Self::poll)
+    /// reports an epoch gap (the primary reclaimed segments past this
+    /// replica's position). The snapshot is loaded **lazily**: only
+    /// META and the section directories are decoded up front, so a
+    /// re-seed is cheap even at scale and the graph/profiles fault in
+    /// on the replica's next query. A checkpoint older than the
+    /// replica's own epoch is refused — a follower never rewinds.
+    /// Returns the number of WAL batches applied on top of the seed.
+    pub fn reseed(&mut self) -> Result<usize> {
+        let engine = PcsEngine::builder()
+            .index_mode(crate::IndexMode::Lazy)
+            .load(self.source.join(SNAPSHOT_FILE))?;
+        if engine.epoch() < self.engine.epoch() {
+            return Err(Error::Internal {
+                component: "wal-follower",
+                detail: format!(
+                    "re-seed snapshot is at epoch {} but the replica already serves epoch {} \
+                     — refusing to rewind",
+                    engine.epoch(),
+                    self.engine.epoch()
+                ),
+            });
+        }
+        self.engine = engine;
+        self.poll()
+    }
+
     /// Consumes the follower, promoting the replica engine to a
     /// standalone (e.g. for failover after the primary is gone).
     pub fn into_engine(self) -> PcsEngine {

@@ -3,9 +3,9 @@
 use pcs_core::{Algorithm, QueryContext, QueryScratch};
 use pcs_graph::core::CoreDecomposition;
 use pcs_graph::FxHashSet;
-use pcs_graph::{DynamicGraph, FxHashMap, Graph, IncrementalCores, VertexId};
+use pcs_graph::{DynamicGraph, FxHashMap, Graph, GraphHandle, IncrementalCores, VertexId};
 use pcs_index::{GraphDelta, IndexError, IndexRef, ShardedCpIndex};
-use pcs_ptree::{PTree, Taxonomy};
+use pcs_ptree::{PTree, ProfilesHandle, Taxonomy};
 use std::num::NonZeroUsize;
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
@@ -195,11 +195,12 @@ impl EngineBuilder {
             }
         }
         let snapshot = Arc::new(SnapshotInner {
-            graph: Arc::new(graph),
-            profiles: Arc::new(profiles),
+            graph: GraphHandle::ready(Arc::new(graph)),
+            profiles: ProfilesHandle::dense(Arc::new(profiles)),
             cores: Arc::new(OnceLock::new()),
             index: OnceLock::new(),
             cache: None,
+            fault: None,
             epoch: 0,
         });
         let mut engine = self.assemble(tax, snapshot)?;
@@ -247,6 +248,7 @@ impl EngineBuilder {
             coalesce: Mutex::new(CoalesceQueue::default()),
             coalesce_stats: CoalesceStats::default(),
             durable: None,
+            snapshot_source: None,
             scratch_pool: Mutex::new(Vec::new()),
             #[cfg(feature = "debug-invariants")]
             verify_epoch_hwm: std::sync::atomic::AtomicU64::new(0),
@@ -361,6 +363,16 @@ struct CoalesceStats {
     coalesced: std::sync::atomic::AtomicU64,
 }
 
+/// A point-in-time reading of the backing snapshot file's positioned-
+/// read counter (see [`PcsEngine::snapshot_io`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotIo {
+    /// Bytes served by positioned reads since the file was opened.
+    pub bytes_read: u64,
+    /// Total file length.
+    pub file_len: u64,
+}
+
 /// A point-in-time copy of the engine's write-coalescing counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CoalesceStatsSnapshot {
@@ -426,6 +438,11 @@ pub struct PcsEngine {
     /// `build`/`open`, before the engine is shared, and immutable
     /// afterwards.
     pub(crate) durable: Option<crate::durable::DurableState>,
+    /// The backing snapshot file of a lazily loaded engine (see
+    /// [`EngineBuilder::load`]): kept for IO observability
+    /// ([`snapshot_io`](Self::snapshot_io)) — the lazy sources inside
+    /// the snapshot hold their own `Arc`s to the same file.
+    pub(crate) snapshot_source: Option<Arc<pcs_store::FileSnapshot>>,
     /// Reusable per-query working memory ([`QueryScratch`]): each query
     /// checks one out, runs allocation-free, and returns it. Pooled so
     /// concurrent `query_batch` workers each get their own.
@@ -492,13 +509,26 @@ impl PcsEngine {
     /// pass over the profiles (member lists + `headMap`), no CL-trees.
     /// Shards materialize later, on their first probe.
     fn ensure_index<'a>(&self, snap: &'a SnapshotInner) -> Result<&'a ShardedCpIndex> {
-        let built = snap.index.get_or_init(|| {
-            ShardedCpIndex::build(Arc::clone(&snap.graph), &self.tax, Arc::clone(&snap.profiles))
-                .map(|mut idx| {
+        // A lazily loaded snapshot arrives with the cell pre-seeded
+        // (`from_lazy_parts`), so this fast path never forces the
+        // graph or profiles resident just to reach the facade.
+        if snap.index.get().is_none() {
+            // Materialize outside the cell so a damaged backing file
+            // surfaces as the typed store error instead of wedging an
+            // `IndexError` into the cell. A concurrent racer may win
+            // the `set`; both built the same facade, the loser's drops.
+            let graph = Arc::clone(snap.materialized_graph()?);
+            let profiles = snap.dense_profiles()?;
+            let _ =
+                snap.index.set(ShardedCpIndex::build(graph, &self.tax, profiles).map(|mut idx| {
                     idx.set_global_cores(Arc::clone(&snap.cores));
                     idx
-                })
-        });
+                }));
+        }
+        let built = snap.index.get().ok_or_else(|| Error::Internal {
+            component: "index",
+            detail: "index cell empty after ensure".into(),
+        })?;
         built.as_ref().map_err(|e| Error::Index(e.clone()))
     }
 
@@ -507,6 +537,18 @@ impl PcsEngine {
     /// construction.
     pub fn resident_shards(&self) -> usize {
         self.snapshot_arc().index_if_built().map_or(0, ShardedCpIndex::resident_shards)
+    }
+
+    /// Bytes read from the backing snapshot file so far and the file's
+    /// total length, for engines lazily loaded from disk (`None` for
+    /// engines built in memory or loaded through the eager path). The
+    /// ratio is the laziness metric: a freshly loaded engine sits at a
+    /// few percent, and the first query moves it by exactly the ranges
+    /// it touched.
+    pub fn snapshot_io(&self) -> Option<SnapshotIo> {
+        self.snapshot_source
+            .as_ref()
+            .map(|src| SnapshotIo { bytes_read: src.bytes_read(), file_len: src.file_len() })
     }
 
     /// Locks the scratch pool, **recovering** from poisoning instead of
@@ -668,8 +710,15 @@ impl PcsEngine {
             // never *trigger* a facade build for it.
             snap.index_if_built().map(IndexRef::from)
         };
+        // Materialize the graph first (lazy loads decode the GRAPH
+        // section here, on the first query), so `cores()` below never
+        // takes its poisoned-fallback path.
+        let graph = snap.materialized_graph()?;
         let cores = snap.cores();
-        let ctx = QueryContext::from_parts(&snap.graph, &self.tax, &snap.profiles, index, cores)?;
+        // Profiles stay behind the handle: a lazily loaded snapshot
+        // serves `profiles[v]` chunk-by-chunk, so the query faults in
+        // only the ranges it actually reads.
+        let ctx = QueryContext::from_parts(graph, &self.tax, &snap.profiles, index, cores)?;
         // Check out pooled scratch so the query's working buffers (peel
         // state, profile masks, candidate seeds) are reused instead of
         // reallocated per request.
@@ -693,6 +742,13 @@ impl PcsEngine {
             if pool.len() < self.scratch_pool_cap {
                 pool.push(scratch);
             }
+        }
+        // Fail-stop before the answer escapes: if any lazy read hit
+        // damaged bytes mid-query, the per-vertex profile view returned
+        // absent trees instead of wrong ones and recorded the typed
+        // fault — surface it now rather than a silently partial answer.
+        if let Some(e) = snap.store_fault() {
+            return Err(Error::Store(e));
         }
         let mut outcome = result?;
         let total_communities = outcome.communities.len();
@@ -718,14 +774,21 @@ impl PcsEngine {
     /// §5.3 metric variants — without giving up engine ownership.
     pub fn with_context<R>(&self, f: impl FnOnce(&QueryContext<'_>) -> R) -> Result<R> {
         let snap = self.snapshot_arc();
+        let graph = snap.materialized_graph()?;
         let ctx = QueryContext::from_parts(
-            &snap.graph,
+            graph,
             &self.tax,
             &snap.profiles,
             snap.index_if_built().map(IndexRef::from),
             snap.cores(),
         )?;
-        Ok(f(&ctx))
+        let out = f(&ctx);
+        // Same fail-stop as `query_on`: a lazy read that failed during
+        // `f` poisons the result.
+        if let Some(e) = snap.store_fault() {
+            return Err(Error::Store(e));
+        }
+        Ok(out)
     }
 
     /// Answers a batch of requests, fanning out over scoped threads
@@ -980,15 +1043,23 @@ impl PcsEngine {
     ) -> Result<UpdateReport> {
         let start = Instant::now();
         let mut guard = self.writer.lock().expect("engine writer lock poisoned");
-        let ws = guard.get_or_insert_with(|| {
+        if guard.is_none() {
+            // The master state needs full residency (CSR export,
+            // per-vertex profile writes), so a lazily loaded engine
+            // densifies here, on its first update — with typed errors
+            // if the backing file turns out damaged, before any state
+            // is mutated.
             let snap = self.snapshot_arc();
-            WriterState {
+            let graph = Arc::clone(snap.materialized_graph()?);
+            let profiles = snap.dense_profiles()?;
+            *guard = Some(WriterState {
                 base: Arc::clone(&snap),
-                graph: DynamicGraph::from_graph(&snap.graph),
+                graph: DynamicGraph::from_graph(&graph),
                 cores: IncrementalCores::new(snap.cores().core_numbers().to_vec()),
-                profiles: snap.profiles.as_ref().clone(),
-            }
-        });
+                profiles: profiles.as_ref().clone(),
+            });
+        }
+        let ws = guard.as_mut().expect("writer state initialized above");
         // The snapshot the master state currently equals: the pending
         // one on a durable engine mid-pipeline, the published one
         // otherwise.
@@ -1079,12 +1150,17 @@ impl PcsEngine {
         // immutable layout; the derived-state maintenance above it is
         // what stays bounded.)
         let edges_changed = edges_added + edges_removed > 0;
-        let graph =
-            if edges_changed { Arc::new(ws.graph.to_graph()) } else { Arc::clone(&base.graph) };
+        // The base is materialized (writer-state init forced it), so
+        // these borrows are cache hits even on a lazily loaded engine.
+        let graph = if edges_changed {
+            Arc::new(ws.graph.to_graph())
+        } else {
+            Arc::clone(base.materialized_graph()?)
+        };
         let profiles = if profiles_changed > 0 {
             Arc::new(ws.profiles.clone())
         } else {
-            Arc::clone(&base.profiles)
+            base.dense_profiles()?
         };
         let cores = if edges_changed {
             let cell = OnceLock::new();
@@ -1155,10 +1231,31 @@ impl PcsEngine {
                 }
             }
         };
+        // Fail-stop before publishing: incremental index maintenance on
+        // a lazily loaded engine materializes touched member lists from
+        // the backing file, and a damaged run poisons the fault cell —
+        // the patched facade cannot be trusted, so discard the writer
+        // state (the next apply re-materializes from the published
+        // snapshot) and surface the typed fault.
+        if let Some(e) = base.fault.as_ref().and_then(pcs_store::FaultCell::get) {
+            drop(guard);
+            *self.writer.lock().expect("engine writer lock poisoned") = None;
+            return Err(Error::Store(e));
+        }
         let cache =
             self.next_cache(&base, edges_changed, &changed_profiles, &original_profiles, &profiles);
-        let next =
-            Arc::new(SnapshotInner { graph, profiles, cores, index: index_cell, cache, epoch });
+        // The published components are resident `Arc`s, but the fault
+        // cell carries over: a patched index clone may still fault
+        // untouched member lists in from the backing file.
+        let next = Arc::new(SnapshotInner {
+            graph: GraphHandle::ready(graph),
+            profiles: ProfilesHandle::dense(profiles),
+            cores,
+            index: index_cell,
+            cache,
+            fault: base.fault.clone(),
+            epoch,
+        });
         let mut durable_epoch = None;
         match self.durable.as_ref() {
             // Recovery replay runs before `durable` is attached, so a
@@ -1346,11 +1443,12 @@ impl PcsEngine {
     pub fn corrupt_graph_for_test(&self, graph: Graph) {
         let snap = self.snapshot_arc();
         self.publish_for_test(SnapshotInner {
-            graph: Arc::new(graph),
-            profiles: Arc::clone(&snap.profiles),
+            graph: GraphHandle::ready(Arc::new(graph)),
+            profiles: snap.profiles.clone(),
             cores: Arc::new(OnceLock::new()),
             index: OnceLock::new(),
             cache: None,
+            fault: snap.fault.clone(),
             epoch: snap.epoch,
         });
     }
@@ -1362,11 +1460,12 @@ impl PcsEngine {
         let cell = OnceLock::new();
         let _ = cell.set(CoreDecomposition::from_core_numbers(core_numbers));
         self.publish_for_test(SnapshotInner {
-            graph: Arc::clone(&snap.graph),
-            profiles: Arc::clone(&snap.profiles),
+            graph: snap.graph.clone(),
+            profiles: snap.profiles.clone(),
             cores: Arc::new(cell),
             index: Self::index_cell_for_test(&snap),
             cache: None,
+            fault: snap.fault.clone(),
             epoch: snap.epoch,
         });
     }
@@ -1378,11 +1477,12 @@ impl PcsEngine {
     pub fn corrupt_profiles_for_test(&self, profiles: Vec<PTree>) {
         let snap = self.snapshot_arc();
         self.publish_for_test(SnapshotInner {
-            graph: Arc::clone(&snap.graph),
-            profiles: Arc::new(profiles),
+            graph: snap.graph.clone(),
+            profiles: ProfilesHandle::dense(Arc::new(profiles)),
             cores: Arc::clone(&snap.cores),
             index: Self::index_cell_for_test(&snap),
             cache: None,
+            fault: snap.fault.clone(),
             epoch: snap.epoch,
         });
     }
@@ -1400,11 +1500,12 @@ impl PcsEngine {
         let cell = OnceLock::new();
         let _ = cell.set(Ok(tampered));
         self.publish_for_test(SnapshotInner {
-            graph: Arc::clone(&snap.graph),
-            profiles: Arc::clone(&snap.profiles),
+            graph: snap.graph.clone(),
+            profiles: snap.profiles.clone(),
             cores: Arc::clone(&snap.cores),
             index: cell,
             cache: None,
+            fault: snap.fault.clone(),
             epoch: snap.epoch,
         });
         true
@@ -1416,11 +1517,12 @@ impl PcsEngine {
     pub fn corrupt_epoch_for_test(&self, epoch: u64) {
         let snap = self.snapshot_arc();
         self.publish_for_test(SnapshotInner {
-            graph: Arc::clone(&snap.graph),
-            profiles: Arc::clone(&snap.profiles),
+            graph: snap.graph.clone(),
+            profiles: snap.profiles.clone(),
             cores: Arc::clone(&snap.cores),
             index: Self::index_cell_for_test(&snap),
             cache: None,
+            fault: snap.fault.clone(),
             epoch,
         });
     }

@@ -82,7 +82,7 @@ mod update;
 
 pub use cache::{CacheMode, CacheStatsSnapshot};
 pub use durable::{decode_update_batch, encode_update_batch, WalFollower, SNAPSHOT_FILE, WAL_DIR};
-pub use engine::{CoalesceStatsSnapshot, EngineBuilder, IndexMode, PcsEngine};
+pub use engine::{CoalesceStatsSnapshot, EngineBuilder, IndexMode, PcsEngine, SnapshotIo};
 pub use error::{BuildError, Error, Result};
 pub use request::{QueryRequest, QueryResponse};
 pub use snapshot::EngineSnapshot;

@@ -16,14 +16,14 @@
 //! construction. That is what makes a warm start one to two orders of
 //! magnitude cheaper than `EngineBuilder::build` with an eager index.
 
-use pcs_store::{
-    decode_snapshot_bytes_mode, encode_snapshot, DecodedShards, IndexDecode, StoreError,
-};
+use pcs_store::{decode_snapshot_bytes_mode, DecodedShards, IndexDecode, StoreError};
 use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
 use pcs_graph::core::CoreDecomposition;
+use pcs_graph::GraphHandle;
 use pcs_index::ShardedCpIndex;
+use pcs_ptree::ProfilesHandle;
 
 use crate::engine::{EngineBuilder, IndexMode, PcsEngine};
 use crate::error::{BuildError, Error, Result};
@@ -60,16 +60,26 @@ impl PcsEngine {
         snap: &SnapshotInner,
         path: impl AsRef<Path>,
     ) -> Result<()> {
+        // A save is a full pass over the data anyway, so a lazily
+        // loaded snapshot materializes here (typed errors if the
+        // backing file is damaged) before the streaming writer runs.
+        let graph = snap.materialized_graph()?;
+        let profiles = snap.dense_profiles()?;
         let cores = snap.cores();
-        let file = encode_snapshot(
+        // The streaming writer encodes one section at a time and
+        // appends it straight to the file, so a save never holds a
+        // second whole-snapshot buffer — the difference between "fits"
+        // and "OOM" at scale 1.0.
+        pcs_store::write_snapshot(
+            path,
             snap.epoch,
-            &snap.graph,
+            graph,
             self.taxonomy(),
-            &snap.profiles,
+            &profiles,
             Some(cores.core_numbers()),
             snap.index_if_built(),
-        );
-        file.write(path).map_err(Into::into)
+        )
+        .map_err(Into::into)
     }
 }
 
@@ -116,11 +126,18 @@ impl EngineBuilder {
         if self.graph.is_some() || self.tax.is_some() || !self.profiles.is_empty() {
             return Err(BuildError::DataWithSnapshot.into());
         }
-        // One read, one zero-copy container validation; the decoders
-        // bulk-copy straight out of the file buffer. A Disabled
-        // replica would drop the index anyway, so it skips decoding
-        // the INDEX section entirely; a Lazy replica maps the shard
-        // directory but defers every shard payload to first touch.
+        // Open the file and validate the container prefix (magic,
+        // version, section table) with positioned reads — no whole-file
+        // read yet. Version-3 files loaded in Lazy or Disabled mode
+        // take the deferred path: META and the directories decode now,
+        // the graph, profile chunks, member runs, and shard payloads
+        // fault in on first touch. Eager mode and pre-v3 files (which
+        // lack the per-range checksums laziness relies on) fall back to
+        // the buffered whole-file decode.
+        let src = Arc::new(pcs_store::FileSnapshot::open(path.as_ref())?);
+        if src.version() >= 3 && self.index_mode != IndexMode::Eager {
+            return self.load_lazy(src);
+        }
         let bytes = std::fs::read(path)
             .map_err(|e| StoreError::Io { op: "read", detail: e.to_string() })?;
         let mode = match self.index_mode {
@@ -160,11 +177,12 @@ impl EngineBuilder {
             let _ = index_cell.set(Ok(idx));
         }
         let snapshot = Arc::new(SnapshotInner {
-            graph,
-            profiles,
+            graph: GraphHandle::ready(graph),
+            profiles: ProfilesHandle::dense(profiles),
             cores: cores_cell,
             index: index_cell,
             cache: None,
+            fault: None,
             epoch: contents.epoch,
         });
         // Same assembly tail as `build`, so configuration defaults can
@@ -172,6 +190,48 @@ impl EngineBuilder {
         // `assemble` warms the engine, materializing any shard the
         // file did not carry).
         self.assemble(contents.tax, snapshot)
+    }
+
+    /// The deferred-decode warm start: adopt META, the taxonomy, core
+    /// numbers, and the profile/index directories now; leave the graph,
+    /// profile chunks, member runs, and shard payloads on disk behind
+    /// lazy handles. Time-to-first-query reads only the ranges that
+    /// query touches (observable through
+    /// [`PcsEngine::snapshot_io`]); damage in an untouched range costs
+    /// nothing, damage in a touched one is a typed error on first
+    /// touch.
+    fn load_lazy(self, src: Arc<pcs_store::FileSnapshot>) -> Result<PcsEngine> {
+        let want_index = self.index_mode != IndexMode::Disabled;
+        let lazy = pcs_store::open_lazy(Arc::clone(&src), want_index)?;
+        let cores_cell = Arc::new(OnceLock::new());
+        if let Some(core) = &lazy.cores {
+            let _ = cores_cell.set(CoreDecomposition::from_core_numbers(core.as_ref().clone()));
+        }
+        let index_cell = OnceLock::new();
+        if let Some(parts) = lazy.index {
+            let mut idx = ShardedCpIndex::from_lazy_parts(
+                lazy.graph.clone(),
+                lazy.profiles.clone(),
+                parts.member_lens,
+                parts.members,
+                Some(parts.shards),
+            )
+            .map_err(Error::Index)?;
+            idx.set_global_cores(Arc::clone(&cores_cell));
+            let _ = index_cell.set(Ok(idx));
+        }
+        let snapshot = Arc::new(SnapshotInner {
+            graph: lazy.graph,
+            profiles: lazy.profiles,
+            cores: cores_cell,
+            index: index_cell,
+            cache: None,
+            fault: Some(lazy.fault),
+            epoch: lazy.meta.epoch,
+        });
+        let mut engine = self.assemble(lazy.tax, snapshot)?;
+        engine.snapshot_source = Some(src);
+        Ok(engine)
     }
 }
 
@@ -279,6 +339,6 @@ mod tests {
     #[test]
     fn missing_file_is_a_typed_io_error() {
         let err = PcsEngine::builder().load(tmp("never-written")).unwrap_err();
-        assert!(matches!(err, Error::Store(pcs_store::StoreError::Io { op: "read", .. })));
+        assert!(matches!(err, Error::Store(pcs_store::StoreError::Io { op: "open", .. })));
     }
 }

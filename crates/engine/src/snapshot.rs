@@ -7,12 +7,25 @@
 //! out from under a reader — the epoch number stamped on every
 //! [`QueryResponse`](crate::QueryResponse) says exactly which graph
 //! version answered.
+//!
+//! The graph and profiles sit behind **handles** ([`GraphHandle`],
+//! [`ProfilesHandle`]): for engines built in memory and for every
+//! post-update epoch they are plain resident `Arc`s, but an engine
+//! lazily loaded from a snapshot file starts with file-backed handles
+//! that decode on first touch. A lazy read that hits damaged bytes
+//! records the typed [`StoreError`](pcs_store::StoreError) in the
+//! snapshot's shared fault cell; the query path checks the cell after
+//! computing and returns the error instead of the answer — damage in a
+//! range no query touches costs nothing, damage in a touched range is
+//! fail-stop, never a silently wrong community.
 
 use crate::cache::QueryCache;
+use crate::error::{Error, Result};
 use pcs_graph::core::CoreDecomposition;
-use pcs_graph::Graph;
+use pcs_graph::{Graph, GraphHandle};
 use pcs_index::{IndexError, ShardedCpIndex};
-use pcs_ptree::PTree;
+use pcs_ptree::{PTree, ProfilesHandle};
+use pcs_store::FaultCell;
 use std::sync::{Arc, OnceLock};
 
 /// One immutable version of the engine's data: graph, profiles, and the
@@ -23,11 +36,12 @@ use std::sync::{Arc, OnceLock};
 /// previous epoch's profiles, a profile-only batch shares its graph
 /// *and* cores, and only the touched component is deep-copied.
 pub(crate) struct SnapshotInner {
-    pub(crate) graph: Arc<Graph>,
-    pub(crate) profiles: Arc<Vec<PTree>>,
+    pub(crate) graph: GraphHandle,
+    pub(crate) profiles: ProfilesHandle,
     /// Computed on first use; update batches with edge changes publish
     /// it pre-seeded from the incrementally maintained master copy,
-    /// profile-only batches share the previous epoch's cell.
+    /// profile-only batches share the previous epoch's cell, and lazy
+    /// loads pre-seed it from the file's `CORES` section.
     pub(crate) cores: Arc<OnceLock<CoreDecomposition>>,
     /// The sharded index facade, created lazily (policy permitting);
     /// update batches publish it pre-seeded when incremental patching
@@ -39,13 +53,55 @@ pub(crate) struct SnapshotInner {
     /// to this snapshot's version: a hit can only return an answer
     /// computed against exactly this graph and these profiles.
     pub(crate) cache: Option<QueryCache>,
+    /// The shared first-fault register of a lazily loaded snapshot
+    /// (`None` for engines built in memory). Checked after every query
+    /// and apply; carried across epochs because a patched index may
+    /// still fault untouched labels in from the file.
+    pub(crate) fault: Option<FaultCell>,
     pub(crate) epoch: u64,
 }
 
 impl SnapshotInner {
+    /// The first typed store fault any lazy read of this snapshot hit.
+    pub(crate) fn store_fault(&self) -> Option<pcs_store::StoreError> {
+        self.fault.as_ref().and_then(FaultCell::get)
+    }
+
+    /// Maps a lazy-materialization failure to the typed error the
+    /// caller should surface: the recorded store fault when there is
+    /// one, an internal error otherwise.
+    pub(crate) fn lazy_error(&self, detail: String) -> Error {
+        match self.store_fault() {
+            Some(e) => Error::Store(e),
+            None => Error::Internal { component: "lazy-load", detail },
+        }
+    }
+
+    /// The materialized graph, decoding it from the backing file on
+    /// first call for lazily loaded snapshots. Fails with the typed
+    /// store error when the file's `GRAPH` range is damaged.
+    pub(crate) fn materialized_graph(&self) -> Result<&Arc<Graph>> {
+        self.graph.get().map_err(|e| self.lazy_error(e.to_string()))
+    }
+
+    /// The dense profile array, faulting in every remaining chunk on
+    /// first call for lazily loaded snapshots.
+    pub(crate) fn dense_profiles(&self) -> Result<Arc<Vec<PTree>>> {
+        self.profiles.to_dense().map_err(|detail| self.lazy_error(detail))
+    }
+
     /// The core decomposition of this snapshot's graph.
+    ///
+    /// Lazy loads pre-seed the cell from the file, so this computes
+    /// only when no `CORES` section was persisted; if the graph itself
+    /// cannot materialize, an all-zero stand-in fills the cell — the
+    /// poisoned fault cell already forces every query to a typed error,
+    /// so the stand-in is never served as an answer.
     pub(crate) fn cores(&self) -> &CoreDecomposition {
-        self.cores.get_or_init(|| CoreDecomposition::new(&self.graph))
+        self.cores.get_or_init(|| match self.graph.get() {
+            Ok(g) => CoreDecomposition::new(g),
+            Err(_) => CoreDecomposition::from_core_numbers(vec![0; self.graph.num_vertices()]),
+        })
     }
 
     /// The sharded index, if this snapshot has its facade built
@@ -63,11 +119,12 @@ impl SnapshotInner {
             let _ = index.set(r.clone());
         }
         SnapshotInner {
-            graph: Arc::clone(&self.graph),
-            profiles: Arc::clone(&self.profiles),
+            graph: self.graph.clone(),
+            profiles: self.profiles.clone(),
             cores: Arc::clone(&self.cores),
             index,
             cache,
+            fault: self.fault.clone(),
             epoch: self.epoch,
         }
     }
@@ -94,17 +151,25 @@ impl SnapshotInner {
     ///   [`ShardedCpIndex::verify_deep`] pass against this snapshot's
     ///   authoritative graph and profiles.
     ///
+    /// On a lazily loaded snapshot this **materializes everything**
+    /// first (an unreadable range is itself a reported violation) —
+    /// full-depth verification is exactly the moment to pay for full
+    /// residency.
+    ///
     /// Epoch monotonicity is checked one level up, in
     /// [`PcsEngine::verify_deep`](crate::PcsEngine::verify_deep),
     /// which owns the high-water mark.
     pub(crate) fn verify_deep(&self, tax: &pcs_ptree::Taxonomy) -> std::result::Result<(), String> {
         let at = |detail: String| format!("epoch {}: {detail}", self.epoch);
-        let n = self.graph.num_vertices();
-        self.graph.validate().map_err(|e| at(format!("CSR invariant broken: {e}")))?;
-        if self.profiles.len() != n {
-            return Err(at(format!("{} profiles for {n} vertices", self.profiles.len())));
+        let graph = self.graph.get().map_err(|e| at(format!("graph unavailable: {e}")))?;
+        let profiles =
+            self.profiles.to_dense().map_err(|e| at(format!("profiles unavailable: {e}")))?;
+        let n = graph.num_vertices();
+        graph.validate().map_err(|e| at(format!("CSR invariant broken: {e}")))?;
+        if profiles.len() != n {
+            return Err(at(format!("{} profiles for {n} vertices", profiles.len())));
         }
-        for (v, p) in self.profiles.iter().enumerate() {
+        for (v, p) in profiles.iter().enumerate() {
             if let Some(&l) = p.nodes().iter().find(|&&l| l as usize >= tax.len()) {
                 return Err(at(format!("profile of vertex {v} names unknown label {l}")));
             }
@@ -118,7 +183,7 @@ impl SnapshotInner {
                 return Err(at(format!("{} core numbers for {n} vertices", core.len())));
             }
             for (v, &c) in core.iter().enumerate() {
-                let nbrs = self.graph.neighbors(v as u32);
+                let nbrs = graph.neighbors(v as u32);
                 if c as usize > nbrs.len() {
                     return Err(at(format!(
                         "core number {c} of vertex {v} exceeds its degree {}",
@@ -138,8 +203,10 @@ impl SnapshotInner {
             }
         }
         if let Some(idx) = self.index_if_built() {
-            idx.verify_deep(tax, &self.graph, &self.profiles)
-                .map_err(|e| at(format!("index: {e}")))?;
+            idx.verify_deep(tax, graph, &profiles).map_err(|e| at(format!("index: {e}")))?;
+        }
+        if let Some(e) = self.store_fault() {
+            return Err(at(format!("lazy load recorded a store fault: {e}")));
         }
         Ok(())
     }
@@ -159,13 +226,56 @@ pub struct EngineSnapshot {
 
 impl EngineSnapshot {
     /// The graph at this epoch.
+    ///
+    /// On a lazily loaded snapshot the first call decodes the `GRAPH`
+    /// section from the backing file (use [`try_graph`][Self::try_graph]
+    /// to observe residency without forcing it, and to get a typed
+    /// error instead of the panic this accessor raises when the backing
+    /// range is damaged).
     pub fn graph(&self) -> &Graph {
-        &self.inner.graph
+        match self.inner.graph.get() {
+            Ok(g) => g,
+            // audit:allow(no-panic): documented compat surface — callers who need a typed error use try_graph
+            Err(e) => panic!("snapshot graph unavailable: {e}"),
+        }
+    }
+
+    /// The graph at this epoch, materializing on first call; damage in
+    /// the backing file surfaces as the typed store error.
+    pub fn try_graph(&self) -> Result<&Graph> {
+        self.inner.materialized_graph().map(|g| g.as_ref())
     }
 
     /// The per-vertex P-trees at this epoch.
+    ///
+    /// On a lazily loaded snapshot the first call faults in **every**
+    /// profile chunk (use [`try_profiles`][Self::try_profiles] for the
+    /// typed-error variant; per-vertex reads inside queries stay
+    /// chunk-granular — this dense accessor is the compatibility
+    /// surface for tooling that wants a slice).
     pub fn profiles(&self) -> &[PTree] {
-        &self.inner.profiles
+        if let Some(s) = self.inner.profiles.as_ref().as_slice() {
+            return s;
+        }
+        match self.inner.dense_profiles() {
+            // Serve the borrow from the source's dense cache, which
+            // `to_dense` just populated.
+            Ok(_) => self
+                .inner
+                .profiles
+                .as_ref()
+                .as_slice()
+                // audit:allow(no-panic): dense_profiles() just populated the cache on this path
+                .unwrap_or_else(|| panic!("profiles dense cache empty after materialization")),
+            // audit:allow(no-panic): documented compat surface — callers who need a typed error use try_profiles
+            Err(e) => panic!("snapshot profiles unavailable: {e}"),
+        }
+    }
+
+    /// The per-vertex P-trees at this epoch, materializing the dense
+    /// array on first call; damage surfaces as the typed store error.
+    pub fn try_profiles(&self) -> Result<Arc<Vec<PTree>>> {
+        self.inner.dense_profiles()
     }
 
     /// The core decomposition at this epoch (computed on first call if
@@ -193,6 +303,18 @@ impl EngineSnapshot {
     /// update batch.
     pub fn epoch(&self) -> u64 {
         self.inner.epoch
+    }
+
+    /// The first typed store fault a lazy read of this snapshot hit,
+    /// if any. `None` for engines built in memory.
+    pub fn store_fault(&self) -> Option<pcs_store::StoreError> {
+        self.inner.store_fault()
+    }
+
+    /// True once the graph is resident (always, for engines built in
+    /// memory; after the first adjacency touch for lazy loads).
+    pub fn graph_resident(&self) -> bool {
+        self.inner.graph.is_materialized()
     }
 
     /// Runs the deep invariant verifier on this snapshot alone (no

@@ -69,6 +69,24 @@ fn clean_engine_passes_at_every_epoch() {
     lazy.verify_deep().unwrap();
 }
 
+/// A lazily *loaded* engine (file-backed, deferred GRAPH/PROFILES
+/// decode) also survives the deep verifier — both straight after the
+/// first query and once fully warmed. The verifier materializes every
+/// deferred section itself, so this doubles as an end-to-end checksum
+/// sweep of the whole snapshot.
+#[test]
+fn lazily_loaded_engine_verifies_after_first_touch() {
+    let engine = eager_engine();
+    let path = std::env::temp_dir().join(format!("pcs-deepverify-{}.snapshot", std::process::id()));
+    engine.save(&path).unwrap();
+    let loaded = PcsEngine::builder().index_mode(IndexMode::Lazy).load(&path).unwrap();
+    loaded.query(&pcs_engine::QueryRequest::vertex(0).k(2)).unwrap();
+    loaded.verify_deep().unwrap();
+    loaded.warm().unwrap();
+    loaded.verify_deep().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
 #[test]
 fn detects_asymmetric_csr() {
     let engine = eager_engine();

@@ -1,0 +1,140 @@
+//! Integration pins for the lazy snapshot load path: a replica
+//! warm-start must decode structure only (META, directories), fault
+//! the graph in on the first query, and keep total bytes read for
+//! time-to-first-query under 10% of the snapshot file — measured by
+//! the in-run [`pcs_store::FileSnapshot`] bytes-read counter that
+//! [`PcsEngine::snapshot_io`] exposes, not by wall clock.
+
+use pcs_engine::{IndexMode, PcsEngine, QueryRequest};
+use pcs_graph::Graph;
+use pcs_ptree::{PTree, Taxonomy};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tmp_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "pcs-lazy-{}-{tag}-{}.snapshot",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A profile-heavy fixture shaped like the real workload: a sparse
+/// ring of `n` vertices with a 6-clique at the front, rich profiles
+/// (so PROFILES + INDEX dominate the file, as they do on DBLP), and
+/// a cheap query vertex carrying a single label.
+fn big_fixture(n: usize) -> (Graph, Taxonomy, Vec<PTree>) {
+    let mut tax = Taxonomy::new("r");
+    let leaves: Vec<_> =
+        (0..60).map(|i| tax.add_child(Taxonomy::ROOT, &format!("l{i}")).unwrap()).collect();
+    let mut edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    for u in 0..6u32 {
+        for v in (u + 1)..6 {
+            edges.push((u, v));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let g = Graph::from_edges(n, &edges).unwrap();
+    let profiles: Vec<PTree> = (0..n)
+        .map(|i| {
+            if i < 6 {
+                // The clique members share one label: the first query
+                // (vertex 0, k=4) resolves against one member run and
+                // one profile chunk.
+                PTree::from_labels(&tax, [leaves[0]]).unwrap()
+            } else {
+                let ls: Vec<_> = (0..15).map(|j| leaves[(i * 7 + j) % 60]).collect();
+                PTree::from_labels(&tax, ls).unwrap()
+            }
+        })
+        .collect();
+    (g, tax, profiles)
+}
+
+fn saved_snapshot(n: usize, tag: &str) -> (PathBuf, PcsEngine) {
+    let (g, tax, profiles) = big_fixture(n);
+    let engine = PcsEngine::builder()
+        .graph(g)
+        .taxonomy(tax)
+        .profiles(profiles)
+        .index_mode(IndexMode::Eager)
+        .build()
+        .unwrap();
+    let path = tmp_path(tag);
+    engine.save(&path).unwrap();
+    (path, engine)
+}
+
+#[test]
+fn lazy_open_defers_the_graph_until_the_first_query() {
+    let (path, _src) = saved_snapshot(2000, "defer");
+    let loaded = PcsEngine::builder().index_mode(IndexMode::Lazy).load(&path).unwrap();
+    let io = loaded.snapshot_io().expect("lazily loaded engines expose IO counters");
+    assert!(
+        !loaded.snapshot().graph_resident(),
+        "open must not decode the graph ({} bytes read)",
+        io.bytes_read
+    );
+    let structural = io.bytes_read;
+    assert!(structural > 0, "open reads the structural prefix");
+    loaded.query(&QueryRequest::vertex(0).k(4)).unwrap();
+    assert!(loaded.snapshot().graph_resident(), "the first query faults the graph in");
+    let after = loaded.snapshot_io().unwrap().bytes_read;
+    assert!(after > structural, "the first query reads the graph section");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn time_to_first_query_reads_under_ten_percent_of_the_file() {
+    let (path, src) = saved_snapshot(4000, "ttfq");
+    let loaded = PcsEngine::builder().index_mode(IndexMode::Lazy).load(&path).unwrap();
+    let want = src.query(&QueryRequest::vertex(0).k(4)).unwrap();
+    let got = loaded.query(&QueryRequest::vertex(0).k(4)).unwrap();
+    assert_eq!(want.communities(), got.communities());
+    let io = loaded.snapshot_io().unwrap();
+    assert!(
+        io.bytes_read * 10 < io.file_len,
+        "TtFQ read {} of {} bytes ({:.1}%) — the lazy-load budget is <10%",
+        io.bytes_read,
+        io.file_len,
+        100.0 * io.bytes_read as f64 / io.file_len as f64
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn lazy_and_eager_loads_answer_identically() {
+    let (path, src) = saved_snapshot(2000, "agree");
+    let lazy = PcsEngine::builder().index_mode(IndexMode::Lazy).load(&path).unwrap();
+    let eager = PcsEngine::builder().index_mode(IndexMode::Eager).load(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert!(eager.snapshot_io().is_none(), "eager loads buffer the file and drop the source");
+    for q in [0u32, 1, 5, 6, 999, 1999] {
+        for k in [1u32, 2, 4] {
+            let a = src.query(&QueryRequest::vertex(q).k(k)).unwrap();
+            let b = lazy.query(&QueryRequest::vertex(q).k(k)).unwrap();
+            let c = eager.query(&QueryRequest::vertex(q).k(k)).unwrap();
+            assert_eq!(a.communities(), b.communities(), "lazy q={q} k={k}");
+            assert_eq!(a.communities(), c.communities(), "eager q={q} k={k}");
+        }
+    }
+}
+
+#[test]
+fn saving_a_lazily_loaded_engine_round_trips() {
+    let (path, src) = saved_snapshot(2000, "resave");
+    let lazy = PcsEngine::builder().index_mode(IndexMode::Lazy).load(&path).unwrap();
+    // Saving forces full materialization of the deferred sections.
+    let path2 = tmp_path("resave-out");
+    lazy.save(&path2).unwrap();
+    let reloaded = PcsEngine::builder().index_mode(IndexMode::Eager).load(&path2).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&path2).unwrap();
+    for q in [0u32, 3, 100, 1500] {
+        let a = src.query(&QueryRequest::vertex(q).k(2)).unwrap();
+        let b = reloaded.query(&QueryRequest::vertex(q).k(2)).unwrap();
+        assert_eq!(a.communities(), b.communities(), "q={q}");
+    }
+}

@@ -47,6 +47,7 @@ pub mod gen;
 pub mod graph;
 pub mod hash;
 pub mod io;
+pub mod lazy;
 pub mod truss;
 pub mod unionfind;
 
@@ -56,6 +57,7 @@ pub use core::{CoreDecomposition, SubsetCore};
 pub use dynamic::{demoted_by_deletion, promoted_by_insertion, DynamicGraph, IncrementalCores};
 pub use graph::{Graph, GraphBuilder, VertexId};
 pub use hash::{FxHashMap, FxHashSet};
+pub use lazy::{GraphHandle, GraphSource};
 pub use truss::{SubsetTruss, TrussDecomposition};
 pub use unionfind::UnionFind;
 

@@ -50,7 +50,7 @@ pub mod sharded;
 
 pub use cltree::{ClTree, ClTreeFlat};
 pub use cptree::{CpPatchStats, CpTree, GraphDelta};
-pub use sharded::{IndexRef, IndexShard, ShardSource, ShardedCpIndex};
+pub use sharded::{IndexRef, IndexShard, MemberSource, ShardSource, ShardedCpIndex};
 
 /// Errors produced while building or querying indexes.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -30,8 +30,8 @@
 use std::sync::{Arc, OnceLock};
 
 use pcs_graph::core::CoreDecomposition;
-use pcs_graph::{Graph, VertexId};
-use pcs_ptree::{LabelId, PTree, Taxonomy};
+use pcs_graph::{Graph, GraphBuilder, GraphHandle, VertexId};
+use pcs_ptree::{LabelId, PTree, ProfilesHandle, Taxonomy};
 
 use crate::cltree::ClTree;
 use crate::cptree::{
@@ -64,6 +64,55 @@ pub trait ShardSource: Send + Sync {
     fn load_shard(&self, label: LabelId) -> Option<ClTree>;
 }
 
+/// A pluggable member-table supplier for lazily loaded facades: given a
+/// label, produce its sorted member list from storage.
+///
+/// Unlike [`ShardSource`], a member source is **authoritative** — the
+/// facade has no other way to learn a label's members, only their count
+/// (the eager length hints). A source therefore must validate what it
+/// returns (checksums, sortedness, vertex range) and, per the storage
+/// layer's discipline, record a typed fault *before* returning `None`
+/// on damage; the facade then answers that label as empty and the
+/// owning engine converts the recorded fault into a typed error rather
+/// than serving the hole.
+pub trait MemberSource: Send + Sync {
+    /// The sorted members of `label`, or `None` on failure (fault
+    /// recorded by the source).
+    fn load_members(&self, label: LabelId) -> Option<Vec<VertexId>>;
+}
+
+/// One label's member list: the authoritative count is always resident
+/// (it comes from the snapshot's length table, or from the list
+/// itself), the list materializes on first touch when the facade was
+/// loaded lazily.
+struct MemberSlot {
+    /// Number of members, known without materializing.
+    len: usize,
+    /// The sorted list; per-label `Arc` so the writer's clone shares
+    /// every untouched list (copy-on-write via `Arc::make_mut`).
+    cell: OnceLock<Arc<Vec<VertexId>>>,
+}
+
+impl MemberSlot {
+    fn resident(list: Vec<VertexId>) -> MemberSlot {
+        MemberSlot { len: list.len(), cell: OnceLock::from(Arc::new(list)) }
+    }
+
+    fn pending(len: usize) -> MemberSlot {
+        MemberSlot { len, cell: OnceLock::new() }
+    }
+}
+
+impl Clone for MemberSlot {
+    fn clone(&self) -> MemberSlot {
+        let cell = match self.cell.get() {
+            Some(arc) => OnceLock::from(Arc::clone(arc)),
+            None => OnceLock::new(),
+        };
+        MemberSlot { len: self.len, cell }
+    }
+}
+
 /// The label-sharded CP-tree index. See the [module docs](self).
 ///
 /// Shared references materialize shards on demand (`&self`, via
@@ -73,22 +122,27 @@ pub trait ShardSource: Send + Sync {
 /// clone-and-patch cost tracks the invalidation set, not the index
 /// size.
 pub struct ShardedCpIndex {
-    /// The graph shards are built against (the epoch's graph).
-    graph: Arc<Graph>,
-    /// Per label: the sorted vertices carrying it (empty ⇔ unpopulated).
-    /// Eager — one pass over the profiles — and authoritative: a
-    /// shard's member list always equals this one. Per-label `Arc` so
-    /// the writer's clone shares every untouched list and copies only
-    /// the lists its batch actually patches (copy-on-write via
-    /// `Arc::make_mut`).
-    members_of: Vec<Arc<Vec<VertexId>>>,
+    /// The graph shards are built against (the epoch's graph) — ready
+    /// for built facades, file-backed for lazily loaded replicas (the
+    /// first from-graph shard build faults the whole section in).
+    graph: GraphHandle,
+    /// Per label: the sorted vertices carrying it (`len == 0` ⇔
+    /// unpopulated). Lengths are eager and authoritative: a shard's
+    /// member list always equals this table's. Lists are per-label
+    /// `Arc`s so the writer's clone shares every untouched list and
+    /// copies only the lists its batch actually patches; lazily loaded
+    /// facades materialize each list on first touch through
+    /// [`MemberSource`].
+    members_of: Vec<MemberSlot>,
     /// Per label: the materialization slot.
     slots: Vec<OnceLock<Arc<IndexShard>>>,
     /// The epoch's per-vertex P-trees, shared with the owning snapshot
-    /// (`Arc` — the facade stores no copy). Replaces the monolithic
-    /// index's `headMap`: `T(v)` restoration is a profile clone, and
-    /// the update classifier reads label sets straight from here.
-    profiles: Arc<Vec<PTree>>,
+    /// (the facade stores no copy). Replaces the monolithic index's
+    /// `headMap`: `T(v)` restoration is a profile clone, and the update
+    /// classifier reads label sets straight from here.
+    profiles: ProfilesHandle,
+    /// Optional member-table supplier (file-backed lazy load).
+    member_source: Option<Arc<dyn MemberSource>>,
     /// Optional shard supplier (snapshot partial load).
     source: Option<Arc<dyn ShardSource>>,
     /// `source_live[l]` — the source's payload for `l` still describes
@@ -130,11 +184,12 @@ impl ShardedCpIndex {
         }
         let n = graph.num_vertices();
         Ok(ShardedCpIndex {
-            graph,
+            graph: GraphHandle::ready(graph),
             slots: (0..members_of.len()).map(|_| OnceLock::new()).collect(),
             source_live: vec![false; members_of.len()],
-            members_of: members_of.into_iter().map(Arc::new).collect(),
-            profiles,
+            members_of: members_of.into_iter().map(MemberSlot::resident).collect(),
+            profiles: ProfilesHandle::dense(profiles),
+            member_source: None,
             source: None,
             global_cores: None,
             n,
@@ -157,24 +212,25 @@ impl ShardedCpIndex {
         for node in nodes {
             match node {
                 Some(node) => {
-                    members_of.push(Arc::new(node.cl.members().to_vec()));
+                    members_of.push(MemberSlot::resident(node.cl.members().to_vec()));
                     slots.push(OnceLock::from(Arc::new(IndexShard {
                         label: node.label,
                         cl: node.cl,
                     })));
                 }
                 None => {
-                    members_of.push(Arc::new(Vec::new()));
+                    members_of.push(MemberSlot::resident(Vec::new()));
                     slots.push(OnceLock::new());
                 }
             }
         }
         ShardedCpIndex {
-            graph,
+            graph: GraphHandle::ready(graph),
             source_live: vec![false; members_of.len()],
             members_of,
             slots,
-            profiles,
+            profiles: ProfilesHandle::dense(profiles),
+            member_source: None,
             source: None,
             global_cores: None,
             n,
@@ -235,12 +291,51 @@ impl ShardedCpIndex {
             }
         }
         Ok(ShardedCpIndex {
-            graph,
+            graph: GraphHandle::ready(graph),
             source_live: vec![source.is_some(); num_labels],
-            members_of: members_of.into_iter().map(Arc::new).collect(),
+            members_of: members_of.into_iter().map(MemberSlot::resident).collect(),
             slots,
-            profiles,
+            profiles: ProfilesHandle::dense(profiles),
+            member_source: None,
             source,
+            global_cores: None,
+            n,
+        })
+    }
+
+    /// Assembles a facade over **lazily loaded** parts: a file-backed
+    /// graph handle, file-backed profiles, the eager per-label member
+    /// counts, and sources that fault in each member list and shard
+    /// payload on first touch. This is the scale load path — nothing
+    /// beyond the supplied counts is read here, so time-to-first-query
+    /// tracks the labels the query touches, not the file size.
+    ///
+    /// The counts are authoritative (`member_lens[l] == 0` means
+    /// unpopulated and is answered without ever consulting the
+    /// source); the member lists a source later supplies must be
+    /// validated by that source (checksums, sortedness, vertex range),
+    /// with failures recorded in the storage layer's fault cell before
+    /// it returns `None`.
+    pub fn from_lazy_parts(
+        graph: GraphHandle,
+        profiles: ProfilesHandle,
+        member_lens: Vec<usize>,
+        members: Arc<dyn MemberSource>,
+        shards: Option<Arc<dyn ShardSource>>,
+    ) -> Result<ShardedCpIndex> {
+        let n = graph.num_vertices();
+        if profiles.len() != n {
+            return Err(IndexError::ProfileCountMismatch { vertices: n, profiles: profiles.len() });
+        }
+        let num_labels = member_lens.len();
+        Ok(ShardedCpIndex {
+            graph,
+            slots: (0..num_labels).map(|_| OnceLock::new()).collect(),
+            source_live: vec![shards.is_some(); num_labels],
+            members_of: member_lens.into_iter().map(MemberSlot::pending).collect(),
+            profiles,
+            member_source: Some(members),
+            source: shards,
             global_cores: None,
             n,
         })
@@ -269,9 +364,38 @@ impl ShardedCpIndex {
     }
 
     /// Number of populated labels (carried by at least one vertex) —
-    /// resident or not.
+    /// resident or not. Answered from the eager counts; never
+    /// materializes a member list.
     pub fn num_populated_labels(&self) -> usize {
-        self.members_of.iter().filter(|m| !m.is_empty()).count()
+        self.members_of.iter().filter(|m| m.len > 0).count()
+    }
+
+    /// Member count of label `i` — always known without materializing.
+    fn member_len(&self, i: usize) -> usize {
+        self.members_of.get(i).map_or(0, |m| m.len)
+    }
+
+    /// The sorted member list of label `i`, materializing it through
+    /// the [`MemberSource`] on first touch when the facade was loaded
+    /// lazily. An unpopulated label (`len == 0`) never consults the
+    /// source; a source failure materializes as empty — the source has
+    /// recorded its typed fault, which the owner surfaces instead of
+    /// any answer derived from the hole.
+    fn members(&self, i: usize) -> &[VertexId] {
+        let Some(slot) = self.members_of.get(i) else { return &[] };
+        if slot.len == 0 {
+            return &[];
+        }
+        if let Some(list) = slot.cell.get() {
+            return list;
+        }
+        let Some(source) = &self.member_source else {
+            // Unreachable by construction: eager facades materialize
+            // every list at build time. Empty is the non-panicking
+            // answer.
+            return &[];
+        };
+        slot.cell.get_or_init(|| Arc::new(source.load_members(i as LabelId).unwrap_or_default()))
     }
 
     /// Number of currently materialized shards. Never triggers
@@ -291,7 +415,7 @@ impl ShardedCpIndex {
     /// exactly once per epoch.
     pub fn shard(&self, label: LabelId) -> Option<&IndexShard> {
         let i = label as usize;
-        if self.members_of.get(i).is_none_or(|m| m.is_empty()) {
+        if self.member_len(i) == 0 {
             return None;
         }
         Some(self.slots.get(i)?.get_or_init(|| Arc::new(self.build_shard(label))))
@@ -306,7 +430,7 @@ impl ShardedCpIndex {
             .iter()
             .zip(&self.slots)
             .enumerate()
-            .filter(|(_, (m, slot))| !m.is_empty() && slot.get().is_none())
+            .filter(|(_, (m, slot))| m.len > 0 && slot.get().is_none())
             .map(|(l, _)| l as LabelId)
             .collect();
         if pending.is_empty() {
@@ -336,8 +460,7 @@ impl ShardedCpIndex {
     /// shared global core decomposition; everything else peels its
     /// induced subgraph.
     fn build_shard(&self, label: LabelId) -> IndexShard {
-        let members: &[VertexId] =
-            self.members_of.get(label as usize).map(|m| m.as_slice()).unwrap_or_default();
+        let members: &[VertexId] = self.members(label as usize);
         if self.source_live.get(label as usize).copied().unwrap_or(false) {
             if let Some(source) = &self.source {
                 if let Some(cl) = source.load_shard(label) {
@@ -347,24 +470,32 @@ impl ShardedCpIndex {
                 }
             }
         }
+        let Ok(graph) = self.graph.get() else {
+            // The graph failed to materialize; its source has recorded
+            // the typed fault and the owner refuses answers while it is
+            // set. An edgeless stand-in keeps this path infallible —
+            // the shard exists, answers nothing, and is never trusted.
+            let fallback = GraphBuilder::new(self.n).build();
+            return IndexShard { label, cl: ClTree::build_on_subset(&fallback, members) };
+        };
         let cl = if members.len() == self.n {
             match &self.global_cores {
-                Some(cell) => ClTree::build_full(
-                    &self.graph,
-                    cell.get_or_init(|| CoreDecomposition::new(&self.graph)),
-                ),
-                None => ClTree::build_full(&self.graph, &CoreDecomposition::new(&self.graph)),
+                Some(cell) => {
+                    ClTree::build_full(graph, cell.get_or_init(|| CoreDecomposition::new(graph)))
+                }
+                None => ClTree::build_full(graph, &CoreDecomposition::new(graph)),
             }
         } else {
-            ClTree::build_on_subset(&self.graph, members)
+            ClTree::build_on_subset(graph, members)
         };
         IndexShard { label, cl }
     }
 
-    /// Sorted vertices carrying `label` (empty slice when none). Always
-    /// answerable from the facade — no shard is materialized.
+    /// Sorted vertices carrying `label` (empty slice when none). Never
+    /// materializes a shard; on a lazily loaded facade the first call
+    /// for a populated label faults its member run in.
     pub fn vertices_with_label(&self, label: LabelId) -> &[VertexId] {
-        self.members_of.get(label as usize).map_or(&[], |m| m.as_slice())
+        self.members(label as usize)
     }
 
     /// The paper's `I.get(k, q, t)` as a borrowed arena slice (the
@@ -445,14 +576,33 @@ impl ShardedCpIndex {
         // then rebuild (resident) or invalidate (absent).
         let mut profile_touched: Vec<LabelId> = touch.profile_touch.iter().copied().collect();
         profile_touched.sort_unstable();
+        let member_source = self.member_source.clone();
         for &label in &profile_touched {
             stats.labels_touched += 1;
             let i = label as usize;
             // Copy-on-write: only the lists the batch touches are
             // duplicated; every other label keeps sharing the previous
-            // epoch's `Arc`.
-            if let Some(list) = self.members_of.get_mut(i) {
-                touch.patch_members(label, Arc::make_mut(list));
+            // epoch's `Arc`. A lazily loaded list must be resident to
+            // be edited, so it is faulted in first (a load failure
+            // patches an empty list — the recorded fault fails queries
+            // upstream, so the hole is never served).
+            if let Some(slot) = self.members_of.get_mut(i) {
+                if slot.cell.get().is_none() {
+                    let loaded = if slot.len == 0 {
+                        Vec::new()
+                    } else {
+                        member_source
+                            .as_ref()
+                            .and_then(|s| s.load_members(label))
+                            .unwrap_or_default()
+                    };
+                    let _ = slot.cell.set(Arc::new(loaded));
+                }
+                if let Some(arc) = slot.cell.get_mut() {
+                    let list = Arc::make_mut(arc);
+                    touch.patch_members(label, list);
+                    slot.len = list.len();
+                }
             }
             if let Some(live) = self.source_live.get_mut(i) {
                 *live = false;
@@ -501,12 +651,17 @@ impl ShardedCpIndex {
         match cores_after {
             Some(cell) => self.global_cores = Some(cell),
             None => {
-                if !Arc::ptr_eq(&self.graph, g_after) {
+                // Provably the same graph (a materialized handle over
+                // the same `Arc`)? Keep the cell; otherwise drop it —
+                // stale cores must never build a shard.
+                let same_graph = self.graph.is_materialized()
+                    && self.graph.get().is_ok_and(|g| Arc::ptr_eq(g, g_after));
+                if !same_graph {
                     self.global_cores = None;
                 }
             }
         }
-        self.graph = Arc::clone(g_after);
+        self.graph = GraphHandle::ready(Arc::clone(g_after));
         rebuild.sort_unstable();
         // Split the labels that lost their last carrier (slot cleared,
         // nothing to build) from those needing a CL-tree rebuild.
@@ -514,7 +669,7 @@ impl ShardedCpIndex {
         for &label in &rebuild {
             let i = label as usize;
             stats.labels_rebuilt += 1;
-            if self.members_of.get(i).is_none_or(|m| m.is_empty()) {
+            if self.member_len(i) == 0 {
                 if let Some(slot) = self.slots.get_mut(i) {
                     *slot = OnceLock::new();
                 }
@@ -564,7 +719,10 @@ impl ShardedCpIndex {
         }
         // Swap in the post-batch profile share (one Arc clone — the
         // snapshot the engine is publishing owns the same vector).
-        self.profiles = Arc::clone(profiles_after);
+        // `member_source` stays: a label no batch has touched still
+        // has exactly its on-file member list (touched labels were
+        // materialized above and their cells now shadow the source).
+        self.profiles = ProfilesHandle::dense(Arc::clone(profiles_after));
         stats
     }
 
@@ -583,7 +741,9 @@ impl ShardedCpIndex {
             total += shard.cl.memory_bytes();
         }
         for m in &self.members_of {
-            total += m.len() * std::mem::size_of::<VertexId>();
+            if m.cell.get().is_some() {
+                total += m.len * std::mem::size_of::<VertexId>();
+            }
         }
         // The profile share is owned by the snapshot, not the index;
         // it is deliberately not counted here.
@@ -642,12 +802,25 @@ impl ShardedCpIndex {
                 }
             }
         }
-        for (l, (mine, want)) in self.members_of.iter().zip(&expect).enumerate() {
-            if mine.as_slice() != want.as_slice() {
+        for (l, want) in expect.iter().enumerate() {
+            // `members(l)` materializes a lazily loaded list — the deep
+            // verifier deliberately faults everything in, so a damaged
+            // run (answered empty, fault recorded) is caught right here
+            // as a member-table divergence.
+            let mine = self.members(l);
+            if mine != want.as_slice() {
                 return Err(format!(
                     "member table of label {l} disagrees with the profiles \
                      ({} members recorded, {} carriers exist)",
                     mine.len(),
+                    want.len()
+                ));
+            }
+            if self.member_len(l) != want.len() {
+                return Err(format!(
+                    "member count hint of label {l} disagrees with its list \
+                     ({} hinted, {} listed)",
+                    self.member_len(l),
                     want.len()
                 ));
             }
@@ -657,7 +830,7 @@ impl ShardedCpIndex {
             if shard.label as usize != l {
                 return Err(format!("slot {l} holds a shard labelled {}", shard.label));
             }
-            let table = self.members_of.get(l).map(|m| m.as_slice()).unwrap_or_default();
+            let table = self.members(l);
             if shard.cl.members() != table {
                 return Err(format!(
                     "resident shard {l} member list diverged from the member table"
@@ -678,7 +851,7 @@ impl ShardedCpIndex {
     /// catches the mismatch. Never use outside those tests.
     pub fn tamper_member_table_for_test(&mut self, label: LabelId, members: Vec<VertexId>) {
         if let Some(slot) = self.members_of.get_mut(label as usize) {
-            *slot = Arc::new(members);
+            *slot = MemberSlot::resident(members);
         }
     }
 
@@ -710,10 +883,11 @@ impl Clone for ShardedCpIndex {
             })
             .collect();
         ShardedCpIndex {
-            graph: Arc::clone(&self.graph),
+            graph: self.graph.clone(),
             members_of: self.members_of.clone(),
             slots,
-            profiles: Arc::clone(&self.profiles),
+            profiles: self.profiles.clone(),
+            member_source: self.member_source.clone(),
             source: self.source.clone(),
             source_live: self.source_live.clone(),
             global_cores: self.global_cores.clone(),
@@ -1142,7 +1316,7 @@ mod tests {
         let idx = ShardedCpIndex::from_loaded(
             Arc::clone(&g),
             Arc::clone(&profiles),
-            facade.members_of.iter().map(|m| m.to_vec()).collect(),
+            (0..t.len() as u32).map(|l| facade.vertices_with_label(l).to_vec()).collect(),
             Vec::new(),
             Some(Arc::new(source)),
         )
@@ -1158,7 +1332,8 @@ mod tests {
         let profiles = Arc::new(profiles);
         let mono = CpTree::build(&g, &t, &profiles).unwrap();
         let facade = ShardedCpIndex::build(Arc::clone(&g), &t, Arc::clone(&profiles)).unwrap();
-        let members: Vec<Vec<VertexId>> = facade.members_of.iter().map(|m| m.to_vec()).collect();
+        let members: Vec<Vec<VertexId>> =
+            (0..t.len() as u32).map(|l| facade.vertices_with_label(l).to_vec()).collect();
         let corrupt = |profiles: Arc<Vec<PTree>>,
                        members: Vec<Vec<VertexId>>,
                        resident: Vec<(LabelId, ClTree)>| {

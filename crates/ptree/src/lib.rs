@@ -40,12 +40,14 @@
 
 pub mod enumerate;
 pub mod intern;
+pub mod profiles;
 pub mod ptree;
 pub mod query;
 pub mod taxonomy;
 pub mod ted;
 
 pub use intern::{SubtreeId, SubtreeIdSet, SubtreeInterner};
+pub use profiles::{ProfileSource, ProfilesHandle, ProfilesRef};
 pub use ptree::{PTree, ProfileLoader};
 pub use query::{QuerySpace, Subtree};
 pub use taxonomy::{LabelId, Taxonomy};

@@ -63,6 +63,15 @@ pub enum ReplicaError {
     /// The frames arrived but failed validation or application —
     /// damaged in transit, or epoch-discontinuous.
     Engine(pcs_engine::Error),
+    /// A re-seed snapshot is older than the epoch the replica already
+    /// serves; applying it would rewind reads. The follower keeps its
+    /// current engine.
+    StaleSeed {
+        /// Epoch of the offered snapshot.
+        snapshot_epoch: u64,
+        /// Epoch the replica currently serves.
+        follower_epoch: u64,
+    },
 }
 
 impl std::fmt::Display for ReplicaError {
@@ -80,6 +89,11 @@ impl std::fmt::Display for ReplicaError {
                 write!(f, "primary answered {status}: {detail}")
             }
             ReplicaError::Engine(e) => write!(f, "replication stream rejected: {e}"),
+            ReplicaError::StaleSeed { snapshot_epoch, follower_epoch } => write!(
+                f,
+                "re-seed snapshot is at epoch {snapshot_epoch} but the replica already \
+                 serves epoch {follower_epoch} — refusing to rewind"
+            ),
         }
     }
 }
@@ -182,6 +196,34 @@ impl HttpFollower {
                 return Ok(applied);
             }
         }
+    }
+
+    /// Re-seeds the replica in place from a checkpoint snapshot file
+    /// (shipped out of band after a
+    /// [`SnapshotGap`](ReplicaError::SnapshotGap)). The snapshot is
+    /// loaded **lazily** — structure only; the graph and profiles
+    /// fault in on the replica's next query — so a re-seed stays cheap
+    /// even against a scale-1.0 snapshot. A snapshot older than the
+    /// epoch already served is refused
+    /// ([`StaleSeed`](ReplicaError::StaleSeed)): a follower never
+    /// rewinds. Returns the re-seeded epoch; call
+    /// [`poll`](Self::poll) afterwards to catch up the WAL tail.
+    pub fn reseed_from_snapshot(
+        &mut self,
+        snapshot: impl AsRef<std::path::Path>,
+    ) -> Result<u64, ReplicaError> {
+        let engine = pcs_engine::PcsEngine::builder()
+            .index_mode(pcs_engine::IndexMode::Lazy)
+            .load(snapshot.as_ref())
+            .map_err(ReplicaError::Engine)?;
+        if engine.epoch() < self.engine.epoch() {
+            return Err(ReplicaError::StaleSeed {
+                snapshot_epoch: engine.epoch(),
+                follower_epoch: self.engine.epoch(),
+            });
+        }
+        self.engine = engine;
+        Ok(self.engine.epoch())
     }
 
     /// Consumes the follower, returning the engine at its replicated

@@ -373,15 +373,47 @@ fn reclaimed_log_answers_410_and_the_follower_reports_a_snapshot_gap() {
         other => panic!("expected SnapshotGap, got {other:?}"),
     }
 
-    // Re-seeding from the fresh checkpoint snapshot resumes tailing.
-    let reseeded = PcsEngine::builder().load(dir.join(pcs_engine::SNAPSHOT_FILE)).unwrap();
-    let mut follower = HttpFollower::new(reseeded, addr, ReplicaConfig::default());
+    // Re-seeding in place from the fresh checkpoint snapshot resumes
+    // tailing. The seed is a *lazy* load: only the snapshot's
+    // structural prefix is decoded, the graph faults in on the first
+    // replica query afterwards.
+    let seeded_epoch = follower.reseed_from_snapshot(dir.join(pcs_engine::SNAPSHOT_FILE)).unwrap();
+    assert_eq!(seeded_epoch, watermark);
+    assert!(
+        !follower.engine().snapshot().graph_resident(),
+        "a re-seed must not decode the graph eagerly"
+    );
+    let io = follower.engine().snapshot_io().expect("lazy re-seed exposes IO counters");
+    assert!(
+        io.bytes_read < io.file_len,
+        "re-seed read the whole snapshot ({} of {} bytes)",
+        io.bytes_read,
+        io.file_len
+    );
     for body in scripted_bodies(8, 4) {
         assert_eq!(post(&mut conn, "/apply", &body).0, 200);
     }
     follower.poll().unwrap();
     assert_eq!(follower.epoch(), primary.epoch());
     assert_equivalent(follower.engine(), &primary, "after re-seed");
+
+    // A stale seed (the old epoch-0 snapshot shape) is refused: the
+    // replica never rewinds below what it already serves.
+    let stale_path = dir.join("stale.snapshot");
+    {
+        let (g, tax, profiles) = instance();
+        let epoch0 =
+            PcsEngine::builder().graph(g).taxonomy(tax).profiles(profiles).build().unwrap();
+        epoch0.save(&stale_path).unwrap();
+    }
+    match follower.reseed_from_snapshot(&stale_path) {
+        Err(ReplicaError::StaleSeed { snapshot_epoch: 0, follower_epoch }) => {
+            assert_eq!(follower_epoch, primary.epoch());
+        }
+        other => panic!("expected StaleSeed, got {other:?}"),
+    }
+    assert_eq!(follower.epoch(), primary.epoch(), "failed re-seed leaves the replica intact");
+    std::fs::remove_file(&stale_path).unwrap();
 
     server.shutdown();
 }

@@ -38,6 +38,35 @@ use pcs_index::{ClTree, ClTreeFlat, CpTree, ShardSource, ShardedCpIndex};
 use pcs_ptree::{LabelId, PTree, ProfileLoader, Taxonomy};
 use std::sync::Arc;
 
+/// Vertices per `PROFILES` chunk in v3 files. Each chunk is
+/// independently checksummed, so a lazy loader faults in
+/// `PROFILE_CHUNK` profiles per touch; the value trades directory
+/// overhead (24 bytes per chunk) against read amplification on
+/// scattered access.
+pub const PROFILE_CHUNK: usize = 1024;
+
+/// Seed for the v3 `PROFILES` chunk checksums: chunk `i` is hashed
+/// under a seed that encodes both the section id and the chunk index,
+/// so a chunk can never validate in another chunk's position.
+#[inline]
+pub fn profile_chunk_seed(chunk: u64) -> u64 {
+    (u64::from(section::PROFILES) << 32) ^ chunk
+}
+
+/// Seed for the v3 `INDEX` per-label member checksums (hashed over the
+/// raw wire bytes of that label's member run).
+#[inline]
+pub fn member_sum_seed(label: LabelId) -> u64 {
+    (u64::from(section::INDEX) << 32) ^ u64::from(label)
+}
+
+/// Seed for a v3 `INDEX` shard-payload checksum: distinct from both the
+/// section seed and [`member_sum_seed`] (high bit set), and bound to the
+/// shard's label so one shard's payload cannot answer for another's.
+pub fn shard_sum_seed(label: LabelId) -> u64 {
+    (1u64 << 63) | ((u64::from(section::INDEX) << 32) ^ u64::from(label))
+}
+
 /// Well-known section ids (see the module table).
 pub mod section {
     /// Epoch and cross-checked counts.
@@ -204,11 +233,46 @@ pub fn encode_snapshot(
 ) -> SnapshotFile {
     let mut file = SnapshotFile::new();
     let narrow = narrow_width(graph, tax);
-    encode_common_sections(&mut file, epoch, graph, tax, profiles, cores, narrow);
+    let version = file.version();
+    encode_common_sections(&mut file, epoch, graph, tax, profiles, cores, narrow, version);
     if let Some(idx) = index {
-        file.push_section(section::INDEX, encode_index_v2(idx, narrow));
+        file.push_section(section::INDEX, encode_index_v2(idx, narrow, true));
     }
     file
+}
+
+/// Streams one engine snapshot straight to `path` through a
+/// [`SnapshotWriter`](crate::format::SnapshotWriter): each section is
+/// encoded, written, and dropped before the next is built, so saving
+/// never holds more than one section's payload in memory (the
+/// [`encode_snapshot`]`+to_bytes` path holds every section **plus** the
+/// full serialized file). Atomicity/durability are identical to
+/// [`SnapshotFile::write`].
+pub fn write_snapshot(
+    path: impl AsRef<std::path::Path>,
+    epoch: u64,
+    graph: &Graph,
+    tax: &Taxonomy,
+    profiles: &[PTree],
+    cores: Option<&[u32]>,
+    index: Option<&ShardedCpIndex>,
+) -> Result<()> {
+    let narrow = narrow_width(graph, tax);
+    let count = 4 + u32::from(cores.is_some()) + u32::from(index.is_some());
+    let mut w = crate::format::SnapshotWriter::create(path, crate::format::FORMAT_VERSION, count)?;
+    // One section payload alive at a time; each drops before the next
+    // is built.
+    w.put_section(section::META, &encode_meta(epoch, graph, tax, narrow))?;
+    w.put_section(section::GRAPH, &encode_graph(graph, narrow))?;
+    w.put_section(section::TAXONOMY, &encode_taxonomy(tax, narrow))?;
+    w.put_section(section::PROFILES, &encode_profiles_chunked(profiles, narrow))?;
+    if let Some(core) = cores {
+        w.put_section(section::CORES, &encode_cores(core, narrow))?;
+    }
+    if let Some(idx) = index {
+        w.put_section(section::INDEX, &encode_index_v2(idx, narrow, true))?;
+    }
+    w.finish()
 }
 
 /// The **legacy v1 writer**, kept so the v1→v2 compatibility path stays
@@ -226,7 +290,7 @@ pub fn encode_snapshot_v1(
 ) -> SnapshotFile {
     let mut file = SnapshotFile::new_versioned(1);
     let narrow = narrow_width(graph, tax);
-    encode_common_sections(&mut file, epoch, graph, tax, profiles, cores, narrow);
+    encode_common_sections(&mut file, epoch, graph, tax, profiles, cores, narrow, 1);
     if let Some(idx) = index {
         file.push_section(section::INDEX, encode_index_v1(idx, tax.len(), narrow));
     }
@@ -250,6 +314,7 @@ fn wire_u32(x: usize, what: &str) -> u32 {
     u32::try_from(x).unwrap_or_else(|_| panic!("{what} {x} overflows the u32 wire width"))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn encode_common_sections(
     file: &mut SnapshotFile,
     epoch: u64,
@@ -258,22 +323,42 @@ fn encode_common_sections(
     profiles: &[PTree],
     cores: Option<&[u32]>,
     narrow: bool,
+    version: u32,
 ) {
+    file.push_section(section::META, encode_meta(epoch, graph, tax, narrow));
+    file.push_section(section::GRAPH, encode_graph(graph, narrow));
+    file.push_section(section::TAXONOMY, encode_taxonomy(tax, narrow));
+    let p = if version >= 3 {
+        encode_profiles_chunked(profiles, narrow)
+    } else {
+        encode_profiles_flat(profiles, narrow)
+    };
+    file.push_section(section::PROFILES, p);
+    if let Some(core) = cores {
+        file.push_section(section::CORES, encode_cores(core, narrow));
+    }
+}
+
+fn encode_meta(epoch: u64, graph: &Graph, tax: &Taxonomy, narrow: bool) -> Vec<u8> {
     let mut meta = SectionWriter::new();
     meta.put_u64(epoch);
     meta.put_u64(graph.num_vertices() as u64);
     meta.put_u64(graph.num_edges() as u64);
     meta.put_u64(tax.len() as u64);
     meta.put_u64(narrow as u64);
-    file.push_section(section::META, meta.finish());
+    meta.finish()
+}
 
+fn encode_graph(graph: &Graph, narrow: bool) -> Vec<u8> {
     let mut g = SectionWriter::new();
     g.put_u64(graph.num_vertices() as u64);
     g.put_usize_slice_as_u64(graph.csr_offsets());
     g.put_u64(graph.csr_neighbors().len() as u64);
     g.put_id_slice(graph.csr_neighbors(), narrow);
-    file.push_section(section::GRAPH, g.finish());
+    g.finish()
+}
 
+fn encode_taxonomy(tax: &Taxonomy, narrow: bool) -> Vec<u8> {
     let mut t = SectionWriter::new();
     t.put_u64(tax.len() as u64);
     t.put_id_slice(tax.parents(), narrow);
@@ -281,8 +366,11 @@ fn encode_common_sections(
         t.put_u32(wire_u32(name.len(), "label name length"));
         t.put_bytes(name.as_bytes());
     }
-    file.push_section(section::TAXONOMY, t.finish());
+    t.finish()
+}
 
+/// The v1/v2 `PROFILES` layout: one flat lens/total/ids block.
+fn encode_profiles_flat(profiles: &[PTree], narrow: bool) -> Vec<u8> {
     let mut p = SectionWriter::new();
     p.put_u64(profiles.len() as u64);
     for profile in profiles {
@@ -293,14 +381,62 @@ fn encode_common_sections(
     for profile in profiles {
         p.put_id_slice(profile.nodes(), narrow);
     }
-    file.push_section(section::PROFILES, p.finish());
+    p.finish()
+}
 
-    if let Some(core) = cores {
+/// The v3 `PROFILES` layout: the vertex range is cut into
+/// [`PROFILE_CHUNK`]-sized chunks, each a self-contained
+/// lens/total/ids block with its own checksum, listed in a directory
+/// up front:
+///
+/// ```text
+/// count u64 | chunk_size u64 | num_chunks u64
+/// directory: { data_off u64, data_len u64, xxh64 u64 } × num_chunks
+/// data area: chunk 0 bytes, chunk 1 bytes, ...
+/// ```
+///
+/// Offsets are relative to the data area and must tile it exactly. A
+/// lazy loader reads the 24-byte header + directory, then faults in
+/// (and verifies) one chunk per [`PROFILE_CHUNK`] vertices touched.
+fn encode_profiles_chunked(profiles: &[PTree], narrow: bool) -> Vec<u8> {
+    let mut p = SectionWriter::new();
+    p.put_u64(profiles.len() as u64);
+    p.put_u64(PROFILE_CHUNK as u64);
+    let num_chunks = profiles.len().div_ceil(PROFILE_CHUNK);
+    p.put_u64(num_chunks as u64);
+    let mut dir: Vec<(u64, u64, u64)> = Vec::with_capacity(num_chunks);
+    let mut data = SectionWriter::new();
+    let mut at = 0u64;
+    for (i, chunk) in profiles.chunks(PROFILE_CHUNK).enumerate() {
         let mut c = SectionWriter::new();
-        c.put_u64(core.len() as u64);
-        c.put_id_slice(core, narrow);
-        file.push_section(section::CORES, c.finish());
+        for profile in chunk {
+            c.put_u32(wire_u32(profile.nodes().len(), "profile length"));
+        }
+        let total: usize = chunk.iter().map(|pr| pr.nodes().len()).sum();
+        c.put_u64(total as u64);
+        for profile in chunk {
+            c.put_id_slice(profile.nodes(), narrow);
+        }
+        let bytes = c.finish();
+        let sum = crate::format::xxh64(&bytes, profile_chunk_seed(i as u64));
+        dir.push((at, bytes.len() as u64, sum));
+        at += bytes.len() as u64;
+        data.put_bytes(&bytes);
     }
+    for (off, len, sum) in dir {
+        p.put_u64(off);
+        p.put_u64(len);
+        p.put_u64(sum);
+    }
+    p.put_bytes(&data.finish());
+    p.finish()
+}
+
+fn encode_cores(core: &[u32], narrow: bool) -> Vec<u8> {
+    let mut c = SectionWriter::new();
+    c.put_u64(core.len() as u64);
+    c.put_id_slice(core, narrow);
+    c.finish()
 }
 
 /// One CL-tree's flat arrays (the per-shard payload, shared by both
@@ -319,7 +455,7 @@ fn encode_cl(w: &mut SectionWriter, cl: &ClTreeFlat, narrow: bool) {
     w.put_id_slice(&cl.arena_pos, narrow);
 }
 
-fn decode_cl(r: &mut SectionReader<'_>, narrow: bool) -> Result<ClTreeFlat> {
+pub(crate) fn decode_cl(r: &mut SectionReader<'_>, narrow: bool) -> Result<ClTreeFlat> {
     let cl_nodes = r.usize64()?;
     let cl = ClTreeFlat {
         core: r.id_vec(cl_nodes, narrow)?,
@@ -367,12 +503,16 @@ fn encode_index_v1(idx: &CpTree, num_labels: usize, narrow: bool) -> Vec<u8> {
     w.finish()
 }
 
-/// v2 `INDEX`: the full member table, then a shard directory over a
+/// v2/v3 `INDEX`: the full member table, then a shard directory over a
 /// trailing blob holding only the resident shards' payloads (no head
 /// map — `T(v)` lives in the `PROFILES` section). Serialized one
 /// shard at a time — saving never holds a second copy of the whole
-/// index in memory.
-fn encode_index_v2(idx: &ShardedCpIndex, narrow: bool) -> Vec<u8> {
+/// index in memory. With `with_sums` (v3) a per-label checksum of each
+/// label's raw member-run bytes follows the length table, and each
+/// directory entry carries a checksum of its shard payload — so a lazy
+/// loader can fault in and verify one label's members or one shard
+/// without reading the whole section.
+fn encode_index_v2(idx: &ShardedCpIndex, narrow: bool, with_sums: bool) -> Vec<u8> {
     let n = idx.num_vertices();
     let num_labels = wire_u32(idx.num_labels(), "label count");
     let mut w = SectionWriter::new();
@@ -381,30 +521,41 @@ fn encode_index_v2(idx: &ShardedCpIndex, narrow: bool) -> Vec<u8> {
     for label in 0..num_labels {
         w.put_u32(wire_u32(idx.vertices_with_label(label).len(), "member list length"));
     }
+    if with_sums {
+        for label in 0..num_labels {
+            let mut run = SectionWriter::new();
+            run.put_id_slice(idx.vertices_with_label(label), narrow);
+            w.put_u64(crate::format::xxh64(&run.finish(), member_sum_seed(label)));
+        }
+    }
     let total: usize = (0..num_labels).map(|l| idx.vertices_with_label(l).len()).sum();
     w.put_u64(total as u64);
     for label in 0..num_labels {
         w.put_id_slice(idx.vertices_with_label(label), narrow);
     }
     // Directory + blob: encode each resident shard once, recording its
-    // (offset, len) run inside the blob.
+    // (offset, len[, checksum]) run inside the blob.
     let mut blob = SectionWriter::new();
-    let mut directory: Vec<(LabelId, u64, u64)> = Vec::new();
+    let mut directory: Vec<(LabelId, u64, u64, u64)> = Vec::new();
     let mut at = 0u64;
     for shard in idx.resident_iter() {
         let mut sw = SectionWriter::new();
         encode_cl(&mut sw, &shard.cl.to_flat(), narrow);
         let payload = sw.finish();
-        directory.push((shard.label, at, payload.len() as u64));
+        let sum = crate::format::xxh64(&payload, shard_sum_seed(shard.label));
+        directory.push((shard.label, at, payload.len() as u64, sum));
         at += payload.len() as u64;
         blob.put_bytes(&payload);
     }
     let blob = blob.finish();
     w.put_u64(directory.len() as u64);
-    for (label, off, len) in directory {
+    for (label, off, len, sum) in directory {
         w.put_u32(label);
         w.put_u64(off);
         w.put_u64(len);
+        if with_sums {
+            w.put_u64(sum);
+        }
     }
     w.put_u64(blob.len() as u64);
     w.put_bytes(&blob);
@@ -489,51 +640,73 @@ pub fn decode_snapshot_with(
     decode_snapshot_mode(file, if want_index { IndexDecode::Eager } else { IndexDecode::Skip })
 }
 
-/// [`decode_snapshot`] with an explicit [`IndexDecode`] mode.
-pub fn decode_snapshot_mode(
-    file: &impl SectionSource,
-    mode: IndexDecode,
-) -> Result<SnapshotContents> {
-    let require = |id: u32| file.section(id).ok_or(StoreError::MissingSection { section: id });
+/// The decoded `META` section: the counts every other section is
+/// checked against, available without touching anything else. The lazy
+/// loader reads this first and sizes its handles from it.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotMeta {
+    /// Source engine's epoch at save time.
+    pub epoch: u64,
+    /// Vertex count.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// Label count.
+    pub labels: usize,
+    /// Two-byte id width in effect.
+    pub narrow: bool,
+}
 
-    let mut meta = SectionReader::new(require(section::META)?, section::META);
+/// Decodes and validates the `META` section payload.
+pub fn decode_meta_payload(payload: &[u8]) -> Result<SnapshotMeta> {
+    let mut meta = SectionReader::new(payload, section::META);
     let epoch = meta.u64()?;
-    let meta_n = meta.usize64()?;
-    let meta_m = meta.usize64()?;
-    let meta_labels = meta.usize64()?;
+    let n = meta.usize64()?;
+    let m = meta.usize64()?;
+    let labels = meta.usize64()?;
     let narrow = match meta.u64()? {
         0 => false,
         1 => true,
         other => return Err(corrupt(section::META, format!("unknown flags {other}"))),
     };
-    if narrow && (meta_n >= u16::MAX as usize || meta_labels >= u16::MAX as usize) {
+    if narrow && (n >= u16::MAX as usize || labels >= u16::MAX as usize) {
         return Err(corrupt(section::META, "narrow id width cannot hold the declared counts"));
     }
     meta.finish()?;
+    Ok(SnapshotMeta { epoch, n, m, labels, narrow })
+}
 
-    let mut g = SectionReader::new(require(section::GRAPH)?, section::GRAPH);
+/// Decodes the `GRAPH` section payload into a structurally validated
+/// CSR graph, pinned against the META counts.
+pub fn decode_graph_payload(payload: &[u8], meta: &SnapshotMeta) -> Result<Graph> {
+    let mut g = SectionReader::new(payload, section::GRAPH);
     let n = g.usize64()?;
-    if n != meta_n {
+    if n != meta.n {
         return Err(corrupt(section::GRAPH, "vertex count disagrees with META"));
     }
     let offsets = g.usize_vec_from_u64(
         n.checked_add(1).ok_or_else(|| corrupt(section::GRAPH, "vertex count overflows"))?,
     )?;
     let nbr_len = g.usize64()?;
-    let neighbors: Vec<VertexId> = g.id_vec(nbr_len, narrow)?;
+    let neighbors: Vec<VertexId> = g.id_vec(nbr_len, meta.narrow)?;
     g.finish()?;
     let graph =
         Graph::from_csr(offsets, neighbors).map_err(|e| corrupt(section::GRAPH, e.to_string()))?;
-    if graph.num_edges() != meta_m {
+    if graph.num_edges() != meta.m {
         return Err(corrupt(section::GRAPH, "edge count disagrees with META"));
     }
+    Ok(graph)
+}
 
-    let mut t = SectionReader::new(require(section::TAXONOMY)?, section::TAXONOMY);
+/// Decodes the `TAXONOMY` section payload, pinned against META's label
+/// count.
+pub fn decode_taxonomy_payload(payload: &[u8], meta: &SnapshotMeta) -> Result<Taxonomy> {
+    let mut t = SectionReader::new(payload, section::TAXONOMY);
     let labels_len = t.usize64()?;
-    if labels_len != meta_labels {
+    if labels_len != meta.labels {
         return Err(corrupt(section::TAXONOMY, "label count disagrees with META"));
     }
-    let parents = t.id_vec(labels_len, narrow)?;
+    let parents = t.id_vec(labels_len, meta.narrow)?;
     let mut names = Vec::with_capacity(labels_len);
     for _ in 0..labels_len {
         let len = t.u32()? as usize;
@@ -544,10 +717,88 @@ pub fn decode_snapshot_mode(
         );
     }
     t.finish()?;
-    let tax = Taxonomy::from_parts(names, parents)
-        .map_err(|e| corrupt(section::TAXONOMY, e.to_string()))?;
+    Taxonomy::from_parts(names, parents).map_err(|e| corrupt(section::TAXONOMY, e.to_string()))
+}
 
-    let mut p = SectionReader::new(require(section::PROFILES)?, section::PROFILES);
+/// Decodes the `CORES` section payload (structure only — the
+/// `core ≤ degree` pin is [`pin_cores_against_graph`], split out so a
+/// lazy loader can defer it to graph materialization).
+pub fn decode_cores_payload(payload: &[u8], n: usize, narrow: bool) -> Result<Vec<u32>> {
+    let mut c = SectionReader::new(payload, section::CORES);
+    let count = c.usize64()?;
+    if count != n {
+        return Err(corrupt(section::CORES, "core count disagrees with the graph"));
+    }
+    let core = c.id_vec(count, narrow)?;
+    c.finish()?;
+    Ok(core)
+}
+
+/// A vertex's core number can never exceed its degree — the cheap
+/// sanity bound that catches a cores section paired with the wrong
+/// graph.
+pub fn pin_cores_against_graph(core: &[u32], graph: &Graph) -> Result<()> {
+    for (v, &k) in core.iter().enumerate() {
+        let vid = VertexId::try_from(v)
+            .map_err(|_| corrupt(section::CORES, "vertex count overflows u32"))?;
+        if k as usize > graph.degree(vid) {
+            return Err(corrupt(
+                section::CORES,
+                format!("core number {k} of vertex {v} exceeds its degree"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// [`decode_snapshot`] with an explicit [`IndexDecode`] mode.
+pub fn decode_snapshot_mode(
+    file: &impl SectionSource,
+    mode: IndexDecode,
+) -> Result<SnapshotContents> {
+    let require = |id: u32| file.section(id).ok_or(StoreError::MissingSection { section: id });
+
+    let meta = decode_meta_payload(require(section::META)?)?;
+    let SnapshotMeta { epoch, narrow, .. } = meta;
+    let graph = decode_graph_payload(require(section::GRAPH)?, &meta)?;
+    let n = graph.num_vertices();
+    let tax = decode_taxonomy_payload(require(section::TAXONOMY)?, &meta)?;
+
+    let profiles_payload = require(section::PROFILES)?;
+    let profiles = if file.version() >= 3 {
+        decode_profiles_chunked(profiles_payload, n, &tax, narrow)?
+    } else {
+        decode_profiles_flat(profiles_payload, n, &tax, narrow)?
+    };
+
+    let cores = match file.section(section::CORES) {
+        None => None,
+        Some(payload) => {
+            let core = decode_cores_payload(payload, n, narrow)?;
+            pin_cores_against_graph(&core, &graph)?;
+            Some(core)
+        }
+    };
+
+    let index = match file.section(section::INDEX) {
+        Some(payload) if mode != IndexDecode::Skip => Some(match file.version() {
+            1 => decode_index_v1(payload, n, &tax, &profiles, narrow)?,
+            v => decode_index_v2(payload, n, tax.len(), &profiles, narrow, mode, v >= 3)?,
+        }),
+        _ => None,
+    };
+
+    Ok(SnapshotContents { epoch, graph, tax, profiles, cores, index })
+}
+
+/// Decodes the v1/v2 flat `PROFILES` layout.
+fn decode_profiles_flat(
+    payload: &[u8],
+    n: usize,
+    tax: &Taxonomy,
+    narrow: bool,
+) -> Result<Vec<PTree>> {
+    let mut p = SectionReader::new(payload, section::PROFILES);
     let profile_count = p.usize64()?;
     if profile_count != n {
         return Err(corrupt(section::PROFILES, "profile count disagrees with the graph"));
@@ -560,56 +811,173 @@ pub fn decode_snapshot_mode(
     let flat = p.id_vec(total, narrow)?;
     p.finish()?;
     let mut profiles = Vec::with_capacity(profile_count);
-    let mut loader = ProfileLoader::new(&tax);
-    let mut rest = flat.as_slice();
-    for (v, &len) in lens.iter().enumerate() {
-        // The sum-vs-total check above makes this splittable by
-        // construction; `get` keeps the decoder structurally panic-free.
+    let mut loader = ProfileLoader::new(tax);
+    parse_profile_run(&lens, &flat, tax, &mut loader, 0, &mut profiles)?;
+    Ok(profiles)
+}
+
+/// Parses one lens/flat run into P-trees, appending to `out`.
+/// `base` is the id of the run's first vertex (for error messages).
+fn parse_profile_run(
+    lens: &[u32],
+    flat: &[u32],
+    tax: &Taxonomy,
+    loader: &mut ProfileLoader,
+    base: usize,
+    out: &mut Vec<PTree>,
+) -> Result<()> {
+    let mut rest = flat;
+    for (i, &len) in lens.iter().enumerate() {
+        // The sum-vs-total check upstream makes this splittable by
+        // construction; the checked split keeps the decoder
+        // structurally panic-free.
         let (nodes, tail) = rest
             .split_at_checked(len as usize)
             .ok_or_else(|| corrupt(section::PROFILES, "per-profile lengths overrun the data"))?;
         rest = tail;
-        profiles.push(loader.ptree(&tax, nodes.to_vec()).map_err(|_| {
-            corrupt(section::PROFILES, format!("profile of vertex {v} is not a valid P-tree"))
+        out.push(loader.ptree(tax, nodes.to_vec()).map_err(|_| {
+            corrupt(
+                section::PROFILES,
+                format!("profile of vertex {} is not a valid P-tree", base + i),
+            )
         })?);
     }
+    Ok(())
+}
 
-    let cores = match file.section(section::CORES) {
-        None => None,
-        Some(payload) => {
-            let mut c = SectionReader::new(payload, section::CORES);
-            let count = c.usize64()?;
-            if count != n {
-                return Err(corrupt(section::CORES, "core count disagrees with the graph"));
-            }
-            let core = c.id_vec(count, narrow)?;
-            c.finish()?;
-            // A vertex's core number can never exceed its degree — the
-            // cheap sanity bound that catches a cores section paired
-            // with the wrong graph.
-            for (v, &k) in core.iter().enumerate() {
-                let vid = VertexId::try_from(v)
-                    .map_err(|_| corrupt(section::CORES, "vertex count overflows u32"))?;
-                if k as usize > graph.degree(vid) {
-                    return Err(corrupt(
-                        section::CORES,
-                        format!("core number {k} of vertex {v} exceeds its degree"),
-                    ));
-                }
-            }
-            Some(core)
+/// The parsed header + directory of a v3 chunked `PROFILES` section:
+/// everything a lazy loader needs before faulting in any chunk.
+/// `data_base` is the byte offset of the data area within the section
+/// payload; directory offsets are relative to it and tile it exactly
+/// (validated here, so a `read_range` against a directory entry is
+/// always in bounds).
+#[derive(Debug, Clone)]
+pub struct ProfileChunkDir {
+    /// Vertex count.
+    pub count: usize,
+    /// Vertices per chunk (last chunk may be short).
+    pub chunk_size: usize,
+    /// Per chunk: `(data_off, data_len, xxh64)`.
+    pub entries: Vec<(u64, u64, u64)>,
+    /// Byte offset of the data area within the section payload.
+    pub data_base: u64,
+    /// Total data-area length in bytes.
+    pub data_len: u64,
+}
+
+impl ProfileChunkDir {
+    /// Parses and validates the header + directory prefix of a v3
+    /// `PROFILES` payload. `prefix` needs to hold at least the first
+    /// `24 + 24 × num_chunks` bytes; `section_len` is the full payload
+    /// length (for the tiling check).
+    pub fn parse(prefix: &[u8], n: usize, section_len: u64) -> Result<ProfileChunkDir> {
+        let mut r = SectionReader::new(prefix, section::PROFILES);
+        let count = r.usize64()?;
+        if count != n {
+            return Err(corrupt(section::PROFILES, "profile count disagrees with the graph"));
         }
-    };
+        let chunk_size = r.usize64()?;
+        // The writer always emits [`PROFILE_CHUNK`]; anything else is
+        // damage. Pinning the exact value (not just non-zero) keeps
+        // every directory byte observable under the lazy path, where
+        // the whole-section checksum is never computed.
+        if chunk_size != PROFILE_CHUNK {
+            return Err(corrupt(section::PROFILES, "unexpected profile chunk size"));
+        }
+        let num_chunks = r.usize64()?;
+        if num_chunks != count.div_ceil(chunk_size) {
+            return Err(corrupt(section::PROFILES, "chunk count disagrees with the vertex count"));
+        }
+        let data_base = (24u64).wrapping_add(24 * num_chunks as u64);
+        let Some(data_len) = section_len.checked_sub(data_base) else {
+            return Err(corrupt(section::PROFILES, "chunk directory overruns the section"));
+        };
+        let mut entries = Vec::with_capacity(num_chunks);
+        let mut expect_off = 0u64;
+        for _ in 0..num_chunks {
+            let off = r.u64()?;
+            let len = r.u64()?;
+            let sum = r.u64()?;
+            if off != expect_off {
+                return Err(corrupt(section::PROFILES, "profile chunks do not tile"));
+            }
+            expect_off = off
+                .checked_add(len)
+                .ok_or_else(|| corrupt(section::PROFILES, "profile chunk length overflows"))?;
+            entries.push((off, len, sum));
+        }
+        if expect_off != data_len {
+            return Err(corrupt(section::PROFILES, "chunk directory does not cover the data area"));
+        }
+        Ok(ProfileChunkDir { count, chunk_size, entries, data_base, data_len })
+    }
 
-    let index = match file.section(section::INDEX) {
-        Some(payload) if mode != IndexDecode::Skip => Some(match file.version() {
-            1 => decode_index_v1(payload, n, &tax, &profiles, narrow)?,
-            _ => decode_index_v2(payload, n, tax.len(), &profiles, narrow, mode)?,
-        }),
-        _ => None,
-    };
+    /// The number of vertices chunk `i` holds.
+    pub fn chunk_vertices(&self, i: usize) -> usize {
+        let start = i.saturating_mul(self.chunk_size);
+        self.count.saturating_sub(start).min(self.chunk_size)
+    }
+}
 
-    Ok(SnapshotContents { epoch, graph, tax, profiles, cores, index })
+/// Verifies and parses one v3 profile chunk's bytes into P-trees.
+/// `expect` is the vertex count of the chunk, `base` its first vertex.
+pub fn parse_profile_chunk(
+    bytes: &[u8],
+    chunk_index: u64,
+    stored_sum: u64,
+    expect: usize,
+    base: usize,
+    tax: &Taxonomy,
+    narrow: bool,
+) -> Result<Vec<PTree>> {
+    let sum = crate::format::xxh64(bytes, profile_chunk_seed(chunk_index));
+    if sum != stored_sum {
+        return Err(StoreError::ChecksumMismatch {
+            section: section::PROFILES,
+            expected: stored_sum,
+            actual: sum,
+        });
+    }
+    let mut r = SectionReader::new(bytes, section::PROFILES);
+    let lens = r.u32_vec(expect)?;
+    let total = r.usize64()?;
+    if lens.iter().map(|&l| l as u64).sum::<u64>() != total as u64 {
+        return Err(corrupt(section::PROFILES, "per-profile lengths disagree with the total"));
+    }
+    let flat = r.id_vec(total, narrow)?;
+    r.finish()?;
+    let mut out = Vec::with_capacity(expect);
+    let mut loader = ProfileLoader::new(tax);
+    parse_profile_run(&lens, &flat, tax, &mut loader, base, &mut out)?;
+    Ok(out)
+}
+
+/// Decodes the v3 chunked `PROFILES` layout eagerly (every chunk
+/// verified and parsed).
+fn decode_profiles_chunked(
+    payload: &[u8],
+    n: usize,
+    tax: &Taxonomy,
+    narrow: bool,
+) -> Result<Vec<PTree>> {
+    let dir = ProfileChunkDir::parse(payload, n, payload.len() as u64)?;
+    let data = payload
+        .get(dir.data_base as usize..)
+        .ok_or_else(|| corrupt(section::PROFILES, "data area out of bounds"))?;
+    let mut profiles = Vec::with_capacity(n);
+    for (i, &(off, len, sum)) in dir.entries.iter().enumerate() {
+        let end = off
+            .checked_add(len)
+            .ok_or_else(|| corrupt(section::PROFILES, "profile chunk extent overflows"))?;
+        let bytes = data
+            .get(off as usize..end as usize)
+            .ok_or_else(|| corrupt(section::PROFILES, "profile chunk out of bounds"))?;
+        let base = i * dir.chunk_size;
+        let parsed =
+            parse_profile_chunk(bytes, i as u64, sum, dir.chunk_vertices(i), base, tax, narrow)?;
+        profiles.extend(parsed);
+    }
+    Ok(profiles)
 }
 
 /// Shared head-map block of both index layouts.
@@ -757,9 +1125,12 @@ fn decode_index_v1(
     Ok(DecodedIndex { members_of, shards: DecodedShards::Resident(shards) })
 }
 
-/// The v2 sharded layout: member table + shard directory + blob. The
-/// directory is always validated eagerly; payload decode is eager or
-/// deferred per `mode`.
+/// The v2/v3 sharded layout: member table + shard directory + blob.
+/// The directory is always validated eagerly; payload decode is eager
+/// or deferred per `mode`. With `with_sums` (v3) per-label member
+/// checksums follow the length table and are verified against the raw
+/// member-run bytes.
+#[allow(clippy::too_many_arguments)]
 fn decode_index_v2(
     payload: &[u8],
     n: usize,
@@ -767,6 +1138,7 @@ fn decode_index_v2(
     profiles: &[PTree],
     narrow: bool,
     mode: IndexDecode,
+    with_sums: bool,
 ) -> Result<DecodedIndex> {
     let mut r = SectionReader::new(payload, section::INDEX);
     let idx_n = r.usize64()?;
@@ -775,13 +1147,29 @@ fn decode_index_v2(
         return Err(corrupt(section::INDEX, "index dimensions disagree with graph/taxonomy"));
     }
     let member_lens = r.u32_vec(num_labels)?;
+    let member_sums = if with_sums {
+        let mut sums = Vec::with_capacity(num_labels);
+        for _ in 0..num_labels {
+            sums.push(r.u64()?);
+        }
+        Some(sums)
+    } else {
+        None
+    };
     let total = r.usize64()?;
     if member_lens.iter().map(|&l| l as u64).sum::<u64>() != total as u64 {
         return Err(corrupt(section::INDEX, "member-table lengths disagree with the total"));
     }
+    let id_width: u64 = if narrow { 2 } else { 4 };
+    // Byte offset of the member runs within the payload, for the
+    // per-label sum verification below (the reader is positioned there
+    // right now).
+    let members_base =
+        (8 + 8 + 4 * num_labels as u64) + if with_sums { 8 * num_labels as u64 } else { 0 } + 8;
     let flat_members = r.id_vec(total, narrow)?;
     let mut members_of = Vec::with_capacity(num_labels);
     let mut rest = flat_members.as_slice();
+    let mut run_off = 0u64;
     for (label, &len) in member_lens.iter().enumerate() {
         let (members, tail) = rest
             .split_at_checked(len as usize)
@@ -795,6 +1183,26 @@ fn decode_index_v2(
                 section::INDEX,
                 format!("label {label} indexes out-of-range vertices"),
             ));
+        }
+        if let Some(sums) = &member_sums {
+            let run_len = u64::from(len) * id_width;
+            let start = members_base + run_off;
+            let raw = start
+                .checked_add(run_len)
+                .and_then(|end| payload.get(start as usize..end as usize))
+                .ok_or_else(|| corrupt(section::INDEX, "member run out of bounds"))?;
+            let stored = sums.get(label).copied().unwrap_or(0);
+            let label_id = LabelId::try_from(label)
+                .map_err(|_| corrupt(section::INDEX, "label count overflows u32"))?;
+            let actual = crate::format::xxh64(raw, member_sum_seed(label_id));
+            if actual != stored {
+                return Err(StoreError::ChecksumMismatch {
+                    section: section::INDEX,
+                    expected: stored,
+                    actual,
+                });
+            }
+            run_off += run_len;
         }
         members_of.push(members.to_vec());
     }
@@ -837,6 +1245,12 @@ fn decode_index_v2(
         let label = r.u32()?;
         let off = r.u64()?;
         let len = r.u64()?;
+        if with_sums {
+            // The per-shard payload checksum serves the file-backed lazy
+            // loader (which range-reads the blob unverified); here the
+            // container checksum already proved these bytes.
+            let _shard_sum = r.u64()?;
+        }
         let Some(shard_members) = members_of.get(label as usize) else {
             return Err(corrupt(section::INDEX, format!("shard label {label} out of range")));
         };

@@ -3,7 +3,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"PCSSNAP1"
-//! 8       4     format version (u32 LE; this build writes 2, reads 1-2)
+//! 8       4     format version (u32 LE; this build writes 3, reads 1-3)
 //! 12      4     section count (u32 LE)
 //! 16      8     xxh64 of the section table (seeded with the version)
 //! 24      32×c  section table: { id: u32, pad: u32, offset: u64,
@@ -28,10 +28,13 @@ pub const MAGIC: [u8; 8] = *b"PCSSNAP1";
 /// The format version this build **writes** (and the newest it reads).
 ///
 /// v2 changed the `INDEX` section to the label-sharded layout (member
-/// table + per-shard payload directory); the container layout itself is
-/// unchanged. Readers still accept [`MIN_FORMAT_VERSION`]..=v2 — v1
-/// files load transparently.
-pub const FORMAT_VERSION: u32 = 2;
+/// table + per-shard payload directory). v3 chunks the `PROFILES`
+/// section (per-chunk checksums, so a file-backed loader can fault in
+/// vertex ranges without reading the whole section) and adds per-label
+/// member checksums to `INDEX` for the same reason. The container
+/// layout itself is unchanged. Readers still accept
+/// [`MIN_FORMAT_VERSION`]..=v3 — v1/v2 files load transparently.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// The oldest format version this build still reads.
 pub const MIN_FORMAT_VERSION: u32 = 1;
@@ -40,8 +43,8 @@ pub const MIN_FORMAT_VERSION: u32 = 1;
 /// section *table* (not a payload) fails its checksum.
 pub const SECTION_TABLE: u32 = u32::MAX;
 
-const HEADER_LEN: u64 = 24;
-const TABLE_ENTRY_LEN: u64 = 32;
+pub(crate) const HEADER_LEN: u64 = 24;
+pub(crate) const TABLE_ENTRY_LEN: u64 = 32;
 
 /// Most sections a file may declare (defense against forged headers;
 /// see the count check in [`SnapshotSlices::from_bytes`]).
@@ -180,13 +183,13 @@ fn xxh_merge(acc: u64, val: u64) -> u64 {
 // it exists so these helpers are structurally incapable of panicking on
 // the decode path.
 #[inline]
-fn le_u64(b: &[u8]) -> u64 {
+pub(crate) fn le_u64(b: &[u8]) -> u64 {
     debug_assert!(b.len() >= 8);
     b.first_chunk::<8>().map_or(0, |c| u64::from_le_bytes(*c))
 }
 
 #[inline]
-fn le_u32(b: &[u8]) -> u32 {
+pub(crate) fn le_u32(b: &[u8]) -> u32 {
     debug_assert!(b.len() >= 4);
     b.first_chunk::<4>().map_or(0, |c| u32::from_le_bytes(*c))
 }
@@ -254,6 +257,121 @@ pub fn xxh64(input: &[u8], seed: u64) -> u64 {
     h ^= h >> 29;
     h = h.wrapping_mul(P3);
     h ^ (h >> 32)
+}
+
+/// Incremental XXH64: feed bytes with [`Xxh64::update`], read the
+/// digest with [`Xxh64::finish`]. Produces bit-identical output to the
+/// one-shot [`xxh64`] for any split of the input — the streaming save
+/// path hashes each section while writing it, so a payload never has to
+/// exist contiguously in memory just to be checksummed.
+#[derive(Debug, Clone)]
+pub struct Xxh64 {
+    v1: u64,
+    v2: u64,
+    v3: u64,
+    v4: u64,
+    buf: [u8; 32],
+    buf_len: usize,
+    total: u64,
+    seed: u64,
+}
+
+impl Xxh64 {
+    /// A fresh hasher under `seed`.
+    pub fn new(seed: u64) -> Self {
+        Xxh64 {
+            v1: seed.wrapping_add(P1).wrapping_add(P2),
+            v2: seed.wrapping_add(P2),
+            v3: seed,
+            v4: seed.wrapping_sub(P1),
+            buf: [0u8; 32],
+            buf_len: 0,
+            total: 0,
+            seed,
+        }
+    }
+
+    #[inline]
+    fn stripe(&mut self, b: &[u8]) {
+        debug_assert!(b.len() >= 32);
+        let (c1, r) = b.split_at(8);
+        let (c2, r) = r.split_at(8);
+        let (c3, c4) = r.split_at(8);
+        self.v1 = xxh_round(self.v1, le_u64(c1));
+        self.v2 = xxh_round(self.v2, le_u64(c2));
+        self.v3 = xxh_round(self.v3, le_u64(c3));
+        self.v4 = xxh_round(self.v4, le_u64(c4));
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, mut input: &[u8]) {
+        self.total = self.total.wrapping_add(input.len() as u64);
+        if self.buf_len > 0 {
+            let take = (32 - self.buf_len).min(input.len());
+            let (head, tail) = input.split_at(take);
+            let (_, open) = self.buf.split_at_mut(self.buf_len);
+            let (dst, _) = open.split_at_mut(take);
+            dst.copy_from_slice(head);
+            self.buf_len += take;
+            input = tail;
+            if self.buf_len < 32 {
+                return;
+            }
+            let stripe = self.buf;
+            self.stripe(&stripe);
+            self.buf_len = 0;
+        }
+        while input.len() >= 32 {
+            let (s, rest) = input.split_at(32);
+            self.stripe(s);
+            input = rest;
+        }
+        let (dst, _) = self.buf.split_at_mut(input.len());
+        dst.copy_from_slice(input);
+        self.buf_len = input.len();
+    }
+
+    /// The digest of everything absorbed so far (the hasher may keep
+    /// absorbing afterwards).
+    pub fn finish(&self) -> u64 {
+        let mut h = if self.total >= 32 {
+            let mut h = self
+                .v1
+                .rotate_left(1)
+                .wrapping_add(self.v2.rotate_left(7))
+                .wrapping_add(self.v3.rotate_left(12))
+                .wrapping_add(self.v4.rotate_left(18));
+            h = xxh_merge(h, self.v1);
+            h = xxh_merge(h, self.v2);
+            h = xxh_merge(h, self.v3);
+            xxh_merge(h, self.v4)
+        } else {
+            self.seed.wrapping_add(P5)
+        };
+        h = h.wrapping_add(self.total);
+        let (mut rest, _) = self.buf.split_at(self.buf_len);
+        while rest.len() >= 8 {
+            let (c, r) = rest.split_at(8);
+            h = (h ^ xxh_round(0, le_u64(c))).rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+            rest = r;
+        }
+        if rest.len() >= 4 {
+            let (c, r) = rest.split_at(4);
+            h = (h ^ u64::from(le_u32(c)).wrapping_mul(P1))
+                .rotate_left(23)
+                .wrapping_mul(P2)
+                .wrapping_add(P3);
+            rest = r;
+        }
+        for &b in rest {
+            h = (h ^ (b as u64).wrapping_mul(P5)).rotate_left(11).wrapping_mul(P1);
+        }
+        h ^= h >> 33;
+        h = h.wrapping_mul(P2);
+        h ^= h >> 29;
+        h = h.wrapping_mul(P3);
+        h ^ (h >> 32)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -374,40 +492,15 @@ impl SnapshotFile {
     /// path parses as a complete snapshot (old or new) — never a
     /// half-written one.
     pub fn write(&self, path: impl AsRef<Path>) -> Result<()> {
-        use std::io::Write as _;
-        let io = |op: &'static str| {
-            move |e: std::io::Error| StoreError::Io { op, detail: e.to_string() }
-        };
-        let path = path.as_ref();
-        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(format!(
-            ".{}.{}.tmp",
-            std::process::id(),
-            SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-        ));
-        let tmp = std::path::PathBuf::from(tmp);
-        let cleanup = |r: Result<()>| {
-            if r.is_err() {
-                let _ = std::fs::remove_file(&tmp);
-            }
-            r
-        };
-        cleanup((|| {
-            let mut f = std::fs::File::create(&tmp).map_err(io("create"))?;
-            f.write_all(&self.to_bytes()).map_err(io("write"))?;
-            f.sync_all().map_err(io("sync"))?;
-            crate::faults::hit("snapshot.before_rename")?;
-            std::fs::rename(&tmp, path).map_err(io("rename"))
-        })())?;
-        crate::faults::hit("snapshot.after_rename")?;
-        // Durability of the directory entry (not of the data — that is
-        // already synced). An error here means the rename could still
-        // be lost to power failure, so it must surface.
-        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            crate::wal::sync_dir(dir)?;
+        let count = u32::try_from(self.sections.len()).map_err(|_| StoreError::Corrupt {
+            section: SECTION_TABLE,
+            detail: "section count exceeds u32".into(),
+        })?;
+        let mut w = SnapshotWriter::create(path.as_ref(), self.version, count)?;
+        for (id, payload) in &self.sections {
+            w.put_section(*id, payload)?;
         }
-        Ok(())
+        w.finish()
     }
 
     /// Reads and fully validates a snapshot from `path`.
@@ -415,6 +508,187 @@ impl SnapshotFile {
         let bytes = std::fs::read(path)
             .map_err(|e| StoreError::Io { op: "read", detail: e.to_string() })?;
         Self::from_bytes(&bytes)
+    }
+}
+
+static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn tmp_path_for(path: &Path) -> std::path::PathBuf {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    std::path::PathBuf::from(tmp)
+}
+
+#[inline]
+fn io_err(op: &'static str) -> impl Fn(std::io::Error) -> StoreError {
+    move |e| StoreError::Io { op, detail: e.to_string() }
+}
+
+/// Streams a snapshot to disk section by section, so a payload never
+/// has to be buffered alongside the full serialized file (the old
+/// `to_bytes` path held every section **twice** — once in the section
+/// `Vec`s and once in the output buffer — which at scale is the
+/// difference between fitting in memory and not).
+///
+/// The writer lays down the header and a zeroed section table up
+/// front, appends each payload while hashing it incrementally
+/// ([`Xxh64`]), then seeks back and backpatches the table (checksum
+/// included) in [`SnapshotWriter::finish`]. Atomicity and durability
+/// are identical to [`SnapshotFile::write`]: bytes go to a unique
+/// temporary, `sync_all`, rename over the target, parent-directory
+/// fsync — with the same `snapshot.before_rename` /
+/// `snapshot.after_rename` kill points.
+///
+/// The number of sections is declared at [`SnapshotWriter::create`]
+/// time (it fixes the table size); `finish` rejects a mismatch.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    file: std::fs::File,
+    tmp: std::path::PathBuf,
+    path: std::path::PathBuf,
+    version: u32,
+    declared: u32,
+    entries: Vec<(u32, u64, u64, u64)>,
+    offset: u64,
+    finished: bool,
+}
+
+impl SnapshotWriter {
+    /// Opens the temporary file and reserves header + table space for
+    /// exactly `sections` sections.
+    pub fn create(path: impl AsRef<Path>, version: u32, sections: u32) -> Result<SnapshotWriter> {
+        use std::io::Write as _;
+        let path = path.as_ref().to_path_buf();
+        let tmp = tmp_path_for(&path);
+        let mut file = std::fs::File::create(&tmp).map_err(io_err("create"))?;
+        let table_len = TABLE_ENTRY_LEN * u64::from(sections);
+        let mut header = Vec::with_capacity((HEADER_LEN + table_len) as usize);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&version.to_le_bytes());
+        header.extend_from_slice(&sections.to_le_bytes());
+        header.extend_from_slice(&0u64.to_le_bytes()); // table checksum, backpatched
+        header.resize((HEADER_LEN + table_len) as usize, 0); // table, backpatched
+        let init = file.write_all(&header).map_err(io_err("write"));
+        if let Err(e) = init {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        Ok(SnapshotWriter {
+            file,
+            tmp,
+            path,
+            version,
+            declared: sections,
+            entries: Vec::with_capacity(sections as usize),
+            offset: HEADER_LEN + table_len,
+            finished: false,
+        })
+    }
+
+    fn fail<T>(&mut self, e: StoreError) -> Result<T> {
+        self.finished = true; // suppress the Drop cleanup double-remove
+        let _ = std::fs::remove_file(&self.tmp);
+        Err(e)
+    }
+
+    /// Begins streaming section `id`; feed bytes to the returned sink
+    /// and call [`SectionSink::end`] when the payload is complete.
+    /// Ids must be unique per file (the reader rejects duplicates).
+    pub fn begin_section(&mut self, id: u32) -> SectionSink<'_> {
+        debug_assert!(!self.entries.iter().any(|&(i, ..)| i == id), "duplicate section {id}");
+        SectionSink { w: self, id, hasher: Xxh64::new(u64::from(id)), len: 0 }
+    }
+
+    /// Writes a complete in-memory payload as one section.
+    pub fn put_section(&mut self, id: u32, payload: &[u8]) -> Result<()> {
+        let mut sink = self.begin_section(id);
+        sink.write(payload)?;
+        sink.end()
+    }
+
+    /// Backpatches the section table, syncs, and atomically publishes
+    /// the file (see the type docs for the durability contract).
+    pub fn finish(mut self) -> Result<()> {
+        use std::io::{Seek as _, SeekFrom, Write as _};
+        if self.entries.len() as u64 != u64::from(self.declared) {
+            let (got, want) = (self.entries.len(), self.declared);
+            return self.fail(StoreError::Corrupt {
+                section: SECTION_TABLE,
+                detail: format!("writer declared {want} sections but streamed {got}"),
+            });
+        }
+        let mut table = Vec::with_capacity((TABLE_ENTRY_LEN * u64::from(self.declared)) as usize);
+        for &(id, offset, len, sum) in &self.entries {
+            table.extend_from_slice(&id.to_le_bytes());
+            table.extend_from_slice(&0u32.to_le_bytes());
+            table.extend_from_slice(&offset.to_le_bytes());
+            table.extend_from_slice(&len.to_le_bytes());
+            table.extend_from_slice(&sum.to_le_bytes());
+        }
+        let table_sum = xxh64(&table, u64::from(self.version));
+        let patch = (|| {
+            self.file.seek(SeekFrom::Start(16)).map_err(io_err("seek"))?;
+            self.file.write_all(&table_sum.to_le_bytes()).map_err(io_err("write"))?;
+            self.file.write_all(&table).map_err(io_err("write"))?;
+            self.file.sync_all().map_err(io_err("sync"))?;
+            crate::faults::hit("snapshot.before_rename")?;
+            std::fs::rename(&self.tmp, &self.path).map_err(io_err("rename"))
+        })();
+        if let Err(e) = patch {
+            return self.fail(e);
+        }
+        self.finished = true;
+        crate::faults::hit("snapshot.after_rename")?;
+        // Durability of the directory entry (not of the data — that is
+        // already synced). An error here means the rename could still
+        // be lost to power failure, so it must surface.
+        if let Some(dir) = self.path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            crate::wal::sync_dir(dir)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SnapshotWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// An in-progress section being streamed through a [`SnapshotWriter`].
+#[derive(Debug)]
+pub struct SectionSink<'w> {
+    w: &'w mut SnapshotWriter,
+    id: u32,
+    hasher: Xxh64,
+    len: u64,
+}
+
+impl SectionSink<'_> {
+    /// Appends payload bytes, hashing them as they pass through.
+    pub fn write(&mut self, bytes: &[u8]) -> Result<()> {
+        use std::io::Write as _;
+        if let Err(e) = self.w.file.write_all(bytes) {
+            return Err(StoreError::Io { op: "write", detail: e.to_string() });
+        }
+        self.hasher.update(bytes);
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Completes the section, recording its table entry.
+    pub fn end(self) -> Result<()> {
+        let sum = self.hasher.finish();
+        let offset = self.w.offset;
+        self.w.offset += self.len;
+        self.w.entries.push((self.id, offset, self.len, sum));
+        Ok(())
     }
 }
 
@@ -756,6 +1030,72 @@ mod tests {
         let mut flipped = long.clone();
         flipped[500] ^= 1;
         assert_ne!(xxh64(&long, 0), xxh64(&flipped, 0));
+    }
+
+    /// The incremental hasher must agree with the one-shot function for
+    /// every split of the input, including splits inside the 32-byte
+    /// stripe buffer and inputs shorter than one stripe.
+    #[test]
+    fn streaming_hasher_matches_one_shot() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(1000).collect();
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            for len in [0usize, 1, 3, 4, 7, 8, 31, 32, 33, 63, 64, 100, 999, 1000] {
+                let input = &data[..len];
+                let want = xxh64(input, seed);
+                for chunk in [1usize, 5, 7, 13, 31, 32, 33, 64, 1000] {
+                    let mut h = Xxh64::new(seed);
+                    for piece in input.chunks(chunk) {
+                        h.update(piece);
+                    }
+                    assert_eq!(h.finish(), want, "seed={seed} len={len} chunk={chunk}");
+                }
+            }
+        }
+    }
+
+    /// The streaming writer must produce byte-identical files to the
+    /// buffered `to_bytes` path (same table, same checksums).
+    #[test]
+    fn streaming_writer_matches_to_bytes() {
+        let dir = std::env::temp_dir().join(format!("pcs_swriter_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.pcs");
+        let mut f = SnapshotFile::new();
+        f.push_section(7, vec![1, 2, 3]);
+        f.push_section(9, Vec::new());
+        f.push_section(2, (0u8..200).collect());
+        let mut w = SnapshotWriter::create(&path, f.version(), 3).unwrap();
+        w.put_section(7, &[1, 2, 3]).unwrap();
+        // Stream one section in several pieces to exercise the sink.
+        w.put_section(9, &[]).unwrap();
+        let mut sink = w.begin_section(2);
+        let data: Vec<u8> = (0u8..200).collect();
+        for piece in data.chunks(7) {
+            sink.write(piece).unwrap();
+        }
+        sink.end().unwrap();
+        w.finish().unwrap();
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk, f.to_bytes());
+        let back = SnapshotFile::read(&path).unwrap();
+        assert_eq!(back.section_ids(), vec![7, 9, 2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Declaring the wrong section count must fail typed and leave no
+    /// temp file behind.
+    #[test]
+    fn streaming_writer_rejects_count_mismatch() {
+        let dir = std::env::temp_dir().join(format!("pcs_swriter_mis_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.pcs");
+        let mut w = SnapshotWriter::create(&path, FORMAT_VERSION, 2).unwrap();
+        w.put_section(1, &[0]).unwrap();
+        let err = w.finish().unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { section: SECTION_TABLE, .. }));
+        assert!(!path.exists());
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0, "temp file left behind");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -58,16 +58,24 @@ pub mod codec;
 #[doc(hidden)]
 pub mod faults;
 pub mod format;
+pub mod lazy;
+pub mod source;
 pub mod wal;
 
 pub use codec::{
     decode_snapshot, decode_snapshot_bytes, decode_snapshot_bytes_mode, decode_snapshot_bytes_with,
-    decode_snapshot_mode, decode_snapshot_with, encode_snapshot, encode_snapshot_v1, section,
-    DecodedIndex, DecodedShards, IndexDecode, LazyShardStore, SectionSource, SnapshotContents,
+    decode_snapshot_mode, decode_snapshot_with, encode_snapshot, encode_snapshot_v1,
+    member_sum_seed, parse_profile_chunk, profile_chunk_seed, section, shard_sum_seed,
+    write_snapshot, DecodedIndex, DecodedShards, IndexDecode, LazyShardStore, ProfileChunkDir,
+    SectionSource, SnapshotContents, PROFILE_CHUNK,
 };
+pub use lazy::{open_lazy, FaultCell, LazyIndexParts, LazyProfileStore, LazySnapshot};
+pub use source::FileSnapshot;
+
 pub use format::{
-    xxh64, Result, SectionReader, SectionWriter, SnapshotFile, SnapshotSlices, StoreError,
-    FORMAT_VERSION, MAGIC, MAX_SECTIONS, MIN_FORMAT_VERSION, SECTION_TABLE,
+    xxh64, Result, SectionReader, SectionSink, SectionWriter, SnapshotFile, SnapshotSlices,
+    SnapshotWriter, StoreError, Xxh64, FORMAT_VERSION, MAGIC, MAX_SECTIONS, MIN_FORMAT_VERSION,
+    SECTION_TABLE,
 };
 pub use wal::{
     decode_frames, encode_record, encode_records, list_segments, read_records, read_records_since,

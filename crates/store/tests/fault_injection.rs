@@ -6,11 +6,12 @@
 //! engine. Each case runs under `std::panic::catch_unwind` so a panic
 //! anywhere in the load path fails the test with the offending case.
 
+use pcs_engine::UpdateBatch;
 use pcs_engine::{Error, IndexMode, PcsEngine, QueryRequest, StoreError};
 use pcs_graph::Graph;
 use pcs_ptree::{PTree, Taxonomy};
 use pcs_store::{xxh64, SnapshotFile, FORMAT_VERSION, SECTION_TABLE};
-use std::panic::catch_unwind;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -59,13 +60,16 @@ fn healthy_snapshot() -> (Vec<u8>, PcsEngine) {
     (bytes, engine)
 }
 
-/// Loads corrupted bytes through the full engine path inside
+/// Loads corrupted bytes through the full *eager* engine path inside
 /// `catch_unwind`; returns the typed error. Panics (= test failure)
-/// when the load panicked or — worse — succeeded.
+/// when the load panicked or — worse — succeeded. Eager mode decodes
+/// and checksums every section up front, so all damage must be caught
+/// at load time; the lazy path's deferred-validation contract is
+/// pinned separately by the first-touch tests below.
 fn must_fail_typed(bytes: &[u8], case: &str) -> Error {
     let path = tmp_path("case");
     std::fs::write(&path, bytes).unwrap();
-    let result = catch_unwind(|| PcsEngine::builder().load(&path));
+    let result = catch_unwind(|| PcsEngine::builder().index_mode(IndexMode::Eager).load(&path));
     std::fs::remove_file(&path).unwrap();
     match result {
         Err(_) => panic!("case {case}: load PANICKED instead of returning an error"),
@@ -292,23 +296,175 @@ fn pristine_bytes_still_load_and_answer() {
 }
 
 // ---------------------------------------------------------------------
-// v2 shard-table corruption matrix: forged (re-checksummed) INDEX
-// sections whose shard directory lies must fail with typed errors —
-// the directory is validated eagerly in *both* eager and partial load
-// modes. Forged shard *payloads* are rejected by the eager decode; the
-// partial path defers their decode and transparently rebuilds the
-// shard from the graph instead, so a bad payload can never produce a
-// wrong answer.
+// Lazy-path corruption matrix: the lazy load defers GRAPH and PROFILES
+// payload validation to first touch. The contract is *fail-stop, never
+// wrong*: a bit flip in a deferred range may let the load succeed, but
+// the first query (or materialization) that touches the damaged bytes
+// must surface a typed ChecksumMismatch/Corrupt naming the section —
+// and every answer produced before that moment must equal the healthy
+// engine's. No panic, no silent drift.
 // ---------------------------------------------------------------------
 
-/// Byte offset of the shard directory inside the healthy v2 INDEX
+/// All section (id, start, end) byte ranges, decoded from the table.
+fn section_ranges(bytes: &[u8]) -> Vec<(u32, usize, usize)> {
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    (0..count)
+        .map(|i| {
+            let at = 24 + 32 * i;
+            let id = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            let off = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().unwrap()) as usize;
+            (id, off, off + len)
+        })
+        .collect()
+}
+
+#[test]
+fn lazy_graph_and_profile_flips_are_typed_on_first_touch_never_wrong() {
+    let (bytes, healthy) = healthy_snapshot();
+    let deferred: Vec<(u32, usize, usize)> = section_ranges(&bytes)
+        .into_iter()
+        .filter(|(id, _, _)| {
+            *id == pcs_store::section::GRAPH || *id == pcs_store::section::PROFILES
+        })
+        .collect();
+    assert_eq!(deferred.len(), 2, "fixture persists both deferred sections");
+    for (id, start, end) in deferred {
+        let mut positions: Vec<usize> = (start..end).step_by(11).collect();
+        positions.push(end - 1);
+        for pos in positions {
+            let mut corrupted = bytes.clone();
+            corrupted[pos] ^= 0x10;
+            let case = format!("section {id} flip byte {pos}");
+            let path = tmp_path("lazyflip");
+            std::fs::write(&path, &corrupted).unwrap();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let loaded = match PcsEngine::builder().index_mode(IndexMode::Lazy).load(&path) {
+                    // Structural prefixes (the profile chunk directory)
+                    // are validated at open; failing there is fine as
+                    // long as the error is typed.
+                    Err(e) => return e,
+                    Ok(engine) => engine,
+                };
+                // Drive the replica through a full first touch: every
+                // vertex at several k, then force both deferred
+                // sections all the way resident. The first typed error
+                // wins; until then every answer must match the healthy
+                // engine bit for bit.
+                for q in 0..8u32 {
+                    for k in 1..4u32 {
+                        match loaded.query(&QueryRequest::vertex(q).k(k)) {
+                            Ok(resp) => {
+                                let want = healthy.query(&QueryRequest::vertex(q).k(k)).unwrap();
+                                assert_eq!(
+                                    want.communities(),
+                                    resp.communities(),
+                                    "{case}: WRONG ANSWER at q={q} k={k}"
+                                );
+                            }
+                            Err(e) => return e,
+                        }
+                    }
+                }
+                let snap = loaded.snapshot();
+                if let Err(e) = snap.try_graph().map(|_| ()) {
+                    return e;
+                }
+                match snap.try_profiles() {
+                    Err(e) => e,
+                    Ok(_) => panic!("{case}: damage never surfaced after full touch"),
+                }
+            }));
+            std::fs::remove_file(&path).unwrap();
+            let err = match outcome {
+                Err(_) => panic!("{case}: PANICKED instead of returning a typed error"),
+                Ok(e) => e,
+            };
+            let named_ok = matches!(
+                &err,
+                Error::Store(
+                    StoreError::ChecksumMismatch { section, .. }
+                        | StoreError::Corrupt { section, .. }
+                ) if *section == id
+            );
+            let structural_ok = matches!(
+                &err,
+                Error::Store(StoreError::Truncated { .. } | StoreError::SectionOverflow { .. })
+            );
+            assert!(named_ok || structural_ok, "{case}: unexpected error {err:?}");
+        }
+    }
+}
+
+/// The differential pin: an eager-loaded replica, a lazily-loaded
+/// replica, and the original from-scratch engine stay answer-equal
+/// through a mixed stream of edge and profile updates. Lazy loading
+/// changes *when* bytes are read, never *what* the engine computes.
+#[test]
+fn eager_lazy_and_scratch_engines_agree_under_a_mixed_update_stream() {
+    let (bytes, scratch) = healthy_snapshot();
+    let path = tmp_path("diff");
+    std::fs::write(&path, &bytes).unwrap();
+    let eager = PcsEngine::builder().index_mode(IndexMode::Eager).load(&path).unwrap();
+    let lazy = PcsEngine::builder().index_mode(IndexMode::Lazy).load(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    // Same taxonomy shape as the fixture, so label ids line up.
+    let mut tax = Taxonomy::new("r");
+    let a = tax.add_child(Taxonomy::ROOT, "a").unwrap();
+    let b = tax.add_child(a, "b").unwrap();
+    let c = tax.add_child(Taxonomy::ROOT, "c").unwrap();
+    let batches = [
+        UpdateBatch::new().add_edge(7, 0).add_edge(7, 1),
+        UpdateBatch::new()
+            .remove_edge(2, 3)
+            .set_profile(5, PTree::from_labels(&tax, [a, b]).unwrap()),
+        UpdateBatch::new().add_edge(3, 5).add_edge(3, 6).remove_edge(7, 0),
+        UpdateBatch::new().set_profile(7, PTree::from_labels(&tax, [c]).unwrap()).add_edge(0, 4),
+    ];
+    for (i, batch) in batches.iter().enumerate() {
+        scratch.apply(batch).unwrap();
+        eager.apply(batch).unwrap();
+        lazy.apply(batch).unwrap();
+        for q in 0..8u32 {
+            for k in 1..4u32 {
+                let want = scratch.query(&QueryRequest::vertex(q).k(k)).unwrap();
+                let from_eager = eager.query(&QueryRequest::vertex(q).k(k)).unwrap();
+                let from_lazy = lazy.query(&QueryRequest::vertex(q).k(k)).unwrap();
+                assert_eq!(
+                    want.communities(),
+                    from_eager.communities(),
+                    "batch {i} q={q} k={k}: eager replica diverged"
+                );
+                assert_eq!(
+                    want.communities(),
+                    from_lazy.communities(),
+                    "batch {i} q={q} k={k}: lazy replica diverged"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded-INDEX corruption matrix (v3 layout): forged (re-checksummed)
+// INDEX sections whose shard directory lies must fail with typed
+// errors — the directory is validated eagerly in *both* eager and
+// partial load modes. Forged shard *payloads* are rejected by the
+// eager decode; the partial path defers their decode and transparently
+// rebuilds the shard from the graph instead, so a bad payload can
+// never produce a wrong answer.
+// ---------------------------------------------------------------------
+
+/// Byte offset of the shard directory inside the healthy v3 INDEX
 /// payload, plus the shard count found there. Mirrors the reader's
-/// cursor walk (n, num_labels, member lens/total/ids, then the
-/// directory); META's `narrow` flag decides the id width.
-fn v2_directory_offset(index_payload: &[u8], num_labels: usize, narrow: bool) -> (usize, usize) {
+/// cursor walk (n, num_labels, member lens, per-label member sums,
+/// total, member ids, then the directory); META's `narrow` flag
+/// decides the id width.
+fn index_directory_offset(index_payload: &[u8], num_labels: usize, narrow: bool) -> (usize, usize) {
     let id = if narrow { 2 } else { 4 };
     let mut at = 16; // n + num_labels
     at += 4 * num_labels; // member lens (u32 each)
+    at += 8 * num_labels; // v3 per-label member checksums (u64 each)
     let total = u64::from_le_bytes(index_payload[at..at + 8].try_into().unwrap()) as usize;
     at += 8 + id * total;
     let count = u64::from_le_bytes(index_payload[at..at + 8].try_into().unwrap()) as usize;
@@ -346,7 +502,7 @@ fn v2_shard_table_corruptions_are_typed() {
     let file = SnapshotFile::from_bytes(&bytes).unwrap();
     let payload = file.section(pcs_store::section::INDEX).unwrap();
     let num_labels = u64::from_le_bytes(payload[8..16].try_into().unwrap()) as usize;
-    let (dir_at, shard_count) = v2_directory_offset(payload, num_labels, true);
+    let (dir_at, shard_count) = index_directory_offset(payload, num_labels, true);
     assert!(shard_count >= 2, "healthy eager snapshot persists several shards");
     let expect_corrupt = |case: &str, err: Error| {
         assert!(
@@ -357,7 +513,8 @@ fn v2_shard_table_corruptions_are_typed() {
             "{case}: unexpected error {err:?}"
         );
     };
-    // Entry layout: u32 label, u64 offset, u64 len (20 bytes each).
+    // Entry layout: u32 label, u64 offset, u64 len, u64 payload
+    // checksum (28 bytes each in v3).
     expect_corrupt(
         "label out of range",
         forge_index(&bytes, "label out of range", |p| {
@@ -367,7 +524,7 @@ fn v2_shard_table_corruptions_are_typed() {
     expect_corrupt(
         "labels not ascending",
         forge_index(&bytes, "labels not ascending", |p| {
-            let second = u32::from_le_bytes(p[dir_at + 20..dir_at + 24].try_into().unwrap());
+            let second = u32::from_le_bytes(p[dir_at + 28..dir_at + 32].try_into().unwrap());
             p[dir_at..dir_at + 4].copy_from_slice(&second.to_le_bytes());
         }),
     );
@@ -402,10 +559,18 @@ fn v2_shard_table_corruptions_are_typed() {
                 .map(|l| u32::from_le_bytes(p[16 + 4 * l..20 + 4 * l].try_into().unwrap()))
                 .collect();
             assert_eq!(lens[2], 3, "fixture: label b carried by exactly [1, 2, 4]");
-            let ids_at = 16 + 4 * num_labels + 8;
+            let sums_at = 16 + 4 * num_labels;
+            let ids_at = sums_at + 8 * num_labels + 8;
             let slot = ids_at + 2 * (lens[0] + lens[1] + 2) as usize;
             assert_eq!(&p[slot..slot + 2], &4u16.to_le_bytes()[..], "fixture drifted");
             p[slot..slot + 2].copy_from_slice(&3u16.to_le_bytes());
+            // Re-checksum label 2's member run so only the carrier
+            // cross-pin (not the v3 per-label checksum) can catch the
+            // lie — this test pins the semantic check specifically.
+            let run_at = ids_at + 2 * (lens[0] + lens[1]) as usize;
+            let run = p[run_at..run_at + 2 * lens[2] as usize].to_vec();
+            let sum = xxh64(&run, pcs_store::member_sum_seed(2));
+            p[sums_at + 8 * 2..sums_at + 8 * 3].copy_from_slice(&sum.to_le_bytes());
         }),
     );
     // Forged shard payload (flip one byte inside the blob): the eager
